@@ -1,0 +1,65 @@
+// E20 (ablation): hop-metric vs weight-aware low-stretch spanning trees.
+// The preconditioner chain's quality is governed by the tree's resistive
+// stretch; on graphs whose weights span orders of magnitude the hop-metric
+// AKPW ignores exactly the structure that matters.
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "laplacian/low_stretch_tree.hpp"
+#include "laplacian/recursive_solver.hpp"
+
+using namespace dls;
+using namespace dls::bench;
+
+int main() {
+  banner("E20 / ablation", "hop-metric vs weight-aware low-stretch trees");
+
+  Table table({"weight range", "avg stretch (hops)", "avg stretch (weighted)",
+               "improvement"});
+  for (const double spread : {1.0, 16.0, 256.0, 4096.0}) {
+    Rng rng(71);
+    const Graph g = make_weighted_grid(12, 12, rng, 1.0, spread);
+    std::vector<double> hop_samples, weighted_samples;
+    for (int trial = 0; trial < 4; ++trial) {
+      const auto hop_tree = low_stretch_spanning_tree_hops(g, rng);
+      hop_samples.push_back(average_stretch(g, hop_tree.tree_edges));
+      const auto w_tree = low_stretch_spanning_tree_weighted(g, rng);
+      weighted_samples.push_back(average_stretch(g, w_tree.tree_edges));
+    }
+    const double hop_avg = summarize(hop_samples).mean;
+    const double w_avg = summarize(weighted_samples).mean;
+    table.add_row({"[1, " + Table::cell(spread, 0) + "]",
+                   Table::cell(hop_avg), Table::cell(w_avg),
+                   Table::cell(hop_avg / w_avg)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nsolver impact (weighted 12x12 grid, spread 256):\n";
+  {
+    Rng rng(73);
+    const Graph g = make_weighted_grid(12, 12, rng, 1.0, 256.0);
+    Vec b = random_rhs(g.num_nodes(), rng);
+    // The production solver dispatches to the weighted variant; the ablation
+    // row below shows the chain statistics it achieves there.
+    ShortcutPaOracle oracle(g, rng);
+    LaplacianSolverOptions options;
+    options.tolerance = 1e-8;
+    options.base_size = 48;
+    DistributedLaplacianSolver solver(oracle, rng, options);
+    const LaplacianSolveReport report = solver.solve(b);
+    std::cout << "  outer iterations: " << report.outer_iterations
+              << ", PA calls: " << report.pa_calls
+              << ", rounds: " << report.local_rounds
+              << ", converged: " << (report.converged ? "yes" : "no") << "\n";
+    const auto& stats = solver.level_stats();
+    if (!stats.empty()) {
+      std::cout << "  level-0 avg stretch: " << stats[0].avg_stretch << "\n";
+    }
+  }
+  footnote(
+      "Expected shape: identical stretch at spread 1 (the variants coincide "
+      "on uniform weights), with the weighted variant's advantage growing "
+      "with the weight spread — it admits low-resistance edges first, so "
+      "heavy off-tree edges see heavy tree paths. Lower stretch means a "
+      "better-conditioned ultra-sparsifier and fewer solver iterations.");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// E21 (ablation): outer iteration scheme — flexible PCG (adaptive; the
+// default) vs preconditioned Chebyshev with power-iteration eigenbounds
+// (the scheme the KMP/[18] analyses are written for). Under *inexact* inner
+// solves the preconditioner is a slightly nonlinear, iteration-varying
+// operator: PCG adapts its search directions, while Chebyshev commits to a
+// fixed spectral window padded for safety and pays for the padding.
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "laplacian/recursive_solver.hpp"
+
+using namespace dls;
+using namespace dls::bench;
+
+int main() {
+  banner("E21 / ablation", "outer iteration: flexible PCG vs Chebyshev");
+
+  Rng gen(81);
+  struct Case {
+    const char* name;
+    Graph graph;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"grid 12x12", make_grid(12, 12)});
+  cases.push_back({"expander n=144", make_random_regular(144, 4, gen)});
+  cases.push_back({"weighted grid 10x10", make_weighted_grid(10, 10, gen)});
+
+  Table table({"topology", "outer", "iterations", "rounds", "residual",
+               "converged"});
+  for (const Case& c : cases) {
+    for (int mode = 0; mode < 2; ++mode) {
+      Rng rng(3);
+      ShortcutPaOracle oracle(c.graph, rng);
+      LaplacianSolverOptions options;
+      options.tolerance = 1e-8;
+      options.base_size = 48;
+      options.outer = mode == 0 ? OuterIteration::kFlexiblePcg
+                                : OuterIteration::kChebyshev;
+      DistributedLaplacianSolver solver(oracle, rng, options);
+      const LaplacianSolveReport report =
+          solver.solve(random_rhs(c.graph.num_nodes(), rng));
+      table.add_row({c.name, mode == 0 ? "flexible PCG" : "chebyshev",
+                     Table::cell(report.outer_iterations),
+                     Table::cell(report.local_rounds),
+                     Table::cell(report.relative_residual, 10),
+                     report.converged ? "yes" : "NO"});
+    }
+  }
+  table.print(std::cout);
+  footnote(
+      "Expected shape: both schemes converge; flexible PCG needs several "
+      "times fewer iterations because it adapts to the effective spectrum "
+      "of the inexact preconditioner, whereas Chebyshev's fixed padded "
+      "window wastes iterations — the practical reason the library defaults "
+      "to PCG even though the paper-facing analyses use Chebyshev.");
+  return 0;
+}

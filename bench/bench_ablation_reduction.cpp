@@ -1,0 +1,81 @@
+// E17 (ablation): the two realizations of Lemma 15's general-parts
+// reduction — the paper's Euler-tour simple-path splitting vs our default
+// heavy-path decomposition. Heavy paths keep the path-instance congestion
+// at exactly ρ (each part node lies on one heavy path) at the cost of
+// O(log n) sequential levels; Euler segments run in one wave but inflate
+// congestion by the tree degree of revisited nodes, which the layered
+// pipeline then pays in layers (Lemma 16).
+#include "bench_common.hpp"
+#include "congested_pa/euler_paths.hpp"
+#include "congested_pa/heavy_paths.hpp"
+#include "graph/generators.hpp"
+
+using namespace dls;
+using namespace dls::bench;
+
+int main() {
+  banner("E17 / ablation",
+         "Lemma 15 realizations: Euler-tour segments vs heavy paths");
+
+  Rng rng(61);
+  struct Case {
+    const char* name;
+    Graph graph;
+    PartCollection parts;
+  };
+  std::vector<Case> cases;
+  {
+    Graph g = make_grid(8, 8);
+    PartCollection pc = stacked_voronoi_instance(g, 4, 3, rng);
+    cases.push_back({"grid 8x8, rho=3 stacked voronoi", std::move(g),
+                     std::move(pc)});
+  }
+  {
+    Graph g = make_random_regular(64, 4, rng);
+    PartCollection pc = stacked_voronoi_instance(g, 4, 3, rng);
+    cases.push_back({"expander n=64, rho=3 stacked voronoi", std::move(g),
+                     std::move(pc)});
+  }
+  {
+    Graph g = make_star(40);
+    PartCollection pc;
+    std::vector<NodeId> all(40);
+    for (NodeId v = 0; v < 40; ++v) all[v] = v;
+    pc.parts.push_back(all);
+    pc.parts.push_back(all);
+    cases.push_back({"star n=40, rho=2 full parts", std::move(g),
+                     std::move(pc)});
+  }
+
+  Table table({"instance", "rho", "euler congestion", "euler segments",
+               "heavy-path congestion", "heavy-path levels"});
+  for (const Case& c : cases) {
+    const std::size_t rho = congestion(c.graph, c.parts);
+    const std::size_t euler_rho =
+        euler_segment_congestion(c.graph, c.parts.parts);
+    std::size_t euler_segments = 0;
+    std::uint32_t hp_levels = 0;
+    std::vector<std::size_t> hp_load(c.graph.num_nodes(), 0);
+    std::size_t hp_rho = 0;
+    for (const auto& part : c.parts.parts) {
+      euler_segments += euler_path_decomposition(c.graph, part).segments.size();
+      const HeavyPathDecomposition hpd = heavy_path_decomposition(c.graph, part);
+      hp_levels = std::max(hp_levels, hpd.max_depth + 1);
+      for (const auto& path : hpd.paths) {
+        for (NodeId v : path) hp_rho = std::max(hp_rho, ++hp_load[v]);
+      }
+    }
+    table.add_row({c.name, Table::cell(rho), Table::cell(euler_rho),
+                   Table::cell(euler_segments), Table::cell(hp_rho),
+                   Table::cell(static_cast<std::size_t>(hp_levels))});
+  }
+  table.print(std::cout);
+  footnote(
+      "Expected shape: heavy-path congestion equals the instance's rho "
+      "exactly on every case, while Euler segments inflate congestion "
+      "toward rho x tree-degree (dramatic on the star). Heavy paths pay "
+      "instead with O(log n) sequential levels. Both realize Lemma 15; the "
+      "library defaults to heavy paths because congestion multiplies the "
+      "layered graph's size (Lemma 16) while levels only add.");
+  return 0;
+}

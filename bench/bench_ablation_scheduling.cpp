@@ -1,0 +1,80 @@
+// E14 (ablation): contention-resolution policy in the message-level PA
+// engine — random per-tree priorities (the random-delay scheduling of [19],
+// our default) vs FIFO vs a fixed part order. Measured on instances with
+// heavy shared-edge contention.
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "shortcuts/partwise_aggregation.hpp"
+
+using namespace dls;
+using namespace dls::bench;
+
+int main() {
+  banner("E14 / ablation", "scheduling policy in the PA engine");
+
+  // Contention only appears when the H_i genuinely share edges, so each
+  // instance forces every part onto one global BFS tree (the baseline
+  // oracle's shortcut shape): edge load = #parts near the root.
+  Rng rng(43);
+  struct Case {
+    const char* name;
+    Graph graph;
+    PartCollection parts;
+  };
+  std::vector<Case> cases;
+  {
+    Graph g = make_grid(10, 10);
+    PartCollection pc = grid_row_partition(10, 10);
+    cases.push_back({"grid 10x10, 10 row parts", std::move(g), std::move(pc)});
+  }
+  {
+    Graph g = make_random_regular(100, 4, rng);
+    PartCollection pc = random_voronoi_partition(g, 24, rng);
+    cases.push_back({"expander n=100, 24 parts", std::move(g), std::move(pc)});
+  }
+  {
+    Graph g = make_cycle(60);
+    PartCollection pc;
+    for (NodeId i = 0; i < 30; ++i) pc.parts.push_back({i, (i + 1) % 60});
+    cases.push_back({"cycle n=60, 30 adjacent pairs", std::move(g),
+                     std::move(pc)});
+  }
+
+  Table table({"instance", "policy", "rounds", "convergecast", "broadcast",
+               "max edge load"});
+  for (const Case& c : cases) {
+    const auto values = unit_values(c.parts);
+    // Shared global-tree shortcut: every part's H_i is the same BFS tree.
+    Rng tree_rng(13);
+    const RootedSpanningTree tree = centered_bfs_tree(c.graph, tree_rng);
+    std::vector<EdgeId> tree_edges;
+    for (NodeId v = 0; v < c.graph.num_nodes(); ++v) {
+      if (tree.parent_edge[v] != kInvalidEdge) {
+        tree_edges.push_back(tree.parent_edge[v]);
+      }
+    }
+    Shortcut shared;
+    shared.h_edges.assign(c.parts.num_parts(), tree_edges);
+    for (const auto [policy, name] :
+         {std::pair{SchedulingPolicy::kRandomPriority, "random-delay"},
+          std::pair{SchedulingPolicy::kFifo, "fifo"},
+          std::pair{SchedulingPolicy::kPartOrdered, "part-ordered"}}) {
+      Rng run_rng(7);
+      const auto outcome = solve_partwise_aggregation(
+          c.graph, c.parts, values, AggregationMonoid::sum(), shared, run_rng,
+          policy);
+      table.add_row({c.name, name, Table::cell(outcome.schedule.total_rounds),
+                     Table::cell(outcome.schedule.convergecast_rounds),
+                     Table::cell(outcome.schedule.broadcast_rounds),
+                     Table::cell(outcome.schedule.max_edge_load)});
+    }
+  }
+  table.print(std::cout);
+  footnote(
+      "Expected shape: all policies finish within the O(congestion + "
+      "dilation) envelope (compare rounds with max edge load + depth); "
+      "random-delay edges out the deterministic policies where many parts "
+      "contend on shared tree edges, matching the role of [19]-style "
+      "random-delay scheduling in Proposition 6.");
+  return 0;
+}

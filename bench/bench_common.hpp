@@ -1,0 +1,49 @@
+// Shared helpers for the experiment drivers in bench/. Each binary
+// regenerates one experiment from DESIGN.md §4 and prints a self-describing
+// table; EXPERIMENTS.md records the expected shapes next to measured runs.
+#pragma once
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "linalg/vector_ops.hpp"
+#include "shortcuts/partition.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace dls::bench {
+
+inline void banner(const std::string& id, const std::string& claim) {
+  std::cout << "\n## " << id << " — " << claim << "\n\n";
+}
+
+inline void footnote(const std::string& text) { std::cout << "\n" << text << "\n"; }
+
+/// Uniform random mean-zero rhs.
+inline Vec random_rhs(std::size_t n, Rng& rng) {
+  Vec b(n);
+  for (double& v : b) v = rng.next_double() * 2.0 - 1.0;
+  project_mean_zero(b);
+  return b;
+}
+
+/// Unit values for a part collection (PA cost is value-oblivious).
+inline std::vector<std::vector<double>> unit_values(const PartCollection& pc) {
+  std::vector<std::vector<double>> values(pc.num_parts());
+  for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+    values[i].assign(pc.parts[i].size(), 1.0);
+  }
+  return values;
+}
+
+inline void print_fit(const char* label, const PowerFit& fit) {
+  std::cout << label << ": y ~ " << fit.constant << " * x^" << fit.exponent
+            << " (r2 = " << fit.r2 << ")\n";
+}
+
+}  // namespace dls::bench

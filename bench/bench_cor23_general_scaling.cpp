@@ -1,0 +1,55 @@
+// E6 (Corollary 23): on general graphs the layered pipeline costs
+// Õ(ρ·SQ(G)) — the ρ-dependence is linear because Theorem 22 keeps the
+// layered graph's shortcut quality at Õ(SQ(G)). We measure charged rounds
+// vs ρ on grids (minor-dense: Õ(ρ·δ·D)) and expanders and fit the exponent.
+#include "bench_common.hpp"
+#include "congested_pa/solver.hpp"
+#include "graph/generators.hpp"
+
+using namespace dls;
+using namespace dls::bench;
+
+int main() {
+  banner("E6 / Corollary 23",
+         "congested PA rounds on general graphs: near-linear in rho");
+
+  Rng rng(6);
+  struct Case {
+    const char* name;
+    Graph graph;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"grid 8x8 (planar)", make_grid(8, 8)});
+  cases.push_back({"expander n=64 d=4", make_random_regular(64, 4, rng)});
+
+  for (const Case& c : cases) {
+    Table table({"rho", "parts", "charged rounds", "rounds/rho", "layers"});
+    std::vector<double> xs, ys;
+    for (std::size_t rho : {1u, 2u, 4u, 6u, 8u}) {
+      const PartCollection pc = stacked_voronoi_instance(c.graph, 6, rho, rng);
+      const auto values = unit_values(pc);
+      const CongestedPaOutcome outcome = solve_congested_pa(
+          c.graph, pc, values, AggregationMonoid::sum(), rng);
+      table.add_row({Table::cell(rho), Table::cell(pc.num_parts()),
+                     Table::cell(outcome.total_rounds),
+                     Table::cell(static_cast<double>(outcome.total_rounds) /
+                                 static_cast<double>(rho)),
+                     Table::cell(outcome.max_layers)});
+      if (rho >= 2) {  // rho = 1 takes the layering-free fast path
+        xs.push_back(static_cast<double>(rho));
+        ys.push_back(static_cast<double>(outcome.total_rounds));
+      }
+    }
+    std::cout << c.name << "\n";
+    table.print(std::cout);
+    print_fit("rounds vs rho (layered regime, rho >= 2)", fit_power(xs, ys));
+    std::cout << "\n";
+  }
+  footnote(
+      "Expected shape: within the layered regime the exponent sits "
+      "noticeably below 2 (the treewidth pipeline's bound, E5) and close to "
+      "1 — layers grow like O(rho) (Lemma 16's simulation factor) but the "
+      "layered shortcut quality stays ~SQ(G) per Theorem 22, so total "
+      "rounds are near-linear in rho.");
+  return 0;
+}

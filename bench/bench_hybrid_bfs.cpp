@@ -1,0 +1,60 @@
+// E22: the raw power of the global channel — landmark-overlay BFS in HYBRID
+// vs flooding in pure CONGEST, on high-diameter topologies. This is the
+// primitive-level view of why Theorem 3 can ignore the topology: local
+// rounds scale with ball radii (n / #landmarks), not with D.
+#include "bench_common.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "sim/hybrid.hpp"
+
+using namespace dls;
+using namespace dls::bench;
+
+int main() {
+  banner("E22 / HYBRID primitive",
+         "landmark BFS rounds vs pure-CONGEST flooding");
+
+  std::cout << "cycle sweep (D = n/2):\n";
+  Table table({"n", "landmarks", "ball radius", "hybrid rounds",
+               "congest rounds", "speedup"});
+  for (const std::size_t n : {100u, 200u, 400u, 800u}) {
+    Rng rng(91);
+    const Graph g = make_cycle(n);
+    const HybridBfsResult result = hybrid_bfs_with_landmarks(g, 0, rng);
+    table.add_row(
+        {Table::cell(n), Table::cell(result.landmarks),
+         Table::cell(static_cast<std::size_t>(result.ball_radius)),
+         Table::cell(result.rounds), Table::cell(result.pure_congest_rounds),
+         Table::cell(static_cast<double>(result.pure_congest_rounds) /
+                     static_cast<double>(std::max<std::uint64_t>(result.rounds,
+                                                                 1)))});
+  }
+  table.print(std::cout);
+
+  std::cout << "\naccuracy check (grid 12x12):\n";
+  {
+    Rng rng(92);
+    const Graph g = make_grid(12, 12);
+    const HybridBfsResult result = hybrid_bfs_with_landmarks(g, 0, rng);
+    const BfsResult exact = bfs(g, 0);
+    double worst = 1.0, sum_ratio = 0.0;
+    std::size_t counted = 0;
+    for (NodeId v = 1; v < g.num_nodes(); ++v) {
+      const double ratio = static_cast<double>(result.approx_dist[v]) /
+                           static_cast<double>(exact.dist[v]);
+      worst = std::max(worst, ratio);
+      sum_ratio += ratio;
+      ++counted;
+    }
+    std::cout << "  mean stretch " << sum_ratio / static_cast<double>(counted)
+              << ", worst stretch " << worst << ", ball radius "
+              << result.ball_radius << "\n";
+  }
+  footnote(
+      "Expected shape: speedup grows with n on the cycle — hybrid rounds "
+      "track 2R + O~(1) with R ~ n / (2 sqrt n) = sqrt(n)/2 while flooding "
+      "pays D = n/2 — and the distance estimates stay within a small "
+      "stretch. The same global-channel effect gives the PA oracle its "
+      "topology-independent O(rho + log n) cost (Lemma 26, E7, E10).");
+  return 0;
+}

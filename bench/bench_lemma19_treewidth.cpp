@@ -1,0 +1,53 @@
+// E2 (Lemma 19): tw(Ĝ_ρ) ≤ ρ·tw(G) + ρ − 1. We measure heuristic treewidth
+// upper bounds of layered graphs across families and ρ and compare with the
+// lemma's bound.
+#include "bench_common.hpp"
+#include "congested_pa/layered_graph.hpp"
+#include "graph/generators.hpp"
+#include "graph/tree_decomposition.hpp"
+
+using namespace dls;
+using namespace dls::bench;
+
+int main() {
+  banner("E2 / Lemma 19", "tw(layered(G, rho)) <= rho*tw(G) + rho - 1");
+
+  Table table({"family", "n", "tw(G) ub", "rho", "tw(G_rho) measured",
+               "lemma bound", "holds"});
+  Rng rng(7);
+  struct Case {
+    const char* name;
+    Graph graph;
+    std::size_t tw;  // known treewidth
+  };
+  std::vector<Case> cases;
+  cases.push_back({"path", make_path(24), 1});
+  cases.push_back({"caterpillar", make_caterpillar(8, 2), 1});
+  cases.push_back({"cycle", make_cycle(18), 2});
+  cases.push_back({"2-tree", make_k_tree(20, 2, rng), 2});
+  cases.push_back({"3-tree", make_k_tree(16, 3, rng), 3});
+
+  for (const Case& c : cases) {
+    for (std::size_t rho : {2u, 3u, 4u, 6u}) {
+      const LayeredGraph layered(c.graph, rho);
+      // Heuristic upper bound on tw(Ĝ_ρ): best of min-degree and min-fill.
+      const std::size_t measured = std::min(
+          treewidth_upper_bound(layered.graph(), EliminationHeuristic::kMinDegree),
+          treewidth_upper_bound(layered.graph(), EliminationHeuristic::kMinFill));
+      const std::size_t bound = rho * c.tw + rho - 1;
+      table.add_row({c.name, Table::cell(c.graph.num_nodes()),
+                     Table::cell(c.tw), Table::cell(rho),
+                     Table::cell(measured), Table::cell(bound),
+                     measured <= bound ? "yes" : "heuristic slack"});
+    }
+  }
+  table.print(std::cout);
+  footnote(
+      "Expected shape: the measured column tracks rho*tw(G) (linear in rho) "
+      "and stays at or below the Lemma 19 bound. The measured value is "
+      "itself only a heuristic UPPER bound on tw(G_rho), so an occasional "
+      "'heuristic slack' row (measured a hair above the lemma bound) "
+      "reflects elimination-ordering slack, not a violated lemma. Contrast "
+      "with E3 (minor density explodes) and E4 (SQ does not grow at all).");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// E16 (paper §5 conclusion): the solver as a max-flow engine. The paper
+// notes its results "directly imply an exact O(m^{1/2+o(1)}·SQ(G))
+// algorithm for the max-flow problem via [12]"; we regenerate the shape of
+// that implication with the electrical-flow MWU scheme — approximation
+// quality vs iterations, and the per-model round costs of the whole
+// application (shortcut CONGEST vs baseline vs HYBRID).
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "laplacian/maxflow.hpp"
+
+using namespace dls;
+using namespace dls::bench;
+
+int main() {
+  banner("E16 / max-flow application",
+         "electrical-flow max flow: accuracy and per-model round costs");
+
+  std::cout << "accuracy vs iterations (weighted 7x7 grid, corner-to-corner):\n";
+  {
+    Rng gen(51);
+    const Graph g = make_weighted_grid(7, 7, gen, 1.0, 8.0);
+    Table table({"iterations", "approx ratio", "PA calls", "local rounds"});
+    for (int iters : {1, 4, 12, 32}) {
+      Rng rng(5);
+      ElectricalMaxFlowOptions options;
+      options.iterations = iters;
+      const auto result = approx_max_flow_electrical(
+          g, 0, static_cast<NodeId>(g.num_nodes() - 1), rng,
+          MaxFlowModel::kShortcut, options);
+      table.add_row({Table::cell(static_cast<long long>(iters)),
+                     Table::cell(result.approximation),
+                     Table::cell(result.pa_calls),
+                     Table::cell(result.local_rounds)});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nper-model cost (unit 12x12 grid, 12 iterations, deep chain):\n";
+  {
+    const Graph g = make_grid(12, 12);
+    Table table({"model", "approx ratio", "local rounds", "global rounds"});
+    for (const auto [model, name] :
+         {std::pair{MaxFlowModel::kShortcut, "CONGEST (shortcut)"},
+          std::pair{MaxFlowModel::kBaseline, "CONGEST (baseline)"},
+          std::pair{MaxFlowModel::kNcc, "HYBRID (ncc)"}}) {
+      Rng rng(5);
+      ElectricalMaxFlowOptions options;
+      options.iterations = 12;
+      options.base_size = 24;  // force minor levels so the oracles differ
+      options.max_levels = 3;  // fixed-depth chain as in E8/E10
+      options.inner_iterations = 4;
+      const auto result = approx_max_flow_electrical(
+          g, 0, static_cast<NodeId>(g.num_nodes() - 1), rng, model, options);
+      table.add_row({name, Table::cell(result.approximation),
+                     Table::cell(result.local_rounds),
+                     Table::cell(result.global_rounds)});
+    }
+    table.print(std::cout);
+  }
+  footnote(
+      "Expected shape: the approximation ratio climbs toward 1 with MWU "
+      "iterations; total rounds are ~iterations x (solver cost), so the "
+      "per-model ordering mirrors E8/E10 — the application inherits the "
+      "solver's universal-optimality profile, which is the point of §5.");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// E15 (Theorem 25): shortcut quality is characterized (up to polylog) by the
+// worst-case completion time of any-to-any-cast over node-disjointly
+// connectable source/sink sets. We construct hard disjointly-connectable
+// instances per family, route them (flow matching + congestion-aware
+// unicast), simulate the store-and-forward schedule, and compare the
+// measured completion times against the family's SQ estimate.
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "shortcuts/quality_estimator.hpp"
+#include "shortcuts/unicast.hpp"
+
+using namespace dls;
+using namespace dls::bench;
+
+namespace {
+
+struct Instance {
+  std::vector<NodeId> sources;
+  std::vector<NodeId> sinks;
+};
+
+Instance grid_left_right(std::size_t side) {
+  Instance inst;
+  for (std::size_t r = 0; r < side; ++r) {
+    inst.sources.push_back(static_cast<NodeId>(r * side));
+    inst.sinks.push_back(static_cast<NodeId>(r * side + side - 1));
+  }
+  return inst;
+}
+
+Instance random_pairs(const Graph& g, std::size_t k, Rng& rng) {
+  Instance inst;
+  const auto perm = rng.permutation(g.num_nodes());
+  for (std::size_t i = 0; i < k && 2 * i + 1 < perm.size(); ++i) {
+    inst.sources.push_back(static_cast<NodeId>(perm[2 * i]));
+    inst.sinks.push_back(static_cast<NodeId>(perm[2 * i + 1]));
+  }
+  return inst;
+}
+
+}  // namespace
+
+int main() {
+  banner("E15 / Theorem 25",
+         "any-to-any-cast completion time tracks the SQ estimate");
+
+  Rng rng(47);
+  Table table({"family", "k", "quality (max(c,d))", "routed rounds",
+               "SQ~(G)", "rounds/SQ~"});
+  struct Case {
+    const char* name;
+    Graph graph;
+    Instance inst;
+  };
+  std::vector<Case> cases;
+  {
+    const std::size_t side = 10;
+    Graph g = make_grid(side, side);
+    cases.push_back({"grid 10x10 (left->right)", std::move(g),
+                     grid_left_right(side)});
+  }
+  {
+    Graph g = make_random_regular(100, 4, rng);
+    Instance inst = random_pairs(g, 40, rng);
+    cases.push_back({"expander n=100 (random 40 pairs)", std::move(g),
+                     std::move(inst)});
+  }
+  {
+    // Clustered sides are the cycle's worst case even under free matching:
+    // every pairing must cross ~n/2 hops through two directions.
+    Graph g = make_cycle(100);
+    Instance inst;
+    for (std::size_t i = 0; i < 10; ++i) {
+      inst.sources.push_back(static_cast<NodeId>(i));
+      inst.sinks.push_back(static_cast<NodeId>(50 + i));
+    }
+    cases.push_back({"cycle n=100 (clustered sides)", std::move(g),
+                     std::move(inst)});
+  }
+
+  for (Case& c : cases) {
+    const UnicastSolution solution =
+        any_to_any_cast(c.graph, c.inst.sources, c.inst.sinks, rng);
+    const std::uint64_t rounds =
+        simulate_packet_routing(c.graph, solution.paths, rng);
+    const SqEstimate sq = estimate_shortcut_quality(c.graph, rng);
+    table.add_row({c.name, Table::cell(c.inst.sources.size()),
+                   Table::cell(solution.quality()), Table::cell(rounds),
+                   Table::cell(sq.quality),
+                   Table::cell(static_cast<double>(rounds) /
+                               static_cast<double>(std::max<std::size_t>(
+                                   sq.quality, 1)))});
+  }
+  table.print(std::cout);
+  footnote(
+      "Expected shape: each instance's routed rounds stay BELOW a small "
+      "multiple of SQ~ (Theorem 25's upper direction: any disjointly "
+      "connectable any-to-any-cast completes in O~(SQ) rounds), and the "
+      "worst-case instances per family (grid left->right, cycle clustered) "
+      "push rounds/SQ~ toward a constant — those are exactly the instances "
+      "whose supremum defines SQ in the tau = Theta~(SQ(G)) equivalence.");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// E8 (Theorem 2): the same Laplacian solver run against the shortcut PA
+// oracle (this paper) vs the global-BFS-tree baseline oracle ([18]-style
+// existential behaviour) across network families. The paper's claim is a
+// per-oracle-call gap — Õ(SQ(G)) vs Θ̃(√n + D)-type costs — so we report
+// both total rounds and rounds-per-PA-call, on a family where SQ ≪ √n
+// (expander, D = O(log n)) and one where SQ = Θ̃(D) = Θ̃(√n) (grid).
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "laplacian/recursive_solver.hpp"
+
+using namespace dls;
+using namespace dls::bench;
+
+namespace {
+
+struct RunResult {
+  std::uint64_t rounds = 0;
+  std::uint64_t pa_calls = 0;
+  bool converged = false;
+};
+
+RunResult run(const Graph& g, bool baseline, std::uint64_t seed) {
+  Rng rng(seed);
+  std::unique_ptr<CongestedPaOracle> oracle;
+  if (baseline) {
+    oracle = std::make_unique<BaselinePaOracle>(g, rng);
+  } else {
+    oracle = std::make_unique<ShortcutPaOracle>(g, rng);
+  }
+  LaplacianSolverOptions options;
+  options.tolerance = 1e-6;
+  // Fixed-depth chains across the sweep: every size runs top level →
+  // sparsified level → Cholesky base, so the only variable is the per-call
+  // oracle cost (the paper's subject), not the chain shape.
+  options.base_size = 24;
+  options.max_levels = 3;
+  options.inner_iterations = 4;
+  options.offtree_fraction = 0.3;
+  DistributedLaplacianSolver solver(*oracle, rng, options);
+  const LaplacianSolveReport report = solver.solve(random_rhs(g.num_nodes(), rng));
+  return {report.local_rounds, report.pa_calls, report.converged};
+}
+
+}  // namespace
+
+int main() {
+  banner("E8 / Theorem 2",
+         "solver rounds: shortcut oracle vs existential baseline oracle");
+
+  struct Family {
+    const char* name;
+    std::vector<Graph> graphs;
+  };
+  Rng gen_rng(13);
+  std::vector<Family> families;
+  families.push_back({"expander (d=4)",
+                      {make_random_regular(64, 4, gen_rng),
+                       make_random_regular(128, 4, gen_rng),
+                       make_random_regular(256, 4, gen_rng),
+                       make_random_regular(512, 4, gen_rng)}});
+  families.push_back({"grid",
+                      {make_grid(8, 8), make_grid(12, 12), make_grid(16, 16),
+                       make_grid(20, 20)}});
+
+  for (const Family& family : families) {
+    std::cout << family.name << ":\n";
+    Table table({"n", "shortcut rounds", "baseline rounds", "speedup",
+                 "shortcut rounds/call", "baseline rounds/call", "conv"});
+    std::vector<double> xs, fast_ys, slow_ys;
+    for (const Graph& g : family.graphs) {
+      const RunResult fast = run(g, false, 42);
+      const RunResult slow = run(g, true, 42);
+      table.add_row(
+          {Table::cell(g.num_nodes()), Table::cell(fast.rounds),
+           Table::cell(slow.rounds),
+           Table::cell(static_cast<double>(slow.rounds) /
+                       static_cast<double>(std::max<std::uint64_t>(fast.rounds, 1))),
+           Table::cell(static_cast<double>(fast.rounds) /
+                       static_cast<double>(std::max<std::uint64_t>(fast.pa_calls, 1))),
+           Table::cell(static_cast<double>(slow.rounds) /
+                       static_cast<double>(std::max<std::uint64_t>(slow.pa_calls, 1))),
+           (fast.converged && slow.converged) ? "both" : "CHECK"});
+      xs.push_back(static_cast<double>(g.num_nodes()));
+      fast_ys.push_back(static_cast<double>(fast.rounds));
+      slow_ys.push_back(static_cast<double>(slow.rounds));
+    }
+    table.print(std::cout);
+    print_fit("shortcut rounds vs n", fit_power(xs, fast_ys));
+    print_fit("baseline rounds vs n", fit_power(xs, slow_ys));
+    std::cout << "\n";
+  }
+  footnote(
+      "Expected shape: on the expander family the shortcut oracle wins "
+      "clearly and its rounds-per-call stay ~polylog while the baseline's "
+      "grow with n (it pays Theta(D + #parts) per call). On grids "
+      "SQ = Theta~(D) = Theta~(sqrt(n)), so both scale similarly and the "
+      "gap narrows — matching the theory's prediction that the win is "
+      "topology-dependent (universal optimality).");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// E10 (Theorem 3): in the HYBRID model (CONGEST + NCC) the solver costs
+// n^{o(1)}·log(1/ε) rounds on ANY topology — even ones whose CONGEST
+// complexity is Θ̃(√n). With the chain depth pinned (as in E8) the
+// per-PA-call cost is the model's contribution: O(ρ + log n) global rounds
+// per call, flat across topologies, vs the Θ̃(√n/D-sensitive) local costs
+// of pure CONGEST.
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "laplacian/recursive_solver.hpp"
+
+using namespace dls;
+using namespace dls::bench;
+
+int main() {
+  banner("E10 / Theorem 3",
+         "HYBRID solver: per-call global cost is topology-independent");
+
+  Rng gen_rng(31);
+  struct Family {
+    const char* name;
+    std::vector<Graph> graphs;
+  };
+  std::vector<Family> families;
+  families.push_back({"grid",
+                      {make_grid(8, 8), make_grid(12, 12), make_grid(16, 16),
+                       make_grid(20, 20)}});
+  families.push_back({"expander (d=4)",
+                      {make_random_regular(64, 4, gen_rng),
+                       make_random_regular(144, 4, gen_rng),
+                       make_random_regular(256, 4, gen_rng),
+                       make_random_regular(400, 4, gen_rng)}});
+
+  for (const Family& family : families) {
+    std::cout << family.name << ":\n";
+    Table table({"n", "hybrid rounds", "global rounds", "PA calls",
+                 "global rounds/call", "conv"});
+    std::vector<double> xs, ys;
+    for (const Graph& g : family.graphs) {
+      Rng rng(57);
+      NccPaOracle oracle(g, rng);
+      LaplacianSolverOptions options;
+      options.tolerance = 1e-6;
+      options.base_size = 24;
+      options.max_levels = 3;
+      options.inner_iterations = 4;
+      options.offtree_fraction = 0.3;
+      DistributedLaplacianSolver solver(oracle, rng, options);
+      const LaplacianSolveReport report =
+          solver.solve(random_rhs(g.num_nodes(), rng));
+      table.add_row(
+          {Table::cell(g.num_nodes()), Table::cell(report.hybrid_rounds),
+           Table::cell(report.global_rounds), Table::cell(report.pa_calls),
+           Table::cell(static_cast<double>(report.global_rounds) /
+                       static_cast<double>(std::max<std::uint64_t>(
+                           report.pa_calls, 1))),
+           report.converged ? "yes" : "NO"});
+      xs.push_back(static_cast<double>(g.num_nodes()));
+      ys.push_back(static_cast<double>(report.global_rounds) /
+                   static_cast<double>(std::max<std::uint64_t>(report.pa_calls, 1)));
+    }
+    table.print(std::cout);
+    print_fit("global rounds per PA call vs n", fit_power(xs, ys));
+    std::cout << "\n";
+  }
+  footnote(
+      "Expected shape: global-rounds-per-call grows ~logarithmically "
+      "(fit exponent near 0) and is nearly identical on grids and "
+      "expanders — the NCC oracle's O(rho + log n) cost (Lemma 26) does not "
+      "see the topology, which is exactly why Theorem 3 holds for ANY "
+      "graph while pure-CONGEST costs split by SQ(G) (compare E8).");
+  return 0;
+}

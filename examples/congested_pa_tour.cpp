@@ -1,0 +1,94 @@
+// A guided tour of the paper's core pipeline on its own flagship instance:
+// the 2-congested diagonal-stripe problem of Observation 14 / Figure 1.
+// Prints each stage — the overlap structure, the heavy-path decomposition,
+// the occurrence-multigraph colouring, the layered lift, and the final
+// aggregation — with its measured cost.
+//
+//   ./congested_pa_tour [--side 8] [--seed 3]
+#include <iostream>
+#include <set>
+
+#include "congested_pa/heavy_paths.hpp"
+#include "congested_pa/solver.hpp"
+#include "graph/generators.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dls;
+  const Flags flags(argc, argv);
+  const std::size_t side = static_cast<std::size_t>(flags.get_int("side", 8));
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 3)));
+
+  const Graph g = make_grid(side, side);
+  const PartCollection pc = figure1_diagonal_instance(side);
+  std::cout << "Stage 0 — the instance (Observation 14 / Figure 1)\n"
+            << "  network: " << g.describe() << "\n"
+            << "  parts:   " << pc.num_parts()
+            << " diagonal stripes, congestion rho = " << congestion(g, pc)
+            << "\n";
+  {
+    std::vector<std::vector<std::uint32_t>> parts_of(g.num_nodes());
+    for (std::uint32_t i = 0; i < pc.num_parts(); ++i) {
+      for (NodeId v : pc.parts[i]) parts_of[v].push_back(i);
+    }
+    std::set<std::pair<std::uint32_t, std::uint32_t>> pairs;
+    for (const auto& list : parts_of) {
+      for (std::size_t a = 0; a < list.size(); ++a) {
+        for (std::size_t b = a + 1; b < list.size(); ++b) {
+          pairs.insert({list[a], list[b]});
+        }
+      }
+    }
+    std::cout << "  " << pairs.size()
+              << " part pairs share a node -> no reduction to few "
+                 "1-congested instances exists\n\n";
+  }
+
+  std::cout << "Stage 1 — heavy-path decomposition (our Lemma 15 realization)\n";
+  {
+    std::uint32_t max_depth = 0;
+    std::size_t total_paths = 0;
+    for (const auto& part : pc.parts) {
+      const HeavyPathDecomposition hpd = heavy_path_decomposition(g, part);
+      max_depth = std::max(max_depth, hpd.max_depth);
+      total_paths += hpd.paths.size();
+    }
+    std::cout << "  " << total_paths << " heavy paths across all parts, "
+              << (max_depth + 1)
+              << " depth level(s) -> that many path-restricted sweeps up "
+                 "and down\n\n";
+  }
+
+  std::cout << "Stage 2+3 — colour occurrences (Lemma 17), lift into the "
+               "layered graph (Lemma 18), aggregate (Prop. 6), charge "
+               "simulation (Lemma 16)\n";
+  std::vector<std::vector<double>> values(pc.num_parts());
+  std::vector<double> expected(pc.num_parts(), 0.0);
+  for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+    for (std::size_t j = 0; j < pc.parts[i].size(); ++j) {
+      const double v = rng.next_double();
+      values[i].push_back(v);
+      expected[i] += v;
+    }
+  }
+  const CongestedPaOutcome outcome =
+      solve_congested_pa(g, pc, values, AggregationMonoid::sum(), rng);
+  std::cout << "  layers used (= colours): " << outcome.max_layers
+            << ", phases: " << outcome.phases
+            << ", total charged rounds: " << outcome.total_rounds << "\n\n";
+
+  std::cout << "Ledger breakdown:\n";
+  Table ledger({"phase", "local rounds"});
+  for (const LedgerEntry& e : outcome.ledger.entries()) {
+    ledger.add_row({e.label, Table::cell(e.local_rounds)});
+  }
+  ledger.print(std::cout);
+
+  double worst = 0.0;
+  for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+    worst = std::max(worst, std::abs(outcome.results[i] - expected[i]));
+  }
+  std::cout << "\nworst aggregation error vs sequential fold: " << worst << "\n";
+  return worst < 1e-9 ? 0 : 1;
+}

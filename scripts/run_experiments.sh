@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Rebuild everything, run the full test suite and every experiment, and
+# record the outputs EXPERIMENTS.md refers to. Run from the repository root.
+set -euo pipefail
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build -j"$(nproc)" 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then "$b"; fi
+done 2>&1 | tee bench_output.txt
+echo "Done: test_output.txt, bench_output.txt"

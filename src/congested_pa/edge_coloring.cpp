@@ -1,0 +1,142 @@
+#include "congested_pa/edge_coloring.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace dls {
+
+std::size_t multigraph_max_degree(std::size_t num_nodes,
+                                  const std::vector<MultiEdge>& edges) {
+  std::vector<std::size_t> degree(num_nodes, 0);
+  std::size_t best = 0;
+  for (const MultiEdge& e : edges) {
+    DLS_REQUIRE(e.u < num_nodes && e.v < num_nodes, "edge endpoint out of range");
+    DLS_REQUIRE(e.u != e.v, "self-loops not supported");
+    best = std::max({best, ++degree[e.u], ++degree[e.v]});
+  }
+  return best;
+}
+
+bool is_proper_edge_coloring(std::size_t num_nodes,
+                             const std::vector<MultiEdge>& edges,
+                             const std::vector<std::uint32_t>& colors) {
+  if (colors.size() != edges.size()) return false;
+  std::vector<std::unordered_set<std::uint32_t>> used(num_nodes);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (!used[edges[i].u].insert(colors[i]).second) return false;
+    if (!used[edges[i].v].insert(colors[i]).second) return false;
+  }
+  return true;
+}
+
+EdgeColoring color_multigraph_greedy(std::size_t num_nodes,
+                                     const std::vector<MultiEdge>& edges) {
+  EdgeColoring result;
+  result.colors.assign(edges.size(), static_cast<std::uint32_t>(-1));
+  if (edges.empty()) return result;
+  const std::size_t delta = multigraph_max_degree(num_nodes, edges);
+  result.num_colors = 2 * delta - 1;  // greedy never needs more
+  std::vector<std::unordered_set<std::uint32_t>> used(num_nodes);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    std::uint32_t color = 0;
+    while (used[edges[i].u].count(color) > 0 || used[edges[i].v].count(color) > 0) {
+      ++color;
+    }
+    DLS_ASSERT(color < result.num_colors, "greedy exceeded 2*delta - 1 colours");
+    result.colors[i] = color;
+    used[edges[i].u].insert(color);
+    used[edges[i].v].insert(color);
+    result.max_color_used =
+        std::max<std::size_t>(result.max_color_used, color + 1);
+  }
+  DLS_ASSERT(is_proper_edge_coloring(num_nodes, edges, result.colors),
+             "greedy colouring postcondition failed");
+  return result;
+}
+
+EdgeColoring color_multigraph(std::size_t num_nodes,
+                              const std::vector<MultiEdge>& edges, Rng& rng,
+                              double palette_factor) {
+  EdgeColoring result;
+  result.colors.assign(edges.size(), static_cast<std::uint32_t>(-1));
+  if (edges.empty()) {
+    result.num_colors = 0;
+    return result;
+  }
+  const std::size_t delta = multigraph_max_degree(num_nodes, edges);
+  result.num_colors = std::max<std::size_t>(
+      delta + 1,
+      static_cast<std::size_t>(std::ceil(palette_factor * static_cast<double>(delta))));
+
+  // Incidence lists: edges per node.
+  std::vector<std::vector<std::uint32_t>> incident(num_nodes);
+  for (std::uint32_t i = 0; i < edges.size(); ++i) {
+    incident[edges[i].u].push_back(i);
+    incident[edges[i].v].push_back(i);
+  }
+  std::vector<std::unordered_set<std::uint32_t>> fixed(num_nodes);
+
+  std::vector<std::uint32_t> active(edges.size());
+  for (std::uint32_t i = 0; i < edges.size(); ++i) active[i] = i;
+
+  std::vector<std::uint32_t> proposal(edges.size(), static_cast<std::uint32_t>(-1));
+  const std::uint64_t round_limit =
+      64 * (64 + static_cast<std::uint64_t>(
+                     std::log2(static_cast<double>(edges.size() + num_nodes + 2))));
+  while (!active.empty()) {
+    ++result.rounds;
+    DLS_ASSERT(result.rounds <= round_limit,
+               "edge colouring failed to converge — palette too tight?");
+    // Proposal step: uniform colour from the available palette.
+    for (std::uint32_t i : active) {
+      std::uint32_t color;
+      int tries = 0;
+      do {
+        color = static_cast<std::uint32_t>(rng.next_below(result.num_colors));
+        DLS_ASSERT(++tries < 4096, "no available colour — degree bound broken");
+      } while (fixed[edges[i].u].count(color) > 0 ||
+               fixed[edges[i].v].count(color) > 0);
+      proposal[i] = color;
+    }
+    // Conflict detection: an edge keeps its colour iff no incident active
+    // edge proposed the same colour.
+    std::vector<std::uint32_t> next_active;
+    for (std::uint32_t i : active) {
+      bool conflict = false;
+      for (NodeId endpoint : {edges[i].u, edges[i].v}) {
+        for (std::uint32_t j : incident[endpoint]) {
+          if (j != i && proposal[j] == proposal[i] &&
+              result.colors[j] == static_cast<std::uint32_t>(-1)) {
+            conflict = true;
+            break;
+          }
+        }
+        if (conflict) break;
+      }
+      if (!conflict) {
+        result.colors[i] = proposal[i];
+      } else {
+        next_active.push_back(i);
+      }
+    }
+    // Commit fixed colours (after the simultaneous round).
+    for (std::uint32_t i : active) {
+      if (result.colors[i] != static_cast<std::uint32_t>(-1)) {
+        fixed[edges[i].u].insert(result.colors[i]);
+        fixed[edges[i].v].insert(result.colors[i]);
+        result.max_color_used =
+            std::max<std::size_t>(result.max_color_used, result.colors[i] + 1);
+      }
+    }
+    active = std::move(next_active);
+    for (std::uint32_t i : active) proposal[i] = static_cast<std::uint32_t>(-1);
+  }
+  DLS_ASSERT(is_proper_edge_coloring(num_nodes, edges, result.colors),
+             "colouring postcondition failed");
+  return result;
+}
+
+}  // namespace dls

@@ -1,0 +1,129 @@
+#include "congested_pa/euler_paths.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/algorithms.hpp"
+
+namespace dls {
+
+EulerPathDecomposition euler_path_decomposition(const Graph& g,
+                                                const std::vector<NodeId>& part) {
+  DLS_REQUIRE(!part.empty(), "empty part");
+  const InducedSubgraph sub = induced_subgraph(g, part);
+  DLS_REQUIRE(is_connected(sub.graph), "part does not induce a connected subgraph");
+
+  EulerPathDecomposition epd;
+  epd.part_nodes = part;
+  if (part.size() == 1) {
+    epd.segments.push_back({part[0]});
+    epd.first_occurrence.assign(1, {0, 0});
+    return epd;
+  }
+  const std::vector<EdgeId> tree = bfs_tree_edges(sub.graph, 0);
+  const std::vector<NodeId> tour_local = euler_tour(sub.graph, tree, 0);
+
+  // Greedy split into maximal simple segments; each new segment starts at
+  // the previous segment's last node (the shared chain node).
+  std::vector<NodeId> tour;
+  tour.reserve(tour_local.size());
+  for (NodeId v : tour_local) tour.push_back(sub.to_original[v]);
+
+  std::unordered_map<NodeId, std::uint32_t> first_seg, first_off;
+  std::vector<NodeId> current{tour[0]};
+  std::unordered_set<NodeId> on_current{tour[0]};
+  auto note_first = [&](NodeId v, std::uint32_t seg, std::uint32_t off) {
+    if (first_seg.find(v) == first_seg.end()) {
+      first_seg[v] = seg;
+      first_off[v] = off;
+    }
+  };
+  note_first(tour[0], 0, 0);
+  for (std::size_t i = 1; i < tour.size(); ++i) {
+    const NodeId v = tour[i];
+    if (on_current.count(v) > 0) {
+      // Close the segment; the next one starts at the current tail.
+      const NodeId tail = current.back();
+      epd.segments.push_back(std::move(current));
+      current = {tail};
+      on_current.clear();
+      on_current.insert(tail);
+      if (v == tail) continue;  // tour revisits the tail itself
+    }
+    note_first(v, static_cast<std::uint32_t>(epd.segments.size()),
+               static_cast<std::uint32_t>(current.size()));
+    current.push_back(v);
+    on_current.insert(v);
+  }
+  if (current.size() > 1 || epd.segments.empty()) {
+    epd.segments.push_back(std::move(current));
+  }
+  epd.first_occurrence.reserve(part.size());
+  for (NodeId v : part) {
+    const auto it = first_seg.find(v);
+    DLS_ASSERT(it != first_seg.end(), "tour missed a part node");
+    epd.first_occurrence.push_back({it->second, first_off[v]});
+  }
+  return epd;
+}
+
+bool is_valid_euler_decomposition(const Graph& g,
+                                  const std::vector<NodeId>& part,
+                                  const EulerPathDecomposition& epd) {
+  if (epd.part_nodes != part) return false;
+  if (epd.first_occurrence.size() != part.size()) return false;
+  auto adjacent = [&](NodeId a, NodeId b) {
+    for (const Adjacency& adj : g.neighbors(a)) {
+      if (adj.neighbor == b) return true;
+    }
+    return false;
+  };
+  for (std::size_t s = 0; s < epd.segments.size(); ++s) {
+    const auto& seg = epd.segments[s];
+    if (seg.empty()) return false;
+    std::unordered_set<NodeId> seen;
+    for (NodeId v : seg) {
+      if (!seen.insert(v).second) return false;  // not simple
+    }
+    for (std::size_t i = 0; i + 1 < seg.size(); ++i) {
+      if (!adjacent(seg[i], seg[i + 1])) return false;
+    }
+    // Chaining: each segment starts at the previous segment's tail.
+    if (s > 0 && seg.front() != epd.segments[s - 1].back()) return false;
+  }
+  // Coverage + first-occurrence consistency.
+  std::unordered_set<NodeId> part_set(part.begin(), part.end());
+  std::unordered_set<NodeId> covered;
+  for (const auto& seg : epd.segments) {
+    for (NodeId v : seg) {
+      if (part_set.count(v) == 0) return false;
+      covered.insert(v);
+    }
+  }
+  if (covered.size() != part_set.size()) return false;
+  for (std::size_t i = 0; i < part.size(); ++i) {
+    const auto [s, o] = epd.first_occurrence[i];
+    if (s >= epd.segments.size()) return false;
+    if (o >= epd.segments[s].size()) return false;
+    if (epd.segments[s][o] != part[i]) return false;
+  }
+  return true;
+}
+
+std::size_t euler_segment_congestion(
+    const Graph& g, const std::vector<std::vector<NodeId>>& parts) {
+  std::vector<std::size_t> load(g.num_nodes(), 0);
+  std::size_t worst = 0;
+  for (const auto& part : parts) {
+    const EulerPathDecomposition epd = euler_path_decomposition(g, part);
+    for (const auto& seg : epd.segments) {
+      for (NodeId v : seg) {
+        worst = std::max(worst, ++load[v]);
+      }
+    }
+  }
+  return worst;
+}
+
+}  // namespace dls

@@ -1,0 +1,48 @@
+// Euler-tour path decomposition of parts — the mechanism in the paper's own
+// proof of Lemma 15 ("this is first established under the assumption that
+// individual parts correspond to simple paths, and then we extend our
+// results to general parts by following [29]").
+//
+// A part's spanning-tree Euler tour (each tree edge walked twice) is split
+// greedily into maximal simple-path segments; consecutive segments share
+// their cut node, so segment aggregates can be chained back into the part
+// aggregate. The catch — and the reason the library's default reduction
+// uses heavy paths instead — is congestion inflation: a node of tree-degree
+// d appears d times on the tour, so the segment instance's congestion can
+// reach Σ_parts deg_T(v) instead of ρ. `euler_path_decomposition` exposes
+// both the segments and the measured inflation so the trade-off is
+// quantified (experiment E17) rather than assumed.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dls {
+
+struct EulerPathDecomposition {
+  /// Maximal simple-path segments covering the part's Euler tour in order;
+  /// consecutive segments share exactly their boundary node.
+  std::vector<std::vector<NodeId>> segments;
+  /// First tour occurrence of each part node: (segment, offset). Aggregation
+  /// assigns the node's input there and identities elsewhere.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> first_occurrence;
+  std::vector<NodeId> part_nodes;  // aligned with first_occurrence
+};
+
+/// Decomposes G[part]'s BFS-tree Euler tour into simple path segments.
+EulerPathDecomposition euler_path_decomposition(const Graph& g,
+                                                const std::vector<NodeId>& part);
+
+/// Structural validation: segments simple + consecutive-adjacent, chained at
+/// shared endpoints, first occurrences consistent, all part nodes covered.
+bool is_valid_euler_decomposition(const Graph& g,
+                                  const std::vector<NodeId>& part,
+                                  const EulerPathDecomposition& epd);
+
+/// The congestion of the segment multiset produced by decomposing every
+/// part of a collection (the inflation Lemma 15 has to pay for).
+std::size_t euler_segment_congestion(const Graph& g,
+                                     const std::vector<std::vector<NodeId>>& parts);
+
+}  // namespace dls

@@ -1,0 +1,114 @@
+#include "congested_pa/heavy_paths.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <set>
+
+#include "graph/algorithms.hpp"
+
+namespace dls {
+
+HeavyPathDecomposition heavy_path_decomposition(const Graph& g,
+                                                const std::vector<NodeId>& part) {
+  DLS_REQUIRE(!part.empty(), "empty part");
+  const InducedSubgraph sub = induced_subgraph(g, part);
+  DLS_REQUIRE(is_connected(sub.graph), "part does not induce a connected subgraph");
+  const std::size_t k = sub.graph.num_nodes();
+
+  // BFS spanning tree of the induced subgraph, rooted at local node 0.
+  const BfsResult tree = bfs(sub.graph, 0);
+  std::vector<std::vector<NodeId>> children(k);
+  for (NodeId v = 0; v < k; ++v) {
+    if (tree.parent[v] != kInvalidNode) children[tree.parent[v]].push_back(v);
+  }
+  // Subtree sizes bottom-up (process in decreasing BFS distance).
+  std::vector<NodeId> order(k);
+  for (NodeId v = 0; v < k; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(),
+            [&](NodeId a, NodeId b) { return tree.dist[a] > tree.dist[b]; });
+  std::vector<std::uint32_t> size(k, 1);
+  for (NodeId v : order) {
+    if (tree.parent[v] != kInvalidNode) size[tree.parent[v]] += size[v];
+  }
+  // Heavy child per node.
+  std::vector<NodeId> heavy(k, kInvalidNode);
+  for (NodeId v = 0; v < k; ++v) {
+    std::uint32_t best = 0;
+    for (NodeId c : children[v]) {
+      if (size[c] > best) {
+        best = size[c];
+        heavy[v] = c;
+      }
+    }
+  }
+
+  HeavyPathDecomposition hpd;
+  // Walk heavy chains from each chain head. A node is a head iff it is the
+  // root or not its parent's heavy child.
+  std::vector<std::uint32_t> path_of(k, static_cast<std::uint32_t>(-1));
+  std::deque<std::pair<NodeId, std::uint32_t>> heads;  // (local head, depth)
+  heads.push_back({0, 0});
+  while (!heads.empty()) {
+    const auto [head, d] = heads.front();
+    heads.pop_front();
+    const std::uint32_t path_index = static_cast<std::uint32_t>(hpd.paths.size());
+    std::vector<NodeId> path_nodes;
+    NodeId cur = head;
+    while (cur != kInvalidNode) {
+      path_of[cur] = path_index;
+      path_nodes.push_back(sub.to_original[cur]);
+      for (NodeId c : children[cur]) {
+        if (c != heavy[cur]) heads.push_back({c, d + 1});
+      }
+      cur = heavy[cur];
+    }
+    hpd.paths.push_back(std::move(path_nodes));
+    hpd.attach.push_back(head == 0 ? kInvalidNode
+                                   : sub.to_original[tree.parent[head]]);
+    hpd.depth.push_back(d);
+    hpd.max_depth = std::max(hpd.max_depth, d);
+  }
+  return hpd;
+}
+
+bool is_valid_heavy_path_decomposition(const Graph& g,
+                                       const std::vector<NodeId>& part,
+                                       const HeavyPathDecomposition& hpd) {
+  // Exact cover.
+  std::set<NodeId> part_set(part.begin(), part.end());
+  std::set<NodeId> covered;
+  for (const auto& path : hpd.paths) {
+    for (NodeId v : path) {
+      if (part_set.count(v) == 0) return false;
+      if (!covered.insert(v).second) return false;
+    }
+  }
+  if (covered.size() != part_set.size()) return false;
+  // Consecutive adjacency within each path, and attach adjacency.
+  auto adjacent = [&](NodeId a, NodeId b) {
+    for (const Adjacency& adj : g.neighbors(a)) {
+      if (adj.neighbor == b) return true;
+    }
+    return false;
+  };
+  for (std::size_t i = 0; i < hpd.paths.size(); ++i) {
+    const auto& path = hpd.paths[i];
+    for (std::size_t j = 0; j + 1 < path.size(); ++j) {
+      if (!adjacent(path[j], path[j + 1])) return false;
+    }
+    if (hpd.attach[i] != kInvalidNode && !adjacent(hpd.attach[i], path.front())) {
+      return false;
+    }
+    if ((hpd.attach[i] == kInvalidNode) != (hpd.depth[i] == 0)) return false;
+  }
+  // Depth bound: heavy-path depth ≤ ⌈log₂(|part|+1)⌉.
+  const std::uint32_t bound = static_cast<std::uint32_t>(
+      std::ceil(std::log2(static_cast<double>(part.size()) + 1.0)));
+  for (std::uint32_t d : hpd.depth) {
+    if (d > bound) return false;
+  }
+  return true;
+}
+
+}  // namespace dls

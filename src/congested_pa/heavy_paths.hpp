@@ -1,0 +1,40 @@
+// Heavy-path decomposition of a part's spanning tree — the machinery behind
+// our implementation of Lemma 15 (general parts → path-restricted
+// instances). Every node of the part lies on exactly one heavy path; the
+// head of each non-root path hangs off a node of a path with strictly
+// smaller path-depth, and the path-depth is O(log |part|). Aggregating a
+// part therefore takes one path-restricted PA call per depth level going up
+// (deposit at the attach node between levels) and one per level going down.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dls {
+
+struct HeavyPathDecomposition {
+  /// Each path is a node sequence from head (closest to the root) to tail;
+  /// consecutive nodes are adjacent in G. Every part node appears exactly once.
+  std::vector<std::vector<NodeId>> paths;
+  /// For each path: the parent (in the part's spanning tree) of its head, or
+  /// kInvalidNode for the root path. The attach node lies on a path of
+  /// strictly smaller depth and is adjacent to the head in G.
+  std::vector<NodeId> attach;
+  /// Path-depth: 0 for the root path; child path depth = attach path depth+1.
+  std::vector<std::uint32_t> depth;
+  std::uint32_t max_depth = 0;
+};
+
+/// Decomposes the BFS spanning tree of G[part] (part must induce a connected
+/// subgraph). Heavy child = largest subtree, ties by node id.
+HeavyPathDecomposition heavy_path_decomposition(const Graph& g,
+                                                const std::vector<NodeId>& part);
+
+/// Validation: consecutive adjacency, exact cover, depth bound O(log |part|)
+/// (checked as depth ≤ ⌈log₂(|part|+1)⌉).
+bool is_valid_heavy_path_decomposition(const Graph& g,
+                                       const std::vector<NodeId>& part,
+                                       const HeavyPathDecomposition& hpd);
+
+}  // namespace dls

@@ -1,0 +1,47 @@
+#include "congested_pa/layered_graph.hpp"
+
+namespace dls {
+
+LayeredGraph::LayeredGraph(const Graph& base, std::size_t layers)
+    : layers_(layers),
+      base_nodes_(base.num_nodes()),
+      base_edges_(base.num_edges()) {
+  DLS_REQUIRE(layers >= 1, "layered graph needs at least one layer");
+  for (std::size_t l = 0; l < layers; ++l) {
+    for (std::size_t v = 0; v < base_nodes_; ++v) graph_.add_node();
+  }
+  // Intra-layer copies of every base edge, layer-major: id = l*m + e.
+  for (std::size_t l = 0; l < layers; ++l) {
+    for (EdgeId e = 0; e < base_edges_; ++e) {
+      const Edge& edge = base.edge(e);
+      graph_.add_edge(lift(edge.u, l), lift(edge.v, l), edge.weight);
+    }
+  }
+  // Intra-node cliques over the copies of each node, in (v, a<b) order.
+  for (NodeId v = 0; v < base_nodes_; ++v) {
+    for (std::size_t a = 0; a < layers; ++a) {
+      for (std::size_t b = a + 1; b < layers; ++b) {
+        graph_.add_edge(lift(v, a), lift(v, b));
+      }
+    }
+  }
+}
+
+EdgeId LayeredGraph::clique_edge(NodeId base_node, std::size_t layer_a,
+                                 std::size_t layer_b) const {
+  DLS_REQUIRE(base_node < base_nodes_, "node out of range");
+  DLS_REQUIRE(layer_a != layer_b && layer_a < layers_ && layer_b < layers_,
+              "clique_edge layers invalid");
+  const std::size_t a = std::min(layer_a, layer_b);
+  const std::size_t b = std::max(layer_a, layer_b);
+  // Clique edges start after all lifted edges; per node there are
+  // layers*(layers-1)/2 of them in (a, b) lexicographic order.
+  const std::size_t per_node = layers_ * (layers_ - 1) / 2;
+  // Index of pair (a, b) within one node's clique block.
+  const std::size_t pair_index = a * layers_ - a * (a + 1) / 2 + (b - a - 1);
+  return static_cast<EdgeId>(layers_ * base_edges_ +
+                             static_cast<std::size_t>(base_node) * per_node +
+                             pair_index);
+}
+
+}  // namespace dls

@@ -1,0 +1,59 @@
+// The layered graph Ĝ_ρ (Section 3.1.1, Figure 2): ρ disjoint copies
+// ("layers") of G, every base edge replaced by a matching across the layers
+// (one copy per layer), and every node's ρ copies joined into a clique.
+//
+// Node numbering is layer-major: copy l of base node v has id l·n + v, so
+// projection (π of the paper) is id mod n. Edge numbering puts the layer-l
+// copy of base edge e at id l·m + e, followed by all intra-node clique
+// edges; this makes lifting a base edge into a chosen layer O(1), which the
+// Lemma 18 reduction uses.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace dls {
+
+class LayeredGraph {
+ public:
+  LayeredGraph(const Graph& base, std::size_t layers);
+
+  const Graph& graph() const { return graph_; }
+  std::size_t layers() const { return layers_; }
+  std::size_t base_nodes() const { return base_nodes_; }
+  std::size_t base_edges() const { return base_edges_; }
+
+  NodeId lift(NodeId base_node, std::size_t layer) const {
+    DLS_REQUIRE(base_node < base_nodes_ && layer < layers_, "lift out of range");
+    return static_cast<NodeId>(layer * base_nodes_ + base_node);
+  }
+
+  /// π: layered node -> base node.
+  NodeId project(NodeId layered_node) const {
+    DLS_REQUIRE(layered_node < graph_.num_nodes(), "project out of range");
+    return static_cast<NodeId>(layered_node % base_nodes_);
+  }
+
+  std::size_t layer_of(NodeId layered_node) const {
+    DLS_REQUIRE(layered_node < graph_.num_nodes(), "layer_of out of range");
+    return layered_node / base_nodes_;
+  }
+
+  /// The layer-`layer` copy of base edge `base_edge`.
+  EdgeId lift_edge(EdgeId base_edge, std::size_t layer) const {
+    DLS_REQUIRE(base_edge < base_edges_ && layer < layers_,
+                "lift_edge out of range");
+    return static_cast<EdgeId>(layer * base_edges_ + base_edge);
+  }
+
+  /// The clique edge joining copies (v, a) and (v, b), a != b.
+  EdgeId clique_edge(NodeId base_node, std::size_t layer_a,
+                     std::size_t layer_b) const;
+
+ private:
+  Graph graph_;
+  std::size_t layers_;
+  std::size_t base_nodes_;
+  std::size_t base_edges_;
+};
+
+}  // namespace dls

@@ -1,0 +1,181 @@
+#include "congested_pa/path_restricted.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/algorithms.hpp"
+
+namespace dls {
+
+std::size_t validate_path_instance(const Graph& g, const PathInstance& inst) {
+  DLS_REQUIRE(inst.paths.size() == inst.values.size(),
+              "paths/values count mismatch");
+  std::vector<std::size_t> load(g.num_nodes(), 0);
+  std::size_t rho = 0;
+  for (std::size_t i = 0; i < inst.paths.size(); ++i) {
+    const auto& path = inst.paths[i];
+    DLS_REQUIRE(!path.empty(), "empty path");
+    DLS_REQUIRE(path.size() == inst.values[i].size(), "values size mismatch");
+    std::unordered_set<NodeId> seen;
+    for (NodeId v : path) {
+      DLS_REQUIRE(v < g.num_nodes(), "path node out of range");
+      DLS_REQUIRE(seen.insert(v).second, "path is not simple");
+      rho = std::max(rho, ++load[v]);
+    }
+    for (std::size_t j = 0; j + 1 < path.size(); ++j) {
+      bool adjacent = false;
+      for (const Adjacency& a : g.neighbors(path[j])) {
+        if (a.neighbor == path[j + 1]) {
+          adjacent = true;
+          break;
+        }
+      }
+      DLS_REQUIRE(adjacent, "consecutive path nodes are not adjacent");
+    }
+  }
+  return rho;
+}
+
+namespace {
+
+/// Any edge id connecting u and v in g (paths only need one witness edge).
+EdgeId find_edge(const Graph& g, NodeId u, NodeId v) {
+  for (const Adjacency& a : g.neighbors(u)) {
+    if (a.neighbor == v) return a.edge;
+  }
+  DLS_ASSERT(false, "find_edge: nodes not adjacent");
+  return kInvalidEdge;
+}
+
+}  // namespace
+
+LiftedInstance build_lifted_instance(const Graph& g, const PathInstance& inst,
+                                     Rng& rng, double palette_factor) {
+  validate_path_instance(g, inst);
+  LiftedInstance lifted;
+
+  // The auxiliary multigraph M: one occurrence per path edge.
+  std::vector<MultiEdge> occurrences;
+  std::vector<EdgeId> occurrence_base_edge;
+  std::vector<std::pair<std::size_t, std::size_t>> occurrence_owner;  // (path, pos)
+  for (std::size_t i = 0; i < inst.paths.size(); ++i) {
+    const auto& path = inst.paths[i];
+    for (std::size_t j = 0; j + 1 < path.size(); ++j) {
+      occurrences.push_back({path[j], path[j + 1]});
+      occurrence_base_edge.push_back(find_edge(g, path[j], path[j + 1]));
+      occurrence_owner.push_back({i, j});
+    }
+  }
+  lifted.coloring =
+      color_multigraph(g.num_nodes(), occurrences, rng, palette_factor);
+  const std::size_t layers = std::max<std::size_t>(lifted.coloring.max_color_used, 1);
+  lifted.layered = std::make_unique<LayeredGraph>(g, layers);
+
+  // colour_of[path][j] = colour of the j-th edge occurrence of the path.
+  std::vector<std::vector<std::uint32_t>> colour_of(inst.paths.size());
+  for (std::size_t i = 0; i < inst.paths.size(); ++i) {
+    colour_of[i].assign(
+        inst.paths[i].size() > 0 ? inst.paths[i].size() - 1 : 0, 0);
+  }
+  for (std::size_t o = 0; o < occurrences.size(); ++o) {
+    const auto [i, j] = occurrence_owner[o];
+    colour_of[i][j] = lifted.coloring.colors[o];
+  }
+
+  lifted.lifted_of.assign(inst.paths.size(), static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < inst.paths.size(); ++i) {
+    const auto& path = inst.paths[i];
+    if (path.size() == 1) {
+      lifted.local_only.push_back(i);
+      continue;
+    }
+    std::vector<NodeId> part;
+    std::vector<double> vals;
+    // Node j's copies: (v_j, c_j) where c_j is the colour of its preceding
+    // occurrence (for j ≥ 1) and (v_j, c_{j+1}) for the following one
+    // (for j ≤ k−1). The input value rides on the first listed copy.
+    for (std::size_t j = 0; j < path.size(); ++j) {
+      const NodeId v = path[j];
+      if (j > 0) {
+        part.push_back(lifted.layered->lift(v, colour_of[i][j - 1]));
+        vals.push_back(inst.values[i][j]);
+      }
+      if (j + 1 < path.size()) {
+        const bool first_copy = (j == 0);
+        // Skip the duplicate when both occurrences share a colour — they
+        // cannot (proper colouring at v), but guard the single-copy case
+        // where j==0 contributes the node's only copy.
+        part.push_back(lifted.layered->lift(v, colour_of[i][j]));
+        vals.push_back(first_copy ? inst.values[i][j] : 0.0);
+      }
+    }
+    // Interior nodes appear twice (two distinct colours); their value was
+    // attached to the first copy and the second got a literal 0.0 — replace
+    // with the monoid identity at solve time. We record positions of the
+    // placeholder copies via NaN-free convention: store values now and fix
+    // in solve (identity is monoid-specific).
+    lifted.lifted_of[i] = lifted.parts.parts.size();
+    lifted.parts.parts.push_back(std::move(part));
+    lifted.values.push_back(std::move(vals));
+  }
+  return lifted;
+}
+
+PathRestrictedOutcome solve_path_restricted(const Graph& g,
+                                            const PathInstance& inst,
+                                            const AggregationMonoid& monoid,
+                                            Rng& rng, SchedulingPolicy policy,
+                                            double palette_factor) {
+  PathRestrictedOutcome outcome;
+  outcome.congestion = validate_path_instance(g, inst);
+  LiftedInstance lifted = build_lifted_instance(g, inst, rng, palette_factor);
+  outcome.layers = lifted.layered->layers();
+  outcome.coloring_rounds = lifted.coloring.rounds;
+
+  // build_lifted_instance attaches the real input to the first copy of each
+  // node and a 0.0 placeholder to the second; rewrite the placeholders with
+  // the monoid's identity by mirroring the lift order.
+  {
+    std::size_t part_idx = 0;
+    for (std::size_t i = 0; i < inst.paths.size(); ++i) {
+      if (lifted.lifted_of[i] == static_cast<std::size_t>(-1)) continue;
+      auto& vals = lifted.values[part_idx];
+      const auto& path = inst.paths[i];
+      std::size_t cursor = 0;
+      for (std::size_t j = 0; j < path.size(); ++j) {
+        if (j > 0) {
+          vals[cursor++] = inst.values[i][j];
+        }
+        if (j + 1 < path.size()) {
+          vals[cursor++] = (j == 0) ? inst.values[i][j] : monoid.identity;
+        }
+      }
+      DLS_ASSERT(cursor == vals.size(), "value rebuild misaligned");
+      ++part_idx;
+    }
+  }
+
+  outcome.results.assign(inst.paths.size(), monoid.identity);
+  if (!lifted.parts.parts.empty()) {
+    const BestShortcut best =
+        build_best_shortcut(lifted.layered->graph(), lifted.parts, rng);
+    outcome.layered_shortcut_quality = best.quality;
+    const PartwiseAggregationOutcome pa = solve_partwise_aggregation(
+        lifted.layered->graph(), lifted.parts, lifted.values, monoid,
+        best.shortcut, rng, policy);
+    outcome.layered_pa_rounds = pa.schedule.total_rounds;
+    for (std::size_t i = 0; i < inst.paths.size(); ++i) {
+      if (lifted.lifted_of[i] != static_cast<std::size_t>(-1)) {
+        outcome.results[i] = pa.results[lifted.lifted_of[i]];
+      }
+    }
+  }
+  for (std::size_t i : lifted.local_only) {
+    outcome.results[i] = monoid.op(monoid.identity, inst.values[i][0]);
+  }
+  outcome.charged_rounds =
+      outcome.coloring_rounds + outcome.layers * outcome.layered_pa_rounds;
+  return outcome;
+}
+
+}  // namespace dls

@@ -1,0 +1,63 @@
+// Path-restricted congested part-wise aggregation (Lemma 18).
+//
+// Given simple paths with node congestion ρ, build the auxiliary multigraph
+// M of all path-edge occurrences (Δ(M) ≤ 2ρ), properly colour it with
+// C = O(ρ) colours (Lemma 17), and lift every path into the layered graph
+// Ĝ_C: the occurrence of edge (u,v) coloured c becomes the layer-c copy of
+// that edge, and consecutive occurrences at a node are joined by the node's
+// intra-clique edges. Because at most one occurrence of each colour touches
+// a node, the lifted parts are node-disjoint — a 1-congested instance —
+// which we solve with shortcuts on Ĝ_C and charge back to G at the Lemma 16
+// simulation overhead of C local rounds per layered round.
+#pragma once
+
+#include <memory>
+
+#include "congested_pa/edge_coloring.hpp"
+#include "congested_pa/layered_graph.hpp"
+#include "shortcuts/partwise_aggregation.hpp"
+
+namespace dls {
+
+struct PathInstance {
+  std::vector<std::vector<NodeId>> paths;   // simple paths in the host graph
+  std::vector<std::vector<double>> values;  // aligned with paths
+};
+
+/// Validates simple-path structure and consecutive adjacency; returns the
+/// node congestion ρ of the instance.
+std::size_t validate_path_instance(const Graph& g, const PathInstance& inst);
+
+/// The lifted 1-congested instance on the layered graph — exposed so tests
+/// can check Lemma 18's invariants (disjointness, connectivity) directly.
+struct LiftedInstance {
+  std::unique_ptr<LayeredGraph> layered;
+  PartCollection parts;                     // node-disjoint in layered graph
+  std::vector<std::vector<double>> values;  // aligned
+  EdgeColoring coloring;
+  /// Paths of length 0 (single nodes) need no communication and are solved
+  /// locally; their indices are listed here and excluded from `parts`.
+  std::vector<std::size_t> local_only;
+  /// lifted_of[i] = index into parts for path i, or -1 if local-only.
+  std::vector<std::size_t> lifted_of;
+};
+
+LiftedInstance build_lifted_instance(const Graph& g, const PathInstance& inst,
+                                     Rng& rng, double palette_factor = 2.0);
+
+struct PathRestrictedOutcome {
+  std::vector<double> results;  // per path
+  std::size_t congestion = 0;   // ρ of the input instance
+  std::size_t layers = 0;       // C — colours used
+  std::uint64_t coloring_rounds = 0;
+  std::uint64_t layered_pa_rounds = 0;  // measured rounds on Ĝ_C
+  std::uint64_t charged_rounds = 0;     // coloring + C · layered (Lemma 16)
+  ShortcutQuality layered_shortcut_quality;
+};
+
+PathRestrictedOutcome solve_path_restricted(
+    const Graph& g, const PathInstance& inst, const AggregationMonoid& monoid,
+    Rng& rng, SchedulingPolicy policy = SchedulingPolicy::kRandomPriority,
+    double palette_factor = 2.0);
+
+}  // namespace dls

@@ -1,0 +1,270 @@
+#include "congested_pa/solver.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "graph/algorithms.hpp"
+#include "shortcuts/construction.hpp"
+
+namespace dls {
+
+namespace {
+
+/// Per-part decomposition state shared by the up and down sweeps.
+struct PartPlan {
+  HeavyPathDecomposition hpd;
+  /// value index: node -> position in the part's value vector.
+  std::unordered_map<NodeId, std::size_t> value_index;
+};
+
+/// Rounds needed to deliver all head→attach (or attach→head) transfers of
+/// one phase: each transfer uses the G-edge between head and attach; the
+/// per-round per-edge-direction capacity of CONGEST makes the cost the max
+/// number of transfers sharing a directed edge.
+std::uint64_t transfer_rounds(const Graph& g,
+                              const std::vector<std::pair<NodeId, NodeId>>&
+                                  transfers) {
+  if (transfers.empty()) return 0;
+  std::map<std::pair<NodeId, NodeId>, std::uint64_t> load;
+  std::uint64_t worst = 0;
+  for (const auto& [from, to] : transfers) {
+    (void)g;
+    worst = std::max(worst, ++load[{from, to}]);
+  }
+  return worst;
+}
+
+}  // namespace
+
+CongestedPaOutcome solve_congested_pa(
+    const Graph& g, const PartCollection& pc,
+    const std::vector<std::vector<double>>& values,
+    const AggregationMonoid& monoid, Rng& rng,
+    const CongestedPaOptions& options) {
+  DLS_REQUIRE(values.size() == pc.num_parts(), "values per part mismatch");
+  CongestedPaOutcome outcome;
+  outcome.results.assign(pc.num_parts(), monoid.identity);
+  outcome.congestion = congestion(g, pc);
+  if (pc.num_parts() == 0) return outcome;
+
+  if (options.model == PaModel::kNcc) {
+    std::vector<NccPart> ncc_parts(pc.num_parts());
+    for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+      DLS_REQUIRE(values[i].size() == pc.parts[i].size(), "values mismatch");
+      ncc_parts[i].members = pc.parts[i];
+      ncc_parts[i].values = values[i];
+    }
+    const NccAggregationOutcome ncc =
+        ncc_partwise_aggregate(g.num_nodes(), ncc_parts, monoid, rng);
+    outcome.results = ncc.results;
+    outcome.ledger.charge_global(ncc.rounds, "ncc-aggregate");
+    outcome.total_rounds = outcome.ledger.total_global();
+    outcome.phases = 1;
+    return outcome;
+  }
+
+  // CONGEST charges the distributed construction of each shortcut it builds:
+  // BFS-tree assembly (≈ D + 1 rounds) plus one marking pass (≈ quality),
+  // scaled by the Lemma 16 simulation factor for layered-graph shortcuts.
+  const bool charge_construction = options.model == PaModel::kCongest;
+  std::uint64_t diameter_estimate = 0;
+  if (charge_construction) {
+    Rng diam_rng = rng.fork();
+    diameter_estimate = approx_diameter(g, diam_rng, 2);
+  }
+  const auto charge_build = [&](std::size_t quality, std::size_t layers,
+                                const std::string& label) {
+    if (!charge_construction) return;
+    const std::uint64_t rounds =
+        static_cast<std::uint64_t>(layers) *
+        (diameter_estimate + 1 + static_cast<std::uint64_t>(quality));
+    outcome.ledger.charge_local(rounds, label);
+  };
+
+  // Fast path 1 (ρ = 1): a plain partition needs no layering — Proposition 6
+  // directly, exactly as the paper's framework does for standard PA.
+  if (outcome.congestion == 1) {
+    const BestShortcut best = build_best_shortcut(g, pc, rng);
+    charge_build(best.quality.quality(), 1, "construct-1-congested");
+    const PartwiseAggregationOutcome pa = solve_partwise_aggregation(
+        g, pc, values, monoid, best.shortcut, rng, options.policy);
+    outcome.results = pa.results;
+    outcome.ledger.charge_local(pa.schedule.total_rounds, "pa-1-congested");
+    outcome.total_rounds = outcome.ledger.total_local();
+    outcome.phases = 1;
+    outcome.max_layers = 1;
+    return outcome;
+  }
+
+  // Fast path 2: if every part already is a simple path, Lemma 18 applies
+  // directly — one layered-graph solve, no heavy-path sweeps.
+  {
+    bool all_paths = true;
+    for (const auto& part : pc.parts) {
+      for (std::size_t j = 0; all_paths && j + 1 < part.size(); ++j) {
+        bool adjacent = false;
+        for (const Adjacency& a : g.neighbors(part[j])) {
+          adjacent |= a.neighbor == part[j + 1];
+        }
+        all_paths &= adjacent;
+      }
+      if (!all_paths) break;
+    }
+    if (all_paths) {
+      PathInstance inst;
+      inst.paths = pc.parts;
+      inst.values = values;
+      const PathRestrictedOutcome phase = solve_path_restricted(
+          g, inst, monoid, rng, options.policy, options.palette_factor);
+      outcome.results = phase.results;
+      outcome.max_layers = phase.layers;
+      charge_build(phase.layered_shortcut_quality.quality(), phase.layers,
+                   "construct-path-restricted");
+      outcome.ledger.charge_local(phase.charged_rounds, "pa-path-restricted");
+      outcome.total_rounds = outcome.ledger.total_local();
+      outcome.phases = 1;
+      return outcome;
+    }
+  }
+
+  // --- CONGEST via heavy paths + layered-graph path instances -------------
+  std::vector<PartPlan> plans(pc.num_parts());
+  std::uint32_t max_depth = 0;
+  for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+    DLS_REQUIRE(values[i].size() == pc.parts[i].size(), "values mismatch");
+    plans[i].hpd = heavy_path_decomposition(g, pc.parts[i]);
+    for (std::size_t j = 0; j < pc.parts[i].size(); ++j) {
+      plans[i].value_index.emplace(pc.parts[i][j], j);
+    }
+    max_depth = std::max(max_depth, plans[i].hpd.max_depth);
+  }
+
+  // deposits[i][v]: value deposited at node v for part i by completed child
+  // paths (the head→attach transfers between levels).
+  std::vector<std::unordered_map<NodeId, double>> deposits(pc.num_parts());
+  // path_aggregate[i][p]: aggregate of path p of part i after its phase.
+  std::vector<std::vector<double>> path_aggregate(pc.num_parts());
+  for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+    path_aggregate[i].assign(plans[i].hpd.paths.size(), monoid.identity);
+  }
+
+  // --- upward sweep: depth = max_depth .. 0 --------------------------------
+  for (std::uint32_t d = max_depth + 1; d-- > 0;) {
+    PathInstance inst;
+    std::vector<std::pair<std::size_t, std::size_t>> owners;  // (part, path)
+    for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+      const HeavyPathDecomposition& hpd = plans[i].hpd;
+      for (std::size_t p = 0; p < hpd.paths.size(); ++p) {
+        if (hpd.depth[p] != d) continue;
+        std::vector<double> vals;
+        vals.reserve(hpd.paths[p].size());
+        for (NodeId v : hpd.paths[p]) {
+          double value = values[i][plans[i].value_index.at(v)];
+          const auto it = deposits[i].find(v);
+          if (it != deposits[i].end()) value = monoid.op(value, it->second);
+          vals.push_back(value);
+        }
+        inst.paths.push_back(hpd.paths[p]);
+        inst.values.push_back(std::move(vals));
+        owners.push_back({i, p});
+      }
+    }
+    if (inst.paths.empty()) continue;
+    const PathRestrictedOutcome phase = solve_path_restricted(
+        g, inst, monoid, rng, options.policy, options.palette_factor);
+    outcome.max_layers = std::max(outcome.max_layers, phase.layers);
+    charge_build(phase.layered_shortcut_quality.quality(), phase.layers,
+                 "construct-up(d=" + std::to_string(d) + ")");
+    outcome.ledger.charge_local(phase.charged_rounds,
+                                "up-phase(d=" + std::to_string(d) + ")");
+    ++outcome.phases;
+    // Record aggregates and perform head→attach transfers.
+    std::vector<std::pair<NodeId, NodeId>> transfers;
+    for (std::size_t q = 0; q < owners.size(); ++q) {
+      const auto [i, p] = owners[q];
+      path_aggregate[i][p] = phase.results[q];
+      const NodeId attach = plans[i].hpd.attach[p];
+      if (attach != kInvalidNode) {
+        auto [it, inserted] = deposits[i].emplace(attach, phase.results[q]);
+        if (!inserted) it->second = monoid.op(it->second, phase.results[q]);
+        transfers.push_back({plans[i].hpd.paths[p].front(), attach});
+      }
+    }
+    const std::uint64_t tr = transfer_rounds(g, transfers);
+    if (tr > 0) {
+      outcome.ledger.charge_local(tr, "deposit(d=" + std::to_string(d) + ")");
+    }
+  }
+
+  // Root-path aggregate is the part total.
+  for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+    const HeavyPathDecomposition& hpd = plans[i].hpd;
+    for (std::size_t p = 0; p < hpd.paths.size(); ++p) {
+      if (hpd.depth[p] == 0) outcome.results[i] = path_aggregate[i][p];
+    }
+  }
+
+  // --- downward sweep: broadcast the total to deeper levels ----------------
+  // Depth-0 members already know the total from the up-phase broadcast.
+  for (std::uint32_t d = 1; d <= max_depth; ++d) {
+    PathInstance inst;
+    std::vector<std::pair<NodeId, NodeId>> transfers;  // attach -> head
+    for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+      const HeavyPathDecomposition& hpd = plans[i].hpd;
+      for (std::size_t p = 0; p < hpd.paths.size(); ++p) {
+        if (hpd.depth[p] != d) continue;
+        // The head receives the total from its attach node (1 local transfer)
+        // and the path-restricted PA broadcasts it along the path: head
+        // carries the total, everyone else the identity, so the aggregate is
+        // the total and the PA's broadcast phase delivers it to all members.
+        std::vector<double> vals(hpd.paths[p].size(), monoid.identity);
+        vals.front() = outcome.results[i];
+        inst.paths.push_back(hpd.paths[p]);
+        inst.values.push_back(std::move(vals));
+        transfers.push_back({hpd.attach[p], hpd.paths[p].front()});
+      }
+    }
+    if (inst.paths.empty()) continue;
+    const std::uint64_t tr = transfer_rounds(g, transfers);
+    if (tr > 0) {
+      outcome.ledger.charge_local(tr, "handoff(d=" + std::to_string(d) + ")");
+    }
+    const PathRestrictedOutcome phase = solve_path_restricted(
+        g, inst, monoid, rng, options.policy, options.palette_factor);
+    outcome.max_layers = std::max(outcome.max_layers, phase.layers);
+    charge_build(phase.layered_shortcut_quality.quality(), phase.layers,
+                 "construct-down(d=" + std::to_string(d) + ")");
+    outcome.ledger.charge_local(phase.charged_rounds,
+                                "down-phase(d=" + std::to_string(d) + ")");
+    ++outcome.phases;
+  }
+
+  outcome.total_rounds = outcome.ledger.total_local();
+  return outcome;
+}
+
+CongestedPaOutcome solve_congested_pa_sequential_baseline(
+    const Graph& g, const PartCollection& pc,
+    const std::vector<std::vector<double>>& values,
+    const AggregationMonoid& monoid, Rng& rng, SchedulingPolicy policy) {
+  DLS_REQUIRE(values.size() == pc.num_parts(), "values per part mismatch");
+  CongestedPaOutcome outcome;
+  outcome.results.assign(pc.num_parts(), monoid.identity);
+  outcome.congestion = congestion(g, pc);
+  for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+    PartCollection single;
+    single.parts.push_back(pc.parts[i]);
+    const BestShortcut best = build_best_shortcut(g, single, rng);
+    const PartwiseAggregationOutcome pa = solve_partwise_aggregation(
+        g, single, {values[i]}, monoid, best.shortcut, rng, policy);
+    outcome.results[i] = pa.results[0];
+    outcome.ledger.charge_local(pa.schedule.total_rounds,
+                                "part(" + std::to_string(i) + ")");
+    ++outcome.phases;
+  }
+  outcome.total_rounds = outcome.ledger.total_local();
+  return outcome;
+}
+
+}  // namespace dls

@@ -1,0 +1,238 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+namespace dls {
+
+std::uint32_t BfsResult::eccentricity() const {
+  std::uint32_t best = 0;
+  for (std::uint32_t d : dist) {
+    if (d != kUnreachable) best = std::max(best, d);
+  }
+  return best;
+}
+
+BfsResult bfs_multi(const Graph& g, std::span<const NodeId> sources) {
+  BfsResult r;
+  r.dist.assign(g.num_nodes(), BfsResult::kUnreachable);
+  r.parent.assign(g.num_nodes(), kInvalidNode);
+  r.parent_edge.assign(g.num_nodes(), kInvalidEdge);
+  std::deque<NodeId> queue;
+  for (NodeId s : sources) {
+    DLS_REQUIRE(s < g.num_nodes(), "BFS source out of range");
+    if (r.dist[s] == BfsResult::kUnreachable) {
+      r.dist[s] = 0;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (const Adjacency& a : g.neighbors(v)) {
+      if (r.dist[a.neighbor] != BfsResult::kUnreachable) continue;
+      r.dist[a.neighbor] = r.dist[v] + 1;
+      r.parent[a.neighbor] = v;
+      r.parent_edge[a.neighbor] = a.edge;
+      queue.push_back(a.neighbor);
+    }
+  }
+  return r;
+}
+
+BfsResult bfs(const Graph& g, NodeId source) {
+  const NodeId sources[] = {source};
+  return bfs_multi(g, sources);
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() <= 1) return true;
+  const BfsResult r = bfs(g, 0);
+  return std::none_of(r.dist.begin(), r.dist.end(), [](std::uint32_t d) {
+    return d == BfsResult::kUnreachable;
+  });
+}
+
+std::vector<std::uint32_t> connected_components(const Graph& g) {
+  std::vector<std::uint32_t> comp(g.num_nodes(), static_cast<std::uint32_t>(-1));
+  std::uint32_t next = 0;
+  std::deque<NodeId> queue;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (comp[s] != static_cast<std::uint32_t>(-1)) continue;
+    comp[s] = next;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      for (const Adjacency& a : g.neighbors(v)) {
+        if (comp[a.neighbor] == static_cast<std::uint32_t>(-1)) {
+          comp[a.neighbor] = next;
+          queue.push_back(a.neighbor);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+std::size_t count_components(const Graph& g) {
+  const auto comp = connected_components(g);
+  return comp.empty() ? 0
+                      : 1 + *std::max_element(comp.begin(), comp.end());
+}
+
+std::uint32_t exact_diameter(const Graph& g) {
+  DLS_REQUIRE(is_connected(g), "diameter of a disconnected graph is infinite");
+  std::uint32_t best = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    best = std::max(best, bfs(g, v).eccentricity());
+  }
+  return best;
+}
+
+std::uint32_t approx_diameter(const Graph& g, Rng& rng, int sweeps) {
+  DLS_REQUIRE(is_connected(g), "diameter of a disconnected graph is infinite");
+  DLS_REQUIRE(g.num_nodes() > 0, "empty graph");
+  std::uint32_t best = 0;
+  NodeId start = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+  for (int i = 0; i < sweeps; ++i) {
+    const BfsResult r = bfs(g, start);
+    std::uint32_t far_dist = 0;
+    NodeId far_node = start;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (r.dist[v] != BfsResult::kUnreachable && r.dist[v] > far_dist) {
+        far_dist = r.dist[v];
+        far_node = v;
+      }
+    }
+    best = std::max(best, far_dist);
+    start = far_node;
+  }
+  return best;
+}
+
+std::vector<EdgeId> bfs_tree_edges(const Graph& g, NodeId root) {
+  const BfsResult r = bfs(g, root);
+  std::vector<EdgeId> edges;
+  edges.reserve(g.num_nodes() > 0 ? g.num_nodes() - 1 : 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    DLS_REQUIRE(r.dist[v] != BfsResult::kUnreachable,
+                "bfs_tree_edges requires a connected graph");
+    if (r.parent_edge[v] != kInvalidEdge) edges.push_back(r.parent_edge[v]);
+  }
+  return edges;
+}
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), rank_(n, 0), sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), NodeId{0});
+}
+
+NodeId UnionFind::find(NodeId v) {
+  DLS_REQUIRE(v < parent_.size(), "UnionFind id out of range");
+  while (parent_[v] != v) {
+    parent_[v] = parent_[parent_[v]];  // path halving
+    v = parent_[v];
+  }
+  return v;
+}
+
+bool UnionFind::unite(NodeId a, NodeId b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (rank_[a] < rank_[b]) std::swap(a, b);
+  parent_[b] = a;
+  if (rank_[a] == rank_[b]) ++rank_[a];
+  --sets_;
+  return true;
+}
+
+std::vector<EdgeId> mst_kruskal(const Graph& g) {
+  DLS_REQUIRE(is_connected(g), "MST requires a connected graph");
+  std::vector<EdgeId> order(g.num_edges());
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  std::stable_sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    return g.edge(a).weight < g.edge(b).weight;
+  });
+  UnionFind uf(g.num_nodes());
+  std::vector<EdgeId> tree;
+  tree.reserve(g.num_nodes() > 0 ? g.num_nodes() - 1 : 0);
+  for (EdgeId e : order) {
+    if (uf.unite(g.edge(e).u, g.edge(e).v)) tree.push_back(e);
+  }
+  return tree;
+}
+
+bool is_spanning_tree(const Graph& g, std::span<const EdgeId> tree_edges) {
+  if (g.num_nodes() == 0) return tree_edges.empty();
+  if (tree_edges.size() != g.num_nodes() - 1) return false;
+  UnionFind uf(g.num_nodes());
+  for (EdgeId e : tree_edges) {
+    if (e >= g.num_edges()) return false;
+    if (!uf.unite(g.edge(e).u, g.edge(e).v)) return false;  // cycle
+  }
+  return uf.num_sets() == 1;
+}
+
+std::vector<NodeId> euler_tour(const Graph& g, std::span<const EdgeId> tree_edges,
+                               NodeId root) {
+  DLS_REQUIRE(root < g.num_nodes(), "euler_tour root out of range");
+  std::vector<std::vector<NodeId>> children_adj(g.num_nodes());
+  for (EdgeId e : tree_edges) {
+    const Edge& edge = g.edge(e);
+    children_adj[edge.u].push_back(edge.v);
+    children_adj[edge.v].push_back(edge.u);
+  }
+  std::vector<NodeId> tour;
+  std::vector<bool> visited(g.num_nodes(), false);
+  // Iterative DFS that appends the current node every time control returns
+  // to it, producing the classic 2k−1-length Euler tour.
+  struct Frame {
+    NodeId node;
+    std::size_t next_child = 0;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root});
+  visited[root] = true;
+  tour.push_back(root);
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    bool descended = false;
+    while (frame.next_child < children_adj[frame.node].size()) {
+      const NodeId child = children_adj[frame.node][frame.next_child++];
+      if (visited[child]) continue;
+      visited[child] = true;
+      tour.push_back(child);
+      stack.push_back({child});
+      descended = true;
+      break;
+    }
+    if (!descended) {
+      stack.pop_back();
+      if (!stack.empty()) tour.push_back(stack.back().node);
+    }
+  }
+  return tour;
+}
+
+std::optional<std::uint32_t> hop_distance(const Graph& g, NodeId a, NodeId b) {
+  const BfsResult r = bfs(g, a);
+  if (r.dist[b] == BfsResult::kUnreachable) return std::nullopt;
+  return r.dist[b];
+}
+
+std::optional<std::vector<NodeId>> shortest_hop_path(const Graph& g, NodeId a,
+                                                     NodeId b) {
+  const BfsResult r = bfs(g, a);
+  if (r.dist[b] == BfsResult::kUnreachable) return std::nullopt;
+  std::vector<NodeId> path;
+  for (NodeId v = b; v != kInvalidNode; v = r.parent[v]) path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  DLS_ASSERT(path.front() == a, "path reconstruction failed");
+  return path;
+}
+
+}  // namespace dls

@@ -1,0 +1,81 @@
+// Sequential graph algorithms: traversal, components, diameter, spanning
+// structures, Euler tours. These are the "free local computation" building
+// blocks of the simulated distributed algorithms and the ground truth for
+// their outputs.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace dls {
+
+/// BFS from (multi-)sources over hop counts (weights ignored).
+/// dist[v] == kUnreachable for unreachable nodes; parent_edge[v] is the edge
+/// towards the source (kInvalidEdge at sources/unreachable).
+struct BfsResult {
+  static constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> dist;
+  std::vector<NodeId> parent;
+  std::vector<EdgeId> parent_edge;
+
+  std::uint32_t eccentricity() const;
+};
+
+BfsResult bfs(const Graph& g, NodeId source);
+BfsResult bfs_multi(const Graph& g, std::span<const NodeId> sources);
+
+bool is_connected(const Graph& g);
+
+/// Component id per node, components numbered 0..k-1 in discovery order.
+std::vector<std::uint32_t> connected_components(const Graph& g);
+std::size_t count_components(const Graph& g);
+
+/// Exact hop-diameter via BFS from every node. O(n·m): fine for n ≲ 1e4.
+std::uint32_t exact_diameter(const Graph& g);
+
+/// Double-sweep lower bound / upper estimate of the hop-diameter; exact on
+/// trees, at most 2x off in general. Cheap enough for any graph size here.
+std::uint32_t approx_diameter(const Graph& g, Rng& rng, int sweeps = 4);
+
+/// Edges of a BFS spanning tree rooted at `root` (graph must be connected).
+std::vector<EdgeId> bfs_tree_edges(const Graph& g, NodeId root);
+
+/// Minimum spanning tree via Kruskal. Graph must be connected.
+std::vector<EdgeId> mst_kruskal(const Graph& g);
+
+/// Is the edge set `tree_edges` a spanning tree of g?
+bool is_spanning_tree(const Graph& g, std::span<const EdgeId> tree_edges);
+
+/// Euler tour of the tree formed by `tree_edges` restricted to the component
+/// of `root`: the sequence of nodes visited by a DFS walking each tree edge
+/// twice. First element is root; length is 2·(#tree nodes) − 1.
+std::vector<NodeId> euler_tour(const Graph& g, std::span<const EdgeId> tree_edges,
+                               NodeId root);
+
+/// Union-Find over node ids, used by Kruskal/Boruvka and minor contraction.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+  NodeId find(NodeId v);
+  /// Returns true if a merge happened (the two were in different sets).
+  bool unite(NodeId a, NodeId b);
+  std::size_t num_sets() const { return sets_; }
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<std::uint32_t> rank_;
+  std::size_t sets_;
+};
+
+/// Hop distance between two nodes, or nullopt if disconnected.
+std::optional<std::uint32_t> hop_distance(const Graph& g, NodeId a, NodeId b);
+
+/// Shortest path (by hops) between two nodes as a node sequence (inclusive).
+std::optional<std::vector<NodeId>> shortest_hop_path(const Graph& g, NodeId a,
+                                                     NodeId b);
+
+}  // namespace dls

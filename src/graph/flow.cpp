@@ -1,0 +1,225 @@
+#include "graph/flow.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+
+namespace dls {
+
+namespace {
+
+/// Minimal arc-based max-flow network (Edmonds–Karp; capacities are small
+/// integers here, so augmenting-path counts stay tiny).
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(std::size_t num_nodes) : adj_(num_nodes) {}
+
+  std::size_t add_node() {
+    adj_.emplace_back();
+    return adj_.size() - 1;
+  }
+
+  void add_arc(std::size_t from, std::size_t to, std::int64_t capacity) {
+    adj_[from].push_back({to, capacity, 0, adj_[to].size()});
+    adj_[to].push_back({from, 0, 0, adj_[from].size() - 1});
+  }
+
+  std::int64_t max_flow(std::size_t s, std::size_t t) {
+    std::int64_t total = 0;
+    for (;;) {
+      // BFS for a shortest augmenting path.
+      std::vector<std::pair<std::size_t, std::size_t>> parent(
+          adj_.size(), {SIZE_MAX, SIZE_MAX});  // (node, arc index)
+      std::deque<std::size_t> queue{s};
+      parent[s] = {s, SIZE_MAX};
+      while (!queue.empty() && parent[t].first == SIZE_MAX) {
+        const std::size_t v = queue.front();
+        queue.pop_front();
+        for (std::size_t i = 0; i < adj_[v].size(); ++i) {
+          const Arc& arc = adj_[v][i];
+          if (arc.capacity - arc.flow > 0 && parent[arc.to].first == SIZE_MAX) {
+            parent[arc.to] = {v, i};
+            queue.push_back(arc.to);
+          }
+        }
+      }
+      if (parent[t].first == SIZE_MAX) break;
+      // Bottleneck along the path.
+      std::int64_t bottleneck = INT64_MAX;
+      for (std::size_t v = t; v != s;) {
+        const auto [pv, pi] = parent[v];
+        bottleneck = std::min(bottleneck,
+                              adj_[pv][pi].capacity - adj_[pv][pi].flow);
+        v = pv;
+      }
+      for (std::size_t v = t; v != s;) {
+        const auto [pv, pi] = parent[v];
+        Arc& arc = adj_[pv][pi];
+        arc.flow += bottleneck;
+        adj_[arc.to][arc.rev].flow -= bottleneck;
+        v = pv;
+      }
+      total += bottleneck;
+    }
+    return total;
+  }
+
+  /// Positive flow on arcs out of `v`, as (arc index, flow) pairs.
+  struct Arc {
+    std::size_t to;
+    std::int64_t capacity;
+    std::int64_t flow;
+    std::size_t rev;
+  };
+
+  std::vector<std::vector<Arc>>& arcs() { return adj_; }
+
+ private:
+  std::vector<std::vector<Arc>> adj_;
+};
+
+}  // namespace
+
+NodeDisjointPathsResult max_node_disjoint_paths(const Graph& g,
+                                                std::span<const NodeId> sources,
+                                                std::span<const NodeId> sinks,
+                                                std::size_t node_capacity) {
+  DLS_REQUIRE(node_capacity >= 1, "node capacity must be positive");
+  const std::size_t n = g.num_nodes();
+  // Layout: v_in = 2v, v_out = 2v + 1, then super source/sink.
+  FlowNetwork net(2 * n);
+  const std::size_t super_s = net.add_node();
+  const std::size_t super_t = net.add_node();
+  const auto in_of = [](NodeId v) { return static_cast<std::size_t>(2 * v); };
+  const auto out_of = [](NodeId v) { return static_cast<std::size_t>(2 * v + 1); };
+  for (NodeId v = 0; v < n; ++v) {
+    net.add_arc(in_of(v), out_of(v),
+                static_cast<std::int64_t>(node_capacity));
+  }
+  for (const Edge& e : g.edges()) {
+    net.add_arc(out_of(e.u), in_of(e.v),
+                static_cast<std::int64_t>(node_capacity));
+    net.add_arc(out_of(e.v), in_of(e.u),
+                static_cast<std::int64_t>(node_capacity));
+  }
+  for (NodeId s : sources) {
+    DLS_REQUIRE(s < n, "source out of range");
+    net.add_arc(super_s, in_of(s), 1);
+  }
+  for (NodeId t : sinks) {
+    DLS_REQUIRE(t < n, "sink out of range");
+    net.add_arc(out_of(t), super_t, 1);
+  }
+  const std::int64_t flow = net.max_flow(super_s, super_t);
+
+  // Path extraction: repeatedly walk positive flow from the super source,
+  // consuming one unit per arc traversed.
+  NodeDisjointPathsResult result;
+  result.connected_pairs = static_cast<std::size_t>(flow);
+  auto& arcs = net.arcs();
+  for (std::int64_t p = 0; p < flow; ++p) {
+    std::vector<NodeId> path;
+    std::size_t cur = super_s;
+    std::size_t steps = 0;
+    while (cur != super_t) {
+      DLS_ASSERT(++steps <= 4 * (n + 2) * node_capacity,
+                 "flow decomposition entered a cycle");
+      bool advanced = false;
+      for (auto& arc : arcs[cur]) {
+        if (arc.flow > 0) {
+          arc.flow -= 1;
+          arcs[arc.to][arc.rev].flow += 1;
+          if (arc.to != super_t && arc.to % 2 == 0) {
+            // Entering v_in: record the original node once per visit.
+            path.push_back(static_cast<NodeId>(arc.to / 2));
+          }
+          cur = arc.to;
+          advanced = true;
+          break;
+        }
+      }
+      DLS_ASSERT(advanced, "flow decomposition stalled");
+    }
+    result.paths.push_back(std::move(path));
+  }
+  return result;
+}
+
+bool any_to_any_node_disjointly_connectable(const Graph& g,
+                                            std::span<const NodeId> sources,
+                                            std::span<const NodeId> sinks,
+                                            std::size_t node_capacity) {
+  DLS_REQUIRE(sources.size() == sinks.size(),
+              "sources and sinks must have equal size");
+  const NodeDisjointPathsResult result =
+      max_node_disjoint_paths(g, sources, sinks, node_capacity);
+  return result.connected_pairs == sources.size();
+}
+
+double max_flow_value(const Graph& g, NodeId s, NodeId t) {
+  DLS_REQUIRE(s < g.num_nodes() && t < g.num_nodes() && s != t,
+              "bad flow endpoints");
+  // Residual capacities per directed arc; arcs 2e (u→v) and 2e+1 (v→u).
+  std::vector<double> residual(2 * g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    residual[2 * e] = g.edge(e).weight;
+    residual[2 * e + 1] = g.edge(e).weight;
+  }
+  double total = 0.0;
+  for (;;) {
+    // BFS over positive-residual arcs.
+    std::vector<std::pair<NodeId, std::size_t>> parent(
+        g.num_nodes(), {kInvalidNode, SIZE_MAX});
+    std::deque<NodeId> queue{s};
+    parent[s] = {s, SIZE_MAX};
+    while (!queue.empty() && parent[t].first == kInvalidNode) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      for (const Adjacency& a : g.neighbors(v)) {
+        const std::size_t arc =
+            2 * static_cast<std::size_t>(a.edge) + (g.edge(a.edge).u == v ? 0 : 1);
+        if (residual[arc] > 1e-12 && parent[a.neighbor].first == kInvalidNode) {
+          parent[a.neighbor] = {v, arc};
+          queue.push_back(a.neighbor);
+        }
+      }
+    }
+    if (parent[t].first == kInvalidNode) break;
+    double bottleneck = std::numeric_limits<double>::infinity();
+    for (NodeId v = t; v != s; v = parent[v].first) {
+      bottleneck = std::min(bottleneck, residual[parent[v].second]);
+    }
+    for (NodeId v = t; v != s; v = parent[v].first) {
+      const std::size_t arc = parent[v].second;
+      residual[arc] -= bottleneck;
+      residual[arc ^ 1] += bottleneck;
+    }
+    total += bottleneck;
+  }
+  return total;
+}
+
+bool are_node_disjoint_paths(const Graph& g,
+                             const std::vector<std::vector<NodeId>>& paths,
+                             std::size_t node_capacity) {
+  std::vector<std::size_t> load(g.num_nodes(), 0);
+  for (const auto& path : paths) {
+    if (path.empty()) return false;
+    for (NodeId v : path) {
+      if (v >= g.num_nodes()) return false;
+      if (++load[v] > node_capacity) return false;
+    }
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      bool adjacent = false;
+      for (const Adjacency& a : g.neighbors(path[i])) {
+        adjacent |= a.neighbor == path[i + 1];
+      }
+      if (!adjacent) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dls

@@ -1,0 +1,56 @@
+// Unit-node-capacity flows and node-disjoint path packings.
+//
+// The shortcut-quality characterization machinery (Theorem 25, Lemma 24)
+// speaks about *node-disjointly connectable* source/sink multisets: k paths
+// matching sources to sinks with every node on at most one path (or at most
+// ρ, for pair node connectivity ρ). This module provides the classical
+// reduction — split every node into in/out copies with unit (or ρ) capacity
+// and run augmenting-path max flow — plus path extraction.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dls {
+
+struct NodeDisjointPathsResult {
+  /// Paths found, each a node sequence from a source to a sink.
+  std::vector<std::vector<NodeId>> paths;
+  /// Number of source/sink pairs successfully connected (= paths.size()).
+  std::size_t connected_pairs = 0;
+};
+
+/// Maximum set of node-disjoint paths from the source multiset S to the sink
+/// multiset T (any-to-any: any source may match any sink). A node used by a
+/// path cannot be reused by another, except that a node may appear multiple
+/// times in S/T (multiset semantics): node v with multiplicity q in S∪T may
+/// terminate q paths. `node_capacity` generalizes to ρ paths per node
+/// (pair node connectivity ρ of the paper).
+NodeDisjointPathsResult max_node_disjoint_paths(const Graph& g,
+                                                std::span<const NodeId> sources,
+                                                std::span<const NodeId> sinks,
+                                                std::size_t node_capacity = 1);
+
+/// True iff (S, T) are any-to-any node-disjointly connectable: all |S| = |T|
+/// pairs can be simultaneously connected by node-disjoint paths.
+bool any_to_any_node_disjointly_connectable(const Graph& g,
+                                            std::span<const NodeId> sources,
+                                            std::span<const NodeId> sinks,
+                                            std::size_t node_capacity = 1);
+
+/// Validates that `paths` are node-disjoint up to `node_capacity` per node
+/// (counting interior and endpoint occurrences) and each path walks along
+/// edges of g.
+bool are_node_disjoint_paths(const Graph& g,
+                             const std::vector<std::vector<NodeId>>& paths,
+                             std::size_t node_capacity = 1);
+
+/// Exact s–t max flow with edge capacities = edge weights (Edmonds–Karp;
+/// augmentation count is O(nm) independent of capacities, so real-valued
+/// capacities are safe). Ground truth for the electrical-flow application.
+double max_flow_value(const Graph& g, NodeId s, NodeId t);
+
+}  // namespace dls

@@ -1,0 +1,317 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace dls {
+
+Graph make_path(std::size_t n, Weight weight) {
+  DLS_REQUIRE(n >= 1, "path needs at least one node");
+  Graph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1), weight);
+  }
+  return g;
+}
+
+Graph make_cycle(std::size_t n, Weight weight) {
+  DLS_REQUIRE(n >= 3, "cycle needs at least three nodes");
+  Graph g = make_path(n, weight);
+  g.add_edge(static_cast<NodeId>(n - 1), 0, weight);
+  return g;
+}
+
+Graph make_star(std::size_t n) {
+  DLS_REQUIRE(n >= 1, "star needs at least one node");
+  Graph g(n);
+  for (std::size_t i = 1; i < n; ++i) g.add_edge(0, static_cast<NodeId>(i));
+  return g;
+}
+
+Graph make_complete(std::size_t n) {
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    }
+  }
+  return g;
+}
+
+namespace {
+NodeId grid_id(std::size_t r, std::size_t c, std::size_t cols) {
+  return static_cast<NodeId>(r * cols + c);
+}
+}  // namespace
+
+Graph make_grid(std::size_t rows, std::size_t cols) {
+  DLS_REQUIRE(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+  Graph g(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(grid_id(r, c, cols), grid_id(r, c + 1, cols));
+      if (r + 1 < rows) g.add_edge(grid_id(r, c, cols), grid_id(r + 1, c, cols));
+    }
+  }
+  return g;
+}
+
+Graph make_torus(std::size_t rows, std::size_t cols) {
+  DLS_REQUIRE(rows >= 3 && cols >= 3, "torus needs dimensions >= 3");
+  Graph g(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      g.add_edge(grid_id(r, c, cols), grid_id(r, (c + 1) % cols, cols));
+      g.add_edge(grid_id(r, c, cols), grid_id((r + 1) % rows, c, cols));
+    }
+  }
+  return g;
+}
+
+Graph make_triangulated_grid(std::size_t rows, std::size_t cols) {
+  Graph g = make_grid(rows, cols);
+  for (std::size_t r = 0; r + 1 < rows; ++r) {
+    for (std::size_t c = 0; c + 1 < cols; ++c) {
+      g.add_edge(grid_id(r, c, cols), grid_id(r + 1, c + 1, cols));
+    }
+  }
+  return g;
+}
+
+Graph make_balanced_binary_tree(std::size_t n) {
+  DLS_REQUIRE(n >= 1, "tree needs at least one node");
+  Graph g(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    g.add_edge(static_cast<NodeId>((i - 1) / 2), static_cast<NodeId>(i));
+  }
+  return g;
+}
+
+Graph make_random_tree(std::size_t n, Rng& rng) {
+  DLS_REQUIRE(n >= 1, "tree needs at least one node");
+  Graph g(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    const NodeId parent = static_cast<NodeId>(rng.next_below(i));
+    g.add_edge(parent, static_cast<NodeId>(i));
+  }
+  return g;
+}
+
+Graph make_caterpillar(std::size_t spine, std::size_t legs) {
+  DLS_REQUIRE(spine >= 1, "caterpillar needs a spine");
+  Graph g(spine * (1 + legs));
+  for (std::size_t i = 0; i + 1 < spine; ++i) {
+    g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  }
+  for (std::size_t i = 0; i < spine; ++i) {
+    for (std::size_t l = 0; l < legs; ++l) {
+      g.add_edge(static_cast<NodeId>(i),
+                 static_cast<NodeId>(spine + i * legs + l));
+    }
+  }
+  return g;
+}
+
+Graph make_k_tree(std::size_t n, std::size_t k, Rng& rng) {
+  DLS_REQUIRE(k >= 1, "k-tree needs k >= 1");
+  DLS_REQUIRE(n >= k + 1, "k-tree needs at least k+1 nodes");
+  Graph g(n);
+  // Start from a (k+1)-clique; every later node attaches to a random existing
+  // k-clique. We track cliques as vectors of node ids.
+  std::vector<std::vector<NodeId>> cliques;
+  std::vector<NodeId> base;
+  for (std::size_t i = 0; i <= k; ++i) {
+    for (std::size_t j = i + 1; j <= k; ++j) {
+      g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    }
+    base.push_back(static_cast<NodeId>(i));
+  }
+  // All k-subsets of the base clique seed the clique pool; to keep the pool
+  // small we only add the k-cliques created as nodes attach (this still gives
+  // treewidth exactly k).
+  for (std::size_t drop = 0; drop <= k; ++drop) {
+    std::vector<NodeId> sub;
+    for (std::size_t i = 0; i <= k; ++i) {
+      if (i != drop) sub.push_back(base[i]);
+    }
+    cliques.push_back(std::move(sub));
+  }
+  for (std::size_t v = k + 1; v < n; ++v) {
+    // Copy: push_back below may reallocate the pool and invalidate references.
+    const std::vector<NodeId> clique = cliques[rng.next_below(cliques.size())];
+    for (NodeId u : clique) g.add_edge(u, static_cast<NodeId>(v));
+    // New k-cliques: clique with one member replaced by v.
+    for (std::size_t drop = 0; drop < clique.size(); ++drop) {
+      std::vector<NodeId> sub = clique;
+      sub[drop] = static_cast<NodeId>(v);
+      cliques.push_back(std::move(sub));
+    }
+  }
+  return g;
+}
+
+Graph make_random_regular(std::size_t n, std::size_t d, Rng& rng) {
+  DLS_REQUIRE(n * d % 2 == 0, "n*d must be even for a d-regular graph");
+  DLS_REQUIRE(d >= 1 && d < n, "degree must be in [1, n)");
+  // Configuration model with forward repair: pair up node "stubs" uniformly;
+  // a pair that would form a self-loop swaps its second stub with a random
+  // *later* stub (which never disturbs already-fixed pairs). The rare draw
+  // where the final pair cannot be repaired restarts the shuffle. Parallel
+  // edges are acceptable (we use multigraphs), self-loops are not.
+  std::vector<NodeId> stubs;
+  stubs.reserve(n * d);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t i = 0; i < d; ++i) stubs.push_back(static_cast<NodeId>(v));
+  }
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    rng.shuffle(stubs);
+    bool ok = true;
+    for (std::size_t i = 0; ok && i < stubs.size(); i += 2) {
+      std::size_t repair_guard = 0;
+      while (stubs[i] == stubs[i + 1]) {
+        if (i + 2 >= stubs.size() || ++repair_guard > 64 * stubs.size()) {
+          ok = false;  // unrepairable tail — reshuffle everything
+          break;
+        }
+        const std::size_t j =
+            i + 2 + rng.next_below(stubs.size() - i - 2);
+        std::swap(stubs[i + 1], stubs[j]);
+      }
+    }
+    if (!ok) continue;
+    Graph g(n);
+    for (std::size_t i = 0; i < stubs.size(); i += 2) {
+      g.add_edge(stubs[i], stubs[i + 1]);
+    }
+    return g;
+  }
+  DLS_ASSERT(false, "configuration model failed to avoid self-loops");
+  return Graph{};
+}
+
+Graph make_erdos_renyi(std::size_t n, double p, Rng& rng) {
+  DLS_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.next_bool(p)) {
+        g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+      }
+    }
+  }
+  return g;
+}
+
+Graph make_hypercube(std::size_t dims) {
+  DLS_REQUIRE(dims >= 1 && dims < 26, "hypercube dims out of range");
+  const std::size_t n = std::size_t{1} << dims;
+  Graph g(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t b = 0; b < dims; ++b) {
+      const std::size_t u = v ^ (std::size_t{1} << b);
+      if (u > v) g.add_edge(static_cast<NodeId>(v), static_cast<NodeId>(u));
+    }
+  }
+  return g;
+}
+
+Graph make_barbell(std::size_t n) {
+  DLS_REQUIRE(n >= 4, "barbell needs at least four nodes");
+  const std::size_t half = n / 2;
+  Graph g(2 * half);
+  for (std::size_t i = 0; i < half; ++i) {
+    for (std::size_t j = i + 1; j < half; ++j) {
+      g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+      g.add_edge(static_cast<NodeId>(half + i), static_cast<NodeId>(half + j));
+    }
+  }
+  g.add_edge(0, static_cast<NodeId>(half));
+  return g;
+}
+
+Graph make_lower_bound_dumbbell(std::size_t side) {
+  DLS_REQUIRE(side >= 2, "dumbbell side must be >= 2");
+  // `side` horizontal paths of length `side` (the "highways"), plus a
+  // balanced binary tree over the path columns: leaf t of the tree connects
+  // to every path's t-th node. The tree keeps D = O(log side) while any
+  // pairing of left endpoints with right endpoints must squeeze through the
+  // tree, which has no bandwidth — the classic [13] structure.
+  const std::size_t path_nodes = side * side;
+  // Binary tree over `side` leaves.
+  std::size_t leaves = 1;
+  while (leaves < side) leaves *= 2;
+  const std::size_t tree_nodes = 2 * leaves - 1;
+  Graph g(path_nodes + tree_nodes);
+  auto path_id = [&](std::size_t p, std::size_t t) {
+    return static_cast<NodeId>(p * side + t);
+  };
+  auto tree_id = [&](std::size_t i) { return static_cast<NodeId>(path_nodes + i); };
+  for (std::size_t p = 0; p < side; ++p) {
+    for (std::size_t t = 0; t + 1 < side; ++t) {
+      g.add_edge(path_id(p, t), path_id(p, t + 1));
+    }
+  }
+  for (std::size_t i = 1; i < tree_nodes; ++i) {
+    g.add_edge(tree_id((i - 1) / 2), tree_id(i));
+  }
+  // Leaf i of the tree is node index leaves-1+i; attach to column min(i, side-1).
+  for (std::size_t i = 0; i < leaves; ++i) {
+    const std::size_t col = std::min(i, side - 1);
+    for (std::size_t p = 0; p < side; ++p) {
+      g.add_edge(tree_id(leaves - 1 + i), path_id(p, col));
+    }
+  }
+  return g;
+}
+
+Graph make_preferential_attachment(std::size_t n, std::size_t m_edges,
+                                   Rng& rng) {
+  DLS_REQUIRE(m_edges >= 1, "attachment count must be positive");
+  DLS_REQUIRE(n > m_edges, "need more nodes than attachment edges");
+  Graph g(n);
+  // Seed: a small clique of m_edges + 1 nodes.
+  for (std::size_t i = 0; i <= m_edges; ++i) {
+    for (std::size_t j = i + 1; j <= m_edges; ++j) {
+      g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    }
+  }
+  // Degree-proportional sampling via the endpoint-list trick: every edge
+  // endpoint occurrence is one "ticket".
+  std::vector<NodeId> tickets;
+  for (const Edge& e : g.edges()) {
+    tickets.push_back(e.u);
+    tickets.push_back(e.v);
+  }
+  for (std::size_t v = m_edges + 1; v < n; ++v) {
+    std::vector<NodeId> targets;
+    std::size_t guard = 0;
+    while (targets.size() < m_edges) {
+      DLS_ASSERT(++guard < 64 * (m_edges + 1), "attachment sampling stalled");
+      const NodeId candidate = tickets[rng.next_below(tickets.size())];
+      if (std::find(targets.begin(), targets.end(), candidate) ==
+          targets.end()) {
+        targets.push_back(candidate);
+      }
+    }
+    for (NodeId u : targets) {
+      g.add_edge(u, static_cast<NodeId>(v));
+      tickets.push_back(u);
+      tickets.push_back(static_cast<NodeId>(v));
+    }
+  }
+  return g;
+}
+
+Graph make_weighted_grid(std::size_t rows, std::size_t cols, Rng& rng,
+                         Weight min_w, Weight max_w) {
+  DLS_REQUIRE(min_w > 0 && min_w <= max_w, "weight range invalid");
+  Graph g = make_grid(rows, cols);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const double t = rng.next_double();
+    g.set_weight(e, min_w + t * (max_w - min_w));
+  }
+  return g;
+}
+
+}  // namespace dls

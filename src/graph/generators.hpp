@@ -1,0 +1,68 @@
+// Graph generators for the experiment families used throughout the paper's
+// statements: paths/cycles (trivial SQ), 2-D grids (the planar family of
+// Figures 1 and 3, D = Θ(√n)), tori, trees, k-trees (bounded treewidth,
+// Lemma 19 / Corollary 20), random regular graphs (expanders, SQ = polylog),
+// Erdős–Rényi, hypercubes, and the dumbbell-style hard instances on which the
+// Ω(√n + D) existential lower bound [13] is built.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace dls {
+
+Graph make_path(std::size_t n, Weight weight = 1.0);
+Graph make_cycle(std::size_t n, Weight weight = 1.0);
+Graph make_star(std::size_t n);
+Graph make_complete(std::size_t n);
+
+/// rows x cols grid; node (r, c) has id r*cols + c.
+Graph make_grid(std::size_t rows, std::size_t cols);
+/// Grid with wraparound edges (vertex-transitive, D = Θ(rows + cols)).
+Graph make_torus(std::size_t rows, std::size_t cols);
+/// Grid with one diagonal per cell — a triangulated planar graph.
+Graph make_triangulated_grid(std::size_t rows, std::size_t cols);
+
+/// Complete binary tree with n nodes (heap indexing).
+Graph make_balanced_binary_tree(std::size_t n);
+/// Uniform random labelled tree (random attachment to a previous node).
+Graph make_random_tree(std::size_t n, Rng& rng);
+/// A path of `spine` nodes, each with `legs` pendant nodes. tw = 1, D = spine+1.
+Graph make_caterpillar(std::size_t spine, std::size_t legs);
+
+/// k-tree on n nodes: treewidth exactly k (for n > k), chordal.
+Graph make_k_tree(std::size_t n, std::size_t k, Rng& rng);
+
+/// Random d-regular multigraph via the configuration model; with high
+/// probability an expander for d >= 3. n*d must be even.
+Graph make_random_regular(std::size_t n, std::size_t d, Rng& rng);
+
+/// G(n, p) restricted to its largest connected component not guaranteed;
+/// callers should check connectivity. Edges kept with probability p.
+Graph make_erdos_renyi(std::size_t n, double p, Rng& rng);
+
+Graph make_hypercube(std::size_t dims);
+
+/// Two cliques of size n/2 joined by a single edge — maximal SQ contrast
+/// between the dense sides (D small) and the bridge.
+Graph make_barbell(std::size_t n);
+
+/// The hard family behind the Ω(√n + D) lower bound [13]: √n parallel paths
+/// of length √n, glued to a shallow binary tree that provides a small
+/// hop-diameter while every path-to-path route crosses the tree root region.
+/// SQ(G) = Θ̃(√n) although D = O(log n).
+Graph make_lower_bound_dumbbell(std::size_t side);
+
+/// Random geometric-ish planar-ish graph: grid plus random perturbation of
+/// weights; used for weighted-solver tests.
+Graph make_weighted_grid(std::size_t rows, std::size_t cols, Rng& rng,
+                         Weight min_w = 1.0, Weight max_w = 16.0);
+
+/// Barabási–Albert preferential attachment: each new node attaches `m_edges`
+/// edges to existing nodes chosen ∝ degree. The "social network" family the
+/// paper's introduction motivates: D = O(log n) (folklore), small SQ.
+Graph make_preferential_attachment(std::size_t n, std::size_t m_edges, Rng& rng);
+
+}  // namespace dls

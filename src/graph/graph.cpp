@@ -1,0 +1,39 @@
+#include "graph/graph.hpp"
+
+#include <sstream>
+
+namespace dls {
+
+std::string Graph::describe() const {
+  std::ostringstream out;
+  out << "Graph(n=" << num_nodes() << ", m=" << num_edges()
+      << ", maxdeg=" << max_degree() << ")";
+  return out.str();
+}
+
+InducedSubgraph induced_subgraph(const Graph& g, std::span<const NodeId> nodes) {
+  InducedSubgraph result;
+  result.to_local.assign(g.num_nodes(), kInvalidNode);
+  result.to_original.reserve(nodes.size());
+  for (NodeId v : nodes) {
+    DLS_REQUIRE(v < g.num_nodes(), "induced_subgraph node out of range");
+    DLS_REQUIRE(result.to_local[v] == kInvalidNode,
+                "induced_subgraph nodes must be distinct");
+    result.to_local[v] = static_cast<NodeId>(result.to_original.size());
+    result.to_original.push_back(v);
+    result.graph.add_node();
+  }
+  // Each undirected edge appears in two adjacency lists; add it once by
+  // only taking the direction where the edge's stored `u` equals the scan node.
+  for (NodeId v : nodes) {
+    for (const Adjacency& a : g.neighbors(v)) {
+      const Edge& e = g.edge(a.edge);
+      if (e.u != v) continue;  // visit each edge exactly once
+      if (result.to_local[e.v] == kInvalidNode) continue;
+      result.graph.add_edge(result.to_local[e.u], result.to_local[e.v], e.weight);
+    }
+  }
+  return result;
+}
+
+}  // namespace dls

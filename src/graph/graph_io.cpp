@@ -1,0 +1,75 @@
+#include "graph/graph_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace dls {
+
+Graph read_graph(std::istream& in) {
+  Graph g;
+  bool have_header = false;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto fail = [&](const std::string& why) {
+      throw std::invalid_argument("graph parse error at line " +
+                                  std::to_string(line_number) + ": " + why);
+    };
+    std::istringstream tokens(line);
+    std::string kind;
+    if (!(tokens >> kind) || kind[0] == '#') continue;
+    if (kind == "p") {
+      if (have_header) fail("duplicate header");
+      std::size_t n = 0;
+      if (!(tokens >> n)) fail("header needs a node count");
+      g = Graph(n);
+      have_header = true;
+    } else if (kind == "e") {
+      if (!have_header) fail("edge before header");
+      std::uint64_t u = 0, v = 0;
+      double w = 1.0;
+      if (!(tokens >> u >> v)) fail("edge needs two endpoints");
+      tokens >> w;  // optional
+      if (u >= g.num_nodes() || v >= g.num_nodes()) fail("endpoint out of range");
+      if (u == v) fail("self-loop");
+      if (w <= 0) fail("non-positive weight");
+      g.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v), w);
+    } else {
+      fail("unknown record '" + kind + "'");
+    }
+  }
+  if (!have_header) {
+    throw std::invalid_argument("graph parse error: missing 'p' header");
+  }
+  return g;
+}
+
+Graph read_graph_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open graph file: " + path);
+  return read_graph(in);
+}
+
+void write_graph(std::ostream& out, const Graph& g, const std::string& comment) {
+  // Full round-trip precision for weights.
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  if (!comment.empty()) out << "# " << comment << "\n";
+  out << "p " << g.num_nodes() << "\n";
+  for (const Edge& e : g.edges()) {
+    out << "e " << e.u << " " << e.v;
+    if (e.weight != 1.0) out << " " << e.weight;
+    out << "\n";
+  }
+}
+
+void write_graph_file(const std::string& path, const Graph& g,
+                      const std::string& comment) {
+  std::ofstream out(path);
+  if (!out) throw std::invalid_argument("cannot open graph file: " + path);
+  write_graph(out, g, comment);
+}
+
+}  // namespace dls

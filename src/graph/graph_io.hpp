@@ -1,0 +1,27 @@
+// Plain-text graph serialization, so users can run the library on their own
+// networks. The format is a DIMACS-flavoured edge list:
+//
+//   # comment
+//   p <num_nodes>
+//   e <u> <v> [weight]
+//
+// Node ids are 0-based; weight defaults to 1. Parsing is strict: malformed
+// lines throw with the line number.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace dls {
+
+Graph read_graph(std::istream& in);
+Graph read_graph_file(const std::string& path);
+
+void write_graph(std::ostream& out, const Graph& g,
+                 const std::string& comment = "");
+void write_graph_file(const std::string& path, const Graph& g,
+                      const std::string& comment = "");
+
+}  // namespace dls

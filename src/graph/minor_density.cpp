@@ -1,0 +1,155 @@
+#include "graph/minor_density.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "graph/algorithms.hpp"
+
+namespace dls {
+
+namespace {
+
+/// Recompute minor node/edge counts from branch sets; returns false if the
+/// sets are not disjoint or not connected.
+bool recount(const Graph& g, MinorWitness& witness) {
+  std::vector<std::uint32_t> owner(g.num_nodes(), static_cast<std::uint32_t>(-1));
+  for (std::uint32_t i = 0; i < witness.branch_sets.size(); ++i) {
+    for (NodeId v : witness.branch_sets[i]) {
+      if (v >= g.num_nodes()) return false;
+      if (owner[v] != static_cast<std::uint32_t>(-1)) return false;
+      owner[v] = i;
+    }
+  }
+  for (const auto& set : witness.branch_sets) {
+    if (set.empty()) return false;
+    const InducedSubgraph sub = induced_subgraph(g, set);
+    if (!is_connected(sub.graph)) return false;
+  }
+  std::set<std::pair<std::uint32_t, std::uint32_t>> minor_edges;
+  for (const Edge& e : g.edges()) {
+    const std::uint32_t a = owner[e.u];
+    const std::uint32_t b = owner[e.v];
+    if (a == static_cast<std::uint32_t>(-1) || b == static_cast<std::uint32_t>(-1))
+      continue;
+    if (a == b) continue;
+    minor_edges.insert({std::min(a, b), std::max(a, b)});
+  }
+  witness.minor_nodes = witness.branch_sets.size();
+  witness.minor_edges = minor_edges.size();
+  return true;
+}
+
+}  // namespace
+
+bool validate_minor_witness(const Graph& g, MinorWitness& witness) {
+  return recount(g, witness);
+}
+
+double simple_edge_density(const Graph& g) {
+  if (g.num_nodes() == 0) return 0.0;
+  std::set<std::pair<NodeId, NodeId>> simple;
+  for (const Edge& e : g.edges()) {
+    simple.insert({std::min(e.u, e.v), std::max(e.u, e.v)});
+  }
+  return static_cast<double>(simple.size()) / static_cast<double>(g.num_nodes());
+}
+
+MinorWitness dense_minor_search(const Graph& g, Rng& rng, int restarts,
+                                std::size_t max_steps) {
+  MinorWitness best;
+  if (g.num_nodes() == 0) return best;
+  if (max_steps == 0) max_steps = g.num_nodes();
+
+  for (int attempt = 0; attempt < restarts; ++attempt) {
+    // Contraction state: union-find plus a simple-graph edge multiset between
+    // current super-nodes. Greedy: contract a random edge among those whose
+    // contraction keeps density highest (full argmax is O(m) per step; we
+    // sample a small candidate pool to stay near-linear).
+    UnionFind uf(g.num_nodes());
+    auto density_now = [&]() {
+      std::set<std::pair<NodeId, NodeId>> super_edges;
+      for (const Edge& e : g.edges()) {
+        const NodeId a = uf.find(e.u), b = uf.find(e.v);
+        if (a != b) super_edges.insert({std::min(a, b), std::max(a, b)});
+      }
+      return static_cast<double>(super_edges.size()) /
+             static_cast<double>(uf.num_sets());
+    };
+
+    double current_best_density = density_now();
+    UnionFind best_state = uf;
+    for (std::size_t step = 0; step < max_steps && uf.num_sets() > 2; ++step) {
+      // Sample candidate edges; pick the contraction with max density.
+      constexpr int kCandidates = 12;
+      double cand_best = -1.0;
+      std::pair<NodeId, NodeId> cand_pair{kInvalidNode, kInvalidNode};
+      for (int c = 0; c < kCandidates; ++c) {
+        const Edge& e = g.edge(static_cast<EdgeId>(rng.next_below(g.num_edges())));
+        const NodeId a = uf.find(e.u), b = uf.find(e.v);
+        if (a == b) continue;
+        UnionFind trial = uf;
+        trial.unite(a, b);
+        std::set<std::pair<NodeId, NodeId>> super_edges;
+        for (const Edge& f : g.edges()) {
+          const NodeId x = trial.find(f.u), y = trial.find(f.v);
+          if (x != y) super_edges.insert({std::min(x, y), std::max(x, y)});
+        }
+        const double d = static_cast<double>(super_edges.size()) /
+                         static_cast<double>(trial.num_sets());
+        if (d > cand_best) {
+          cand_best = d;
+          cand_pair = {a, b};
+        }
+      }
+      if (cand_pair.first == kInvalidNode) break;
+      uf.unite(cand_pair.first, cand_pair.second);
+      if (cand_best > current_best_density) {
+        current_best_density = cand_best;
+        best_state = uf;
+      }
+    }
+
+    // Materialize witness from best_state.
+    std::map<NodeId, std::vector<NodeId>> groups;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      groups[best_state.find(v)].push_back(v);
+    }
+    MinorWitness witness;
+    for (auto& [root, members] : groups) {
+      witness.branch_sets.push_back(std::move(members));
+    }
+    if (recount(g, witness) && witness.density() > best.density()) {
+      best = std::move(witness);
+    }
+  }
+  return best;
+}
+
+MinorWitness observation21_witness(const Graph& layered_grid, std::size_t side) {
+  const std::size_t n = side * side;
+  DLS_REQUIRE(layered_grid.num_nodes() == 2 * n,
+              "expected a 2-layer layered graph of an s x s grid");
+  MinorWitness witness;
+  // Layer 1 rows: R_i = {l=0, nodes i*side..i*side+side-1}.
+  for (std::size_t r = 0; r < side; ++r) {
+    std::vector<NodeId> set;
+    for (std::size_t c = 0; c < side; ++c) {
+      set.push_back(static_cast<NodeId>(r * side + c));
+    }
+    witness.branch_sets.push_back(std::move(set));
+  }
+  // Layer 2 columns: C_j = {l=1, nodes j, side+j, ...} offset by n.
+  for (std::size_t c = 0; c < side; ++c) {
+    std::vector<NodeId> set;
+    for (std::size_t r = 0; r < side; ++r) {
+      set.push_back(static_cast<NodeId>(n + r * side + c));
+    }
+    witness.branch_sets.push_back(std::move(set));
+  }
+  const bool ok = recount(layered_grid, witness);
+  DLS_ASSERT(ok, "Observation 21 witness invalid — wrong layered layout?");
+  return witness;
+}
+
+}  // namespace dls

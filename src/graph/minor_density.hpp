@@ -1,0 +1,54 @@
+// Minor density δ(G) (Definition 9): max |E(H)|/|V(H)| over minors H of G.
+// Computing δ exactly is intractable, so we provide (a) the trivial density
+// |E|/|V| of G itself, (b) a greedy contraction search that returns a
+// *witness minor* and thus a certified lower bound on δ(G), and (c) the
+// explicit Observation-21 witness for layered grids, where contracting rows
+// in layer 1 and columns in layer 2 yields a K-like minor of density Ω(√n).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace dls {
+
+/// A minor witness: a partition of a subset of V(G) into connected branch
+/// sets; the minor has one node per branch set and an edge per pair of branch
+/// sets joined by at least one G-edge.
+struct MinorWitness {
+  std::vector<std::vector<NodeId>> branch_sets;
+  std::size_t minor_nodes = 0;
+  std::size_t minor_edges = 0;
+
+  double density() const {
+    return minor_nodes == 0 ? 0.0
+                            : static_cast<double>(minor_edges) /
+                                  static_cast<double>(minor_nodes);
+  }
+};
+
+/// Validates that the branch sets are disjoint and each induces a connected
+/// subgraph, and recomputes the minor's node/edge counts.
+bool validate_minor_witness(const Graph& g, MinorWitness& witness);
+
+/// Density of G itself (a minor of itself): |E|/|V| counting parallel edges
+/// once (minors are simple).
+double simple_edge_density(const Graph& g);
+
+/// Greedy randomized search for a dense minor: repeatedly contract the edge
+/// whose contraction maximizes resulting density. Restarts `restarts` times.
+/// Returns the densest witness found (a certified lower bound on δ(G)).
+MinorWitness dense_minor_search(const Graph& g, Rng& rng, int restarts = 4,
+                                std::size_t max_steps = 0);
+
+/// The explicit Observation 21 witness on the 2-layered s×s grid: branch set
+/// R_i = row i of layer 1, C_j = column j of layer 2. Every R_i touches every
+/// C_j through the inter-layer clique edges, so the minor contains K_{s,s}
+/// and has density ≥ s/2 = Ω(√n).
+/// `layered_grid` must be the 2-layer layered graph of make_grid(s, s) with
+/// the layer-major node numbering used by congested_pa::LayeredGraph
+/// (copy l of node v has id l*n + v).
+MinorWitness observation21_witness(const Graph& layered_grid, std::size_t side);
+
+}  // namespace dls

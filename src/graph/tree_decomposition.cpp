@@ -1,0 +1,220 @@
+#include "graph/tree_decomposition.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+
+namespace dls {
+
+std::size_t TreeDecomposition::width() const {
+  std::size_t best = 0;
+  for (const auto& bag : bags) best = std::max(best, bag.size());
+  return best == 0 ? 0 : best - 1;
+}
+
+bool is_valid_tree_decomposition(const Graph& g, const TreeDecomposition& td) {
+  const std::size_t n = g.num_nodes();
+  const std::size_t b = td.bags.size();
+  if (b == 0) return n == 0;
+  // Decomposition tree must be a tree over the bags.
+  if (td.tree_edges.size() + 1 != b) return false;
+  UnionFind uf(b);
+  for (const auto& [x, y] : td.tree_edges) {
+    if (x >= b || y >= b || x == y) return false;
+    if (!uf.unite(static_cast<NodeId>(x), static_cast<NodeId>(y))) return false;
+  }
+  if (uf.num_sets() != 1) return false;
+
+  // Property 1: every node is in some bag. Property 2: bags containing a node
+  // form a connected subtree. Check 2 by verifying, for each node, that the
+  // induced bag-subgraph is connected.
+  std::vector<std::vector<std::uint32_t>> bags_of_node(n);
+  for (std::uint32_t i = 0; i < b; ++i) {
+    for (NodeId v : td.bags[i]) {
+      if (v >= n) return false;
+      bags_of_node[v].push_back(i);
+    }
+  }
+  std::vector<std::vector<std::uint32_t>> tree_adj(b);
+  for (const auto& [x, y] : td.tree_edges) {
+    tree_adj[x].push_back(y);
+    tree_adj[y].push_back(x);
+  }
+  std::vector<char> in_set(b, 0), seen(b, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (bags_of_node[v].empty()) return false;  // property 1
+    for (std::uint32_t i : bags_of_node[v]) in_set[i] = 1;
+    // BFS within the marked bags.
+    std::vector<std::uint32_t> stack{bags_of_node[v][0]};
+    seen[bags_of_node[v][0]] = 1;
+    std::size_t reached = 0;
+    while (!stack.empty()) {
+      const std::uint32_t i = stack.back();
+      stack.pop_back();
+      ++reached;
+      for (std::uint32_t j : tree_adj[i]) {
+        if (in_set[j] && !seen[j]) {
+          seen[j] = 1;
+          stack.push_back(j);
+        }
+      }
+    }
+    const bool connected = reached == bags_of_node[v].size();
+    for (std::uint32_t i : bags_of_node[v]) {
+      in_set[i] = 0;
+      seen[i] = 0;
+    }
+    if (!connected) return false;  // property 2
+  }
+  // Property 3: every edge is inside some bag.
+  for (const Edge& e : g.edges()) {
+    bool found = false;
+    // Scan the (typically short) bag list of the lower-degree endpoint.
+    const NodeId probe =
+        bags_of_node[e.u].size() <= bags_of_node[e.v].size() ? e.u : e.v;
+    const NodeId other = probe == e.u ? e.v : e.u;
+    for (std::uint32_t i : bags_of_node[probe]) {
+      if (std::find(td.bags[i].begin(), td.bags[i].end(), other) !=
+          td.bags[i].end()) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Working fill graph for elimination: neighbor sets that we mutate as nodes
+/// are eliminated (simple-graph view; parallel edges collapse).
+struct FillGraph {
+  std::vector<std::set<NodeId>> adj;
+
+  explicit FillGraph(const Graph& g) : adj(g.num_nodes()) {
+    for (const Edge& e : g.edges()) {
+      adj[e.u].insert(e.v);
+      adj[e.v].insert(e.u);
+    }
+  }
+
+  std::size_t fill_in_count(NodeId v) const {
+    std::size_t missing = 0;
+    const auto& nv = adj[v];
+    for (auto it = nv.begin(); it != nv.end(); ++it) {
+      for (auto jt = std::next(it); jt != nv.end(); ++jt) {
+        if (adj[*it].find(*jt) == adj[*it].end()) ++missing;
+      }
+    }
+    return missing;
+  }
+
+  /// Eliminate v: connect its neighborhood into a clique and remove v.
+  void eliminate(NodeId v) {
+    const std::vector<NodeId> nv(adj[v].begin(), adj[v].end());
+    for (std::size_t i = 0; i < nv.size(); ++i) {
+      for (std::size_t j = i + 1; j < nv.size(); ++j) {
+        adj[nv[i]].insert(nv[j]);
+        adj[nv[j]].insert(nv[i]);
+      }
+    }
+    for (NodeId u : nv) adj[u].erase(v);
+    adj[v].clear();
+  }
+};
+
+}  // namespace
+
+TreeDecomposition tree_decomposition_heuristic(const Graph& g,
+                                               EliminationHeuristic heuristic) {
+  const std::size_t n = g.num_nodes();
+  TreeDecomposition td;
+  if (n == 0) return td;
+
+  FillGraph fill(g);
+  std::vector<char> eliminated(n, 0);
+  std::vector<std::vector<NodeId>> elim_bag(n);  // bag formed when v eliminated
+  std::vector<NodeId> order;
+  order.reserve(n);
+
+  for (std::size_t step = 0; step < n; ++step) {
+    // Greedy pick by heuristic.
+    NodeId best = kInvalidNode;
+    std::size_t best_score = static_cast<std::size_t>(-1);
+    for (NodeId v = 0; v < n; ++v) {
+      if (eliminated[v]) continue;
+      std::size_t score = heuristic == EliminationHeuristic::kMinDegree
+                              ? fill.adj[v].size()
+                              : fill.fill_in_count(v);
+      if (score < best_score) {
+        best_score = score;
+        best = v;
+      }
+    }
+    DLS_ASSERT(best != kInvalidNode, "elimination ran out of nodes early");
+    elim_bag[best].assign(fill.adj[best].begin(), fill.adj[best].end());
+    elim_bag[best].push_back(best);
+    fill.eliminate(best);
+    eliminated[best] = 1;
+    order.push_back(best);
+  }
+
+  // Build the decomposition tree: bag i corresponds to order[i]; its parent
+  // is the bag of the earliest-eliminated neighbor appearing later in the
+  // elimination order (standard chordal construction).
+  std::vector<std::uint32_t> position(n);
+  for (std::uint32_t i = 0; i < n; ++i) position[order[i]] = i;
+  td.bags.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) td.bags[i] = elim_bag[order[i]];
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const NodeId v = order[i];
+    std::uint32_t parent_pos = static_cast<std::uint32_t>(-1);
+    for (NodeId u : elim_bag[v]) {
+      if (u == v) continue;
+      parent_pos = std::min(parent_pos, position[u]);
+    }
+    if (parent_pos != static_cast<std::uint32_t>(-1)) {
+      td.tree_edges.emplace_back(i, parent_pos);
+    } else if (i + 1 < n) {
+      // Isolated-at-elimination node: attach anywhere to keep a tree.
+      td.tree_edges.emplace_back(i, i + 1);
+    }
+  }
+  return td;
+}
+
+std::size_t treewidth_upper_bound(const Graph& g, EliminationHeuristic heuristic) {
+  return tree_decomposition_heuristic(g, heuristic).width();
+}
+
+std::size_t treewidth_lower_bound_min_degree(const Graph& g) {
+  // "MMD" lower bound: repeatedly remove a minimum-degree node; the maximum
+  // min-degree seen is a lower bound on treewidth.
+  FillGraph fill(g);
+  std::vector<char> removed(g.num_nodes(), 0);
+  std::size_t best = 0;
+  for (std::size_t step = 0; step < g.num_nodes(); ++step) {
+    NodeId arg = kInvalidNode;
+    std::size_t min_deg = static_cast<std::size_t>(-1);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (!removed[v] && fill.adj[v].size() < min_deg) {
+        min_deg = fill.adj[v].size();
+        arg = v;
+      }
+    }
+    if (arg == kInvalidNode) break;
+    best = std::max(best, min_deg);
+    // Remove without fill-in (degeneracy-style).
+    for (NodeId u : std::vector<NodeId>(fill.adj[arg].begin(), fill.adj[arg].end())) {
+      fill.adj[u].erase(arg);
+    }
+    fill.adj[arg].clear();
+    removed[arg] = 1;
+  }
+  return best;
+}
+
+}  // namespace dls

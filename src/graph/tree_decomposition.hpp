@@ -1,0 +1,42 @@
+// Tree decompositions (Definition 11 of the paper) and treewidth upper bounds
+// via elimination-ordering heuristics (min-degree, min-fill). Used to verify
+// Lemma 19 (tw(Ĝ_ρ) ≤ ρ·tw(G) + ρ − 1) empirically and to drive the
+// treewidth-bounded congested-PA solver (Corollary 20).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dls {
+
+/// A tree decomposition: bags_ of nodes plus a tree over the bags.
+struct TreeDecomposition {
+  std::vector<std::vector<NodeId>> bags;
+  /// Edges of the decomposition tree as (bag index, bag index) pairs.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> tree_edges;
+
+  /// max |bag| − 1; 0 bags yields width −1 represented as 0 for empty graphs.
+  std::size_t width() const;
+};
+
+/// Checks the three properties of Definition 11 against g.
+bool is_valid_tree_decomposition(const Graph& g, const TreeDecomposition& td);
+
+enum class EliminationHeuristic { kMinDegree, kMinFill };
+
+/// Builds a tree decomposition from an elimination ordering chosen greedily
+/// by the given heuristic. The returned width is an upper bound on tw(g).
+TreeDecomposition tree_decomposition_heuristic(
+    const Graph& g, EliminationHeuristic heuristic = EliminationHeuristic::kMinDegree);
+
+/// Convenience: width of the heuristic decomposition (treewidth upper bound).
+std::size_t treewidth_upper_bound(
+    const Graph& g, EliminationHeuristic heuristic = EliminationHeuristic::kMinDegree);
+
+/// A cheap treewidth lower bound: the maximum over degeneracy-style
+/// contractions of the minimum degree (MMD+ would be stronger; this suffices
+/// to bracket the experiments).
+std::size_t treewidth_lower_bound_min_degree(const Graph& g);
+
+}  // namespace dls

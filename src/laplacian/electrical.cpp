@@ -1,0 +1,102 @@
+#include "laplacian/electrical.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/laplacian.hpp"
+
+namespace dls {
+
+double effective_resistance(DistributedLaplacianSolver& solver, NodeId u,
+                            NodeId v) {
+  const Graph& g = solver.graph();
+  DLS_REQUIRE(u < g.num_nodes() && v < g.num_nodes(), "node out of range");
+  DLS_REQUIRE(u != v, "effective resistance needs distinct nodes");
+  Vec b(g.num_nodes(), 0.0);
+  b[u] = 1.0;
+  b[v] = -1.0;
+  const LaplacianSolveReport report = solver.solve(b);
+  return report.x[u] - report.x[v];
+}
+
+ResistanceSketch sketch_effective_resistances(const Graph& g,
+                                              DistributedLaplacianSolver& solver,
+                                              Rng& rng, double epsilon) {
+  DLS_REQUIRE(epsilon > 0 && epsilon < 1, "epsilon in (0,1) required");
+  ResistanceSketch sketch;
+  sketch.epsilon = epsilon;
+  const std::size_t n = g.num_nodes();
+  const std::size_t m = g.num_edges();
+  sketch.edge_resistance.assign(m, 0.0);
+  if (m == 0) return sketch;
+  const std::size_t k = std::max<std::size_t>(
+      4, static_cast<std::size_t>(std::ceil(
+             8.0 * std::log(static_cast<double>(std::max<std::size_t>(n, 2))) /
+             (epsilon * epsilon))));
+  sketch.solves = k;
+  // R_e ≈ ‖Z (χ_u − χ_v)‖² with Z = (1/√k) Q W^{1/2} B L⁺: each sketch row
+  // is one Laplacian solve against Bᵀ W^{1/2} q for a random ±1 vector q
+  // over edges.
+  for (std::size_t row = 0; row < k; ++row) {
+    Vec rhs(n, 0.0);
+    for (EdgeId e = 0; e < m; ++e) {
+      const Edge& edge = g.edge(e);
+      const double q = rng.next_bool() ? 1.0 : -1.0;
+      const double scaled = q * std::sqrt(edge.weight);
+      rhs[edge.u] += scaled;
+      rhs[edge.v] -= scaled;
+    }
+    project_mean_zero(rhs);
+    const LaplacianSolveReport report = solver.solve(rhs);
+    for (EdgeId e = 0; e < m; ++e) {
+      const Edge& edge = g.edge(e);
+      const double diff = report.x[edge.u] - report.x[edge.v];
+      sketch.edge_resistance[e] += diff * diff / static_cast<double>(k);
+    }
+  }
+  return sketch;
+}
+
+SpectralSparsifier spectral_sparsify(const Graph& g,
+                                     DistributedLaplacianSolver& solver,
+                                     Rng& rng, double quality,
+                                     double sketch_epsilon) {
+  DLS_REQUIRE(quality > 0, "quality must be positive");
+  const ResistanceSketch sketch =
+      sketch_effective_resistances(g, solver, rng, sketch_epsilon);
+  SpectralSparsifier result;
+  result.sparsifier = Graph(g.num_nodes());
+  const double log_n =
+      std::log(static_cast<double>(std::max<std::size_t>(g.num_nodes(), 2)));
+  result.oversampling = quality * log_n;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    // Leverage score w_e·R_e ∈ [0, 1]; clamp against sketch noise.
+    const double leverage =
+        std::clamp(edge.weight * sketch.edge_resistance[e], 1e-12, 1.0);
+    const double p = std::min(1.0, result.oversampling * leverage);
+    if (rng.next_bool(p)) {
+      result.sparsifier.add_edge(edge.u, edge.v, edge.weight / p);
+      result.kept_edges.push_back(e);
+    }
+  }
+  return result;
+}
+
+double measure_spectral_distortion(const Graph& g, const Graph& h, Rng& rng,
+                                   int probes) {
+  DLS_REQUIRE(g.num_nodes() == h.num_nodes(), "node sets must match");
+  double worst = 1.0;
+  for (int p = 0; p < probes; ++p) {
+    Vec x(g.num_nodes());
+    for (double& v : x) v = rng.next_double() * 2.0 - 1.0;
+    project_mean_zero(x);
+    const double qg = laplacian_quadratic_form(g, x);
+    const double qh = laplacian_quadratic_form(h, x);
+    if (qg <= 0 || qh <= 0) continue;
+    worst = std::max({worst, qh / qg, qg / qh});
+  }
+  return worst;
+}
+
+}  // namespace dls

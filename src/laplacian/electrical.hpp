@@ -1,0 +1,53 @@
+// Electrical primitives on top of the distributed Laplacian solver — the
+// applications the Laplacian paradigm exists for ([47, 32, 40]; paper §1).
+//
+// * Effective resistances, single-pair (one solve) and all-edges via the
+//   Spielman–Srivastava Johnson–Lindenstrauss sketch (O(log n / δ²) solves).
+// * Spectral sparsification by effective-resistance sampling: keep edge e
+//   with probability ∝ w_e·R_e·log n, reweight by 1/p_e — whp a
+//   (1 ± ε)-spectral approximation.
+// All communication is charged through the solver's PA oracle.
+#pragma once
+
+#include "laplacian/recursive_solver.hpp"
+
+namespace dls {
+
+/// Effective resistance between two nodes: R(u,v) = (e_u − e_v)ᵀ L⁺ (e_u − e_v).
+/// One distributed solve.
+double effective_resistance(DistributedLaplacianSolver& solver, NodeId u,
+                            NodeId v);
+
+struct ResistanceSketch {
+  /// Approximate effective resistance per edge of the solver's graph.
+  std::vector<double> edge_resistance;
+  std::size_t solves = 0;   // JL sketch dimension (number of solves)
+  double epsilon = 0.0;     // targeted multiplicative accuracy
+};
+
+/// All-edge effective resistances via JL sketching; `epsilon` trades sketch
+/// dimension (≈ 8·ln n / ε²) against accuracy.
+ResistanceSketch sketch_effective_resistances(const Graph& g,
+                                              DistributedLaplacianSolver& solver,
+                                              Rng& rng, double epsilon = 0.5);
+
+struct SpectralSparsifier {
+  Graph sparsifier;                 // same node set, reweighted sample
+  std::vector<EdgeId> kept_edges;   // original ids, aligned with sparsifier
+  double oversampling = 0.0;        // the C in p_e = min(1, C·w_e·R_e)
+};
+
+/// Spielman–Srivastava sparsification driven by the sketch. `quality`
+/// scales the sample count (higher = denser = closer spectrally).
+SpectralSparsifier spectral_sparsify(const Graph& g,
+                                     DistributedLaplacianSolver& solver,
+                                     Rng& rng, double quality = 4.0,
+                                     double sketch_epsilon = 0.5);
+
+/// Measured spectral distortion max over probe vectors x of the ratio
+/// x'L_H x / x'L_G x (and its reciprocal) — a Monte-Carlo check of the
+/// (1±ε) guarantee.
+double measure_spectral_distortion(const Graph& g, const Graph& h, Rng& rng,
+                                   int probes = 24);
+
+}  // namespace dls

@@ -1,0 +1,178 @@
+#include "laplacian/elimination.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace dls {
+
+namespace {
+
+struct Entry {
+  double weight = 0.0;
+  std::vector<NodeId> g_path;  // from owner to neighbor, inclusive
+};
+
+std::vector<NodeId> reversed(std::vector<NodeId> path) {
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+EliminationResult eliminate_degree_le2(const MinorGraph& minor,
+                                       std::size_t min_remaining) {
+  DLS_REQUIRE(min_remaining >= 1, "must keep at least one node");
+  EliminationResult result;
+  const std::size_t n = minor.num_nodes;
+
+  // Adjacency maps with parallel edges merged (weights add; shortest host
+  // path kept as the communication witness).
+  std::vector<std::map<NodeId, Entry>> adj(n);
+  for (const MinorEdge& e : minor.edges) {
+    auto add = [&](NodeId from, NodeId to, const std::vector<NodeId>& path) {
+      auto [it, inserted] = adj[from].try_emplace(to, Entry{e.weight, path});
+      if (!inserted) {
+        it->second.weight += e.weight;
+        if (path.size() < it->second.g_path.size()) it->second.g_path = path;
+      }
+    };
+    add(e.u, e.v, e.g_path);
+    add(e.v, e.u, reversed(e.g_path));
+  }
+
+  std::vector<char> alive(n, 1);
+  std::size_t alive_count = n;
+  std::deque<NodeId> queue;
+  for (NodeId v = 0; v < n; ++v) {
+    if (adj[v].size() <= 2) queue.push_back(v);
+  }
+  while (!queue.empty() && alive_count > min_remaining) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    if (!alive[v] || adj[v].size() > 2) continue;
+    if (adj[v].empty()) {
+      DLS_ASSERT(alive_count == 1, "isolated node in a connected minor");
+      break;
+    }
+    if (adj[v].size() == 1) {
+      const auto& [u, entry] = *adj[v].begin();
+      result.steps.push_back(
+          {EliminationStep::Kind::kDegreeOne, v, u, kInvalidNode, entry.weight, 0.0});
+      adj[u].erase(v);
+      adj[v].clear();
+      alive[v] = 0;
+      --alive_count;
+      if (adj[u].size() <= 2) queue.push_back(u);
+    } else {
+      auto it = adj[v].begin();
+      const NodeId u1 = it->first;
+      const Entry e1 = it->second;
+      ++it;
+      const NodeId u2 = it->first;
+      const Entry e2 = it->second;
+      result.steps.push_back({EliminationStep::Kind::kDegreeTwo, v, u1, u2,
+                              e1.weight, e2.weight});
+      const double w_new = e1.weight * e2.weight / (e1.weight + e2.weight);
+      // Host path u1 → v → u2 (drop the duplicated v).
+      std::vector<NodeId> path = reversed(e1.g_path);
+      path.insert(path.end(), e2.g_path.begin() + 1, e2.g_path.end());
+      result.max_chain_hops =
+          std::max(result.max_chain_hops, path.size() - 1);
+      adj[u1].erase(v);
+      adj[u2].erase(v);
+      auto [slot, inserted] = adj[u1].try_emplace(u2, Entry{w_new, path});
+      if (!inserted) {
+        slot->second.weight += w_new;
+        if (path.size() < slot->second.g_path.size()) slot->second.g_path = path;
+      }
+      auto [slot2, inserted2] =
+          adj[u2].try_emplace(u1, Entry{w_new, reversed(path)});
+      if (!inserted2) {
+        slot2->second.weight += w_new;
+        if (path.size() < slot2->second.g_path.size()) {
+          slot2->second.g_path = reversed(path);
+        }
+      }
+      adj[v].clear();
+      alive[v] = 0;
+      --alive_count;
+      if (adj[u1].size() <= 2) queue.push_back(u1);
+      if (adj[u2].size() <= 2) queue.push_back(u2);
+    }
+  }
+
+  // Compact the kept nodes into the Schur minor.
+  result.input_to_schur.assign(n, kInvalidNode);
+  for (NodeId v = 0; v < n; ++v) {
+    if (alive[v]) {
+      result.input_to_schur[v] = static_cast<NodeId>(result.kept.size());
+      result.kept.push_back(v);
+    }
+  }
+  result.schur.num_nodes = result.kept.size();
+  result.schur.host.reserve(result.kept.size());
+  for (NodeId v : result.kept) result.schur.host.push_back(minor.host[v]);
+  for (NodeId v : result.kept) {
+    for (const auto& [u, entry] : adj[v]) {
+      if (v < u) {
+        result.schur.edges.push_back({result.input_to_schur[v],
+                                      result.input_to_schur[u], entry.weight,
+                                      entry.g_path});
+      }
+    }
+  }
+  return result;
+}
+
+Vec EliminationResult::forward_rhs(const Vec& b) const {
+  DLS_REQUIRE(b.size() == input_to_schur.size(), "rhs size mismatch");
+  Vec work = b;
+  for (const EliminationStep& s : steps) {
+    if (s.kind == EliminationStep::Kind::kDegreeOne) {
+      work[s.n1] += work[s.node];
+    } else {
+      const double total = s.w1 + s.w2;
+      work[s.n1] += s.w1 / total * work[s.node];
+      work[s.n2] += s.w2 / total * work[s.node];
+    }
+  }
+  Vec reduced(kept.size());
+  for (std::size_t i = 0; i < kept.size(); ++i) reduced[i] = work[kept[i]];
+  return reduced;
+}
+
+Vec EliminationResult::backward_solution(const Vec& x_schur, const Vec& b) const {
+  DLS_REQUIRE(x_schur.size() == kept.size(), "schur solution size mismatch");
+  DLS_REQUIRE(b.size() == input_to_schur.size(), "rhs size mismatch");
+  // Replay the forward pass to recover each node's rhs at elimination time.
+  Vec work = b;
+  std::vector<double> b_at_elim(steps.size());
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const EliminationStep& s = steps[i];
+    b_at_elim[i] = work[s.node];
+    if (s.kind == EliminationStep::Kind::kDegreeOne) {
+      work[s.n1] += work[s.node];
+    } else {
+      const double total = s.w1 + s.w2;
+      work[s.n1] += s.w1 / total * work[s.node];
+      work[s.n2] += s.w2 / total * work[s.node];
+    }
+  }
+  Vec x(input_to_schur.size(), 0.0);
+  for (std::size_t i = 0; i < kept.size(); ++i) x[kept[i]] = x_schur[i];
+  for (std::size_t i = steps.size(); i-- > 0;) {
+    const EliminationStep& s = steps[i];
+    if (s.kind == EliminationStep::Kind::kDegreeOne) {
+      x[s.node] = x[s.n1] + b_at_elim[i] / s.w1;
+    } else {
+      x[s.node] =
+          (s.w1 * x[s.n1] + s.w2 * x[s.n2] + b_at_elim[i]) / (s.w1 + s.w2);
+    }
+  }
+  return x;
+}
+
+}  // namespace dls

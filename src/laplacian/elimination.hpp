@@ -1,0 +1,49 @@
+// Partial Cholesky elimination of degree-≤2 nodes ([18] §5-style), producing
+// the Schur complement as a congested minor.
+//
+// Eliminating a degree-1 node removes it; eliminating a degree-2 node splices
+// its two (distinct-neighbor) edges into one series edge of weight
+// w₁w₂/(w₁+w₂) whose host path passes through the eliminated node's hosts —
+// this is where minor congestion (and hence ρ-congested PA) comes from.
+// Parallel edges are merged by weight addition, keeping the shortest host
+// path as the communication witness. The recorded steps support exact
+// forward rhs reduction and backward solution extension, so the
+// sparsifier-system solve is exact given an exact Schur-complement solve.
+#pragma once
+
+#include "laplacian/minor.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace dls {
+
+struct EliminationStep {
+  enum class Kind { kDegreeOne, kDegreeTwo };
+  Kind kind = Kind::kDegreeOne;
+  NodeId node = kInvalidNode;  // eliminated node (input-minor id)
+  NodeId n1 = kInvalidNode;    // neighbor(s) at elimination time
+  NodeId n2 = kInvalidNode;    // kDegreeTwo only
+  double w1 = 0.0;
+  double w2 = 0.0;             // kDegreeTwo only
+};
+
+struct EliminationResult {
+  MinorGraph schur;                 // on kept nodes, compact ids
+  std::vector<NodeId> kept;         // schur id -> input-minor id
+  std::vector<NodeId> input_to_schur;  // input id -> schur id (or kInvalidNode)
+  std::vector<EliminationStep> steps;  // in elimination order
+  /// Longest series chain spliced into a single Schur edge, measured in
+  /// input-minor hops — the local-round cost of one substitution sweep.
+  std::size_t max_chain_hops = 0;
+
+  /// Reduces an input-minor rhs to the Schur system's rhs (kept-compact).
+  Vec forward_rhs(const Vec& b) const;
+  /// Recovers the full input-minor solution from the Schur solution.
+  Vec backward_solution(const Vec& x_schur, const Vec& b) const;
+};
+
+/// Eliminates until every remaining node has degree ≥ 3 (by distinct
+/// neighbors) or only `min_remaining` nodes remain. Input must be connected.
+EliminationResult eliminate_degree_le2(const MinorGraph& minor,
+                                       std::size_t min_remaining = 1);
+
+}  // namespace dls

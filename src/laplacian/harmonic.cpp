@@ -1,0 +1,146 @@
+#include "laplacian/harmonic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "linalg/laplacian.hpp"
+
+namespace dls {
+
+namespace {
+
+void validate_problem(const Graph& g, const HarmonicProblem& problem) {
+  DLS_REQUIRE(!problem.boundary_nodes.empty(), "need at least one boundary node");
+  DLS_REQUIRE(problem.boundary_nodes.size() == problem.boundary_values.size(),
+              "boundary nodes/values mismatch");
+  std::vector<char> seen(g.num_nodes(), 0);
+  for (NodeId b : problem.boundary_nodes) {
+    DLS_REQUIRE(b < g.num_nodes(), "boundary node out of range");
+    DLS_REQUIRE(!seen[b], "duplicate boundary node");
+    seen[b] = 1;
+  }
+}
+
+}  // namespace
+
+HarmonicResult solve_harmonic(const Graph& g, const HarmonicProblem& problem,
+                              Rng& rng, const HarmonicOptions& options) {
+  validate_problem(g, problem);
+  DLS_REQUIRE(is_connected(g), "harmonic extension needs a connected graph");
+  const std::size_t n = g.num_nodes();
+
+  // Anchor embedding: add node z tied to every boundary node with a stiff
+  // edge; the Dirichlet solution is the limit of the (valid-rhs) Laplacian
+  // system below as penalty → ∞.
+  Graph anchored(n);
+  for (const Edge& e : g.edges()) anchored.add_edge(e.u, e.v, e.weight);
+  const NodeId z = anchored.add_node();
+  for (NodeId b : problem.boundary_nodes) {
+    anchored.add_edge(b, z, options.penalty);
+  }
+  Vec rhs(n + 1, 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < problem.boundary_nodes.size(); ++i) {
+    rhs[problem.boundary_nodes[i]] =
+        options.penalty * problem.boundary_values[i];
+    total += rhs[problem.boundary_nodes[i]];
+  }
+  rhs[z] = -total;
+
+  ShortcutPaOracle oracle(anchored, rng);
+  LaplacianSolverOptions solver_options;
+  solver_options.tolerance = options.tolerance;
+  solver_options.base_size = options.base_size;
+  DistributedLaplacianSolver solver(oracle, rng, solver_options);
+  const LaplacianSolveReport report = solver.solve(rhs);
+
+  HarmonicResult result;
+  result.x.assign(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) result.x[v] = report.x[v] - report.x[z];
+  for (std::size_t i = 0; i < problem.boundary_nodes.size(); ++i) {
+    result.max_boundary_error =
+        std::max(result.max_boundary_error,
+                 std::abs(result.x[problem.boundary_nodes[i]] -
+                          problem.boundary_values[i]));
+  }
+  result.max_harmonic_violation = harmonic_violation(g, problem, result.x);
+  result.local_rounds = report.local_rounds;
+  result.global_rounds = report.global_rounds;
+  result.pa_calls = report.pa_calls;
+  return result;
+}
+
+Vec solve_harmonic_reference(const Graph& g, const HarmonicProblem& problem) {
+  validate_problem(g, problem);
+  const std::size_t n = g.num_nodes();
+  // Interior indexing.
+  std::vector<std::ptrdiff_t> interior_index(n, -1);
+  std::vector<double> fixed(n, 0.0);
+  std::vector<char> is_boundary(n, 0);
+  for (std::size_t i = 0; i < problem.boundary_nodes.size(); ++i) {
+    is_boundary[problem.boundary_nodes[i]] = 1;
+    fixed[problem.boundary_nodes[i]] = problem.boundary_values[i];
+  }
+  std::vector<NodeId> interior;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!is_boundary[v]) {
+      interior_index[v] = static_cast<std::ptrdiff_t>(interior.size());
+      interior.push_back(v);
+    }
+  }
+  const std::size_t m = interior.size();
+  Vec x(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) x[v] = fixed[v];
+  if (m == 0) return x;
+
+  // Dense interior system L_II y = -L_IB v (Gaussian elimination with
+  // partial pivoting; interior blocks in tests are small).
+  std::vector<Vec> a(m, Vec(m + 1, 0.0));
+  for (const Edge& e : g.edges()) {
+    const auto iu = interior_index[e.u];
+    const auto iv = interior_index[e.v];
+    if (iu >= 0) a[iu][static_cast<std::size_t>(iu)] += e.weight;
+    if (iv >= 0) a[iv][static_cast<std::size_t>(iv)] += e.weight;
+    if (iu >= 0 && iv >= 0) {
+      a[iu][static_cast<std::size_t>(iv)] -= e.weight;
+      a[iv][static_cast<std::size_t>(iu)] -= e.weight;
+    } else if (iu >= 0) {
+      a[iu][m] += e.weight * fixed[e.v];
+    } else if (iv >= 0) {
+      a[iv][m] += e.weight * fixed[e.u];
+    }
+  }
+  for (std::size_t col = 0; col < m; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < m; ++row) {
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+    }
+    DLS_REQUIRE(std::abs(a[pivot][col]) > 1e-14,
+                "interior block singular — a component has no boundary");
+    std::swap(a[col], a[pivot]);
+    for (std::size_t row = 0; row < m; ++row) {
+      if (row == col) continue;
+      const double factor = a[row][col] / a[col][col];
+      if (factor == 0.0) continue;
+      for (std::size_t k = col; k <= m; ++k) a[row][k] -= factor * a[col][k];
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i) x[interior[i]] = a[i][m] / a[i][i];
+  return x;
+}
+
+double harmonic_violation(const Graph& g, const HarmonicProblem& problem,
+                          const Vec& x) {
+  DLS_REQUIRE(x.size() == g.num_nodes(), "solution size mismatch");
+  std::vector<char> is_boundary(g.num_nodes(), 0);
+  for (NodeId b : problem.boundary_nodes) is_boundary[b] = 1;
+  const Vec lx = laplacian_apply(g, x);
+  double worst = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!is_boundary[v]) worst = std::max(worst, std::abs(lx[v]));
+  }
+  return worst;
+}
+
+}  // namespace dls

@@ -1,0 +1,54 @@
+// Harmonic interpolation (the graph Dirichlet problem): given boundary
+// nodes with fixed values, extend to interior nodes so that every interior
+// node's value is the weighted average of its neighbors — equivalently
+// minimize the Laplacian energy xᵀLx subject to the boundary constraints.
+// This is the semi-supervised label-propagation / heat-equilibrium use case
+// of the Laplacian paradigm, and on the solver side it exercises Dirichlet
+// (grounded) systems rather than the pure Neumann systems of Lx = b.
+//
+// Distributed realization: the interior system L_II x_I = −L_IB x_B is
+// solved by the standard penalty embedding — run the usual solver on G with
+// boundary nodes tied to their values through a stiff penalty weight — so
+// all communication goes through the same congested-PA oracle machinery.
+#pragma once
+
+#include "laplacian/pa_oracle.hpp"
+#include "laplacian/recursive_solver.hpp"
+
+namespace dls {
+
+struct HarmonicProblem {
+  std::vector<NodeId> boundary_nodes;
+  std::vector<double> boundary_values;  // aligned
+};
+
+struct HarmonicResult {
+  Vec x;                         // boundary entries ≈ fixed values
+  double max_boundary_error = 0.0;
+  double max_harmonic_violation = 0.0;  // interior averaging residual
+  std::uint64_t local_rounds = 0;
+  std::uint64_t global_rounds = 0;
+  std::uint64_t pa_calls = 0;
+};
+
+struct HarmonicOptions {
+  double penalty = 1e6;        // stiffness tying boundary nodes down
+  double tolerance = 1e-10;    // inner solver tolerance
+  std::size_t base_size = 64;
+};
+
+/// Solves the Dirichlet problem on g (communication network = system graph)
+/// through the shortcut PA oracle.
+HarmonicResult solve_harmonic(const Graph& g, const HarmonicProblem& problem,
+                              Rng& rng,
+                              const HarmonicOptions& options = {});
+
+/// Exact sequential reference (direct elimination of the interior block).
+Vec solve_harmonic_reference(const Graph& g, const HarmonicProblem& problem);
+
+/// Max over interior nodes of |x_v − weighted neighbor average|·deg_w(v) —
+/// zero iff x is harmonic on the interior.
+double harmonic_violation(const Graph& g, const HarmonicProblem& problem,
+                          const Vec& x);
+
+}  // namespace dls

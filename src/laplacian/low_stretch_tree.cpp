@@ -1,0 +1,288 @@
+#include "laplacian/low_stretch_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "graph/algorithms.hpp"
+
+namespace dls {
+
+namespace {
+
+/// One MPX-style decomposition phase on a quotient multigraph. Returns the
+/// cluster id per quotient node and appends the original-graph BFS edges
+/// used inside clusters to `tree_edges`.
+///
+/// Implementation: every node draws a shift δ_v ~ Exp(beta); a node joins the
+/// cluster of the node u maximizing δ_u − dist(u, v) (computed by a Dijkstra
+/// over "start times"), and the predecessor edges form intra-cluster trees.
+std::vector<std::uint32_t> mpx_phase(
+    const std::vector<std::vector<std::pair<NodeId, EdgeId>>>& adj,
+    std::size_t n, double beta, Rng& rng, std::vector<EdgeId>& tree_edges) {
+  std::vector<double> shift(n);
+  for (auto& s : shift) {
+    // Exponential with rate beta via inverse CDF.
+    s = -std::log(1.0 - rng.next_double()) / beta;
+  }
+  std::vector<double> best(n, -std::numeric_limits<double>::infinity());
+  std::vector<std::uint32_t> cluster(n, static_cast<std::uint32_t>(-1));
+  std::vector<EdgeId> via(n, kInvalidEdge);
+  using Item = std::pair<double, NodeId>;  // (key = shift - dist, node)
+  std::priority_queue<Item> heap;
+  for (NodeId v = 0; v < n; ++v) {
+    best[v] = shift[v];
+    cluster[v] = v;
+    heap.push({best[v], v});
+  }
+  std::vector<char> settled(n, 0);
+  while (!heap.empty()) {
+    const auto [key, v] = heap.top();
+    heap.pop();
+    if (settled[v] || key < best[v]) continue;
+    settled[v] = 1;
+    if (via[v] != kInvalidEdge) tree_edges.push_back(via[v]);
+    for (const auto& [nbr, e] : adj[v]) {
+      const double cand = best[v] - 1.0;  // hop metric
+      if (!settled[nbr] && cand > best[nbr]) {
+        best[nbr] = cand;
+        cluster[nbr] = cluster[v];
+        via[nbr] = e;
+        heap.push({cand, nbr});
+      }
+    }
+  }
+  return cluster;
+}
+
+}  // namespace
+
+LowStretchTreeResult low_stretch_spanning_tree(const Graph& g, Rng& rng,
+                                               double beta) {
+  bool uniform = true;
+  for (EdgeId e = 1; uniform && e < g.num_edges(); ++e) {
+    uniform = g.edge(e).weight == g.edge(0).weight;
+  }
+  return uniform ? low_stretch_spanning_tree_hops(g, rng, beta)
+                 : low_stretch_spanning_tree_weighted(g, rng, beta);
+}
+
+LowStretchTreeResult low_stretch_spanning_tree_hops(const Graph& g, Rng& rng,
+                                                    double beta) {
+  DLS_REQUIRE(is_connected(g), "low-stretch tree requires a connected graph");
+  LowStretchTreeResult result;
+  const std::size_t n = g.num_nodes();
+  if (n <= 1) return result;
+  if (beta <= 0.0) {
+    beta = 1.0 / std::max(2.0, 2.0 * std::log2(static_cast<double>(n)));
+  }
+
+  // Quotient state: super[v] = current super-node of original node v.
+  UnionFind uf(n);
+  while (uf.num_sets() > 1) {
+    ++result.phases;
+    DLS_ASSERT(result.phases <= 512, "LDD contraction failed to make progress");
+    // Build quotient adjacency: representative ids compacted to 0..q-1.
+    std::vector<NodeId> rep_of(n, kInvalidNode);
+    std::vector<NodeId> compact(n, kInvalidNode);
+    std::size_t q = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId r = uf.find(v);
+      if (compact[r] == kInvalidNode) {
+        compact[r] = static_cast<NodeId>(q);
+        rep_of[q] = r;
+        ++q;
+      }
+    }
+    std::vector<std::vector<std::pair<NodeId, EdgeId>>> adj(q);
+    // Cheapest representative edge per super-pair keeps the quotient sparse.
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const Edge& edge = g.edge(e);
+      const NodeId a = compact[uf.find(edge.u)];
+      const NodeId b = compact[uf.find(edge.v)];
+      if (a == b) continue;
+      adj[a].push_back({b, e});
+      adj[b].push_back({a, e});
+    }
+    std::vector<EdgeId> phase_tree;
+    const std::vector<std::uint32_t> cluster =
+        mpx_phase(adj, q, beta, rng, phase_tree);
+    (void)cluster;
+    bool merged = false;
+    for (EdgeId e : phase_tree) {
+      if (uf.unite(g.edge(e).u, g.edge(e).v)) {
+        result.tree_edges.push_back(e);
+        merged = true;
+      }
+    }
+    // Exponential shifts may produce singleton clusters only in pathological
+    // draws; force progress by merging one inter-cluster edge.
+    if (!merged) {
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        if (uf.unite(g.edge(e).u, g.edge(e).v)) {
+          result.tree_edges.push_back(e);
+          break;
+        }
+      }
+    }
+  }
+  DLS_ASSERT(is_spanning_tree(g, result.tree_edges),
+             "low-stretch construction did not produce a spanning tree");
+  return result;
+}
+
+LowStretchTreeResult low_stretch_spanning_tree_weighted(const Graph& g,
+                                                        Rng& rng, double beta,
+                                                        double class_growth) {
+  DLS_REQUIRE(is_connected(g), "low-stretch tree requires a connected graph");
+  DLS_REQUIRE(class_growth > 1.0, "class growth must exceed 1");
+  LowStretchTreeResult result;
+  const std::size_t n = g.num_nodes();
+  if (n <= 1) return result;
+  if (beta <= 0.0) {
+    beta = 1.0 / std::max(2.0, 2.0 * std::log2(static_cast<double>(n)));
+  }
+  // Length classes: resistive length 1/w; heavy (low-resistance) edges are
+  // admitted first so tree paths between strongly-coupled nodes stay heavy.
+  double min_length = std::numeric_limits<double>::infinity();
+  for (const Edge& e : g.edges()) min_length = std::min(min_length, 1.0 / e.weight);
+  double admitted_length = min_length * class_growth;
+
+  UnionFind uf(n);
+  std::size_t guard = 0;
+  while (uf.num_sets() > 1) {
+    DLS_ASSERT(++guard <= 4096, "weighted LDD failed to make progress");
+    // Quotient restricted to admitted edges.
+    std::vector<NodeId> compact(n, kInvalidNode);
+    std::size_t q = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId r = uf.find(v);
+      if (compact[r] == kInvalidNode) compact[r] = static_cast<NodeId>(q++);
+    }
+    std::vector<std::vector<std::pair<NodeId, EdgeId>>> adj(q);
+    bool any_admitted = false;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (1.0 / g.edge(e).weight > admitted_length) continue;
+      const NodeId a = compact[uf.find(g.edge(e).u)];
+      const NodeId b = compact[uf.find(g.edge(e).v)];
+      if (a == b) continue;
+      adj[a].push_back({b, e});
+      adj[b].push_back({a, e});
+      any_admitted = true;
+    }
+    if (!any_admitted) {
+      admitted_length *= class_growth;
+      continue;
+    }
+    ++result.phases;
+    std::vector<EdgeId> phase_tree;
+    mpx_phase(adj, q, beta, rng, phase_tree);
+    bool merged = false;
+    for (EdgeId e : phase_tree) {
+      if (uf.unite(g.edge(e).u, g.edge(e).v)) {
+        result.tree_edges.push_back(e);
+        merged = true;
+      }
+    }
+    if (!merged) {
+      // Force progress within the class before enlarging it.
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        if (1.0 / g.edge(e).weight > admitted_length) continue;
+        if (uf.unite(g.edge(e).u, g.edge(e).v)) {
+          result.tree_edges.push_back(e);
+          break;
+        }
+      }
+    }
+    admitted_length *= class_growth;
+  }
+  DLS_ASSERT(is_spanning_tree(g, result.tree_edges),
+             "weighted low-stretch construction did not span");
+  return result;
+}
+
+std::vector<double> edge_stretches(const Graph& g,
+                                   std::span<const EdgeId> tree_edges) {
+  DLS_REQUIRE(is_spanning_tree(g, tree_edges), "edge_stretches needs a tree");
+  const std::size_t n = g.num_nodes();
+  // Root the tree, compute depth and prefix resistance to the root, plus
+  // binary-lifting ancestors for LCA queries.
+  std::vector<std::vector<std::pair<NodeId, EdgeId>>> adj(n);
+  for (EdgeId e : tree_edges) {
+    adj[g.edge(e).u].push_back({g.edge(e).v, e});
+    adj[g.edge(e).v].push_back({g.edge(e).u, e});
+  }
+  std::vector<NodeId> parent(n, kInvalidNode);
+  std::vector<std::uint32_t> depth(n, 0);
+  std::vector<double> resistance_to_root(n, 0.0);
+  {
+    std::vector<NodeId> stack{0};
+    std::vector<char> seen(n, 0);
+    seen[0] = 1;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const auto& [nbr, e] : adj[v]) {
+        if (seen[nbr]) continue;
+        seen[nbr] = 1;
+        parent[nbr] = v;
+        depth[nbr] = depth[v] + 1;
+        resistance_to_root[nbr] =
+            resistance_to_root[v] + 1.0 / g.edge(e).weight;
+        stack.push_back(nbr);
+      }
+    }
+  }
+  // Binary lifting.
+  std::size_t levels = 1;
+  while ((std::size_t{1} << levels) < n) ++levels;
+  std::vector<std::vector<NodeId>> up(levels + 1,
+                                      std::vector<NodeId>(n, kInvalidNode));
+  for (NodeId v = 0; v < n; ++v) up[0][v] = parent[v] == kInvalidNode ? v : parent[v];
+  for (std::size_t l = 1; l <= levels; ++l) {
+    for (NodeId v = 0; v < n; ++v) up[l][v] = up[l - 1][up[l - 1][v]];
+  }
+  auto lca = [&](NodeId a, NodeId b) {
+    if (depth[a] < depth[b]) std::swap(a, b);
+    std::uint32_t diff = depth[a] - depth[b];
+    for (std::size_t l = 0; diff > 0; ++l, diff >>= 1) {
+      if (diff & 1) a = up[l][a];
+    }
+    if (a == b) return a;
+    for (std::size_t l = levels + 1; l-- > 0;) {
+      if (up[l][a] != up[l][b]) {
+        a = up[l][a];
+        b = up[l][b];
+      }
+    }
+    return up[0][a];
+  };
+
+  std::vector<char> on_tree(g.num_edges(), 0);
+  for (EdgeId e : tree_edges) on_tree[e] = 1;
+  std::vector<double> stretch(g.num_edges(), 1.0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (on_tree[e]) continue;
+    const Edge& edge = g.edge(e);
+    const NodeId a = lca(edge.u, edge.v);
+    const double path_resistance = resistance_to_root[edge.u] +
+                                   resistance_to_root[edge.v] -
+                                   2.0 * resistance_to_root[a];
+    stretch[e] = edge.weight * path_resistance;
+  }
+  return stretch;
+}
+
+double total_stretch(const Graph& g, std::span<const EdgeId> tree_edges) {
+  double sum = 0.0;
+  for (double s : edge_stretches(g, tree_edges)) sum += s;
+  return sum;
+}
+
+double average_stretch(const Graph& g, std::span<const EdgeId> tree_edges) {
+  return g.num_edges() == 0
+             ? 0.0
+             : total_stretch(g, tree_edges) / static_cast<double>(g.num_edges());
+}
+
+}  // namespace dls

@@ -1,0 +1,54 @@
+// Low-stretch spanning trees via iterated random-shift low-diameter
+// decomposition (AKPW-style, with MPX-style exponential shifts) — the first
+// ingredient of the [18]/KMP preconditioner chain.
+//
+// Each phase clusters the current contracted graph with random exponential
+// start shifts (cut probability β per hop), records the intra-cluster BFS
+// edges into the tree, contracts, and repeats. Expected stretch is polylog;
+// `total_stretch` computes the exact stretch of the result so every
+// experiment reports measured, not assumed, quality.
+#pragma once
+
+#include <span>
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace dls {
+
+struct LowStretchTreeResult {
+  std::vector<EdgeId> tree_edges;
+  std::uint32_t phases = 0;
+};
+
+/// Builds a spanning tree of connected g with small average stretch.
+/// `beta` is the per-hop cut rate of each decomposition phase
+/// (default Θ(1/log n), chosen internally when 0). On non-uniform weights
+/// this dispatches to the weight-aware variant below.
+LowStretchTreeResult low_stretch_spanning_tree(const Graph& g, Rng& rng,
+                                               double beta = 0.0);
+
+/// Hop-metric AKPW (ignores weights) — exposed for the E20 ablation.
+LowStretchTreeResult low_stretch_spanning_tree_hops(const Graph& g, Rng& rng,
+                                                    double beta = 0.0);
+
+/// Weight-aware AKPW: edges are admitted in geometric length classes
+/// (length = 1/weight, so low-resistance edges join the tree first) and
+/// each class round runs the same random-shift decomposition on the
+/// admitted subgraph before contracting. This is what keeps the resistive
+/// stretch w_e·Σ 1/w_path small when weights span orders of magnitude.
+LowStretchTreeResult low_stretch_spanning_tree_weighted(const Graph& g,
+                                                        Rng& rng,
+                                                        double beta = 0.0,
+                                                        double class_growth = 4.0);
+
+/// Stretch of edge e w.r.t. the tree: w_e · Σ_{f ∈ tree path(u,v)} 1/w_f.
+/// Computed exactly for all edges; tree edges have stretch 1.
+double total_stretch(const Graph& g, std::span<const EdgeId> tree_edges);
+double average_stretch(const Graph& g, std::span<const EdgeId> tree_edges);
+
+/// Per-edge stretch vector (index = EdgeId).
+std::vector<double> edge_stretches(const Graph& g,
+                                   std::span<const EdgeId> tree_edges);
+
+}  // namespace dls

@@ -1,0 +1,55 @@
+// Approximate undirected s–t max flow via electrical flows — the flagship
+// downstream application the paper's conclusion points at ("our results
+// directly imply an exact O(m^{1/2+o(1)}·SQ(G)) algorithm for the max-flow
+// problem"). This is the Christiano–Kelner–Mądry–Spielman–Teng
+// multiplicative-weights scheme: each iteration solves one Laplacian system
+// whose conductances are capacity-scaled MWU weights, penalizes
+// over-congested edges, and the averaged electrical flow — scaled to
+// feasibility — converges to (1−ε) of the max flow.
+//
+// Every iteration's solve is a full distributed Laplacian solve charged
+// through the selected PA-oracle model, so the reported round counts are
+// the end-to-end cost of the application in that model.
+#pragma once
+
+#include "laplacian/pa_oracle.hpp"
+#include "laplacian/recursive_solver.hpp"
+
+namespace dls {
+
+struct ElectricalMaxFlowOptions {
+  int iterations = 24;
+  double mwu_step = 0.25;       // MWU learning rate
+  double solver_tolerance = 1e-8;
+  std::size_t base_size = 64;
+  std::size_t max_levels = 16;        // solver chain depth cap
+  std::size_t inner_iterations = 10;  // solver inner PCG iterations
+};
+
+struct ElectricalMaxFlowResult {
+  /// Feasible flow per edge (positive = u→v orientation of the edge).
+  std::vector<double> edge_flow;
+  double flow_value = 0.0;        // value of the feasible flow found
+  double exact_value = 0.0;       // Edmonds–Karp ground truth
+  double approximation = 0.0;     // flow_value / exact_value
+  int iterations = 0;
+  std::uint64_t local_rounds = 0;
+  std::uint64_t global_rounds = 0;
+  std::uint64_t pa_calls = 0;
+};
+
+enum class MaxFlowModel { kShortcut, kBaseline, kNcc };
+
+/// Computes an approximately maximum s–t flow on g (capacities = weights).
+/// Conservation holds exactly; capacity feasibility holds by scaling.
+ElectricalMaxFlowResult approx_max_flow_electrical(
+    const Graph& g, NodeId s, NodeId t, Rng& rng,
+    MaxFlowModel model = MaxFlowModel::kShortcut,
+    const ElectricalMaxFlowOptions& options = {});
+
+/// Max conservation violation of `edge_flow` at nodes other than s/t, and
+/// the deviation of the net s-outflow from `value`. Used by tests.
+double flow_conservation_error(const Graph& g, const std::vector<double>& edge_flow,
+                               NodeId s, NodeId t, double value);
+
+}  // namespace dls

@@ -1,0 +1,226 @@
+#include "laplacian/mincut.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+
+namespace dls {
+
+double min_cut_stoer_wagner(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  DLS_REQUIRE(n >= 2, "min cut needs at least two nodes");
+  DLS_REQUIRE(is_connected(g), "min cut of a disconnected graph is zero");
+  // Dense weight matrix with parallel edges merged.
+  std::vector<std::vector<double>> w(n, std::vector<double>(n, 0.0));
+  for (const Edge& e : g.edges()) {
+    w[e.u][e.v] += e.weight;
+    w[e.v][e.u] += e.weight;
+  }
+  std::vector<std::size_t> active(n);
+  std::iota(active.begin(), active.end(), std::size_t{0});
+  double best = std::numeric_limits<double>::infinity();
+  while (active.size() > 1) {
+    // Maximum-adjacency order over the active supernodes.
+    std::vector<double> attachment(active.size(), 0.0);
+    std::vector<char> added(active.size(), 0);
+    std::size_t prev = 0, last = 0;
+    for (std::size_t step = 0; step < active.size(); ++step) {
+      std::size_t pick = SIZE_MAX;
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (!added[i] && (pick == SIZE_MAX || attachment[i] > attachment[pick])) {
+          pick = i;
+        }
+      }
+      added[pick] = 1;
+      prev = last;
+      last = pick;
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (!added[i]) attachment[i] += w[active[pick]][active[i]];
+      }
+    }
+    best = std::min(best, attachment[last]);
+    // Merge `last` into `prev`.
+    const std::size_t a = active[prev], b = active[last];
+    for (std::size_t i = 0; i < n; ++i) {
+      w[a][i] += w[b][i];
+      w[i][a] += w[i][b];
+    }
+    w[a][a] = 0.0;
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(last));
+  }
+  return best;
+}
+
+double cut_weight(const Graph& g, const std::vector<char>& side) {
+  DLS_REQUIRE(side.size() == g.num_nodes(), "side vector size mismatch");
+  double total = 0.0;
+  for (const Edge& e : g.edges()) {
+    if (side[e.u] != side[e.v]) total += e.weight;
+  }
+  return total;
+}
+
+namespace {
+
+/// All one-tree-edge cut values via the +w/+w/−2w-at-LCA subtree-sum trick.
+/// Returns, for each node v ≠ root, the weight of the cut separating v's
+/// subtree, plus the subtree membership structure for extraction.
+struct TreeCuts {
+  std::vector<double> cut_at;        // per node (kInvalid for root)
+  std::vector<NodeId> parent;
+  std::vector<std::uint32_t> depth;
+  std::vector<NodeId> order;         // children after parents
+};
+
+TreeCuts evaluate_tree_cuts(const Graph& g, const std::vector<EdgeId>& tree) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::vector<std::pair<NodeId, EdgeId>>> adj(n);
+  for (EdgeId e : tree) {
+    adj[g.edge(e).u].push_back({g.edge(e).v, e});
+    adj[g.edge(e).v].push_back({g.edge(e).u, e});
+  }
+  TreeCuts tc;
+  tc.parent.assign(n, kInvalidNode);
+  tc.depth.assign(n, 0);
+  std::vector<double> tree_edge_weight(n, 0.0);  // weight of edge to parent
+  tc.order.reserve(n);
+  {
+    std::vector<NodeId> stack{0};
+    std::vector<char> seen(n, 0);
+    seen[0] = 1;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      tc.order.push_back(v);
+      for (const auto& [nbr, e] : adj[v]) {
+        if (seen[nbr]) continue;
+        seen[nbr] = 1;
+        tc.parent[nbr] = v;
+        tc.depth[nbr] = tc.depth[v] + 1;
+        tree_edge_weight[nbr] = g.edge(e).weight;
+        stack.push_back(nbr);
+      }
+    }
+    DLS_REQUIRE(tc.order.size() == n, "tree does not span the graph");
+  }
+  auto lca = [&](NodeId a, NodeId b) {
+    while (a != b) {
+      if (tc.depth[a] < tc.depth[b]) std::swap(a, b);
+      a = tc.parent[a];
+    }
+    return a;
+  };
+  std::vector<char> on_tree(g.num_edges(), 0);
+  for (EdgeId e : tree) on_tree[e] = 1;
+  std::vector<double> mark(n, 0.0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (on_tree[e]) continue;
+    const Edge& edge = g.edge(e);
+    mark[edge.u] += edge.weight;
+    mark[edge.v] += edge.weight;
+    mark[lca(edge.u, edge.v)] -= 2.0 * edge.weight;
+  }
+  // Subtree sums bottom-up (reverse DFS order).
+  std::vector<double> subtree = mark;
+  for (std::size_t i = tc.order.size(); i-- > 1;) {
+    const NodeId v = tc.order[i];
+    subtree[tc.parent[v]] += subtree[v];
+  }
+  tc.cut_at.assign(n, std::numeric_limits<double>::infinity());
+  for (NodeId v = 0; v < n; ++v) {
+    if (tc.parent[v] != kInvalidNode) {
+      tc.cut_at[v] = subtree[v] + tree_edge_weight[v];
+    }
+  }
+  return tc;
+}
+
+}  // namespace
+
+ApproxMinCutResult approx_min_cut(CongestedPaOracle& oracle, Rng& rng,
+                                  int trials) {
+  const Graph& g = oracle.graph();
+  DLS_REQUIRE(trials >= 1, "need at least one trial");
+  DLS_REQUIRE(is_connected(g), "min cut requires a connected graph");
+  const std::size_t n = g.num_nodes();
+
+  ApproxMinCutResult result;
+  result.exact_value = min_cut_stoer_wagner(g);
+  result.cut_value = std::numeric_limits<double>::infinity();
+  result.side.assign(n, 0);
+
+  const std::uint64_t calls_before = oracle.pa_calls();
+  const std::uint64_t local_before = oracle.ledger().total_local();
+  const std::uint64_t global_before = oracle.ledger().total_global();
+
+  // Charging template: the global 1-congested instance; each trial's
+  // Boruvka phases and subtree sweeps ride it.
+  PartCollection global_pc;
+  {
+    std::vector<NodeId> all(n);
+    std::iota(all.begin(), all.end(), NodeId{0});
+    global_pc.parts.push_back(std::move(all));
+  }
+  const auto global_instance = oracle.prepare(global_pc);
+  std::vector<std::vector<double>> global_values(1, std::vector<double>(n, 0.0));
+  std::size_t boruvka_phases = 1;
+  while ((std::size_t{1} << boruvka_phases) < n) ++boruvka_phases;
+
+  for (int t = 0; t < trials; ++t) {
+    // Random spanning tree surrogate: MST under exponential reweighting
+    // Exp(w_e) — heavy edges draw small keys and enter the tree first.
+    std::vector<EdgeId> order(g.num_edges());
+    std::iota(order.begin(), order.end(), EdgeId{0});
+    std::vector<double> key(g.num_edges());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      key[e] = -std::log(1.0 - rng.next_double()) / g.edge(e).weight;
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](EdgeId a, EdgeId b) { return key[a] < key[b]; });
+    UnionFind uf(n);
+    std::vector<EdgeId> tree;
+    for (EdgeId e : order) {
+      if (uf.unite(g.edge(e).u, g.edge(e).v)) tree.push_back(e);
+    }
+    // Charge the trial's communication: Boruvka-pattern MST (2 PA calls +
+    // 1 local exchange per phase) + 2 subtree-sum sweeps.
+    for (std::size_t phase = 0; phase < boruvka_phases; ++phase) {
+      oracle.charge_local_exchange("mincut/mst-exchange");
+      oracle.aggregate(global_instance, global_values, AggregationMonoid::min());
+      oracle.aggregate(global_instance, global_values, AggregationMonoid::min());
+    }
+    oracle.aggregate(global_instance, global_values, AggregationMonoid::sum());
+    oracle.aggregate(global_instance, global_values, AggregationMonoid::sum());
+
+    const TreeCuts tc = evaluate_tree_cuts(g, tree);
+    for (NodeId v = 0; v < n; ++v) {
+      if (tc.parent[v] != kInvalidNode && tc.cut_at[v] < result.cut_value) {
+        result.cut_value = tc.cut_at[v];
+        // Extract the side: v's subtree.
+        std::vector<char> side(n, 0);
+        // order[] lists parents before children, so propagate membership.
+        side[v] = 1;
+        for (NodeId u : tc.order) {
+          if (u != v && tc.parent[u] != kInvalidNode && side[tc.parent[u]]) {
+            side[u] = 1;
+          }
+        }
+        result.side = std::move(side);
+      }
+    }
+    result.trials = t + 1;
+  }
+  DLS_ASSERT(std::abs(cut_weight(g, result.side) - result.cut_value) < 1e-6,
+             "cut extraction disagrees with evaluated value");
+  result.ratio = result.exact_value > 0 ? result.cut_value / result.exact_value
+                                        : 1.0;
+  result.pa_calls = oracle.pa_calls() - calls_before;
+  result.local_rounds = oracle.ledger().total_local() - local_before;
+  result.global_rounds = oracle.ledger().total_global() - global_before;
+  return result;
+}
+
+}  // namespace dls

@@ -1,0 +1,43 @@
+// Global minimum cut — with MST and SSSP one of the three problems the
+// low-congestion-shortcut ecosystem was built for ([20]: "MST and Min-Cut
+// on planar graphs can be solved in Õ(D) rounds").
+//
+// * Exact sequential reference: Stoer–Wagner.
+// * Distributed approximation: Karger-style random-tree sampling expressed
+//   in PA-oracle calls. Each trial draws an MST under exponential random
+//   edge reweighting (a random spanning tree surrogate), evaluates every
+//   one-tree-edge cut exactly via subtree sums, and keeps the best cut
+//   seen. Karger's analysis gives a cut within factor ~2-3 whp after
+//   O(log n) trials on most instances; the full Ghaffari–Haeupler exact
+//   tree-packing machinery is substituted per DESIGN.md §2. Communication:
+//   one distributed-MST run (O(log n) PA calls) plus two PA sweeps per
+//   trial for the subtree-sum evaluation.
+#pragma once
+
+#include "laplacian/pa_oracle.hpp"
+
+namespace dls {
+
+/// Exact global min cut value (Stoer–Wagner, O(n·m + n² log n)-ish).
+double min_cut_stoer_wagner(const Graph& g);
+
+struct ApproxMinCutResult {
+  double cut_value = 0.0;         // best cut found (an upper bound)
+  std::vector<char> side;         // per node: which side of the best cut
+  double exact_value = 0.0;       // Stoer–Wagner reference
+  double ratio = 0.0;             // cut_value / exact_value (≥ 1)
+  int trials = 0;
+  std::uint64_t pa_calls = 0;
+  std::uint64_t local_rounds = 0;
+  std::uint64_t global_rounds = 0;
+};
+
+/// Random-tree approximate min cut through the PA oracle. The graph must be
+/// connected and is taken from the oracle.
+ApproxMinCutResult approx_min_cut(CongestedPaOracle& oracle, Rng& rng,
+                                  int trials = 8);
+
+/// Weight of the cut induced by `side` (0/1 per node).
+double cut_weight(const Graph& g, const std::vector<char>& side);
+
+}  // namespace dls

@@ -1,0 +1,77 @@
+#include "laplacian/minor.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace dls {
+
+Graph MinorGraph::as_graph() const {
+  Graph g(num_nodes);
+  for (const MinorEdge& e : edges) g.add_edge(e.u, e.v, e.weight);
+  return g;
+}
+
+std::size_t MinorGraph::host_congestion(std::size_t g_nodes) const {
+  std::vector<std::size_t> load(g_nodes, 0);
+  std::size_t rho = 0;
+  for (const MinorEdge& e : edges) {
+    std::unordered_set<NodeId> unique(e.g_path.begin(), e.g_path.end());
+    for (NodeId v : unique) {
+      DLS_REQUIRE(v < g_nodes, "host path node out of range");
+      rho = std::max(rho, ++load[v]);
+    }
+  }
+  return rho;
+}
+
+PartCollection MinorGraph::matvec_parts() const {
+  PartCollection pc;
+  pc.parts.reserve(edges.size());
+  for (const MinorEdge& e : edges) {
+    std::vector<NodeId> part;
+    std::unordered_set<NodeId> seen;
+    for (NodeId v : e.g_path) {
+      if (seen.insert(v).second) part.push_back(v);
+    }
+    pc.parts.push_back(std::move(part));
+  }
+  return pc;
+}
+
+MinorGraph MinorGraph::identity(const Graph& g) {
+  MinorGraph m;
+  m.num_nodes = g.num_nodes();
+  m.host.resize(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) m.host[v] = v;
+  m.edges.reserve(g.num_edges());
+  for (const Edge& e : g.edges()) {
+    m.edges.push_back({e.u, e.v, e.weight, {e.u, e.v}});
+  }
+  return m;
+}
+
+bool MinorGraph::validate(const Graph& g) const {
+  if (host.size() != num_nodes) return false;
+  for (NodeId h : host) {
+    if (h >= g.num_nodes()) return false;
+  }
+  for (const MinorEdge& e : edges) {
+    if (e.u >= num_nodes || e.v >= num_nodes || e.u == e.v) return false;
+    if (e.weight <= 0) return false;
+    if (e.g_path.size() < 2) return false;
+    if (e.g_path.front() != host[e.u] || e.g_path.back() != host[e.v]) return false;
+    for (std::size_t i = 0; i + 1 < e.g_path.size(); ++i) {
+      bool adjacent = false;
+      for (const Adjacency& a : g.neighbors(e.g_path[i])) {
+        if (a.neighbor == e.g_path[i + 1]) {
+          adjacent = true;
+          break;
+        }
+      }
+      if (!adjacent) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dls

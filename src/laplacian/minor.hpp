@@ -1,0 +1,51 @@
+// Congested-minor representation ([18]'s central data structure, which the
+// paper replaces interface-wise with congested part-wise aggregation).
+//
+// A MinorGraph is a weighted graph whose nodes live at host nodes of the
+// communication network G and whose edges are realized by host paths in G
+// (inclusive of the two host endpoints). Degree-≤2 elimination and
+// ultra-sparsification both transform MinorGraphs; the congestion ρ of a
+// minor is the maximum number of host paths through one G node, and a
+// minor matvec is exactly a ρ-congested part-wise aggregation instance.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "shortcuts/partition.hpp"
+
+namespace dls {
+
+struct MinorEdge {
+  NodeId u = kInvalidNode;  // minor node ids
+  NodeId v = kInvalidNode;
+  double weight = 1.0;
+  /// Host path in G from host[u] to host[v], inclusive; consecutive entries
+  /// adjacent in G. For a direct edge this is {host[u], host[v]}.
+  std::vector<NodeId> g_path;
+};
+
+struct MinorGraph {
+  std::size_t num_nodes = 0;
+  std::vector<NodeId> host;  // minor node -> G node
+  std::vector<MinorEdge> edges;
+
+  /// Plain Graph view (drops host annotations); parallel edges preserved.
+  Graph as_graph() const;
+
+  /// Max host paths (edges) through one G node, the ρ of Definition 13.
+  std::size_t host_congestion(std::size_t g_nodes) const;
+
+  /// The matvec PA instance: one part per minor edge, part = unique nodes of
+  /// its host path (connected in G by construction). values slot layout
+  /// matches parts; see matvec_values().
+  PartCollection matvec_parts() const;
+
+  /// The identity minor of a communication graph (level 0 of the chain).
+  static MinorGraph identity(const Graph& g);
+
+  /// Validation: hosts/path endpoints consistent, consecutive path adjacency.
+  bool validate(const Graph& g) const;
+};
+
+}  // namespace dls

@@ -1,0 +1,137 @@
+#include "laplacian/pa_oracle.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "shortcuts/construction.hpp"
+#include "shortcuts/partwise_aggregation.hpp"
+
+namespace dls {
+
+CongestedPaOracle::InstanceId CongestedPaOracle::prepare(const PartCollection& pc) {
+  DLS_REQUIRE(is_valid_part_collection(graph_, pc), "invalid part collection");
+  instances_.push_back({pc, false, {}});
+  return instances_.size() - 1;
+}
+
+std::vector<double> CongestedPaOracle::aggregate(
+    InstanceId instance, const std::vector<std::vector<double>>& values,
+    const AggregationMonoid& monoid) {
+  DLS_REQUIRE(instance < instances_.size(), "unknown oracle instance");
+  Prepared& prepared = instances_[instance];
+  DLS_REQUIRE(values.size() == prepared.pc.num_parts(), "values mismatch");
+  if (!prepared.measured) {
+    prepared.cost = measure(prepared.pc);
+    prepared.measured = true;
+  }
+  ++pa_calls_;
+  if (prepared.cost.local_rounds > 0) {
+    ledger_.charge_local(prepared.cost.local_rounds, name() + "-pa");
+  }
+  if (prepared.cost.global_rounds > 0) {
+    ledger_.charge_global(prepared.cost.global_rounds, name() + "-pa");
+  }
+  // Results equal the sequential fold (the distributed protocols were
+  // validated against it once at measure() time and in the test suite).
+  std::vector<double> results(prepared.pc.num_parts(), monoid.identity);
+  for (std::size_t i = 0; i < prepared.pc.num_parts(); ++i) {
+    DLS_REQUIRE(values[i].size() == prepared.pc.parts[i].size(),
+                "values size mismatch");
+    for (double v : values[i]) results[i] = monoid.op(results[i], v);
+  }
+  return results;
+}
+
+std::vector<double> CongestedPaOracle::aggregate_once(
+    const PartCollection& pc, const std::vector<std::vector<double>>& values,
+    const AggregationMonoid& monoid) {
+  return aggregate(prepare(pc), values, monoid);
+}
+
+void CongestedPaOracle::charge_local_exchange(const std::string& label) {
+  ledger_.charge_local(1, label);
+}
+
+namespace {
+
+/// Neutral input values for a measurement run (cost is value-oblivious).
+std::vector<std::vector<double>> unit_values(const PartCollection& pc) {
+  std::vector<std::vector<double>> values(pc.num_parts());
+  for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+    values[i].assign(pc.parts[i].size(), 1.0);
+  }
+  return values;
+}
+
+}  // namespace
+
+CongestedPaOracle::Measured ShortcutPaOracle::measure(const PartCollection& pc) {
+  CongestedPaOptions options;
+  options.model = model_;
+  options.policy = policy_;
+  const CongestedPaOutcome outcome = solve_congested_pa(
+      graph(), pc, unit_values(pc), AggregationMonoid::sum(), rng_, options);
+  // Sanity: the distributed run must agree with the fold.
+  for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+    DLS_ASSERT(outcome.results[i] == static_cast<double>(pc.parts[i].size()),
+               "shortcut PA run disagrees with sequential fold");
+  }
+  return {outcome.total_rounds, 0};
+}
+
+CongestedPaOracle::Measured NccPaOracle::measure(const PartCollection& pc) {
+  std::vector<NccPart> parts(pc.num_parts());
+  const auto values = unit_values(pc);
+  for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+    parts[i].members = pc.parts[i];
+    parts[i].values = values[i];
+  }
+  const NccAggregationOutcome outcome = ncc_partwise_aggregate(
+      graph().num_nodes(), parts, AggregationMonoid::sum(), rng_, capacity_);
+  for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+    DLS_ASSERT(outcome.results[i] == static_cast<double>(pc.parts[i].size()),
+               "NCC PA run disagrees with sequential fold");
+  }
+  return {0, outcome.rounds};
+}
+
+CongestedPaOracle::Measured BaselinePaOracle::measure(const PartCollection& pc) {
+  // Greedy batching into disjoint sub-collections (Observation 14 shows the
+  // number of batches can be Θ(#parts); that is the point of this baseline).
+  std::vector<char> assigned(pc.num_parts(), 0);
+  std::size_t remaining = pc.num_parts();
+  std::uint64_t total_rounds = 0;
+  // Global BFS tree reused as H_i for every part of every batch.
+  Rng tree_rng = rng_.fork();
+  const RootedSpanningTree tree = centered_bfs_tree(graph(), tree_rng);
+  std::vector<EdgeId> tree_edges;
+  for (NodeId v = 0; v < graph().num_nodes(); ++v) {
+    if (tree.parent_edge[v] != kInvalidEdge) tree_edges.push_back(tree.parent_edge[v]);
+  }
+  while (remaining > 0) {
+    std::vector<char> used(graph().num_nodes(), 0);
+    PartCollection batch;
+    std::vector<std::vector<double>> batch_values;
+    for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+      if (assigned[i]) continue;
+      const bool clash = std::any_of(pc.parts[i].begin(), pc.parts[i].end(),
+                                     [&](NodeId v) { return used[v] != 0; });
+      if (clash) continue;
+      for (NodeId v : pc.parts[i]) used[v] = 1;
+      batch.parts.push_back(pc.parts[i]);
+      batch_values.push_back(std::vector<double>(pc.parts[i].size(), 1.0));
+      assigned[i] = 1;
+      --remaining;
+    }
+    DLS_ASSERT(!batch.parts.empty(), "baseline batching stalled");
+    Shortcut shortcut;
+    shortcut.h_edges.assign(batch.parts.size(), tree_edges);
+    const PartwiseAggregationOutcome pa = solve_partwise_aggregation(
+        graph(), batch, batch_values, AggregationMonoid::sum(), shortcut, rng_,
+        policy_);
+    total_rounds += pa.schedule.total_rounds;
+  }
+  return {total_rounds, 0};
+}
+
+}  // namespace dls

@@ -1,0 +1,304 @@
+#include "laplacian/recursive_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "laplacian/low_stretch_tree.hpp"
+
+namespace dls {
+
+DistributedLaplacianSolver::DistributedLaplacianSolver(
+    CongestedPaOracle& oracle, Rng& rng, const LaplacianSolverOptions& options)
+    : oracle_(oracle), options_(options) {
+  const Graph& g = oracle_.graph();
+  DLS_REQUIRE(is_connected(g), "Laplacian solver requires a connected graph");
+  DLS_REQUIRE(options_.tolerance > 0, "tolerance must be positive");
+
+  // Global 1-congested instance used by every inner product.
+  {
+    PartCollection pc;
+    std::vector<NodeId> all(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
+    pc.parts.push_back(std::move(all));
+    global_instance_ = oracle_.prepare(pc);
+    global_values_.resize(1);
+    global_values_[0].assign(g.num_nodes(), 0.0);
+  }
+  {
+    Rng diam_rng = rng.fork();
+    base_transfer_rounds_ = approx_diameter(g, diam_rng, 2);
+  }
+
+  // Build the chain.
+  MinorGraph current = MinorGraph::identity(g);
+  for (std::size_t depth = 0; depth < options_.max_levels; ++depth) {
+    Level level;
+    level.minor = current;
+    level.view = level.minor.as_graph();
+
+    LevelStats stats;
+    stats.nodes = level.minor.num_nodes;
+    stats.edges = level.minor.edges.size();
+    stats.host_congestion = level.minor.host_congestion(g.num_nodes());
+
+    // Prepared matvec instance for minor levels (level 0 is local exchange).
+    if (depth > 0) {
+      const PartCollection pc = level.minor.matvec_parts();
+      if (pc.num_parts() > 0) {
+        level.matvec_instance = oracle_.prepare(pc);
+        level.has_matvec_instance = true;
+        level.matvec_values.resize(pc.num_parts());
+        for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+          level.matvec_values[i].assign(pc.parts[i].size(), 0.0);
+        }
+      }
+    }
+
+    const bool base = level.minor.num_nodes <= options_.base_size ||
+                      depth + 1 == options_.max_levels;
+    if (base) {
+      level.is_base = true;
+      stats.is_base = true;
+      level.base_solver = std::make_unique<GroundedCholesky>(level.view, 0);
+      levels_.push_back(std::move(level));
+      stats_.push_back(stats);
+      break;
+    }
+
+    const double budget =
+        options_.tree_preconditioner_only
+            ? 0.0
+            : std::max(1.0, options_.offtree_fraction *
+                                static_cast<double>(level.minor.num_nodes));
+    level.sparsifier = build_ultra_sparsifier(level.minor, budget, rng);
+    stats.off_tree_kept = level.sparsifier.off_tree_kept;
+    stats.avg_stretch =
+        level.sparsifier.total_stretch /
+        std::max<double>(1.0, static_cast<double>(level.minor.edges.size()));
+    level.elim = eliminate_degree_le2(level.sparsifier.sparsifier);
+    stats.chain_hops = level.elim.max_chain_hops;
+
+    const MinorGraph next = level.elim.schur;
+    stats_.push_back(stats);
+    levels_.push_back(std::move(level));
+    // Guard against a stalled chain: if elimination failed to shrink the
+    // graph meaningfully, let the next iteration bottom out in Cholesky.
+    if (next.num_nodes + 2 >= current.num_nodes) {
+      Level base_level;
+      base_level.minor = next;
+      base_level.view = base_level.minor.as_graph();
+      base_level.is_base = true;
+      base_level.base_solver =
+          std::make_unique<GroundedCholesky>(base_level.view, 0);
+      LevelStats base_stats;
+      base_stats.nodes = next.num_nodes;
+      base_stats.edges = next.edges.size();
+      base_stats.host_congestion = next.host_congestion(g.num_nodes());
+      base_stats.is_base = true;
+      stats_.push_back(base_stats);
+      levels_.push_back(std::move(base_level));
+      break;
+    }
+    current = next;
+  }
+  DLS_ASSERT(levels_.back().is_base, "chain must terminate in a base level");
+}
+
+Vec DistributedLaplacianSolver::apply_matvec(std::size_t level, const Vec& x) {
+  Level& lv = levels_[level];
+  if (level == 0) {
+    oracle_.charge_local_exchange("solver/matvec-L0");
+  } else if (lv.has_matvec_instance) {
+    oracle_.aggregate(lv.matvec_instance, lv.matvec_values,
+                      AggregationMonoid::sum());
+  }
+  return laplacian_apply(lv.view, x);
+}
+
+double DistributedLaplacianSolver::charged_dot(const Vec& a, const Vec& b) {
+  oracle_.aggregate(global_instance_, global_values_, AggregationMonoid::sum());
+  return dot(a, b);
+}
+
+Vec DistributedLaplacianSolver::apply_preconditioner(std::size_t level,
+                                                     const Vec& r) {
+  Level& lv = levels_[level];
+  DLS_ASSERT(!lv.is_base, "preconditioner requested at base level");
+  // Forward-eliminate the rhs onto the Schur system, solve the next level
+  // crudely, back-substitute. The sweeps are local chains of the spliced
+  // paths; charge the longest chain once per direction.
+  if (lv.elim.max_chain_hops > 0) {
+    oracle_.ledger().charge_local(lv.elim.max_chain_hops, "solver/elim-forward");
+  }
+  Vec reduced = lv.elim.forward_rhs(r);
+  project_mean_zero(reduced);
+  std::size_t inner_iters = 0;
+  Vec schur_solution =
+      solve_level(level + 1, reduced, options_.inner_tolerance,
+                  options_.inner_iterations, &inner_iters);
+  if (lv.elim.max_chain_hops > 0) {
+    oracle_.ledger().charge_local(lv.elim.max_chain_hops, "solver/elim-backward");
+  }
+  Vec extended = lv.elim.backward_solution(schur_solution, r);
+  project_mean_zero(extended);
+  return extended;
+}
+
+Vec DistributedLaplacianSolver::solve_level(std::size_t level, const Vec& b,
+                                            double tol, std::size_t max_iter,
+                                            std::size_t* iterations_out,
+                                            std::vector<double>* history) {
+  Level& lv = levels_[level];
+  if (iterations_out != nullptr) *iterations_out = 0;
+  if (lv.is_base) {
+    // Gather the base system's rhs to a leader, solve locally, scatter.
+    oracle_.ledger().charge_local(
+        2 * (lv.minor.num_nodes + base_transfer_rounds_), "solver/base-case");
+    Vec rhs = b;
+    project_mean_zero(rhs);
+    return lv.base_solver->solve(rhs);
+  }
+
+  // Flexible PCG (Polak–Ribière beta) — tolerant of the slightly nonlinear
+  // preconditioner formed by crude inner solves.
+  const std::size_t n = lv.minor.num_nodes;
+  Vec rhs = b;
+  project_mean_zero(rhs);
+  Vec x(n, 0.0);
+  const double b_norm = std::sqrt(charged_dot(rhs, rhs));
+  if (b_norm == 0.0) return x;
+  Vec r = rhs;
+  Vec z = apply_preconditioner(level, r);
+  Vec p = z;
+  double rz = charged_dot(r, z);
+  Vec r_prev = r;
+  for (std::size_t it = 0; it < max_iter; ++it) {
+    Vec ap = apply_matvec(level, p);
+    project_mean_zero(ap);
+    const double pap = charged_dot(p, ap);
+    if (pap <= 0.0) break;
+    const double alpha = rz / pap;
+    axpy(alpha, p, x);
+    r_prev = r;
+    axpy(-alpha, ap, r);
+    if (iterations_out != nullptr) *iterations_out = it + 1;
+    const double rel = std::sqrt(charged_dot(r, r)) / b_norm;
+    if (history != nullptr) history->push_back(rel);
+    if (rel <= tol) break;
+    z = apply_preconditioner(level, r);
+    // Polak–Ribière: beta = zᵀ(r − r_prev) / rzₖ.
+    Vec dr = sub(r, r_prev);
+    const double beta = rz == 0.0 ? 0.0 : charged_dot(z, dr) / rz;
+    rz = charged_dot(r, z);
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return x;
+}
+
+Vec DistributedLaplacianSolver::solve_top_chebyshev(const Vec& b,
+                                                    std::size_t* iterations_out,
+                                                    std::vector<double>* history) {
+  const std::size_t n = levels_[0].minor.num_nodes;
+  Vec rhs = b;
+  project_mean_zero(rhs);
+  Vec x(n, 0.0);
+  const double b_norm = std::sqrt(charged_dot(rhs, rhs));
+  if (iterations_out != nullptr) *iterations_out = 0;
+  if (b_norm == 0.0) return x;
+
+  // Power iteration on M⁻¹L for λ_max (every apply is fully charged); the
+  // chain is built so that λ_min(M⁻¹L) ≳ 1, and we pad both ends for safety.
+  const auto apply_ml = [&](const Vec& v) {
+    Vec lv = apply_matvec(0, v);
+    project_mean_zero(lv);
+    Vec mlv = apply_preconditioner(0, lv);
+    project_mean_zero(mlv);
+    return mlv;
+  };
+  double lambda_max = 1.0;
+  {
+    Vec v = rhs;
+    scale(v, 1.0 / b_norm);
+    for (std::size_t it = 0; it < options_.power_iterations; ++it) {
+      Vec w = apply_ml(v);
+      const double norm = std::sqrt(charged_dot(w, w));
+      if (norm <= 0) break;
+      lambda_max = norm;
+      scale(w, 1.0 / norm);
+      v = std::move(w);
+    }
+  }
+  const double hi = 1.5 * std::max(lambda_max, 1.0);
+  const double lo = 0.25;  // the chain keeps M ⪰ c·L with modest c
+  const double theta = 0.5 * (hi + lo);
+  const double delta = 0.5 * (hi - lo);
+
+  Vec r = rhs;
+  Vec z = apply_preconditioner(0, r);
+  Vec p(n, 0.0);
+  double alpha = 0.0, beta = 0.0;
+  for (std::size_t it = 0; it < options_.max_outer_iterations; ++it) {
+    if (it == 0) {
+      p = z;
+      alpha = 1.0 / theta;
+    } else {
+      beta = (it == 1) ? 0.5 * (delta * alpha) * (delta * alpha)
+                       : (delta * alpha / 2.0) * (delta * alpha / 2.0);
+      alpha = 1.0 / (theta - beta / alpha);
+      for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    }
+    axpy(alpha, p, x);
+    Vec lx = apply_matvec(0, x);
+    project_mean_zero(lx);
+    r = sub(rhs, lx);
+    if (iterations_out != nullptr) *iterations_out = it + 1;
+    const double rel = std::sqrt(charged_dot(r, r)) / b_norm;
+    if (history != nullptr) history->push_back(rel);
+    if (rel <= options_.tolerance) break;
+    z = apply_preconditioner(0, r);
+    project_mean_zero(z);
+  }
+  return x;
+}
+
+LaplacianSolveReport DistributedLaplacianSolver::solve(const Vec& b) {
+  const Graph& g = oracle_.graph();
+  DLS_REQUIRE(b.size() == g.num_nodes(), "rhs size mismatch");
+  DLS_REQUIRE(is_valid_rhs(b, 1e-6), "rhs has non-zero sum — not in range(L)");
+
+  const std::uint64_t local_before = oracle_.ledger().total_local();
+  const std::uint64_t global_before = oracle_.ledger().total_global();
+  const std::uint64_t hybrid_before = oracle_.ledger().total_hybrid();
+  const std::uint64_t calls_before = oracle_.pa_calls();
+
+  LaplacianSolveReport report;
+  std::size_t iterations = 0;
+  if (options_.outer == OuterIteration::kChebyshev && !levels_[0].is_base) {
+    report.x = solve_top_chebyshev(b, &iterations, &report.residual_history);
+  } else {
+    report.x = solve_level(0, b, options_.tolerance,
+                           options_.max_outer_iterations, &iterations,
+                           &report.residual_history);
+  }
+  report.outer_iterations = iterations;
+
+  // Distributed convergence certificate: one local exchange computes the
+  // residual entries, one global aggregation lets every node learn its norm.
+  oracle_.charge_local_exchange("solver/residual-check");
+  oracle_.aggregate(global_instance_, global_values_, AggregationMonoid::sum());
+  Vec residual = sub(b, laplacian_apply(g, report.x));
+  project_mean_zero(residual);
+  Vec rhs = b;
+  project_mean_zero(rhs);
+  const double b_norm = norm2(rhs);
+  report.relative_residual = b_norm > 0 ? norm2(residual) / b_norm : 0.0;
+  report.converged = report.relative_residual <= 2.0 * options_.tolerance;
+  report.pa_calls = oracle_.pa_calls() - calls_before;
+  report.local_rounds = oracle_.ledger().total_local() - local_before;
+  report.global_rounds = oracle_.ledger().total_global() - global_before;
+  report.hybrid_rounds = oracle_.ledger().total_hybrid() - hybrid_before;
+  return report;
+}
+
+}  // namespace dls

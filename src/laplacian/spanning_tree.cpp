@@ -1,0 +1,82 @@
+#include "laplacian/spanning_tree.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+
+namespace dls {
+
+DistributedMstResult distributed_mst(CongestedPaOracle& oracle, Rng& rng) {
+  (void)rng;
+  const Graph& g = oracle.graph();
+  DLS_REQUIRE(is_connected(g), "MST requires a connected graph");
+  DistributedMstResult result;
+  const std::size_t n = g.num_nodes();
+  if (n <= 1) return result;
+
+  // Edge ranks: strict total order consistent with weights, so the minimum
+  // outgoing edge is unique and the MST is unambiguous. The rank fits an
+  // O(log n)-bit word, which is what the PA min aggregation transports.
+  std::vector<EdgeId> order(g.num_edges());
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  std::stable_sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    return g.edge(a).weight < g.edge(b).weight;
+  });
+  std::vector<double> rank(g.num_edges());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    rank[order[i]] = static_cast<double>(i);
+  }
+
+  UnionFind components(n);
+  std::size_t num_components = n;
+  while (num_components > 1) {
+    ++result.phases;
+    DLS_ASSERT(result.phases <= 2 * 64, "Boruvka failed to converge");
+    // One local exchange: every node learns its neighbors' component ids.
+    oracle.charge_local_exchange("mst/exchange-component-ids");
+    // Each node's local minimum-rank outgoing edge.
+    const double kNone = static_cast<double>(g.num_edges());
+    std::vector<double> local_min(n, kNone);
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId cv = components.find(v);
+      for (const Adjacency& a : g.neighbors(v)) {
+        if (components.find(a.neighbor) != cv) {
+          local_min[v] = std::min(local_min[v], rank[a.edge]);
+        }
+      }
+    }
+    // Parts = current components; aggregate the min outgoing rank.
+    PartCollection pc;
+    std::vector<std::vector<NodeId>> members(n);
+    for (NodeId v = 0; v < n; ++v) members[components.find(v)].push_back(v);
+    std::vector<std::vector<double>> values;
+    for (NodeId root = 0; root < n; ++root) {
+      if (members[root].empty()) continue;
+      std::vector<double> vals;
+      vals.reserve(members[root].size());
+      for (NodeId v : members[root]) vals.push_back(local_min[v]);
+      pc.parts.push_back(members[root]);
+      values.push_back(std::move(vals));
+    }
+    const std::vector<double> mins =
+        oracle.aggregate_once(pc, values, AggregationMonoid::min());
+    ++result.pa_calls;
+    // Merge along the selected edges (a second PA broadcast, charged as one
+    // more call, disseminates the merge decisions inside each component).
+    ++result.pa_calls;
+    oracle.aggregate_once(pc, values, AggregationMonoid::min());
+    for (double m : mins) {
+      if (m >= kNone) continue;  // isolated component (cannot happen if connected)
+      const EdgeId e = order[static_cast<std::size_t>(m)];
+      if (components.unite(g.edge(e).u, g.edge(e).v)) {
+        result.tree_edges.push_back(e);
+        --num_components;
+      }
+    }
+  }
+  DLS_ASSERT(is_spanning_tree(g, result.tree_edges), "Boruvka output invalid");
+  return result;
+}
+
+}  // namespace dls

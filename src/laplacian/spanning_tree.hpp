@@ -1,0 +1,25 @@
+// Distributed MST via Boruvka expressed in part-wise aggregation calls —
+// the canonical example of the Ghaffari–Haeupler reduction (and the first
+// stage of the Laplacian solver's preconditioner construction).
+//
+// Each Boruvka phase: every current component (a connected part) aggregates
+// the minimum-weight outgoing edge (1 PA call preceded by one local exchange
+// of component ids), merges along the selected edges, and repeats. O(log n)
+// phases; every phase's PA instance is 1-congested.
+#pragma once
+
+#include "laplacian/pa_oracle.hpp"
+
+namespace dls {
+
+struct DistributedMstResult {
+  std::vector<EdgeId> tree_edges;
+  std::uint32_t phases = 0;
+  std::uint64_t pa_calls = 0;
+};
+
+/// Computes the MST of the oracle's graph, charging rounds to the oracle's
+/// ledger. The graph must be connected.
+DistributedMstResult distributed_mst(CongestedPaOracle& oracle, Rng& rng);
+
+}  // namespace dls

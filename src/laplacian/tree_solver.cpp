@@ -1,0 +1,94 @@
+#include "laplacian/tree_solver.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "congested_pa/heavy_paths.hpp"
+#include "graph/algorithms.hpp"
+#include "linalg/laplacian.hpp"
+
+namespace dls {
+
+TreeLaplacianSolver::TreeLaplacianSolver(CongestedPaOracle& oracle,
+                                         std::vector<EdgeId> tree_edges)
+    : oracle_(oracle), tree_edges_(std::move(tree_edges)) {
+  const Graph& g = oracle_.graph();
+  DLS_REQUIRE(is_spanning_tree(g, tree_edges_),
+              "TreeLaplacianSolver needs a spanning tree");
+  const std::size_t n = g.num_nodes();
+
+  // Rooted structure over the tree edges.
+  std::vector<std::vector<std::pair<NodeId, EdgeId>>> adj(n);
+  for (EdgeId e : tree_edges_) {
+    adj[g.edge(e).u].push_back({g.edge(e).v, e});
+    adj[g.edge(e).v].push_back({g.edge(e).u, e});
+  }
+  parent_.assign(n, kInvalidNode);
+  parent_edge_.assign(n, kInvalidEdge);
+  topo_order_.reserve(n);
+  std::deque<NodeId> queue{0};
+  std::vector<char> seen(n, 0);
+  seen[0] = 1;
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    topo_order_.push_back(v);
+    for (const auto& [nbr, e] : adj[v]) {
+      if (seen[nbr]) continue;
+      seen[nbr] = 1;
+      parent_[nbr] = v;
+      parent_edge_[nbr] = e;
+      queue.push_back(nbr);
+    }
+  }
+
+  // Heavy-path instance of the tree (the sweeps' communication structure).
+  Graph tree_view(n);
+  for (EdgeId e : tree_edges_) {
+    tree_view.add_edge(g.edge(e).u, g.edge(e).v, g.edge(e).weight);
+  }
+  std::vector<NodeId> all(n);
+  for (NodeId v = 0; v < n; ++v) all[v] = v;
+  const HeavyPathDecomposition hpd = heavy_path_decomposition(tree_view, all);
+  handoff_rounds_ = hpd.max_depth;
+  PartCollection pc;
+  pc.parts = hpd.paths;
+  sweep_instance_ = oracle_.prepare(pc);
+  zero_values_.resize(pc.num_parts());
+  for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+    zero_values_[i].assign(pc.parts[i].size(), 0.0);
+  }
+}
+
+Vec TreeLaplacianSolver::solve(const Vec& b) {
+  const Graph& g = oracle_.graph();
+  DLS_REQUIRE(b.size() == g.num_nodes(), "rhs size mismatch");
+  DLS_REQUIRE(is_valid_rhs(b, 1e-6), "rhs not in range(L)");
+
+  // Charge the two sweeps (each: heavy-path PA + per-level handoffs).
+  oracle_.aggregate(sweep_instance_, zero_values_, AggregationMonoid::sum());
+  if (handoff_rounds_ > 0) {
+    oracle_.ledger().charge_local(handoff_rounds_, "tree-solver/up-handoffs");
+  }
+  oracle_.aggregate(sweep_instance_, zero_values_, AggregationMonoid::sum());
+  if (handoff_rounds_ > 0) {
+    oracle_.ledger().charge_local(handoff_rounds_, "tree-solver/down-handoffs");
+  }
+
+  // Exact sweeps. Subtree sums via reverse topological order.
+  Vec subtree = b;
+  for (std::size_t i = topo_order_.size(); i-- > 1;) {
+    const NodeId v = topo_order_[i];
+    subtree[parent_[v]] += subtree[v];
+  }
+  // Potentials via forward order: x_child = x_parent + f_child / w.
+  Vec x(g.num_nodes(), 0.0);
+  for (std::size_t i = 1; i < topo_order_.size(); ++i) {
+    const NodeId v = topo_order_[i];
+    x[v] = x[parent_[v]] + subtree[v] / g.edge(parent_edge_[v]).weight;
+  }
+  project_mean_zero(x);
+  return x;
+}
+
+}  // namespace dls

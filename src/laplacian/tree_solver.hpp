@@ -1,0 +1,43 @@
+// Exact Laplacian solver for spanning trees, with PA-oracle round charging.
+//
+// On a tree the system L_T x = b is solved exactly by two sweeps: subtree
+// sums determine the unique edge flows (f_e = net supply below e), and a
+// root-to-leaf sweep integrates potentials (x_child = x_parent + f/w).
+// Distributedly both sweeps are parallel tree contractions expressible as
+// part-wise aggregations over the tree's heavy paths (O(log n) path levels);
+// we charge one oracle call per sweep on the prepared heavy-path instance,
+// matching that realization, and compute the exact answer sequentially.
+#pragma once
+
+#include <span>
+
+#include "laplacian/pa_oracle.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace dls {
+
+class TreeLaplacianSolver {
+ public:
+  /// `tree_edges` must be a spanning tree of oracle.graph().
+  TreeLaplacianSolver(CongestedPaOracle& oracle,
+                      std::vector<EdgeId> tree_edges);
+
+  /// Exact solve (mean-zero representative); charges 2 PA calls plus
+  /// O(log n) local handoff rounds per call.
+  Vec solve(const Vec& b);
+
+  const std::vector<EdgeId>& tree_edges() const { return tree_edges_; }
+
+ private:
+  CongestedPaOracle& oracle_;
+  std::vector<EdgeId> tree_edges_;
+  CongestedPaOracle::InstanceId sweep_instance_ = 0;
+  std::vector<std::vector<double>> zero_values_;  // template for charging
+  std::uint64_t handoff_rounds_ = 0;              // heavy-path depth levels
+  // Rooted structure for the exact solve.
+  std::vector<NodeId> parent_;
+  std::vector<EdgeId> parent_edge_;
+  std::vector<NodeId> topo_order_;  // root first, children after parents
+};
+
+}  // namespace dls

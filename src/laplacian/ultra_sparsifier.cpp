@@ -1,0 +1,53 @@
+#include "laplacian/ultra_sparsifier.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+
+namespace dls {
+
+UltraSparsifier build_ultra_sparsifier(const MinorGraph& minor,
+                                       double offtree_budget, Rng& rng) {
+  UltraSparsifier result;
+  result.sparsifier.num_nodes = minor.num_nodes;
+  result.sparsifier.host = minor.host;
+
+  const Graph view = minor.as_graph();
+  const LowStretchTreeResult lst = low_stretch_spanning_tree(view, rng);
+  const std::vector<double> stretch = edge_stretches(view, lst.tree_edges);
+  std::vector<char> on_tree(view.num_edges(), 0);
+  for (EdgeId e : lst.tree_edges) on_tree[e] = 1;
+
+  double off_tree_stretch = 0.0;
+  for (EdgeId e = 0; e < view.num_edges(); ++e) {
+    if (!on_tree[e]) off_tree_stretch += stretch[e];
+  }
+  result.total_stretch = off_tree_stretch + static_cast<double>(lst.tree_edges.size());
+
+  // Tree edges always kept, weight unchanged. Edge e of `view` corresponds to
+  // minor.edges[e] (as_graph preserves order).
+  for (EdgeId e = 0; e < view.num_edges(); ++e) {
+    if (on_tree[e]) {
+      result.tree_edge_indices.push_back(result.sparsifier.edges.size());
+      result.sparsifier.edges.push_back(minor.edges[e]);
+    }
+  }
+  // Off-tree: keep with p_e = min(1, budget·stretch_e / off_tree_stretch),
+  // reweight by 1/p_e so the sparsifier is an unbiased spectral estimate.
+  if (offtree_budget >= 1.0 && off_tree_stretch > 0.0) {
+    for (EdgeId e = 0; e < view.num_edges(); ++e) {
+      if (on_tree[e]) continue;
+      const double p =
+          std::min(1.0, offtree_budget * stretch[e] / off_tree_stretch);
+      if (p > 0.0 && rng.next_bool(p)) {
+        MinorEdge kept = minor.edges[e];
+        kept.weight /= p;
+        result.sparsifier.edges.push_back(std::move(kept));
+        ++result.off_tree_kept;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dls

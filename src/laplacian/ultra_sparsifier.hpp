@@ -1,0 +1,26 @@
+// Ultra-sparsification (KMP / [18] style): keep a low-stretch spanning tree
+// of the minor and an expected `offtree_budget` off-tree edges sampled with
+// probability proportional to stretch, reweighted by 1/p for unbiasedness.
+// The result spectrally approximates the input with relative condition
+// number O(total_stretch / budget · polylog) and, crucially, eliminates to a
+// much smaller Schur complement because almost everything is tree-like.
+#pragma once
+
+#include "laplacian/low_stretch_tree.hpp"
+#include "laplacian/minor.hpp"
+
+namespace dls {
+
+struct UltraSparsifier {
+  MinorGraph sparsifier;          // same nodes/hosts as the input minor
+  std::vector<std::size_t> tree_edge_indices;  // indices into sparsifier.edges
+  double total_stretch = 0.0;     // of the input w.r.t. the chosen tree
+  std::size_t off_tree_kept = 0;
+};
+
+/// Builds the ultra-sparsifier of `minor`. `offtree_budget` is the expected
+/// number of off-tree edges kept (values < 1 keep the bare tree).
+UltraSparsifier build_ultra_sparsifier(const MinorGraph& minor,
+                                       double offtree_budget, Rng& rng);
+
+}  // namespace dls

@@ -1,0 +1,86 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "linalg/laplacian.hpp"
+
+namespace dls {
+
+GroundedCholesky::GroundedCholesky(const Graph& g, NodeId ground)
+    : n_(g.num_nodes()), ground_(ground) {
+  DLS_REQUIRE(ground < g.num_nodes(), "ground node out of range");
+  DLS_REQUIRE(is_connected(g), "GroundedCholesky requires a connected graph");
+  const std::size_t m = n_ - 1;  // grounded dimension
+  // Index map: skip the ground node.
+  std::vector<std::size_t> index(n_, static_cast<std::size_t>(-1));
+  std::size_t next = 0;
+  for (NodeId v = 0; v < n_; ++v) {
+    if (v != ground_) index[v] = next++;
+  }
+  // Dense grounded Laplacian.
+  std::vector<Vec> a(m, Vec(m, 0.0));
+  for (const Edge& e : g.edges()) {
+    if (e.u != ground_) a[index[e.u]][index[e.u]] += e.weight;
+    if (e.v != ground_) a[index[e.v]][index[e.v]] += e.weight;
+    if (e.u != ground_ && e.v != ground_) {
+      a[index[e.u]][index[e.v]] -= e.weight;
+      a[index[e.v]][index[e.u]] -= e.weight;
+    }
+  }
+  // In-place dense Cholesky A = L Lᵀ.
+  l_.assign(m, Vec(m, 0.0));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a[i][j];
+      for (std::size_t k = 0; k < j; ++k) sum -= l_[i][k] * l_[j][k];
+      if (i == j) {
+        DLS_ASSERT(sum > 0.0, "grounded Laplacian not positive definite");
+        l_[i][i] = std::sqrt(sum);
+      } else {
+        l_[i][j] = sum / l_[j][j];
+      }
+    }
+  }
+}
+
+Vec GroundedCholesky::solve(const Vec& b) const {
+  DLS_REQUIRE(b.size() == n_, "solve: rhs size mismatch");
+  DLS_REQUIRE(is_valid_rhs(b, 1e-6), "solve: rhs not in range(L)");
+  const std::size_t m = n_ - 1;
+  // Reduced rhs (drop ground entry).
+  Vec rb(m);
+  {
+    std::size_t next = 0;
+    for (NodeId v = 0; v < n_; ++v) {
+      if (v != ground_) rb[next++] = b[v];
+    }
+  }
+  // Forward substitution L y = rb.
+  Vec y(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    double sum = rb[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l_[i][k] * y[k];
+    y[i] = sum / l_[i][i];
+  }
+  // Back substitution Lᵀ z = y.
+  Vec z(m);
+  for (std::size_t ii = m; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double sum = y[i];
+    for (std::size_t k = i + 1; k < m; ++k) sum -= l_[k][i] * z[k];
+    z[i] = sum / l_[i][i];
+  }
+  // Re-insert ground (x_ground = 0) and return the mean-zero representative.
+  Vec x(n_, 0.0);
+  {
+    std::size_t next = 0;
+    for (NodeId v = 0; v < n_; ++v) {
+      if (v != ground_) x[v] = z[next++];
+    }
+  }
+  project_mean_zero(x);
+  return x;
+}
+
+}  // namespace dls

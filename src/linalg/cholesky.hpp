@@ -1,0 +1,32 @@
+// Exact sparse Cholesky-style elimination for graph Laplacians, grounding one
+// node to fix the kernel. Used as exact ground truth for small systems and as
+// the base-case solver at the bottom of the recursive distributed solver
+// (where the remaining graph is tiny and "solving locally" costs a broadcast).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace dls {
+
+/// Factorization of a connected graph Laplacian with node `ground` removed
+/// (the reduced matrix is SPD). Solves return the mean-zero representative.
+class GroundedCholesky {
+ public:
+  /// Builds the factorization; O(n³) worst case, intended for n ≲ 2000 or
+  /// recursion base cases.
+  GroundedCholesky(const Graph& g, NodeId ground = 0);
+
+  /// Solves Lx = b (Σb = 0 required) exactly; returns mean-zero x.
+  Vec solve(const Vec& b) const;
+
+  std::size_t dimension() const { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  NodeId ground_ = 0;
+  // Dense lower-triangular factor of the grounded Laplacian (row-major).
+  std::vector<Vec> l_;
+};
+
+}  // namespace dls

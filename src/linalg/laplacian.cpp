@@ -1,0 +1,59 @@
+#include "linalg/laplacian.hpp"
+
+#include <cmath>
+
+namespace dls {
+
+Vec laplacian_apply(const Graph& g, const Vec& x) {
+  DLS_REQUIRE(x.size() == g.num_nodes(), "laplacian_apply: size mismatch");
+  Vec y(x.size(), 0.0);
+  for (const Edge& e : g.edges()) {
+    const double diff = x[e.u] - x[e.v];
+    y[e.u] += e.weight * diff;
+    y[e.v] -= e.weight * diff;
+  }
+  return y;
+}
+
+double laplacian_quadratic_form(const Graph& g, const Vec& x) {
+  DLS_REQUIRE(x.size() == g.num_nodes(), "quadratic form: size mismatch");
+  double sum = 0.0;
+  for (const Edge& e : g.edges()) {
+    const double diff = x[e.u] - x[e.v];
+    sum += e.weight * diff * diff;
+  }
+  return sum;
+}
+
+double laplacian_seminorm(const Graph& g, const Vec& x) {
+  return std::sqrt(std::max(0.0, laplacian_quadratic_form(g, x)));
+}
+
+bool is_valid_rhs(const Vec& b, double tol) {
+  double sum = 0.0;
+  for (double v : b) sum += v;
+  return std::abs(sum) <= tol * (norm2(b) + 1.0);
+}
+
+std::vector<Vec> laplacian_dense(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<Vec> m(n, Vec(n, 0.0));
+  for (const Edge& e : g.edges()) {
+    m[e.u][e.u] += e.weight;
+    m[e.v][e.v] += e.weight;
+    m[e.u][e.v] -= e.weight;
+    m[e.v][e.u] -= e.weight;
+  }
+  return m;
+}
+
+double relative_error_in_l_norm(const Graph& g, const Vec& x, const Vec& x_ref) {
+  Vec diff = sub(x, x_ref);
+  // The additive constant is in L's kernel, so the seminorm already ignores
+  // it; no explicit alignment needed.
+  const double num = laplacian_seminorm(g, diff);
+  const double den = laplacian_seminorm(g, x_ref);
+  return den > 0 ? num / den : num;
+}
+
+}  // namespace dls

@@ -1,0 +1,34 @@
+// The graph Laplacian as a linear operator. L = D − A where D is the
+// weighted-degree diagonal. For a connected graph, L is PSD with kernel
+// span{1}; a system Lx = b is solvable iff Σ b_i = 0 and the solution is
+// unique up to an additive constant. All error metrics below work in the
+// L-seminorm, matching the ε of Theorems 1–3.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace dls {
+
+/// Applies y = L x. One matvec == one "local exchange" in CONGEST (each node
+/// needs only its neighbors' entries), which is how the distributed solvers
+/// charge rounds for it.
+Vec laplacian_apply(const Graph& g, const Vec& x);
+
+/// xᵀ L x = Σ_e w_e (x_u − x_v)² — the energy / L-seminorm squared.
+double laplacian_quadratic_form(const Graph& g, const Vec& x);
+
+/// ‖x‖_L = sqrt(xᵀLx).
+double laplacian_seminorm(const Graph& g, const Vec& x);
+
+/// Checks that b is in range(L) for a connected graph: |Σ b_i| ≤ tol·‖b‖₂.
+bool is_valid_rhs(const Vec& b, double tol = 1e-9);
+
+/// Dense Laplacian matrix (for tiny ground-truth checks only).
+std::vector<Vec> laplacian_dense(const Graph& g);
+
+/// Relative error of x against reference x* in the L-seminorm, after aligning
+/// the free additive constant: ‖x − x*‖_L / ‖x*‖_L.
+double relative_error_in_l_norm(const Graph& g, const Vec& x, const Vec& x_ref);
+
+}  // namespace dls

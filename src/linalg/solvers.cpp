@@ -1,0 +1,165 @@
+#include "linalg/solvers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+
+namespace dls {
+
+namespace {
+std::size_t default_max_iters(std::size_t n, const SolveOptions& options) {
+  return options.max_iterations > 0 ? options.max_iterations : 10 * n + 100;
+}
+}  // namespace
+
+SolveResult conjugate_gradient(const LinearOperator& op, const Vec& b,
+                               const SolveOptions& options) {
+  SolveResult result;
+  const std::size_t n = b.size();
+  Vec rhs = b;
+  project_mean_zero(rhs);
+  const double b_norm = norm2(rhs);
+  result.x.assign(n, 0.0);
+  if (b_norm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+  Vec r = rhs;
+  Vec p = r;
+  double rr = dot(r, r);
+  const std::size_t max_iters = default_max_iters(n, options);
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    Vec ap = op(p);
+    project_mean_zero(ap);  // numerical drift out of range(L)
+    const double pap = dot(p, ap);
+    if (pap <= 0.0) break;  // operator not PD on this subspace — stop cleanly
+    const double alpha = rr / pap;
+    axpy(alpha, p, result.x);
+    axpy(-alpha, ap, r);
+    const double rr_new = dot(r, r);
+    result.iterations = it + 1;
+    if (std::sqrt(rr_new) <= options.tolerance * b_norm) {
+      result.converged = true;
+      rr = rr_new;
+      break;
+    }
+    const double beta = rr_new / rr;
+    rr = rr_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+  }
+  result.residual_norm = std::sqrt(rr) / b_norm;
+  return result;
+}
+
+SolveResult solve_laplacian_cg(const Graph& g, const Vec& b,
+                               const SolveOptions& options) {
+  return conjugate_gradient(
+      [&g](const Vec& x) { return laplacian_apply(g, x); }, b, options);
+}
+
+SolveResult preconditioned_cg(const LinearOperator& op,
+                              const LinearOperator& precond, const Vec& b,
+                              const SolveOptions& options) {
+  SolveResult result;
+  const std::size_t n = b.size();
+  Vec rhs = b;
+  project_mean_zero(rhs);
+  const double b_norm = norm2(rhs);
+  result.x.assign(n, 0.0);
+  if (b_norm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+  Vec r = rhs;
+  Vec z = precond(r);
+  project_mean_zero(z);
+  Vec p = z;
+  double rz = dot(r, z);
+  const std::size_t max_iters = default_max_iters(n, options);
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    Vec ap = op(p);
+    project_mean_zero(ap);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0) break;
+    const double alpha = rz / pap;
+    axpy(alpha, p, result.x);
+    axpy(-alpha, ap, r);
+    result.iterations = it + 1;
+    if (norm2(r) <= options.tolerance * b_norm) {
+      result.converged = true;
+      break;
+    }
+    z = precond(r);
+    project_mean_zero(z);
+    const double rz_new = dot(r, z);
+    if (rz == 0.0) break;
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  result.residual_norm = norm2(r) / b_norm;
+  return result;
+}
+
+SolveResult chebyshev(const LinearOperator& op, const Vec& b, double lambda_min,
+                      double lambda_max, const SolveOptions& options) {
+  DLS_REQUIRE(lambda_min > 0 && lambda_max >= lambda_min,
+              "chebyshev needs 0 < lambda_min <= lambda_max");
+  SolveResult result;
+  const std::size_t n = b.size();
+  Vec rhs = b;
+  project_mean_zero(rhs);
+  const double b_norm = norm2(rhs);
+  result.x.assign(n, 0.0);
+  if (b_norm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+  const double theta = 0.5 * (lambda_max + lambda_min);
+  const double delta = 0.5 * (lambda_max - lambda_min);
+  Vec r = rhs;
+  Vec p(n, 0.0);
+  double alpha = 0.0, beta = 0.0;
+  const std::size_t max_iters = default_max_iters(n, options);
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    if (it == 0) {
+      p = r;
+      alpha = 1.0 / theta;
+    } else {
+      beta = (it == 1) ? 0.5 * (delta * alpha) * (delta * alpha)
+                       : (delta * alpha / 2.0) * (delta * alpha / 2.0);
+      alpha = 1.0 / (theta - beta / alpha);
+      for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    }
+    axpy(alpha, p, result.x);
+    Vec ax = op(result.x);
+    project_mean_zero(ax);
+    r = sub(rhs, ax);
+    result.iterations = it + 1;
+    if (norm2(r) <= options.tolerance * b_norm) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.residual_norm = norm2(r) / b_norm;
+  return result;
+}
+
+SpectrumBounds laplacian_spectrum_bounds(const Graph& g) {
+  SpectrumBounds bounds;
+  double max_wdeg = 0.0;
+  double min_weight = std::numeric_limits<double>::infinity();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_wdeg = std::max(max_wdeg, g.weighted_degree(v));
+  }
+  for (const Edge& e : g.edges()) min_weight = std::min(min_weight, e.weight);
+  bounds.lambda_max = 2.0 * max_wdeg;
+  // λ₂ ≥ w_min · λ₂(unweighted) and λ₂(unweighted) ≥ 4/(n·diam) ≥ 1/n²
+  // (Fiedler/Mohar). The n⁻² bound is loose but safe and free to compute.
+  const double n = static_cast<double>(std::max<std::size_t>(g.num_nodes(), 2));
+  bounds.lambda_min = (g.num_edges() > 0 ? min_weight : 1.0) / (n * n);
+  return bounds;
+}
+
+}  // namespace dls

@@ -1,0 +1,60 @@
+// Sequential reference solvers for Laplacian systems Lx = b. These provide
+// the numerical ground truth against which the distributed solvers are
+// validated (EXPERIMENTS.md records distributed-vs-reference errors), plus
+// the iteration kernels (CG / Chebyshev) reused inside the recursive
+// distributed solver with a different matvec provider.
+#pragma once
+
+#include <functional>
+
+#include "graph/graph.hpp"
+#include "linalg/laplacian.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace dls {
+
+/// y = A x for the abstract operators the iterative kernels run against.
+using LinearOperator = std::function<Vec(const Vec&)>;
+
+struct SolveResult {
+  Vec x;
+  std::size_t iterations = 0;
+  double residual_norm = 0.0;  // final ‖b − Lx‖₂ / ‖b‖₂
+  bool converged = false;
+};
+
+struct SolveOptions {
+  double tolerance = 1e-8;        // relative ℓ₂ residual target
+  std::size_t max_iterations = 0; // 0 => 10·n + 100
+};
+
+/// Conjugate gradient on the mean-zero subspace (handles the PSD kernel of a
+/// connected Laplacian). `op` must be symmetric PSD with kernel span{1}.
+SolveResult conjugate_gradient(const LinearOperator& op, const Vec& b,
+                               const SolveOptions& options = {});
+
+/// CG specialized to a graph Laplacian.
+SolveResult solve_laplacian_cg(const Graph& g, const Vec& b,
+                               const SolveOptions& options = {});
+
+/// Preconditioned CG: `precond` applies an approximate pseudo-inverse of L.
+SolveResult preconditioned_cg(const LinearOperator& op,
+                              const LinearOperator& precond, const Vec& b,
+                              const SolveOptions& options = {});
+
+/// Chebyshev iteration given eigenvalue bounds [lambda_min, lambda_max] of
+/// the (preconditioned) operator restricted to the mean-zero space.
+SolveResult chebyshev(const LinearOperator& op, const Vec& b, double lambda_min,
+                      double lambda_max, const SolveOptions& options = {});
+
+/// Bounds on the nonzero Laplacian spectrum of a connected graph:
+/// lambda_max ≤ 2·max weighted degree; lambda_min ≥ fiedler lower bound via
+/// 1/(n·diam-ish) — we return safe (loose) analytic bounds good enough to
+/// drive Chebyshev.
+struct SpectrumBounds {
+  double lambda_min = 0.0;
+  double lambda_max = 0.0;
+};
+SpectrumBounds laplacian_spectrum_bounds(const Graph& g);
+
+}  // namespace dls

@@ -1,0 +1,59 @@
+#include "linalg/vector_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace dls {
+
+double dot(const Vec& a, const Vec& b) {
+  DLS_REQUIRE(a.size() == b.size(), "dot: size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double norm2(const Vec& a) { return std::sqrt(dot(a, a)); }
+
+void axpy(double alpha, const Vec& x, Vec& y) {
+  DLS_REQUIRE(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(Vec& a, double s) {
+  for (double& v : a) v *= s;
+}
+
+Vec add(const Vec& a, const Vec& b) {
+  DLS_REQUIRE(a.size() == b.size(), "add: size mismatch");
+  Vec r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] + b[i];
+  return r;
+}
+
+Vec sub(const Vec& a, const Vec& b) {
+  DLS_REQUIRE(a.size() == b.size(), "sub: size mismatch");
+  Vec r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] - b[i];
+  return r;
+}
+
+void project_mean_zero(Vec& a) {
+  if (a.empty()) return;
+  double mean = 0.0;
+  for (double v : a) mean += v;
+  mean /= static_cast<double>(a.size());
+  for (double& v : a) v -= mean;
+}
+
+double max_abs_diff(const Vec& a, const Vec& b) {
+  DLS_REQUIRE(a.size() == b.size(), "max_abs_diff: size mismatch");
+  double best = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    best = std::max(best, std::abs(a[i] - b[i]));
+  }
+  return best;
+}
+
+}  // namespace dls

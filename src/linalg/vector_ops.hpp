@@ -1,0 +1,28 @@
+// Dense vector helpers for the Laplacian solvers. Vectors over graph nodes
+// are plain std::vector<double>; for a connected graph the Laplacian's kernel
+// is the all-ones vector, so solvers work in the mean-zero subspace.
+#pragma once
+
+#include <vector>
+
+namespace dls {
+
+using Vec = std::vector<double>;
+
+double dot(const Vec& a, const Vec& b);
+double norm2(const Vec& a);
+/// y += alpha * x
+void axpy(double alpha, const Vec& x, Vec& y);
+/// a *= s
+void scale(Vec& a, double s);
+Vec add(const Vec& a, const Vec& b);
+Vec sub(const Vec& a, const Vec& b);
+
+/// Subtract the mean, projecting onto the space orthogonal to 1 (the
+/// Laplacian's range for a connected graph).
+void project_mean_zero(Vec& a);
+
+/// Max |a_i - b_i|.
+double max_abs_diff(const Vec& a, const Vec& b);
+
+}  // namespace dls

@@ -1,0 +1,106 @@
+#include "lowerbound/spanning_connected_subgraph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+
+namespace dls {
+
+bool is_spanning_connected(const Graph& g,
+                           std::span<const EdgeId> subgraph_edges) {
+  UnionFind uf(g.num_nodes());
+  for (EdgeId e : subgraph_edges) {
+    DLS_REQUIRE(e < g.num_edges(), "subgraph edge out of range");
+    uf.unite(g.edge(e).u, g.edge(e).v);
+  }
+  return uf.num_sets() == 1;
+}
+
+ScsDecision decide_spanning_connected_via_laplacian(
+    const Graph& g, std::span<const EdgeId> subgraph_edges, OracleKind kind,
+    Rng& rng, int probes) {
+  DLS_REQUIRE(is_connected(g), "SCS reduction needs a connected network");
+  const std::size_t n = g.num_nodes();
+  ScsDecision decision;
+  if (n <= 1) {
+    decision.connected = true;
+    return decision;
+  }
+
+  // H' = G reweighted: H-edges keep their weight (≥ 1 effective), all other
+  // edges get ε ≤ 1/(16·m·n²). Injecting one unit at s and extracting 1/n
+  // everywhere separates the potential spread max−min deterministically:
+  //   H spanning-connected → spread ≤ max R_H(u,v) ≤ n − 1
+  //   some component misses s → it sinks ≥ 1/n of current across an ε-cut
+  //     of conductance ≤ m·ε, so spread ≥ (1/n)/(m·ε) ≥ 16n.
+  const double epsilon_weight =
+      1.0 / (16.0 * static_cast<double>(g.num_edges()) *
+             static_cast<double>(n) * static_cast<double>(n));
+  Graph reweighted(n);
+  std::vector<char> in_h(g.num_edges(), 0);
+  for (EdgeId e : subgraph_edges) in_h[e] = 1;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    reweighted.add_edge(edge.u, edge.v,
+                        in_h[e] ? std::max(edge.weight, 1.0) : epsilon_weight);
+  }
+
+  std::unique_ptr<CongestedPaOracle> oracle;
+  switch (kind) {
+    case OracleKind::kShortcut:
+      oracle = std::make_unique<ShortcutPaOracle>(reweighted, rng);
+      break;
+    case OracleKind::kBaseline:
+      oracle = std::make_unique<BaselinePaOracle>(reweighted, rng);
+      break;
+    case OracleKind::kNcc:
+      oracle = std::make_unique<NccPaOracle>(reweighted, rng);
+      break;
+  }
+
+  LaplacianSolverOptions options;
+  options.tolerance = 1e-8;  // spread detection needs a few accurate digits
+  DistributedLaplacianSolver solver(*oracle, rng, options);
+
+  // Any single probe detects ANY disconnection (the statistic is the global
+  // potential spread, learned by every node via one more aggregation);
+  // extra probes only harden against numerical corner cases.
+  const double threshold = 4.0 * static_cast<double>(n);
+  decision.connected = true;
+  for (int p = 0; p < probes; ++p) {
+    const NodeId s = static_cast<NodeId>(rng.next_below(n));
+    Vec b(n, -1.0 / static_cast<double>(n));
+    b[s] += 1.0;
+    const LaplacianSolveReport report = solver.solve(b);
+    decision.residual = std::max(decision.residual, report.relative_residual);
+    const auto [min_it, max_it] =
+        std::minmax_element(report.x.begin(), report.x.end());
+    if (*max_it - *min_it > threshold) decision.connected = false;
+  }
+  decision.local_rounds = oracle->ledger().total_local();
+  decision.global_rounds = oracle->ledger().total_global();
+  decision.pa_calls = oracle->pa_calls();
+  return decision;
+}
+
+std::vector<EdgeId> random_scs_instance(const Graph& g, Rng& rng,
+                                        std::size_t drop, std::size_t extra) {
+  const std::vector<EdgeId> tree = bfs_tree_edges(g, 0);
+  std::vector<EdgeId> edges = tree;
+  rng.shuffle(edges);
+  DLS_REQUIRE(drop <= edges.size(), "cannot drop more edges than the tree has");
+  edges.resize(edges.size() - drop);
+  std::vector<char> used(g.num_edges(), 0);
+  for (EdgeId e : edges) used[e] = 1;
+  for (std::size_t i = 0; i < extra && g.num_edges() > 0; ++i) {
+    const EdgeId e = static_cast<EdgeId>(rng.next_below(g.num_edges()));
+    if (!used[e]) {
+      used[e] = 1;
+      edges.push_back(e);
+    }
+  }
+  return edges;
+}
+
+}  // namespace dls

@@ -1,0 +1,52 @@
+// The spanning connected subgraph (SCS) problem [13] and its reduction from
+// Laplacian solving (Theorem 1 / Theorem 29).
+//
+// Input: a subgraph H of the network G, each node knowing its incident
+// H-edges; every node must learn whether H is connected and spans G.
+// Theorem 29 shows any always-correct algorithm needs Ω̃(SQ(G)) rounds; the
+// paper's Theorem 1 lifts this to Laplacian solving by observing that a
+// solver with error ε ≤ 1/2 decides SCS: solve L_H x = e_s − e_t for probe
+// pairs — if s and t lie in different H-components the rhs is not in
+// range(L_H) and the residual stays Ω(1), which every node can detect with
+// one more aggregation.
+#pragma once
+
+#include <span>
+
+#include "laplacian/pa_oracle.hpp"
+#include "laplacian/recursive_solver.hpp"
+
+namespace dls {
+
+/// Ground truth: is the edge-induced subgraph H = (V(G), subgraph_edges)
+/// connected and spanning?
+bool is_spanning_connected(const Graph& g, std::span<const EdgeId> subgraph_edges);
+
+struct ScsDecision {
+  bool connected = false;
+  double residual = 0.0;         // worst probe-solve residual
+  std::uint64_t local_rounds = 0;
+  std::uint64_t global_rounds = 0;
+  std::uint64_t pa_calls = 0;
+};
+
+enum class OracleKind { kShortcut, kBaseline, kNcc };
+
+/// Decides SCS via the Laplacian-solver reduction of Theorem 1. The solver
+/// runs on G reweighted so H-edges keep their weight and non-H edges get an
+/// ε ≤ 1/(16mn²); injecting one unit of current at a probe node and
+/// extracting 1/n everywhere makes the global potential spread ≤ n−1 when H
+/// is spanning-connected and ≥ 16n when any component misses the probe —
+/// a deterministic gap every node can threshold after one aggregation.
+/// A single probe suffices; `probes` repeats harden numerical corner cases.
+ScsDecision decide_spanning_connected_via_laplacian(
+    const Graph& g, std::span<const EdgeId> subgraph_edges, OracleKind kind,
+    Rng& rng, int probes = 2);
+
+/// Generates a random subgraph that is spanning-connected with probability
+/// ~1/2: a spanning tree with `drop` random tree edges removed (drop = 0
+/// keeps it connected) plus `extra` random non-tree edges.
+std::vector<EdgeId> random_scs_instance(const Graph& g, Rng& rng,
+                                        std::size_t drop, std::size_t extra);
+
+}  // namespace dls

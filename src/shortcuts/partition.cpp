@@ -1,0 +1,159 @@
+#include "shortcuts/partition.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/algorithms.hpp"
+
+namespace dls {
+
+std::size_t congestion(const Graph& g, const PartCollection& pc) {
+  std::vector<std::size_t> count(g.num_nodes(), 0);
+  std::size_t rho = 0;
+  for (const auto& part : pc.parts) {
+    for (NodeId v : part) {
+      DLS_REQUIRE(v < g.num_nodes(), "part member out of range");
+      rho = std::max(rho, ++count[v]);
+    }
+  }
+  return rho;
+}
+
+bool is_valid_part_collection(const Graph& g, const PartCollection& pc,
+                              bool require_disjoint) {
+  std::vector<std::size_t> count(g.num_nodes(), 0);
+  for (const auto& part : pc.parts) {
+    if (part.empty()) return false;
+    std::set<NodeId> seen;
+    for (NodeId v : part) {
+      if (v >= g.num_nodes()) return false;
+      if (!seen.insert(v).second) return false;  // repeated within part
+      ++count[v];
+    }
+    const InducedSubgraph sub = induced_subgraph(g, part);
+    if (!is_connected(sub.graph)) return false;
+  }
+  if (require_disjoint) {
+    for (std::size_t c : count) {
+      if (c > 1) return false;
+    }
+  }
+  return true;
+}
+
+PartCollection random_voronoi_partition(const Graph& g, std::size_t k, Rng& rng) {
+  DLS_REQUIRE(k >= 1 && k <= g.num_nodes(), "bad number of centers");
+  // Distinct random centers.
+  std::vector<NodeId> centers;
+  {
+    std::vector<std::size_t> perm = rng.permutation(g.num_nodes());
+    centers.assign(perm.begin(), perm.begin() + static_cast<std::ptrdiff_t>(k));
+  }
+  const BfsResult r = bfs_multi(g, centers);
+  // Assign each node to the center whose BFS tree captured it: walk parents.
+  std::vector<std::uint32_t> owner(g.num_nodes(), static_cast<std::uint32_t>(-1));
+  for (std::uint32_t i = 0; i < centers.size(); ++i) owner[centers[i]] = i;
+  // Nodes in BFS order of increasing distance inherit their parent's owner,
+  // which keeps every part connected (it is a union of BFS-tree subtrees).
+  std::vector<NodeId> order(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return r.dist[a] < r.dist[b];
+  });
+  for (NodeId v : order) {
+    if (owner[v] == static_cast<std::uint32_t>(-1) &&
+        r.parent[v] != kInvalidNode) {
+      owner[v] = owner[r.parent[v]];
+    }
+  }
+  PartCollection pc;
+  pc.parts.assign(k, {});
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (owner[v] != static_cast<std::uint32_t>(-1)) {
+      pc.parts[owner[v]].push_back(v);
+    }
+  }
+  // Unreachable nodes (disconnected graph) are simply not covered — allowed.
+  std::erase_if(pc.parts, [](const auto& part) { return part.empty(); });
+  return pc;
+}
+
+PartCollection grid_row_partition(std::size_t rows, std::size_t cols) {
+  PartCollection pc;
+  pc.parts.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<NodeId> part;
+    part.reserve(cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+      part.push_back(static_cast<NodeId>(r * cols + c));
+    }
+    pc.parts.push_back(std::move(part));
+  }
+  return pc;
+}
+
+PartCollection figure1_diagonal_instance(std::size_t side) {
+  DLS_REQUIRE(side >= 2, "diagonal instance needs side >= 2");
+  PartCollection pc;
+  // Anti-diagonal d = r + c, d in [0, 2s-2]. Part d = diagonal d ∪ diagonal
+  // d+1 (for d < 2s-2): connected in the grid, and node congestion 2 since
+  // each diagonal belongs to parts d-1 and d.
+  const auto id = [&](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * side + c);
+  };
+  for (std::size_t d = 0; d + 1 <= 2 * side - 2; ++d) {
+    std::vector<NodeId> part;
+    for (std::size_t dd = d; dd <= d + 1 && dd <= 2 * side - 2; ++dd) {
+      for (std::size_t r = 0; r < side; ++r) {
+        if (dd >= r && dd - r < side) part.push_back(id(r, dd - r));
+      }
+    }
+    pc.parts.push_back(std::move(part));
+  }
+  return pc;
+}
+
+PartCollection stacked_voronoi_instance(const Graph& g, std::size_t k,
+                                        std::size_t rho, Rng& rng) {
+  PartCollection pc;
+  for (std::size_t layer = 0; layer < rho; ++layer) {
+    PartCollection one = random_voronoi_partition(g, k, rng);
+    for (auto& part : one.parts) pc.parts.push_back(std::move(part));
+  }
+  return pc;
+}
+
+PartCollection random_path_instance(const Graph& g, std::size_t num_paths,
+                                    std::size_t max_length, std::size_t rho,
+                                    Rng& rng) {
+  DLS_REQUIRE(rho >= 1, "congestion bound must be positive");
+  PartCollection pc;
+  std::vector<std::size_t> load(g.num_nodes(), 0);
+  for (std::size_t attempt = 0; attempt < 20 * num_paths; ++attempt) {
+    if (pc.parts.size() == num_paths) break;
+    const NodeId start = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    if (load[start] >= rho) continue;
+    std::vector<NodeId> path{start};
+    std::vector<char> on_path(g.num_nodes(), 0);
+    on_path[start] = 1;
+    NodeId cur = start;
+    while (path.size() < max_length) {
+      // Random eligible neighbor: not already on this path, load < rho.
+      std::vector<NodeId> options;
+      for (const Adjacency& a : g.neighbors(cur)) {
+        if (!on_path[a.neighbor] && load[a.neighbor] < rho) {
+          options.push_back(a.neighbor);
+        }
+      }
+      if (options.empty()) break;
+      cur = options[rng.next_below(options.size())];
+      on_path[cur] = 1;
+      path.push_back(cur);
+    }
+    for (NodeId v : path) ++load[v];
+    pc.parts.push_back(std::move(path));
+  }
+  return pc;
+}
+
+}  // namespace dls

@@ -1,0 +1,59 @@
+// Part collections for the (congested) part-wise aggregation problem.
+//
+// A Partition (Definition 4) is a collection of disjoint, individually
+// connected node sets. A congested part collection (Definition 13) drops
+// disjointness: a node may belong to up to ρ parts. Both are represented as
+// PartCollection; `congestion()` distinguishes them (ρ = 1 ⇔ partition).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace dls {
+
+struct PartCollection {
+  /// parts[i] lists the member nodes of part i (distinct within a part).
+  std::vector<std::vector<NodeId>> parts;
+
+  std::size_t num_parts() const { return parts.size(); }
+};
+
+/// Max number of parts any node belongs to (the ρ of Definition 13).
+std::size_t congestion(const Graph& g, const PartCollection& pc);
+
+/// Checks Definition 13: members in range and distinct per part, and each
+/// G[P_i] connected. With require_disjoint, additionally checks ρ == 1.
+bool is_valid_part_collection(const Graph& g, const PartCollection& pc,
+                              bool require_disjoint = false);
+
+// --- Instance generators used by tests and benchmarks ----------------------
+
+/// Voronoi-style partition: k random centers, nodes join their closest center
+/// (multi-source BFS); parts are connected by construction. Covers all nodes.
+PartCollection random_voronoi_partition(const Graph& g, std::size_t k, Rng& rng);
+
+/// Rows of an r×c grid as parts (the classic worst case for grids: k = r
+/// paths of length c that any shortcut must route across columns).
+PartCollection grid_row_partition(std::size_t rows, std::size_t cols);
+
+/// The Figure 1 instance: on an s×s grid, ρ = 2 diagonal "stripe" parts —
+/// part d (0 ≤ d < 2s−1) contains every node on anti-diagonal d taken
+/// together with the next anti-diagonal, so that every two adjacent diagonal
+/// parts share a node and no pair of parts can be separated into disjoint
+/// 1-congested instances (Observation 14).
+PartCollection figure1_diagonal_instance(std::size_t side);
+
+/// ρ overlapping Voronoi partitions stacked together: a generic ρ-congested
+/// instance on any graph.
+PartCollection stacked_voronoi_instance(const Graph& g, std::size_t k,
+                                        std::size_t rho, Rng& rng);
+
+/// Random simple paths as parts (each part is a path, possibly overlapping
+/// others), node congestion at most rho. Used for Lemma 18-style instances.
+PartCollection random_path_instance(const Graph& g, std::size_t num_paths,
+                                    std::size_t max_length, std::size_t rho,
+                                    Rng& rng);
+
+}  // namespace dls

@@ -1,0 +1,79 @@
+#include "shortcuts/partwise_aggregation.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+#include "graph/algorithms.hpp"
+
+namespace dls {
+
+namespace {
+
+/// BFS tree of the part-plus-shortcut subgraph, as host edge ids.
+AggregationTree build_part_tree(const Graph& g, const std::vector<NodeId>& part,
+                                const std::vector<EdgeId>& h_edges,
+                                const std::vector<double>& values) {
+  DLS_REQUIRE(part.size() == values.size(), "values size mismatch");
+  const PartSubgraph sub = part_subgraph(g, part, h_edges);
+  std::unordered_map<NodeId, std::vector<std::pair<NodeId, EdgeId>>> adj;
+  for (EdgeId e : sub.edges) {
+    const Edge& edge = g.edge(e);
+    adj[edge.u].push_back({edge.v, e});
+    adj[edge.v].push_back({edge.u, e});
+  }
+  AggregationTree tree;
+  tree.root = part.front();
+  std::unordered_map<NodeId, char> seen;
+  seen[tree.root] = 1;
+  std::deque<NodeId> queue{tree.root};
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (const auto& [nbr, e] : adj[v]) {
+      if (seen.count(nbr) > 0) continue;
+      seen[nbr] = 1;
+      tree.edges.push_back(e);
+      queue.push_back(nbr);
+    }
+  }
+  DLS_REQUIRE(seen.size() == sub.nodes.size(),
+              "part + shortcut subgraph is disconnected");
+  tree.inputs.reserve(part.size());
+  for (std::size_t j = 0; j < part.size(); ++j) {
+    tree.inputs.push_back({part[j], values[j]});
+  }
+  return tree;
+}
+
+}  // namespace
+
+PartwiseAggregationOutcome solve_partwise_aggregation(
+    const Graph& g, const PartCollection& pc,
+    const std::vector<std::vector<double>>& values,
+    const AggregationMonoid& monoid, const Shortcut& shortcut, Rng& rng,
+    SchedulingPolicy policy) {
+  DLS_REQUIRE(values.size() == pc.num_parts(), "values per part mismatch");
+  DLS_REQUIRE(shortcut.h_edges.size() == pc.num_parts(),
+              "shortcut per part mismatch");
+  std::vector<AggregationTree> trees;
+  trees.reserve(pc.num_parts());
+  for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+    trees.push_back(
+        build_part_tree(g, pc.parts[i], shortcut.h_edges[i], values[i]));
+  }
+  PartwiseAggregationOutcome outcome;
+  outcome.schedule = run_tree_aggregations(g, trees, monoid, rng, policy);
+  outcome.results = outcome.schedule.results;
+  return outcome;
+}
+
+PartwiseAggregationOutcome solve_partwise_aggregation_auto(
+    const Graph& g, const PartCollection& pc,
+    const std::vector<std::vector<double>>& values,
+    const AggregationMonoid& monoid, Rng& rng, SchedulingPolicy policy) {
+  const BestShortcut best = build_best_shortcut(g, pc, rng);
+  return solve_partwise_aggregation(g, pc, values, monoid, best.shortcut, rng,
+                                    policy);
+}
+
+}  // namespace dls

@@ -1,0 +1,34 @@
+// Part-wise aggregation via shortcuts (Proposition 6): given a part
+// collection and a shortcut, every part aggregates over a BFS tree of
+// G[P_i] ∪ H_i; all trees run concurrently under per-edge CONGEST capacity.
+// Rounds are measured, not modeled: the scheduler simulates every message.
+#pragma once
+
+#include "shortcuts/construction.hpp"
+#include "shortcuts/partition.hpp"
+#include "shortcuts/shortcut.hpp"
+#include "sim/aggregation_scheduler.hpp"
+
+namespace dls {
+
+struct PartwiseAggregationOutcome {
+  std::vector<double> results;  // aggregate per part
+  AggregationOutcome schedule;  // measured rounds / congestion / messages
+};
+
+/// values[i][j] is the input of pc.parts[i][j]. Every part member learns the
+/// part aggregate (the broadcast phase is included in the measured rounds).
+PartwiseAggregationOutcome solve_partwise_aggregation(
+    const Graph& g, const PartCollection& pc,
+    const std::vector<std::vector<double>>& values,
+    const AggregationMonoid& monoid, const Shortcut& shortcut, Rng& rng,
+    SchedulingPolicy policy = SchedulingPolicy::kRandomPriority);
+
+/// Convenience: constructs the best available shortcut, then aggregates.
+PartwiseAggregationOutcome solve_partwise_aggregation_auto(
+    const Graph& g, const PartCollection& pc,
+    const std::vector<std::vector<double>>& values,
+    const AggregationMonoid& monoid, Rng& rng,
+    SchedulingPolicy policy = SchedulingPolicy::kRandomPriority);
+
+}  // namespace dls

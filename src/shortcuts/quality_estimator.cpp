@@ -1,0 +1,70 @@
+#include "shortcuts/quality_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+
+namespace dls {
+
+SqEstimate estimate_shortcut_quality(const Graph& g, Rng& rng,
+                                     const SqEstimateOptions& options,
+                                     const std::vector<PartCollection>&
+                                         extra_partitions) {
+  DLS_REQUIRE(is_connected(g), "SQ estimation requires a connected graph");
+  SqEstimate estimate;
+  estimate.diameter = approx_diameter(g, rng, 4);
+
+  auto evaluate = [&](const PartCollection& pc, const std::string& family) {
+    if (pc.num_parts() == 0) return;
+    const BestShortcut best = build_best_shortcut(g, pc, rng);
+    SqSample sample;
+    sample.partition_family = family;
+    sample.num_parts = pc.num_parts();
+    sample.quality = best.quality;
+    sample.construction = best.construction;
+    estimate.quality = std::max(estimate.quality, best.quality.quality());
+    estimate.samples.push_back(std::move(sample));
+  };
+
+  const std::size_t n = g.num_nodes();
+  // Voronoi partitions at geometric granularities between √n and n/2 parts.
+  std::vector<std::size_t> ks;
+  {
+    std::size_t k = std::max<std::size_t>(2, static_cast<std::size_t>(std::sqrt(
+                                                 static_cast<double>(n))));
+    for (int i = 0; i < options.voronoi_granularities; ++i) {
+      ks.push_back(std::min(k, n));
+      k *= 4;
+      if (k > n / 2) break;
+    }
+  }
+  for (std::size_t k : ks) {
+    evaluate(random_voronoi_partition(g, k, rng),
+             "voronoi(k=" + std::to_string(k) + ")");
+  }
+  if (options.tree_chop) {
+    const RootedSpanningTree tree = centered_bfs_tree(g, rng);
+    // Long skinny parts: chop at sizes ~√n and ~D.
+    std::vector<std::size_t> sizes{
+        std::max<std::size_t>(2, static_cast<std::size_t>(
+                                     std::sqrt(static_cast<double>(n)))),
+        std::max<std::size_t>(2, estimate.diameter)};
+    std::sort(sizes.begin(), sizes.end());
+    sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+    for (std::size_t size : sizes) {
+      evaluate(tree_chop_partition(g, tree, size),
+               "tree-chop(size=" + std::to_string(size) + ")");
+    }
+  }
+  std::size_t extra = 0;
+  for (const PartCollection& pc : extra_partitions) {
+    if (extra++ >= options.max_extra_partitions) break;
+    evaluate(pc, "extra(" + std::to_string(extra) + ")");
+  }
+  // SQ is at least Ω(D) unconditionally; never report below the anchor.
+  estimate.quality = std::max<std::size_t>(estimate.quality, estimate.diameter);
+  return estimate;
+}
+
+}  // namespace dls

@@ -1,0 +1,46 @@
+// Empirical shortcut-quality estimation (Definition 7).
+//
+// SQ(G) is a max–min over all partitions and all shortcuts — NP-hard to
+// compute exactly and open even to approximate in general. We estimate it the
+// way the experiments need it: sample adversarial partition families
+// (Voronoi balls at several granularities and tree-chopped long skinny
+// parts), build the best available shortcut for each, and report the worst
+// measured quality. This yields a reproducible *estimate*: an upper bound on
+// the optimum for the sampled partitions, anchored below by the
+// unconditional bound SQ(G) = Ω(D). Theorem 22 (SQ(Ĝ_ρ) = Õ(SQ(G))) is
+// validated by comparing estimates computed identically on both graphs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "shortcuts/construction.hpp"
+
+namespace dls {
+
+struct SqSample {
+  std::string partition_family;
+  std::size_t num_parts = 0;
+  ShortcutQuality quality;     // best construction's measured quality
+  std::string construction;    // which construction won
+};
+
+struct SqEstimate {
+  std::size_t quality = 0;     // max over samples (the SQ estimate)
+  std::uint32_t diameter = 0;  // D(G): SQ >= Ω(D) anchor
+  std::vector<SqSample> samples;
+};
+
+struct SqEstimateOptions {
+  int voronoi_granularities = 3;  // k = n^(1/2), n/8, n/2 style sweep
+  bool tree_chop = true;
+  std::size_t max_extra_partitions = 4;
+};
+
+SqEstimate estimate_shortcut_quality(const Graph& g, Rng& rng,
+                                     const SqEstimateOptions& options = {},
+                                     const std::vector<PartCollection>&
+                                         extra_partitions = {});
+
+}  // namespace dls

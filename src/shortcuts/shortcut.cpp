@@ -1,0 +1,81 @@
+#include "shortcuts/shortcut.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/algorithms.hpp"
+
+namespace dls {
+
+PartSubgraph part_subgraph(const Graph& g, const std::vector<NodeId>& part,
+                           const std::vector<EdgeId>& h_edges) {
+  PartSubgraph sub;
+  std::unordered_set<NodeId> node_set(part.begin(), part.end());
+  sub.nodes = part;
+  for (EdgeId e : h_edges) {
+    const Edge& edge = g.edge(e);
+    if (node_set.insert(edge.u).second) sub.nodes.push_back(edge.u);
+    if (node_set.insert(edge.v).second) sub.nodes.push_back(edge.v);
+  }
+  // Edges of G[P_i]: both endpoints are part members.
+  std::unordered_set<NodeId> members(part.begin(), part.end());
+  std::unordered_set<EdgeId> edge_set;
+  for (NodeId v : part) {
+    for (const Adjacency& a : g.neighbors(v)) {
+      if (members.count(a.neighbor) > 0) edge_set.insert(a.edge);
+    }
+  }
+  for (EdgeId e : h_edges) edge_set.insert(e);
+  sub.edges.assign(edge_set.begin(), edge_set.end());
+  std::sort(sub.edges.begin(), sub.edges.end());
+  return sub;
+}
+
+namespace {
+
+/// Hop-diameter of the subgraph described by (nodes, edges) in host ids.
+/// Exact for small subgraphs; double sweep (exact on trees, ≤2x otherwise)
+/// when the subgraph is large. Shortcut subgraphs are usually tree-like, so
+/// the estimate is almost always exact; measure_shortcut is a measurement
+/// tool, not part of any algorithm's correctness.
+std::size_t subgraph_diameter(const Graph& g, const PartSubgraph& sub) {
+  // Local adjacency.
+  std::unordered_map<NodeId, std::uint32_t> local;
+  for (std::uint32_t i = 0; i < sub.nodes.size(); ++i) local[sub.nodes[i]] = i;
+  Graph h(sub.nodes.size());
+  for (EdgeId e : sub.edges) {
+    const Edge& edge = g.edge(e);
+    h.add_edge(local.at(edge.u), local.at(edge.v), edge.weight);
+  }
+  DLS_REQUIRE(is_connected(h), "part + shortcut subgraph is disconnected");
+  if (h.num_nodes() <= 400) return exact_diameter(h);
+  Rng rng(12345);
+  return approx_diameter(h, rng, 6);
+}
+
+}  // namespace
+
+ShortcutQuality measure_shortcut(const Graph& g, const PartCollection& pc,
+                                 const Shortcut& shortcut) {
+  DLS_REQUIRE(shortcut.h_edges.size() == pc.num_parts(),
+              "shortcut must have one H_i per part");
+  ShortcutQuality q;
+  std::vector<std::size_t> edge_load(g.num_edges(), 0);
+  for (const auto& h : shortcut.h_edges) {
+    std::unordered_set<EdgeId> distinct(h.begin(), h.end());
+    for (EdgeId e : distinct) {
+      DLS_REQUIRE(e < g.num_edges(), "shortcut edge out of range");
+      q.congestion = std::max(q.congestion, ++edge_load[e]);
+    }
+  }
+  for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+    const PartSubgraph sub = part_subgraph(g, pc.parts[i], shortcut.h_edges[i]);
+    q.dilation = std::max(q.dilation, subgraph_diameter(g, sub));
+  }
+  // A shortcut with zero helper edges on single-node parts has dilation 0;
+  // quality is still well defined.
+  return q;
+}
+
+}  // namespace dls

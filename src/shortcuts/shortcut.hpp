@@ -1,0 +1,39 @@
+// Low-congestion shortcuts (Definition 5): per part P_i a helper subgraph
+// H_i ⊆ G such that diam(G[P_i] ∪ H_i) ≤ d and every edge lies in at most c
+// of the H_i. Quality Q = c + d.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "shortcuts/partition.hpp"
+
+namespace dls {
+
+struct Shortcut {
+  /// h_edges[i] = edges of H_i (edge ids in the host graph).
+  std::vector<std::vector<EdgeId>> h_edges;
+};
+
+struct ShortcutQuality {
+  std::size_t congestion = 0;  // max over edges of #H_i containing it
+  std::size_t dilation = 0;    // max over parts of diam(G[P_i] ∪ H_i)
+  std::size_t quality() const { return congestion + dilation; }
+};
+
+/// Measures c and d of Definition 5 exactly. Each part-plus-shortcut subgraph
+/// must be connected (throws otherwise): a disconnected H cannot aggregate.
+ShortcutQuality measure_shortcut(const Graph& g, const PartCollection& pc,
+                                 const Shortcut& shortcut);
+
+/// The node set and edge set of G[P_i] ∪ H_i, as an induced-style subgraph
+/// over the union of part members and H_i endpoints.
+struct PartSubgraph {
+  std::vector<NodeId> nodes;   // host ids, part members first
+  std::vector<EdgeId> edges;   // host edge ids of G[P_i] plus H_i
+};
+
+PartSubgraph part_subgraph(const Graph& g, const std::vector<NodeId>& part,
+                           const std::vector<EdgeId>& h_edges);
+
+}  // namespace dls

@@ -1,0 +1,311 @@
+#include "sim/aggregation_scheduler.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+#include "graph/algorithms.hpp"
+
+namespace dls {
+
+AggregationMonoid AggregationMonoid::sum() {
+  return {[](double a, double b) { return a + b; }, 0.0};
+}
+AggregationMonoid AggregationMonoid::min() {
+  return {[](double a, double b) { return std::min(a, b); },
+          std::numeric_limits<double>::infinity()};
+}
+AggregationMonoid AggregationMonoid::max() {
+  return {[](double a, double b) { return std::max(a, b); },
+          -std::numeric_limits<double>::infinity()};
+}
+
+namespace {
+
+/// Rooted view of one aggregation tree, with local node indexing.
+struct RootedTree {
+  std::vector<NodeId> nodes;                    // local -> host node
+  std::unordered_map<NodeId, std::uint32_t> local;  // host -> local
+  std::vector<std::uint32_t> parent;            // local parent index (root: self)
+  std::vector<EdgeId> parent_edge;              // host edge towards parent
+  std::vector<std::uint32_t> num_children;
+  std::vector<std::vector<std::uint32_t>> children;
+  std::vector<std::uint32_t> depth;
+  std::uint32_t root_local = 0;
+};
+
+RootedTree build_rooted_tree(const Graph& g, const AggregationTree& tree) {
+  RootedTree rt;
+  // Collect tree nodes from edges plus root.
+  auto touch = [&](NodeId v) {
+    if (rt.local.find(v) == rt.local.end()) {
+      rt.local.emplace(v, static_cast<std::uint32_t>(rt.nodes.size()));
+      rt.nodes.push_back(v);
+    }
+  };
+  DLS_REQUIRE(tree.root != kInvalidNode, "aggregation tree needs a root");
+  touch(tree.root);
+  std::unordered_map<NodeId, std::vector<std::pair<NodeId, EdgeId>>> adj;
+  for (EdgeId e : tree.edges) {
+    const Edge& edge = g.edge(e);
+    touch(edge.u);
+    touch(edge.v);
+    adj[edge.u].push_back({edge.v, e});
+    adj[edge.v].push_back({edge.u, e});
+  }
+  const std::size_t k = rt.nodes.size();
+  DLS_REQUIRE(tree.edges.size() + 1 == k,
+              "aggregation tree edges must form a tree");
+  rt.parent.assign(k, 0);
+  rt.parent_edge.assign(k, kInvalidEdge);
+  rt.num_children.assign(k, 0);
+  rt.children.assign(k, {});
+  rt.depth.assign(k, 0);
+  rt.root_local = rt.local.at(tree.root);
+  rt.parent[rt.root_local] = rt.root_local;
+
+  // BFS from root to orient.
+  std::vector<char> seen(k, 0);
+  std::deque<std::uint32_t> queue{rt.root_local};
+  seen[rt.root_local] = 1;
+  std::size_t visited = 0;
+  while (!queue.empty()) {
+    const std::uint32_t x = queue.front();
+    queue.pop_front();
+    ++visited;
+    for (const auto& [nbr, e] : adj[rt.nodes[x]]) {
+      const std::uint32_t y = rt.local.at(nbr);
+      if (seen[y]) continue;
+      seen[y] = 1;
+      rt.parent[y] = x;
+      rt.parent_edge[y] = e;
+      rt.depth[y] = rt.depth[x] + 1;
+      ++rt.num_children[x];
+      rt.children[x].push_back(y);
+      queue.push_back(y);
+    }
+  }
+  DLS_REQUIRE(visited == k, "aggregation tree is disconnected");
+  for (const auto& [v, value] : tree.inputs) {
+    (void)value;
+    DLS_REQUIRE(rt.local.find(v) != rt.local.end(),
+                "aggregation input node not on its tree");
+  }
+  return rt;
+}
+
+/// A pending message of tree `tree` over directed slot (edge, to-node).
+struct PendingSend {
+  std::uint32_t tree = 0;
+  std::uint32_t from_local = 0;  // sender's local index in its tree
+  std::uint64_t ready_round = 0;
+  std::uint64_t priority = 0;    // for kRandomPriority
+};
+
+std::size_t directed_slot(const Graph& g, EdgeId e, NodeId to) {
+  const Edge& edge = g.edge(e);
+  return 2 * static_cast<std::size_t>(e) + (to == edge.v ? 1 : 0);
+}
+
+bool better(const PendingSend& a, const PendingSend& b, SchedulingPolicy policy) {
+  switch (policy) {
+    case SchedulingPolicy::kRandomPriority:
+      return std::tie(a.priority, a.tree) < std::tie(b.priority, b.tree);
+    case SchedulingPolicy::kFifo:
+      return std::tie(a.ready_round, a.tree) < std::tie(b.ready_round, b.tree);
+    case SchedulingPolicy::kPartOrdered:
+      return a.tree < b.tree;
+  }
+  return a.tree < b.tree;
+}
+
+}  // namespace
+
+std::vector<double> sequential_aggregates(const std::vector<AggregationTree>& trees,
+                                          const AggregationMonoid& monoid) {
+  std::vector<double> results;
+  results.reserve(trees.size());
+  for (const AggregationTree& tree : trees) {
+    double acc = monoid.identity;
+    for (const auto& [node, value] : tree.inputs) {
+      (void)node;
+      acc = monoid.op(acc, value);
+    }
+    results.push_back(acc);
+  }
+  return results;
+}
+
+AggregationOutcome run_tree_aggregations(const Graph& g,
+                                         const std::vector<AggregationTree>& trees,
+                                         const AggregationMonoid& monoid,
+                                         Rng& rng, SchedulingPolicy policy) {
+  AggregationOutcome outcome;
+  const std::size_t t_count = trees.size();
+  outcome.results.assign(t_count, monoid.identity);
+  if (t_count == 0) return outcome;
+
+  std::vector<RootedTree> rooted;
+  rooted.reserve(t_count);
+  for (const AggregationTree& tree : trees) {
+    rooted.push_back(build_rooted_tree(g, tree));
+  }
+
+  // Edge load statistics (undirected): how many trees use each edge.
+  {
+    std::unordered_map<EdgeId, std::size_t> load;
+    for (const AggregationTree& tree : trees) {
+      for (EdgeId e : tree.edges) ++load[e];
+    }
+    for (const auto& [e, l] : load) {
+      (void)e;
+      outcome.max_edge_load = std::max(outcome.max_edge_load, l);
+    }
+    for (const RootedTree& rt : rooted) {
+      for (std::uint32_t d : rt.depth) {
+        outcome.max_tree_depth = std::max(outcome.max_tree_depth, d);
+      }
+    }
+  }
+
+  // Per-tree random priorities for the random-delay policy.
+  std::vector<std::uint64_t> tree_priority(t_count);
+  for (auto& p : tree_priority) p = rng();
+
+  // --- Phase 1: convergecast ---------------------------------------------
+  // value[t][x]: accumulated value at local node x of tree t.
+  std::vector<std::vector<double>> value(t_count);
+  std::vector<std::vector<std::uint32_t>> waiting(t_count);
+  for (std::size_t t = 0; t < t_count; ++t) {
+    value[t].assign(rooted[t].nodes.size(), monoid.identity);
+    waiting[t] = rooted[t].num_children;
+    for (const auto& [node, v] : trees[t].inputs) {
+      const std::uint32_t x = rooted[t].local.at(node);
+      value[t][x] = monoid.op(value[t][x], v);
+    }
+  }
+
+  // Pending sends keyed by directed slot.
+  std::map<std::size_t, std::vector<PendingSend>> queues;
+  auto enqueue_upward = [&](std::uint32_t t, std::uint32_t x,
+                            std::uint64_t round) {
+    const RootedTree& rt = rooted[t];
+    if (x == rt.root_local) return;
+    const NodeId to = rt.nodes[rt.parent[x]];
+    const std::size_t slot = directed_slot(g, rt.parent_edge[x], to);
+    queues[slot].push_back({t, x, round, tree_priority[t]});
+  };
+
+  std::size_t roots_done = 0;
+  for (std::size_t t = 0; t < t_count; ++t) {
+    const RootedTree& rt = rooted[t];
+    for (std::uint32_t x = 0; x < rt.nodes.size(); ++x) {
+      if (waiting[t][x] == 0) {
+        if (x == rt.root_local) {
+          ++roots_done;  // single-node tree
+        } else {
+          enqueue_upward(static_cast<std::uint32_t>(t), x, 0);
+        }
+      }
+    }
+  }
+
+  std::uint64_t round = 0;
+  while (roots_done < t_count) {
+    ++round;
+    DLS_ASSERT(round < 64ull * 1024 * 1024, "convergecast failed to terminate");
+    // Deliver one message per directed slot; collect deliveries first so all
+    // sends within a round are simultaneous.
+    struct Delivery {
+      std::uint32_t tree;
+      std::uint32_t from_local;
+    };
+    std::vector<Delivery> deliveries;
+    for (auto it = queues.begin(); it != queues.end();) {
+      auto& q = it->second;
+      std::size_t best_idx = 0;
+      for (std::size_t i = 1; i < q.size(); ++i) {
+        if (better(q[i], q[best_idx], policy)) best_idx = i;
+      }
+      deliveries.push_back({q[best_idx].tree, q[best_idx].from_local});
+      ++outcome.messages;
+      q.erase(q.begin() + static_cast<std::ptrdiff_t>(best_idx));
+      it = q.empty() ? queues.erase(it) : std::next(it);
+    }
+    for (const Delivery& d : deliveries) {
+      const RootedTree& rt = rooted[d.tree];
+      const std::uint32_t p = rt.parent[d.from_local];
+      value[d.tree][p] = monoid.op(value[d.tree][p], value[d.tree][d.from_local]);
+      DLS_ASSERT(waiting[d.tree][p] > 0, "parent received unexpected message");
+      if (--waiting[d.tree][p] == 0) {
+        if (p == rt.root_local) {
+          ++roots_done;
+        } else {
+          enqueue_upward(d.tree, p, round);
+        }
+      }
+    }
+  }
+  outcome.convergecast_rounds = round;
+  for (std::size_t t = 0; t < t_count; ++t) {
+    outcome.results[t] = value[t][rooted[t].root_local];
+  }
+
+  // --- Phase 2: broadcast --------------------------------------------------
+  // Root sends the aggregate down; a node forwards to each child, one child
+  // per round per (edge, direction) slot shared across trees.
+  queues.clear();
+  round = 0;
+  std::vector<std::vector<char>> informed(t_count);
+  std::size_t to_inform = 0;
+  std::size_t informed_count = 0;
+  auto enqueue_downward = [&](std::uint32_t t, std::uint32_t parent_local,
+                              std::uint64_t r) {
+    const RootedTree& rt = rooted[t];
+    for (std::uint32_t x : rt.children[parent_local]) {
+      const std::size_t slot = directed_slot(g, rt.parent_edge[x], rt.nodes[x]);
+      queues[slot].push_back({t, x, r, tree_priority[t]});
+    }
+  };
+  for (std::size_t t = 0; t < t_count; ++t) {
+    informed[t].assign(rooted[t].nodes.size(), 0);
+    informed[t][rooted[t].root_local] = 1;
+    to_inform += rooted[t].nodes.size();
+    informed_count += 1;
+    enqueue_downward(static_cast<std::uint32_t>(t), rooted[t].root_local, 0);
+  }
+  while (informed_count < to_inform) {
+    ++round;
+    DLS_ASSERT(round < 64ull * 1024 * 1024, "broadcast failed to terminate");
+    struct Delivery {
+      std::uint32_t tree;
+      std::uint32_t node_local;
+    };
+    std::vector<Delivery> deliveries;
+    for (auto it = queues.begin(); it != queues.end();) {
+      auto& q = it->second;
+      std::size_t best_idx = 0;
+      for (std::size_t i = 1; i < q.size(); ++i) {
+        if (better(q[i], q[best_idx], policy)) best_idx = i;
+      }
+      deliveries.push_back({q[best_idx].tree, q[best_idx].from_local});
+      ++outcome.messages;
+      q.erase(q.begin() + static_cast<std::ptrdiff_t>(best_idx));
+      it = q.empty() ? queues.erase(it) : std::next(it);
+    }
+    for (const Delivery& d : deliveries) {
+      if (!informed[d.tree][d.node_local]) {
+        informed[d.tree][d.node_local] = 1;
+        ++informed_count;
+        enqueue_downward(d.tree, d.node_local, round);
+      }
+    }
+  }
+  outcome.broadcast_rounds = round;
+  outcome.total_rounds = outcome.convergecast_rounds + outcome.broadcast_rounds;
+  return outcome;
+}
+
+}  // namespace dls

@@ -1,0 +1,77 @@
+// Message-level simulation of simultaneous tree aggregations in CONGEST —
+// the engine behind Proposition 6 ("a shortcut of quality Q solves part-wise
+// aggregation in Õ(Q) rounds").
+//
+// Each part P_i aggregates over a communication tree T_i (the BFS tree of
+// G[P_i] ∪ H_i). All trees run concurrently over the physical network: per
+// round, each (edge, direction) of G carries at most one message, shared
+// across all trees. The scheduler simulates convergecast (leaves → root,
+// combining values with the aggregation monoid) followed by broadcast
+// (root → all tree nodes), and reports exact round counts, the observed edge
+// congestion, and tree depths. Contention between trees on an edge is broken
+// by a pluggable policy; random priorities implement the random-delay
+// scheduling of [19] and are the default (the others exist for the
+// scheduling ablation, experiment E14).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace dls {
+
+/// A commutative, associative aggregation with identity (Definition 4 allows
+/// arbitrary functions; we require a monoid as the paper assumes in practice).
+struct AggregationMonoid {
+  std::function<double(double, double)> op;
+  double identity = 0.0;
+
+  static AggregationMonoid sum();
+  static AggregationMonoid min();
+  static AggregationMonoid max();
+};
+
+/// One part's communication tree. `edges` must form a tree (in the host
+/// graph) containing `root` and every node mentioned in `inputs`. Nodes on
+/// the tree that carry no input (shortcut Steiner nodes) contribute the
+/// identity.
+struct AggregationTree {
+  NodeId root = kInvalidNode;
+  std::vector<EdgeId> edges;
+  std::vector<std::pair<NodeId, double>> inputs;
+};
+
+enum class SchedulingPolicy {
+  kRandomPriority,  // random per-tree priorities (default; Ghaffari '15 style)
+  kFifo,            // earliest-ready message first
+  kPartOrdered,     // lowest part id first (adversarially bad for fairness)
+};
+
+struct AggregationOutcome {
+  std::vector<double> results;          // aggregate per tree
+  std::uint64_t convergecast_rounds = 0;
+  std::uint64_t broadcast_rounds = 0;
+  std::uint64_t total_rounds = 0;
+  std::size_t max_edge_load = 0;        // max #trees sharing one undirected edge
+  std::uint32_t max_tree_depth = 0;     // max hop-depth over all trees
+  std::uint64_t messages = 0;
+};
+
+/// Runs all trees to completion and returns exact measured rounds.
+/// Preconditions (validated): each tree's edge set is a tree in g containing
+/// its root and all input nodes.
+AggregationOutcome run_tree_aggregations(const Graph& g,
+                                         const std::vector<AggregationTree>& trees,
+                                         const AggregationMonoid& monoid,
+                                         Rng& rng,
+                                         SchedulingPolicy policy =
+                                             SchedulingPolicy::kRandomPriority);
+
+/// Sequential ground truth: fold each tree's inputs with the monoid.
+std::vector<double> sequential_aggregates(const std::vector<AggregationTree>& trees,
+                                          const AggregationMonoid& monoid);
+
+}  // namespace dls

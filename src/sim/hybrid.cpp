@@ -1,0 +1,285 @@
+#include "sim/hybrid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "graph/algorithms.hpp"
+
+namespace dls {
+
+HybridNetwork::HybridNetwork(const Graph& g, std::size_t ncc_capacity)
+    : local_(g), ncc_(g.num_nodes(), ncc_capacity) {}
+
+void HybridNetwork::send_local(const CongestMessage& message) {
+  local_.send(message);
+}
+
+void HybridNetwork::send_global(const NccMessage& message) {
+  ncc_.send(message);
+}
+
+void HybridNetwork::step() {
+  local_.step();
+  ncc_.step();
+  ++rounds_;
+}
+
+const std::vector<CongestMessage>& HybridNetwork::local_inbox(NodeId v) const {
+  return local_.inbox(v);
+}
+
+const std::vector<NccMessage>& HybridNetwork::global_inbox(NodeId v) const {
+  return ncc_.inbox(v);
+}
+
+HybridBfsResult hybrid_bfs_with_landmarks(const Graph& g, NodeId root, Rng& rng,
+                                          std::size_t num_landmarks) {
+  DLS_REQUIRE(root < g.num_nodes(), "root out of range");
+  DLS_REQUIRE(is_connected(g), "hybrid BFS requires a connected graph");
+  const std::size_t n = g.num_nodes();
+  HybridBfsResult result;
+  if (num_landmarks == 0) {
+    num_landmarks = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::sqrt(static_cast<double>(n))));
+  }
+  // Sources: the root plus distinct random landmarks.
+  std::vector<NodeId> sources{root};
+  {
+    const auto perm = rng.permutation(n);
+    for (std::size_t i = 0; i < perm.size() && sources.size() < num_landmarks + 1;
+         ++i) {
+      if (perm[i] != root) sources.push_back(static_cast<NodeId>(perm[i]));
+    }
+  }
+  result.landmarks = sources.size();
+
+  HybridNetwork net(g);
+
+  // --- Phase 1 (local): single multi-source Voronoi flood. Each node
+  // forwards one (source-index, distance) tag, so one word per edge per
+  // round suffices. Terminates when the frontier empties; the rounds used
+  // equal the max cell radius + 1.
+  constexpr std::uint32_t kUnset = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> owner(n, kUnset);   // index into `sources`
+  std::vector<std::uint32_t> ball_dist(n, kUnset);
+  std::vector<NodeId> frontier;
+  for (std::uint32_t i = 0; i < sources.size(); ++i) {
+    owner[sources[i]] = i;
+    ball_dist[sources[i]] = 0;
+    frontier.push_back(sources[i]);
+  }
+  while (!frontier.empty()) {
+    for (NodeId v : frontier) {
+      for (const Adjacency& a : g.neighbors(v)) {
+        // tag = owner index, payload = distance.
+        net.send_local({v, a.neighbor, a.edge, owner[v],
+                        static_cast<double>(ball_dist[v]), 1});
+      }
+    }
+    net.step();
+    std::vector<NodeId> next;
+    for (NodeId v = 0; v < n; ++v) {
+      if (owner[v] != kUnset) continue;
+      for (const CongestMessage& msg : net.local_inbox(v)) {
+        const std::uint32_t d = static_cast<std::uint32_t>(msg.payload) + 1;
+        if (owner[v] == kUnset || d < ball_dist[v]) {
+          owner[v] = static_cast<std::uint32_t>(msg.tag);
+          ball_dist[v] = d;
+        }
+      }
+      if (owner[v] != kUnset) next.push_back(v);
+    }
+    frontier = std::move(next);
+  }
+  for (std::uint32_t d : ball_dist) {
+    result.ball_radius = std::max(result.ball_radius, d);
+  }
+
+  // --- Phase 2 (local, 1 round): neighbors exchange (owner, ball_dist) so
+  // boundary nodes discover overlay edges between adjacent cells.
+  for (NodeId v = 0; v < n; ++v) {
+    for (const Adjacency& a : g.neighbors(v)) {
+      net.send_local({v, a.neighbor, a.edge, owner[v],
+                      static_cast<double>(ball_dist[v]), 1});
+    }
+  }
+  net.step();
+  // overlay_report[v]: best (other-cell, length) overlay edges v witnesses.
+  std::vector<std::map<std::uint32_t, std::uint32_t>> witness(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const CongestMessage& msg : net.local_inbox(v)) {
+      const std::uint32_t other_owner = static_cast<std::uint32_t>(msg.tag);
+      if (other_owner == owner[v]) continue;
+      const std::uint32_t length =
+          ball_dist[v] + static_cast<std::uint32_t>(msg.payload) + 1;
+      auto [it, inserted] = witness[v].emplace(other_owner, length);
+      if (!inserted) it->second = std::min(it->second, length);
+    }
+  }
+
+  // --- Phase 3 (global): boundary witnesses report overlay edges to their
+  // own landmark; overloaded receivers drop and senders retransmit.
+  // Message encoding: tag = other-cell index, payload = length.
+  struct Report {
+    NodeId to;
+    std::uint64_t tag;
+    double payload;
+  };
+  std::vector<std::deque<Report>> outbox(n);
+  std::size_t reports_pending = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    for (const auto& [other, length] : witness[v]) {
+      outbox[v].push_back({sources[owner[v]], other,
+                           static_cast<double>(length)});
+      ++reports_pending;
+    }
+  }
+  // overlay[l]: per landmark, map other-cell -> best length.
+  std::vector<std::map<std::uint32_t, std::uint32_t>> overlay(sources.size());
+  while (reports_pending > 0) {
+    std::vector<std::vector<Report>> attempted(n);
+    for (NodeId v = 0; v < n; ++v) {
+      const std::size_t batch = std::min(net.ncc_capacity(), outbox[v].size());
+      for (std::size_t i = 0; i < batch; ++i) {
+        net.send_global({v, outbox[v][i].to, outbox[v][i].tag,
+                         outbox[v][i].payload});
+        attempted[v].push_back(outbox[v][i]);
+      }
+      outbox[v].erase(outbox[v].begin(),
+                      outbox[v].begin() + static_cast<std::ptrdiff_t>(batch));
+    }
+    net.step();
+    for (std::uint32_t i = 0; i < sources.size(); ++i) {
+      for (const NccMessage& msg : net.global_inbox(sources[i])) {
+        const std::uint32_t other = static_cast<std::uint32_t>(msg.tag);
+        const std::uint32_t length = static_cast<std::uint32_t>(msg.payload);
+        auto [it, inserted] = overlay[i].emplace(other, length);
+        if (!inserted) it->second = std::min(it->second, length);
+      }
+    }
+    // Retransmit dropped reports.
+    for (NodeId v = 0; v < n; ++v) {
+      for (const Report& r : attempted[v]) {
+        const auto& inbox = net.global_inbox(r.to);
+        const bool delivered = std::any_of(
+            inbox.begin(), inbox.end(), [&](const NccMessage& m) {
+              return m.from == v && m.tag == r.tag && m.payload == r.payload;
+            });
+        if (delivered) {
+          --reports_pending;
+        } else {
+          outbox[v].push_back(r);
+        }
+      }
+    }
+    DLS_ASSERT(net.rounds() < 1024 * 1024, "overlay reporting stalled");
+  }
+
+  // --- Phase 4 (global): Bellman–Ford on the overlay from the root's cell
+  // (index 0). Each iteration every landmark sends its current estimate to
+  // its overlay neighbors, paced by the global capacity.
+  std::vector<std::uint32_t> landmark_dist(sources.size(), kUnset);
+  landmark_dist[0] = 0;
+  bool changed = true;
+  std::size_t bf_guard = 0;
+  while (changed) {
+    DLS_ASSERT(++bf_guard <= sources.size() + 2, "overlay BF diverged");
+    changed = false;
+    // Deliver each landmark's estimate to all overlay neighbors, possibly
+    // over several paced global rounds.
+    std::vector<std::deque<Report>> bf_out(n);
+    std::size_t pending = 0;
+    for (std::uint32_t i = 0; i < sources.size(); ++i) {
+      if (landmark_dist[i] == kUnset) continue;
+      for (const auto& [other, length] : overlay[i]) {
+        bf_out[sources[i]].push_back({sources[other], i,
+                                      static_cast<double>(landmark_dist[i] +
+                                                          length)});
+        ++pending;
+      }
+    }
+    while (pending > 0) {
+      std::vector<std::vector<Report>> attempted(n);
+      for (NodeId v = 0; v < n; ++v) {
+        const std::size_t batch = std::min(net.ncc_capacity(), bf_out[v].size());
+        for (std::size_t i = 0; i < batch; ++i) {
+          net.send_global({v, bf_out[v][i].to, bf_out[v][i].tag,
+                           bf_out[v][i].payload});
+          attempted[v].push_back(bf_out[v][i]);
+        }
+        bf_out[v].erase(bf_out[v].begin(),
+                        bf_out[v].begin() + static_cast<std::ptrdiff_t>(batch));
+      }
+      net.step();
+      for (std::uint32_t i = 0; i < sources.size(); ++i) {
+        for (const NccMessage& msg : net.global_inbox(sources[i])) {
+          const std::uint32_t candidate = static_cast<std::uint32_t>(msg.payload);
+          if (landmark_dist[i] == kUnset || candidate < landmark_dist[i]) {
+            landmark_dist[i] = candidate;
+            changed = true;
+          }
+        }
+      }
+      for (NodeId v = 0; v < n; ++v) {
+        for (const Report& r : attempted[v]) {
+          const auto& inbox = net.global_inbox(r.to);
+          const bool delivered = std::any_of(
+              inbox.begin(), inbox.end(), [&](const NccMessage& m) {
+                return m.from == v && m.tag == r.tag && m.payload == r.payload;
+              });
+          if (delivered) {
+            --pending;
+          } else {
+            bf_out[v].push_back(r);
+          }
+        }
+      }
+      DLS_ASSERT(net.rounds() < 1024 * 1024, "overlay BF reporting stalled");
+    }
+  }
+
+  // --- Phase 5 (local): each cell floods its landmark's d(root, landmark).
+  // Reuse the Voronoi structure: one tag per node again.
+  std::vector<std::uint32_t> root_est(n, kUnset);
+  frontier.clear();
+  for (std::uint32_t i = 0; i < sources.size(); ++i) {
+    DLS_ASSERT(landmark_dist[i] != kUnset, "overlay disconnected");
+    root_est[sources[i]] = landmark_dist[i];
+    frontier.push_back(sources[i]);
+  }
+  while (!frontier.empty()) {
+    for (NodeId v : frontier) {
+      for (const Adjacency& a : g.neighbors(v)) {
+        if (owner[a.neighbor] == owner[v]) {
+          net.send_local({v, a.neighbor, a.edge, 0,
+                          static_cast<double>(root_est[v]), 1});
+        }
+      }
+    }
+    net.step();
+    std::vector<NodeId> next;
+    for (NodeId v = 0; v < n; ++v) {
+      if (root_est[v] != kUnset) continue;
+      for (const CongestMessage& msg : net.local_inbox(v)) {
+        root_est[v] = static_cast<std::uint32_t>(msg.payload);
+      }
+      if (root_est[v] != kUnset) next.push_back(v);
+    }
+    frontier = std::move(next);
+  }
+
+  result.approx_dist.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    result.approx_dist[v] = root_est[v] + ball_dist[v];
+  }
+  result.approx_dist[root] = 0;
+  result.rounds = net.rounds();
+  result.pure_congest_rounds =
+      static_cast<std::uint64_t>(bfs(g, root).eccentricity()) + 1;
+  return result;
+}
+
+}  // namespace dls

@@ -1,0 +1,69 @@
+// The HYBRID model: CONGEST local edges + NCC global channel in lockstep
+// (paper §2, "nodes have both a local and a global communication mode at
+// their disposal"). One hybrid round = every node may use each incident
+// local edge once AND send/receive up to the NCC capacity globally.
+//
+// HybridNetwork wires a SyncNetwork and an NccNetwork to a shared round
+// counter; hybrid_bfs_with_landmarks demonstrates the model's power: BFS
+// where random landmarks exchange distance summaries globally, cutting the
+// round count below the graph diameter on high-diameter topologies — the
+// qualitative effect behind Theorem 3.
+#pragma once
+
+#include "sim/ncc.hpp"
+#include "sim/sync_network.hpp"
+
+namespace dls {
+
+class HybridNetwork {
+ public:
+  explicit HybridNetwork(const Graph& g, std::size_t ncc_capacity = 0);
+
+  /// Queue a local CONGEST message (validated against edge capacity).
+  void send_local(const CongestMessage& message);
+  /// Queue a global NCC message (validated against sender capacity).
+  void send_global(const NccMessage& message);
+
+  /// Delivers both modes simultaneously and advances the shared round.
+  void step();
+
+  const std::vector<CongestMessage>& local_inbox(NodeId v) const;
+  const std::vector<NccMessage>& global_inbox(NodeId v) const;
+
+  std::uint64_t rounds() const { return rounds_; }
+  std::size_t ncc_capacity() const { return ncc_.capacity(); }
+  const Graph& graph() const { return local_.graph(); }
+  std::uint64_t local_messages() const { return local_.messages_sent(); }
+  std::uint64_t global_messages() const { return ncc_.messages_sent(); }
+  std::uint64_t global_drops() const { return ncc_.messages_dropped(); }
+
+ private:
+  SyncNetwork local_;
+  NccNetwork ncc_;
+  std::uint64_t rounds_ = 0;
+};
+
+struct HybridBfsResult {
+  /// Upper-bound distance estimates: every entry is the length of a real
+  /// root→v walk (never below the true distance); accuracy is governed by
+  /// the Voronoi ball radius R (tests measure the stretch empirically).
+  std::vector<std::uint32_t> approx_dist;
+  std::uint32_t ball_radius = 0;          // max landmark-Voronoi radius R
+  std::uint64_t rounds = 0;               // hybrid rounds used
+  std::uint64_t pure_congest_rounds = 0;  // eccentricity + 1, for contrast
+  std::size_t landmarks = 0;
+};
+
+/// Approximate single-source distances in HYBRID (the Augustine et al. [3]
+/// style landmark scheme, simplified): ~√n landmarks plus the root flood
+/// their Voronoi cells locally (≈ R rounds); cell boundaries report overlay
+/// edges to their landmarks over the global channel (with real drops and
+/// retransmissions); landmarks run Bellman–Ford on the overlay globally; a
+/// final local flood distributes d̂(root, landmark) through each cell and
+/// every node outputs d̂(root, s(v)) + d(s(v), v). Total ≈ 2R + Õ(1) hybrid
+/// rounds versus the Θ(D) of pure-CONGEST BFS — the qualitative power of
+/// the global channel behind Theorem 3.
+HybridBfsResult hybrid_bfs_with_landmarks(const Graph& g, NodeId root, Rng& rng,
+                                          std::size_t num_landmarks = 0);
+
+}  // namespace dls

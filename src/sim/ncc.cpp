@@ -1,0 +1,253 @@
+#include "sim/ncc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "util/assert.hpp"
+
+namespace dls {
+
+namespace {
+std::size_t default_capacity(std::size_t n) {
+  std::size_t cap = 1;
+  while ((std::size_t{1} << cap) < n) ++cap;
+  return std::max<std::size_t>(cap, 1);
+}
+}  // namespace
+
+NccNetwork::NccNetwork(std::size_t num_nodes, std::size_t capacity)
+    : num_nodes_(num_nodes),
+      capacity_(capacity == 0 ? default_capacity(num_nodes) : capacity),
+      sent_this_round_(num_nodes, 0),
+      inboxes_(num_nodes) {
+  DLS_REQUIRE(num_nodes >= 1, "NCC network needs at least one node");
+}
+
+void NccNetwork::send(const NccMessage& message) {
+  DLS_REQUIRE(message.from < num_nodes_ && message.to < num_nodes_,
+              "NCC endpoint out of range");
+  DLS_REQUIRE(sent_this_round_[message.from] < capacity_,
+              "NCC violation: sender exceeded per-round capacity");
+  ++sent_this_round_[message.from];
+  pending_.push_back(message);
+  ++messages_sent_;
+}
+
+void NccNetwork::step() {
+  for (auto& inbox : inboxes_) inbox.clear();
+  // Group by receiver, keep the `capacity_` messages with lowest sender id.
+  std::stable_sort(pending_.begin(), pending_.end(),
+                   [](const NccMessage& a, const NccMessage& b) {
+                     return std::tie(a.to, a.from) < std::tie(b.to, b.from);
+                   });
+  for (const NccMessage& msg : pending_) {
+    if (inboxes_[msg.to].size() < capacity_) {
+      inboxes_[msg.to].push_back(msg);
+    } else {
+      ++messages_dropped_;
+    }
+  }
+  pending_.clear();
+  std::fill(sent_this_round_.begin(), sent_this_round_.end(), 0);
+  ++round_;
+}
+
+const std::vector<NccMessage>& NccNetwork::inbox(NodeId v) const {
+  DLS_REQUIRE(v < inboxes_.size(), "node id out of range");
+  return inboxes_[v];
+}
+
+std::size_t ncc_congestion(std::size_t num_nodes,
+                           const std::vector<NccPart>& parts) {
+  std::vector<std::size_t> count(num_nodes, 0);
+  std::size_t rho = 0;
+  for (const NccPart& part : parts) {
+    for (NodeId v : part.members) {
+      DLS_REQUIRE(v < num_nodes, "part member out of range");
+      rho = std::max(rho, ++count[v]);
+    }
+  }
+  return rho;
+}
+
+NccAggregationOutcome ncc_partwise_aggregate(std::size_t num_nodes,
+                                             const std::vector<NccPart>& parts,
+                                             const AggregationMonoid& monoid,
+                                             Rng& rng, std::size_t capacity) {
+  NccAggregationOutcome outcome;
+  outcome.results.assign(parts.size(), monoid.identity);
+  if (parts.empty()) return outcome;
+  NccNetwork net(num_nodes, capacity);
+  const std::size_t cap = net.capacity();
+
+  // Virtual `cap`-ary tree per part over member indices: member i's parent is
+  // member (i-1)/cap; member 0 is the root.
+  struct PartState {
+    std::vector<std::uint32_t> waiting;  // children yet to report, per member
+    std::vector<double> acc;             // subtree aggregate per member
+    std::vector<char> informed;          // broadcast progress
+    std::size_t informed_count = 0;
+    bool root_done = false;
+  };
+  std::vector<PartState> state(parts.size());
+  // Per-node outbox of (tag, to, payload); tag encodes (part, up/down).
+  struct Outgoing {
+    NodeId to;
+    std::uint64_t tag;
+    double payload;
+    std::uint64_t priority;
+  };
+  std::vector<std::deque<Outgoing>> outbox(num_nodes);
+  auto tag_of = [](std::size_t part, bool down) {
+    return (static_cast<std::uint64_t>(part) << 1) | (down ? 1 : 0);
+  };
+
+  std::size_t roots_pending = 0;
+  std::size_t inform_pending = 0;
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    const NccPart& part = parts[p];
+    DLS_REQUIRE(!part.members.empty(), "empty part");
+    DLS_REQUIRE(part.members.size() == part.values.size(),
+                "part members/values mismatch");
+    PartState& st = state[p];
+    const std::size_t k = part.members.size();
+    st.waiting.assign(k, 0);
+    st.acc = part.values;
+    st.informed.assign(k, 0);
+    for (std::size_t i = 1; i < k; ++i) ++st.waiting[(i - 1) / cap];
+    ++roots_pending;
+    inform_pending += k;
+    // Leaves queue their value to the parent immediately.
+    for (std::size_t i = 1; i < k; ++i) {
+      if (st.waiting[i] == 0) {
+        outbox[part.members[i]].push_back({part.members[(i - 1) / cap],
+                                           tag_of(p, false), st.acc[i], rng()});
+      }
+    }
+    if (st.waiting[0] == 0) {
+      st.root_done = true;
+      --roots_pending;
+      outcome.results[p] = st.acc[0];
+      st.informed[0] = 1;
+      ++st.informed_count;
+      --inform_pending;
+      // Begin broadcast from the root.
+      for (std::size_t c = 1; c <= cap && c < k; ++c) {
+        outbox[part.members[0]].push_back(
+            {part.members[c], tag_of(p, true), st.acc[0], rng()});
+      }
+    }
+  }
+
+  // Member-index lookup per part (for routing received messages).
+  std::vector<std::vector<std::pair<NodeId, std::uint32_t>>> member_index(
+      parts.size());
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    auto& idx = member_index[p];
+    for (std::uint32_t i = 0; i < parts[p].members.size(); ++i) {
+      idx.push_back({parts[p].members[i], i});
+    }
+    std::sort(idx.begin(), idx.end());
+    for (std::size_t i = 1; i < idx.size(); ++i) {
+      DLS_REQUIRE(idx[i].first != idx[i - 1].first,
+                  "a node may appear in a part at most once");
+    }
+  }
+  auto local_index = [&](std::size_t p, NodeId v) -> std::uint32_t {
+    const auto& idx = member_index[p];
+    const auto it = std::lower_bound(idx.begin(), idx.end(),
+                                     std::make_pair(v, std::uint32_t{0}));
+    DLS_ASSERT(it != idx.end() && it->first == v, "message to non-member");
+    return it->second;
+  };
+
+  std::uint64_t safety = 0;
+  while (roots_pending > 0 || inform_pending > 0) {
+    DLS_ASSERT(++safety < 16ull * 1024 * 1024, "NCC aggregation stalled");
+    // Senders: each node emits up to `cap` queued messages, highest random
+    // priority first (random pacing avoids persistent receiver collisions).
+    for (NodeId v = 0; v < num_nodes; ++v) {
+      auto& q = outbox[v];
+      if (q.empty()) continue;
+      std::sort(q.begin(), q.end(), [](const Outgoing& a, const Outgoing& b) {
+        return a.priority < b.priority;
+      });
+      const std::size_t batch = std::min(cap, q.size());
+      for (std::size_t i = 0; i < batch; ++i) {
+        net.send({v, q[i].to, q[i].tag, q[i].payload});
+      }
+      // Optimistically remove; re-queue on observed drop below.
+    }
+    // Snapshot attempted sends to detect drops after step().
+    std::vector<std::vector<Outgoing>> attempted(num_nodes);
+    for (NodeId v = 0; v < num_nodes; ++v) {
+      auto& q = outbox[v];
+      const std::size_t batch = std::min(cap, q.size());
+      attempted[v].assign(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(batch));
+      q.erase(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(batch));
+    }
+    net.step();
+    // Process deliveries; find dropped messages by diffing inboxes.
+    for (NodeId v = 0; v < num_nodes; ++v) {
+      for (const NccMessage& msg : net.inbox(v)) {
+        const std::size_t p = msg.tag >> 1;
+        const bool down = (msg.tag & 1) != 0;
+        PartState& st = state[p];
+        const NccPart& part = parts[p];
+        const std::uint32_t i = local_index(p, v);
+        const std::size_t k = part.members.size();
+        if (!down) {
+          st.acc[i] = monoid.op(st.acc[i], msg.payload);
+          DLS_ASSERT(st.waiting[i] > 0, "unexpected convergecast message");
+          if (--st.waiting[i] == 0) {
+            if (i == 0) {
+              st.root_done = true;
+              --roots_pending;
+              outcome.results[p] = st.acc[0];
+              st.informed[0] = 1;
+              ++st.informed_count;
+              --inform_pending;
+              for (std::size_t c = 1; c <= cap && c < k; ++c) {
+                outbox[v].push_back({part.members[c], tag_of(p, true),
+                                     st.acc[0], rng()});
+              }
+            } else {
+              outbox[v].push_back({part.members[(i - 1) / cap], tag_of(p, false),
+                                   st.acc[i], rng()});
+            }
+          }
+        } else if (!st.informed[i]) {
+          st.informed[i] = 1;
+          ++st.informed_count;
+          --inform_pending;
+          st.acc[i] = msg.payload;  // final aggregate
+          for (std::size_t c = cap * i + 1; c <= cap * i + cap && c < k; ++c) {
+            outbox[v].push_back(
+                {part.members[c], tag_of(p, true), msg.payload, rng()});
+          }
+        }
+      }
+    }
+    // Retransmit dropped messages: anything attempted but absent from the
+    // receiver's inbox goes back to the outbox with a fresh priority.
+    for (NodeId v = 0; v < num_nodes; ++v) {
+      for (const Outgoing& out : attempted[v]) {
+        const auto& inbox = net.inbox(out.to);
+        const bool delivered =
+            std::any_of(inbox.begin(), inbox.end(), [&](const NccMessage& m) {
+              return m.from == v && m.tag == out.tag && m.payload == out.payload;
+            });
+        if (!delivered) {
+          outbox[v].push_back({out.to, out.tag, out.payload, rng()});
+        }
+      }
+    }
+  }
+  outcome.rounds = net.rounds();
+  outcome.messages = net.messages_sent();
+  outcome.drops = net.messages_dropped();
+  return outcome;
+}
+
+}  // namespace dls

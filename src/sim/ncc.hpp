@@ -1,0 +1,90 @@
+// The Node-Capacitated Clique (NCC) model [2] and the congested part-wise
+// aggregation primitive on top of it (Lemma 26 of the paper).
+//
+// Per round every node may send O(log n) messages of O(log n) bits each to
+// arbitrary nodes. If more than O(log n) messages target one node, the node
+// receives an arbitrary subset and the rest are dropped — our simulator
+// drops deterministically (lowest-priority senders lose) and counts drops,
+// and the aggregation protocol retransmits until delivered, exactly the
+// mechanism the [2] primitives rely on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/aggregation_scheduler.hpp"
+#include "util/random.hpp"
+
+namespace dls {
+
+struct NccMessage {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  std::uint64_t tag = 0;
+  double payload = 0.0;
+};
+
+/// Raw synchronous NCC message layer with capacity enforcement.
+class NccNetwork {
+ public:
+  /// capacity == 0 selects the model default ⌈log₂ n⌉ (min 1).
+  explicit NccNetwork(std::size_t num_nodes, std::size_t capacity = 0);
+
+  /// Queue a message for this round. Throws if the sender exceeds its
+  /// per-round send capacity (an algorithm bug, not an adversarial drop).
+  void send(const NccMessage& message);
+
+  /// Deliver this round's messages. Receivers over capacity keep `capacity`
+  /// messages (lowest sender ids win — a fixed adversarial rule) and the rest
+  /// are dropped and counted. Advances the round counter.
+  void step();
+
+  const std::vector<NccMessage>& inbox(NodeId v) const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t num_nodes() const { return num_nodes_; }
+  std::uint64_t rounds() const { return round_; }
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t messages_dropped() const { return messages_dropped_; }
+
+ private:
+  std::size_t num_nodes_;
+  std::size_t capacity_;
+  std::uint64_t round_ = 0;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+  std::vector<std::size_t> sent_this_round_;
+  std::vector<NccMessage> pending_;
+  std::vector<std::vector<NccMessage>> inboxes_;
+};
+
+/// One part of a congested part-wise aggregation instance in NCC: member
+/// node ids (globally known, as NCC addressing requires) and their inputs.
+struct NccPart {
+  std::vector<NodeId> members;
+  std::vector<double> values;  // aligned with members
+};
+
+struct NccAggregationOutcome {
+  std::vector<double> results;  // per part; every member learns this value
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t drops = 0;
+};
+
+/// Lemma 26: solves a ρ-congested part-wise aggregation in O(ρ + log n) NCC
+/// rounds. Each part aggregates over a balanced `capacity`-ary virtual tree
+/// of its members; all parts run concurrently, senders pace themselves to
+/// the send capacity, and receiver-side drops are retransmitted.
+/// Precondition (validated): each node appears in a part at most once.
+NccAggregationOutcome ncc_partwise_aggregate(std::size_t num_nodes,
+                                             const std::vector<NccPart>& parts,
+                                             const AggregationMonoid& monoid,
+                                             Rng& rng,
+                                             std::size_t capacity = 0);
+
+/// The congestion ρ of an NCC part collection: max #parts containing a node.
+std::size_t ncc_congestion(std::size_t num_nodes, const std::vector<NccPart>& parts);
+
+}  // namespace dls

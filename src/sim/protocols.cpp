@@ -1,0 +1,217 @@
+#include "sim/protocols.hpp"
+
+#include <algorithm>
+
+namespace dls {
+
+DistributedBfsResult distributed_bfs(const Graph& g, NodeId root) {
+  DLS_REQUIRE(root < g.num_nodes(), "root out of range");
+  DistributedBfsResult result;
+  result.dist.assign(g.num_nodes(), static_cast<std::uint32_t>(-1));
+  result.parent.assign(g.num_nodes(), kInvalidNode);
+  SyncNetwork net(g);
+  result.dist[root] = 0;
+  // frontier nodes announce their distance to all neighbors each round.
+  std::vector<NodeId> frontier{root};
+  while (!frontier.empty()) {
+    for (NodeId v : frontier) {
+      for (const Adjacency& a : g.neighbors(v)) {
+        net.send({v, a.neighbor, a.edge, /*tag=*/0,
+                  static_cast<double>(result.dist[v]), 1});
+      }
+    }
+    net.step();
+    std::vector<NodeId> next;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (result.dist[v] != static_cast<std::uint32_t>(-1)) continue;
+      for (const CongestMessage& msg : net.inbox(v)) {
+        const std::uint32_t d = static_cast<std::uint32_t>(msg.payload) + 1;
+        if (d < result.dist[v]) {
+          result.dist[v] = d;
+          result.parent[v] = msg.from;
+        }
+      }
+      if (result.dist[v] != static_cast<std::uint32_t>(-1)) next.push_back(v);
+    }
+    frontier = std::move(next);
+  }
+  result.rounds = net.rounds();
+  result.messages = net.messages_sent();
+  return result;
+}
+
+ConvergecastResult distributed_convergecast_sum(const Graph& g, NodeId root,
+                                                std::span<const double> values) {
+  DLS_REQUIRE(values.size() == g.num_nodes(), "values size mismatch");
+  // Tree setup (the BFS itself is accounted in distributed_bfs; here we
+  // charge only the convergecast as the primitive under test).
+  const DistributedBfsResult bfs = distributed_bfs(g, root);
+  for (std::uint32_t d : bfs.dist) {
+    DLS_REQUIRE(d != static_cast<std::uint32_t>(-1),
+                "convergecast requires a connected graph");
+  }
+  std::vector<std::uint32_t> pending_children(g.num_nodes(), 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (bfs.parent[v] != kInvalidNode) ++pending_children[bfs.parent[v]];
+  }
+  std::vector<double> acc(values.begin(), values.end());
+  std::vector<char> sent(g.num_nodes(), 0);
+
+  SyncNetwork net(g);
+  ConvergecastResult result;
+  std::size_t reported = 0;
+  const std::size_t to_report = g.num_nodes() - 1;
+  while (reported < to_report) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (v == root || sent[v] || pending_children[v] > 0) continue;
+      // Find the edge to the parent.
+      for (const Adjacency& a : g.neighbors(v)) {
+        if (a.neighbor == bfs.parent[v]) {
+          net.send({v, a.neighbor, a.edge, 0, acc[v], 1});
+          break;
+        }
+      }
+      sent[v] = 1;
+    }
+    net.step();
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      for (const CongestMessage& msg : net.inbox(v)) {
+        acc[v] += msg.payload;
+        DLS_ASSERT(pending_children[v] > 0, "unexpected convergecast message");
+        --pending_children[v];
+        ++reported;
+      }
+    }
+    DLS_ASSERT(net.rounds() < 4 * g.num_nodes() + 8, "convergecast stalled");
+  }
+  result.root_value = acc[root];
+  result.rounds = net.rounds();
+  result.messages = net.messages_sent();
+  return result;
+}
+
+LeaderElectionResult distributed_leader_election(const Graph& g) {
+  DLS_REQUIRE(g.num_nodes() >= 1, "empty graph");
+  SyncNetwork net(g);
+  std::vector<NodeId> best(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) best[v] = v;
+  // Flood the minimum id; a node re-announces only when its minimum
+  // improves. Quiescence (a round with no messages) ends the protocol —
+  // detectable here because the simulator is global; a real network would
+  // run an extra termination-detection echo, which adds O(D) rounds and is
+  // noted by callers.
+  std::vector<char> dirty(g.num_nodes(), 1);
+  LeaderElectionResult result;
+  for (;;) {
+    bool any = false;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (!dirty[v]) continue;
+      for (const Adjacency& a : g.neighbors(v)) {
+        net.send({v, a.neighbor, a.edge, 0, static_cast<double>(best[v]), 1});
+      }
+      dirty[v] = 0;
+      any = true;
+    }
+    if (!any) break;
+    net.step();
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      for (const CongestMessage& msg : net.inbox(v)) {
+        const NodeId candidate = static_cast<NodeId>(msg.payload);
+        if (candidate < best[v]) {
+          best[v] = candidate;
+          dirty[v] = 1;
+        }
+      }
+    }
+    DLS_ASSERT(net.rounds() < 4 * g.num_nodes() + 8, "election stalled");
+  }
+  result.leader = best[0];
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    DLS_ASSERT(best[v] == result.leader, "election did not converge");
+  }
+  result.rounds = net.rounds();
+  result.messages = net.messages_sent();
+  return result;
+}
+
+bool is_maximal_independent_set(const Graph& g, const std::vector<char>& in_mis) {
+  if (in_mis.size() != g.num_nodes()) return false;
+  for (const Edge& e : g.edges()) {
+    if (in_mis[e.u] && in_mis[e.v]) return false;  // not independent
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (in_mis[v]) continue;
+    bool dominated = false;
+    for (const Adjacency& a : g.neighbors(v)) dominated |= in_mis[a.neighbor];
+    if (!dominated) return false;  // not maximal
+  }
+  return true;
+}
+
+MisResult distributed_mis_luby(const Graph& g, Rng& rng) {
+  MisResult result;
+  const std::size_t n = g.num_nodes();
+  result.in_mis.assign(n, 0);
+  SyncNetwork net(g);
+  enum class State : char { kUndecided, kIn, kOut };
+  std::vector<State> state(n, State::kUndecided);
+  std::vector<double> priority(n, 0.0);
+  std::size_t undecided = n;
+  while (undecided > 0) {
+    ++result.phases;
+    DLS_ASSERT(result.phases <= 64 * 64, "Luby failed to converge");
+    // Round 1: undecided nodes exchange fresh random priorities.
+    for (NodeId v = 0; v < n; ++v) {
+      if (state[v] != State::kUndecided) continue;
+      priority[v] = rng.next_double();
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (state[v] != State::kUndecided) continue;
+      for (const Adjacency& a : g.neighbors(v)) {
+        net.send({v, a.neighbor, a.edge, 0, priority[v], 1});
+      }
+    }
+    net.step();
+    std::vector<char> joins(n, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (state[v] != State::kUndecided) continue;
+      bool local_max = true;
+      for (const CongestMessage& msg : net.inbox(v)) {
+        if (state[msg.from] != State::kUndecided) continue;
+        // Strict maximum with id tiebreak (priorities are continuous, but
+        // be safe under duplicated doubles).
+        if (msg.payload > priority[v] ||
+            (msg.payload == priority[v] && msg.from < v)) {
+          local_max = false;
+          break;
+        }
+      }
+      joins[v] = local_max;
+    }
+    // Round 2: joiners announce; neighbors drop out.
+    for (NodeId v = 0; v < n; ++v) {
+      if (!joins[v]) continue;
+      state[v] = State::kIn;
+      result.in_mis[v] = 1;
+      --undecided;
+      for (const Adjacency& a : g.neighbors(v)) {
+        net.send({v, a.neighbor, a.edge, 1, 1.0, 1});
+      }
+    }
+    net.step();
+    for (NodeId v = 0; v < n; ++v) {
+      if (state[v] != State::kUndecided) continue;
+      if (!net.inbox(v).empty()) {
+        state[v] = State::kOut;
+        --undecided;
+      }
+    }
+  }
+  result.rounds = net.rounds();
+  result.messages = net.messages_sent();
+  DLS_ASSERT(is_maximal_independent_set(g, result.in_mis),
+             "Luby postcondition failed");
+  return result;
+}
+
+}  // namespace dls

@@ -1,0 +1,70 @@
+// Actor-style distributed protocols on the SyncNetwork message layer.
+//
+// These are the textbook CONGEST building blocks (flooding BFS, echo
+// convergecast, broadcast, leader election) implemented as genuine
+// message-passing state machines: every message goes through SyncNetwork's
+// capacity enforcement, so their measured round counts are the real
+// CONGEST costs (BFS: D+1 rounds; echo: depth of the tree; leader election:
+// O(D) rounds of min-id flooding). The higher-level library charges these
+// primitives analytically; this module proves the charges are achievable.
+#pragma once
+
+#include <span>
+
+#include "graph/graph.hpp"
+#include "sim/sync_network.hpp"
+#include "util/random.hpp"
+
+namespace dls {
+
+struct DistributedBfsResult {
+  std::vector<std::uint32_t> dist;       // learned hop distance per node
+  std::vector<NodeId> parent;            // BFS-tree parent (kInvalidNode at root)
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+};
+
+/// Flooding BFS from `root`: round r delivers distance r. Every message is
+/// simulated; terminates one round after the last node is reached.
+DistributedBfsResult distributed_bfs(const Graph& g, NodeId root);
+
+struct ConvergecastResult {
+  double root_value = 0.0;   // sum of all inputs, known at the root
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+};
+
+/// Echo-style convergecast over the BFS tree of `root`: leaves report first,
+/// every node forwards the sum of its subtree. Rounds = tree depth.
+ConvergecastResult distributed_convergecast_sum(const Graph& g, NodeId root,
+                                                std::span<const double> values);
+
+struct LeaderElectionResult {
+  NodeId leader = kInvalidNode;   // min-id node, agreed by everyone
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+};
+
+/// Min-id flooding: each node repeatedly forwards the smallest id it has
+/// seen; stabilizes after (and is run for) eccentricity-many rounds, which
+/// nodes detect via a quiescence round.
+LeaderElectionResult distributed_leader_election(const Graph& g);
+
+struct MisResult {
+  std::vector<char> in_mis;  // per node
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint32_t phases = 0;  // Luby phases (O(log n) whp)
+};
+
+/// Luby's randomized maximal independent set: each phase, every undecided
+/// node draws a random priority, exchanges it with undecided neighbors
+/// (one message per edge per round), joins the MIS if it is a strict local
+/// maximum, and neighbors of joiners drop out (a second exchange round).
+/// O(log n) phases with high probability.
+MisResult distributed_mis_luby(const Graph& g, Rng& rng);
+
+/// True iff `in_mis` marks an independent set that is maximal in g.
+bool is_maximal_independent_set(const Graph& g, const std::vector<char>& in_mis);
+
+}  // namespace dls

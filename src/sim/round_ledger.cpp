@@ -1,0 +1,39 @@
+#include "sim/round_ledger.hpp"
+
+#include <algorithm>
+
+namespace dls {
+
+void RoundLedger::charge_local(std::uint64_t rounds, const std::string& label) {
+  local_ += rounds;
+  entries_.push_back({label, rounds, 0});
+}
+
+void RoundLedger::charge_global(std::uint64_t rounds, const std::string& label) {
+  global_ += rounds;
+  entries_.push_back({label, 0, rounds});
+}
+
+std::uint64_t RoundLedger::total_hybrid() const {
+  std::uint64_t total = 0;
+  for (const LedgerEntry& e : entries_) {
+    total += std::max(e.local_rounds, e.global_rounds);
+  }
+  return total;
+}
+
+void RoundLedger::clear() {
+  local_ = 0;
+  global_ = 0;
+  entries_.clear();
+}
+
+void RoundLedger::absorb(const RoundLedger& other, const std::string& prefix) {
+  for (const LedgerEntry& e : other.entries_) {
+    entries_.push_back({prefix + "/" + e.label, e.local_rounds, e.global_rounds});
+  }
+  local_ += other.local_;
+  global_ += other.global_;
+}
+
+}  // namespace dls

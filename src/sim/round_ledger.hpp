@@ -1,0 +1,47 @@
+// Round accounting shared by all models.
+//
+// Algorithms in this library report costs through a RoundLedger so that the
+// composition rules of the paper are explicit in code: a simulated step on
+// the layered graph Ĝ_ρ charges ρ local rounds (Lemma 16), an NCC step
+// charges one global round, and the Laplacian solver charges the measured
+// cost of each part-wise-aggregation oracle call (Assumption 27).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dls {
+
+/// One accounted phase: a label plus the rounds it consumed per mode.
+struct LedgerEntry {
+  std::string label;
+  std::uint64_t local_rounds = 0;   // CONGEST rounds
+  std::uint64_t global_rounds = 0;  // NCC rounds
+};
+
+class RoundLedger {
+ public:
+  void charge_local(std::uint64_t rounds, const std::string& label);
+  void charge_global(std::uint64_t rounds, const std::string& label);
+
+  std::uint64_t total_local() const { return local_; }
+  std::uint64_t total_global() const { return global_; }
+  /// In HYBRID both modes run in lockstep, so wall-clock rounds is the sum of
+  /// phases, each phase costing max(local, global); we track phases
+  /// sequentially so the simple sum of per-entry maxima is exact.
+  std::uint64_t total_hybrid() const;
+
+  const std::vector<LedgerEntry>& entries() const { return entries_; }
+  void clear();
+
+  /// Merge a sub-ledger (e.g. an oracle call) under a prefix label.
+  void absorb(const RoundLedger& other, const std::string& prefix);
+
+ private:
+  std::uint64_t local_ = 0;
+  std::uint64_t global_ = 0;
+  std::vector<LedgerEntry> entries_;
+};
+
+}  // namespace dls

@@ -1,0 +1,54 @@
+#include "sim/sync_network.hpp"
+
+#include <algorithm>
+
+namespace dls {
+
+SyncNetwork::SyncNetwork(const Graph& g)
+    : graph_(g),
+      edge_busy_until_(2 * g.num_edges(), 0),
+      inboxes_(g.num_nodes()) {}
+
+std::size_t SyncNetwork::slot(EdgeId e, NodeId from) const {
+  const Edge& edge = graph_.edge(e);
+  DLS_REQUIRE(from == edge.u || from == edge.v, "sender is not an endpoint");
+  return 2 * static_cast<std::size_t>(e) + (from == edge.v ? 1 : 0);
+}
+
+void SyncNetwork::send(const CongestMessage& message) {
+  DLS_REQUIRE(message.words >= 1, "message must occupy at least one word");
+  DLS_REQUIRE(message.edge < graph_.num_edges(), "unknown edge");
+  const Edge& edge = graph_.edge(message.edge);
+  DLS_REQUIRE(edge.other(message.from) == message.to,
+              "message endpoints must match the edge");
+  const std::size_t s = slot(message.edge, message.from);
+  DLS_REQUIRE(edge_busy_until_[s] <= round_,
+              "CONGEST violation: edge-direction already in use this round");
+  edge_busy_until_[s] = round_ + message.words;
+  pending_.push_back(message);
+  ++messages_sent_;
+}
+
+void SyncNetwork::step() {
+  for (auto& inbox : inboxes_) inbox.clear();
+  ++round_;
+  // A w-word message queued at round r is delivered at round r + w (i.e. the
+  // step after its last occupied slot). Single-word messages deliver now.
+  std::vector<CongestMessage> still_pending;
+  for (const CongestMessage& msg : pending_) {
+    const std::size_t s = slot(msg.edge, msg.from);
+    if (edge_busy_until_[s] <= round_) {
+      inboxes_[msg.to].push_back(msg);
+    } else {
+      still_pending.push_back(msg);
+    }
+  }
+  pending_ = std::move(still_pending);
+}
+
+const std::vector<CongestMessage>& SyncNetwork::inbox(NodeId v) const {
+  DLS_REQUIRE(v < inboxes_.size(), "node id out of range");
+  return inboxes_[v];
+}
+
+}  // namespace dls

@@ -1,0 +1,63 @@
+// A synchronous CONGEST message layer with per-edge capacity enforcement.
+//
+// Each round, a node may send one O(log n)-bit message over each incident
+// edge (per direction). SyncNetwork::step() validates the capacity
+// constraint — violating it throws, which is how the test suite proves our
+// distributed algorithms really are CONGEST algorithms — and delivers all
+// messages simultaneously, incrementing the round counter.
+//
+// Messages are a small fixed struct of machine words; `words` declares how
+// many O(log n)-bit units the payload occupies, and sending a w-word message
+// occupies the edge for w consecutive rounds (enforced via edge busy-until
+// bookkeeping).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dls {
+
+struct CongestMessage {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  EdgeId edge = kInvalidEdge;
+  std::uint64_t tag = 0;      // algorithm-defined discriminator
+  double payload = 0.0;       // one O(log n)-bit word of content
+  std::uint32_t words = 1;    // payload size in O(log n)-bit units
+};
+
+class SyncNetwork {
+ public:
+  explicit SyncNetwork(const Graph& g);
+
+  /// Queues a message for the current round. Throws if the (edge, direction)
+  /// was already used this round or is still busy with a multi-word message.
+  void send(const CongestMessage& message);
+
+  /// Delivers queued messages; returns messages received per node.
+  /// Advances the round counter by 1.
+  void step();
+
+  /// Messages delivered to `v` in the most recent step.
+  const std::vector<CongestMessage>& inbox(NodeId v) const;
+
+  std::uint64_t rounds() const { return round_; }
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  const Graph& graph() const { return graph_; }
+
+ private:
+  /// Directed slot index for (edge, direction): 2*edge + (from == edge.v).
+  std::size_t slot(EdgeId e, NodeId from) const;
+
+  const Graph& graph_;
+  std::uint64_t round_ = 0;
+  std::uint64_t messages_sent_ = 0;
+  std::vector<std::uint64_t> edge_busy_until_;  // per directed slot
+  std::vector<CongestMessage> pending_;
+  std::vector<std::vector<CongestMessage>> inboxes_;
+};
+
+}  // namespace dls

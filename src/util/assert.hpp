@@ -1,0 +1,42 @@
+// Internal invariant checking.
+//
+// DLS_REQUIRE is used for precondition validation on public API boundaries
+// (always on, throws std::invalid_argument). DLS_ASSERT is used for internal
+// invariants (always on in this research codebase; cost is negligible next to
+// the simulations themselves) and throws std::logic_error so that tests can
+// observe violations deterministically.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dls::detail {
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file, int line,
+                                        const std::string& msg) {
+  std::ostringstream out;
+  out << "precondition failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) out << " — " << msg;
+  throw std::invalid_argument(out.str());
+}
+
+[[noreturn]] inline void assert_failed(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream out;
+  out << "invariant violated: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) out << " — " << msg;
+  throw std::logic_error(out.str());
+}
+
+}  // namespace dls::detail
+
+#define DLS_REQUIRE(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr)) ::dls::detail::require_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define DLS_ASSERT(expr, msg)                                               \
+  do {                                                                      \
+    if (!(expr)) ::dls::detail::assert_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

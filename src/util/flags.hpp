@@ -1,0 +1,26 @@
+// Minimal command-line flag parsing for the examples and benchmark drivers.
+// Supports `--name value` and `--name=value`; unknown flags are an error so
+// typos surface immediately.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dls {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace dls

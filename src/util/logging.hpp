@@ -1,0 +1,40 @@
+// Leveled stderr logging. Off by default above WARN so test output stays
+// clean; experiment drivers raise the level explicitly.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dls {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, out_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    out_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+
+}  // namespace detail
+
+#define DLS_LOG(level) ::dls::detail::LogLine(::dls::LogLevel::level)
+
+}  // namespace dls

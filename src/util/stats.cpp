@@ -1,0 +1,79 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace dls {
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  const std::size_t n = values.size();
+  s.median = (n % 2 == 1) ? values[n / 2]
+                          : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(n);
+  double ss = 0.0;
+  for (double v : values) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = (n > 1) ? std::sqrt(ss / static_cast<double>(n - 1)) : 0.0;
+  return s;
+}
+
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y) {
+  DLS_REQUIRE(x.size() == y.size(), "fit_linear needs matched series");
+  DLS_REQUIRE(x.size() >= 2, "fit_linear needs at least two points");
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (denom == 0.0) {
+    fit.intercept = sy / n;
+    fit.slope = 0.0;
+    fit.r2 = 0.0;
+    return fit;
+  }
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  double ss_res = 0, ss_tot = 0;
+  const double mean_y = sy / n;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = fit.intercept + fit.slope * x[i];
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - mean_y) * (y[i] - mean_y);
+  }
+  fit.r2 = (ss_tot > 0) ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+PowerFit fit_power(const std::vector<double>& x, const std::vector<double>& y) {
+  DLS_REQUIRE(x.size() == y.size(), "fit_power needs matched series");
+  std::vector<double> lx, ly;
+  lx.reserve(x.size());
+  ly.reserve(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    DLS_REQUIRE(x[i] > 0 && y[i] > 0, "fit_power needs positive data");
+    lx.push_back(std::log(x[i]));
+    ly.push_back(std::log(y[i]));
+  }
+  const LinearFit lf = fit_linear(lx, ly);
+  PowerFit pf;
+  pf.constant = std::exp(lf.intercept);
+  pf.exponent = lf.slope;
+  pf.r2 = lf.r2;
+  return pf;
+}
+
+}  // namespace dls

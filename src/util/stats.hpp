@@ -1,0 +1,40 @@
+// Small descriptive-statistics helpers used by the benchmark harness and the
+// experiment drivers (fitting measured round counts against theory curves).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dls {
+
+/// Summary of a sample of real values.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+Summary summarize(std::vector<double> values);
+
+/// Least-squares fit of y ≈ a + b·x. Returns {a, b, r2}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fit y ≈ c·x^e on log–log scale. Returns exponent e, constant c and r².
+struct PowerFit {
+  double constant = 0.0;
+  double exponent = 0.0;
+  double r2 = 0.0;
+};
+
+PowerFit fit_power(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace dls

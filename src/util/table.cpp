@@ -1,0 +1,53 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace dls {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  DLS_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  DLS_REQUIRE(row.size() == header_.size(), "row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(widths[c]))
+          << row[c];
+    }
+    out << " |\n";
+  };
+  print_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << (c == 0 ? "|" : "-|") << std::string(widths[c] + 2, '-');
+  }
+  out << "-|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::cell(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string Table::cell(std::size_t value) { return std::to_string(value); }
+
+std::string Table::cell(long long value) { return std::to_string(value); }
+
+}  // namespace dls

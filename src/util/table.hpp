@@ -1,0 +1,33 @@
+// Aligned ASCII table printer used by the benchmark harness to emit the
+// experiment tables recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dls {
+
+/// Collects rows of string cells and renders them with aligned columns.
+/// Numeric cells should be formatted by the caller (Table::cell helpers).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render with a header rule; column widths adapt to content.
+  void print(std::ostream& out) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  static std::string cell(double value, int precision = 2);
+  static std::string cell(std::size_t value);
+  static std::string cell(long long value);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dls

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "sim/aggregation_scheduler.hpp"
+
+namespace dls {
+namespace {
+
+AggregationTree whole_path_tree(const Graph& g, double base_value) {
+  AggregationTree tree;
+  tree.root = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) tree.edges.push_back(e);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    tree.inputs.push_back({v, base_value + v});
+  }
+  return tree;
+}
+
+TEST(Monoids, SumMinMax) {
+  const auto sum = AggregationMonoid::sum();
+  EXPECT_DOUBLE_EQ(sum.op(2, 3), 5.0);
+  EXPECT_DOUBLE_EQ(sum.identity, 0.0);
+  const auto mn = AggregationMonoid::min();
+  EXPECT_DOUBLE_EQ(mn.op(2, 3), 2.0);
+  EXPECT_GT(mn.identity, 1e100);
+  const auto mx = AggregationMonoid::max();
+  EXPECT_DOUBLE_EQ(mx.op(2, 3), 3.0);
+}
+
+TEST(Scheduler, SinglePathAggregatesSum) {
+  const Graph g = make_path(8);
+  Rng rng(1);
+  const auto outcome = run_tree_aggregations(
+      g, {whole_path_tree(g, 0.0)}, AggregationMonoid::sum(), rng);
+  EXPECT_DOUBLE_EQ(outcome.results[0], 28.0);  // 0+..+7
+  // Convergecast along a path rooted at one end takes depth rounds;
+  // broadcast the same.
+  EXPECT_EQ(outcome.convergecast_rounds, 7u);
+  EXPECT_EQ(outcome.broadcast_rounds, 7u);
+  EXPECT_EQ(outcome.max_tree_depth, 7u);
+  EXPECT_EQ(outcome.max_edge_load, 1u);
+}
+
+TEST(Scheduler, SingleNodeTreeFreeOfCharge) {
+  const Graph g = make_path(3);
+  AggregationTree tree;
+  tree.root = 1;
+  tree.inputs = {{1, 5.0}};
+  Rng rng(2);
+  const auto outcome =
+      run_tree_aggregations(g, {tree}, AggregationMonoid::sum(), rng);
+  EXPECT_DOUBLE_EQ(outcome.results[0], 5.0);
+  EXPECT_EQ(outcome.total_rounds, 0u);
+}
+
+TEST(Scheduler, MinAggregation) {
+  const Graph g = make_star(6);
+  AggregationTree tree;
+  tree.root = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) tree.edges.push_back(e);
+  tree.inputs = {{0, 9.0}, {1, 4.0}, {2, 7.0}, {3, 2.0}, {4, 8.0}, {5, 6.0}};
+  Rng rng(3);
+  const auto outcome =
+      run_tree_aggregations(g, {tree}, AggregationMonoid::min(), rng);
+  EXPECT_DOUBLE_EQ(outcome.results[0], 2.0);
+  // Star: all leaves contend for nothing (distinct edges); 1 round up, 1 down.
+  EXPECT_EQ(outcome.convergecast_rounds, 1u);
+  EXPECT_EQ(outcome.broadcast_rounds, 1u);
+}
+
+TEST(Scheduler, SteinerNodesContributeIdentity) {
+  const Graph g = make_path(5);
+  AggregationTree tree;
+  tree.root = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) tree.edges.push_back(e);
+  tree.inputs = {{0, 1.0}, {4, 2.0}};  // nodes 1..3 are Steiner
+  Rng rng(4);
+  const auto outcome =
+      run_tree_aggregations(g, {tree}, AggregationMonoid::sum(), rng);
+  EXPECT_DOUBLE_EQ(outcome.results[0], 3.0);
+}
+
+TEST(Scheduler, ContendingTreesSerializeOnSharedEdge) {
+  // k trees all consisting of the single edge (0,1): the shared edge must
+  // carry k convergecast messages — exactly k rounds up.
+  const Graph g = make_path(2);
+  constexpr int k = 5;
+  std::vector<AggregationTree> trees;
+  for (int i = 0; i < k; ++i) {
+    AggregationTree t;
+    t.root = 0;
+    t.edges = {0};
+    t.inputs = {{0, 1.0}, {1, static_cast<double>(i)}};
+    trees.push_back(t);
+  }
+  Rng rng(5);
+  const auto outcome =
+      run_tree_aggregations(g, trees, AggregationMonoid::sum(), rng);
+  EXPECT_EQ(outcome.convergecast_rounds, static_cast<std::uint64_t>(k));
+  EXPECT_EQ(outcome.broadcast_rounds, static_cast<std::uint64_t>(k));
+  EXPECT_EQ(outcome.max_edge_load, static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) EXPECT_DOUBLE_EQ(outcome.results[i], 1.0 + i);
+}
+
+TEST(Scheduler, RoundsBoundedByCongestionTimesDepth) {
+  // Grid rows as parts with the trivial shortcut: rounds ≤ O(c·d).
+  const Graph g = make_grid(6, 6);
+  std::vector<AggregationTree> trees;
+  for (std::size_t r = 0; r < 6; ++r) {
+    AggregationTree t;
+    t.root = static_cast<NodeId>(r * 6);
+    for (std::size_t c = 0; c + 1 < 6; ++c) {
+      // Horizontal edges of row r: find them.
+      const NodeId u = static_cast<NodeId>(r * 6 + c);
+      const NodeId v = u + 1;
+      for (const Adjacency& a : g.neighbors(u)) {
+        if (a.neighbor == v) t.edges.push_back(a.edge);
+      }
+      t.inputs.push_back({u, 1.0});
+    }
+    t.inputs.push_back({static_cast<NodeId>(r * 6 + 5), 1.0});
+    trees.push_back(t);
+  }
+  Rng rng(6);
+  const auto outcome =
+      run_tree_aggregations(g, trees, AggregationMonoid::sum(), rng);
+  for (const double v : outcome.results) EXPECT_DOUBLE_EQ(v, 6.0);
+  // Disjoint rows: no contention; 5 up + 5 down.
+  EXPECT_EQ(outcome.total_rounds, 10u);
+}
+
+TEST(Scheduler, ResultsMatchSequentialAcrossPolicies) {
+  Rng rng(7);
+  const Graph g = make_grid(5, 5);
+  // Random Steiner-ish trees over BFS trees from random roots.
+  std::vector<AggregationTree> trees;
+  for (int i = 0; i < 8; ++i) {
+    AggregationTree t;
+    t.root = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    t.edges = bfs_tree_edges(g, t.root);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      t.inputs.push_back({v, rng.next_double()});
+    }
+    trees.push_back(t);
+  }
+  const auto expected = sequential_aggregates(trees, AggregationMonoid::sum());
+  for (const auto policy :
+       {SchedulingPolicy::kRandomPriority, SchedulingPolicy::kFifo,
+        SchedulingPolicy::kPartOrdered}) {
+    Rng run_rng(8);
+    const auto outcome = run_tree_aggregations(
+        g, trees, AggregationMonoid::sum(), run_rng, policy);
+    for (std::size_t i = 0; i < trees.size(); ++i) {
+      EXPECT_NEAR(outcome.results[i], expected[i], 1e-9);
+    }
+    EXPECT_EQ(outcome.max_edge_load, 8u);  // all trees share tree edges
+  }
+}
+
+TEST(Scheduler, RejectsDisconnectedTree) {
+  const Graph g = make_path(4);
+  AggregationTree t;
+  t.root = 0;
+  t.edges = {2};  // edge (2,3) does not touch the root
+  t.inputs = {{0, 1.0}};
+  Rng rng(9);
+  EXPECT_THROW(
+      run_tree_aggregations(g, {t}, AggregationMonoid::sum(), rng),
+      std::invalid_argument);
+}
+
+TEST(Scheduler, RejectsCyclicEdgeSet) {
+  const Graph g = make_cycle(4);
+  AggregationTree t;
+  t.root = 0;
+  t.edges = {0, 1, 2, 3};
+  t.inputs = {{0, 1.0}};
+  Rng rng(10);
+  EXPECT_THROW(
+      run_tree_aggregations(g, {t}, AggregationMonoid::sum(), rng),
+      std::invalid_argument);
+}
+
+TEST(Scheduler, RejectsInputOffTree) {
+  const Graph g = make_path(4);
+  AggregationTree t;
+  t.root = 0;
+  t.edges = {0};  // spans {0,1}
+  t.inputs = {{3, 1.0}};
+  Rng rng(11);
+  EXPECT_THROW(
+      run_tree_aggregations(g, {t}, AggregationMonoid::sum(), rng),
+      std::invalid_argument);
+}
+
+class SchedulerSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SchedulerSweep, CorrectOnRandomVoronoiLikeTrees) {
+  const auto [seed, count] = GetParam();
+  Rng rng(seed);
+  const Graph g = make_random_regular(40, 4, rng);
+  std::vector<AggregationTree> trees;
+  for (int i = 0; i < count; ++i) {
+    AggregationTree t;
+    t.root = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    t.edges = bfs_tree_edges(g, t.root);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (rng.next_bool(0.5)) t.inputs.push_back({v, rng.next_double()});
+    }
+    trees.push_back(t);
+  }
+  const auto expected = sequential_aggregates(trees, AggregationMonoid::max());
+  const auto outcome =
+      run_tree_aggregations(g, trees, AggregationMonoid::max(), rng);
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    EXPECT_DOUBLE_EQ(outcome.results[i], expected[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SchedulerSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(1, 4, 9)));
+
+}  // namespace
+}  // namespace dls

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "congested_pa/solver.hpp"
+#include "graph/generators.hpp"
+
+namespace dls {
+namespace {
+
+struct Instance {
+  PartCollection pc;
+  std::vector<std::vector<double>> values;
+  std::vector<double> expected_sum;
+};
+
+Instance make_instance(const Graph& g, const PartCollection& pc, Rng& rng) {
+  Instance inst;
+  inst.pc = pc;
+  inst.values.resize(pc.num_parts());
+  inst.expected_sum.assign(pc.num_parts(), 0.0);
+  for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+    for (std::size_t j = 0; j < pc.parts[i].size(); ++j) {
+      const double v = rng.next_double();
+      inst.values[i].push_back(v);
+      inst.expected_sum[i] += v;
+    }
+  }
+  (void)g;
+  return inst;
+}
+
+TEST(CongestedPaSolver, DisjointVoronoiCorrect) {
+  Rng rng(1);
+  const Graph g = make_grid(6, 6);
+  const Instance inst = make_instance(g, random_voronoi_partition(g, 5, rng), rng);
+  const CongestedPaOutcome outcome = solve_congested_pa(
+      g, inst.pc, inst.values, AggregationMonoid::sum(), rng);
+  EXPECT_EQ(outcome.congestion, 1u);
+  for (std::size_t i = 0; i < inst.pc.num_parts(); ++i) {
+    EXPECT_NEAR(outcome.results[i], inst.expected_sum[i], 1e-9);
+  }
+  EXPECT_GT(outcome.total_rounds, 0u);
+  EXPECT_EQ(outcome.total_rounds, outcome.ledger.total_local());
+}
+
+TEST(CongestedPaSolver, Figure1InstanceCorrect) {
+  // The paper's flagship ρ=2 instance (Observation 14 / Figure 1).
+  Rng rng(2);
+  const std::size_t side = 6;
+  const Graph g = make_grid(side, side);
+  const Instance inst = make_instance(g, figure1_diagonal_instance(side), rng);
+  const CongestedPaOutcome outcome = solve_congested_pa(
+      g, inst.pc, inst.values, AggregationMonoid::sum(), rng);
+  EXPECT_EQ(outcome.congestion, 2u);
+  for (std::size_t i = 0; i < inst.pc.num_parts(); ++i) {
+    EXPECT_NEAR(outcome.results[i], inst.expected_sum[i], 1e-9);
+  }
+}
+
+TEST(CongestedPaSolver, HighCongestionStackedInstance) {
+  Rng rng(3);
+  const Graph g = make_torus(5, 5);
+  const Instance inst =
+      make_instance(g, stacked_voronoi_instance(g, 4, 4, rng), rng);
+  const CongestedPaOutcome outcome = solve_congested_pa(
+      g, inst.pc, inst.values, AggregationMonoid::sum(), rng);
+  EXPECT_GE(outcome.congestion, 2u);
+  for (std::size_t i = 0; i < inst.pc.num_parts(); ++i) {
+    EXPECT_NEAR(outcome.results[i], inst.expected_sum[i], 1e-9);
+  }
+}
+
+TEST(CongestedPaSolver, MinMonoid) {
+  Rng rng(4);
+  const Graph g = make_grid(5, 5);
+  const PartCollection pc = figure1_diagonal_instance(5);
+  std::vector<std::vector<double>> values(pc.num_parts());
+  std::vector<double> expected(pc.num_parts(),
+                               std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+    for (std::size_t j = 0; j < pc.parts[i].size(); ++j) {
+      const double v = rng.next_double();
+      values[i].push_back(v);
+      expected[i] = std::min(expected[i], v);
+    }
+  }
+  const CongestedPaOutcome outcome =
+      solve_congested_pa(g, pc, values, AggregationMonoid::min(), rng);
+  for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+    EXPECT_DOUBLE_EQ(outcome.results[i], expected[i]);
+  }
+}
+
+TEST(CongestedPaSolver, NccModelCorrectAndGlobalOnly) {
+  Rng rng(5);
+  const Graph g = make_grid(5, 5);
+  const Instance inst = make_instance(g, figure1_diagonal_instance(5), rng);
+  CongestedPaOptions options;
+  options.model = PaModel::kNcc;
+  const CongestedPaOutcome outcome = solve_congested_pa(
+      g, inst.pc, inst.values, AggregationMonoid::sum(), rng, options);
+  for (std::size_t i = 0; i < inst.pc.num_parts(); ++i) {
+    EXPECT_NEAR(outcome.results[i], inst.expected_sum[i], 1e-9);
+  }
+  EXPECT_EQ(outcome.ledger.total_local(), 0u);
+  EXPECT_GT(outcome.ledger.total_global(), 0u);
+}
+
+TEST(CongestedPaSolver, SequentialBaselineCorrectButSlower) {
+  Rng rng(6);
+  const std::size_t side = 6;
+  const Graph g = make_grid(side, side);
+  const Instance inst = make_instance(g, figure1_diagonal_instance(side), rng);
+  const CongestedPaOutcome fast = solve_congested_pa(
+      g, inst.pc, inst.values, AggregationMonoid::sum(), rng);
+  Rng rng2(6);
+  const CongestedPaOutcome slow = solve_congested_pa_sequential_baseline(
+      g, inst.pc, inst.values, AggregationMonoid::sum(), rng2);
+  for (std::size_t i = 0; i < inst.pc.num_parts(); ++i) {
+    EXPECT_NEAR(slow.results[i], inst.expected_sum[i], 1e-9);
+    EXPECT_NEAR(fast.results[i], inst.expected_sum[i], 1e-9);
+  }
+  EXPECT_EQ(slow.phases, inst.pc.num_parts());
+}
+
+TEST(CongestedPaSolver, SingleNodeParts) {
+  Rng rng(7);
+  const Graph g = make_path(5);
+  PartCollection pc;
+  pc.parts = {{0}, {2}, {4}, {2}};
+  std::vector<std::vector<double>> values{{1.0}, {2.0}, {3.0}, {4.0}};
+  const CongestedPaOutcome outcome =
+      solve_congested_pa(g, pc, values, AggregationMonoid::sum(), rng);
+  EXPECT_DOUBLE_EQ(outcome.results[0], 1.0);
+  EXPECT_DOUBLE_EQ(outcome.results[1], 2.0);
+  EXPECT_DOUBLE_EQ(outcome.results[3], 4.0);
+}
+
+TEST(CongestedPaSolver, CongestModeChargesConstruction) {
+  // Theorem 8's distinction: CONGEST pays for shortcut construction,
+  // Supported-CONGEST does not — identical results, strictly more rounds.
+  Rng rng1(9), rng2(9);
+  const Graph g = make_grid(6, 6);
+  const Instance inst = make_instance(g, figure1_diagonal_instance(6), rng1);
+  CongestedPaOptions supported;
+  supported.model = PaModel::kSupportedCongest;
+  const CongestedPaOutcome cheap = solve_congested_pa(
+      g, inst.pc, inst.values, AggregationMonoid::sum(), rng1, supported);
+  Rng rng3(9);
+  Instance inst2 = make_instance(g, figure1_diagonal_instance(6), rng3);
+  CongestedPaOptions congest;
+  congest.model = PaModel::kCongest;
+  const CongestedPaOutcome charged = solve_congested_pa(
+      g, inst2.pc, inst2.values, AggregationMonoid::sum(), rng2, congest);
+  for (std::size_t i = 0; i < inst.pc.num_parts(); ++i) {
+    EXPECT_NEAR(charged.results[i], inst2.expected_sum[i], 1e-9);
+  }
+  EXPECT_GT(charged.total_rounds, cheap.total_rounds / 2);
+  bool has_construction_entry = false;
+  for (const LedgerEntry& e : charged.ledger.entries()) {
+    has_construction_entry |= e.label.rfind("construct", 0) == 0;
+  }
+  EXPECT_TRUE(has_construction_entry);
+  for (const LedgerEntry& e : cheap.ledger.entries()) {
+    EXPECT_NE(e.label.rfind("construct", 0), 0u);
+  }
+}
+
+TEST(CongestedPaSolver, RejectsMismatchedValues) {
+  Rng rng(8);
+  const Graph g = make_path(4);
+  PartCollection pc;
+  pc.parts = {{0, 1}};
+  EXPECT_THROW(
+      solve_congested_pa(g, pc, {}, AggregationMonoid::sum(), rng),
+      std::invalid_argument);
+}
+
+class CongestedSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t, int>> {};
+
+TEST_P(CongestedSweep, CorrectAcrossFamiliesAndCongestion) {
+  const auto [family, rho, seed] = GetParam();
+  Rng rng(seed * 131 + 7);
+  Graph g;
+  switch (family) {
+    case 0: g = make_grid(5, 5); break;
+    case 1: g = make_random_regular(24, 4, rng); break;
+    default: g = make_balanced_binary_tree(31); break;
+  }
+  const Instance inst =
+      make_instance(g, stacked_voronoi_instance(g, 3, rho, rng), rng);
+  const CongestedPaOutcome outcome = solve_congested_pa(
+      g, inst.pc, inst.values, AggregationMonoid::sum(), rng);
+  EXPECT_LE(outcome.congestion, rho);
+  for (std::size_t i = 0; i < inst.pc.num_parts(); ++i) {
+    EXPECT_NEAR(outcome.results[i], inst.expected_sum[i], 1e-9)
+        << "family=" << family << " rho=" << rho;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CongestedSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(1u, 2u, 3u),
+                                            ::testing::Values(1, 2)));
+
+}  // namespace
+}  // namespace dls

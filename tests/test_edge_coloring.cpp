@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "congested_pa/edge_coloring.hpp"
+
+namespace dls {
+namespace {
+
+std::vector<MultiEdge> path_edges(std::size_t n) {
+  std::vector<MultiEdge> edges;
+  for (NodeId v = 0; v + 1 < n; ++v) edges.push_back({v, static_cast<NodeId>(v + 1)});
+  return edges;
+}
+
+TEST(EdgeColoring, MaxDegreeCountsMultiplicity) {
+  std::vector<MultiEdge> edges{{0, 1}, {0, 1}, {0, 2}};
+  EXPECT_EQ(multigraph_max_degree(4, edges), 3u);
+}
+
+TEST(EdgeColoring, PathIsProperlyColored) {
+  Rng rng(1);
+  const auto edges = path_edges(20);
+  const EdgeColoring coloring = color_multigraph(20, edges, rng);
+  EXPECT_TRUE(is_proper_edge_coloring(20, edges, coloring.colors));
+  EXPECT_LE(coloring.max_color_used, coloring.num_colors);
+  EXPECT_GE(coloring.num_colors, 3u);  // Δ=2, palette ≥ Δ+1
+}
+
+TEST(EdgeColoring, ParallelEdgesGetDistinctColors) {
+  Rng rng(2);
+  std::vector<MultiEdge> edges{{0, 1}, {0, 1}, {0, 1}, {0, 1}};
+  const EdgeColoring coloring = color_multigraph(2, edges, rng);
+  EXPECT_TRUE(is_proper_edge_coloring(2, edges, coloring.colors));
+  std::set<std::uint32_t> distinct(coloring.colors.begin(), coloring.colors.end());
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(EdgeColoring, StarNeedsDegreeManyColors) {
+  Rng rng(3);
+  std::vector<MultiEdge> edges;
+  for (NodeId leaf = 1; leaf <= 10; ++leaf) edges.push_back({0, leaf});
+  const EdgeColoring coloring = color_multigraph(11, edges, rng);
+  EXPECT_TRUE(is_proper_edge_coloring(11, edges, coloring.colors));
+  std::set<std::uint32_t> distinct(coloring.colors.begin(), coloring.colors.end());
+  EXPECT_EQ(distinct.size(), 10u);  // all star edges share the hub
+}
+
+TEST(EdgeColoring, EmptyInput) {
+  Rng rng(4);
+  const EdgeColoring coloring = color_multigraph(5, {}, rng);
+  EXPECT_TRUE(coloring.colors.empty());
+  EXPECT_EQ(coloring.rounds, 0u);
+}
+
+TEST(EdgeColoring, RejectsSelfLoop) {
+  Rng rng(5);
+  std::vector<MultiEdge> edges{{1, 1}};
+  EXPECT_THROW(color_multigraph(3, edges, rng), std::invalid_argument);
+}
+
+TEST(EdgeColoring, RoundsLogarithmicInPractice) {
+  Rng rng(6);
+  // A large random multigraph: O(log n) rounds whp with a 2Δ palette.
+  std::vector<MultiEdge> edges;
+  for (int i = 0; i < 2000; ++i) {
+    const NodeId u = static_cast<NodeId>(rng.next_below(200));
+    NodeId v = static_cast<NodeId>(rng.next_below(200));
+    while (v == u) v = static_cast<NodeId>(rng.next_below(200));
+    edges.push_back({u, v});
+  }
+  const EdgeColoring coloring = color_multigraph(200, edges, rng);
+  EXPECT_TRUE(is_proper_edge_coloring(200, edges, coloring.colors));
+  EXPECT_LE(coloring.rounds, 40u);
+}
+
+TEST(EdgeColoring, TightPaletteStillProper) {
+  Rng rng(7);
+  const auto edges = path_edges(30);
+  const EdgeColoring coloring = color_multigraph(30, edges, rng, 1.0);
+  EXPECT_TRUE(is_proper_edge_coloring(30, edges, coloring.colors));
+  EXPECT_EQ(coloring.num_colors, 3u);  // max(Δ+1, Δ) = 3
+}
+
+
+TEST(GreedyColoring, ProperWithinTwoDeltaMinusOne) {
+  Rng rng(11);
+  std::vector<MultiEdge> edges;
+  for (int i = 0; i < 600; ++i) {
+    const NodeId u = static_cast<NodeId>(rng.next_below(60));
+    NodeId v = static_cast<NodeId>(rng.next_below(60));
+    while (v == u) v = static_cast<NodeId>(rng.next_below(60));
+    edges.push_back({u, v});
+  }
+  const EdgeColoring coloring = color_multigraph_greedy(60, edges);
+  EXPECT_TRUE(is_proper_edge_coloring(60, edges, coloring.colors));
+  const std::size_t delta = multigraph_max_degree(60, edges);
+  EXPECT_LE(coloring.max_color_used, 2 * delta - 1);
+}
+
+TEST(GreedyColoring, DeterministicAcrossCalls) {
+  std::vector<MultiEdge> edges{{0, 1}, {1, 2}, {0, 2}, {0, 1}};
+  const EdgeColoring a = color_multigraph_greedy(3, edges);
+  const EdgeColoring b = color_multigraph_greedy(3, edges);
+  EXPECT_EQ(a.colors, b.colors);
+  EXPECT_EQ(a.rounds, 0u);
+}
+
+TEST(GreedyColoring, PathUsesTwoColors) {
+  std::vector<MultiEdge> edges;
+  for (NodeId v = 0; v + 1 < 12; ++v) edges.push_back({v, static_cast<NodeId>(v + 1)});
+  const EdgeColoring coloring = color_multigraph_greedy(12, edges);
+  EXPECT_EQ(coloring.max_color_used, 2u);
+}
+
+class ColoringSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ColoringSweep, ProperAcrossSeeds) {
+  Rng rng(GetParam());
+  std::vector<MultiEdge> edges;
+  // ρ stacked cycles: the multigraph of a typical path-restricted instance.
+  for (int layer = 0; layer < 4; ++layer) {
+    for (NodeId v = 0; v < 24; ++v) {
+      edges.push_back({v, static_cast<NodeId>((v + 1) % 24)});
+    }
+  }
+  const EdgeColoring coloring = color_multigraph(24, edges, rng);
+  EXPECT_TRUE(is_proper_edge_coloring(24, edges, coloring.colors));
+  EXPECT_LE(coloring.max_color_used, 16u);  // Δ=8, palette 2Δ
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColoringSweep, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace dls

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "laplacian/electrical.hpp"
+
+namespace dls {
+namespace {
+
+DistributedLaplacianSolver make_solver(const Graph& g, Rng& rng,
+                                       ShortcutPaOracle& oracle) {
+  LaplacianSolverOptions options;
+  options.tolerance = 1e-10;
+  options.base_size = 64;
+  return DistributedLaplacianSolver(oracle, rng, options);
+}
+
+TEST(EffectiveResistance, PathIsHopCount) {
+  const Graph g = make_path(6);
+  Rng rng(1);
+  ShortcutPaOracle oracle(g, rng);
+  auto solver = make_solver(g, rng, oracle);
+  EXPECT_NEAR(effective_resistance(solver, 0, 5), 5.0, 1e-6);
+  EXPECT_NEAR(effective_resistance(solver, 1, 3), 2.0, 1e-6);
+}
+
+TEST(EffectiveResistance, ParallelEdgesHalve) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 1, 1.0);
+  Rng rng(2);
+  ShortcutPaOracle oracle(g, rng);
+  auto solver = make_solver(g, rng, oracle);
+  EXPECT_NEAR(effective_resistance(solver, 0, 1), 0.5, 1e-8);
+}
+
+TEST(EffectiveResistance, CycleSeriesParallel) {
+  // C_n between adjacent nodes: 1 ∥ (n−1) = (n−1)/n.
+  const std::size_t n = 8;
+  const Graph g = make_cycle(n);
+  Rng rng(3);
+  ShortcutPaOracle oracle(g, rng);
+  auto solver = make_solver(g, rng, oracle);
+  EXPECT_NEAR(effective_resistance(solver, 0, 1),
+              static_cast<double>(n - 1) / static_cast<double>(n), 1e-6);
+}
+
+TEST(ResistanceSketchTest, ApproximatesExactResistances) {
+  const Graph g = make_grid(4, 4);
+  Rng rng(4);
+  ShortcutPaOracle oracle(g, rng);
+  auto solver = make_solver(g, rng, oracle);
+  const ResistanceSketch sketch =
+      sketch_effective_resistances(g, solver, rng, 0.4);
+  // Spot-check a few edges against single-pair solves.
+  for (EdgeId e : {EdgeId{0}, EdgeId{5}, EdgeId{11}}) {
+    const Edge& edge = g.edge(e);
+    const double exact = effective_resistance(solver, edge.u, edge.v);
+    EXPECT_NEAR(sketch.edge_resistance[e], exact, 0.5 * exact + 0.05)
+        << "edge " << e;
+  }
+  EXPECT_GE(sketch.solves, 4u);
+}
+
+TEST(ResistanceSketchTest, TreeEdgesHaveUnitLeverage) {
+  // On a tree every edge's leverage score w_e·R_e is exactly 1.
+  Rng rng(5);
+  const Graph g = make_random_tree(20, rng);
+  ShortcutPaOracle oracle(g, rng);
+  auto solver = make_solver(g, rng, oracle);
+  const ResistanceSketch sketch =
+      sketch_effective_resistances(g, solver, rng, 0.3);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_NEAR(g.edge(e).weight * sketch.edge_resistance[e], 1.0, 0.45);
+  }
+}
+
+TEST(SpectralSparsify, KeepsGraphConnectedAndClose) {
+  const Graph g = make_grid(6, 6);
+  Rng rng(6);
+  ShortcutPaOracle oracle(g, rng);
+  auto solver = make_solver(g, rng, oracle);
+  const SpectralSparsifier sp = spectral_sparsify(g, solver, rng, 6.0);
+  EXPECT_EQ(sp.sparsifier.num_nodes(), g.num_nodes());
+  EXPECT_LE(sp.sparsifier.num_edges(), g.num_edges());
+  const double distortion = measure_spectral_distortion(g, sp.sparsifier, rng);
+  EXPECT_LT(distortion, 4.0);  // Monte-Carlo envelope, generous
+}
+
+TEST(SpectralSparsify, DensityDropsOnDenseGraphs) {
+  // K_36: every edge has leverage 2/n ≈ 0.056, so a modest oversampling
+  // constant keeps only a fraction of the m = 630 edges.
+  const Graph g = make_complete(36);
+  Rng rng(7);
+  ShortcutPaOracle oracle(g, rng);
+  auto solver = make_solver(g, rng, oracle);
+  const SpectralSparsifier sp = spectral_sparsify(g, solver, rng, 1.5);
+  EXPECT_LT(sp.sparsifier.num_edges(), g.num_edges() / 2);
+  EXPECT_GT(sp.sparsifier.num_edges(), 36u);  // still substantial
+  const double distortion = measure_spectral_distortion(g, sp.sparsifier, rng);
+  EXPECT_LT(distortion, 6.0);
+}
+
+TEST(SpectralDistortion, IdenticalGraphsHaveUnit) {
+  const Graph g = make_grid(4, 4);
+  Rng rng(8);
+  EXPECT_DOUBLE_EQ(measure_spectral_distortion(g, g, rng), 1.0);
+}
+
+}  // namespace
+}  // namespace dls

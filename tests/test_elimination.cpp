@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "laplacian/elimination.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/laplacian.hpp"
+
+namespace dls {
+namespace {
+
+Vec random_rhs(std::size_t n, Rng& rng) {
+  Vec b(n);
+  for (double& v : b) v = rng.next_double() * 2 - 1;
+  project_mean_zero(b);
+  return b;
+}
+
+/// Solve the input minor's system through elimination + exact Schur solve,
+/// and compare with a direct exact solve.
+void check_elimination_solve(const MinorGraph& minor, Rng& rng) {
+  const Graph view = minor.as_graph();
+  const EliminationResult elim = eliminate_degree_le2(minor);
+  const Vec b = random_rhs(view.num_nodes(), rng);
+  Vec x;
+  if (elim.schur.num_nodes >= 2) {
+    const Graph schur_view = elim.schur.as_graph();
+    const GroundedCholesky schur_solver(schur_view);
+    Vec reduced = elim.forward_rhs(b);
+    project_mean_zero(reduced);
+    x = elim.backward_solution(schur_solver.solve(reduced), b);
+  } else {
+    x = elim.backward_solution(Vec(elim.schur.num_nodes, 0.0), b);
+  }
+  const Vec r = sub(b, laplacian_apply(view, x));
+  EXPECT_LT(norm2(r), 1e-8 * (norm2(b) + 1)) << view.describe();
+}
+
+TEST(Elimination, PathCollapsesToSingleNode) {
+  const Graph g = make_path(12);
+  const EliminationResult elim = eliminate_degree_le2(MinorGraph::identity(g));
+  EXPECT_EQ(elim.schur.num_nodes, 1u);
+  EXPECT_EQ(elim.steps.size(), 11u);
+}
+
+TEST(Elimination, TreeCollapsesCompletely) {
+  Rng rng(1);
+  const Graph g = make_random_tree(30, rng);
+  const EliminationResult elim = eliminate_degree_le2(MinorGraph::identity(g));
+  EXPECT_EQ(elim.schur.num_nodes, 1u);
+}
+
+TEST(Elimination, CycleStopsAtMinRemaining) {
+  const Graph g = make_cycle(10);
+  const EliminationResult elim =
+      eliminate_degree_le2(MinorGraph::identity(g), 3);
+  EXPECT_EQ(elim.schur.num_nodes, 3u);
+  // The 3 survivors form a (multi-)cycle whose edges host the spliced paths.
+  EXPECT_GE(elim.max_chain_hops, 2u);
+}
+
+TEST(Elimination, GridKeepsHighDegreeCore) {
+  const Graph g = make_grid(6, 6);
+  const EliminationResult elim = eliminate_degree_le2(MinorGraph::identity(g));
+  // Grid interior has degree 4 — only boundary chains disappear.
+  EXPECT_GT(elim.schur.num_nodes, 10u);
+  EXPECT_LT(elim.schur.num_nodes, g.num_nodes());
+}
+
+TEST(Elimination, SolveExactOnPath) {
+  Rng rng(2);
+  const Graph g = make_path(15);
+  check_elimination_solve(MinorGraph::identity(g), rng);
+}
+
+TEST(Elimination, SolveExactOnWeightedGrid) {
+  Rng rng(3);
+  const Graph g = make_weighted_grid(5, 5, rng);
+  check_elimination_solve(MinorGraph::identity(g), rng);
+}
+
+TEST(Elimination, SolveExactOnCycleWithChord) {
+  Graph g = make_cycle(12);
+  g.add_edge(0, 6, 2.0);
+  Rng rng(4);
+  check_elimination_solve(MinorGraph::identity(g), rng);
+}
+
+TEST(Elimination, SolveExactOnTreePlusEdges) {
+  // Exactly the ultra-sparsifier shape: tree + few off-tree edges.
+  Rng rng(5);
+  Graph g = make_random_tree(40, rng);
+  for (int extra = 0; extra < 5; ++extra) {
+    NodeId u = static_cast<NodeId>(rng.next_below(40));
+    NodeId v = static_cast<NodeId>(rng.next_below(40));
+    if (u != v) g.add_edge(u, v, 1.0 + rng.next_double());
+  }
+  check_elimination_solve(MinorGraph::identity(g), rng);
+}
+
+TEST(Elimination, HostPathsValidInSchur) {
+  const Graph g = make_cycle(9);
+  const EliminationResult elim =
+      eliminate_degree_le2(MinorGraph::identity(g), 3);
+  EXPECT_TRUE(elim.schur.validate(g));
+  // Host congestion: each eliminated cycle node hosts exactly one spliced
+  // edge, so ρ stays small.
+  EXPECT_LE(elim.schur.host_congestion(g.num_nodes()), 2u);
+}
+
+TEST(Elimination, ParallelEdgesMergeToDegreeOne) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 1, 3.0);  // parallel: node 0 has one distinct neighbor
+  g.add_edge(1, 2, 2.0);
+  const EliminationResult elim = eliminate_degree_le2(MinorGraph::identity(g));
+  EXPECT_EQ(elim.schur.num_nodes, 1u);
+  Rng rng(6);
+  check_elimination_solve(MinorGraph::identity(g), rng);
+}
+
+TEST(Elimination, MatvecPartsConnectedAfterSplicing) {
+  const Graph g = make_cycle(12);
+  const EliminationResult elim =
+      eliminate_degree_le2(MinorGraph::identity(g), 4);
+  const PartCollection pc = elim.schur.matvec_parts();
+  EXPECT_TRUE(is_valid_part_collection(g, pc));
+}
+
+class EliminationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EliminationSweep, SolveExactAcrossRandomSparsifierShapes) {
+  Rng rng(100 + GetParam());
+  Graph g = make_random_tree(25 + GetParam() * 3, rng);
+  const std::size_t extras = 1 + GetParam() % 4;
+  for (std::size_t i = 0; i < extras; ++i) {
+    NodeId u = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    NodeId v = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    if (u != v) g.add_edge(u, v);
+  }
+  check_elimination_solve(MinorGraph::identity(g), rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EliminationSweep, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace dls

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "congested_pa/euler_paths.hpp"
+#include "congested_pa/heavy_paths.hpp"
+#include "graph/generators.hpp"
+#include "shortcuts/partition.hpp"
+
+namespace dls {
+namespace {
+
+std::vector<NodeId> all_nodes(const Graph& g) {
+  std::vector<NodeId> nodes(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) nodes[v] = v;
+  return nodes;
+}
+
+TEST(EulerPaths, PathPartIsOneSegment) {
+  const Graph g = make_path(8);
+  const EulerPathDecomposition epd = euler_path_decomposition(g, all_nodes(g));
+  EXPECT_TRUE(is_valid_euler_decomposition(g, all_nodes(g), epd));
+  // The tour walks 0..7 and back; the forward walk is one simple segment.
+  EXPECT_GE(epd.segments.size(), 1u);
+  EXPECT_EQ(epd.segments[0].size(), 8u);
+}
+
+TEST(EulerPaths, SingleNodePart) {
+  const Graph g = make_path(4);
+  const std::vector<NodeId> part{2};
+  const EulerPathDecomposition epd = euler_path_decomposition(g, part);
+  EXPECT_TRUE(is_valid_euler_decomposition(g, part, epd));
+  EXPECT_EQ(epd.segments.size(), 1u);
+}
+
+TEST(EulerPaths, StarDecomposesIntoLegPairs) {
+  const Graph g = make_star(6);
+  const EulerPathDecomposition epd = euler_path_decomposition(g, all_nodes(g));
+  EXPECT_TRUE(is_valid_euler_decomposition(g, all_nodes(g), epd));
+  // Tour: hub-leaf-hub-leaf-... — every segment has ≤ 3 nodes.
+  for (const auto& seg : epd.segments) EXPECT_LE(seg.size(), 3u);
+}
+
+TEST(EulerPaths, FirstOccurrenceCoversEachNodeOnce) {
+  Rng rng(1);
+  const Graph g = make_random_tree(24, rng);
+  const EulerPathDecomposition epd = euler_path_decomposition(g, all_nodes(g));
+  EXPECT_TRUE(is_valid_euler_decomposition(g, all_nodes(g), epd));
+  std::set<std::pair<std::uint32_t, std::uint32_t>> slots(
+      epd.first_occurrence.begin(), epd.first_occurrence.end());
+  EXPECT_EQ(slots.size(), g.num_nodes());  // distinct slots
+}
+
+TEST(EulerPaths, ValidOnVoronoiParts) {
+  Rng rng(2);
+  const Graph g = make_grid(6, 6);
+  const PartCollection pc = random_voronoi_partition(g, 5, rng);
+  for (const auto& part : pc.parts) {
+    const EulerPathDecomposition epd = euler_path_decomposition(g, part);
+    EXPECT_TRUE(is_valid_euler_decomposition(g, part, epd));
+  }
+}
+
+TEST(EulerPaths, CongestionInflationVsHeavyPaths) {
+  // The documented trade-off: Euler segments multiply node occurrences by
+  // tree degree, heavy paths keep exactly one occurrence per part.
+  const Graph g = make_star(16);
+  std::vector<std::vector<NodeId>> parts{all_nodes(g)};
+  const std::size_t euler_congestion = euler_segment_congestion(g, parts);
+  // One part → heavy-path congestion is 1 per node; Euler re-visits the hub
+  // once per leaf.
+  EXPECT_GE(euler_congestion, 8u);
+  const HeavyPathDecomposition hpd = heavy_path_decomposition(g, parts[0]);
+  std::vector<std::size_t> hp_load(g.num_nodes(), 0);
+  std::size_t hp_congestion = 0;
+  for (const auto& path : hpd.paths) {
+    for (NodeId v : path) hp_congestion = std::max(hp_congestion, ++hp_load[v]);
+  }
+  EXPECT_EQ(hp_congestion, 1u);
+}
+
+class EulerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EulerSweep, ValidAcrossRandomParts) {
+  Rng rng(GetParam() * 13 + 5);
+  const Graph g = make_random_regular(36, 4, rng);
+  const PartCollection pc = random_voronoi_partition(g, 4, rng);
+  for (const auto& part : pc.parts) {
+    const EulerPathDecomposition epd = euler_path_decomposition(g, part);
+    EXPECT_TRUE(is_valid_euler_decomposition(g, part, epd));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EulerSweep, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace dls

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "graph/flow.hpp"
+#include "graph/generators.hpp"
+
+namespace dls {
+namespace {
+
+TEST(NodeDisjointPaths, ParallelRowsOfGrid) {
+  // s x s grid: left column to right column admits s node-disjoint paths.
+  const std::size_t side = 5;
+  const Graph g = make_grid(side, side);
+  std::vector<NodeId> sources, sinks;
+  for (std::size_t r = 0; r < side; ++r) {
+    sources.push_back(static_cast<NodeId>(r * side));
+    sinks.push_back(static_cast<NodeId>(r * side + side - 1));
+  }
+  const NodeDisjointPathsResult result =
+      max_node_disjoint_paths(g, sources, sinks);
+  EXPECT_EQ(result.connected_pairs, side);
+  EXPECT_TRUE(are_node_disjoint_paths(g, result.paths));
+  EXPECT_TRUE(any_to_any_node_disjointly_connectable(g, sources, sinks));
+}
+
+TEST(NodeDisjointPaths, BottleneckLimitsPairs) {
+  // Two stars joined by one bridge: only one node-disjoint path can cross.
+  Graph g(8);
+  for (NodeId leaf = 1; leaf <= 3; ++leaf) g.add_edge(0, leaf);
+  for (NodeId leaf = 5; leaf <= 7; ++leaf) g.add_edge(4, leaf);
+  g.add_edge(0, 4);
+  const std::vector<NodeId> sources{1, 2, 3};
+  const std::vector<NodeId> sinks{5, 6, 7};
+  const NodeDisjointPathsResult result =
+      max_node_disjoint_paths(g, sources, sinks);
+  EXPECT_EQ(result.connected_pairs, 1u);
+  EXPECT_FALSE(any_to_any_node_disjointly_connectable(g, sources, sinks));
+  // With node capacity 3, all pairs route through the bridge.
+  EXPECT_TRUE(any_to_any_node_disjointly_connectable(g, sources, sinks, 3));
+}
+
+TEST(NodeDisjointPaths, MultisetEndpoints) {
+  const Graph g = make_star(5);
+  // Two sources at the same leaf need capacity 2 there.
+  const std::vector<NodeId> sources{1, 1};
+  const std::vector<NodeId> sinks{2, 3};
+  EXPECT_FALSE(any_to_any_node_disjointly_connectable(g, sources, sinks, 1));
+  EXPECT_TRUE(any_to_any_node_disjointly_connectable(g, sources, sinks, 2));
+}
+
+TEST(NodeDisjointPaths, PathEndpointsAreSourcesAndSinks) {
+  const Graph g = make_cycle(8);
+  const std::vector<NodeId> sources{0, 4};
+  const std::vector<NodeId> sinks{2, 6};
+  const NodeDisjointPathsResult result =
+      max_node_disjoint_paths(g, sources, sinks);
+  EXPECT_EQ(result.connected_pairs, 2u);
+  for (const auto& path : result.paths) {
+    EXPECT_TRUE(path.front() == 0 || path.front() == 4);
+    EXPECT_TRUE(path.back() == 2 || path.back() == 6);
+  }
+}
+
+TEST(NodeDisjointPaths, ValidatorCatchesViolations) {
+  const Graph g = make_path(4);
+  EXPECT_FALSE(are_node_disjoint_paths(g, {{0, 2}}));          // not adjacent
+  EXPECT_FALSE(are_node_disjoint_paths(g, {{0, 1}, {1, 2}}));  // node reuse
+  EXPECT_TRUE(are_node_disjoint_paths(g, {{0, 1}, {2, 3}}));
+  EXPECT_TRUE(are_node_disjoint_paths(g, {{0, 1}, {1, 2}}, 2));
+}
+
+TEST(MaxFlowValue, UnitPath) {
+  const Graph g = make_path(5);
+  EXPECT_DOUBLE_EQ(max_flow_value(g, 0, 4), 1.0);
+}
+
+TEST(MaxFlowValue, ParallelEdgesAdd) {
+  Graph g(2);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(0, 1, 3.5);
+  EXPECT_DOUBLE_EQ(max_flow_value(g, 0, 1), 5.5);
+}
+
+TEST(MaxFlowValue, GridCutBound) {
+  // Unit 4x4 grid, opposite corners: max flow = min cut = 2 (corner degree).
+  const Graph g = make_grid(4, 4);
+  EXPECT_DOUBLE_EQ(max_flow_value(g, 0, 15), 2.0);
+}
+
+TEST(MaxFlowValue, WeightedBottleneck) {
+  Graph g(4);
+  g.add_edge(0, 1, 10.0);
+  g.add_edge(1, 2, 0.5);
+  g.add_edge(2, 3, 10.0);
+  g.add_edge(1, 3, 0.25);
+  EXPECT_DOUBLE_EQ(max_flow_value(g, 0, 3), 0.75);
+}
+
+TEST(MaxFlowValue, SymmetricInEndpoints) {
+  Rng rng(3);
+  const Graph g = make_weighted_grid(5, 5, rng);
+  EXPECT_NEAR(max_flow_value(g, 0, 24), max_flow_value(g, 24, 0), 1e-9);
+}
+
+}  // namespace
+}  // namespace dls

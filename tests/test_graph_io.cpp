@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_io.hpp"
+
+namespace dls {
+namespace {
+
+TEST(GraphIo, RoundTripPreservesStructure) {
+  Rng rng(1);
+  const Graph g = make_weighted_grid(4, 5, rng);
+  std::stringstream buffer;
+  write_graph(buffer, g, "weighted grid");
+  const Graph parsed = read_graph(buffer);
+  ASSERT_EQ(parsed.num_nodes(), g.num_nodes());
+  ASSERT_EQ(parsed.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(parsed.edge(e).u, g.edge(e).u);
+    EXPECT_EQ(parsed.edge(e).v, g.edge(e).v);
+    EXPECT_DOUBLE_EQ(parsed.edge(e).weight, g.edge(e).weight);
+  }
+}
+
+TEST(GraphIo, ParsesCommentsAndDefaults) {
+  std::stringstream in(
+      "# a triangle\n"
+      "p 3\n"
+      "e 0 1\n"
+      "e 1 2 2.5\n"
+      "e 0 2\n");
+  const Graph g = read_graph(in);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_DOUBLE_EQ(g.edge(0).weight, 1.0);
+  EXPECT_DOUBLE_EQ(g.edge(1).weight, 2.5);
+}
+
+TEST(GraphIo, RejectsMalformedInput) {
+  {
+    std::stringstream in("e 0 1\n");
+    EXPECT_THROW(read_graph(in), std::invalid_argument);  // edge before header
+  }
+  {
+    std::stringstream in("p 2\ne 0 5\n");
+    EXPECT_THROW(read_graph(in), std::invalid_argument);  // out of range
+  }
+  {
+    std::stringstream in("p 2\ne 1 1\n");
+    EXPECT_THROW(read_graph(in), std::invalid_argument);  // self-loop
+  }
+  {
+    std::stringstream in("p 2\nq 0 1\n");
+    EXPECT_THROW(read_graph(in), std::invalid_argument);  // unknown record
+  }
+  {
+    std::stringstream in("p 2\ne 0 1 -2\n");
+    EXPECT_THROW(read_graph(in), std::invalid_argument);  // bad weight
+  }
+  {
+    std::stringstream in("# nothing\n");
+    EXPECT_THROW(read_graph(in), std::invalid_argument);  // missing header
+  }
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  const Graph g = make_cycle(7);
+  const std::string path = "/tmp/dls_graph_io_test.txt";
+  write_graph_file(path, g);
+  const Graph parsed = read_graph_file(path);
+  EXPECT_EQ(parsed.num_nodes(), 7u);
+  EXPECT_EQ(parsed.num_edges(), 7u);
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW(read_graph_file("/nonexistent/path/graph.txt"),
+               std::invalid_argument);
+}
+
+TEST(PreferentialAttachment, StructureAndConnectivity) {
+  Rng rng(2);
+  const Graph g = make_preferential_attachment(200, 3, rng);
+  EXPECT_EQ(g.num_nodes(), 200u);
+  EXPECT_TRUE(is_connected(g));
+  // Seed K4 (6 edges) plus m = 3 edges per each of the remaining nodes.
+  EXPECT_EQ(g.num_edges(), 6u + (200 - 4) * 3);
+}
+
+TEST(PreferentialAttachment, SmallDiameter) {
+  Rng rng(3);
+  const Graph g = make_preferential_attachment(400, 3, rng);
+  EXPECT_LE(exact_diameter(g), 8u);  // "social network" folklore: D = O(log n)
+}
+
+TEST(PreferentialAttachment, HubsEmerge) {
+  Rng rng(4);
+  const Graph g = make_preferential_attachment(300, 2, rng);
+  std::size_t max_deg = g.max_degree();
+  EXPECT_GE(max_deg, 12u);  // heavy-tailed degree distribution
+}
+
+}  // namespace
+}  // namespace dls

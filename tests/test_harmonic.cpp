@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "laplacian/harmonic.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace dls {
+namespace {
+
+TEST(HarmonicReference, LinearInterpolationOnPath) {
+  const Graph g = make_path(5);
+  HarmonicProblem problem;
+  problem.boundary_nodes = {0, 4};
+  problem.boundary_values = {0.0, 4.0};
+  const Vec x = solve_harmonic_reference(g, problem);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_NEAR(x[v], static_cast<double>(v), 1e-10);
+  }
+  EXPECT_NEAR(harmonic_violation(g, problem, x), 0.0, 1e-10);
+}
+
+TEST(HarmonicReference, WeightedPathInterpolation) {
+  // Two edges, weights 1 and 3: potential divides like series resistors.
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 3.0);
+  HarmonicProblem problem;
+  problem.boundary_nodes = {0, 2};
+  problem.boundary_values = {0.0, 1.0};
+  const Vec x = solve_harmonic_reference(g, problem);
+  // x_1 = (w01*0 + w12*1)/(w01+w12) = 3/4.
+  EXPECT_NEAR(x[1], 0.75, 1e-10);
+}
+
+TEST(HarmonicReference, MaximumPrinciple) {
+  Rng rng(1);
+  const Graph g = make_grid(6, 6);
+  HarmonicProblem problem;
+  problem.boundary_nodes = {0, 5, 30, 35};
+  problem.boundary_values = {-1.0, 2.0, 0.5, 1.0};
+  const Vec x = solve_harmonic_reference(g, problem);
+  for (double v : x) {
+    EXPECT_GE(v, -1.0 - 1e-9);
+    EXPECT_LE(v, 2.0 + 1e-9);
+  }
+}
+
+TEST(SolveHarmonic, MatchesReferenceOnGrid) {
+  Rng rng(2);
+  const Graph g = make_grid(5, 5);
+  HarmonicProblem problem;
+  problem.boundary_nodes = {0, 24};
+  problem.boundary_values = {0.0, 1.0};
+  const HarmonicResult result = solve_harmonic(g, problem, rng);
+  const Vec ref = solve_harmonic_reference(g, problem);
+  EXPECT_LT(max_abs_diff(result.x, ref), 1e-3);
+  EXPECT_LT(result.max_boundary_error, 1e-3);
+  EXPECT_GT(result.pa_calls, 0u);
+}
+
+TEST(SolveHarmonic, StifferPenaltyTightensBoundary) {
+  Rng rng(3);
+  const Graph g = make_grid(4, 4);
+  HarmonicProblem problem;
+  problem.boundary_nodes = {0, 15};
+  problem.boundary_values = {1.0, -1.0};
+  HarmonicOptions loose;
+  loose.penalty = 1e3;
+  HarmonicOptions tight;
+  tight.penalty = 1e8;
+  const HarmonicResult a = solve_harmonic(g, problem, rng, loose);
+  Rng rng2(3);
+  const HarmonicResult b = solve_harmonic(g, problem, rng2, tight);
+  EXPECT_LT(b.max_boundary_error, a.max_boundary_error + 1e-12);
+}
+
+TEST(SolveHarmonic, WeightedGraphAgainstReference) {
+  Rng rng(4);
+  const Graph g = make_weighted_grid(4, 5, rng);
+  HarmonicProblem problem;
+  problem.boundary_nodes = {0, 9, 19};
+  problem.boundary_values = {0.0, 0.5, 1.0};
+  const HarmonicResult result = solve_harmonic(g, problem, rng);
+  const Vec ref = solve_harmonic_reference(g, problem);
+  EXPECT_LT(max_abs_diff(result.x, ref), 5e-3);
+}
+
+TEST(SolveHarmonic, RejectsBadProblems) {
+  const Graph g = make_path(4);
+  Rng rng(5);
+  HarmonicProblem empty;
+  EXPECT_THROW(solve_harmonic(g, empty, rng), std::invalid_argument);
+  HarmonicProblem dup;
+  dup.boundary_nodes = {1, 1};
+  dup.boundary_values = {0.0, 1.0};
+  EXPECT_THROW(solve_harmonic(g, dup, rng), std::invalid_argument);
+  HarmonicProblem misaligned;
+  misaligned.boundary_nodes = {1};
+  misaligned.boundary_values = {0.0, 1.0};
+  EXPECT_THROW(solve_harmonic(g, misaligned, rng), std::invalid_argument);
+}
+
+TEST(HarmonicViolation, DetectsNonHarmonicInterior) {
+  const Graph g = make_path(4);
+  HarmonicProblem problem;
+  problem.boundary_nodes = {0, 3};
+  problem.boundary_values = {0.0, 3.0};
+  Vec bad{0.0, 2.5, 1.0, 3.0};
+  EXPECT_GT(harmonic_violation(g, problem, bad), 1.0);
+}
+
+class HarmonicSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HarmonicSweep, DistributedMatchesReference) {
+  Rng rng(100 + GetParam());
+  const Graph g = make_random_regular(24, 4, rng);
+  HarmonicProblem problem;
+  problem.boundary_nodes = {0, 7, 13};
+  problem.boundary_values = {rng.next_double(), rng.next_double(),
+                             rng.next_double()};
+  const HarmonicResult result = solve_harmonic(g, problem, rng);
+  const Vec ref = solve_harmonic_reference(g, problem);
+  EXPECT_LT(max_abs_diff(result.x, ref), 5e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HarmonicSweep, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace dls

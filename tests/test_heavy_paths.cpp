@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "congested_pa/heavy_paths.hpp"
+#include "graph/generators.hpp"
+#include "shortcuts/partition.hpp"
+
+namespace dls {
+namespace {
+
+std::vector<NodeId> all_nodes(const Graph& g) {
+  std::vector<NodeId> nodes(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) nodes[v] = v;
+  return nodes;
+}
+
+TEST(HeavyPaths, PathPartIsSinglePath) {
+  const Graph g = make_path(10);
+  const HeavyPathDecomposition hpd = heavy_path_decomposition(g, all_nodes(g));
+  EXPECT_EQ(hpd.paths.size(), 1u);
+  EXPECT_EQ(hpd.max_depth, 0u);
+  EXPECT_TRUE(is_valid_heavy_path_decomposition(g, all_nodes(g), hpd));
+}
+
+TEST(HeavyPaths, StarDecomposesIntoHubPathPlusLeaves) {
+  const Graph g = make_star(8);
+  const HeavyPathDecomposition hpd = heavy_path_decomposition(g, all_nodes(g));
+  EXPECT_TRUE(is_valid_heavy_path_decomposition(g, all_nodes(g), hpd));
+  EXPECT_EQ(hpd.max_depth, 1u);
+  EXPECT_EQ(hpd.paths.size(), 7u);  // hub+one leaf, then 6 leaf paths
+}
+
+TEST(HeavyPaths, BalancedTreeDepthLogarithmic) {
+  const Graph g = make_balanced_binary_tree(63);
+  const HeavyPathDecomposition hpd = heavy_path_decomposition(g, all_nodes(g));
+  EXPECT_TRUE(is_valid_heavy_path_decomposition(g, all_nodes(g), hpd));
+  EXPECT_LE(hpd.max_depth, 6u);
+}
+
+TEST(HeavyPaths, PartialPartOnGrid) {
+  const Graph g = make_grid(5, 5);
+  const std::vector<NodeId> part{0, 1, 2, 7, 12, 11, 10};  // connected blob
+  const HeavyPathDecomposition hpd = heavy_path_decomposition(g, part);
+  EXPECT_TRUE(is_valid_heavy_path_decomposition(g, part, hpd));
+  std::size_t covered = 0;
+  for (const auto& p : hpd.paths) covered += p.size();
+  EXPECT_EQ(covered, part.size());
+}
+
+TEST(HeavyPaths, RejectsDisconnectedPart) {
+  const Graph g = make_path(6);
+  const std::vector<NodeId> part{0, 5};
+  EXPECT_THROW(heavy_path_decomposition(g, part), std::invalid_argument);
+}
+
+TEST(HeavyPaths, SingleNodePart) {
+  const Graph g = make_path(4);
+  const std::vector<NodeId> part{2};
+  const HeavyPathDecomposition hpd = heavy_path_decomposition(g, part);
+  EXPECT_EQ(hpd.paths.size(), 1u);
+  EXPECT_EQ(hpd.paths[0], part);
+  EXPECT_TRUE(is_valid_heavy_path_decomposition(g, part, hpd));
+}
+
+class HeavyPathSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeavyPathSweep, ValidOnRandomVoronoiParts) {
+  Rng rng(GetParam());
+  const Graph g = make_random_regular(48, 4, rng);
+  const PartCollection pc = random_voronoi_partition(g, 6, rng);
+  for (const auto& part : pc.parts) {
+    const HeavyPathDecomposition hpd = heavy_path_decomposition(g, part);
+    EXPECT_TRUE(is_valid_heavy_path_decomposition(g, part, hpd));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeavyPathSweep, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace dls

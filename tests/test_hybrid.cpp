@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "sim/hybrid.hpp"
+
+namespace dls {
+namespace {
+
+TEST(HybridNetwork, BothModesDeliverInOneRound) {
+  const Graph g = make_path(4);
+  HybridNetwork net(g, 2);
+  net.send_local({0, 1, 0, 7, 1.5, 1});
+  net.send_global({3, 0, 9, 2.5});
+  net.step();
+  ASSERT_EQ(net.local_inbox(1).size(), 1u);
+  EXPECT_EQ(net.local_inbox(1)[0].tag, 7u);
+  ASSERT_EQ(net.global_inbox(0).size(), 1u);
+  EXPECT_EQ(net.global_inbox(0)[0].tag, 9u);
+  EXPECT_EQ(net.rounds(), 1u);
+}
+
+TEST(HybridNetwork, EnforcesBothCapacities) {
+  const Graph g = make_path(3);
+  HybridNetwork net(g, 1);
+  net.send_local({0, 1, 0, 0, 0, 1});
+  EXPECT_THROW(net.send_local({0, 1, 0, 0, 0, 1}), std::invalid_argument);
+  net.send_global({0, 2, 0, 0});
+  EXPECT_THROW(net.send_global({0, 2, 0, 0}), std::invalid_argument);
+}
+
+TEST(HybridNetwork, CountsTrafficPerMode) {
+  const Graph g = make_cycle(4);
+  HybridNetwork net(g, 2);
+  net.send_local({0, 1, 0, 0, 0, 1});
+  net.send_global({2, 3, 0, 0});
+  net.send_global({1, 3, 0, 0});
+  net.step();
+  EXPECT_EQ(net.local_messages(), 1u);
+  EXPECT_EQ(net.global_messages(), 2u);
+  EXPECT_EQ(net.global_drops(), 0u);
+}
+
+TEST(HybridBfs, EstimatesAreValidWalkLengths) {
+  Rng rng(1);
+  const Graph g = make_grid(8, 8);
+  const HybridBfsResult result = hybrid_bfs_with_landmarks(g, 0, rng);
+  const BfsResult exact = bfs(g, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_GE(result.approx_dist[v], exact.dist[v]) << "node " << v;
+  }
+  EXPECT_EQ(result.approx_dist[0], 0u);
+}
+
+TEST(HybridBfs, StretchIsModerate) {
+  Rng rng(2);
+  const Graph g = make_grid(10, 10);
+  const HybridBfsResult result = hybrid_bfs_with_landmarks(g, 0, rng);
+  const BfsResult exact = bfs(g, 0);
+  double worst_stretch = 1.0;
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    worst_stretch = std::max(
+        worst_stretch, static_cast<double>(result.approx_dist[v]) /
+                           static_cast<double>(std::max<std::uint32_t>(
+                               exact.dist[v], 1)));
+  }
+  // Landmark overlays detour through cells; with √n landmarks on a grid the
+  // observed stretch stays small.
+  EXPECT_LT(worst_stretch, 4.0);
+}
+
+TEST(HybridBfs, BeatsPureCongestOnHighDiameterGraphs) {
+  Rng rng(3);
+  const Graph g = make_cycle(400);
+  const HybridBfsResult result = hybrid_bfs_with_landmarks(g, 0, rng, 40);
+  // Pure CONGEST flooding needs ecc + 1 = 201 rounds; the landmark scheme
+  // needs ~2R + overlay traffic with R ≈ n / (2·landmarks) = 5.
+  EXPECT_EQ(result.pure_congest_rounds, 201u);
+  EXPECT_LT(result.rounds, result.pure_congest_rounds / 2);
+}
+
+TEST(HybridBfs, MoreLandmarksShrinkBalls) {
+  Rng rng(4);
+  const Graph g = make_cycle(200);
+  const HybridBfsResult few = hybrid_bfs_with_landmarks(g, 0, rng, 5);
+  Rng rng2(4);
+  const HybridBfsResult many = hybrid_bfs_with_landmarks(g, 0, rng2, 50);
+  EXPECT_LT(many.ball_radius, few.ball_radius);
+}
+
+TEST(HybridBfs, SingleLandmarkDegeneratesToFlooding) {
+  Rng rng(5);
+  const Graph g = make_path(30);
+  // Only the root as source (num_landmarks = 1 adds one more landmark, so
+  // use the path and verify estimates remain valid).
+  const HybridBfsResult result = hybrid_bfs_with_landmarks(g, 0, rng, 1);
+  const BfsResult exact = bfs(g, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_GE(result.approx_dist[v], exact.dist[v]);
+  }
+}
+
+class HybridBfsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HybridBfsSweep, ValidAcrossFamilies) {
+  Rng rng(GetParam() * 7 + 1);
+  Graph g;
+  switch (GetParam() % 3) {
+    case 0: g = make_torus(8, 8); break;
+    case 1: g = make_random_regular(64, 4, rng); break;
+    default: g = make_grid(6, 10); break;
+  }
+  const NodeId root = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+  const HybridBfsResult result = hybrid_bfs_with_landmarks(g, root, rng);
+  const BfsResult exact = bfs(g, root);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_GE(result.approx_dist[v], exact.dist[v]);
+  }
+  EXPECT_EQ(result.approx_dist[root], 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HybridBfsSweep, ::testing::Range(0, 9));
+
+}  // namespace
+}  // namespace dls

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "congested_pa/layered_graph.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/tree_decomposition.hpp"
+#include "shortcuts/quality_estimator.hpp"
+
+namespace dls {
+namespace {
+
+TEST(LayeredGraph, SizesMatchConstruction) {
+  const Graph g = make_grid(3, 3);  // n=9, m=12
+  const LayeredGraph layered(g, 4);
+  EXPECT_EQ(layered.graph().num_nodes(), 36u);
+  // 4 copies of each edge + 9 cliques K4 (6 edges each).
+  EXPECT_EQ(layered.graph().num_edges(), 4u * 12 + 9u * 6);
+}
+
+TEST(LayeredGraph, LiftProjectRoundTrip) {
+  const Graph g = make_path(5);
+  const LayeredGraph layered(g, 3);
+  for (std::size_t l = 0; l < 3; ++l) {
+    for (NodeId v = 0; v < 5; ++v) {
+      const NodeId lifted = layered.lift(v, l);
+      EXPECT_EQ(layered.project(lifted), v);
+      EXPECT_EQ(layered.layer_of(lifted), l);
+    }
+  }
+}
+
+TEST(LayeredGraph, LiftedEdgeConnectsLiftedEndpoints) {
+  const Graph g = make_cycle(4);
+  const LayeredGraph layered(g, 3);
+  for (std::size_t l = 0; l < 3; ++l) {
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const Edge& base = g.edge(e);
+      const Edge& lifted = layered.graph().edge(layered.lift_edge(e, l));
+      EXPECT_EQ(lifted.u, layered.lift(base.u, l));
+      EXPECT_EQ(lifted.v, layered.lift(base.v, l));
+      EXPECT_DOUBLE_EQ(lifted.weight, base.weight);
+    }
+  }
+}
+
+TEST(LayeredGraph, CliqueEdgeIndexing) {
+  const Graph g = make_path(3);
+  const LayeredGraph layered(g, 4);
+  for (NodeId v = 0; v < 3; ++v) {
+    for (std::size_t a = 0; a < 4; ++a) {
+      for (std::size_t b = 0; b < 4; ++b) {
+        if (a == b) continue;
+        const Edge& e = layered.graph().edge(layered.clique_edge(v, a, b));
+        const NodeId x = layered.lift(v, std::min(a, b));
+        const NodeId y = layered.lift(v, std::max(a, b));
+        EXPECT_EQ(e.u, x);
+        EXPECT_EQ(e.v, y);
+      }
+    }
+  }
+}
+
+TEST(LayeredGraph, SingleLayerIsIsomorphicCopy) {
+  const Graph g = make_grid(3, 4);
+  const LayeredGraph layered(g, 1);
+  EXPECT_EQ(layered.graph().num_nodes(), g.num_nodes());
+  EXPECT_EQ(layered.graph().num_edges(), g.num_edges());
+}
+
+TEST(LayeredGraph, ConnectedWhenBaseConnected) {
+  Rng rng(1);
+  const Graph g = make_random_tree(20, rng);
+  const LayeredGraph layered(g, 5);
+  EXPECT_TRUE(is_connected(layered.graph()));
+}
+
+TEST(LayeredGraph, DiameterGrowsByAtMostOne) {
+  // Any layered path = base path + at most 2 clique hops.
+  const Graph g = make_path(12);
+  const LayeredGraph layered(g, 3);
+  EXPECT_LE(exact_diameter(layered.graph()), exact_diameter(g) + 2);
+}
+
+// Lemma 19: tw(Ĝ_ρ) ≤ ρ·tw(G) + ρ − 1.
+class Lemma19Test
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(Lemma19Test, TreewidthBoundHolds) {
+  const auto [family, rho] = GetParam();
+  Rng rng(11);
+  Graph g;
+  std::size_t tw_upper = 0;
+  switch (family) {
+    case 0:
+      g = make_path(12);
+      tw_upper = 1;
+      break;
+    case 1:
+      g = make_caterpillar(6, 2);
+      tw_upper = 1;
+      break;
+    case 2:
+      g = make_cycle(10);
+      tw_upper = 2;
+      break;
+    default:
+      g = make_k_tree(14, 2, rng);
+      tw_upper = 2;
+      break;
+  }
+  const LayeredGraph layered(g, rho);
+  // Heuristic width of the layered graph is an upper bound on tw(Ĝ_ρ); it
+  // must respect (and usually confirms) Lemma 19's ρ·tw + ρ − 1 bound.
+  const std::size_t measured = treewidth_upper_bound(layered.graph());
+  EXPECT_LE(measured, rho * tw_upper + rho - 1)
+      << "family=" << family << " rho=" << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, Lemma19Test,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values(2u, 3u, 4u)));
+
+// Theorem 22 (small-scale): the SQ estimate of Ĝ_ρ stays within a polylog
+// factor of the base estimate, in contrast to treewidth's ρ factor.
+TEST(Theorem22, SqEstimatePreservedUnderLayering) {
+  Rng rng(21);
+  const Graph g = make_grid(6, 6);
+  const SqEstimate base = estimate_shortcut_quality(g, rng);
+  for (std::size_t rho : {2u, 3u}) {
+    const LayeredGraph layered(g, rho);
+    const SqEstimate lifted = estimate_shortcut_quality(layered.graph(), rng);
+    EXPECT_LE(lifted.quality, base.quality * 4 + 8)
+        << "rho=" << rho << " base=" << base.quality
+        << " lifted=" << lifted.quality;
+  }
+}
+
+}  // namespace
+}  // namespace dls

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/laplacian.hpp"
+#include "linalg/solvers.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace dls {
+namespace {
+
+Vec random_rhs(std::size_t n, Rng& rng) {
+  Vec b(n);
+  for (double& v : b) v = rng.next_double() * 2.0 - 1.0;
+  project_mean_zero(b);
+  return b;
+}
+
+TEST(VectorOps, DotAndNorm) {
+  EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(norm2({3, 4}), 5.0);
+}
+
+TEST(VectorOps, AxpyScaleAddSub) {
+  Vec y{1, 1};
+  axpy(2.0, {3, 4}, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  scale(y, 0.5);
+  EXPECT_DOUBLE_EQ(y[1], 4.5);
+  EXPECT_DOUBLE_EQ(add({1, 2}, {3, 4})[1], 6.0);
+  EXPECT_DOUBLE_EQ(sub({1, 2}, {3, 4})[0], -2.0);
+}
+
+TEST(VectorOps, ProjectMeanZero) {
+  Vec a{1, 2, 3};
+  project_mean_zero(a);
+  EXPECT_NEAR(a[0] + a[1] + a[2], 0.0, 1e-12);
+}
+
+TEST(VectorOps, SizeMismatchThrows) {
+  EXPECT_THROW(dot({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Laplacian, ApplyMatchesDense) {
+  Rng rng(1);
+  const Graph g = make_weighted_grid(4, 4, rng);
+  const auto dense = laplacian_dense(g);
+  const Vec x = random_rhs(g.num_nodes(), rng);
+  const Vec y = laplacian_apply(g, x);
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    double expected = 0;
+    for (std::size_t j = 0; j < g.num_nodes(); ++j) expected += dense[i][j] * x[j];
+    EXPECT_NEAR(y[i], expected, 1e-10);
+  }
+}
+
+TEST(Laplacian, QuadraticFormMatchesApply) {
+  Rng rng(2);
+  const Graph g = make_weighted_grid(3, 5, rng);
+  const Vec x = random_rhs(g.num_nodes(), rng);
+  EXPECT_NEAR(laplacian_quadratic_form(g, x), dot(x, laplacian_apply(g, x)),
+              1e-10);
+}
+
+TEST(Laplacian, KernelIsConstantVector) {
+  const Graph g = make_cycle(7);
+  const Vec ones(7, 3.0);
+  const Vec y = laplacian_apply(g, ones);
+  for (double v : y) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(Laplacian, RhsValidity) {
+  EXPECT_TRUE(is_valid_rhs({1.0, -1.0}));
+  EXPECT_FALSE(is_valid_rhs({1.0, 1.0}));
+}
+
+TEST(Cholesky, ExactOnSmallSystems) {
+  Rng rng(3);
+  const Graph g = make_weighted_grid(4, 4, rng);
+  const GroundedCholesky chol(g);
+  const Vec b = random_rhs(g.num_nodes(), rng);
+  const Vec x = chol.solve(b);
+  const Vec r = sub(b, laplacian_apply(g, x));
+  EXPECT_LT(norm2(r), 1e-9 * (norm2(b) + 1));
+  // Mean-zero representative.
+  double sum = 0;
+  for (double v : x) sum += v;
+  EXPECT_NEAR(sum, 0.0, 1e-9);
+}
+
+TEST(Cholesky, RejectsBadRhs) {
+  const Graph g = make_path(4);
+  const GroundedCholesky chol(g);
+  EXPECT_THROW(chol.solve({1, 1, 1, 1}), std::invalid_argument);
+}
+
+TEST(Cholesky, RejectsDisconnected) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(GroundedCholesky{g}, std::invalid_argument);
+}
+
+TEST(Cg, MatchesCholesky) {
+  Rng rng(4);
+  const Graph g = make_weighted_grid(5, 5, rng);
+  const Vec b = random_rhs(g.num_nodes(), rng);
+  const GroundedCholesky chol(g);
+  const Vec x_ref = chol.solve(b);
+  SolveOptions options;
+  options.tolerance = 1e-10;
+  const SolveResult result = solve_laplacian_cg(g, b, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(relative_error_in_l_norm(g, result.x, x_ref), 1e-6);
+}
+
+TEST(Cg, ZeroRhsReturnsZero) {
+  const Graph g = make_path(5);
+  const SolveResult result = solve_laplacian_cg(g, Vec(5, 0.0));
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 0u);
+  for (double v : result.x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(PreconditionedCg, IdentityPreconditionerMatchesCg) {
+  Rng rng(5);
+  const Graph g = make_weighted_grid(4, 5, rng);
+  const Vec b = random_rhs(g.num_nodes(), rng);
+  SolveOptions options;
+  options.tolerance = 1e-10;
+  const auto op = [&](const Vec& x) { return laplacian_apply(g, x); };
+  const auto id = [](const Vec& x) { return x; };
+  const SolveResult pcg = preconditioned_cg(op, id, b, options);
+  const SolveResult cg = conjugate_gradient(op, b, options);
+  EXPECT_TRUE(pcg.converged);
+  EXPECT_NEAR(relative_error_in_l_norm(g, pcg.x, cg.x), 0.0, 1e-5);
+}
+
+TEST(PreconditionedCg, ExactPreconditionerConvergesInOneIteration) {
+  Rng rng(6);
+  const Graph g = make_weighted_grid(4, 4, rng);
+  const GroundedCholesky chol(g);
+  const Vec b = random_rhs(g.num_nodes(), rng);
+  const auto op = [&](const Vec& x) { return laplacian_apply(g, x); };
+  const auto precond = [&](const Vec& r) { return chol.solve(r); };
+  const SolveResult result = preconditioned_cg(op, precond, b);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.iterations, 2u);
+}
+
+TEST(Chebyshev, ConvergesWithTrueBounds) {
+  const Graph g = make_path(8);
+  Rng rng(7);
+  const Vec b = random_rhs(8, rng);
+  // Path Laplacian spectrum ⊂ [2(1−cos(π/8)), 4].
+  const double lmin = 2.0 * (1.0 - std::cos(M_PI / 8.0));
+  SolveOptions options;
+  options.tolerance = 1e-8;
+  options.max_iterations = 2000;
+  const SolveResult result = chebyshev(
+      [&](const Vec& x) { return laplacian_apply(g, x); }, b, lmin, 4.0, options);
+  EXPECT_TRUE(result.converged);
+  const GroundedCholesky chol(g);
+  EXPECT_LT(relative_error_in_l_norm(g, result.x, chol.solve(b)), 1e-4);
+}
+
+TEST(SpectrumBounds, BracketTrueSpectrumOnPath) {
+  const Graph g = make_path(6);
+  const SpectrumBounds bounds = laplacian_spectrum_bounds(g);
+  const double true_max = 2.0 * (1.0 + std::cos(M_PI / 6.0));
+  const double true_min = 2.0 * (1.0 - std::cos(M_PI / 6.0));
+  EXPECT_GE(bounds.lambda_max, true_max);
+  EXPECT_LE(bounds.lambda_min, true_min);
+  EXPECT_GT(bounds.lambda_min, 0.0);
+}
+
+TEST(RelativeError, InvariantToConstantShift) {
+  Rng rng(8);
+  const Graph g = make_grid(3, 3);
+  Vec x = random_rhs(9, rng);
+  Vec shifted = x;
+  for (double& v : shifted) v += 5.0;
+  EXPECT_NEAR(relative_error_in_l_norm(g, shifted, x), 0.0, 1e-10);
+}
+
+class CgFamilyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CgFamilyTest, ResidualBelowToleranceAcrossFamilies) {
+  Rng rng(100 + GetParam());
+  Graph g;
+  switch (GetParam() % 4) {
+    case 0: g = make_cycle(24); break;
+    case 1: g = make_weighted_grid(5, 5, rng); break;
+    case 2: g = make_random_regular(24, 4, rng); break;
+    default: g = make_random_tree(30, rng); break;
+  }
+  const Vec b = random_rhs(g.num_nodes(), rng);
+  SolveOptions options;
+  options.tolerance = 1e-9;
+  const SolveResult result = solve_laplacian_cg(g, b, options);
+  EXPECT_TRUE(result.converged);
+  const Vec r = sub(b, laplacian_apply(g, result.x));
+  EXPECT_LT(norm2(r), 1e-7 * (norm2(b) + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, CgFamilyTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace dls

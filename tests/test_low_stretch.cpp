@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "laplacian/low_stretch_tree.hpp"
+
+namespace dls {
+namespace {
+
+TEST(LowStretchTree, ProducesSpanningTree) {
+  Rng rng(1);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Graph g = make_grid(7, 7);
+    const LowStretchTreeResult result = low_stretch_spanning_tree(g, rng);
+    EXPECT_TRUE(is_spanning_tree(g, result.tree_edges));
+    EXPECT_GT(result.phases, 0u);
+  }
+}
+
+TEST(LowStretchTree, TreeInputReturnsItself) {
+  Rng rng(2);
+  const Graph g = make_random_tree(40, rng);
+  const LowStretchTreeResult result = low_stretch_spanning_tree(g, rng);
+  EXPECT_EQ(result.tree_edges.size(), 39u);
+  EXPECT_TRUE(is_spanning_tree(g, result.tree_edges));
+  EXPECT_DOUBLE_EQ(average_stretch(g, result.tree_edges), 1.0);
+}
+
+TEST(EdgeStretches, TreeEdgesHaveStretchOne) {
+  Rng rng(3);
+  const Graph g = make_grid(5, 5);
+  const auto tree = bfs_tree_edges(g, 0);
+  const auto stretch = edge_stretches(g, tree);
+  for (EdgeId e : tree) EXPECT_DOUBLE_EQ(stretch[e], 1.0);
+}
+
+TEST(EdgeStretches, CycleOffTreeEdgeStretchIsPathLength) {
+  // Unit cycle C_n: removing one edge leaves a path; the removed edge's
+  // stretch is n−1.
+  const Graph g = make_cycle(8);
+  std::vector<EdgeId> tree;
+  for (EdgeId e = 0; e + 1 < g.num_edges(); ++e) tree.push_back(e);
+  const auto stretch = edge_stretches(g, tree);
+  EXPECT_DOUBLE_EQ(stretch[g.num_edges() - 1], 7.0);
+}
+
+TEST(EdgeStretches, WeightedStretchFormula) {
+  // Triangle with weights: off-tree edge (0,2) w=2; tree path resistance
+  // 1/w01 + 1/w12 = 1/4 + 1/4 = 1/2; stretch = 2 · 1/2 = 1.
+  Graph g(3);
+  g.add_edge(0, 1, 4.0);
+  g.add_edge(1, 2, 4.0);
+  g.add_edge(0, 2, 2.0);
+  std::vector<EdgeId> tree{0, 1};
+  const auto stretch = edge_stretches(g, tree);
+  EXPECT_DOUBLE_EQ(stretch[2], 1.0);
+}
+
+TEST(LowStretchTree, BeatsWorstCaseOnGrid) {
+  // Average stretch of the LSST should be far below the Θ(√n) a bad tree
+  // (e.g. a snake) exhibits on the grid.
+  Rng rng(4);
+  const Graph g = make_grid(12, 12);
+  const LowStretchTreeResult result = low_stretch_spanning_tree(g, rng);
+  const double avg = average_stretch(g, result.tree_edges);
+  EXPECT_LT(avg, 12.0);  // ≈ polylog; √n would be 12
+  EXPECT_GE(avg, 1.0);
+}
+
+TEST(TotalStretch, ConsistentWithAverage) {
+  Rng rng(5);
+  const Graph g = make_weighted_grid(5, 5, rng);
+  const auto tree = mst_kruskal(g);
+  EXPECT_NEAR(total_stretch(g, tree),
+              average_stretch(g, tree) * static_cast<double>(g.num_edges()),
+              1e-9);
+}
+
+TEST(WeightedLsst, SpansAndBeatsHopMetricOnSpreadWeights) {
+  Rng rng(41);
+  const Graph g = make_weighted_grid(10, 10, rng, 1.0, 512.0);
+  const auto hop_tree = low_stretch_spanning_tree_hops(g, rng);
+  const auto w_tree = low_stretch_spanning_tree_weighted(g, rng);
+  EXPECT_TRUE(is_spanning_tree(g, w_tree.tree_edges));
+  EXPECT_LT(average_stretch(g, w_tree.tree_edges),
+            average_stretch(g, hop_tree.tree_edges));
+}
+
+TEST(WeightedLsst, DispatchUsesWeightedVariantOnNonUniform) {
+  Rng rng(42);
+  const Graph g = make_weighted_grid(8, 8, rng, 1.0, 256.0);
+  const auto tree = low_stretch_spanning_tree(g, rng);
+  EXPECT_TRUE(is_spanning_tree(g, tree.tree_edges));
+  // The dispatched tree should be competitive with the explicit weighted one.
+  Rng rng2(42);
+  const auto w_tree = low_stretch_spanning_tree_weighted(g, rng2);
+  EXPECT_LT(average_stretch(g, tree.tree_edges),
+            2.0 * average_stretch(g, w_tree.tree_edges) + 1.0);
+}
+
+TEST(WeightedLsst, UniformWeightsStillSpan) {
+  Rng rng(43);
+  const Graph g = make_torus(7, 7);
+  const auto tree = low_stretch_spanning_tree_weighted(g, rng);
+  EXPECT_TRUE(is_spanning_tree(g, tree.tree_edges));
+}
+
+TEST(WeightedLsst, ExtremeTwoScaleWeights) {
+  // A heavy cycle with light chords: the tree must be all-heavy, giving
+  // every light chord stretch = w_light * (heavy path resistance) << 1 ...
+  // but heavy cycle edges must not route through light chords.
+  Graph g = make_cycle(16);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) g.set_weight(e, 1000.0);
+  for (NodeId v = 0; v < 8; ++v) {
+    g.add_edge(v, static_cast<NodeId>(v + 8), 0.001);
+  }
+  Rng rng(44);
+  const auto tree = low_stretch_spanning_tree_weighted(g, rng);
+  EXPECT_TRUE(is_spanning_tree(g, tree.tree_edges));
+  // All but one tree edge should be heavy: 15 heavy cycle edges span it.
+  std::size_t light = 0;
+  for (EdgeId e : tree.tree_edges) light += g.edge(e).weight < 1.0;
+  EXPECT_EQ(light, 0u);
+}
+
+class LsstSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LsstSweep, SpanningAndFiniteStretchAcrossFamilies) {
+  Rng rng(GetParam() * 37);
+  Graph g;
+  switch (GetParam() % 3) {
+    case 0: g = make_torus(6, 6); break;
+    case 1: g = make_random_regular(48, 4, rng); break;
+    default: g = make_weighted_grid(6, 6, rng); break;
+  }
+  const LowStretchTreeResult result = low_stretch_spanning_tree(g, rng);
+  EXPECT_TRUE(is_spanning_tree(g, result.tree_edges));
+  const double total = total_stretch(g, result.tree_edges);
+  EXPECT_TRUE(std::isfinite(total));
+  EXPECT_GE(total, static_cast<double>(g.num_edges()));  // every stretch ≥ 1
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LsstSweep, ::testing::Range(1, 10));
+
+}  // namespace
+}  // namespace dls

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "lowerbound/spanning_connected_subgraph.hpp"
+
+namespace dls {
+namespace {
+
+TEST(Scs, GroundTruthDetectsConnectivity) {
+  const Graph g = make_cycle(6);
+  std::vector<EdgeId> all{0, 1, 2, 3, 4, 5};
+  EXPECT_TRUE(is_spanning_connected(g, all));
+  std::vector<EdgeId> broken{0, 1, 2, 3};  // two cycle edges missing
+  EXPECT_FALSE(is_spanning_connected(g, broken));
+  std::vector<EdgeId> path{0, 1, 2, 3, 4};  // spanning path
+  EXPECT_TRUE(is_spanning_connected(g, path));
+}
+
+TEST(Scs, RandomInstanceGeneratorBehaves) {
+  Rng rng(1);
+  const Graph g = make_grid(5, 5);
+  const auto connected = random_scs_instance(g, rng, 0, 3);
+  EXPECT_TRUE(is_spanning_connected(g, connected));
+  const auto maybe_broken = random_scs_instance(g, rng, 3, 0);
+  EXPECT_FALSE(is_spanning_connected(g, maybe_broken));
+}
+
+TEST(Scs, LaplacianReductionAgreesOnConnectedInstance) {
+  Rng rng(2);
+  const Graph g = make_grid(6, 6);
+  const auto edges = random_scs_instance(g, rng, 0, 5);
+  ASSERT_TRUE(is_spanning_connected(g, edges));
+  const ScsDecision decision = decide_spanning_connected_via_laplacian(
+      g, edges, OracleKind::kShortcut, rng, 3);
+  EXPECT_TRUE(decision.connected);
+  EXPECT_GT(decision.local_rounds, 0u);
+  EXPECT_GT(decision.pa_calls, 0u);
+}
+
+TEST(Scs, LaplacianReductionDetectsDisconnection) {
+  Rng rng(3);
+  const Graph g = make_grid(6, 6);
+  // Drop many tree edges: several components, so random probes hit a cut
+  // with overwhelming probability.
+  const auto edges = random_scs_instance(g, rng, 20, 0);
+  ASSERT_FALSE(is_spanning_connected(g, edges));
+  const ScsDecision decision = decide_spanning_connected_via_laplacian(
+      g, edges, OracleKind::kShortcut, rng, 6);
+  EXPECT_FALSE(decision.connected);
+}
+
+TEST(Scs, WorksUnderNccOracle) {
+  Rng rng(4);
+  const Graph g = make_grid(5, 5);
+  const auto edges = random_scs_instance(g, rng, 0, 2);
+  const ScsDecision decision = decide_spanning_connected_via_laplacian(
+      g, edges, OracleKind::kNcc, rng, 2);
+  EXPECT_TRUE(decision.connected);
+  EXPECT_GT(decision.global_rounds, 0u);
+}
+
+class ScsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScsSweep, AgreementAcrossRandomInstances) {
+  Rng rng(100 + GetParam());
+  const Graph g = make_grid(5, 5);
+  const std::size_t drop = (GetParam() % 2 == 0) ? 0 : 10;
+  const auto edges = random_scs_instance(g, rng, drop, 2);
+  const bool truth = is_spanning_connected(g, edges);
+  const ScsDecision decision = decide_spanning_connected_via_laplacian(
+      g, edges, OracleKind::kShortcut, rng, 6);
+  if (truth) {
+    // Connected instances are never misclassified (one-sided certainty).
+    EXPECT_TRUE(decision.connected);
+  } else {
+    EXPECT_FALSE(decision.connected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ScsSweep, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace dls

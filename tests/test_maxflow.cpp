@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "laplacian/maxflow.hpp"
+
+namespace dls {
+namespace {
+
+TEST(ElectricalMaxFlow, SinglePathRecoversExactly) {
+  const Graph g = make_path(6);
+  Rng rng(1);
+  ElectricalMaxFlowOptions options;
+  options.iterations = 4;
+  const auto result = approx_max_flow_electrical(g, 0, 5, rng,
+                                                 MaxFlowModel::kShortcut, options);
+  EXPECT_DOUBLE_EQ(result.exact_value, 1.0);
+  EXPECT_NEAR(result.flow_value, 1.0, 1e-4);
+  EXPECT_NEAR(result.approximation, 1.0, 1e-4);
+}
+
+TEST(ElectricalMaxFlow, FlowIsConservativeAndFeasible) {
+  Rng rng(2);
+  const Graph g = make_weighted_grid(5, 5, rng);
+  const auto result = approx_max_flow_electrical(g, 0, 24, rng);
+  EXPECT_LT(flow_conservation_error(g, result.edge_flow, 0, 24,
+                                    result.flow_value),
+            1e-5 * (result.flow_value + 1.0));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_LE(std::abs(result.edge_flow[e]), g.edge(e).weight * (1 + 1e-9));
+  }
+}
+
+TEST(ElectricalMaxFlow, ReasonableApproximationOnGrids) {
+  const Graph g = make_grid(6, 6);
+  Rng rng(3);
+  const auto result = approx_max_flow_electrical(g, 0, 35, rng);
+  EXPECT_GT(result.approximation, 0.6);
+  EXPECT_LE(result.approximation, 1.0 + 1e-9);
+  EXPECT_GT(result.local_rounds, 0u);
+}
+
+TEST(ElectricalMaxFlow, MoreIterationsHelp) {
+  const Graph g = make_grid(5, 5);
+  double approx_few = 0, approx_many = 0;
+  {
+    Rng rng(4);
+    ElectricalMaxFlowOptions options;
+    options.iterations = 2;
+    approx_few =
+        approx_max_flow_electrical(g, 0, 24, rng, MaxFlowModel::kShortcut, options)
+            .approximation;
+  }
+  {
+    Rng rng(4);
+    ElectricalMaxFlowOptions options;
+    options.iterations = 32;
+    approx_many =
+        approx_max_flow_electrical(g, 0, 24, rng, MaxFlowModel::kShortcut, options)
+            .approximation;
+  }
+  EXPECT_GE(approx_many + 0.05, approx_few);  // allow noise, expect no regression
+  EXPECT_GT(approx_many, 0.7);
+}
+
+TEST(ElectricalMaxFlow, NccModelChargesGlobalRounds) {
+  const Graph g = make_grid(4, 4);
+  Rng rng(5);
+  ElectricalMaxFlowOptions options;
+  options.iterations = 3;
+  const auto result =
+      approx_max_flow_electrical(g, 0, 15, rng, MaxFlowModel::kNcc, options);
+  EXPECT_GT(result.global_rounds, 0u);
+  EXPECT_GT(result.approximation, 0.5);
+}
+
+TEST(ConservationError, DetectsViolations) {
+  const Graph g = make_path(3);
+  // Claimed unit flow on only the first edge: node 1 violates conservation.
+  EXPECT_GT(flow_conservation_error(g, {1.0, 0.0}, 0, 2, 1.0), 0.5);
+  EXPECT_LT(flow_conservation_error(g, {1.0, 1.0}, 0, 2, 1.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace dls

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "laplacian/mincut.hpp"
+
+namespace dls {
+namespace {
+
+TEST(StoerWagner, BridgeIsTheMinCut) {
+  const Graph g = make_barbell(12);  // two K6 joined by a unit bridge
+  EXPECT_DOUBLE_EQ(min_cut_stoer_wagner(g), 1.0);
+}
+
+TEST(StoerWagner, CycleCutsTwoEdges) {
+  const Graph g = make_cycle(9);
+  EXPECT_DOUBLE_EQ(min_cut_stoer_wagner(g), 2.0);
+}
+
+TEST(StoerWagner, CompleteGraphCutsDegree) {
+  const Graph g = make_complete(7);
+  EXPECT_DOUBLE_EQ(min_cut_stoer_wagner(g), 6.0);
+}
+
+TEST(StoerWagner, GridCornerDegree) {
+  const Graph g = make_grid(4, 5);
+  EXPECT_DOUBLE_EQ(min_cut_stoer_wagner(g), 2.0);
+}
+
+TEST(StoerWagner, WeightedBottleneck) {
+  Graph g(4);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(1, 2, 0.5);
+  g.add_edge(2, 3, 5.0);
+  g.add_edge(0, 2, 0.25);
+  EXPECT_DOUBLE_EQ(min_cut_stoer_wagner(g), 0.75);
+}
+
+TEST(StoerWagner, ParallelEdgesMerge) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 3.0);
+  EXPECT_DOUBLE_EQ(min_cut_stoer_wagner(g), 2.0);
+}
+
+TEST(CutWeight, CountsCrossingEdges) {
+  const Graph g = make_cycle(4);
+  std::vector<char> side{1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(cut_weight(g, side), 2.0);
+}
+
+TEST(ApproxMinCut, FindsTheBridgeExactly) {
+  // Any spanning tree contains the bridge, and its one-edge cut is optimal,
+  // so a single trial nails it.
+  const Graph g = make_barbell(12);
+  Rng rng(1);
+  ShortcutPaOracle oracle(g, rng);
+  const ApproxMinCutResult result = approx_min_cut(oracle, rng, 2);
+  EXPECT_DOUBLE_EQ(result.cut_value, 1.0);
+  EXPECT_DOUBLE_EQ(result.ratio, 1.0);
+  EXPECT_NEAR(cut_weight(g, result.side), result.cut_value, 1e-9);
+  EXPECT_GT(result.pa_calls, 0u);
+  EXPECT_GT(result.local_rounds, 0u);
+}
+
+TEST(ApproxMinCut, CycleWithinFactorTwo) {
+  // One-tree-edge cuts of a cycle's spanning path have value 2 except at
+  // the endpoints; the optimum is 2 — any trial is exact or off by the
+  // single boundary case.
+  const Graph g = make_cycle(12);
+  Rng rng(2);
+  ShortcutPaOracle oracle(g, rng);
+  const ApproxMinCutResult result = approx_min_cut(oracle, rng, 4);
+  EXPECT_GE(result.ratio, 1.0);
+  EXPECT_LE(result.ratio, 1.0 + 1e-9);  // cycle cuts are all ≥ 2 and tree hits 2
+}
+
+TEST(ApproxMinCut, GridReasonableRatio) {
+  const Graph g = make_grid(6, 6);
+  Rng rng(3);
+  ShortcutPaOracle oracle(g, rng);
+  const ApproxMinCutResult result = approx_min_cut(oracle, rng, 8);
+  EXPECT_GE(result.ratio, 1.0);
+  EXPECT_LE(result.ratio, 2.5);
+  EXPECT_NEAR(cut_weight(g, result.side), result.cut_value, 1e-9);
+}
+
+TEST(ApproxMinCut, MoreTrialsNeverWorse) {
+  Rng rng(4);
+  const Graph g = make_weighted_grid(5, 5, rng);
+  double few, many;
+  {
+    Rng r(7);
+    ShortcutPaOracle oracle(g, r);
+    few = approx_min_cut(oracle, r, 1).cut_value;
+  }
+  {
+    Rng r(7);
+    ShortcutPaOracle oracle(g, r);
+    many = approx_min_cut(oracle, r, 10).cut_value;
+  }
+  EXPECT_LE(many, few + 1e-9);
+}
+
+TEST(ApproxMinCut, WorksUnderNccOracle) {
+  const Graph g = make_barbell(10);
+  Rng rng(5);
+  NccPaOracle oracle(g, rng);
+  const ApproxMinCutResult result = approx_min_cut(oracle, rng, 2);
+  EXPECT_DOUBLE_EQ(result.cut_value, 1.0);
+  EXPECT_GT(result.global_rounds, 0u);
+}
+
+class MinCutSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinCutSweep, UpperBoundsExactAcrossSeeds) {
+  Rng rng(200 + GetParam());
+  const Graph g = make_weighted_grid(5, 6, rng, 1.0, 4.0);
+  ShortcutPaOracle oracle(g, rng);
+  const ApproxMinCutResult result = approx_min_cut(oracle, rng, 6);
+  EXPECT_GE(result.cut_value + 1e-9, result.exact_value);
+  EXPECT_LE(result.ratio, 3.0);
+  EXPECT_NEAR(cut_weight(g, result.side), result.cut_value, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinCutSweep, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace dls

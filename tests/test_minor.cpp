@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "laplacian/elimination.hpp"
+#include "laplacian/minor.hpp"
+
+namespace dls {
+namespace {
+
+TEST(MinorGraph, IdentityRoundTrip) {
+  Rng rng(1);
+  const Graph g = make_weighted_grid(3, 4, rng);
+  const MinorGraph m = MinorGraph::identity(g);
+  EXPECT_EQ(m.num_nodes, g.num_nodes());
+  EXPECT_EQ(m.edges.size(), g.num_edges());
+  EXPECT_TRUE(m.validate(g));
+  const Graph view = m.as_graph();
+  EXPECT_EQ(view.num_nodes(), g.num_nodes());
+  EXPECT_EQ(view.num_edges(), g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_DOUBLE_EQ(view.edge(e).weight, g.edge(e).weight);
+  }
+}
+
+TEST(MinorGraph, IdentityHostCongestionMatchesDegree) {
+  const Graph g = make_star(6);
+  const MinorGraph m = MinorGraph::identity(g);
+  // The hub appears on every edge's host path.
+  EXPECT_EQ(m.host_congestion(g.num_nodes()), 5u);
+}
+
+TEST(MinorGraph, MatvecPartsAreEdgePaths) {
+  const Graph g = make_path(5);
+  const MinorGraph m = MinorGraph::identity(g);
+  const PartCollection pc = m.matvec_parts();
+  ASSERT_EQ(pc.num_parts(), g.num_edges());
+  for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+    EXPECT_EQ(pc.parts[i].size(), 2u);
+  }
+  EXPECT_TRUE(is_valid_part_collection(g, pc));
+}
+
+TEST(MinorGraph, MatvecPartsDeduplicateRepeatedHosts) {
+  const Graph g = make_cycle(6);
+  MinorGraph m;
+  m.num_nodes = 2;
+  m.host = {0, 3};
+  // A host path that wanders through node 1 twice would repeat it; paths
+  // from elimination never do, but matvec_parts must dedup defensively.
+  m.edges.push_back({0, 1, 1.0, {0, 1, 2, 3}});
+  const PartCollection pc = m.matvec_parts();
+  ASSERT_EQ(pc.num_parts(), 1u);
+  EXPECT_EQ(pc.parts[0].size(), 4u);
+}
+
+TEST(MinorGraph, ValidateCatchesBrokenPaths) {
+  const Graph g = make_path(4);
+  MinorGraph m;
+  m.num_nodes = 2;
+  m.host = {0, 3};
+  m.edges.push_back({0, 1, 1.0, {0, 3}});  // 0 and 3 not adjacent
+  EXPECT_FALSE(m.validate(g));
+  m.edges[0].g_path = {0, 1, 2, 3};
+  EXPECT_TRUE(m.validate(g));
+  m.edges[0].g_path = {1, 2, 3};  // wrong start host
+  EXPECT_FALSE(m.validate(g));
+  m.edges[0].g_path = {0, 1, 2, 3};
+  m.edges[0].weight = -1.0;
+  EXPECT_FALSE(m.validate(g));
+}
+
+TEST(MinorGraph, EliminationComposesHostPaths) {
+  // On a cycle every node has degree 2, so stopping at two survivors forces
+  // genuine series splicing: the two arcs between the survivors merge into
+  // one parallel-combined edge whose witness path is the shorter arc.
+  const Graph g = make_cycle(7);
+  const EliminationResult elim =
+      eliminate_degree_le2(MinorGraph::identity(g), 2);
+  ASSERT_EQ(elim.schur.num_nodes, 2u);
+  ASSERT_EQ(elim.schur.edges.size(), 1u);
+  EXPECT_TRUE(elim.schur.validate(g));
+  const MinorEdge& edge = elim.schur.edges[0];
+  // Arcs of lengths a + b = 7: combined conductance 1/a + 1/b; the witness
+  // path is the shorter arc (≤ ⌊7/2⌋ hops → ≤ 4 nodes).
+  bool weight_matches_some_split = false;
+  for (int a = 1; a <= 3; ++a) {
+    const double expected = 1.0 / a + 1.0 / (7 - a);
+    weight_matches_some_split |= std::abs(edge.weight - expected) < 1e-9;
+  }
+  EXPECT_TRUE(weight_matches_some_split) << edge.weight;
+  EXPECT_LE(edge.g_path.size(), 4u);
+  EXPECT_GE(edge.g_path.size(), 2u);
+}
+
+TEST(MinorGraph, LevelOneMinorsStayValid) {
+  Rng rng(2);
+  const Graph g = make_grid(6, 6);
+  const MinorGraph identity = MinorGraph::identity(g);
+  const EliminationResult elim = eliminate_degree_le2(identity);
+  EXPECT_TRUE(elim.schur.validate(g));
+  EXPECT_TRUE(is_valid_part_collection(g, elim.schur.matvec_parts()));
+}
+
+}  // namespace
+}  // namespace dls

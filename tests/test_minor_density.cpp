@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "congested_pa/layered_graph.hpp"
+#include "graph/generators.hpp"
+#include "graph/minor_density.hpp"
+
+namespace dls {
+namespace {
+
+TEST(MinorDensity, SimpleDensityIgnoresParallels) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_DOUBLE_EQ(simple_edge_density(g), 2.0 / 3.0);
+}
+
+TEST(MinorDensity, WitnessValidationAcceptsIdentity) {
+  const Graph g = make_cycle(5);
+  MinorWitness w;
+  for (NodeId v = 0; v < 5; ++v) w.branch_sets.push_back({v});
+  EXPECT_TRUE(validate_minor_witness(g, w));
+  EXPECT_EQ(w.minor_nodes, 5u);
+  EXPECT_EQ(w.minor_edges, 5u);
+}
+
+TEST(MinorDensity, WitnessValidationRejectsOverlap) {
+  const Graph g = make_path(4);
+  MinorWitness w;
+  w.branch_sets = {{0, 1}, {1, 2}};
+  EXPECT_FALSE(validate_minor_witness(g, w));
+}
+
+TEST(MinorDensity, WitnessValidationRejectsDisconnectedBranchSet) {
+  const Graph g = make_path(4);
+  MinorWitness w;
+  w.branch_sets = {{0, 3}};  // not connected in the path
+  EXPECT_FALSE(validate_minor_witness(g, w));
+}
+
+TEST(MinorDensity, GreedySearchBeatsBaseDensityOnDenseGraph) {
+  Rng rng(17);
+  const Graph g = make_complete(8);
+  const MinorWitness w = dense_minor_search(g, rng, 2);
+  // K8 is its own densest minor (density 3.5); contraction can't beat it but
+  // the search must at least recover something valid and reasonably dense.
+  EXPECT_GE(w.density(), 2.0);
+}
+
+TEST(MinorDensity, Observation21WitnessHasSqrtNDensity) {
+  // δ(Ĝ₂) = Ω(√n) for the 2-layered s×s grid, although δ(grid) < 3.
+  for (std::size_t side : {4u, 6u, 8u}) {
+    const Graph grid = make_grid(side, side);
+    EXPECT_LT(simple_edge_density(grid), 2.0);
+    const LayeredGraph layered(grid, 2);
+    MinorWitness w = observation21_witness(layered.graph(), side);
+    EXPECT_TRUE(validate_minor_witness(layered.graph(), w));
+    // The witness contains K_{s,s}: 2s branch sets, ≥ s² edges.
+    EXPECT_EQ(w.minor_nodes, 2 * side);
+    EXPECT_GE(w.minor_edges, side * side);
+    EXPECT_GE(w.density(), static_cast<double>(side) / 2.0);
+  }
+}
+
+TEST(MinorDensity, LayeredGridBlowupGrowsWithSide) {
+  // The density ratio δ(Ĝ₂)/δ(G) grows like √n — Observation 21's content.
+  double previous_ratio = 0.0;
+  for (std::size_t side : {4u, 8u}) {
+    const Graph grid = make_grid(side, side);
+    const LayeredGraph layered(grid, 2);
+    MinorWitness w = observation21_witness(layered.graph(), side);
+    validate_minor_witness(layered.graph(), w);
+    const double ratio = w.density() / simple_edge_density(grid);
+    EXPECT_GT(ratio, previous_ratio);
+    previous_ratio = ratio;
+  }
+}
+
+}  // namespace
+}  // namespace dls

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "sim/ncc.hpp"
+
+namespace dls {
+namespace {
+
+TEST(NccNetwork, DefaultCapacityIsLogN) {
+  NccNetwork net(1024);
+  EXPECT_EQ(net.capacity(), 10u);
+  NccNetwork small(2);
+  EXPECT_EQ(small.capacity(), 1u);
+}
+
+TEST(NccNetwork, DeliversWithinCapacity) {
+  NccNetwork net(8, 2);
+  net.send({0, 5, 7, 1.5});
+  net.send({1, 5, 8, 2.5});
+  net.step();
+  EXPECT_EQ(net.inbox(5).size(), 2u);
+  EXPECT_EQ(net.messages_dropped(), 0u);
+}
+
+TEST(NccNetwork, EnforcesSenderCapacity) {
+  NccNetwork net(8, 2);
+  net.send({0, 1, 0, 0.0});
+  net.send({0, 2, 0, 0.0});
+  EXPECT_THROW(net.send({0, 3, 0, 0.0}), std::invalid_argument);
+}
+
+TEST(NccNetwork, SenderCapacityResetsEachRound) {
+  NccNetwork net(8, 1);
+  net.send({0, 1, 0, 0.0});
+  net.step();
+  net.send({0, 2, 0, 0.0});  // new round: fine
+  net.step();
+  EXPECT_EQ(net.messages_sent(), 2u);
+}
+
+TEST(NccNetwork, DropsExcessAtReceiverDeterministically) {
+  NccNetwork net(8, 2);
+  for (NodeId s = 0; s < 5; ++s) net.send({s, 7, 0, static_cast<double>(s)});
+  net.step();
+  ASSERT_EQ(net.inbox(7).size(), 2u);
+  // Lowest sender ids win under the fixed adversarial rule.
+  EXPECT_EQ(net.inbox(7)[0].from, 0u);
+  EXPECT_EQ(net.inbox(7)[1].from, 1u);
+  EXPECT_EQ(net.messages_dropped(), 3u);
+}
+
+TEST(NccAggregate, SinglePartSum) {
+  std::vector<NccPart> parts(1);
+  for (NodeId v = 0; v < 16; ++v) {
+    parts[0].members.push_back(v);
+    parts[0].values.push_back(1.0);
+  }
+  Rng rng(1);
+  const auto outcome =
+      ncc_partwise_aggregate(16, parts, AggregationMonoid::sum(), rng);
+  EXPECT_DOUBLE_EQ(outcome.results[0], 16.0);
+  EXPECT_GT(outcome.rounds, 0u);
+}
+
+TEST(NccAggregate, SingleMemberPartIsFree) {
+  std::vector<NccPart> parts(1);
+  parts[0].members = {3};
+  parts[0].values = {42.0};
+  Rng rng(2);
+  const auto outcome =
+      ncc_partwise_aggregate(8, parts, AggregationMonoid::sum(), rng);
+  EXPECT_DOUBLE_EQ(outcome.results[0], 42.0);
+  EXPECT_EQ(outcome.rounds, 0u);
+}
+
+TEST(NccAggregate, ManyOverlappingParts) {
+  // ρ parts all containing every node: the congested case of Lemma 26.
+  constexpr std::size_t n = 24;
+  constexpr std::size_t rho = 6;
+  std::vector<NccPart> parts(rho);
+  Rng rng(3);
+  for (std::size_t p = 0; p < rho; ++p) {
+    for (NodeId v = 0; v < n; ++v) {
+      parts[p].members.push_back(v);
+      parts[p].values.push_back(static_cast<double>(p));
+    }
+  }
+  EXPECT_EQ(ncc_congestion(n, parts), rho);
+  const auto outcome =
+      ncc_partwise_aggregate(n, parts, AggregationMonoid::sum(), rng);
+  for (std::size_t p = 0; p < rho; ++p) {
+    EXPECT_DOUBLE_EQ(outcome.results[p], static_cast<double>(p * n));
+  }
+}
+
+TEST(NccAggregate, MinAndMaxMonoids) {
+  std::vector<NccPart> parts(2);
+  parts[0].members = {0, 1, 2, 3};
+  parts[0].values = {5.0, 3.0, 8.0, 6.0};
+  parts[1].members = {2, 3, 4, 5};
+  parts[1].values = {1.0, 9.0, 2.0, 7.0};
+  Rng rng(4);
+  const auto mins = ncc_partwise_aggregate(8, parts, AggregationMonoid::min(), rng);
+  EXPECT_DOUBLE_EQ(mins.results[0], 3.0);
+  EXPECT_DOUBLE_EQ(mins.results[1], 1.0);
+  Rng rng2(4);
+  const auto maxs =
+      ncc_partwise_aggregate(8, parts, AggregationMonoid::max(), rng2);
+  EXPECT_DOUBLE_EQ(maxs.results[0], 8.0);
+  EXPECT_DOUBLE_EQ(maxs.results[1], 9.0);
+}
+
+TEST(NccAggregate, RoundsScaleGentlyWithCongestion) {
+  // Lemma 26: rounds = O(ρ + log n). Doubling ρ must not blow rounds up by
+  // more than ~linear.
+  constexpr std::size_t n = 64;
+  Rng rng(5);
+  std::vector<std::uint64_t> rounds;
+  for (std::size_t rho : {1u, 4u, 16u}) {
+    std::vector<NccPart> parts(rho);
+    for (std::size_t p = 0; p < rho; ++p) {
+      for (NodeId v = 0; v < n; ++v) {
+        parts[p].members.push_back(v);
+        parts[p].values.push_back(1.0);
+      }
+    }
+    const auto outcome =
+        ncc_partwise_aggregate(n, parts, AggregationMonoid::sum(), rng);
+    rounds.push_back(outcome.rounds);
+  }
+  // ρ went 1 → 16; O(ρ + log n) allows at most ~(16 + 6)/(1 + 6) ≈ 4x plus
+  // scheduling noise.
+  EXPECT_LT(rounds[2], rounds[0] * 16);
+}
+
+TEST(NccAggregate, CongestionHelper) {
+  std::vector<NccPart> parts(2);
+  parts[0].members = {0, 1};
+  parts[0].values = {0, 0};
+  parts[1].members = {1, 2};
+  parts[1].values = {0, 0};
+  EXPECT_EQ(ncc_congestion(4, parts), 2u);
+}
+
+TEST(NccAggregate, RejectsDuplicateMembersWithinPart) {
+  std::vector<NccPart> parts(1);
+  parts[0].members = {0, 1, 0};
+  parts[0].values = {1.0, 2.0, 3.0};
+  Rng rng(7);
+  EXPECT_THROW(
+      ncc_partwise_aggregate(4, parts, AggregationMonoid::sum(), rng),
+      std::invalid_argument);
+}
+
+TEST(NccAggregate, RejectsMisalignedValues) {
+  std::vector<NccPart> parts(1);
+  parts[0].members = {0, 1};
+  parts[0].values = {1.0};
+  Rng rng(6);
+  EXPECT_THROW(
+      ncc_partwise_aggregate(4, parts, AggregationMonoid::sum(), rng),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dls

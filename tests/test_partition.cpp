@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "shortcuts/partition.hpp"
+
+namespace dls {
+namespace {
+
+TEST(Partition, CongestionOfDisjointPartsIsOne) {
+  const Graph g = make_grid(4, 4);
+  const PartCollection pc = grid_row_partition(4, 4);
+  EXPECT_EQ(congestion(g, pc), 1u);
+  EXPECT_TRUE(is_valid_part_collection(g, pc, /*require_disjoint=*/true));
+}
+
+TEST(Partition, ValidatorRejectsDisconnectedPart) {
+  const Graph g = make_path(5);
+  PartCollection pc;
+  pc.parts = {{0, 4}};
+  EXPECT_FALSE(is_valid_part_collection(g, pc));
+}
+
+TEST(Partition, ValidatorRejectsRepeatedNodeWithinPart) {
+  const Graph g = make_path(3);
+  PartCollection pc;
+  pc.parts = {{0, 1, 0}};
+  EXPECT_FALSE(is_valid_part_collection(g, pc));
+}
+
+TEST(Partition, ValidatorRejectsEmptyPart) {
+  const Graph g = make_path(3);
+  PartCollection pc;
+  pc.parts = {{}};
+  EXPECT_FALSE(is_valid_part_collection(g, pc));
+}
+
+TEST(Partition, VoronoiCoversAllNodesDisjointly) {
+  Rng rng(1);
+  const Graph g = make_grid(6, 6);
+  const PartCollection pc = random_voronoi_partition(g, 5, rng);
+  EXPECT_TRUE(is_valid_part_collection(g, pc, true));
+  std::size_t covered = 0;
+  for (const auto& part : pc.parts) covered += part.size();
+  EXPECT_EQ(covered, g.num_nodes());
+}
+
+TEST(Partition, VoronoiPartsConnected) {
+  Rng rng(2);
+  const Graph g = make_random_regular(40, 4, rng);
+  for (std::size_t k : {2u, 5u, 10u}) {
+    const PartCollection pc = random_voronoi_partition(g, k, rng);
+    EXPECT_TRUE(is_valid_part_collection(g, pc, true)) << "k=" << k;
+  }
+}
+
+TEST(Partition, Figure1InstanceHasCongestionTwo) {
+  // The Observation 14 instance: every two adjacent diagonal parts share a
+  // node, so it cannot split into two 1-congested instances of few parts.
+  for (std::size_t side : {4u, 6u, 8u}) {
+    const Graph g = make_grid(side, side);
+    const PartCollection pc = figure1_diagonal_instance(side);
+    EXPECT_EQ(congestion(g, pc), 2u) << side;
+    EXPECT_TRUE(is_valid_part_collection(g, pc)) << side;
+    EXPECT_EQ(pc.num_parts(), 2 * side - 2) << side;
+  }
+}
+
+TEST(Partition, Figure1AdjacentPartsOverlap) {
+  const std::size_t side = 6;
+  const PartCollection pc = figure1_diagonal_instance(side);
+  for (std::size_t d = 0; d + 1 < pc.num_parts(); ++d) {
+    std::set<NodeId> a(pc.parts[d].begin(), pc.parts[d].end());
+    bool overlap = false;
+    for (NodeId v : pc.parts[d + 1]) overlap |= a.count(v) > 0;
+    EXPECT_TRUE(overlap) << "parts " << d << " and " << d + 1;
+  }
+}
+
+TEST(Partition, StackedVoronoiRespectsRho) {
+  Rng rng(3);
+  const Graph g = make_grid(5, 5);
+  const PartCollection pc = stacked_voronoi_instance(g, 3, 4, rng);
+  EXPECT_LE(congestion(g, pc), 4u);
+  EXPECT_TRUE(is_valid_part_collection(g, pc));
+}
+
+TEST(Partition, RandomPathInstanceSimplePathsAndCongestion) {
+  Rng rng(4);
+  const Graph g = make_grid(6, 6);
+  const PartCollection pc = random_path_instance(g, 10, 8, 3, rng);
+  EXPECT_LE(congestion(g, pc), 3u);
+  EXPECT_TRUE(is_valid_part_collection(g, pc));
+  for (const auto& part : pc.parts) {
+    std::set<NodeId> unique(part.begin(), part.end());
+    EXPECT_EQ(unique.size(), part.size());  // simple
+    EXPECT_LE(part.size(), 8u);
+  }
+}
+
+class VoronoiSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(VoronoiSweep, AlwaysValidDisjoint) {
+  const auto [k, seed] = GetParam();
+  Rng rng(seed);
+  const Graph g = make_torus(6, 6);
+  const PartCollection pc = random_voronoi_partition(g, k, rng);
+  EXPECT_TRUE(is_valid_part_collection(g, pc, true));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, VoronoiSweep,
+                         ::testing::Combine(::testing::Values(1, 3, 9, 18),
+                                            ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace dls

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "congested_pa/path_restricted.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace dls {
+namespace {
+
+PathInstance grid_row_paths(std::size_t side) {
+  PathInstance inst;
+  for (std::size_t r = 0; r < side; ++r) {
+    std::vector<NodeId> path;
+    std::vector<double> vals;
+    for (std::size_t c = 0; c < side; ++c) {
+      path.push_back(static_cast<NodeId>(r * side + c));
+      vals.push_back(1.0);
+    }
+    inst.paths.push_back(std::move(path));
+    inst.values.push_back(std::move(vals));
+  }
+  return inst;
+}
+
+TEST(PathInstanceValidation, ComputesCongestion) {
+  const Graph g = make_path(6);
+  PathInstance inst;
+  inst.paths = {{0, 1, 2}, {2, 3}, {1, 2}};
+  inst.values = {{1, 1, 1}, {1, 1}, {1, 1}};
+  EXPECT_EQ(validate_path_instance(g, inst), 3u);  // node 2 in three paths
+}
+
+TEST(PathInstanceValidation, RejectsNonSimple) {
+  const Graph g = make_cycle(4);
+  PathInstance inst;
+  inst.paths = {{0, 1, 0}};
+  inst.values = {{1, 1, 1}};
+  EXPECT_THROW(validate_path_instance(g, inst), std::invalid_argument);
+}
+
+TEST(PathInstanceValidation, RejectsNonAdjacent) {
+  const Graph g = make_path(5);
+  PathInstance inst;
+  inst.paths = {{0, 2}};
+  inst.values = {{1, 1}};
+  EXPECT_THROW(validate_path_instance(g, inst), std::invalid_argument);
+}
+
+TEST(LiftedInstanceTest, Lemma18InvariantDisjointAndConnected) {
+  // The heart of Lemma 18: lifted parts are node-disjoint in Ĝ_C and each
+  // induces a connected subgraph there.
+  const std::size_t side = 5;
+  const Graph g = make_grid(side, side);
+  PathInstance inst = grid_row_paths(side);
+  // Add overlapping column paths to force congestion 2.
+  for (std::size_t c = 0; c < side; ++c) {
+    std::vector<NodeId> path;
+    std::vector<double> vals;
+    for (std::size_t r = 0; r < side; ++r) {
+      path.push_back(static_cast<NodeId>(r * side + c));
+      vals.push_back(1.0);
+    }
+    inst.paths.push_back(std::move(path));
+    inst.values.push_back(std::move(vals));
+  }
+  EXPECT_EQ(validate_path_instance(g, inst), 2u);
+  Rng rng(1);
+  const LiftedInstance lifted = build_lifted_instance(g, inst, rng);
+  EXPECT_TRUE(is_valid_part_collection(lifted.layered->graph(), lifted.parts,
+                                       /*require_disjoint=*/true));
+  EXPECT_EQ(lifted.parts.num_parts(), inst.paths.size());
+}
+
+TEST(LiftedInstanceTest, SingleNodePathsAreLocalOnly) {
+  const Graph g = make_path(4);
+  PathInstance inst;
+  inst.paths = {{1}, {2, 3}};
+  inst.values = {{5.0}, {1.0, 2.0}};
+  Rng rng(2);
+  const LiftedInstance lifted = build_lifted_instance(g, inst, rng);
+  EXPECT_EQ(lifted.local_only.size(), 1u);
+  EXPECT_EQ(lifted.local_only[0], 0u);
+  EXPECT_EQ(lifted.parts.num_parts(), 1u);
+}
+
+TEST(SolvePathRestricted, SumsCorrectOnRows) {
+  const std::size_t side = 5;
+  const Graph g = make_grid(side, side);
+  const PathInstance inst = grid_row_paths(side);
+  Rng rng(3);
+  const PathRestrictedOutcome outcome =
+      solve_path_restricted(g, inst, AggregationMonoid::sum(), rng);
+  for (double r : outcome.results) EXPECT_DOUBLE_EQ(r, static_cast<double>(side));
+  EXPECT_EQ(outcome.congestion, 1u);
+  EXPECT_GE(outcome.layers, 2u);  // path interiors have degree 2
+  EXPECT_EQ(outcome.charged_rounds,
+            outcome.coloring_rounds + outcome.layers * outcome.layered_pa_rounds);
+}
+
+TEST(SolvePathRestricted, CongestedOverlapsCorrect) {
+  // Row and column paths overlapping everywhere (ρ = 2), distinct values.
+  const std::size_t side = 4;
+  const Graph g = make_grid(side, side);
+  PathInstance inst;
+  Rng value_rng(77);
+  std::vector<double> expected;
+  for (int kind = 0; kind < 2; ++kind) {
+    for (std::size_t a = 0; a < side; ++a) {
+      std::vector<NodeId> path;
+      std::vector<double> vals;
+      double sum = 0;
+      for (std::size_t b = 0; b < side; ++b) {
+        const std::size_t r = kind == 0 ? a : b;
+        const std::size_t c = kind == 0 ? b : a;
+        path.push_back(static_cast<NodeId>(r * side + c));
+        const double v = value_rng.next_double();
+        vals.push_back(v);
+        sum += v;
+      }
+      inst.paths.push_back(std::move(path));
+      inst.values.push_back(std::move(vals));
+      expected.push_back(sum);
+    }
+  }
+  Rng rng(4);
+  const PathRestrictedOutcome outcome =
+      solve_path_restricted(g, inst, AggregationMonoid::sum(), rng);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(outcome.results[i], expected[i], 1e-9);
+  }
+}
+
+TEST(SolvePathRestricted, MinMonoidWithIdentityPlaceholders) {
+  // Interior nodes get a second lifted copy whose placeholder must be the
+  // monoid identity — min would break if it were 0.0.
+  const Graph g = make_path(6);
+  PathInstance inst;
+  inst.paths = {{0, 1, 2, 3, 4, 5}};
+  inst.values = {{9.0, 8.0, 7.0, 3.0, 8.0, 9.0}};
+  Rng rng(5);
+  const PathRestrictedOutcome outcome =
+      solve_path_restricted(g, inst, AggregationMonoid::min(), rng);
+  EXPECT_DOUBLE_EQ(outcome.results[0], 3.0);
+}
+
+class PathRestrictedSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(PathRestrictedSweep, RandomInstancesMatchSequential) {
+  const auto [seed, rho] = GetParam();
+  Rng rng(seed);
+  const Graph g = make_torus(5, 5);
+  PathInstance inst;
+  std::vector<double> expected;
+  // Random simple paths via the partition generator.
+  const PartCollection pc = random_path_instance(g, 8, 6, rho, rng);
+  for (const auto& part : pc.parts) {
+    std::vector<double> vals;
+    double sum = 0;
+    for (std::size_t j = 0; j < part.size(); ++j) {
+      const double v = rng.next_double();
+      vals.push_back(v);
+      sum += v;
+    }
+    inst.paths.push_back(part);
+    inst.values.push_back(std::move(vals));
+    expected.push_back(sum);
+  }
+  const PathRestrictedOutcome outcome =
+      solve_path_restricted(g, inst, AggregationMonoid::sum(), rng);
+  EXPECT_LE(outcome.congestion, rho);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(outcome.results[i], expected[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PathRestrictedSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(1u, 2u, 4u)));
+
+}  // namespace
+}  // namespace dls

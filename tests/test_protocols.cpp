@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "sim/protocols.hpp"
+
+namespace dls {
+namespace {
+
+TEST(DistributedBfs, DistancesMatchSequential) {
+  const Graph g = make_grid(5, 6);
+  const DistributedBfsResult dist = distributed_bfs(g, 7);
+  const BfsResult ref = bfs(g, 7);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(dist.dist[v], ref.dist[v]) << "node " << v;
+  }
+}
+
+TEST(DistributedBfs, RoundsEqualEccentricityPlusOne) {
+  const Graph g = make_path(12);
+  const DistributedBfsResult result = distributed_bfs(g, 0);
+  // Flooding: node at distance d learns in round d; one final round flushes.
+  EXPECT_EQ(result.rounds, 12u);  // ecc 11 + 1
+  EXPECT_GT(result.messages, 0u);
+}
+
+TEST(DistributedBfs, ParentPointersFormTree) {
+  Rng rng(1);
+  const Graph g = make_random_regular(30, 4, rng);
+  const DistributedBfsResult result = distributed_bfs(g, 3);
+  std::size_t roots = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (result.parent[v] == kInvalidNode) {
+      ++roots;
+    } else {
+      EXPECT_EQ(result.dist[v], result.dist[result.parent[v]] + 1);
+    }
+  }
+  EXPECT_EQ(roots, 1u);
+}
+
+TEST(Convergecast, SumsAllValues) {
+  const Graph g = make_balanced_binary_tree(15);
+  std::vector<double> values(15);
+  double expected = 0;
+  for (std::size_t i = 0; i < 15; ++i) {
+    values[i] = static_cast<double>(i) * 0.5;
+    expected += values[i];
+  }
+  const ConvergecastResult result = distributed_convergecast_sum(g, 0, values);
+  EXPECT_NEAR(result.root_value, expected, 1e-9);
+  // Rounds ≈ tree depth (3 levels for 15 nodes as heap).
+  EXPECT_LE(result.rounds, 5u);
+}
+
+TEST(Convergecast, PathDepthRounds) {
+  const Graph g = make_path(10);
+  std::vector<double> values(10, 1.0);
+  const ConvergecastResult result = distributed_convergecast_sum(g, 0, values);
+  EXPECT_DOUBLE_EQ(result.root_value, 10.0);
+  EXPECT_GE(result.rounds, 9u);
+}
+
+TEST(Convergecast, RequiresConnectivity) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  std::vector<double> values(3, 1.0);
+  EXPECT_THROW(distributed_convergecast_sum(g, 0, values),
+               std::invalid_argument);
+}
+
+TEST(LeaderElection, ElectsMinimumId) {
+  Rng rng(2);
+  const Graph g = make_random_regular(24, 4, rng);
+  const LeaderElectionResult result = distributed_leader_election(g);
+  EXPECT_EQ(result.leader, 0u);
+  EXPECT_GT(result.rounds, 0u);
+}
+
+TEST(LeaderElection, RoundsBoundedByDiameterPlusQuiescence) {
+  const Graph g = make_cycle(16);
+  const LeaderElectionResult result = distributed_leader_election(g);
+  EXPECT_LE(result.rounds, exact_diameter(g) + 2u);
+}
+
+
+TEST(LubyMis, MaximalIndependentOnGrid) {
+  Rng rng(9);
+  const Graph g = make_grid(8, 8);
+  const MisResult result = distributed_mis_luby(g, rng);
+  EXPECT_TRUE(is_maximal_independent_set(g, result.in_mis));
+  EXPECT_LE(result.phases, 20u);
+  EXPECT_EQ(result.rounds, 2u * result.phases);
+}
+
+TEST(LubyMis, CompleteGraphPicksExactlyOne) {
+  Rng rng(10);
+  const Graph g = make_complete(12);
+  const MisResult result = distributed_mis_luby(g, rng);
+  std::size_t count = 0;
+  for (char c : result.in_mis) count += c;
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(LubyMis, ValidatorCatchesViolations) {
+  const Graph g = make_path(4);
+  EXPECT_FALSE(is_maximal_independent_set(g, {1, 1, 0, 0}));  // dependent
+  EXPECT_FALSE(is_maximal_independent_set(g, {1, 0, 0, 0}));  // not maximal
+  EXPECT_TRUE(is_maximal_independent_set(g, {1, 0, 1, 0}));
+  EXPECT_TRUE(is_maximal_independent_set(g, {0, 1, 0, 1}));
+}
+
+TEST(LubyMis, LogarithmicPhasesOnExpanders) {
+  Rng rng(11);
+  const Graph g = make_random_regular(128, 4, rng);
+  const MisResult result = distributed_mis_luby(g, rng);
+  EXPECT_TRUE(is_maximal_independent_set(g, result.in_mis));
+  EXPECT_LE(result.phases, 16u);
+}
+
+class ProtocolSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProtocolSweep, BfsCorrectAcrossFamilies) {
+  Rng rng(GetParam() * 11);
+  Graph g;
+  switch (GetParam() % 3) {
+    case 0: g = make_torus(5, 5); break;
+    case 1: g = make_hypercube(4); break;
+    default: g = make_random_tree(25, rng); break;
+  }
+  const NodeId root = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+  const DistributedBfsResult result = distributed_bfs(g, root);
+  const BfsResult ref = bfs(g, root);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(result.dist[v], ref.dist[v]);
+  }
+  EXPECT_EQ(result.rounds, static_cast<std::uint64_t>(ref.eccentricity()) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolSweep, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace dls

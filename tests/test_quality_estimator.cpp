@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "shortcuts/quality_estimator.hpp"
+
+namespace dls {
+namespace {
+
+TEST(SqEstimator, AnchoredByDiameter) {
+  Rng rng(1);
+  const Graph g = make_path(40);
+  const SqEstimate estimate = estimate_shortcut_quality(g, rng);
+  EXPECT_GE(estimate.quality, 39u);  // SQ >= Ω(D); path D = 39
+}
+
+TEST(SqEstimator, ExpanderEstimateMuchBelowSqrtN) {
+  Rng rng(2);
+  const Graph g = make_random_regular(256, 6, rng);
+  const SqEstimate estimate = estimate_shortcut_quality(g, rng);
+  // Expanders have SQ = polylog(n); the estimate must sit far below √n·D.
+  EXPECT_LT(estimate.quality, 80u);
+  EXPECT_GE(estimate.quality, estimate.diameter);
+}
+
+TEST(SqEstimator, GridEstimateNearDiameter) {
+  Rng rng(3);
+  const Graph g = make_grid(12, 12);
+  const SqEstimate estimate = estimate_shortcut_quality(g, rng);
+  // Planar: SQ = Õ(D). Allow polylog slack over D = 22.
+  EXPECT_GE(estimate.quality, 22u);
+  EXPECT_LE(estimate.quality, 22u * 12);
+}
+
+TEST(SqEstimator, ReportsSamples) {
+  Rng rng(4);
+  const Graph g = make_grid(6, 6);
+  const SqEstimate estimate = estimate_shortcut_quality(g, rng);
+  EXPECT_GE(estimate.samples.size(), 2u);
+  for (const SqSample& sample : estimate.samples) {
+    EXPECT_GT(sample.num_parts, 0u);
+    EXPECT_FALSE(sample.partition_family.empty());
+  }
+}
+
+TEST(SqEstimator, ExtraPartitionsIncluded) {
+  Rng rng(5);
+  const Graph g = make_grid(6, 6);
+  const PartCollection rows = grid_row_partition(6, 6);
+  SqEstimateOptions options;
+  const SqEstimate with_extra =
+      estimate_shortcut_quality(g, rng, options, {rows});
+  bool found = false;
+  for (const SqSample& s : with_extra.samples) {
+    found |= s.partition_family.rfind("extra", 0) == 0;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SqEstimator, RejectsDisconnected) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  Rng rng(6);
+  EXPECT_THROW(estimate_shortcut_quality(g, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dls

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "sim/round_ledger.hpp"
+#include "sim/sync_network.hpp"
+
+namespace dls {
+namespace {
+
+TEST(SyncNetwork, DeliversSingleWordMessage) {
+  const Graph g = make_path(3);
+  SyncNetwork net(g);
+  net.send({0, 1, 0, 42, 3.5, 1});
+  net.step();
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.inbox(1)[0].tag, 42u);
+  EXPECT_DOUBLE_EQ(net.inbox(1)[0].payload, 3.5);
+  EXPECT_EQ(net.rounds(), 1u);
+}
+
+TEST(SyncNetwork, EnforcesPerEdgeDirectionCapacity) {
+  const Graph g = make_path(2);
+  SyncNetwork net(g);
+  net.send({0, 1, 0, 1, 0.0, 1});
+  EXPECT_THROW(net.send({0, 1, 0, 2, 0.0, 1}), std::invalid_argument);
+}
+
+TEST(SyncNetwork, OppositeDirectionsIndependent) {
+  const Graph g = make_path(2);
+  SyncNetwork net(g);
+  net.send({0, 1, 0, 1, 0.0, 1});
+  net.send({1, 0, 0, 2, 0.0, 1});  // other direction, same round: allowed
+  net.step();
+  EXPECT_EQ(net.inbox(0).size(), 1u);
+  EXPECT_EQ(net.inbox(1).size(), 1u);
+}
+
+TEST(SyncNetwork, ParallelEdgesCarrySeparateMessages) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  SyncNetwork net(g);
+  net.send({0, 1, 0, 1, 0.0, 1});
+  net.send({0, 1, 1, 2, 0.0, 1});
+  net.step();
+  EXPECT_EQ(net.inbox(1).size(), 2u);
+}
+
+TEST(SyncNetwork, MultiWordMessageOccupiesEdge) {
+  const Graph g = make_path(2);
+  SyncNetwork net(g);
+  net.send({0, 1, 0, 1, 0.0, 3});  // 3 words -> 3 rounds
+  net.step();
+  EXPECT_TRUE(net.inbox(1).empty());
+  EXPECT_THROW(net.send({0, 1, 0, 9, 0.0, 1}), std::invalid_argument);
+  net.step();
+  EXPECT_TRUE(net.inbox(1).empty());
+  net.step();
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.rounds(), 3u);
+}
+
+TEST(SyncNetwork, ValidatesEndpoints) {
+  const Graph g = make_path(3);
+  SyncNetwork net(g);
+  // Edge 0 connects nodes 0 and 1; claiming it reaches node 2 is an error.
+  EXPECT_THROW(net.send({0, 2, 0, 1, 0.0, 1}), std::invalid_argument);
+}
+
+TEST(SyncNetwork, CountsMessages) {
+  const Graph g = make_cycle(4);
+  SyncNetwork net(g);
+  net.send({0, 1, 0, 1, 0.0, 1});
+  net.send({2, 3, 2, 1, 0.0, 1});
+  net.step();
+  EXPECT_EQ(net.messages_sent(), 2u);
+}
+
+TEST(RoundLedger, AccumulatesAndLabels) {
+  RoundLedger ledger;
+  ledger.charge_local(5, "phase-a");
+  ledger.charge_global(3, "phase-b");
+  ledger.charge_local(2, "phase-c");
+  EXPECT_EQ(ledger.total_local(), 7u);
+  EXPECT_EQ(ledger.total_global(), 3u);
+  // Hybrid: sequential phases, each costing max(local, global).
+  EXPECT_EQ(ledger.total_hybrid(), 5u + 3u + 2u);
+  EXPECT_EQ(ledger.entries().size(), 3u);
+  EXPECT_EQ(ledger.entries()[0].label, "phase-a");
+}
+
+TEST(RoundLedger, AbsorbPrefixesLabels) {
+  RoundLedger inner, outer;
+  inner.charge_local(4, "x");
+  outer.absorb(inner, "oracle");
+  EXPECT_EQ(outer.total_local(), 4u);
+  EXPECT_EQ(outer.entries()[0].label, "oracle/x");
+}
+
+TEST(RoundLedger, ClearResets) {
+  RoundLedger ledger;
+  ledger.charge_local(4, "x");
+  ledger.clear();
+  EXPECT_EQ(ledger.total_local(), 0u);
+  EXPECT_TRUE(ledger.entries().empty());
+}
+
+}  // namespace
+}  // namespace dls

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "laplacian/spanning_tree.hpp"
+
+namespace dls {
+namespace {
+
+double tree_weight(const Graph& g, const std::vector<EdgeId>& edges) {
+  double total = 0;
+  for (EdgeId e : edges) total += g.edge(e).weight;
+  return total;
+}
+
+TEST(DistributedMst, MatchesKruskalOnWeightedGrid) {
+  Rng rng(1);
+  const Graph g = make_weighted_grid(6, 6, rng);
+  ShortcutPaOracle oracle(g, rng);
+  const DistributedMstResult result = distributed_mst(oracle, rng);
+  EXPECT_TRUE(is_spanning_tree(g, result.tree_edges));
+  EXPECT_NEAR(tree_weight(g, result.tree_edges),
+              tree_weight(g, mst_kruskal(g)), 1e-9);
+  EXPECT_GT(result.phases, 0u);
+  EXPECT_GT(oracle.ledger().total_local(), 0u);
+}
+
+TEST(DistributedMst, LogarithmicPhases) {
+  Rng rng(2);
+  const Graph g = make_random_regular(64, 4, rng);
+  ShortcutPaOracle oracle(g, rng);
+  const DistributedMstResult result = distributed_mst(oracle, rng);
+  EXPECT_TRUE(is_spanning_tree(g, result.tree_edges));
+  EXPECT_LE(result.phases, 8u);  // Boruvka halves components per phase
+}
+
+TEST(DistributedMst, UnitWeightsAnyTree) {
+  Rng rng(3);
+  const Graph g = make_torus(5, 5);
+  ShortcutPaOracle oracle(g, rng);
+  const DistributedMstResult result = distributed_mst(oracle, rng);
+  EXPECT_TRUE(is_spanning_tree(g, result.tree_edges));
+}
+
+TEST(DistributedMst, WorksWithNccOracle) {
+  Rng rng(4);
+  const Graph g = make_weighted_grid(4, 5, rng);
+  NccPaOracle oracle(g, rng);
+  const DistributedMstResult result = distributed_mst(oracle, rng);
+  EXPECT_TRUE(is_spanning_tree(g, result.tree_edges));
+  EXPECT_NEAR(tree_weight(g, result.tree_edges),
+              tree_weight(g, mst_kruskal(g)), 1e-9);
+  EXPECT_GT(oracle.ledger().total_global(), 0u);
+  EXPECT_LE(oracle.ledger().total_local(), result.phases);
+}
+
+TEST(DistributedMst, RejectsDisconnected) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  Rng rng(5);
+  ShortcutPaOracle oracle(g, rng);
+  EXPECT_THROW(distributed_mst(oracle, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dls

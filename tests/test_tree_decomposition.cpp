@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/tree_decomposition.hpp"
+
+namespace dls {
+namespace {
+
+TEST(TreeDecomposition, PathHasWidthOne) {
+  const Graph g = make_path(20);
+  const TreeDecomposition td = tree_decomposition_heuristic(g);
+  EXPECT_TRUE(is_valid_tree_decomposition(g, td));
+  EXPECT_EQ(td.width(), 1u);
+}
+
+TEST(TreeDecomposition, TreeHasWidthOne) {
+  Rng rng(3);
+  const Graph g = make_random_tree(40, rng);
+  const TreeDecomposition td = tree_decomposition_heuristic(g);
+  EXPECT_TRUE(is_valid_tree_decomposition(g, td));
+  EXPECT_EQ(td.width(), 1u);
+}
+
+TEST(TreeDecomposition, CycleHasWidthTwo) {
+  const Graph g = make_cycle(15);
+  const TreeDecomposition td = tree_decomposition_heuristic(g);
+  EXPECT_TRUE(is_valid_tree_decomposition(g, td));
+  EXPECT_EQ(td.width(), 2u);
+}
+
+TEST(TreeDecomposition, CompleteGraphWidthNMinusOne) {
+  const Graph g = make_complete(6);
+  const TreeDecomposition td = tree_decomposition_heuristic(g);
+  EXPECT_TRUE(is_valid_tree_decomposition(g, td));
+  EXPECT_EQ(td.width(), 5u);
+}
+
+TEST(TreeDecomposition, KTreeWidthExactlyK) {
+  Rng rng(5);
+  for (std::size_t k : {1u, 2u, 3u, 4u}) {
+    const Graph g = make_k_tree(30, k, rng);
+    // k-trees are chordal: min-degree elimination is exact.
+    const std::size_t ub = treewidth_upper_bound(g);
+    EXPECT_EQ(ub, k) << "k=" << k;
+    EXPECT_GE(ub, treewidth_lower_bound_min_degree(g));
+  }
+}
+
+TEST(TreeDecomposition, GridWidthBracketed) {
+  const Graph g = make_grid(5, 5);
+  const std::size_t ub = treewidth_upper_bound(g);
+  const std::size_t lb = treewidth_lower_bound_min_degree(g);
+  // tw(5x5 grid) = 5.
+  EXPECT_GE(ub, 5u);
+  EXPECT_LE(ub, 8u);  // heuristic slack
+  EXPECT_GE(lb, 2u);
+  EXPECT_LE(lb, 5u);
+}
+
+TEST(TreeDecomposition, MinFillAtLeastAsGoodOnGrid) {
+  const Graph g = make_grid(4, 6);
+  const std::size_t md = treewidth_upper_bound(g, EliminationHeuristic::kMinDegree);
+  const std::size_t mf = treewidth_upper_bound(g, EliminationHeuristic::kMinFill);
+  EXPECT_LE(mf, md + 2);  // min-fill is usually no worse
+  const TreeDecomposition td =
+      tree_decomposition_heuristic(g, EliminationHeuristic::kMinFill);
+  EXPECT_TRUE(is_valid_tree_decomposition(g, td));
+}
+
+TEST(TreeDecomposition, ValidatorRejectsMissingEdgeCoverage) {
+  const Graph g = make_path(3);  // edges (0,1), (1,2)
+  TreeDecomposition td;
+  td.bags = {{0, 1}, {2}};
+  td.tree_edges = {{0, 1}};
+  EXPECT_FALSE(is_valid_tree_decomposition(g, td));  // edge (1,2) uncovered
+}
+
+TEST(TreeDecomposition, ValidatorRejectsDisconnectedOccurrences) {
+  const Graph g = make_path(3);
+  TreeDecomposition td;
+  td.bags = {{0, 1}, {1, 2}, {0}};  // node 0 in bags 0 and 2, not adjacent
+  td.tree_edges = {{0, 1}, {1, 2}};
+  EXPECT_FALSE(is_valid_tree_decomposition(g, td));
+}
+
+TEST(TreeDecomposition, ValidatorAcceptsHandCraftedPath) {
+  const Graph g = make_path(4);
+  TreeDecomposition td;
+  td.bags = {{0, 1}, {1, 2}, {2, 3}};
+  td.tree_edges = {{0, 1}, {1, 2}};
+  EXPECT_TRUE(is_valid_tree_decomposition(g, td));
+  EXPECT_EQ(td.width(), 1u);
+}
+
+class FamilyWidthTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FamilyWidthTest, DecompositionAlwaysValid) {
+  Rng rng(GetParam());
+  const Graph g = make_erdos_renyi(24, 0.15, rng);
+  const TreeDecomposition td = tree_decomposition_heuristic(g);
+  EXPECT_TRUE(is_valid_tree_decomposition(g, td));
+  EXPECT_GE(td.width() + 1, treewidth_lower_bound_min_degree(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FamilyWidthTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace dls

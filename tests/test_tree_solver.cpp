@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "laplacian/tree_solver.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/laplacian.hpp"
+
+namespace dls {
+namespace {
+
+Vec random_rhs(std::size_t n, Rng& rng) {
+  Vec b(n);
+  for (double& v : b) v = rng.next_double() * 2 - 1;
+  project_mean_zero(b);
+  return b;
+}
+
+TEST(TreeSolver, ExactOnPath) {
+  const Graph g = make_path(10);
+  Rng rng(1);
+  ShortcutPaOracle oracle(g, rng);
+  std::vector<EdgeId> tree(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) tree[e] = e;
+  TreeLaplacianSolver solver(oracle, tree);
+  const Vec b = random_rhs(10, rng);
+  const Vec x = solver.solve(b);
+  const Vec r = sub(b, laplacian_apply(g, x));
+  EXPECT_LT(norm2(r), 1e-10);
+}
+
+TEST(TreeSolver, MatchesCholeskyOnRandomTrees) {
+  Rng rng(2);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = make_random_tree(40, rng);
+    ShortcutPaOracle oracle(g, rng);
+    std::vector<EdgeId> tree(g.num_edges());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) tree[e] = e;
+    TreeLaplacianSolver solver(oracle, tree);
+    const GroundedCholesky chol(g);
+    const Vec b = random_rhs(g.num_nodes(), rng);
+    EXPECT_LT(relative_error_in_l_norm(g, solver.solve(b), chol.solve(b)), 1e-9);
+  }
+}
+
+TEST(TreeSolver, SolvesTreeSubsystemOfDenserGraph) {
+  // Oracle network is the full grid; the system is its BFS tree.
+  const Graph g = make_grid(5, 5);
+  Rng rng(3);
+  ShortcutPaOracle oracle(g, rng);
+  const auto tree = bfs_tree_edges(g, 12);
+  TreeLaplacianSolver solver(oracle, tree);
+  // Build the tree-only graph to check the residual against.
+  Graph tree_g(g.num_nodes());
+  for (EdgeId e : tree) {
+    tree_g.add_edge(g.edge(e).u, g.edge(e).v, g.edge(e).weight);
+  }
+  const Vec b = random_rhs(g.num_nodes(), rng);
+  const Vec x = solver.solve(b);
+  EXPECT_LT(norm2(sub(b, laplacian_apply(tree_g, x))), 1e-10);
+}
+
+TEST(TreeSolver, ChargesTwoPaCallsPerSolve) {
+  const Graph g = make_path(8);
+  Rng rng(4);
+  ShortcutPaOracle oracle(g, rng);
+  std::vector<EdgeId> tree(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) tree[e] = e;
+  TreeLaplacianSolver solver(oracle, tree);
+  const Vec b = random_rhs(8, rng);
+  solver.solve(b);
+  EXPECT_EQ(oracle.pa_calls(), 2u);
+  const auto rounds_one = oracle.ledger().total_local();
+  solver.solve(b);
+  EXPECT_EQ(oracle.pa_calls(), 4u);
+  EXPECT_EQ(oracle.ledger().total_local(), 2 * rounds_one);
+}
+
+TEST(TreeSolver, WeightedTreeExact) {
+  Rng rng(5);
+  Graph g(6);
+  g.add_edge(0, 1, 0.5);
+  g.add_edge(1, 2, 4.0);
+  g.add_edge(1, 3, 2.0);
+  g.add_edge(3, 4, 8.0);
+  g.add_edge(3, 5, 1.0);
+  ShortcutPaOracle oracle(g, rng);
+  std::vector<EdgeId> tree{0, 1, 2, 3, 4};
+  TreeLaplacianSolver solver(oracle, tree);
+  const GroundedCholesky chol(g);
+  const Vec b = random_rhs(6, rng);
+  EXPECT_LT(relative_error_in_l_norm(g, solver.solve(b), chol.solve(b)), 1e-9);
+}
+
+TEST(TreeSolver, RejectsNonSpanningTree) {
+  const Graph g = make_cycle(5);
+  Rng rng(6);
+  ShortcutPaOracle oracle(g, rng);
+  std::vector<EdgeId> cyclic{0, 1, 2, 3, 4};
+  EXPECT_THROW(TreeLaplacianSolver(oracle, cyclic), std::invalid_argument);
+}
+
+TEST(TreeSolver, RejectsBadRhs) {
+  const Graph g = make_path(4);
+  Rng rng(7);
+  ShortcutPaOracle oracle(g, rng);
+  std::vector<EdgeId> tree{0, 1, 2};
+  TreeLaplacianSolver solver(oracle, tree);
+  EXPECT_THROW(solver.solve({1, 1, 1, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dls

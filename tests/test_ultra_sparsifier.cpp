@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "laplacian/ultra_sparsifier.hpp"
+#include "linalg/laplacian.hpp"
+#include "util/stats.hpp"
+
+namespace dls {
+namespace {
+
+TEST(UltraSparsifier, TreeAlwaysKept) {
+  Rng rng(1);
+  const Graph g = make_grid(6, 6);
+  const MinorGraph minor = MinorGraph::identity(g);
+  const UltraSparsifier us = build_ultra_sparsifier(minor, 5.0, rng);
+  EXPECT_EQ(us.tree_edge_indices.size(), g.num_nodes() - 1);
+  const Graph view = us.sparsifier.as_graph();
+  EXPECT_TRUE(is_connected(view));
+  EXPECT_EQ(view.num_nodes(), g.num_nodes());
+}
+
+TEST(UltraSparsifier, ZeroBudgetKeepsBareTree) {
+  Rng rng(2);
+  const Graph g = make_torus(5, 5);
+  const MinorGraph minor = MinorGraph::identity(g);
+  const UltraSparsifier us = build_ultra_sparsifier(minor, 0.0, rng);
+  EXPECT_EQ(us.off_tree_kept, 0u);
+  EXPECT_EQ(us.sparsifier.edges.size(), g.num_nodes() - 1);
+}
+
+TEST(UltraSparsifier, BudgetRoughlyRespected) {
+  Rng rng(3);
+  const Graph g = make_grid(10, 10);
+  const MinorGraph minor = MinorGraph::identity(g);
+  Summary off_kept;
+  std::vector<double> counts;
+  for (int trial = 0; trial < 10; ++trial) {
+    const UltraSparsifier us = build_ultra_sparsifier(minor, 12.0, rng);
+    counts.push_back(static_cast<double>(us.off_tree_kept));
+  }
+  off_kept = summarize(counts);
+  EXPECT_GT(off_kept.mean, 3.0);
+  EXPECT_LT(off_kept.mean, 40.0);
+}
+
+TEST(UltraSparsifier, SpectralDominance) {
+  // The sparsifier Laplacian satisfies L_S ⪯ c·L_G in expectation shape:
+  // check the quadratic form does not explode on random vectors (loose
+  // sanity rather than a spectral proof).
+  Rng rng(4);
+  const Graph g = make_grid(8, 8);
+  const MinorGraph minor = MinorGraph::identity(g);
+  const UltraSparsifier us = build_ultra_sparsifier(minor, 10.0, rng);
+  const Graph s = us.sparsifier.as_graph();
+  for (int trial = 0; trial < 5; ++trial) {
+    Vec x(g.num_nodes());
+    for (double& v : x) v = rng.next_double();
+    const double qg = laplacian_quadratic_form(g, x);
+    const double qs = laplacian_quadratic_form(s, x);
+    EXPECT_GT(qs, 0.0);
+    // Tree alone underestimates; sampled edges are reweighted by 1/p, so a
+    // generous two-sided multiplicative envelope applies.
+    EXPECT_LT(qs, 50.0 * qg);
+    EXPECT_GT(50.0 * qs, qg);
+  }
+}
+
+TEST(UltraSparsifier, PreservesHostAnnotations) {
+  Rng rng(5);
+  const Graph g = make_grid(4, 4);
+  const MinorGraph minor = MinorGraph::identity(g);
+  const UltraSparsifier us = build_ultra_sparsifier(minor, 4.0, rng);
+  EXPECT_TRUE(us.sparsifier.validate(g));
+  EXPECT_EQ(us.sparsifier.host, minor.host);
+}
+
+TEST(UltraSparsifier, TotalStretchPositive) {
+  Rng rng(6);
+  const Graph g = make_random_regular(32, 4, rng);
+  const MinorGraph minor = MinorGraph::identity(g);
+  const UltraSparsifier us = build_ultra_sparsifier(minor, 8.0, rng);
+  EXPECT_GE(us.total_stretch, static_cast<double>(g.num_nodes() - 1));
+}
+
+}  // namespace
+}  // namespace dls
