@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lsst.dir/bench_ablation_lsst.cpp.o"
+  "CMakeFiles/bench_ablation_lsst.dir/bench_ablation_lsst.cpp.o.d"
+  "bench_ablation_lsst"
+  "bench_ablation_lsst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lsst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

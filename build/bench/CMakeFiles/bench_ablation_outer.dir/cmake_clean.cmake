@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_outer.dir/bench_ablation_outer.cpp.o"
+  "CMakeFiles/bench_ablation_outer.dir/bench_ablation_outer.cpp.o.d"
+  "bench_ablation_outer"
+  "bench_ablation_outer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_outer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

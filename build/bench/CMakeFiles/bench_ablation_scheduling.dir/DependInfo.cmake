@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_scheduling.cpp" "bench/CMakeFiles/bench_ablation_scheduling.dir/bench_ablation_scheduling.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_scheduling.dir/bench_ablation_scheduling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lowerbound/CMakeFiles/dls_lowerbound.dir/DependInfo.cmake"
+  "/root/repo/build/src/laplacian/CMakeFiles/dls_laplacian.dir/DependInfo.cmake"
+  "/root/repo/build/src/congested_pa/CMakeFiles/dls_congested_pa.dir/DependInfo.cmake"
+  "/root/repo/build/src/shortcuts/CMakeFiles/dls_shortcuts.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dls_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dls_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dls_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sparsifier.dir/bench_ablation_sparsifier.cpp.o"
+  "CMakeFiles/bench_ablation_sparsifier.dir/bench_ablation_sparsifier.cpp.o.d"
+  "bench_ablation_sparsifier"
+  "bench_ablation_sparsifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sparsifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

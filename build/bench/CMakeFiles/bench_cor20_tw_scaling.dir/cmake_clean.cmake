@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cor20_tw_scaling.dir/bench_cor20_tw_scaling.cpp.o"
+  "CMakeFiles/bench_cor20_tw_scaling.dir/bench_cor20_tw_scaling.cpp.o.d"
+  "bench_cor20_tw_scaling"
+  "bench_cor20_tw_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cor20_tw_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ecosystem.dir/bench_ecosystem.cpp.o"
+  "CMakeFiles/bench_ecosystem.dir/bench_ecosystem.cpp.o.d"
+  "bench_ecosystem"
+  "bench_ecosystem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ecosystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

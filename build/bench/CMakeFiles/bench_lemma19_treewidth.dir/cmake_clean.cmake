@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma19_treewidth.dir/bench_lemma19_treewidth.cpp.o"
+  "CMakeFiles/bench_lemma19_treewidth.dir/bench_lemma19_treewidth.cpp.o.d"
+  "bench_lemma19_treewidth"
+  "bench_lemma19_treewidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma19_treewidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

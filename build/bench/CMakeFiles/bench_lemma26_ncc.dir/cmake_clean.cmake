@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma26_ncc.dir/bench_lemma26_ncc.cpp.o"
+  "CMakeFiles/bench_lemma26_ncc.dir/bench_lemma26_ncc.cpp.o.d"
+  "bench_lemma26_ncc"
+  "bench_lemma26_ncc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma26_ncc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_maxflow_application.dir/bench_maxflow_application.cpp.o"
+  "CMakeFiles/bench_maxflow_application.dir/bench_maxflow_application.cpp.o.d"
+  "bench_maxflow_application"
+  "bench_maxflow_application.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_maxflow_application.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

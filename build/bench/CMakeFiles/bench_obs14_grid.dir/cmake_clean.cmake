@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_obs14_grid.dir/bench_obs14_grid.cpp.o"
+  "CMakeFiles/bench_obs14_grid.dir/bench_obs14_grid.cpp.o.d"
+  "bench_obs14_grid"
+  "bench_obs14_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_obs14_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

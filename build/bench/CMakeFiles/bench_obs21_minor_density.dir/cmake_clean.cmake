@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_obs21_minor_density.dir/bench_obs21_minor_density.cpp.o"
+  "CMakeFiles/bench_obs21_minor_density.dir/bench_obs21_minor_density.cpp.o.d"
+  "bench_obs21_minor_density"
+  "bench_obs21_minor_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_obs21_minor_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

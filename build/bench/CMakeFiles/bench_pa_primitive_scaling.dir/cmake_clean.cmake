@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pa_primitive_scaling.dir/bench_pa_primitive_scaling.cpp.o"
+  "CMakeFiles/bench_pa_primitive_scaling.dir/bench_pa_primitive_scaling.cpp.o.d"
+  "bench_pa_primitive_scaling"
+  "bench_pa_primitive_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pa_primitive_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm22_sq_preservation.dir/bench_thm22_sq_preservation.cpp.o"
+  "CMakeFiles/bench_thm22_sq_preservation.dir/bench_thm22_sq_preservation.cpp.o.d"
+  "bench_thm22_sq_preservation"
+  "bench_thm22_sq_preservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm22_sq_preservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_thm22_sq_preservation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm25_any_to_any.dir/bench_thm25_any_to_any.cpp.o"
+  "CMakeFiles/bench_thm25_any_to_any.dir/bench_thm25_any_to_any.cpp.o.d"
+  "bench_thm25_any_to_any"
+  "bench_thm25_any_to_any.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm25_any_to_any.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_thm25_any_to_any.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm28_eps_scaling.dir/bench_thm28_eps_scaling.cpp.o"
+  "CMakeFiles/bench_thm28_eps_scaling.dir/bench_thm28_eps_scaling.cpp.o.d"
+  "bench_thm28_eps_scaling"
+  "bench_thm28_eps_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm28_eps_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm2_solver_rounds.dir/bench_thm2_solver_rounds.cpp.o"
+  "CMakeFiles/bench_thm2_solver_rounds.dir/bench_thm2_solver_rounds.cpp.o.d"
+  "bench_thm2_solver_rounds"
+  "bench_thm2_solver_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm2_solver_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

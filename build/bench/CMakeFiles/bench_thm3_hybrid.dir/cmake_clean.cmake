@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm3_hybrid.dir/bench_thm3_hybrid.cpp.o"
+  "CMakeFiles/bench_thm3_hybrid.dir/bench_thm3_hybrid.cpp.o.d"
+  "bench_thm3_hybrid"
+  "bench_thm3_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm3_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

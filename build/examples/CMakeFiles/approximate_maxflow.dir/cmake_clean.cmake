@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approximate_maxflow.dir/approximate_maxflow.cpp.o"
+  "CMakeFiles/approximate_maxflow.dir/approximate_maxflow.cpp.o.d"
+  "approximate_maxflow"
+  "approximate_maxflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approximate_maxflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

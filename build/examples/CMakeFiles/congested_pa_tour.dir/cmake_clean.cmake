@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congested_pa_tour.dir/congested_pa_tour.cpp.o"
+  "CMakeFiles/congested_pa_tour.dir/congested_pa_tour.cpp.o.d"
+  "congested_pa_tour"
+  "congested_pa_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congested_pa_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

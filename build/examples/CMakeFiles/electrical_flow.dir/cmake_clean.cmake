@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/electrical_flow.dir/electrical_flow.cpp.o"
+  "CMakeFiles/electrical_flow.dir/electrical_flow.cpp.o.d"
+  "electrical_flow"
+  "electrical_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/electrical_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

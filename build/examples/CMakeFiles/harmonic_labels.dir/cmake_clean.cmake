@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmonic_labels.dir/harmonic_labels.cpp.o"
+  "CMakeFiles/harmonic_labels.dir/harmonic_labels.cpp.o.d"
+  "harmonic_labels"
+  "harmonic_labels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmonic_labels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

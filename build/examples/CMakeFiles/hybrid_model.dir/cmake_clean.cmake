@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_model.dir/hybrid_model.cpp.o"
+  "CMakeFiles/hybrid_model.dir/hybrid_model.cpp.o.d"
+  "hybrid_model"
+  "hybrid_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mst_demo.dir/mst_demo.cpp.o"
+  "CMakeFiles/mst_demo.dir/mst_demo.cpp.o.d"
+  "mst_demo"
+  "mst_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mst_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_diagnostics.dir/network_diagnostics.cpp.o"
+  "CMakeFiles/network_diagnostics.dir/network_diagnostics.cpp.o.d"
+  "network_diagnostics"
+  "network_diagnostics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_diagnostics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

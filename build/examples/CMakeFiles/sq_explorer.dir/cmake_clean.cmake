@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sq_explorer.dir/sq_explorer.cpp.o"
+  "CMakeFiles/sq_explorer.dir/sq_explorer.cpp.o.d"
+  "sq_explorer"
+  "sq_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sq_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

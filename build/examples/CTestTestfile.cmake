@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--rows" "8" "--cols" "8")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_electrical_flow "/root/repo/build/examples/electrical_flow" "--rows" "6" "--cols" "6")
+set_tests_properties(example_electrical_flow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_network_diagnostics "/root/repo/build/examples/network_diagnostics" "--side" "6" "--trials" "2")
+set_tests_properties(example_network_diagnostics PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hybrid_model "/root/repo/build/examples/hybrid_model" "--n" "64")
+set_tests_properties(example_hybrid_model PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mst_demo "/root/repo/build/examples/mst_demo" "--rows" "8" "--cols" "8")
+set_tests_properties(example_mst_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_approximate_maxflow "/root/repo/build/examples/approximate_maxflow" "--rows" "6" "--cols" "6" "--iters" "6")
+set_tests_properties(example_approximate_maxflow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_harmonic_labels "/root/repo/build/examples/harmonic_labels" "--n" "60" "--labels" "4")
+set_tests_properties(example_harmonic_labels PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sq_explorer "/root/repo/build/examples/sq_explorer" "--family" "grid" "--n" "64")
+set_tests_properties(example_sq_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_congested_pa_tour "/root/repo/build/examples/congested_pa_tour" "--side" "6")
+set_tests_properties(example_congested_pa_tour PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")

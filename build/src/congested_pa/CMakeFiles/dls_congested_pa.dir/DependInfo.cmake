@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/congested_pa/edge_coloring.cpp" "src/congested_pa/CMakeFiles/dls_congested_pa.dir/edge_coloring.cpp.o" "gcc" "src/congested_pa/CMakeFiles/dls_congested_pa.dir/edge_coloring.cpp.o.d"
+  "/root/repo/src/congested_pa/euler_paths.cpp" "src/congested_pa/CMakeFiles/dls_congested_pa.dir/euler_paths.cpp.o" "gcc" "src/congested_pa/CMakeFiles/dls_congested_pa.dir/euler_paths.cpp.o.d"
+  "/root/repo/src/congested_pa/heavy_paths.cpp" "src/congested_pa/CMakeFiles/dls_congested_pa.dir/heavy_paths.cpp.o" "gcc" "src/congested_pa/CMakeFiles/dls_congested_pa.dir/heavy_paths.cpp.o.d"
+  "/root/repo/src/congested_pa/layered_graph.cpp" "src/congested_pa/CMakeFiles/dls_congested_pa.dir/layered_graph.cpp.o" "gcc" "src/congested_pa/CMakeFiles/dls_congested_pa.dir/layered_graph.cpp.o.d"
+  "/root/repo/src/congested_pa/path_restricted.cpp" "src/congested_pa/CMakeFiles/dls_congested_pa.dir/path_restricted.cpp.o" "gcc" "src/congested_pa/CMakeFiles/dls_congested_pa.dir/path_restricted.cpp.o.d"
+  "/root/repo/src/congested_pa/solver.cpp" "src/congested_pa/CMakeFiles/dls_congested_pa.dir/solver.cpp.o" "gcc" "src/congested_pa/CMakeFiles/dls_congested_pa.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/shortcuts/CMakeFiles/dls_shortcuts.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dls_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dls_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

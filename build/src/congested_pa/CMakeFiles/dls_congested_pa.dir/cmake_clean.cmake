@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dls_congested_pa.dir/edge_coloring.cpp.o"
+  "CMakeFiles/dls_congested_pa.dir/edge_coloring.cpp.o.d"
+  "CMakeFiles/dls_congested_pa.dir/euler_paths.cpp.o"
+  "CMakeFiles/dls_congested_pa.dir/euler_paths.cpp.o.d"
+  "CMakeFiles/dls_congested_pa.dir/heavy_paths.cpp.o"
+  "CMakeFiles/dls_congested_pa.dir/heavy_paths.cpp.o.d"
+  "CMakeFiles/dls_congested_pa.dir/layered_graph.cpp.o"
+  "CMakeFiles/dls_congested_pa.dir/layered_graph.cpp.o.d"
+  "CMakeFiles/dls_congested_pa.dir/path_restricted.cpp.o"
+  "CMakeFiles/dls_congested_pa.dir/path_restricted.cpp.o.d"
+  "CMakeFiles/dls_congested_pa.dir/solver.cpp.o"
+  "CMakeFiles/dls_congested_pa.dir/solver.cpp.o.d"
+  "libdls_congested_pa.a"
+  "libdls_congested_pa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dls_congested_pa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

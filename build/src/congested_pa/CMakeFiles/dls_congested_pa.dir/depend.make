@@ -1,0 +1,2 @@
+# Empty dependencies file for dls_congested_pa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithms.cpp" "src/graph/CMakeFiles/dls_graph.dir/algorithms.cpp.o" "gcc" "src/graph/CMakeFiles/dls_graph.dir/algorithms.cpp.o.d"
+  "/root/repo/src/graph/flow.cpp" "src/graph/CMakeFiles/dls_graph.dir/flow.cpp.o" "gcc" "src/graph/CMakeFiles/dls_graph.dir/flow.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/dls_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/dls_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/dls_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/dls_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/graph_io.cpp" "src/graph/CMakeFiles/dls_graph.dir/graph_io.cpp.o" "gcc" "src/graph/CMakeFiles/dls_graph.dir/graph_io.cpp.o.d"
+  "/root/repo/src/graph/minor_density.cpp" "src/graph/CMakeFiles/dls_graph.dir/minor_density.cpp.o" "gcc" "src/graph/CMakeFiles/dls_graph.dir/minor_density.cpp.o.d"
+  "/root/repo/src/graph/tree_decomposition.cpp" "src/graph/CMakeFiles/dls_graph.dir/tree_decomposition.cpp.o" "gcc" "src/graph/CMakeFiles/dls_graph.dir/tree_decomposition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

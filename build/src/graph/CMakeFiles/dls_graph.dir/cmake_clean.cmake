@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dls_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/dls_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/dls_graph.dir/flow.cpp.o"
+  "CMakeFiles/dls_graph.dir/flow.cpp.o.d"
+  "CMakeFiles/dls_graph.dir/generators.cpp.o"
+  "CMakeFiles/dls_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/dls_graph.dir/graph.cpp.o"
+  "CMakeFiles/dls_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/dls_graph.dir/graph_io.cpp.o"
+  "CMakeFiles/dls_graph.dir/graph_io.cpp.o.d"
+  "CMakeFiles/dls_graph.dir/minor_density.cpp.o"
+  "CMakeFiles/dls_graph.dir/minor_density.cpp.o.d"
+  "CMakeFiles/dls_graph.dir/tree_decomposition.cpp.o"
+  "CMakeFiles/dls_graph.dir/tree_decomposition.cpp.o.d"
+  "libdls_graph.a"
+  "libdls_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dls_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

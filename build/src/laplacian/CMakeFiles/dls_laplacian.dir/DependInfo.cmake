@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/laplacian/electrical.cpp" "src/laplacian/CMakeFiles/dls_laplacian.dir/electrical.cpp.o" "gcc" "src/laplacian/CMakeFiles/dls_laplacian.dir/electrical.cpp.o.d"
+  "/root/repo/src/laplacian/elimination.cpp" "src/laplacian/CMakeFiles/dls_laplacian.dir/elimination.cpp.o" "gcc" "src/laplacian/CMakeFiles/dls_laplacian.dir/elimination.cpp.o.d"
+  "/root/repo/src/laplacian/harmonic.cpp" "src/laplacian/CMakeFiles/dls_laplacian.dir/harmonic.cpp.o" "gcc" "src/laplacian/CMakeFiles/dls_laplacian.dir/harmonic.cpp.o.d"
+  "/root/repo/src/laplacian/low_stretch_tree.cpp" "src/laplacian/CMakeFiles/dls_laplacian.dir/low_stretch_tree.cpp.o" "gcc" "src/laplacian/CMakeFiles/dls_laplacian.dir/low_stretch_tree.cpp.o.d"
+  "/root/repo/src/laplacian/maxflow.cpp" "src/laplacian/CMakeFiles/dls_laplacian.dir/maxflow.cpp.o" "gcc" "src/laplacian/CMakeFiles/dls_laplacian.dir/maxflow.cpp.o.d"
+  "/root/repo/src/laplacian/mincut.cpp" "src/laplacian/CMakeFiles/dls_laplacian.dir/mincut.cpp.o" "gcc" "src/laplacian/CMakeFiles/dls_laplacian.dir/mincut.cpp.o.d"
+  "/root/repo/src/laplacian/minor.cpp" "src/laplacian/CMakeFiles/dls_laplacian.dir/minor.cpp.o" "gcc" "src/laplacian/CMakeFiles/dls_laplacian.dir/minor.cpp.o.d"
+  "/root/repo/src/laplacian/pa_oracle.cpp" "src/laplacian/CMakeFiles/dls_laplacian.dir/pa_oracle.cpp.o" "gcc" "src/laplacian/CMakeFiles/dls_laplacian.dir/pa_oracle.cpp.o.d"
+  "/root/repo/src/laplacian/recursive_solver.cpp" "src/laplacian/CMakeFiles/dls_laplacian.dir/recursive_solver.cpp.o" "gcc" "src/laplacian/CMakeFiles/dls_laplacian.dir/recursive_solver.cpp.o.d"
+  "/root/repo/src/laplacian/spanning_tree.cpp" "src/laplacian/CMakeFiles/dls_laplacian.dir/spanning_tree.cpp.o" "gcc" "src/laplacian/CMakeFiles/dls_laplacian.dir/spanning_tree.cpp.o.d"
+  "/root/repo/src/laplacian/tree_solver.cpp" "src/laplacian/CMakeFiles/dls_laplacian.dir/tree_solver.cpp.o" "gcc" "src/laplacian/CMakeFiles/dls_laplacian.dir/tree_solver.cpp.o.d"
+  "/root/repo/src/laplacian/ultra_sparsifier.cpp" "src/laplacian/CMakeFiles/dls_laplacian.dir/ultra_sparsifier.cpp.o" "gcc" "src/laplacian/CMakeFiles/dls_laplacian.dir/ultra_sparsifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/congested_pa/CMakeFiles/dls_congested_pa.dir/DependInfo.cmake"
+  "/root/repo/build/src/shortcuts/CMakeFiles/dls_shortcuts.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dls_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dls_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dls_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dls_laplacian.dir/electrical.cpp.o"
+  "CMakeFiles/dls_laplacian.dir/electrical.cpp.o.d"
+  "CMakeFiles/dls_laplacian.dir/elimination.cpp.o"
+  "CMakeFiles/dls_laplacian.dir/elimination.cpp.o.d"
+  "CMakeFiles/dls_laplacian.dir/harmonic.cpp.o"
+  "CMakeFiles/dls_laplacian.dir/harmonic.cpp.o.d"
+  "CMakeFiles/dls_laplacian.dir/low_stretch_tree.cpp.o"
+  "CMakeFiles/dls_laplacian.dir/low_stretch_tree.cpp.o.d"
+  "CMakeFiles/dls_laplacian.dir/maxflow.cpp.o"
+  "CMakeFiles/dls_laplacian.dir/maxflow.cpp.o.d"
+  "CMakeFiles/dls_laplacian.dir/mincut.cpp.o"
+  "CMakeFiles/dls_laplacian.dir/mincut.cpp.o.d"
+  "CMakeFiles/dls_laplacian.dir/minor.cpp.o"
+  "CMakeFiles/dls_laplacian.dir/minor.cpp.o.d"
+  "CMakeFiles/dls_laplacian.dir/pa_oracle.cpp.o"
+  "CMakeFiles/dls_laplacian.dir/pa_oracle.cpp.o.d"
+  "CMakeFiles/dls_laplacian.dir/recursive_solver.cpp.o"
+  "CMakeFiles/dls_laplacian.dir/recursive_solver.cpp.o.d"
+  "CMakeFiles/dls_laplacian.dir/spanning_tree.cpp.o"
+  "CMakeFiles/dls_laplacian.dir/spanning_tree.cpp.o.d"
+  "CMakeFiles/dls_laplacian.dir/tree_solver.cpp.o"
+  "CMakeFiles/dls_laplacian.dir/tree_solver.cpp.o.d"
+  "CMakeFiles/dls_laplacian.dir/ultra_sparsifier.cpp.o"
+  "CMakeFiles/dls_laplacian.dir/ultra_sparsifier.cpp.o.d"
+  "libdls_laplacian.a"
+  "libdls_laplacian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dls_laplacian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

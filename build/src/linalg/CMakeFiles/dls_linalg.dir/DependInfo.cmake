@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/cholesky.cpp" "src/linalg/CMakeFiles/dls_linalg.dir/cholesky.cpp.o" "gcc" "src/linalg/CMakeFiles/dls_linalg.dir/cholesky.cpp.o.d"
+  "/root/repo/src/linalg/laplacian.cpp" "src/linalg/CMakeFiles/dls_linalg.dir/laplacian.cpp.o" "gcc" "src/linalg/CMakeFiles/dls_linalg.dir/laplacian.cpp.o.d"
+  "/root/repo/src/linalg/solvers.cpp" "src/linalg/CMakeFiles/dls_linalg.dir/solvers.cpp.o" "gcc" "src/linalg/CMakeFiles/dls_linalg.dir/solvers.cpp.o.d"
+  "/root/repo/src/linalg/vector_ops.cpp" "src/linalg/CMakeFiles/dls_linalg.dir/vector_ops.cpp.o" "gcc" "src/linalg/CMakeFiles/dls_linalg.dir/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/dls_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

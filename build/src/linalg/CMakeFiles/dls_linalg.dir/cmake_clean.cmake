@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dls_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/dls_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/dls_linalg.dir/laplacian.cpp.o"
+  "CMakeFiles/dls_linalg.dir/laplacian.cpp.o.d"
+  "CMakeFiles/dls_linalg.dir/solvers.cpp.o"
+  "CMakeFiles/dls_linalg.dir/solvers.cpp.o.d"
+  "CMakeFiles/dls_linalg.dir/vector_ops.cpp.o"
+  "CMakeFiles/dls_linalg.dir/vector_ops.cpp.o.d"
+  "libdls_linalg.a"
+  "libdls_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dls_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

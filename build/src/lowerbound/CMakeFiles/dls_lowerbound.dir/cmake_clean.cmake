@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dls_lowerbound.dir/spanning_connected_subgraph.cpp.o"
+  "CMakeFiles/dls_lowerbound.dir/spanning_connected_subgraph.cpp.o.d"
+  "libdls_lowerbound.a"
+  "libdls_lowerbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dls_lowerbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

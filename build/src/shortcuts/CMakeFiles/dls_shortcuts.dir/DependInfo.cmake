@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shortcuts/construction.cpp" "src/shortcuts/CMakeFiles/dls_shortcuts.dir/construction.cpp.o" "gcc" "src/shortcuts/CMakeFiles/dls_shortcuts.dir/construction.cpp.o.d"
+  "/root/repo/src/shortcuts/partition.cpp" "src/shortcuts/CMakeFiles/dls_shortcuts.dir/partition.cpp.o" "gcc" "src/shortcuts/CMakeFiles/dls_shortcuts.dir/partition.cpp.o.d"
+  "/root/repo/src/shortcuts/partwise_aggregation.cpp" "src/shortcuts/CMakeFiles/dls_shortcuts.dir/partwise_aggregation.cpp.o" "gcc" "src/shortcuts/CMakeFiles/dls_shortcuts.dir/partwise_aggregation.cpp.o.d"
+  "/root/repo/src/shortcuts/quality_estimator.cpp" "src/shortcuts/CMakeFiles/dls_shortcuts.dir/quality_estimator.cpp.o" "gcc" "src/shortcuts/CMakeFiles/dls_shortcuts.dir/quality_estimator.cpp.o.d"
+  "/root/repo/src/shortcuts/shortcut.cpp" "src/shortcuts/CMakeFiles/dls_shortcuts.dir/shortcut.cpp.o" "gcc" "src/shortcuts/CMakeFiles/dls_shortcuts.dir/shortcut.cpp.o.d"
+  "/root/repo/src/shortcuts/unicast.cpp" "src/shortcuts/CMakeFiles/dls_shortcuts.dir/unicast.cpp.o" "gcc" "src/shortcuts/CMakeFiles/dls_shortcuts.dir/unicast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/dls_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dls_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dls_shortcuts.dir/construction.cpp.o"
+  "CMakeFiles/dls_shortcuts.dir/construction.cpp.o.d"
+  "CMakeFiles/dls_shortcuts.dir/partition.cpp.o"
+  "CMakeFiles/dls_shortcuts.dir/partition.cpp.o.d"
+  "CMakeFiles/dls_shortcuts.dir/partwise_aggregation.cpp.o"
+  "CMakeFiles/dls_shortcuts.dir/partwise_aggregation.cpp.o.d"
+  "CMakeFiles/dls_shortcuts.dir/quality_estimator.cpp.o"
+  "CMakeFiles/dls_shortcuts.dir/quality_estimator.cpp.o.d"
+  "CMakeFiles/dls_shortcuts.dir/shortcut.cpp.o"
+  "CMakeFiles/dls_shortcuts.dir/shortcut.cpp.o.d"
+  "CMakeFiles/dls_shortcuts.dir/unicast.cpp.o"
+  "CMakeFiles/dls_shortcuts.dir/unicast.cpp.o.d"
+  "libdls_shortcuts.a"
+  "libdls_shortcuts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dls_shortcuts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/aggregation_scheduler.cpp" "src/sim/CMakeFiles/dls_sim.dir/aggregation_scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/dls_sim.dir/aggregation_scheduler.cpp.o.d"
+  "/root/repo/src/sim/hybrid.cpp" "src/sim/CMakeFiles/dls_sim.dir/hybrid.cpp.o" "gcc" "src/sim/CMakeFiles/dls_sim.dir/hybrid.cpp.o.d"
+  "/root/repo/src/sim/ncc.cpp" "src/sim/CMakeFiles/dls_sim.dir/ncc.cpp.o" "gcc" "src/sim/CMakeFiles/dls_sim.dir/ncc.cpp.o.d"
+  "/root/repo/src/sim/protocols.cpp" "src/sim/CMakeFiles/dls_sim.dir/protocols.cpp.o" "gcc" "src/sim/CMakeFiles/dls_sim.dir/protocols.cpp.o.d"
+  "/root/repo/src/sim/round_ledger.cpp" "src/sim/CMakeFiles/dls_sim.dir/round_ledger.cpp.o" "gcc" "src/sim/CMakeFiles/dls_sim.dir/round_ledger.cpp.o.d"
+  "/root/repo/src/sim/sync_network.cpp" "src/sim/CMakeFiles/dls_sim.dir/sync_network.cpp.o" "gcc" "src/sim/CMakeFiles/dls_sim.dir/sync_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/dls_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

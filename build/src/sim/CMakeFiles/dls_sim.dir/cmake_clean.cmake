@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dls_sim.dir/aggregation_scheduler.cpp.o"
+  "CMakeFiles/dls_sim.dir/aggregation_scheduler.cpp.o.d"
+  "CMakeFiles/dls_sim.dir/hybrid.cpp.o"
+  "CMakeFiles/dls_sim.dir/hybrid.cpp.o.d"
+  "CMakeFiles/dls_sim.dir/ncc.cpp.o"
+  "CMakeFiles/dls_sim.dir/ncc.cpp.o.d"
+  "CMakeFiles/dls_sim.dir/protocols.cpp.o"
+  "CMakeFiles/dls_sim.dir/protocols.cpp.o.d"
+  "CMakeFiles/dls_sim.dir/round_ledger.cpp.o"
+  "CMakeFiles/dls_sim.dir/round_ledger.cpp.o.d"
+  "CMakeFiles/dls_sim.dir/sync_network.cpp.o"
+  "CMakeFiles/dls_sim.dir/sync_network.cpp.o.d"
+  "libdls_sim.a"
+  "libdls_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dls_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

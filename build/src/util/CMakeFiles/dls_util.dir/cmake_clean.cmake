@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dls_util.dir/flags.cpp.o"
+  "CMakeFiles/dls_util.dir/flags.cpp.o.d"
+  "CMakeFiles/dls_util.dir/logging.cpp.o"
+  "CMakeFiles/dls_util.dir/logging.cpp.o.d"
+  "CMakeFiles/dls_util.dir/random.cpp.o"
+  "CMakeFiles/dls_util.dir/random.cpp.o.d"
+  "CMakeFiles/dls_util.dir/stats.cpp.o"
+  "CMakeFiles/dls_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dls_util.dir/table.cpp.o"
+  "CMakeFiles/dls_util.dir/table.cpp.o.d"
+  "libdls_util.a"
+  "libdls_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dls_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

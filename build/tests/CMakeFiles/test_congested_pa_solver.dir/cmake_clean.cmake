@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_congested_pa_solver.dir/test_congested_pa_solver.cpp.o"
+  "CMakeFiles/test_congested_pa_solver.dir/test_congested_pa_solver.cpp.o.d"
+  "test_congested_pa_solver"
+  "test_congested_pa_solver.pdb"
+  "test_congested_pa_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_congested_pa_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_electrical.dir/test_electrical.cpp.o"
+  "CMakeFiles/test_electrical.dir/test_electrical.cpp.o.d"
+  "test_electrical"
+  "test_electrical.pdb"
+  "test_electrical[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_electrical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harmonic.dir/test_harmonic.cpp.o"
+  "CMakeFiles/test_harmonic.dir/test_harmonic.cpp.o.d"
+  "test_harmonic"
+  "test_harmonic.pdb"
+  "test_harmonic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harmonic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heavy_paths.dir/test_heavy_paths.cpp.o"
+  "CMakeFiles/test_heavy_paths.dir/test_heavy_paths.cpp.o.d"
+  "test_heavy_paths"
+  "test_heavy_paths.pdb"
+  "test_heavy_paths[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heavy_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

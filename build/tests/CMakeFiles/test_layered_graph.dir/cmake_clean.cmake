@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layered_graph.dir/test_layered_graph.cpp.o"
+  "CMakeFiles/test_layered_graph.dir/test_layered_graph.cpp.o.d"
+  "test_layered_graph"
+  "test_layered_graph.pdb"
+  "test_layered_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layered_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

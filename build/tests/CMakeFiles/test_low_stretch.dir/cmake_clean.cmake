@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_low_stretch.dir/test_low_stretch.cpp.o"
+  "CMakeFiles/test_low_stretch.dir/test_low_stretch.cpp.o.d"
+  "test_low_stretch"
+  "test_low_stretch.pdb"
+  "test_low_stretch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_low_stretch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

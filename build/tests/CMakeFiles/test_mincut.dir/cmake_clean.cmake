@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mincut.dir/test_mincut.cpp.o"
+  "CMakeFiles/test_mincut.dir/test_mincut.cpp.o.d"
+  "test_mincut"
+  "test_mincut.pdb"
+  "test_mincut[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mincut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minor.dir/test_minor.cpp.o"
+  "CMakeFiles/test_minor.dir/test_minor.cpp.o.d"
+  "test_minor"
+  "test_minor.pdb"
+  "test_minor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minor_density.dir/test_minor_density.cpp.o"
+  "CMakeFiles/test_minor_density.dir/test_minor_density.cpp.o.d"
+  "test_minor_density"
+  "test_minor_density.pdb"
+  "test_minor_density[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minor_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ncc.dir/test_ncc.cpp.o"
+  "CMakeFiles/test_ncc.dir/test_ncc.cpp.o.d"
+  "test_ncc"
+  "test_ncc.pdb"
+  "test_ncc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ncc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

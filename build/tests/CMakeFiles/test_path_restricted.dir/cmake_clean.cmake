@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_restricted.dir/test_path_restricted.cpp.o"
+  "CMakeFiles/test_path_restricted.dir/test_path_restricted.cpp.o.d"
+  "test_path_restricted"
+  "test_path_restricted.pdb"
+  "test_path_restricted[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_restricted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

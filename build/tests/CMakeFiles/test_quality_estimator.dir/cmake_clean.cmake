@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quality_estimator.dir/test_quality_estimator.cpp.o"
+  "CMakeFiles/test_quality_estimator.dir/test_quality_estimator.cpp.o.d"
+  "test_quality_estimator"
+  "test_quality_estimator.pdb"
+  "test_quality_estimator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quality_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

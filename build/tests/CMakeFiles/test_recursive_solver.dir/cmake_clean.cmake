@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recursive_solver.dir/test_recursive_solver.cpp.o"
+  "CMakeFiles/test_recursive_solver.dir/test_recursive_solver.cpp.o.d"
+  "test_recursive_solver"
+  "test_recursive_solver.pdb"
+  "test_recursive_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recursive_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

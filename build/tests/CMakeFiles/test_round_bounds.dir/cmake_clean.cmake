@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_round_bounds.dir/test_round_bounds.cpp.o"
+  "CMakeFiles/test_round_bounds.dir/test_round_bounds.cpp.o.d"
+  "test_round_bounds"
+  "test_round_bounds.pdb"
+  "test_round_bounds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_round_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

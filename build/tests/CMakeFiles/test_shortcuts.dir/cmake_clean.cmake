@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shortcuts.dir/test_shortcuts.cpp.o"
+  "CMakeFiles/test_shortcuts.dir/test_shortcuts.cpp.o.d"
+  "test_shortcuts"
+  "test_shortcuts.pdb"
+  "test_shortcuts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shortcuts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ultra_sparsifier.dir/test_ultra_sparsifier.cpp.o"
+  "CMakeFiles/test_ultra_sparsifier.dir/test_ultra_sparsifier.cpp.o.d"
+  "test_ultra_sparsifier"
+  "test_ultra_sparsifier.pdb"
+  "test_ultra_sparsifier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ultra_sparsifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
