@@ -12,6 +12,7 @@
 #include "graph/graph.hpp"
 #include "linalg/vector_ops.hpp"
 #include "shortcuts/partition.hpp"
+#include "sim/round_ledger.hpp"
 #include "util/random.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -44,6 +45,25 @@ inline std::vector<std::vector<double>> unit_values(const PartCollection& pc) {
 inline void print_fit(const char* label, const PowerFit& fit) {
   std::cout << label << ": y ~ " << fit.constant << " * x^" << fit.exponent
             << " (r2 = " << fit.r2 << ")\n";
+}
+
+/// Per-phase congestion breakdown of a ledger: one line per entry that was
+/// simulated at message level (entries with zero messages were charge-only
+/// and are skipped).
+inline void print_congestion(const std::string& heading,
+                             const RoundLedger& ledger) {
+  std::cout << "\n" << heading << " (phase: rounds, messages, "
+            << "peak slot msgs, peak round msgs)\n";
+  for (const LedgerEntry& e : ledger.entries()) {
+    if (e.congestion.messages == 0) continue;
+    std::cout << "  " << e.label << ": "
+              << (e.local_rounds > 0 ? e.local_rounds : e.global_rounds) << ", "
+              << e.congestion.messages << ", "
+              << e.congestion.peak_slot_messages << ", "
+              << e.congestion.peak_round_messages << "\n";
+  }
+  std::cout << "  overall peak slot congestion: " << ledger.peak_congestion()
+            << " (total messages: " << ledger.total_messages() << ")\n";
 }
 
 }  // namespace dls::bench

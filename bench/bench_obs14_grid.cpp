@@ -19,7 +19,10 @@ int main() {
          "sequential 1-congested decomposition");
 
   Table table({"side", "n", "parts", "overlapping part pairs", "rho",
-               "layered rounds", "sequential rounds", "seq phases"});
+               "layered rounds", "sequential rounds", "seq phases",
+               "layered peak slot", "seq peak slot"});
+  RoundLedger largest_ledger;
+  std::size_t largest_side = 0;
   for (std::size_t side : {4u, 8u, 12u, 16u, 20u}) {
     const Graph g = make_grid(side, side);
     const PartCollection pc = figure1_diagonal_instance(side);
@@ -51,9 +54,16 @@ int main() {
                    Table::cell(pc.num_parts()), Table::cell(overlapping_pairs),
                    Table::cell(fast.congestion), Table::cell(fast.total_rounds),
                    Table::cell(slow.total_rounds),
-                   Table::cell(static_cast<std::size_t>(slow.phases))});
+                   Table::cell(static_cast<std::size_t>(slow.phases)),
+                   Table::cell(fast.ledger.peak_congestion()),
+                   Table::cell(slow.ledger.peak_congestion())});
+    largest_ledger = fast.ledger;
+    largest_side = side;
   }
   table.print(std::cout);
+  print_congestion("layered pipeline congestion, side=" +
+                       std::to_string(largest_side),
+                   largest_ledger);
   footnote(
       "Expected shape: overlapping pairs grow with the number of parts "
       "(= 2*side-2), so any reduction to 1-congested instances needs "

@@ -16,7 +16,8 @@ int main() {
 
   const Graph g = make_grid(12, 12);
   std::cout << "topology: " << g.describe() << " (D = 22)\n\n";
-  Table table({"parts k", "shortcut rounds", "baseline rounds", "ncc rounds"});
+  Table table({"parts k", "shortcut rounds", "baseline rounds", "ncc rounds",
+               "shortcut peak slot", "baseline peak slot"});
   std::vector<double> ks, fast, slow;
   for (const std::size_t k : {2u, 4u, 8u, 16u, 32u, 64u}) {
     Rng part_rng(9);
@@ -31,7 +32,9 @@ int main() {
     c.aggregate_once(pc, values, AggregationMonoid::sum());
     table.add_row({Table::cell(k), Table::cell(a.ledger().total_local()),
                    Table::cell(b.ledger().total_local()),
-                   Table::cell(c.ledger().total_global())});
+                   Table::cell(c.ledger().total_global()),
+                   Table::cell(a.ledger().peak_congestion()),
+                   Table::cell(b.ledger().peak_congestion())});
     ks.push_back(static_cast<double>(k));
     fast.push_back(static_cast<double>(a.ledger().total_local()));
     slow.push_back(static_cast<double>(b.ledger().total_local()));

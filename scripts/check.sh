@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build and run the full test suite, normally and under
+# ASan+UBSan (via the asan-ubsan preset in CMakePresets.json). Run from the
+# repository root; pass --sanitize-only to skip the plain build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+if [[ "${1:-}" != "--sanitize-only" ]]; then
+  cmake --preset default
+  cmake --build --preset default -j "$jobs"
+  ctest --preset default -j "$jobs"
+fi
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$jobs"
+ctest --preset asan-ubsan -j "$jobs"
+
+echo "check.sh: all suites passed"

@@ -164,6 +164,7 @@ PathRestrictedOutcome solve_path_restricted(const Graph& g,
         lifted.layered->graph(), lifted.parts, lifted.values, monoid,
         best.shortcut, rng, policy);
     outcome.layered_pa_rounds = pa.schedule.total_rounds;
+    outcome.layered_congestion = pa.schedule.congestion();
     for (std::size_t i = 0; i < inst.paths.size(); ++i) {
       if (lifted.lifted_of[i] != static_cast<std::size_t>(-1)) {
         outcome.results[i] = pa.results[lifted.lifted_of[i]];

@@ -53,6 +53,8 @@ struct PathRestrictedOutcome {
   std::uint64_t layered_pa_rounds = 0;  // measured rounds on Ĝ_C
   std::uint64_t charged_rounds = 0;     // coloring + C · layered (Lemma 16)
   ShortcutQuality layered_shortcut_quality;
+  /// Observed congestion of the layered PA schedule (zero if no messages).
+  PhaseCongestion layered_congestion;
 };
 
 PathRestrictedOutcome solve_path_restricted(

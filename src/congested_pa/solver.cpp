@@ -90,7 +90,8 @@ CongestedPaOutcome solve_congested_pa(
     const PartwiseAggregationOutcome pa = solve_partwise_aggregation(
         g, pc, values, monoid, best.shortcut, rng, options.policy);
     outcome.results = pa.results;
-    outcome.ledger.charge_local(pa.schedule.total_rounds, "pa-1-congested");
+    outcome.ledger.charge_local(pa.schedule.total_rounds, "pa-1-congested",
+                                pa.schedule.congestion());
     outcome.total_rounds = outcome.ledger.total_local();
     outcome.phases = 1;
     outcome.max_layers = 1;
@@ -121,7 +122,8 @@ CongestedPaOutcome solve_congested_pa(
       outcome.max_layers = phase.layers;
       charge_build(phase.layered_shortcut_quality.quality(), phase.layers,
                    "construct-path-restricted");
-      outcome.ledger.charge_local(phase.charged_rounds, "pa-path-restricted");
+      outcome.ledger.charge_local(phase.charged_rounds, "pa-path-restricted",
+                                  phase.layered_congestion);
       outcome.total_rounds = outcome.ledger.total_local();
       outcome.phases = 1;
       return outcome;
@@ -177,7 +179,8 @@ CongestedPaOutcome solve_congested_pa(
     charge_build(phase.layered_shortcut_quality.quality(), phase.layers,
                  "construct-up(d=" + std::to_string(d) + ")");
     outcome.ledger.charge_local(phase.charged_rounds,
-                                "up-phase(d=" + std::to_string(d) + ")");
+                                "up-phase(d=" + std::to_string(d) + ")",
+                                phase.layered_congestion);
     ++outcome.phases;
     // Record aggregates and perform head→attach transfers.
     std::vector<std::pair<NodeId, NodeId>> transfers;
@@ -236,7 +239,8 @@ CongestedPaOutcome solve_congested_pa(
     charge_build(phase.layered_shortcut_quality.quality(), phase.layers,
                  "construct-down(d=" + std::to_string(d) + ")");
     outcome.ledger.charge_local(phase.charged_rounds,
-                                "down-phase(d=" + std::to_string(d) + ")");
+                                "down-phase(d=" + std::to_string(d) + ")",
+                                phase.layered_congestion);
     ++outcome.phases;
   }
 
@@ -260,7 +264,8 @@ CongestedPaOutcome solve_congested_pa_sequential_baseline(
         g, single, {values[i]}, monoid, best.shortcut, rng, policy);
     outcome.results[i] = pa.results[0];
     outcome.ledger.charge_local(pa.schedule.total_rounds,
-                                "part(" + std::to_string(i) + ")");
+                                "part(" + std::to_string(i) + ")",
+                                pa.schedule.congestion());
     ++outcome.phases;
   }
   outcome.total_rounds = outcome.ledger.total_local();

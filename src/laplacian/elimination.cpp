@@ -58,9 +58,12 @@ EliminationResult eliminate_degree_le2(const MinorGraph& minor,
       break;
     }
     if (adj[v].size() == 1) {
-      const auto& [u, entry] = *adj[v].begin();
+      // Copy before adj[v].clear() below — references into the map node
+      // would dangle once it is freed.
+      const NodeId u = adj[v].begin()->first;
+      const double weight = adj[v].begin()->second.weight;
       result.steps.push_back(
-          {EliminationStep::Kind::kDegreeOne, v, u, kInvalidNode, entry.weight, 0.0});
+          {EliminationStep::Kind::kDegreeOne, v, u, kInvalidNode, weight, 0.0});
       adj[u].erase(v);
       adj[v].clear();
       alive[v] = 0;

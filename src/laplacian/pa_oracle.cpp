@@ -26,10 +26,12 @@ std::vector<double> CongestedPaOracle::aggregate(
   }
   ++pa_calls_;
   if (prepared.cost.local_rounds > 0) {
-    ledger_.charge_local(prepared.cost.local_rounds, name() + "-pa");
+    ledger_.charge_local(prepared.cost.local_rounds, name() + "-pa",
+                         prepared.cost.congestion);
   }
   if (prepared.cost.global_rounds > 0) {
-    ledger_.charge_global(prepared.cost.global_rounds, name() + "-pa");
+    ledger_.charge_global(prepared.cost.global_rounds, name() + "-pa",
+                          prepared.cost.congestion);
   }
   // Results equal the sequential fold (the distributed protocols were
   // validated against it once at measure() time and in the test suite).
@@ -76,7 +78,11 @@ CongestedPaOracle::Measured ShortcutPaOracle::measure(const PartCollection& pc) 
     DLS_ASSERT(outcome.results[i] == static_cast<double>(pc.parts[i].size()),
                "shortcut PA run disagrees with sequential fold");
   }
-  return {outcome.total_rounds, 0};
+  PhaseCongestion congestion;
+  for (const LedgerEntry& e : outcome.ledger.entries()) {
+    congestion = merge_phases(congestion, e.congestion);
+  }
+  return {outcome.total_rounds, 0, congestion};
 }
 
 CongestedPaOracle::Measured NccPaOracle::measure(const PartCollection& pc) {
@@ -101,6 +107,7 @@ CongestedPaOracle::Measured BaselinePaOracle::measure(const PartCollection& pc) 
   std::vector<char> assigned(pc.num_parts(), 0);
   std::size_t remaining = pc.num_parts();
   std::uint64_t total_rounds = 0;
+  PhaseCongestion congestion;
   // Global BFS tree reused as H_i for every part of every batch.
   Rng tree_rng = rng_.fork();
   const RootedSpanningTree tree = centered_bfs_tree(graph(), tree_rng);
@@ -130,8 +137,9 @@ CongestedPaOracle::Measured BaselinePaOracle::measure(const PartCollection& pc) 
         graph(), batch, batch_values, AggregationMonoid::sum(), shortcut, rng_,
         policy_);
     total_rounds += pa.schedule.total_rounds;
+    congestion = merge_phases(congestion, pa.schedule.congestion());
   }
-  return {total_rounds, 0};
+  return {total_rounds, 0, congestion};
 }
 
 }  // namespace dls

@@ -66,6 +66,11 @@ class CongestedPaOracle {
   struct Measured {
     std::uint64_t local_rounds = 0;
     std::uint64_t global_rounds = 0;
+    /// Congestion profile observed while measuring (local oracles only; the
+    /// NCC clique model has no edge slots). Attached to every ledger charge
+    /// of this instance, so solver totals decompose into where traffic
+    /// concentrated.
+    PhaseCongestion congestion;
   };
   /// Runs the model-specific distributed simulation once per instance.
   virtual Measured measure(const PartCollection& pc) = 0;

@@ -64,13 +64,13 @@ void apply_load(const Graph& g, const std::vector<NodeId>& path,
 UnicastSolution measure_paths(const Graph& g,
                               std::vector<std::vector<NodeId>> paths) {
   UnicastSolution solution;
-  std::vector<std::size_t> load(g.num_edges(), 0);
+  solution.edge_load.assign(g.num_edges(), 0);
   for (const auto& path : paths) {
     DLS_REQUIRE(!path.empty(), "empty path");
     solution.dilation = std::max(solution.dilation, path.size() - 1);
     for (std::size_t i = 0; i + 1 < path.size(); ++i) {
       const EdgeId e = edge_between(g, path[i], path[i + 1]);
-      solution.congestion = std::max(solution.congestion, ++load[e]);
+      solution.congestion = std::max(solution.congestion, ++solution.edge_load[e]);
     }
   }
   solution.paths = std::move(paths);

@@ -23,6 +23,7 @@ struct UnicastSolution {
   std::vector<std::vector<NodeId>> paths;  // one per routed pair
   std::size_t congestion = 0;              // max paths per (undirected) edge
   std::size_t dilation = 0;                // max path hops
+  std::vector<std::size_t> edge_load;      // paths per edge, indexed by EdgeId
   std::size_t quality() const { return std::max(congestion, dilation); }
 };
 

@@ -1,12 +1,7 @@
 #include "sim/aggregation_scheduler.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
-#include <map>
-#include <unordered_map>
-
-#include "graph/algorithms.hpp"
 
 namespace dls {
 
@@ -24,73 +19,152 @@ AggregationMonoid AggregationMonoid::max() {
 
 namespace {
 
-/// Rooted view of one aggregation tree, with local node indexing.
+/// Rooted view of one aggregation tree, with local node indexing. Children
+/// are stored as a flat CSR slice in BFS discovery order.
 struct RootedTree {
   std::vector<NodeId> nodes;                    // local -> host node
-  std::unordered_map<NodeId, std::uint32_t> local;  // host -> local
   std::vector<std::uint32_t> parent;            // local parent index (root: self)
   std::vector<EdgeId> parent_edge;              // host edge towards parent
   std::vector<std::uint32_t> num_children;
-  std::vector<std::vector<std::uint32_t>> children;
+  std::vector<std::uint32_t> child_offset;      // size k+1
+  std::vector<std::uint32_t> child_list;        // size k-1
   std::vector<std::uint32_t> depth;
+  std::vector<std::pair<NodeId, std::uint32_t>> local_index;  // sorted by host
   std::uint32_t root_local = 0;
+
+  std::uint32_t local_at(NodeId v) const {
+    const auto it = std::lower_bound(
+        local_index.begin(), local_index.end(), v,
+        [](const std::pair<NodeId, std::uint32_t>& p, NodeId w) {
+          return p.first < w;
+        });
+    DLS_ASSERT(it != local_index.end() && it->first == v,
+               "node not on aggregation tree");
+    return it->second;
+  }
 };
 
-RootedTree build_rooted_tree(const Graph& g, const AggregationTree& tree) {
+/// Reusable buffers for rooting trees: epoch-stamped host→local mapping and
+/// a CSR adjacency over the tree's edges. One instance serves every tree of
+/// every call (thread-local below), so rooting never allocates hash maps.
+struct TreeBuildScratch {
+  std::uint64_t epoch = 0;
+  std::vector<std::uint64_t> node_epoch;  // host node stamped this epoch?
+  std::vector<std::uint32_t> local_of;    // valid iff stamped
+  std::vector<std::uint32_t> deg;
+  std::vector<std::uint32_t> offset;      // CSR offsets, size k+1
+  std::vector<std::uint32_t> cursor;
+  std::vector<std::pair<std::uint32_t, EdgeId>> csr;  // (local nbr, host edge)
+  std::vector<std::uint32_t> order;       // BFS dequeue order (local ids)
+  std::vector<char> seen;
+
+  void ensure_nodes(std::size_t n) {
+    if (node_epoch.size() < n) {
+      node_epoch.resize(n, 0);
+      local_of.resize(n, 0);
+    }
+  }
+};
+
+TreeBuildScratch& tree_scratch() {
+  thread_local TreeBuildScratch scratch;
+  return scratch;
+}
+
+RootedTree build_rooted_tree(const Graph& g, const AggregationTree& tree,
+                             TreeBuildScratch& sc) {
   RootedTree rt;
-  // Collect tree nodes from edges plus root.
+  sc.ensure_nodes(g.num_nodes());
+  ++sc.epoch;
+  // Collect tree nodes from edges plus root; local ids in first-touch order
+  // (root first, then edge endpoints in edge order).
   auto touch = [&](NodeId v) {
-    if (rt.local.find(v) == rt.local.end()) {
-      rt.local.emplace(v, static_cast<std::uint32_t>(rt.nodes.size()));
+    if (sc.node_epoch[v] != sc.epoch) {
+      sc.node_epoch[v] = sc.epoch;
+      sc.local_of[v] = static_cast<std::uint32_t>(rt.nodes.size());
       rt.nodes.push_back(v);
     }
   };
   DLS_REQUIRE(tree.root != kInvalidNode, "aggregation tree needs a root");
   touch(tree.root);
-  std::unordered_map<NodeId, std::vector<std::pair<NodeId, EdgeId>>> adj;
   for (EdgeId e : tree.edges) {
     const Edge& edge = g.edge(e);
     touch(edge.u);
     touch(edge.v);
-    adj[edge.u].push_back({edge.v, e});
-    adj[edge.v].push_back({edge.u, e});
   }
   const std::size_t k = rt.nodes.size();
   DLS_REQUIRE(tree.edges.size() + 1 == k,
               "aggregation tree edges must form a tree");
+
+  // CSR adjacency over local ids, per-node neighbor order = edge order.
+  sc.deg.assign(k, 0);
+  for (EdgeId e : tree.edges) {
+    const Edge& edge = g.edge(e);
+    ++sc.deg[sc.local_of[edge.u]];
+    ++sc.deg[sc.local_of[edge.v]];
+  }
+  sc.offset.assign(k + 1, 0);
+  for (std::size_t x = 0; x < k; ++x) sc.offset[x + 1] = sc.offset[x] + sc.deg[x];
+  sc.cursor.assign(sc.offset.begin(), sc.offset.end() - 1);
+  sc.csr.resize(tree.edges.size() * 2);
+  for (EdgeId e : tree.edges) {
+    const Edge& edge = g.edge(e);
+    const std::uint32_t lu = sc.local_of[edge.u];
+    const std::uint32_t lv = sc.local_of[edge.v];
+    sc.csr[sc.cursor[lu]++] = {lv, e};
+    sc.csr[sc.cursor[lv]++] = {lu, e};
+  }
+
   rt.parent.assign(k, 0);
   rt.parent_edge.assign(k, kInvalidEdge);
   rt.num_children.assign(k, 0);
-  rt.children.assign(k, {});
   rt.depth.assign(k, 0);
-  rt.root_local = rt.local.at(tree.root);
+  rt.root_local = sc.local_of[tree.root];
   rt.parent[rt.root_local] = rt.root_local;
 
   // BFS from root to orient.
-  std::vector<char> seen(k, 0);
-  std::deque<std::uint32_t> queue{rt.root_local};
-  seen[rt.root_local] = 1;
-  std::size_t visited = 0;
-  while (!queue.empty()) {
-    const std::uint32_t x = queue.front();
-    queue.pop_front();
-    ++visited;
-    for (const auto& [nbr, e] : adj[rt.nodes[x]]) {
-      const std::uint32_t y = rt.local.at(nbr);
-      if (seen[y]) continue;
-      seen[y] = 1;
+  sc.seen.assign(k, 0);
+  sc.order.clear();
+  sc.order.push_back(rt.root_local);
+  sc.seen[rt.root_local] = 1;
+  std::size_t head = 0;
+  while (head < sc.order.size()) {
+    const std::uint32_t x = sc.order[head++];
+    for (std::uint32_t i = sc.offset[x]; i < sc.offset[x + 1]; ++i) {
+      const auto [y, e] = sc.csr[i];
+      if (sc.seen[y]) continue;
+      sc.seen[y] = 1;
       rt.parent[y] = x;
       rt.parent_edge[y] = e;
       rt.depth[y] = rt.depth[x] + 1;
       ++rt.num_children[x];
-      rt.children[x].push_back(y);
-      queue.push_back(y);
+      sc.order.push_back(y);
     }
   }
-  DLS_REQUIRE(visited == k, "aggregation tree is disconnected");
+  DLS_REQUIRE(sc.order.size() == k, "aggregation tree is disconnected");
+
+  // Flat children lists in discovery order (== enqueue order above).
+  rt.child_offset.assign(k + 1, 0);
+  for (std::size_t x = 0; x < k; ++x) {
+    rt.child_offset[x + 1] = rt.child_offset[x] + rt.num_children[x];
+  }
+  rt.child_list.resize(k - 1);
+  sc.cursor.assign(rt.child_offset.begin(), rt.child_offset.end() - 1);
+  for (std::size_t i = 1; i < sc.order.size(); ++i) {
+    const std::uint32_t y = sc.order[i];
+    rt.child_list[sc.cursor[rt.parent[y]]++] = y;
+  }
+
+  rt.local_index.reserve(k);
+  for (std::uint32_t x = 0; x < k; ++x) rt.local_index.push_back({rt.nodes[x], x});
+  std::sort(rt.local_index.begin(), rt.local_index.end());
   for (const auto& [v, value] : tree.inputs) {
     (void)value;
-    DLS_REQUIRE(rt.local.find(v) != rt.local.end(),
+    const auto it = std::lower_bound(
+        rt.local_index.begin(), rt.local_index.end(),
+        std::make_pair(v, std::uint32_t{0}),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    DLS_REQUIRE(it != rt.local_index.end() && it->first == v,
                 "aggregation input node not on its tree");
   }
   return rt;
@@ -121,6 +195,95 @@ bool better(const PendingSend& a, const PendingSend& b, SchedulingPolicy policy)
   return a.tree < b.tree;
 }
 
+/// Flat per-slot pending queues with an explicit active-slot worklist.
+/// Rounds iterate non-empty slots in ascending slot order — exactly the
+/// iteration order of the std::map this replaces — and only touched queues
+/// are ever cleared, so a phase reset is O(touched), not O(#slots).
+class SlotQueueSet {
+ public:
+  void reset(std::size_t num_slots) {
+    if (queues_.size() < num_slots) {
+      queues_.resize(num_slots);
+      queued_.resize(num_slots, 0);
+    }
+    for (std::size_t s : active_) {
+      queues_[s].clear();
+      queued_[s] = 0;
+    }
+    for (std::size_t s : newly_) {
+      queues_[s].clear();
+      queued_[s] = 0;
+    }
+    active_.clear();
+    newly_.clear();
+  }
+
+  void push(std::size_t slot, const PendingSend& send) {
+    DLS_ASSERT(slot < queues_.size(), "slot out of range");
+    if (!queued_[slot]) {
+      queued_[slot] = 1;
+      newly_.push_back(slot);
+    }
+    queues_[slot].push_back(send);
+  }
+
+  /// Folds newly activated slots into the sorted active list. Call once at
+  /// the top of each round, before for_each_active_slot.
+  void merge_new() {
+    if (newly_.empty()) return;
+    std::sort(newly_.begin(), newly_.end());
+    merged_.clear();
+    merged_.reserve(active_.size() + newly_.size());
+    std::merge(active_.begin(), active_.end(), newly_.begin(), newly_.end(),
+               std::back_inserter(merged_));
+    active_.swap(merged_);
+    newly_.clear();
+  }
+
+  bool empty() const { return active_.empty() && newly_.empty(); }
+
+  /// Visits each active slot's queue in ascending slot order. The visitor
+  /// removes exactly one entry (the round's winner); emptied slots leave the
+  /// active list. Enqueues performed by the caller *after* this sweep land in
+  /// the newly list for the next round, mirroring map-insert semantics.
+  template <typename Visitor>
+  void for_each_active_slot(Visitor&& visit) {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      const std::size_t s = active_[i];
+      visit(s, queues_[s]);
+      if (queues_[s].empty()) {
+        queued_[s] = 0;
+      } else {
+        active_[kept++] = s;
+      }
+    }
+    active_.resize(kept);
+  }
+
+ private:
+  std::vector<std::vector<PendingSend>> queues_;
+  std::vector<char> queued_;          // in active_ or newly_
+  std::vector<std::size_t> active_;   // sorted, non-empty
+  std::vector<std::size_t> newly_;    // unsorted, activated since last merge
+  std::vector<std::size_t> merged_;
+};
+
+SlotQueueSet& slot_queues() {
+  thread_local SlotQueueSet queues;
+  return queues;
+}
+
+NetworkMetrics& scheduler_metrics() {
+  thread_local NetworkMetrics metrics;
+  return metrics;
+}
+
+struct Delivery {
+  std::uint32_t tree;
+  std::uint32_t local;  // sender (convergecast) / receiver (broadcast)
+};
+
 }  // namespace
 
 std::vector<double> sequential_aggregates(const std::vector<AggregationTree>& trees,
@@ -150,18 +313,16 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
   std::vector<RootedTree> rooted;
   rooted.reserve(t_count);
   for (const AggregationTree& tree : trees) {
-    rooted.push_back(build_rooted_tree(g, tree));
+    rooted.push_back(build_rooted_tree(g, tree, tree_scratch()));
   }
 
   // Edge load statistics (undirected): how many trees use each edge.
   {
-    std::unordered_map<EdgeId, std::size_t> load;
+    std::vector<std::size_t> load(g.num_edges(), 0);
     for (const AggregationTree& tree : trees) {
-      for (EdgeId e : tree.edges) ++load[e];
-    }
-    for (const auto& [e, l] : load) {
-      (void)e;
-      outcome.max_edge_load = std::max(outcome.max_edge_load, l);
+      for (EdgeId e : tree.edges) {
+        outcome.max_edge_load = std::max(outcome.max_edge_load, ++load[e]);
+      }
     }
     for (const RootedTree& rt : rooted) {
       for (std::uint32_t d : rt.depth) {
@@ -174,28 +335,34 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
   std::vector<std::uint64_t> tree_priority(t_count);
   for (auto& p : tree_priority) p = rng();
 
+  NetworkMetrics& metrics = scheduler_metrics();
+  metrics.reset(2 * g.num_edges());
+  SlotQueueSet& queues = slot_queues();
+  queues.reset(2 * g.num_edges());
+
+  std::vector<Delivery> deliveries;
+
   // --- Phase 1: convergecast ---------------------------------------------
   // value[t][x]: accumulated value at local node x of tree t.
+  metrics.begin_phase("convergecast");
   std::vector<std::vector<double>> value(t_count);
   std::vector<std::vector<std::uint32_t>> waiting(t_count);
   for (std::size_t t = 0; t < t_count; ++t) {
     value[t].assign(rooted[t].nodes.size(), monoid.identity);
     waiting[t] = rooted[t].num_children;
     for (const auto& [node, v] : trees[t].inputs) {
-      const std::uint32_t x = rooted[t].local.at(node);
+      const std::uint32_t x = rooted[t].local_at(node);
       value[t][x] = monoid.op(value[t][x], v);
     }
   }
 
-  // Pending sends keyed by directed slot.
-  std::map<std::size_t, std::vector<PendingSend>> queues;
   auto enqueue_upward = [&](std::uint32_t t, std::uint32_t x,
                             std::uint64_t round) {
     const RootedTree& rt = rooted[t];
     if (x == rt.root_local) return;
     const NodeId to = rt.nodes[rt.parent[x]];
     const std::size_t slot = directed_slot(g, rt.parent_edge[x], to);
-    queues[slot].push_back({t, x, round, tree_priority[t]});
+    queues.push(slot, {t, x, round, tree_priority[t]});
   };
 
   std::size_t roots_done = 0;
@@ -218,26 +385,23 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
     DLS_ASSERT(round < 64ull * 1024 * 1024, "convergecast failed to terminate");
     // Deliver one message per directed slot; collect deliveries first so all
     // sends within a round are simultaneous.
-    struct Delivery {
-      std::uint32_t tree;
-      std::uint32_t from_local;
-    };
-    std::vector<Delivery> deliveries;
-    for (auto it = queues.begin(); it != queues.end();) {
-      auto& q = it->second;
+    deliveries.clear();
+    queues.merge_new();
+    queues.for_each_active_slot([&](std::size_t slot,
+                                    std::vector<PendingSend>& q) {
       std::size_t best_idx = 0;
       for (std::size_t i = 1; i < q.size(); ++i) {
         if (better(q[i], q[best_idx], policy)) best_idx = i;
       }
       deliveries.push_back({q[best_idx].tree, q[best_idx].from_local});
       ++outcome.messages;
+      metrics.record_send(slot, round);
       q.erase(q.begin() + static_cast<std::ptrdiff_t>(best_idx));
-      it = q.empty() ? queues.erase(it) : std::next(it);
-    }
+    });
     for (const Delivery& d : deliveries) {
       const RootedTree& rt = rooted[d.tree];
-      const std::uint32_t p = rt.parent[d.from_local];
-      value[d.tree][p] = monoid.op(value[d.tree][p], value[d.tree][d.from_local]);
+      const std::uint32_t p = rt.parent[d.local];
+      value[d.tree][p] = monoid.op(value[d.tree][p], value[d.tree][d.local]);
       DLS_ASSERT(waiting[d.tree][p] > 0, "parent received unexpected message");
       if (--waiting[d.tree][p] == 0) {
         if (p == rt.root_local) {
@@ -249,6 +413,7 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
     }
   }
   outcome.convergecast_rounds = round;
+  metrics.end_phase(round);
   for (std::size_t t = 0; t < t_count; ++t) {
     outcome.results[t] = value[t][rooted[t].root_local];
   }
@@ -256,7 +421,9 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
   // --- Phase 2: broadcast --------------------------------------------------
   // Root sends the aggregate down; a node forwards to each child, one child
   // per round per (edge, direction) slot shared across trees.
-  queues.clear();
+  metrics.begin_phase("broadcast");
+  queues.reset(2 * g.num_edges());
+  const std::uint64_t round_offset = round;  // histogram continues after phase 1
   round = 0;
   std::vector<std::vector<char>> informed(t_count);
   std::size_t to_inform = 0;
@@ -264,9 +431,11 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
   auto enqueue_downward = [&](std::uint32_t t, std::uint32_t parent_local,
                               std::uint64_t r) {
     const RootedTree& rt = rooted[t];
-    for (std::uint32_t x : rt.children[parent_local]) {
+    for (std::uint32_t i = rt.child_offset[parent_local];
+         i < rt.child_offset[parent_local + 1]; ++i) {
+      const std::uint32_t x = rt.child_list[i];
       const std::size_t slot = directed_slot(g, rt.parent_edge[x], rt.nodes[x]);
-      queues[slot].push_back({t, x, r, tree_priority[t]});
+      queues.push(slot, {t, x, r, tree_priority[t]});
     }
   };
   for (std::size_t t = 0; t < t_count; ++t) {
@@ -279,32 +448,33 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
   while (informed_count < to_inform) {
     ++round;
     DLS_ASSERT(round < 64ull * 1024 * 1024, "broadcast failed to terminate");
-    struct Delivery {
-      std::uint32_t tree;
-      std::uint32_t node_local;
-    };
-    std::vector<Delivery> deliveries;
-    for (auto it = queues.begin(); it != queues.end();) {
-      auto& q = it->second;
+    deliveries.clear();
+    queues.merge_new();
+    queues.for_each_active_slot([&](std::size_t slot,
+                                    std::vector<PendingSend>& q) {
       std::size_t best_idx = 0;
       for (std::size_t i = 1; i < q.size(); ++i) {
         if (better(q[i], q[best_idx], policy)) best_idx = i;
       }
       deliveries.push_back({q[best_idx].tree, q[best_idx].from_local});
       ++outcome.messages;
+      metrics.record_send(slot, round_offset + round);
       q.erase(q.begin() + static_cast<std::ptrdiff_t>(best_idx));
-      it = q.empty() ? queues.erase(it) : std::next(it);
-    }
+    });
     for (const Delivery& d : deliveries) {
-      if (!informed[d.tree][d.node_local]) {
-        informed[d.tree][d.node_local] = 1;
+      if (!informed[d.tree][d.local]) {
+        informed[d.tree][d.local] = 1;
         ++informed_count;
-        enqueue_downward(d.tree, d.node_local, round);
+        enqueue_downward(d.tree, d.local, round);
       }
     }
   }
   outcome.broadcast_rounds = round;
+  metrics.end_phase(round);
   outcome.total_rounds = outcome.convergecast_rounds + outcome.broadcast_rounds;
+  outcome.convergecast_congestion = metrics.phases()[0].congestion;
+  outcome.broadcast_congestion = metrics.phases()[1].congestion;
+  outcome.round_histogram = metrics.round_histogram();
   return outcome;
 }
 

@@ -12,6 +12,13 @@
 // by a pluggable policy; random priorities implement the random-delay
 // scheduling of [19] and are the default (the others exist for the
 // scheduling ablation, experiment E14).
+//
+// Simulator cost: a round costs O(active slots + deliveries), not O(m).
+// Per-slot queues live in flat, buffer-reusing scratch (kept thread-local
+// across calls), trees are rooted through a CSR adjacency scratch instead of
+// per-tree hash maps, and per-round delivery order is ascending directed
+// slot — the same order the original std::map-keyed implementation produced,
+// so round counts and floating-point fold orders are bit-identical.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +26,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/network_metrics.hpp"
 #include "util/random.hpp"
 
 namespace dls {
@@ -58,6 +66,17 @@ struct AggregationOutcome {
   std::size_t max_edge_load = 0;        // max #trees sharing one undirected edge
   std::uint32_t max_tree_depth = 0;     // max hop-depth over all trees
   std::uint64_t messages = 0;
+
+  // Observed congestion (see sim/network_metrics.hpp): per phase, the
+  // busiest (edge, direction) slot and the busiest single round.
+  PhaseCongestion convergecast_congestion;
+  PhaseCongestion broadcast_congestion;
+  PhaseCongestion congestion() const {
+    return merge_phases(convergecast_congestion, broadcast_congestion);
+  }
+  /// Messages per simulated round, indexed 1..total_rounds (broadcast rounds
+  /// follow convergecast rounds); index 0 is unused.
+  std::vector<std::uint64_t> round_histogram;
 };
 
 /// Runs all trees to completion and returns exact measured rounds.

@@ -5,13 +5,23 @@
 namespace dls {
 
 void RoundLedger::charge_local(std::uint64_t rounds, const std::string& label) {
+  charge_local(rounds, label, PhaseCongestion{});
+}
+
+void RoundLedger::charge_local(std::uint64_t rounds, const std::string& label,
+                               const PhaseCongestion& congestion) {
   local_ += rounds;
-  entries_.push_back({label, rounds, 0});
+  entries_.push_back({label, rounds, 0, congestion});
 }
 
 void RoundLedger::charge_global(std::uint64_t rounds, const std::string& label) {
+  charge_global(rounds, label, PhaseCongestion{});
+}
+
+void RoundLedger::charge_global(std::uint64_t rounds, const std::string& label,
+                                const PhaseCongestion& congestion) {
   global_ += rounds;
-  entries_.push_back({label, 0, rounds});
+  entries_.push_back({label, 0, rounds, congestion});
 }
 
 std::uint64_t RoundLedger::total_hybrid() const {
@@ -19,6 +29,20 @@ std::uint64_t RoundLedger::total_hybrid() const {
   for (const LedgerEntry& e : entries_) {
     total += std::max(e.local_rounds, e.global_rounds);
   }
+  return total;
+}
+
+std::size_t RoundLedger::peak_congestion() const {
+  std::size_t peak = 0;
+  for (const LedgerEntry& e : entries_) {
+    peak = std::max(peak, e.congestion.peak_slot_messages);
+  }
+  return peak;
+}
+
+std::uint64_t RoundLedger::total_messages() const {
+  std::uint64_t total = 0;
+  for (const LedgerEntry& e : entries_) total += e.congestion.messages;
   return total;
 }
 
@@ -30,7 +54,8 @@ void RoundLedger::clear() {
 
 void RoundLedger::absorb(const RoundLedger& other, const std::string& prefix) {
   for (const LedgerEntry& e : other.entries_) {
-    entries_.push_back({prefix + "/" + e.label, e.local_rounds, e.global_rounds});
+    entries_.push_back(
+        {prefix + "/" + e.label, e.local_rounds, e.global_rounds, e.congestion});
   }
   local_ += other.local_;
   global_ += other.global_;

@@ -5,25 +5,38 @@
 // the layered graph Ĝ_ρ charges ρ local rounds (Lemma 16), an NCC step
 // charges one global round, and the Laplacian solver charges the measured
 // cost of each part-wise-aggregation oracle call (Assumption 27).
+//
+// Entries optionally carry the PhaseCongestion observed while the phase's
+// messages were simulated (see sim/network_metrics.hpp), so a total can be
+// decomposed not just into *how many* rounds each phase cost but into *how
+// concentrated* its traffic was.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "sim/network_metrics.hpp"
+
 namespace dls {
 
-/// One accounted phase: a label plus the rounds it consumed per mode.
+/// One accounted phase: a label plus the rounds it consumed per mode and,
+/// when the phase was simulated at message level, its congestion profile.
 struct LedgerEntry {
   std::string label;
   std::uint64_t local_rounds = 0;   // CONGEST rounds
   std::uint64_t global_rounds = 0;  // NCC rounds
+  PhaseCongestion congestion;       // all-zero when the phase was only charged
 };
 
 class RoundLedger {
  public:
   void charge_local(std::uint64_t rounds, const std::string& label);
+  void charge_local(std::uint64_t rounds, const std::string& label,
+                    const PhaseCongestion& congestion);
   void charge_global(std::uint64_t rounds, const std::string& label);
+  void charge_global(std::uint64_t rounds, const std::string& label,
+                     const PhaseCongestion& congestion);
 
   std::uint64_t total_local() const { return local_; }
   std::uint64_t total_global() const { return global_; }
@@ -31,6 +44,12 @@ class RoundLedger {
   /// phases, each phase costing max(local, global); we track phases
   /// sequentially so the simple sum of per-entry maxima is exact.
   std::uint64_t total_hybrid() const;
+
+  /// Max per-(edge,direction)-slot messages over all entries that carried a
+  /// congestion profile — where traffic concentrated worst across phases.
+  std::size_t peak_congestion() const;
+  /// Total messages over all entries that carried a congestion profile.
+  std::uint64_t total_messages() const;
 
   const std::vector<LedgerEntry>& entries() const { return entries_; }
   void clear();

@@ -7,7 +7,8 @@ namespace dls {
 SyncNetwork::SyncNetwork(const Graph& g)
     : graph_(g),
       edge_busy_until_(2 * g.num_edges(), 0),
-      inboxes_(g.num_nodes()) {}
+      inboxes_(g.num_nodes()),
+      inbox_epoch_(g.num_nodes(), 0) {}
 
 std::size_t SyncNetwork::slot(EdgeId e, NodeId from) const {
   const Edge& edge = graph_.edge(e);
@@ -18,6 +19,9 @@ std::size_t SyncNetwork::slot(EdgeId e, NodeId from) const {
 void SyncNetwork::send(const CongestMessage& message) {
   DLS_REQUIRE(message.words >= 1, "message must occupy at least one word");
   DLS_REQUIRE(message.edge < graph_.num_edges(), "unknown edge");
+  DLS_REQUIRE(message.from != message.to,
+              "self-loop message: CONGEST edges connect distinct nodes, and "
+              "both directions of a self-loop would alias one busy slot");
   const Edge& edge = graph_.edge(message.edge);
   DLS_REQUIRE(edge.other(message.from) == message.to,
               "message endpoints must match the edge");
@@ -25,29 +29,40 @@ void SyncNetwork::send(const CongestMessage& message) {
   DLS_REQUIRE(edge_busy_until_[s] <= round_,
               "CONGEST violation: edge-direction already in use this round");
   edge_busy_until_[s] = round_ + message.words;
-  pending_.push_back(message);
+  pending_.push_back({message, round_ + message.words});
   ++messages_sent_;
+  if (metrics_ != nullptr) metrics_->record_send(s, round_, message.words);
 }
 
 void SyncNetwork::step() {
-  for (auto& inbox : inboxes_) inbox.clear();
   ++round_;
   // A w-word message queued at round r is delivered at round r + w (i.e. the
   // step after its last occupied slot). Single-word messages deliver now.
-  std::vector<CongestMessage> still_pending;
-  for (const CongestMessage& msg : pending_) {
-    const std::size_t s = slot(msg.edge, msg.from);
-    if (edge_busy_until_[s] <= round_) {
-      inboxes_[msg.to].push_back(msg);
+  // Deliverable messages move into epoch-stamped inboxes; the rest are
+  // compacted to the front of pending_ in order, reusing its storage.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    const Pending& p = pending_[i];
+    if (p.deliver_at <= round_) {
+      if (inbox_epoch_[p.msg.to] != round_) {
+        inbox_epoch_[p.msg.to] = round_;
+        inboxes_[p.msg.to].clear();
+      }
+      inboxes_[p.msg.to].push_back(p.msg);
     } else {
-      still_pending.push_back(msg);
+      if (kept != i) pending_[kept] = pending_[i];
+      ++kept;
     }
   }
-  pending_ = std::move(still_pending);
+  pending_.resize(kept);
 }
 
 const std::vector<CongestMessage>& SyncNetwork::inbox(NodeId v) const {
   DLS_REQUIRE(v < inboxes_.size(), "node id out of range");
+  // A node whose inbox was not stamped this round received nothing; its
+  // vector may still hold an older round's messages (lazy clearing).
+  static const std::vector<CongestMessage> kEmpty;
+  if (inbox_epoch_[v] != round_) return kEmpty;
   return inboxes_[v];
 }
 

@@ -9,14 +9,23 @@
 // Messages are a small fixed struct of machine words; `words` declares how
 // many O(log n)-bit units the payload occupies, and sending a w-word message
 // occupies the edge for w consecutive rounds (enforced via edge busy-until
-// bookkeeping).
+// bookkeeping): queued at round r it is delivered by the step that advances
+// the clock to round r + w, and any same-slot send in rounds r..r+w-1 throws.
+//
+// Cost model of the simulator itself: a step() is O(deliverable + still
+// pending messages), independent of n. Inboxes are epoch-stamped — an inbox
+// is cleared lazily the first time a message lands in it in a given round,
+// and inbox() reads of a node that received nothing this round return a
+// shared empty vector — so neither stepping nor idle nodes ever pay O(n).
+// Pending multi-word messages are compacted in place (no per-step
+// allocation) and survive any number of steps until their slot frees.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/network_metrics.hpp"
 
 namespace dls {
 
@@ -35,6 +44,9 @@ class SyncNetwork {
 
   /// Queues a message for the current round. Throws if the (edge, direction)
   /// was already used this round or is still busy with a multi-word message.
+  /// Self-loop messages (from == to) are rejected: CONGEST edges connect
+  /// distinct nodes, and a self-loop would alias both directions of the edge
+  /// onto one busy slot.
   void send(const CongestMessage& message);
 
   /// Delivers queued messages; returns messages received per node.
@@ -44,6 +56,12 @@ class SyncNetwork {
   /// Messages delivered to `v` in the most recent step.
   const std::vector<CongestMessage>& inbox(NodeId v) const;
 
+  /// Optional congestion observer; not owned, may be nullptr. Each send is
+  /// recorded against its directed slot at queue time (the slot is occupied
+  /// from that round on). Callers must reset() it with at least
+  /// 2 * graph().num_edges() slots.
+  void attach_metrics(NetworkMetrics* metrics) { metrics_ = metrics; }
+
   std::uint64_t rounds() const { return round_; }
   std::uint64_t messages_sent() const { return messages_sent_; }
   const Graph& graph() const { return graph_; }
@@ -52,12 +70,19 @@ class SyncNetwork {
   /// Directed slot index for (edge, direction): 2*edge + (from == edge.v).
   std::size_t slot(EdgeId e, NodeId from) const;
 
+  struct Pending {
+    CongestMessage msg;
+    std::uint64_t deliver_at = 0;  // round whose step() delivers the message
+  };
+
   const Graph& graph_;
   std::uint64_t round_ = 0;
   std::uint64_t messages_sent_ = 0;
   std::vector<std::uint64_t> edge_busy_until_;  // per directed slot
-  std::vector<CongestMessage> pending_;
+  std::vector<Pending> pending_;                // compacted in place per step
   std::vector<std::vector<CongestMessage>> inboxes_;
+  std::vector<std::uint64_t> inbox_epoch_;  // round whose deliveries are held
+  NetworkMetrics* metrics_ = nullptr;
 };
 
 }  // namespace dls

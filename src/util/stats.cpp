@@ -54,7 +54,16 @@ LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y)
     ss_res += (y[i] - pred) * (y[i] - pred);
     ss_tot += (y[i] - mean_y) * (y[i] - mean_y);
   }
-  fit.r2 = (ss_tot > 0) ? 1.0 - ss_res / ss_tot : 1.0;
+  if (ss_tot > 0) {
+    fit.r2 = 1.0 - ss_res / ss_tot;
+  } else {
+    // Constant-y data: r² is only 1.0 if the fit actually reproduces the
+    // constant. A nonzero residual with zero total variance means the fit is
+    // bad, not perfect — report 0.0 so scaling checks cannot be fooled by
+    // degenerate series.
+    const double scale = 1.0 + std::abs(mean_y);
+    fit.r2 = (ss_res <= 1e-18 * scale * scale * n) ? 1.0 : 0.0;
+  }
   return fit;
 }
 

@@ -105,6 +105,63 @@ TEST(Scheduler, ContendingTreesSerializeOnSharedEdge) {
   for (int i = 0; i < k; ++i) EXPECT_DOUBLE_EQ(outcome.results[i], 1.0 + i);
 }
 
+TEST(Scheduler, ReportsPerPhaseCongestion) {
+  // Five single-edge trees on the edge (0,1): every convergecast message uses
+  // the same directed slot, so the phase's peak slot count equals the number
+  // of trees; the broadcast phase repeats it in the other direction.
+  const Graph g = make_path(2);
+  constexpr int k = 5;
+  std::vector<AggregationTree> trees;
+  for (int i = 0; i < k; ++i) {
+    AggregationTree t;
+    t.root = 0;
+    t.edges = {0};
+    t.inputs = {{0, 0.0}, {1, 1.0}};
+    trees.push_back(t);
+  }
+  Rng rng(12);
+  const auto outcome =
+      run_tree_aggregations(g, trees, AggregationMonoid::sum(), rng);
+  EXPECT_EQ(outcome.convergecast_congestion.messages, 5u);
+  EXPECT_EQ(outcome.convergecast_congestion.peak_slot_messages, 5u);
+  EXPECT_EQ(outcome.convergecast_congestion.peak_round_messages, 1u);
+  EXPECT_EQ(outcome.broadcast_congestion.messages, 5u);
+  EXPECT_EQ(outcome.broadcast_congestion.peak_slot_messages, 5u);
+  const PhaseCongestion total = outcome.congestion();
+  EXPECT_EQ(total.messages, 10u);
+  EXPECT_EQ(total.peak_slot_messages, 5u);
+  // One message per round across both phases: rounds 1..10.
+  ASSERT_EQ(outcome.round_histogram.size(), 11u);
+  for (std::size_t r = 1; r <= 10; ++r) {
+    EXPECT_EQ(outcome.round_histogram[r], 1u) << "round " << r;
+  }
+}
+
+TEST(Scheduler, DisjointTreesHaveUnitSlotCongestion) {
+  const Graph g = make_grid(6, 6);
+  std::vector<AggregationTree> trees;
+  for (std::size_t r = 0; r < 6; ++r) {
+    AggregationTree t;
+    t.root = static_cast<NodeId>(r * 6);
+    for (std::size_t c = 0; c + 1 < 6; ++c) {
+      const NodeId u = static_cast<NodeId>(r * 6 + c);
+      for (const Adjacency& a : g.neighbors(u)) {
+        if (a.neighbor == u + 1) t.edges.push_back(a.edge);
+      }
+      t.inputs.push_back({u, 1.0});
+    }
+    t.inputs.push_back({static_cast<NodeId>(r * 6 + 5), 1.0});
+    trees.push_back(t);
+  }
+  Rng rng(13);
+  const auto outcome =
+      run_tree_aggregations(g, trees, AggregationMonoid::sum(), rng);
+  // Edge-disjoint rows: no slot ever carries more than one message.
+  EXPECT_EQ(outcome.congestion().peak_slot_messages, 1u);
+  EXPECT_EQ(outcome.congestion().messages,
+            static_cast<std::uint64_t>(outcome.messages));
+}
+
 TEST(Scheduler, RoundsBoundedByCongestionTimesDepth) {
   // Grid rows as parts with the trivial shortcut: rounds ≤ O(c·d).
   const Graph g = make_grid(6, 6);

@@ -48,6 +48,21 @@ TEST(Shortcut, PartSubgraphContainsInducedAndHelperEdges) {
   EXPECT_TRUE(edges.count(2));  // helper
 }
 
+TEST(PartwiseAggregation, RejectsEmptyPart) {
+  // Regression: an empty part used to reach part.front() on an empty vector
+  // (undefined behaviour) before any validation fired.
+  const Graph g = make_path(4);
+  PartCollection pc;
+  pc.parts = {{0, 1}, {}};
+  const std::vector<std::vector<double>> values = {{1.0, 2.0}, {}};
+  Shortcut s;
+  s.h_edges.resize(pc.num_parts());
+  Rng rng(17);
+  EXPECT_THROW(solve_partwise_aggregation(g, pc, values,
+                                          AggregationMonoid::sum(), s, rng),
+               std::invalid_argument);
+}
+
 TEST(Construction, RootSpanningTreeComputesDepths) {
   const Graph g = make_path(5);
   std::vector<EdgeId> edges{0, 1, 2, 3};

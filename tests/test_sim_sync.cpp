@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/generators.hpp"
+#include "sim/network_metrics.hpp"
 #include "sim/round_ledger.hpp"
 #include "sim/sync_network.hpp"
 
@@ -67,6 +68,111 @@ TEST(SyncNetwork, ValidatesEndpoints) {
   EXPECT_THROW(net.send({0, 2, 0, 1, 0.0, 1}), std::invalid_argument);
 }
 
+TEST(SyncNetwork, RejectsSelfLoopMessage) {
+  const Graph g = make_path(2);
+  SyncNetwork net(g);
+  // from == to would alias both directions of the edge onto one busy slot.
+  EXPECT_THROW(net.send({0, 0, 0, 1, 0.0, 1}), std::invalid_argument);
+}
+
+TEST(SyncNetwork, MultiWordDeliversExactlyAtSendRoundPlusWords) {
+  const Graph g = make_path(2);
+  SyncNetwork net(g);
+  net.send({0, 1, 0, 7, 1.0, 2});  // queued at round 0 -> delivered at round 2
+  net.step();
+  EXPECT_TRUE(net.inbox(1).empty());
+  net.step();
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.inbox(1)[0].tag, 7u);
+  net.step();  // a later round without deliveries reads as empty again
+  EXPECT_TRUE(net.inbox(1).empty());
+}
+
+TEST(SyncNetwork, MultiWordBlocksSlotForExactlyWordsRounds) {
+  const Graph g = make_path(2);
+  SyncNetwork net(g);
+  net.send({0, 1, 0, 1, 0.0, 3});  // occupies rounds 0..2
+  EXPECT_THROW(net.send({0, 1, 0, 2, 0.0, 1}), std::invalid_argument);
+  net.step();
+  EXPECT_THROW(net.send({0, 1, 0, 3, 0.0, 1}), std::invalid_argument);
+  net.step();
+  EXPECT_THROW(net.send({0, 1, 0, 4, 0.0, 1}), std::invalid_argument);
+  net.step();  // round 3: slot is free again
+  net.send({0, 1, 0, 5, 0.0, 1});
+  net.step();
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.inbox(1)[0].tag, 5u);
+}
+
+TEST(SyncNetwork, PendingMultiWordSurvivesInterveningDeliveries) {
+  // Node 1 receives single-word traffic every round; the pending 3-word
+  // message must not be dropped by the per-round inbox turnover.
+  const Graph g = make_path(3);  // edges 0:(0,1) 1:(1,2)
+  SyncNetwork net(g);
+  net.send({0, 1, 0, 100, 0.0, 3});
+  net.send({2, 1, 1, 200, 0.0, 1});
+  net.step();
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.inbox(1)[0].tag, 200u);
+  net.send({2, 1, 1, 201, 0.0, 1});
+  net.step();
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.inbox(1)[0].tag, 201u);
+  net.send({2, 1, 1, 202, 0.0, 1});
+  net.step();  // round 3: multi-word arrives alongside this round's word
+  ASSERT_EQ(net.inbox(1).size(), 2u);
+  EXPECT_EQ(net.inbox(1)[0].tag, 100u);  // queued first, delivered first
+  EXPECT_EQ(net.inbox(1)[1].tag, 202u);
+}
+
+TEST(SyncNetwork, RecordsSendsIntoAttachedMetrics) {
+  const Graph g = make_path(3);
+  SyncNetwork net(g);
+  NetworkMetrics metrics;
+  metrics.reset(2 * g.num_edges());
+  net.attach_metrics(&metrics);
+  metrics.begin_phase("traffic");
+  net.send({0, 1, 0, 1, 0.0, 1});
+  net.send({2, 1, 1, 2, 0.0, 1});
+  net.step();
+  net.send({0, 1, 0, 3, 0.0, 1});
+  net.step();
+  metrics.end_phase(net.rounds());
+  ASSERT_EQ(metrics.phases().size(), 1u);
+  const auto& phase = metrics.phases()[0];
+  EXPECT_EQ(phase.rounds, 2u);
+  EXPECT_EQ(phase.congestion.messages, 3u);
+  EXPECT_EQ(phase.congestion.peak_slot_messages, 2u);  // slot of edge 0, 0->1
+  EXPECT_EQ(phase.congestion.peak_round_messages, 2u);
+}
+
+TEST(NetworkMetrics, PhaseBoundariesForgetSlotCounts) {
+  NetworkMetrics metrics;
+  metrics.reset(4);
+  metrics.begin_phase("up");
+  metrics.record_send(0, 1);
+  metrics.record_send(0, 1);
+  metrics.record_send(2, 2);
+  metrics.end_phase(2);
+  metrics.begin_phase("down");
+  metrics.record_send(0, 3);  // same slot: count restarts at the boundary
+  metrics.end_phase(1);
+  ASSERT_EQ(metrics.phases().size(), 2u);
+  EXPECT_EQ(metrics.phases()[0].congestion.messages, 3u);
+  EXPECT_EQ(metrics.phases()[0].congestion.peak_slot_messages, 2u);
+  EXPECT_EQ(metrics.phases()[0].congestion.peak_round_messages, 2u);
+  EXPECT_EQ(metrics.phases()[1].congestion.messages, 1u);
+  EXPECT_EQ(metrics.phases()[1].congestion.peak_slot_messages, 1u);
+  const PhaseCongestion total = metrics.totals();
+  EXPECT_EQ(total.messages, 4u);
+  EXPECT_EQ(total.peak_slot_messages, 2u);
+  // Histogram spans both phases: rounds 1..3 carried 2, 1, 1 messages.
+  ASSERT_EQ(metrics.round_histogram().size(), 4u);
+  EXPECT_EQ(metrics.round_histogram()[1], 2u);
+  EXPECT_EQ(metrics.round_histogram()[2], 1u);
+  EXPECT_EQ(metrics.round_histogram()[3], 1u);
+}
+
 TEST(SyncNetwork, CountsMessages) {
   const Graph g = make_cycle(4);
   SyncNetwork net(g);
@@ -95,6 +201,24 @@ TEST(RoundLedger, AbsorbPrefixesLabels) {
   outer.absorb(inner, "oracle");
   EXPECT_EQ(outer.total_local(), 4u);
   EXPECT_EQ(outer.entries()[0].label, "oracle/x");
+}
+
+TEST(RoundLedger, CarriesCongestionProfiles) {
+  RoundLedger ledger;
+  PhaseCongestion up{30, 5, 12};
+  PhaseCongestion down{20, 3, 9};
+  ledger.charge_local(4, "up", up);
+  ledger.charge_local(2, "down", down);
+  ledger.charge_local(1, "charge-only");  // no profile: all-zero congestion
+  EXPECT_EQ(ledger.peak_congestion(), 5u);
+  EXPECT_EQ(ledger.total_messages(), 50u);
+  EXPECT_EQ(ledger.entries()[0].congestion.peak_round_messages, 12u);
+  EXPECT_EQ(ledger.entries()[2].congestion.messages, 0u);
+  // absorb keeps the profiles.
+  RoundLedger outer;
+  outer.absorb(ledger, "oracle");
+  EXPECT_EQ(outer.peak_congestion(), 5u);
+  EXPECT_EQ(outer.total_messages(), 50u);
 }
 
 TEST(RoundLedger, ClearResets) {

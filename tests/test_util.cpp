@@ -113,6 +113,23 @@ TEST(Stats, FitRequiresMatchingSizes) {
   EXPECT_THROW(fit_linear({1.0}, {1.0, 2.0}), std::invalid_argument);
 }
 
+TEST(Stats, ConstantSeriesFitsPerfectly) {
+  // Zero total variance with a perfect fit: r² is 1, not 0/0 garbage.
+  const LinearFit f = fit_linear({1, 2, 3, 4}, {5, 5, 5, 5});
+  EXPECT_NEAR(f.slope, 0.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(f.r2, 1.0);
+}
+
+TEST(Stats, DegenerateXReportsNoFit) {
+  // All-equal x: slope is undefined and the mean-line "fit" leaves real
+  // residuals, so r² must be 0, never 1 (this used to report a perfect fit).
+  const LinearFit f = fit_linear({2, 2, 2}, {1, 5, 9});
+  EXPECT_NEAR(f.slope, 0.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(f.r2, 0.0);
+}
+
 TEST(Table, RendersAlignedRows) {
   Table t({"a", "bb"});
   t.add_row({"1", "2"});
