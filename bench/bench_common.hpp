@@ -3,6 +3,7 @@
 // table; EXPERIMENTS.md records the expected shapes next to measured runs.
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <iostream>
 #include <memory>
@@ -13,11 +14,58 @@
 #include "linalg/vector_ops.hpp"
 #include "shortcuts/partition.hpp"
 #include "sim/round_ledger.hpp"
+#include "sim/sim_batch.hpp"
+#include "util/flags.hpp"
 #include "util/random.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dls::bench {
+
+/// Shared `--threads N` runtime for the experiment drivers. All simulation
+/// numbers a bench reports are thread-count invariant (the SimBatch
+/// determinism contract); the thread count only moves wall-clock time.
+struct BenchRuntime {
+  std::size_t threads = 1;
+  std::unique_ptr<ThreadPool> pool;  // null when threads == 1
+
+  /// The pool to hand to SimBatch / solver options (null ⇒ serial).
+  ThreadPool* pool_ptr() const { return pool.get(); }
+};
+
+/// Parses `--threads N` (default 1; 0 means all hardware threads) and spins
+/// up the worker pool. Unknown flags still error via Flags.
+inline BenchRuntime bench_runtime(int argc, const char* const* argv) {
+  const Flags flags(argc, argv);
+  BenchRuntime runtime;
+  std::int64_t want = flags.get_int("threads", 1);
+  if (want == 0) want = static_cast<std::int64_t>(ThreadPool::hardware_threads());
+  runtime.threads = want < 1 ? 1 : static_cast<std::size_t>(want);
+  if (runtime.threads > 1) {
+    runtime.pool = std::make_unique<ThreadPool>(runtime.threads);
+  }
+  return runtime;
+}
+
+/// Wall-clock stopwatch for reporting batch speedups.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void print_wall_clock(const BenchRuntime& runtime, const WallTimer& t) {
+  std::cout << "\nwall clock: " << t.seconds() << " s with " << runtime.threads
+            << " thread(s) — reported rounds are thread-count invariant\n";
+}
 
 inline void banner(const std::string& id, const std::string& claim) {
   std::cout << "\n## " << id << " — " << claim << "\n\n";

@@ -2,6 +2,12 @@
 // Õ(ρ·SQ(G)) — the ρ-dependence is linear because Theorem 22 keeps the
 // layered graph's shortcut quality at Õ(SQ(G)). We measure charged rounds
 // vs ρ on grids (minor-dense: Õ(ρ·δ·D)) and expanders and fit the exponent.
+//
+// The (family, ρ) scenarios are independent, so they run through the
+// deterministic SimBatch runtime: `--threads N` fans them out across N
+// workers while every reported round count stays bit-identical to --threads
+// 1 (each scenario's randomness derives from the batch root seed and its
+// index, never from the schedule).
 #include "bench_common.hpp"
 #include "congested_pa/solver.hpp"
 #include "graph/generators.hpp"
@@ -9,7 +15,8 @@
 using namespace dls;
 using namespace dls::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchRuntime runtime = bench_runtime(argc, argv);
   banner("E6 / Corollary 23",
          "congested PA rounds on general graphs: near-linear in rho");
 
@@ -21,23 +28,44 @@ int main() {
   std::vector<Case> cases;
   cases.push_back({"grid 8x8 (planar)", make_grid(8, 8)});
   cases.push_back({"expander n=64 d=4", make_random_regular(64, 4, rng)});
+  const std::vector<std::size_t> rhos{1, 2, 4, 6, 8};
 
+  // One scenario per (family, rho); outcome.results = {rounds, parts, layers}.
+  SimBatch batch(/*root_seed=*/6);
+  for (const Case& c : cases) {
+    for (std::size_t rho : rhos) {
+      batch.add(std::string(c.name) + " rho=" + std::to_string(rho),
+                [&c, rho](Rng& scenario_rng, SimOutcome& out) {
+                  const PartCollection pc =
+                      stacked_voronoi_instance(c.graph, 6, rho, scenario_rng);
+                  const CongestedPaOutcome outcome = solve_congested_pa(
+                      c.graph, pc, unit_values(pc), AggregationMonoid::sum(),
+                      scenario_rng);
+                  out.results = {static_cast<double>(outcome.total_rounds),
+                                 static_cast<double>(pc.num_parts()),
+                                 static_cast<double>(outcome.max_layers)};
+                  out.ledger = outcome.ledger;
+                });
+    }
+  }
+  const WallTimer timer;
+  batch.run(runtime.pool_ptr());
+
+  std::size_t scenario = 0;
   for (const Case& c : cases) {
     Table table({"rho", "parts", "charged rounds", "rounds/rho", "layers"});
     std::vector<double> xs, ys;
-    for (std::size_t rho : {1u, 2u, 4u, 6u, 8u}) {
-      const PartCollection pc = stacked_voronoi_instance(c.graph, 6, rho, rng);
-      const auto values = unit_values(pc);
-      const CongestedPaOutcome outcome = solve_congested_pa(
-          c.graph, pc, values, AggregationMonoid::sum(), rng);
-      table.add_row({Table::cell(rho), Table::cell(pc.num_parts()),
-                     Table::cell(outcome.total_rounds),
-                     Table::cell(static_cast<double>(outcome.total_rounds) /
-                                 static_cast<double>(rho)),
-                     Table::cell(outcome.max_layers)});
+    for (std::size_t rho : rhos) {
+      const SimOutcome& out = batch.outcomes()[scenario++];
+      const double rounds = out.results[0];
+      table.add_row({Table::cell(rho),
+                     Table::cell(static_cast<std::size_t>(out.results[1])),
+                     Table::cell(static_cast<std::size_t>(rounds)),
+                     Table::cell(rounds / static_cast<double>(rho)),
+                     Table::cell(static_cast<std::size_t>(out.results[2]))});
       if (rho >= 2) {  // rho = 1 takes the layering-free fast path
         xs.push_back(static_cast<double>(rho));
-        ys.push_back(static_cast<double>(outcome.total_rounds));
+        ys.push_back(rounds);
       }
     }
     std::cout << c.name << "\n";
@@ -51,5 +79,6 @@ int main() {
       "1 — layers grow like O(rho) (Lemma 16's simulation factor) but the "
       "layered shortcut quality stays ~SQ(G) per Theorem 22, so total "
       "rounds are near-linear in rho.");
+  print_wall_clock(runtime, timer);
   return 0;
 }

@@ -6,6 +6,7 @@
 
 #include "graph/algorithms.hpp"
 #include "shortcuts/construction.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dls {
 
@@ -131,14 +132,21 @@ CongestedPaOutcome solve_congested_pa(
   }
 
   // --- CONGEST via heavy paths + layered-graph path instances -------------
+  // The per-part decompositions are pure functions of (g, part) — no Rng —
+  // so they can fan out across the pool; each part writes only its own slot
+  // and the depth fold below runs in index order either way.
   std::vector<PartPlan> plans(pc.num_parts());
-  std::uint32_t max_depth = 0;
   for (std::size_t i = 0; i < pc.num_parts(); ++i) {
     DLS_REQUIRE(values[i].size() == pc.parts[i].size(), "values mismatch");
+  }
+  parallel_for_each(options.pool, pc.num_parts(), [&](std::size_t i) {
     plans[i].hpd = heavy_path_decomposition(g, pc.parts[i]);
     for (std::size_t j = 0; j < pc.parts[i].size(); ++j) {
       plans[i].value_index.emplace(pc.parts[i][j], j);
     }
+  });
+  std::uint32_t max_depth = 0;
+  for (std::size_t i = 0; i < pc.num_parts(); ++i) {
     max_depth = std::max(max_depth, plans[i].hpd.max_depth);
   }
 
@@ -251,17 +259,30 @@ CongestedPaOutcome solve_congested_pa(
 CongestedPaOutcome solve_congested_pa_sequential_baseline(
     const Graph& g, const PartCollection& pc,
     const std::vector<std::vector<double>>& values,
-    const AggregationMonoid& monoid, Rng& rng, SchedulingPolicy policy) {
+    const AggregationMonoid& monoid, Rng& rng, SchedulingPolicy policy,
+    ThreadPool* pool) {
   DLS_REQUIRE(values.size() == pc.num_parts(), "values per part mismatch");
   CongestedPaOutcome outcome;
   outcome.results.assign(pc.num_parts(), monoid.identity);
   outcome.congestion = congestion(g, pc);
+  // Fork one stream per part up front (index order), so the randomness each
+  // part consumes is fixed before any of them runs — the parallel execution
+  // below cannot perturb a single simulated round.
+  std::vector<Rng> part_rngs;
+  part_rngs.reserve(pc.num_parts());
   for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+    part_rngs.push_back(rng.fork());
+  }
+  std::vector<PartwiseAggregationOutcome> part_outcomes(pc.num_parts());
+  parallel_for_each(pool, pc.num_parts(), [&](std::size_t i) {
     PartCollection single;
     single.parts.push_back(pc.parts[i]);
-    const BestShortcut best = build_best_shortcut(g, single, rng);
-    const PartwiseAggregationOutcome pa = solve_partwise_aggregation(
-        g, single, {values[i]}, monoid, best.shortcut, rng, policy);
+    const BestShortcut best = build_best_shortcut(g, single, part_rngs[i]);
+    part_outcomes[i] = solve_partwise_aggregation(
+        g, single, {values[i]}, monoid, best.shortcut, part_rngs[i], policy);
+  });
+  for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+    const PartwiseAggregationOutcome& pa = part_outcomes[i];
     outcome.results[i] = pa.results[0];
     outcome.ledger.charge_local(pa.schedule.total_rounds,
                                 "part(" + std::to_string(i) + ")",

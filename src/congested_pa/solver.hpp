@@ -31,6 +31,8 @@
 
 namespace dls {
 
+class ThreadPool;
+
 enum class PaModel {
   kSupportedCongest,  // shortcut construction free (topology known upfront)
   kCongest,           // construction charged (see header comment)
@@ -41,6 +43,11 @@ struct CongestedPaOptions {
   PaModel model = PaModel::kSupportedCongest;
   SchedulingPolicy policy = SchedulingPolicy::kRandomPriority;
   double palette_factor = 2.0;
+  /// Optional worker pool for the embarrassingly parallel pieces (per-part
+  /// heavy-path decompositions). Results are bit-identical with and without
+  /// a pool: parallel work never touches the shared Rng stream, so the
+  /// simulated round accounting does not depend on the thread count.
+  ThreadPool* pool = nullptr;
 };
 
 struct CongestedPaOutcome {
@@ -64,10 +71,15 @@ CongestedPaOutcome solve_congested_pa(
 /// time as 1-congested instances (k sequential phases). The rounds blow up
 /// linearly in the number of overlapping parts, which is exactly the failure
 /// mode Observation 14 formalizes.
+/// The k per-part solves are independent: each draws from an Rng forked off
+/// the caller's stream in part order, so running them on `pool` (when given)
+/// changes wall-clock time but not one reported round. The ledger lists the
+/// parts in index order regardless of completion order.
 CongestedPaOutcome solve_congested_pa_sequential_baseline(
     const Graph& g, const PartCollection& pc,
     const std::vector<std::vector<double>>& values,
     const AggregationMonoid& monoid, Rng& rng,
-    SchedulingPolicy policy = SchedulingPolicy::kRandomPriority);
+    SchedulingPolicy policy = SchedulingPolicy::kRandomPriority,
+    ThreadPool* pool = nullptr);
 
 }  // namespace dls

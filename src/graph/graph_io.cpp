@@ -1,15 +1,44 @@
 #include "graph/graph_io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <limits>
+#include <set>
 #include <sstream>
+#include <utility>
 
 namespace dls {
+
+namespace {
+
+/// Strict non-negative integer parse: digits only (no sign, no hex, no
+/// trailing junk), so "-1" is a parse error instead of wrapping around an
+/// unsigned extraction to a 20-digit node id.
+bool parse_index(const std::string& token, std::uint64_t& out) {
+  if (token.empty() || token.size() > 18) return false;
+  out = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+    out = out * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return true;
+}
+
+/// Strict finite-double parse: the whole token must be consumed and the
+/// value must be finite (so "abc", "1.5x" and "nan"/"inf" all fail).
+bool parse_weight(const std::string& token, double& out) {
+  std::istringstream stream(token);
+  if (!(stream >> out) || !stream.eof()) return false;
+  return std::isfinite(out);
+}
+
+}  // namespace
 
 Graph read_graph(std::istream& in) {
   Graph g;
   bool have_header = false;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen_edges;
   std::string line;
   std::size_t line_number = 0;
   while (std::getline(in, line)) {
@@ -23,26 +52,49 @@ Graph read_graph(std::istream& in) {
     if (!(tokens >> kind) || kind[0] == '#') continue;
     if (kind == "p") {
       if (have_header) fail("duplicate header");
-      std::size_t n = 0;
-      if (!(tokens >> n)) fail("header needs a node count");
+      std::string n_token, extra;
+      if (!(tokens >> n_token)) fail("header needs a node count");
+      std::uint64_t n = 0;
+      if (!parse_index(n_token, n)) {
+        fail("node count must be a non-negative integer, got '" + n_token +
+             "'");
+      }
+      if (tokens >> extra) fail("trailing token '" + extra + "' after header");
       g = Graph(n);
       have_header = true;
     } else if (kind == "e") {
       if (!have_header) fail("edge before header");
+      std::string u_token, v_token, w_token, extra;
+      if (!(tokens >> u_token >> v_token)) fail("edge needs two endpoints");
+      const bool has_weight = static_cast<bool>(tokens >> w_token);
+      if (tokens >> extra) fail("trailing token '" + extra + "' after edge");
       std::uint64_t u = 0, v = 0;
-      double w = 1.0;
-      if (!(tokens >> u >> v)) fail("edge needs two endpoints");
-      tokens >> w;  // optional
-      if (u >= g.num_nodes() || v >= g.num_nodes()) fail("endpoint out of range");
+      if (!parse_index(u_token, u) || !parse_index(v_token, v)) {
+        fail("endpoints must be non-negative integers, got '" + u_token +
+             " " + v_token + "'");
+      }
+      if (u >= g.num_nodes() || v >= g.num_nodes()) {
+        fail("endpoint out of range (n = " + std::to_string(g.num_nodes()) +
+             ")");
+      }
       if (u == v) fail("self-loop");
+      double w = 1.0;
+      if (has_weight && !parse_weight(w_token, w)) {
+        fail("weight must be a finite number, got '" + w_token + "'");
+      }
       if (w <= 0) fail("non-positive weight");
+      if (!seen_edges.insert({std::min(u, v), std::max(u, v)}).second) {
+        fail("duplicate edge {" + std::to_string(u) + ", " +
+             std::to_string(v) + "}");
+      }
       g.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v), w);
     } else {
       fail("unknown record '" + kind + "'");
     }
   }
   if (!have_header) {
-    throw std::invalid_argument("graph parse error: missing 'p' header");
+    throw std::invalid_argument(
+        "graph parse error: missing 'p' header (empty or header-less input)");
   }
   return g;
 }

@@ -6,7 +6,9 @@
 //   e <u> <v> [weight]
 //
 // Node ids are 0-based; weight defaults to 1. Parsing is strict: malformed
-// lines throw with the line number.
+// lines, negative or non-numeric ids, out-of-range endpoints, self-loops,
+// non-finite or non-positive weights, duplicate edges, and trailing garbage
+// all throw std::invalid_argument naming the offending line.
 #pragma once
 
 #include <iosfwd>

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "graph/algorithms.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dls {
 
@@ -15,16 +16,18 @@ SqEstimate estimate_shortcut_quality(const Graph& g, Rng& rng,
   SqEstimate estimate;
   estimate.diameter = approx_diameter(g, rng, 4);
 
-  auto evaluate = [&](const PartCollection& pc, const std::string& family) {
+  // Phase 1 (serial): sample the adversarial partitions. These consume the
+  // caller's Rng stream in a fixed order, so the set of partitions evaluated
+  // is identical however many workers phase 2 uses.
+  struct Trial {
+    std::string family;
+    PartCollection pc;
+    Rng rng{0};  // forked below, after all partitions are drawn
+  };
+  std::vector<Trial> trials;
+  const auto enqueue = [&](PartCollection pc, std::string family) {
     if (pc.num_parts() == 0) return;
-    const BestShortcut best = build_best_shortcut(g, pc, rng);
-    SqSample sample;
-    sample.partition_family = family;
-    sample.num_parts = pc.num_parts();
-    sample.quality = best.quality;
-    sample.construction = best.construction;
-    estimate.quality = std::max(estimate.quality, best.quality.quality());
-    estimate.samples.push_back(std::move(sample));
+    trials.push_back({std::move(family), std::move(pc)});
   };
 
   const std::size_t n = g.num_nodes();
@@ -40,8 +43,8 @@ SqEstimate estimate_shortcut_quality(const Graph& g, Rng& rng,
     }
   }
   for (std::size_t k : ks) {
-    evaluate(random_voronoi_partition(g, k, rng),
-             "voronoi(k=" + std::to_string(k) + ")");
+    enqueue(random_voronoi_partition(g, k, rng),
+            "voronoi(k=" + std::to_string(k) + ")");
   }
   if (options.tree_chop) {
     const RootedSpanningTree tree = centered_bfs_tree(g, rng);
@@ -53,14 +56,35 @@ SqEstimate estimate_shortcut_quality(const Graph& g, Rng& rng,
     std::sort(sizes.begin(), sizes.end());
     sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
     for (std::size_t size : sizes) {
-      evaluate(tree_chop_partition(g, tree, size),
-               "tree-chop(size=" + std::to_string(size) + ")");
+      enqueue(tree_chop_partition(g, tree, size),
+              "tree-chop(size=" + std::to_string(size) + ")");
     }
   }
   std::size_t extra = 0;
   for (const PartCollection& pc : extra_partitions) {
     if (extra++ >= options.max_extra_partitions) break;
-    evaluate(pc, "extra(" + std::to_string(extra) + ")");
+    enqueue(pc, "extra(" + std::to_string(extra) + ")");
+  }
+
+  // Phase 2 (parallel): each trial builds its best shortcut from a stream
+  // forked in trial order, writing its own sample slot — bit-identical
+  // whether run serially or across the pool.
+  for (Trial& trial : trials) trial.rng = rng.fork();
+  std::vector<SqSample> samples(trials.size());
+  parallel_for_each(options.pool, trials.size(), [&](std::size_t t) {
+    const BestShortcut best = build_best_shortcut(g, trials[t].pc,
+                                                  trials[t].rng);
+    SqSample& sample = samples[t];
+    sample.partition_family = trials[t].family;
+    sample.num_parts = trials[t].pc.num_parts();
+    sample.quality = best.quality;
+    sample.construction = best.construction;
+  });
+
+  // Phase 3 (serial): ordered fold of the samples.
+  for (SqSample& sample : samples) {
+    estimate.quality = std::max(estimate.quality, sample.quality.quality());
+    estimate.samples.push_back(std::move(sample));
   }
   // SQ is at least Ω(D) unconditionally; never report below the anchor.
   estimate.quality = std::max<std::size_t>(estimate.quality, estimate.diameter);

@@ -19,6 +19,8 @@
 
 namespace dls {
 
+class ThreadPool;
+
 struct SqSample {
   std::string partition_family;
   std::size_t num_parts = 0;
@@ -36,6 +38,10 @@ struct SqEstimateOptions {
   int voronoi_granularities = 3;  // k = n^(1/2), n/8, n/2 style sweep
   bool tree_chop = true;
   std::size_t max_extra_partitions = 4;
+  /// Optional worker pool: the per-partition shortcut constructions run
+  /// concurrently, each on an Rng forked in sample order, so the estimate is
+  /// bit-identical with and without a pool.
+  ThreadPool* pool = nullptr;
 };
 
 SqEstimate estimate_shortcut_quality(const Graph& g, Rng& rng,

@@ -28,6 +28,11 @@ struct PhaseCongestion {
   std::uint64_t messages = 0;          // messages delivered in the phase
   std::size_t peak_slot_messages = 0;  // busiest (edge, direction) slot
   std::size_t peak_round_messages = 0; // busiest single round
+
+  /// Exact comparison — used by the differential suite to assert that
+  /// parallel batch runs reproduce serial accounting bit-for-bit.
+  friend bool operator==(const PhaseCongestion&,
+                         const PhaseCongestion&) = default;
 };
 
 /// Summary of two sequential phases: messages add, peaks take the max (a

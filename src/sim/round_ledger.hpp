@@ -27,6 +27,8 @@ struct LedgerEntry {
   std::uint64_t local_rounds = 0;   // CONGEST rounds
   std::uint64_t global_rounds = 0;  // NCC rounds
   PhaseCongestion congestion;       // all-zero when the phase was only charged
+
+  friend bool operator==(const LedgerEntry&, const LedgerEntry&) = default;
 };
 
 class RoundLedger {
@@ -56,6 +58,14 @@ class RoundLedger {
 
   /// Merge a sub-ledger (e.g. an oracle call) under a prefix label.
   void absorb(const RoundLedger& other, const std::string& prefix);
+
+  /// Exact equality: same entries (labels, rounds, congestion) in the same
+  /// order. This is the "bit-identical ledger" relation the deterministic
+  /// batch runtime promises across thread counts.
+  friend bool operator==(const RoundLedger& a, const RoundLedger& b) {
+    return a.local_ == b.local_ && a.global_ == b.global_ &&
+           a.entries_ == b.entries_;
+  }
 
  private:
   std::uint64_t local_ = 0;

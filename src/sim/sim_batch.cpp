@@ -1,0 +1,64 @@
+#include "sim/sim_batch.hpp"
+
+#include "util/assert.hpp"
+
+namespace dls {
+
+std::uint64_t derive_scenario_seed(std::uint64_t root_seed,
+                                   std::uint64_t index) {
+  // splitmix64 step `index + 1` of the stream anchored at root_seed. The +1
+  // keeps scenario 0 distinct from the raw root seed, so a scenario never
+  // accidentally shares a stream with a caller that seeded Rng(root_seed).
+  std::uint64_t x = root_seed + (index + 1) * 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::size_t SimBatch::add(std::string label, Task task) {
+  DLS_REQUIRE(!finished_, "SimBatch::add after run");
+  DLS_REQUIRE(task != nullptr, "SimBatch::add requires a task");
+  labels_.push_back(std::move(label));
+  tasks_.push_back(std::move(task));
+  return tasks_.size() - 1;
+}
+
+void SimBatch::run(ThreadPool* pool) {
+  DLS_REQUIRE(!finished_, "SimBatch::run may be called once");
+  outcomes_.resize(tasks_.size());
+  parallel_for_each(pool, tasks_.size(), [this](std::size_t i) {
+    SimOutcome& out = outcomes_[i];
+    out.label = labels_[i];
+    out.seed = derive_scenario_seed(root_seed_, i);
+    Rng rng(out.seed);
+    tasks_[i](rng, out);
+  });
+  finished_ = true;
+}
+
+const std::vector<SimOutcome>& SimBatch::outcomes() const {
+  DLS_REQUIRE(finished_, "SimBatch::outcomes before run");
+  return outcomes_;
+}
+
+RoundLedger SimBatch::merged_ledger() const {
+  DLS_REQUIRE(finished_, "SimBatch::merged_ledger before run");
+  RoundLedger merged;
+  for (const SimOutcome& out : outcomes_) {
+    merged.absorb(out.ledger, out.label);
+  }
+  return merged;
+}
+
+PhaseCongestion SimBatch::merged_congestion() const {
+  DLS_REQUIRE(finished_, "SimBatch::merged_congestion before run");
+  PhaseCongestion merged;
+  for (const SimOutcome& out : outcomes_) {
+    for (const LedgerEntry& e : out.ledger.entries()) {
+      merged = merge_phases(merged, e.congestion);
+    }
+  }
+  return merged;
+}
+
+}  // namespace dls

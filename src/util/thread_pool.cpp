@@ -1,0 +1,184 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <memory>
+
+#include "util/assert.hpp"
+
+namespace dls {
+
+namespace {
+// The pool (if any) whose worker_loop owns the current thread. Lets
+// parallel_for degrade gracefully under nesting: a task that itself calls
+// parallel_for on its own pool runs the loop serially instead of submitting
+// work it would then deadlock waiting for — the outer fan-out already keeps
+// every worker busy, and determinism is unaffected either way.
+thread_local const ThreadPool* t_worker_of = nullptr;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads <= 1) return;  // inline mode
+  queues_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++outstanding_;
+    inline_tasks_.push_back(std::move(task));
+    return;
+  }
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    target = next_queue_++ % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++outstanding_;
+    ++queued_;
+  }
+  work_available_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t id, std::function<void()>& task) {
+  WorkerQueue& q = *queues_[id];
+  std::lock_guard<std::mutex> lock(q.mutex);
+  if (q.tasks.empty()) return false;
+  task = std::move(q.tasks.back());  // LIFO on the own deque: cache-warm
+  q.tasks.pop_back();
+  return true;
+}
+
+bool ThreadPool::try_steal(std::size_t thief, std::function<void()>& task) {
+  const std::size_t k = queues_.size();
+  // Start the victim scan at the thief's successor so steals spread out
+  // instead of all hammering queue 0.
+  const std::size_t start = thief < k ? thief + 1 : 0;
+  for (std::size_t offset = 0; offset < k; ++offset) {
+    const std::size_t victim = (start + offset) % k;
+    if (victim == thief) continue;
+    WorkerQueue& q = *queues_[victim];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (q.tasks.empty()) continue;
+    task = std::move(q.tasks.front());  // FIFO steal: take the oldest work
+    q.tasks.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::finish_task() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (--outstanding_ == 0) all_idle_.notify_all();
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  t_worker_of = this;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(state_mutex_);
+      work_available_.wait(lock, [this] { return shutdown_ || queued_ > 0; });
+      if (queued_ == 0) return;  // shutdown with no work left
+      --queued_;                 // claim one task; it exists in some deque
+    }
+    std::function<void()> task;
+    while (!try_pop(id, task) && !try_steal(id, task)) {
+      // A claimed task is transiently between push and visibility only for
+      // the instant another claimant holds a deque lock; rescan.
+      std::this_thread::yield();
+    }
+    task();
+    finish_task();
+  }
+}
+
+void ThreadPool::wait_idle() {
+  DLS_REQUIRE(t_worker_of != this,
+              "ThreadPool::wait_idle called from one of the pool's own "
+              "workers: the caller's task counts as outstanding, so the wait "
+              "could never finish");
+  if (workers_.empty()) {
+    // Inline mode: run the queued tasks in submission order right here.
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        if (inline_tasks_.empty()) return;
+        task = std::move(inline_tasks_.front());
+        inline_tasks_.pop_front();
+      }
+      task();
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      --outstanding_;
+    }
+  }
+  // Threaded mode: pure wait. Deliberately no help-stealing here — a waiter
+  // that executes a claimed task on its own stack can recurse into another
+  // wait_idle whose outstanding_ count includes the task beneath it, which
+  // can never finish first (re-entrant deadlock). The workers always drain
+  // queued work on their own.
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  all_idle_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (t_worker_of == this) {
+    // Nested use from inside a task: run serially (see t_worker_of above).
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  if (workers_.empty() || n <= 1) {
+    wait_idle();  // inline mode may have queued submissions; run them first
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  const auto runner = [next, &body, n] {
+    for (std::size_t i = next->fetch_add(1); i < n; i = next->fetch_add(1)) {
+      body(i);
+    }
+  };
+  const std::size_t helpers = std::min(workers_.size(), n);
+  for (std::size_t k = 0; k + 1 < helpers; ++k) submit(runner);
+  runner();     // the calling thread participates too
+  wait_idle();  // body must stay alive until every helper drained
+}
+
+void parallel_for_each(ThreadPool* pool, std::size_t n,
+                       const std::function<void(std::size_t)>& body) {
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  pool->parallel_for(n, body);
+}
+
+}  // namespace dls

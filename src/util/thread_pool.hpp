@@ -1,0 +1,92 @@
+// A work-stealing thread pool for running independent simulation instances.
+//
+// Each worker owns a deque: it pushes and pops its own work LIFO (cache-warm)
+// and steals FIFO from a random victim when it runs dry, so a burst of
+// uneven scenario runtimes balances itself without a central queue becoming
+// the bottleneck. External submitters round-robin across worker deques.
+//
+// Determinism contract: the pool schedules tasks in an arbitrary,
+// timing-dependent order — it makes NO ordering promises. Determinism of
+// simulation results is the responsibility of the caller and is achieved by
+// construction one layer up (see sim/sim_batch.hpp): every task owns a
+// private Rng derived from (root seed, task index) and writes only to its own
+// result slot, so the merged output is a pure function of the inputs no
+// matter how tasks interleave.
+//
+// A pool constructed with `num_threads <= 1` spawns no threads at all;
+// submitted work runs inline in wait_idle()/parallel_for() on the calling
+// thread. That makes `ThreadPool(1)` an exact serial reference to compare
+// multi-threaded runs against.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dls {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker threads actually running (0 for an inline pool).
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues one task. Tasks must not throw; a task that does terminates.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. On an inline pool this
+  /// is where the queued tasks actually run (in submission order).
+  void wait_idle();
+
+  /// Runs body(0..n-1), partitioned dynamically across the workers and the
+  /// calling thread. Returns when all n calls completed. Each index is
+  /// executed exactly once; no ordering guarantee between indices. Called
+  /// from inside one of this pool's own tasks, the loop runs serially on the
+  /// calling worker (nested fan-out cannot deadlock and would add no
+  /// parallelism: the outer fan-out already occupies every worker).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// A sensible default worker count for this machine (>= 1).
+  static std::size_t hardware_threads();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t id);
+  bool try_pop(std::size_t id, std::function<void()>& task);
+  bool try_steal(std::size_t thief, std::function<void()>& task);
+  void finish_task();
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex state_mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::size_t outstanding_ = 0;  // submitted but not yet finished
+  std::size_t queued_ = 0;       // sitting in a deque, not yet claimed
+  std::size_t next_queue_ = 0;   // round-robin submission cursor
+  bool shutdown_ = false;
+
+  // Inline mode (num_threads <= 1): tasks queue here and run in wait_idle().
+  std::deque<std::function<void()>> inline_tasks_;
+};
+
+/// Convenience: runs body(0..n-1) on `pool`, or serially in index order when
+/// pool is null (the single-threaded reference path).
+void parallel_for_each(ThreadPool* pool, std::size_t n,
+                       const std::function<void(std::size_t)>& body);
+
+}  // namespace dls

@@ -1,0 +1,96 @@
+// Shared definition of the golden-trace scenarios, included by BOTH
+// tests/test_golden_rounds.cpp (which checks the pinned table) and
+// tools/golden_rounds_gen.cpp (which regenerates it). Keeping graph, seed,
+// instance, and value construction in one place guarantees the generator
+// reproduces exactly what the test measures.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "congested_pa/solver.hpp"
+#include "graph/generators.hpp"
+
+namespace dls {
+namespace golden {
+
+// Fixed seeds. Changing any of these invalidates the golden table.
+constexpr std::uint64_t kTreeGraphSeed = 404;
+constexpr std::uint64_t kExpanderGraphSeed = 505;
+constexpr std::uint64_t kKtreeGraphSeed = 303;
+constexpr std::uint64_t kInstanceSeed = 606;
+constexpr std::uint64_t kSolverSeed = 777;
+
+// grid + tree + expander cover the C2/C6 pipelines (layered-graph reduction
+// under the Supported-CONGEST / CONGEST charging rules) and C7 (NCC); the
+// bounded-treewidth k-tree covers the C3 (Lemma 19 / Corollary 20) regime.
+constexpr const char* kFamilies[] = {"grid", "tree", "expander", "ktree"};
+constexpr PaModel kModels[] = {PaModel::kSupportedCongest, PaModel::kCongest,
+                               PaModel::kNcc};
+
+struct GoldenScenario {
+  Graph graph;
+  PartCollection pc;
+  std::vector<std::vector<double>> values;
+};
+
+inline Graph golden_graph(const std::string& family) {
+  if (family == "grid") return make_grid(8, 8);
+  if (family == "tree") {
+    Rng rng(kTreeGraphSeed);
+    return make_random_tree(64, rng);
+  }
+  if (family == "expander") {
+    Rng rng(kExpanderGraphSeed);
+    return make_random_regular(64, 4, rng);
+  }
+  if (family == "ktree") {
+    Rng rng(kKtreeGraphSeed);
+    return make_k_tree(64, 2, rng);  // treewidth exactly 2
+  }
+  throw std::invalid_argument("unknown golden family: " + family);
+}
+
+inline GoldenScenario golden_scenario(const std::string& family) {
+  GoldenScenario s{golden_graph(family), {}, {}};
+  Rng rng(kInstanceSeed);
+  s.pc = stacked_voronoi_instance(s.graph, 4, 3, rng);
+  s.values.resize(s.pc.num_parts());
+  for (std::size_t i = 0; i < s.pc.num_parts(); ++i) {
+    for (std::size_t j = 0; j < s.pc.parts[i].size(); ++j) {
+      // Integer values in [-5, 5]: sums are exact under any association.
+      s.values[i].push_back(static_cast<double>(
+          static_cast<std::int64_t>(rng.next_below(11)) - 5));
+    }
+  }
+  return s;
+}
+
+inline const char* model_name(PaModel model) {
+  switch (model) {
+    case PaModel::kSupportedCongest:
+      return "SupportedCongest";
+    case PaModel::kCongest:
+      return "Congest";
+    case PaModel::kNcc:
+      return "Ncc";
+  }
+  return "?";
+}
+
+/// Runs one golden case from scratch (fresh solver stream, so cases are
+/// order-independent) and returns the outcome to fingerprint.
+inline CongestedPaOutcome run_golden_case(const std::string& family,
+                                          PaModel model) {
+  const GoldenScenario s = golden_scenario(family);
+  CongestedPaOptions options;
+  options.model = model;
+  Rng rng(kSolverSeed);
+  return solve_congested_pa(s.graph, s.pc, s.values, AggregationMonoid::sum(),
+                            rng, options);
+}
+
+}  // namespace golden
+}  // namespace dls

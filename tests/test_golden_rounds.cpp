@@ -1,0 +1,106 @@
+// Golden-trace regression tests.
+//
+// Each case pins the EXACT simulated cost profile — round counts, phase
+// structure, peak congestion, message totals, and the aggregate checksum —
+// of the congested part-wise aggregation pipelines (Supported-CONGEST,
+// CONGEST, NCC; claims C2/C3/C6/C7 of DESIGN.md) on fixed-seed instances:
+// an 8×8 grid, a random tree, a random-regular expander, and a
+// bounded-treewidth 2-tree (the C3 regime).
+//
+// These values are NOT derived from the paper; they are a fingerprint of the
+// current implementation. Their purpose is to make silent semantic drift
+// loud: a perf refactor that accidentally changes the simulated schedule, the
+// RNG stream discipline, or the charging rules will move at least one number
+// here and fail with a precise diff. If a change moves them *intentionally*
+// (e.g. a scheduler improvement), regenerate with tools/golden_rounds_gen
+// (see docs/TESTING.md) and update the table in the same commit, explaining
+// why.
+//
+// All input values are integer-valued doubles, so the expected checksums are
+// exact (no floating-point tolerance needed): integer sums this small are
+// representable and associativity cannot change the result.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "golden_scenario.hpp"
+
+namespace dls {
+namespace {
+
+struct GoldenRow {
+  const char* family;
+  PaModel model;
+  std::size_t congestion;
+  std::uint32_t phases;
+  std::size_t max_layers;
+  std::uint64_t total_rounds;
+  std::uint64_t total_local;
+  std::uint64_t total_global;
+  std::size_t peak_congestion;
+  std::uint64_t total_messages;
+  std::size_t num_entries;  // ledger entry count: pins the phase structure
+  double checksum;          // sum over parts of the aggregate (exact)
+};
+
+// Golden table — output of tools/golden_rounds_gen, pasted verbatim.
+const GoldenRow kGolden[] = {
+    // clang-format off
+    {"grid", PaModel::kSupportedCongest,
+     3, 5, 12, 812, 812, 0, 1, 656, 9, 14.0},
+    {"grid", PaModel::kCongest,
+     3, 5, 12, 1774, 1774, 0, 1, 656, 14, 14.0},
+    {"grid", PaModel::kNcc,
+     3, 1, 0, 8, 0, 8, 0, 0, 1, 14.0},
+    {"tree", PaModel::kSupportedCongest,
+     3, 5, 12, 425, 425, 0, 1, 360, 9, 14.0},
+    {"tree", PaModel::kCongest,
+     3, 5, 12, 1034, 1034, 0, 1, 360, 14, 14.0},
+    {"tree", PaModel::kNcc,
+     3, 1, 0, 9, 0, 9, 0, 0, 1, 14.0},
+    {"expander", PaModel::kSupportedCongest,
+     3, 5, 12, 516, 516, 0, 1, 540, 9, 14.0},
+    {"expander", PaModel::kCongest,
+     3, 5, 12, 955, 955, 0, 1, 540, 14, 14.0},
+    {"expander", PaModel::kNcc,
+     3, 1, 0, 8, 0, 8, 0, 0, 1, 14.0},
+    {"ktree", PaModel::kSupportedCongest,
+     3, 5, 12, 232, 232, 0, 1, 156, 9, 14.0},
+    {"ktree", PaModel::kCongest,
+     3, 5, 12, 524, 524, 0, 1, 156, 14, 14.0},
+    {"ktree", PaModel::kNcc,
+     3, 1, 0, 9, 0, 9, 0, 0, 1, 14.0},
+    // clang-format on
+};
+
+class GoldenRounds : public ::testing::TestWithParam<GoldenRow> {};
+
+TEST_P(GoldenRounds, MatchesPinnedTrace) {
+  const GoldenRow& row = GetParam();
+  const CongestedPaOutcome outcome =
+      golden::run_golden_case(row.family, row.model);
+
+  EXPECT_EQ(outcome.congestion, row.congestion);
+  EXPECT_EQ(outcome.phases, row.phases);
+  EXPECT_EQ(outcome.max_layers, row.max_layers);
+  EXPECT_EQ(outcome.total_rounds, row.total_rounds);
+  EXPECT_EQ(outcome.ledger.total_local(), row.total_local);
+  EXPECT_EQ(outcome.ledger.total_global(), row.total_global);
+  EXPECT_EQ(outcome.ledger.peak_congestion(), row.peak_congestion);
+  EXPECT_EQ(outcome.ledger.total_messages(), row.total_messages);
+  EXPECT_EQ(outcome.ledger.entries().size(), row.num_entries);
+  double checksum = 0.0;
+  for (const double r : outcome.results) checksum += r;
+  EXPECT_EQ(checksum, row.checksum);  // exact: integer-valued inputs
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamiliesAndModels, GoldenRounds, ::testing::ValuesIn(kGolden),
+    [](const ::testing::TestParamInfo<GoldenRow>& info) {
+      return std::string(info.param.family) + "_" +
+             golden::model_name(info.param.model);
+    });
+
+}  // namespace
+}  // namespace dls

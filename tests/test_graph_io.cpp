@@ -65,6 +65,89 @@ TEST(GraphIo, RejectsMalformedInput) {
   }
 }
 
+// Failure-path coverage: every malformed input must produce a clear
+// std::invalid_argument that names the offending line — never UB, never a
+// silently wrong graph.
+TEST(GraphIo, RejectsMalformedEdgeLines) {
+  const auto expect_error_mentioning = [](const std::string& text,
+                                          const std::string& needle) {
+    std::stringstream in(text);
+    try {
+      read_graph(in);
+      FAIL() << "expected parse error for: " << text;
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+          << "error '" << error.what() << "' should mention '" << needle
+          << "' for input: " << text;
+    }
+  };
+  expect_error_mentioning("p 3\ne 0\n", "two endpoints");
+  expect_error_mentioning("p 3\ne zero one\n", "non-negative integers");
+  expect_error_mentioning("p 3\ne -1 2\n", "non-negative integers");
+  expect_error_mentioning("p 3\ne 0 1 2.5 junk\n", "trailing token");
+  expect_error_mentioning("p 3\ne 0 1 abc\n", "finite number");
+  expect_error_mentioning("p 3\ne 0 1 nan\n", "finite number");
+  expect_error_mentioning("p 3\ne 0 1 inf\n", "finite number");
+  // Errors carry the 1-based line number of the offending line.
+  expect_error_mentioning("# ok\np 3\ne 0 1\ne 0\n", "line 4");
+}
+
+TEST(GraphIo, RejectsDuplicateEdges) {
+  {
+    std::stringstream in("p 3\ne 0 1\ne 1 2\ne 0 1\n");
+    EXPECT_THROW(read_graph(in), std::invalid_argument);
+  }
+  {
+    // Also when reversed: {1, 0} duplicates {0, 1}.
+    std::stringstream in("p 3\ne 0 1\ne 1 0\n");
+    try {
+      read_graph(in);
+      FAIL() << "reversed duplicate accepted";
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find("duplicate edge"),
+                std::string::npos)
+          << error.what();
+    }
+  }
+}
+
+TEST(GraphIo, RejectsMalformedHeaders) {
+  {
+    std::stringstream in("p -3\n");
+    EXPECT_THROW(read_graph(in), std::invalid_argument);  // negative count
+  }
+  {
+    std::stringstream in("p many\n");
+    EXPECT_THROW(read_graph(in), std::invalid_argument);  // non-numeric
+  }
+  {
+    std::stringstream in("p 3 junk\n");
+    EXPECT_THROW(read_graph(in), std::invalid_argument);  // trailing token
+  }
+  {
+    std::stringstream in("p 3\np 3\n");
+    EXPECT_THROW(read_graph(in), std::invalid_argument);  // duplicate header
+  }
+}
+
+TEST(GraphIo, RejectsEmptyInput) {
+  {
+    std::stringstream in("");
+    EXPECT_THROW(read_graph(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("\n\n   \n");
+    EXPECT_THROW(read_graph(in), std::invalid_argument);
+  }
+  {
+    // An empty graph with an explicit header is fine, though.
+    std::stringstream in("p 0\n");
+    const Graph g = read_graph(in);
+    EXPECT_EQ(g.num_nodes(), 0u);
+    EXPECT_EQ(g.num_edges(), 0u);
+  }
+}
+
 TEST(GraphIo, FileRoundTrip) {
   const Graph g = make_cycle(7);
   const std::string path = "/tmp/dls_graph_io_test.txt";

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "graph/generators.hpp"
 #include "sim/network_metrics.hpp"
 #include "sim/round_ledger.hpp"
+#include "sim/sim_batch.hpp"
 #include "sim/sync_network.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dls {
 namespace {
@@ -227,6 +231,88 @@ TEST(RoundLedger, ClearResets) {
   ledger.clear();
   EXPECT_EQ(ledger.total_local(), 0u);
   EXPECT_TRUE(ledger.entries().empty());
+}
+
+// --- SimBatch: the deterministic sharded runtime --------------------------
+
+TEST(SimBatch, ScenarioSeedsAreStableAndDistinct) {
+  // Pure function of (root, index)...
+  EXPECT_EQ(derive_scenario_seed(7, 0), derive_scenario_seed(7, 0));
+  // ...different per index and per root, over a decent window.
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 512; ++i) seeds.insert(derive_scenario_seed(7, i));
+  for (std::uint64_t i = 0; i < 512; ++i) seeds.insert(derive_scenario_seed(8, i));
+  EXPECT_EQ(seeds.size(), 1024u);
+  // Scenario 0 must not alias the root stream itself.
+  EXPECT_NE(derive_scenario_seed(7, 0), 7u);
+}
+
+namespace {
+/// A batch whose scenarios actually push messages through a SyncNetwork, so
+/// ledgers carry real round and congestion numbers worth comparing.
+SimBatch make_probe_batch() {
+  SimBatch batch(/*root_seed=*/0xbadc0deULL);
+  for (int s = 0; s < 12; ++s) {
+    batch.add("probe" + std::to_string(s), [](Rng& rng, SimOutcome& out) {
+      const Graph g = make_path(4 + rng.next_below(4));
+      SyncNetwork net(g);
+      NetworkMetrics metrics;
+      metrics.reset(2 * g.num_edges());
+      net.attach_metrics(&metrics);
+      metrics.begin_phase("probe");
+      const std::uint64_t steps = 1 + rng.next_below(3);
+      for (std::uint64_t r = 0; r < steps; ++r) {
+        net.send({0, 1, 0, r, rng.next_double(), 1});
+        net.step();
+      }
+      metrics.end_phase(net.rounds());
+      out.ledger.charge_local(net.rounds(), "probe", metrics.totals());
+      out.results = {static_cast<double>(net.messages_sent())};
+    });
+  }
+  return batch;
+}
+}  // namespace
+
+TEST(SimBatch, OutcomesAreBitIdenticalAcrossThreadCounts) {
+  SimBatch serial = make_probe_batch();
+  serial.run(nullptr);
+  ThreadPool pool(4);
+  SimBatch threaded = make_probe_batch();
+  threaded.run(&pool);
+  ASSERT_EQ(serial.outcomes().size(), threaded.outcomes().size());
+  for (std::size_t i = 0; i < serial.outcomes().size(); ++i) {
+    const SimOutcome& a = serial.outcomes()[i];
+    const SimOutcome& b = threaded.outcomes()[i];
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.results, b.results);  // exact, not approximate
+    EXPECT_TRUE(a.ledger == b.ledger) << "ledger mismatch in scenario " << i;
+  }
+  EXPECT_TRUE(serial.merged_ledger() == threaded.merged_ledger());
+  EXPECT_TRUE(serial.merged_congestion() == threaded.merged_congestion());
+}
+
+TEST(SimBatch, MergedLedgerFoldsInIndexOrderWithLabelPrefixes) {
+  SimBatch batch(1);
+  batch.add("a", [](Rng&, SimOutcome& out) { out.ledger.charge_local(2, "x"); });
+  batch.add("b", [](Rng&, SimOutcome& out) { out.ledger.charge_global(3, "y"); });
+  batch.run();
+  const RoundLedger merged = batch.merged_ledger();
+  ASSERT_EQ(merged.entries().size(), 2u);
+  EXPECT_EQ(merged.entries()[0].label, "a/x");
+  EXPECT_EQ(merged.entries()[1].label, "b/y");
+  EXPECT_EQ(merged.total_local(), 2u);
+  EXPECT_EQ(merged.total_global(), 3u);
+}
+
+TEST(SimBatch, GuardsAgainstMisuse) {
+  SimBatch batch(1);
+  EXPECT_THROW(batch.outcomes(), std::invalid_argument);  // before run
+  batch.add("a", [](Rng&, SimOutcome&) {});
+  batch.run();
+  EXPECT_THROW(batch.add("b", [](Rng&, SimOutcome&) {}), std::invalid_argument);
+  EXPECT_THROW(batch.run(), std::invalid_argument);  // run is once-only
 }
 
 }  // namespace

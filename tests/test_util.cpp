@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
 
@@ -7,6 +8,7 @@
 #include "util/random.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dls {
 namespace {
@@ -156,6 +158,61 @@ TEST(Flags, ParsesBothSyntaxes) {
 TEST(Flags, RejectsPositionalArguments) {
   const char* argv[] = {"prog", "oops"};
   EXPECT_THROW(Flags(2, argv), std::invalid_argument);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> visits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ThreadPool, InlinePoolRunsSubmissionsInOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 0u);  // no threads spawned: inline mode
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    pool.submit([&order, i] { order.push_back(i); });
+  }
+  EXPECT_TRUE(order.empty());  // nothing runs until wait_idle
+  pool.wait_idle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, SubmitAndWaitIdleCompletesAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&done] { done.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, NestedParallelForDegradesToSerialWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    // Nested use from a worker: must run serially, not hang.
+    pool.parallel_for(8, [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
+TEST(ThreadPool, ParallelForEachWithNullPoolRunsInIndexOrder) {
+  std::vector<std::size_t> order;
+  parallel_for_each(nullptr, 6, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(ThreadPool, PoolDestructionDrainsOutstandingWork) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) pool.submit([&done] { done.fetch_add(1); });
+  }  // ~ThreadPool waits for idle before joining
+  EXPECT_EQ(done.load(), 20);
 }
 
 }  // namespace

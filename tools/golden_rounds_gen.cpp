@@ -1,0 +1,36 @@
+// Regenerates the golden table in tests/test_golden_rounds.cpp.
+//
+// Usage:
+//   cmake --build build --target golden_rounds_gen
+//   ./build/tools/golden_rounds_gen
+//
+// Prints the kGolden initializer rows to stdout in the exact source format;
+// paste them over the table in tests/test_golden_rounds.cpp. Only do this for
+// a DELIBERATE semantic change, and say why in the commit message — these
+// numbers exist to catch accidental drift (see docs/TESTING.md).
+#include <cstdio>
+
+#include "golden_scenario.hpp"
+
+int main() {
+  using namespace dls;
+  using namespace dls::golden;
+  for (const char* family : kFamilies) {
+    for (const PaModel model : kModels) {
+      const CongestedPaOutcome o = run_golden_case(family, model);
+      double checksum = 0.0;
+      for (const double r : o.results) checksum += r;
+      std::printf(
+          "    {\"%s\", PaModel::k%s,\n"
+          "     %zu, %u, %zu, %llu, %llu, %llu, %zu, %llu, %zu, %.1f},\n",
+          family, model_name(model), o.congestion, o.phases, o.max_layers,
+          static_cast<unsigned long long>(o.total_rounds),
+          static_cast<unsigned long long>(o.ledger.total_local()),
+          static_cast<unsigned long long>(o.ledger.total_global()),
+          o.ledger.peak_congestion(),
+          static_cast<unsigned long long>(o.ledger.total_messages()),
+          o.ledger.entries().size(), checksum);
+    }
+  }
+  return 0;
+}
