@@ -1,0 +1,111 @@
+// Chaos-layer overhead: what fault tolerance costs in simulated rounds.
+//
+// The fault-tolerant scheduler loops retransmit dropped winners, buffer
+// delayed/duplicated copies, and dedup arrivals; under a clean plan all of
+// that is skipped (null-plan bit-identity), so the interesting number is the
+// round inflation as a function of the fault mix. This driver solves one
+// stacked-Voronoi instance per (graph family × fault mix), reports
+// fault-free vs faulted rounds, the inflation factor, and the injected event
+// count — the ledgered budget the chaos tests hold retry overhead against.
+#include "bench_common.hpp"
+#include "congested_pa/solver.hpp"
+#include "graph/generators.hpp"
+#include "sim/fault_injection.hpp"
+
+using namespace dls;
+using namespace dls::bench;
+
+namespace {
+
+struct Mix {
+  const char* name;
+  FaultConfig config;
+};
+
+std::vector<Mix> mixes() {
+  std::vector<Mix> out;
+  out.push_back({"clean", {}});
+  {
+    FaultConfig c;
+    c.drop_rate = 0.1;
+    out.push_back({"drop 10%", c});
+  }
+  {
+    FaultConfig c;
+    c.drop_rate = 0.5;
+    out.push_back({"drop 50%", c});
+  }
+  {
+    FaultConfig c;
+    c.duplicate_rate = 0.2;
+    c.delay_rate = 0.2;
+    c.reorder = true;
+    out.push_back({"dup+delay+reorder", c});
+  }
+  {
+    FaultConfig c;
+    c.crash_rate = 0.02;
+    c.max_crash_len = 3;
+    c.drop_rate = 0.1;
+    out.push_back({"crash+drop", c});
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchRuntime runtime = bench_runtime(argc, argv);
+  const WallTimer timer;
+  banner("chaos overhead",
+         "fault injection inflates rounds, never changes results");
+
+  Table table({"graph", "fault mix", "clean rounds", "faulty rounds",
+               "inflation", "injected events"});
+  struct Family {
+    const char* name;
+    Graph g;
+  };
+  Rng build_rng(2024);
+  std::vector<Family> families;
+  families.push_back({"grid 8x8", make_grid(8, 8)});
+  families.push_back({"random tree n=48", make_random_tree(48, build_rng)});
+  families.push_back({"4-regular n=40", make_random_regular(40, 4, build_rng)});
+
+  for (const Family& family : families) {
+    Rng inst_rng(404);
+    const PartCollection pc =
+        stacked_voronoi_instance(family.g, 4, 2, inst_rng);
+    std::vector<std::vector<double>> values(pc.num_parts());
+    for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+      values[i].assign(pc.parts[i].size(), 1.0);
+    }
+
+    Rng clean_rng(777);
+    const CongestedPaOutcome clean = solve_congested_pa(
+        family.g, pc, values, AggregationMonoid::sum(), clean_rng);
+
+    for (const Mix& mix : mixes()) {
+      FaultPlan plan(9001, mix.config);
+      CongestedPaOptions options;
+      options.faults = &plan;
+      Rng rng(777);
+      const CongestedPaOutcome faulty = solve_congested_pa(
+          family.g, pc, values, AggregationMonoid::sum(), rng, options);
+      for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+        if (faulty.results[i] != clean.results[i]) {
+          std::cerr << "FATAL: faulted run changed results\n";
+          return 1;
+        }
+      }
+      table.add_row({family.name, mix.name, Table::cell(clean.total_rounds),
+                     Table::cell(faulty.total_rounds),
+                     Table::cell(static_cast<double>(faulty.total_rounds) /
+                                 static_cast<double>(clean.total_rounds)),
+                     Table::cell(plan.injected().size())});
+    }
+  }
+  table.print(std::cout);
+  print_wall_clock(runtime, timer);
+  return 0;
+}

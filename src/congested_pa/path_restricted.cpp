@@ -125,7 +125,8 @@ PathRestrictedOutcome solve_path_restricted(const Graph& g,
                                             const PathInstance& inst,
                                             const AggregationMonoid& monoid,
                                             Rng& rng, SchedulingPolicy policy,
-                                            double palette_factor) {
+                                            double palette_factor,
+                                            FaultPlan* faults) {
   PathRestrictedOutcome outcome;
   outcome.congestion = validate_path_instance(g, inst);
   LiftedInstance lifted = build_lifted_instance(g, inst, rng, palette_factor);
@@ -162,7 +163,7 @@ PathRestrictedOutcome solve_path_restricted(const Graph& g,
     outcome.layered_shortcut_quality = best.quality;
     const PartwiseAggregationOutcome pa = solve_partwise_aggregation(
         lifted.layered->graph(), lifted.parts, lifted.values, monoid,
-        best.shortcut, rng, policy);
+        best.shortcut, rng, policy, faults);
     outcome.layered_pa_rounds = pa.schedule.total_rounds;
     outcome.layered_congestion = pa.schedule.congestion();
     for (std::size_t i = 0; i < inst.paths.size(); ++i) {

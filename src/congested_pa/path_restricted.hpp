@@ -57,9 +57,13 @@ struct PathRestrictedOutcome {
   PhaseCongestion layered_congestion;
 };
 
+/// An optional FaultPlan applies to the layered-graph PA schedule (the only
+/// message-level simulation in this reduction; the colouring itself is
+/// charged analytically). Slots and node ids in its events are layered-graph
+/// coordinates.
 PathRestrictedOutcome solve_path_restricted(
     const Graph& g, const PathInstance& inst, const AggregationMonoid& monoid,
     Rng& rng, SchedulingPolicy policy = SchedulingPolicy::kRandomPriority,
-    double palette_factor = 2.0);
+    double palette_factor = 2.0, FaultPlan* faults = nullptr);
 
 }  // namespace dls

@@ -44,6 +44,9 @@ CongestedPaOutcome solve_congested_pa(
     const AggregationMonoid& monoid, Rng& rng,
     const CongestedPaOptions& options) {
   DLS_REQUIRE(values.size() == pc.num_parts(), "values per part mismatch");
+  DLS_REQUIRE(options.faults == nullptr || options.model != PaModel::kNcc,
+              "fault injection targets the CONGEST message plane; the NCC "
+              "clique model has no edge slots to fault");
   CongestedPaOutcome outcome;
   outcome.results.assign(pc.num_parts(), monoid.identity);
   outcome.congestion = congestion(g, pc);
@@ -88,8 +91,9 @@ CongestedPaOutcome solve_congested_pa(
   if (outcome.congestion == 1) {
     const BestShortcut best = build_best_shortcut(g, pc, rng);
     charge_build(best.quality.quality(), 1, "construct-1-congested");
-    const PartwiseAggregationOutcome pa = solve_partwise_aggregation(
-        g, pc, values, monoid, best.shortcut, rng, options.policy);
+    const PartwiseAggregationOutcome pa =
+        solve_partwise_aggregation(g, pc, values, monoid, best.shortcut, rng,
+                                   options.policy, options.faults);
     outcome.results = pa.results;
     outcome.ledger.charge_local(pa.schedule.total_rounds, "pa-1-congested",
                                 pa.schedule.congestion());
@@ -117,8 +121,9 @@ CongestedPaOutcome solve_congested_pa(
       PathInstance inst;
       inst.paths = pc.parts;
       inst.values = values;
-      const PathRestrictedOutcome phase = solve_path_restricted(
-          g, inst, monoid, rng, options.policy, options.palette_factor);
+      const PathRestrictedOutcome phase =
+          solve_path_restricted(g, inst, monoid, rng, options.policy,
+                                options.palette_factor, options.faults);
       outcome.results = phase.results;
       outcome.max_layers = phase.layers;
       charge_build(phase.layered_shortcut_quality.quality(), phase.layers,
@@ -181,8 +186,9 @@ CongestedPaOutcome solve_congested_pa(
       }
     }
     if (inst.paths.empty()) continue;
-    const PathRestrictedOutcome phase = solve_path_restricted(
-        g, inst, monoid, rng, options.policy, options.palette_factor);
+    const PathRestrictedOutcome phase =
+        solve_path_restricted(g, inst, monoid, rng, options.policy,
+                              options.palette_factor, options.faults);
     outcome.max_layers = std::max(outcome.max_layers, phase.layers);
     charge_build(phase.layered_shortcut_quality.quality(), phase.layers,
                  "construct-up(d=" + std::to_string(d) + ")");
@@ -241,8 +247,9 @@ CongestedPaOutcome solve_congested_pa(
     if (tr > 0) {
       outcome.ledger.charge_local(tr, "handoff(d=" + std::to_string(d) + ")");
     }
-    const PathRestrictedOutcome phase = solve_path_restricted(
-        g, inst, monoid, rng, options.policy, options.palette_factor);
+    const PathRestrictedOutcome phase =
+        solve_path_restricted(g, inst, monoid, rng, options.policy,
+                              options.palette_factor, options.faults);
     outcome.max_layers = std::max(outcome.max_layers, phase.layers);
     charge_build(phase.layered_shortcut_quality.quality(), phase.layers,
                  "construct-down(d=" + std::to_string(d) + ")");

@@ -48,6 +48,15 @@ struct CongestedPaOptions {
   /// a pool: parallel work never touches the shared Rng stream, so the
   /// simulated round accounting does not depend on the thread count.
   ThreadPool* pool = nullptr;
+  /// Opt-in fault injection (sim/fault_injection.hpp). Every message-level
+  /// phase of the pipeline — the ρ=1 fast path, the all-paths fast path, and
+  /// both heavy-path sweeps — consults the plan; under eventual delivery the
+  /// results stay bit-identical to the fault-free run, otherwise the solve
+  /// throws ChaosAbortError with the partial ledger. Must be null for kNcc
+  /// (the clique model has no edge slots to fault). A null plan changes
+  /// nothing: the fault-free path is bit-identical to the pinned golden
+  /// traces. Not thread-safe — one plan per concurrently simulated scenario.
+  FaultPlan* faults = nullptr;
 };
 
 struct CongestedPaOutcome {

@@ -71,6 +71,7 @@ CongestedPaOracle::Measured ShortcutPaOracle::measure(const PartCollection& pc) 
   CongestedPaOptions options;
   options.model = model_;
   options.policy = policy_;
+  options.faults = faults_;
   const CongestedPaOutcome outcome = solve_congested_pa(
       graph(), pc, unit_values(pc), AggregationMonoid::sum(), rng_, options);
   // Sanity: the distributed run must agree with the fold.

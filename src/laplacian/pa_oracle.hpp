@@ -103,6 +103,13 @@ class ShortcutPaOracle final : public CongestedPaOracle {
     return model_ == PaModel::kCongest ? "shortcut-congest" : "shortcut";
   }
 
+  /// Opt-in fault injection for subsequent measure() runs (not owned, may be
+  /// null). The measurement's built-in cross-check — distributed results must
+  /// equal the sequential fold — becomes the fault-correctness oracle: under
+  /// eventual delivery the faulty run must still produce exact aggregates,
+  /// and a wedged phase surfaces as ChaosAbortError instead of a hang.
+  void set_fault_plan(FaultPlan* faults) { faults_ = faults; }
+
  protected:
   Measured measure(const PartCollection& pc) override;
 
@@ -110,6 +117,7 @@ class ShortcutPaOracle final : public CongestedPaOracle {
   Rng& rng_;
   SchedulingPolicy policy_;
   PaModel model_;
+  FaultPlan* faults_ = nullptr;
 };
 
 /// Lemma 26: NCC aggregation; charges global rounds.

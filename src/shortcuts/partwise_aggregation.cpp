@@ -149,7 +149,7 @@ PartwiseAggregationOutcome solve_partwise_aggregation(
     const Graph& g, const PartCollection& pc,
     const std::vector<std::vector<double>>& values,
     const AggregationMonoid& monoid, const Shortcut& shortcut, Rng& rng,
-    SchedulingPolicy policy) {
+    SchedulingPolicy policy, FaultPlan* faults) {
   DLS_REQUIRE(values.size() == pc.num_parts(), "values per part mismatch");
   DLS_REQUIRE(shortcut.h_edges.size() == pc.num_parts(),
               "shortcut per part mismatch");
@@ -160,7 +160,8 @@ PartwiseAggregationOutcome solve_partwise_aggregation(
         build_part_tree(g, pc.parts[i], shortcut.h_edges[i], values[i]));
   }
   PartwiseAggregationOutcome outcome;
-  outcome.schedule = run_tree_aggregations(g, trees, monoid, rng, policy);
+  outcome.schedule =
+      run_tree_aggregations(g, trees, monoid, rng, policy, faults);
   outcome.results = outcome.schedule.results;
   return outcome;
 }

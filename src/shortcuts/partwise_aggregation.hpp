@@ -18,11 +18,14 @@ struct PartwiseAggregationOutcome {
 
 /// values[i][j] is the input of pc.parts[i][j]. Every part member learns the
 /// part aggregate (the broadcast phase is included in the measured rounds).
+/// An optional FaultPlan (sim/fault_injection.hpp) makes the underlying
+/// scheduler fault-tolerant; see run_tree_aggregations for the semantics.
 PartwiseAggregationOutcome solve_partwise_aggregation(
     const Graph& g, const PartCollection& pc,
     const std::vector<std::vector<double>>& values,
     const AggregationMonoid& monoid, const Shortcut& shortcut, Rng& rng,
-    SchedulingPolicy policy = SchedulingPolicy::kRandomPriority);
+    SchedulingPolicy policy = SchedulingPolicy::kRandomPriority,
+    FaultPlan* faults = nullptr);
 
 /// Convenience: constructs the best available shortcut, then aggregates.
 PartwiseAggregationOutcome solve_partwise_aggregation_auto(

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
+
+#include "sim/fault_injection.hpp"
 
 namespace dls {
 
@@ -284,6 +287,58 @@ struct Delivery {
   std::uint32_t local;  // sender (convergecast) / receiver (broadcast)
 };
 
+/// A delivery travelling late (delayed or duplicated by a FaultPlan); lands
+/// in the delivery batch of round `due`.
+struct InFlight {
+  std::uint64_t due;
+  Delivery delivery;
+};
+
+/// Moves in-flight entries due this round to the front of `deliveries`
+/// (insertion order — deterministic) and compacts the rest in place.
+void flush_in_flight(std::vector<InFlight>& in_flight, std::uint64_t round,
+                     std::vector<Delivery>& deliveries) {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < in_flight.size(); ++i) {
+    if (in_flight[i].due <= round) {
+      deliveries.push_back(in_flight[i].delivery);
+    } else {
+      if (kept != i) in_flight[kept] = in_flight[i];
+      ++kept;
+    }
+  }
+  in_flight.resize(kept);
+}
+
+/// Applies the plan's same-round permutation (if any) to the delivery batch.
+void maybe_reorder(FaultPlan* faults, std::uint64_t round,
+                   std::vector<Delivery>& deliveries,
+                   std::vector<Delivery>& scratch) {
+  if (faults == nullptr) return;
+  const std::vector<std::size_t> perm =
+      faults->reorder_permutation(round, /*subject=*/0, deliveries.size());
+  if (perm.empty()) return;
+  scratch.resize(deliveries.size());
+  for (std::size_t i = 0; i < deliveries.size(); ++i) {
+    scratch[i] = deliveries[perm[i]];
+  }
+  deliveries.swap(scratch);
+}
+
+/// Fails the phase loudly: ChaosAbortError with the partial accounting.
+[[noreturn]] void abort_phase(const char* phase, std::uint64_t round,
+                              std::size_t done, std::size_t total,
+                              const NetworkMetrics& metrics) {
+  RoundLedger ledger;
+  ledger.charge_local(round, std::string("aborted-") + phase,
+                      metrics.current());
+  throw ChaosAbortError(
+      std::string(phase) + " exceeded its fault round budget after " +
+          std::to_string(round) + " rounds (" + std::to_string(done) + "/" +
+          std::to_string(total) + " complete)",
+      std::move(ledger));
+}
+
 }  // namespace
 
 std::vector<double> sequential_aggregates(const std::vector<AggregationTree>& trees,
@@ -304,7 +359,8 @@ std::vector<double> sequential_aggregates(const std::vector<AggregationTree>& tr
 AggregationOutcome run_tree_aggregations(const Graph& g,
                                          const std::vector<AggregationTree>& trees,
                                          const AggregationMonoid& monoid,
-                                         Rng& rng, SchedulingPolicy policy) {
+                                         Rng& rng, SchedulingPolicy policy,
+                                         FaultPlan* faults) {
   AggregationOutcome outcome;
   const std::size_t t_count = trees.size();
   outcome.results.assign(t_count, monoid.identity);
@@ -341,10 +397,23 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
   queues.reset(2 * g.num_edges());
 
   std::vector<Delivery> deliveries;
+  std::vector<Delivery> reorder_scratch;
+  std::vector<InFlight> in_flight;
 
   // --- Phase 1: convergecast ---------------------------------------------
   // value[t][x]: accumulated value at local node x of tree t.
   metrics.begin_phase("convergecast");
+  if (faults != nullptr) faults->begin_epoch();
+  // received[t][x]: child x's report was folded into its parent. Duplicate
+  // arrivals (a FaultPlan can clone messages) are skipped instead of
+  // corrupting the fold or tripping the waiting-count assertion.
+  std::vector<std::vector<char>> received;
+  if (faults != nullptr) {
+    received.resize(t_count);
+    for (std::size_t t = 0; t < t_count; ++t) {
+      received[t].assign(rooted[t].nodes.size(), 0);
+    }
+  }
   std::vector<std::vector<double>> value(t_count);
   std::vector<std::vector<std::uint32_t>> waiting(t_count);
   for (std::size_t t = 0; t < t_count; ++t) {
@@ -383,9 +452,14 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
   while (roots_done < t_count) {
     ++round;
     DLS_ASSERT(round < 64ull * 1024 * 1024, "convergecast failed to terminate");
+    if (faults != nullptr && round > faults->config().round_limit) {
+      abort_phase("convergecast", round, roots_done, t_count, metrics);
+    }
     // Deliver one message per directed slot; collect deliveries first so all
-    // sends within a round are simultaneous.
+    // sends within a round are simultaneous. Late (delayed / duplicated)
+    // copies due this round land at the front of the batch.
     deliveries.clear();
+    if (faults != nullptr) flush_in_flight(in_flight, round, deliveries);
     queues.merge_new();
     queues.for_each_active_slot([&](std::size_t slot,
                                     std::vector<PendingSend>& q) {
@@ -393,13 +467,37 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
       for (std::size_t i = 1; i < q.size(); ++i) {
         if (better(q[i], q[best_idx], policy)) best_idx = i;
       }
-      deliveries.push_back({q[best_idx].tree, q[best_idx].from_local});
       ++outcome.messages;
       metrics.record_send(slot, round);
+      if (faults != nullptr) {
+        const RootedTree& rt = rooted[q[best_idx].tree];
+        const NodeId from = rt.nodes[q[best_idx].from_local];
+        const NodeId to = rt.nodes[rt.parent[q[best_idx].from_local]];
+        const MessageFate fate = faults->message_fate(round, slot, from, to);
+        if (fate.dropped) return;  // stays queued: retransmit next round
+        const Delivery d{q[best_idx].tree, q[best_idx].from_local};
+        if (fate.duplicated) {
+          ++outcome.messages;  // the clone also crossed the wire
+          metrics.record_send(slot, round);
+          in_flight.push_back({round + fate.delay + 1, d});
+        }
+        if (fate.delay > 0) {
+          in_flight.push_back({round + fate.delay, d});
+        } else {
+          deliveries.push_back(d);
+        }
+      } else {
+        deliveries.push_back({q[best_idx].tree, q[best_idx].from_local});
+      }
       q.erase(q.begin() + static_cast<std::ptrdiff_t>(best_idx));
     });
+    maybe_reorder(faults, round, deliveries, reorder_scratch);
     for (const Delivery& d : deliveries) {
       const RootedTree& rt = rooted[d.tree];
+      if (faults != nullptr) {
+        if (received[d.tree][d.local]) continue;  // duplicate arrival
+        received[d.tree][d.local] = 1;
+      }
       const std::uint32_t p = rt.parent[d.local];
       value[d.tree][p] = monoid.op(value[d.tree][p], value[d.tree][d.local]);
       DLS_ASSERT(waiting[d.tree][p] > 0, "parent received unexpected message");
@@ -425,6 +523,8 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
   queues.reset(2 * g.num_edges());
   const std::uint64_t round_offset = round;  // histogram continues after phase 1
   round = 0;
+  if (faults != nullptr) faults->begin_epoch();
+  in_flight.clear();  // leftover clones of a finished phase evaporate
   std::vector<std::vector<char>> informed(t_count);
   std::size_t to_inform = 0;
   std::size_t informed_count = 0;
@@ -448,7 +548,11 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
   while (informed_count < to_inform) {
     ++round;
     DLS_ASSERT(round < 64ull * 1024 * 1024, "broadcast failed to terminate");
+    if (faults != nullptr && round > faults->config().round_limit) {
+      abort_phase("broadcast", round, informed_count, to_inform, metrics);
+    }
     deliveries.clear();
+    if (faults != nullptr) flush_in_flight(in_flight, round, deliveries);
     queues.merge_new();
     queues.for_each_active_slot([&](std::size_t slot,
                                     std::vector<PendingSend>& q) {
@@ -456,11 +560,32 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
       for (std::size_t i = 1; i < q.size(); ++i) {
         if (better(q[i], q[best_idx], policy)) best_idx = i;
       }
-      deliveries.push_back({q[best_idx].tree, q[best_idx].from_local});
       ++outcome.messages;
       metrics.record_send(slot, round_offset + round);
+      if (faults != nullptr) {
+        // Downward message: parent (sender) to child (local = receiver).
+        const RootedTree& rt = rooted[q[best_idx].tree];
+        const NodeId from = rt.nodes[rt.parent[q[best_idx].from_local]];
+        const NodeId to = rt.nodes[q[best_idx].from_local];
+        const MessageFate fate = faults->message_fate(round, slot, from, to);
+        if (fate.dropped) return;  // stays queued: retransmit next round
+        const Delivery d{q[best_idx].tree, q[best_idx].from_local};
+        if (fate.duplicated) {
+          ++outcome.messages;
+          metrics.record_send(slot, round_offset + round);
+          in_flight.push_back({round + fate.delay + 1, d});
+        }
+        if (fate.delay > 0) {
+          in_flight.push_back({round + fate.delay, d});
+        } else {
+          deliveries.push_back(d);
+        }
+      } else {
+        deliveries.push_back({q[best_idx].tree, q[best_idx].from_local});
+      }
       q.erase(q.begin() + static_cast<std::ptrdiff_t>(best_idx));
     });
+    maybe_reorder(faults, round, deliveries, reorder_scratch);
     for (const Delivery& d : deliveries) {
       if (!informed[d.tree][d.local]) {
         informed[d.tree][d.local] = 1;

@@ -31,6 +31,8 @@
 
 namespace dls {
 
+class FaultPlan;  // sim/fault_injection.hpp
+
 /// A commutative, associative aggregation with identity (Definition 4 allows
 /// arbitrary functions; we require a monoid as the paper assumes in practice).
 struct AggregationMonoid {
@@ -82,12 +84,32 @@ struct AggregationOutcome {
 /// Runs all trees to completion and returns exact measured rounds.
 /// Preconditions (validated): each tree's edge set is a tree in g containing
 /// its root and all input nodes.
+///
+/// With a FaultPlan (sim/fault_injection.hpp) the scheduler becomes
+/// fault-tolerant: each phase opens a new plan epoch, every transmitted
+/// message consults the plan at its (round, slot) coordinate, and
+///   * dropped messages stay queued — the sender retransmits until one gets
+///     through (charged as a real send each attempt);
+///   * delayed / duplicated copies ride an in-flight buffer and land in a
+///     later round's delivery batch;
+///   * duplicate arrivals are deduplicated (convergecast: a per-node
+///     received flag; broadcast: the informed flag), so under eventual
+///     delivery the fold order — and hence every result bit — matches the
+///     fault-free run;
+///   * same-round delivery batches are permuted when the plan says reorder
+///     (harmless for a commutative monoid; that is the point being tested);
+///   * a phase that exceeds FaultConfig::round_limit throws ChaosAbortError
+///     carrying the partial round accounting.
+/// All fault handling is gated on `faults != nullptr` and consumes nothing
+/// from `rng`, so a null plan is bit-identical to the pre-fault scheduler
+/// (pinned by the golden traces).
 AggregationOutcome run_tree_aggregations(const Graph& g,
                                          const std::vector<AggregationTree>& trees,
                                          const AggregationMonoid& monoid,
                                          Rng& rng,
                                          SchedulingPolicy policy =
-                                             SchedulingPolicy::kRandomPriority);
+                                             SchedulingPolicy::kRandomPriority,
+                                         FaultPlan* faults = nullptr);
 
 /// Sequential ground truth: fold each tree's inputs with the monoid.
 std::vector<double> sequential_aggregates(const std::vector<AggregationTree>& trees,

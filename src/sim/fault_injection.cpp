@@ -1,0 +1,346 @@
+#include "sim/fault_injection.hpp"
+
+#include <algorithm>
+
+#include "util/random.hpp"
+
+namespace dls {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kDuplicate:
+      return "duplicate";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kReorder:
+      return "reorder";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kLinkDown:
+      return "link-down";
+  }
+  return "?";
+}
+
+std::string to_string(const FaultEvent& event) {
+  std::string s = to_string(event.kind);
+  s += "(epoch=" + std::to_string(event.epoch);
+  s += ", round=" + std::to_string(event.round);
+  s += ", subject=" + std::to_string(event.subject);
+  if (event.param != 0) s += ", param=" + std::to_string(event.param);
+  s += ")";
+  return s;
+}
+
+FaultPlan::FaultPlan(std::uint64_t seed, FaultConfig config)
+    : FaultPlan(seed, config, /*replay=*/false, {}) {}
+
+FaultPlan FaultPlan::replay(std::uint64_t seed, std::vector<FaultEvent> events,
+                            FaultConfig config) {
+  return FaultPlan(seed, config, /*replay=*/true, std::move(events));
+}
+
+FaultPlan::FaultPlan(std::uint64_t seed, FaultConfig config, bool replay,
+                     std::vector<FaultEvent> events)
+    : seed_(seed),
+      config_(config),
+      replay_(replay),
+      replay_events_(std::move(events)) {
+  DLS_REQUIRE(config_.drop_rate >= 0.0 && config_.drop_rate <= 1.0 &&
+                  config_.duplicate_rate >= 0.0 &&
+                  config_.duplicate_rate <= 1.0 &&
+                  config_.delay_rate >= 0.0 && config_.delay_rate <= 1.0 &&
+                  config_.crash_rate >= 0.0 && config_.crash_rate <= 1.0 &&
+                  config_.flap_rate >= 0.0 && config_.flap_rate <= 1.0,
+              "fault rates must be probabilities in [0, 1]");
+  DLS_REQUIRE(config_.max_delay >= 1 && config_.max_crash_len >= 1 &&
+                  config_.max_flap_len >= 1,
+              "fault window lengths must be at least 1");
+  std::sort(replay_events_.begin(), replay_events_.end());
+}
+
+void FaultPlan::reset() {
+  epoch_ = 0;
+  injected_.clear();
+}
+
+std::uint64_t FaultPlan::mix(Channel channel, std::uint64_t round,
+                             std::uint64_t subject) const {
+  // Each coordinate is folded in under its own odd multiplier, then a
+  // splitmix64 finalizer scrambles the sum. Decisions are therefore
+  // independent of consultation order — the property the whole layer rests
+  // on: a retried message at a later round is a *new* coordinate, while two
+  // consumers asking about the same coordinate always agree.
+  std::uint64_t x = seed_;
+  x ^= (static_cast<std::uint64_t>(channel) + 1) * 0x9e3779b97f4a7c15ULL;
+  x ^= (static_cast<std::uint64_t>(epoch_) + 1) * 0xbf58476d1ce4e5b9ULL;
+  x ^= (round + 1) * 0x94d049bb133111ebULL;
+  x ^= (subject + 1) * 0xd6e8feb86659fd93ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double FaultPlan::uniform(Channel channel, std::uint64_t round,
+                          std::uint64_t subject) const {
+  return static_cast<double>(mix(channel, round, subject) >> 11) * 0x1.0p-53;
+}
+
+bool FaultPlan::replay_find(FaultKind kind, std::uint64_t round,
+                            std::uint64_t subject,
+                            std::uint32_t* param) const {
+  const FaultEvent probe{kind, epoch_, round, subject, 0};
+  const auto it =
+      std::lower_bound(replay_events_.begin(), replay_events_.end(), probe);
+  if (it == replay_events_.end() || it->kind != kind || it->epoch != epoch_ ||
+      it->round != round || it->subject != subject) {
+    return false;
+  }
+  if (param != nullptr) *param = it->param;
+  return true;
+}
+
+void FaultPlan::record(FaultKind kind, std::uint64_t round,
+                       std::uint64_t subject, std::uint32_t param) {
+  // Window faults (crash, flap) are re-discovered every round they cover;
+  // keep the log sorted and deduplicated so each fires exactly one event.
+  const FaultEvent event{kind, epoch_, round, subject, param};
+  const auto it =
+      std::lower_bound(injected_.begin(), injected_.end(), event);
+  if (it != injected_.end() && *it == event) return;
+  injected_.insert(it, event);
+}
+
+std::vector<FaultEvent> FaultPlan::injected() const { return injected_; }
+
+std::uint32_t FaultPlan::window_len(FaultKind kind, std::uint64_t round,
+                                    std::uint64_t subject) {
+  if (replay_) {
+    std::uint32_t param = 0;
+    if (!replay_find(kind, round, subject, &param)) return 0;
+    return param;
+  }
+  const bool crash = kind == FaultKind::kCrash;
+  const double rate = crash ? config_.crash_rate : config_.flap_rate;
+  const std::uint32_t max_len =
+      crash ? config_.max_crash_len : config_.max_flap_len;
+  if (rate <= 0.0 || round > config_.horizon) return 0;
+  const Channel start = crash ? Channel::kCrash : Channel::kFlap;
+  const Channel len = crash ? Channel::kCrashLen : Channel::kFlapLen;
+  if (uniform(start, round, subject) >= rate) return 0;
+  return 1 + static_cast<std::uint32_t>(mix(len, round, subject) % max_len);
+}
+
+bool FaultPlan::node_crashed(std::uint64_t round, NodeId v) {
+  const std::uint64_t span = config_.max_crash_len;
+  const std::uint64_t first = round > span - 1 ? round - (span - 1) : 0;
+  for (std::uint64_t r0 = first; r0 <= round; ++r0) {
+    const std::uint32_t len = window_len(FaultKind::kCrash, r0, v);
+    if (len != 0 && r0 + len > round) {
+      record(FaultKind::kCrash, r0, v, len);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::link_down(std::uint64_t round, EdgeId e) {
+  const std::uint64_t span = config_.max_flap_len;
+  const std::uint64_t first = round > span - 1 ? round - (span - 1) : 0;
+  for (std::uint64_t r0 = first; r0 <= round; ++r0) {
+    const std::uint32_t len = window_len(FaultKind::kLinkDown, r0, e);
+    if (len != 0 && r0 + len > round) {
+      record(FaultKind::kLinkDown, r0, e, len);
+      return true;
+    }
+  }
+  return false;
+}
+
+MessageFate FaultPlan::message_fate(std::uint64_t round, std::size_t slot,
+                                    NodeId from, NodeId to) {
+  MessageFate fate;
+  // Crashed endpoints and down links lose the message outright; the crash /
+  // flap window event is what the log records (and what replay keys on).
+  if (node_crashed(round, from) || node_crashed(round, to) ||
+      link_down(round, static_cast<EdgeId>(slot / 2))) {
+    fate.dropped = true;
+    return fate;
+  }
+  if (replay_) {
+    std::uint32_t param = 0;
+    if (replay_find(FaultKind::kDrop, round, slot, nullptr)) {
+      fate.dropped = true;
+      record(FaultKind::kDrop, round, slot, 0);
+      return fate;
+    }
+    if (replay_find(FaultKind::kDelay, round, slot, &param)) {
+      fate.delay = param;
+      record(FaultKind::kDelay, round, slot, param);
+    }
+    if (replay_find(FaultKind::kDuplicate, round, slot, nullptr)) {
+      fate.duplicated = true;
+      record(FaultKind::kDuplicate, round, slot, 0);
+    }
+    return fate;
+  }
+  if (round > config_.horizon) return fate;
+  if (config_.drop_rate > 0.0 &&
+      uniform(Channel::kDrop, round, slot) < config_.drop_rate) {
+    fate.dropped = true;
+    record(FaultKind::kDrop, round, slot, 0);
+    return fate;
+  }
+  if (config_.delay_rate > 0.0 &&
+      uniform(Channel::kDelay, round, slot) < config_.delay_rate) {
+    fate.delay = 1 + static_cast<std::uint32_t>(
+                         mix(Channel::kDelayLen, round, slot) %
+                         config_.max_delay);
+    record(FaultKind::kDelay, round, slot, fate.delay);
+  }
+  if (config_.duplicate_rate > 0.0 &&
+      uniform(Channel::kDuplicate, round, slot) < config_.duplicate_rate) {
+    fate.duplicated = true;
+    record(FaultKind::kDuplicate, round, slot, 0);
+  }
+  return fate;
+}
+
+std::vector<std::size_t> FaultPlan::reorder_permutation(std::uint64_t round,
+                                                        std::uint64_t subject,
+                                                        std::size_t count) {
+  if (count < 2) return {};
+  if (replay_) {
+    if (!replay_find(FaultKind::kReorder, round, subject, nullptr)) return {};
+  } else {
+    if (!config_.reorder || round > config_.horizon) return {};
+  }
+  // The permutation itself re-derives from the seed in both modes, so a
+  // replayed kReorder event shuffles exactly as the generative run did.
+  Rng rng(mix(Channel::kReorder, round, subject));
+  std::vector<std::size_t> perm = rng.permutation(count);
+  bool identity = true;
+  for (std::size_t i = 0; i < count; ++i) identity &= perm[i] == i;
+  if (identity) return {};
+  record(FaultKind::kReorder, round, subject,
+         static_cast<std::uint32_t>(count));
+  return perm;
+}
+
+// --- FaultyNetwork ---------------------------------------------------------
+
+FaultyNetwork::FaultyNetwork(const Graph& g, FaultPlan* plan)
+    : net_(g),
+      plan_(plan),
+      inboxes_(g.num_nodes()),
+      inbox_epoch_(g.num_nodes(), 0) {}
+
+void FaultyNetwork::send(const CongestMessage& message) {
+  DLS_REQUIRE(message.edge < graph().num_edges(), "unknown edge");
+  if (plan_ != nullptr) {
+    const std::uint64_t round = net_.rounds();
+    const bool sender_down = plan_->node_crashed(round, message.from);
+    const bool edge_down = plan_->link_down(round, message.edge);
+    if (sender_down || edge_down) {
+      if (plan_->config().down_send == FaultConfig::DownSendPolicy::kThrow) {
+        throw std::invalid_argument(
+            sender_down ? "send from a crashed node (down_send = kThrow)"
+                        : "send over a down link (down_send = kThrow)");
+      }
+      ++suppressed_sends_;
+      return;  // swallowed at the source; the slot stays free
+    }
+  }
+  net_.send(message);
+}
+
+void FaultyNetwork::deliver(const CongestMessage& message) {
+  const std::uint64_t round = net_.rounds();
+  if (plan_ != nullptr && plan_->node_crashed(round, message.to)) {
+    ++dropped_;
+    return;
+  }
+  if (inbox_epoch_[message.to] != round) {
+    inbox_epoch_[message.to] = round;
+    inboxes_[message.to].clear();
+    touched_.push_back(message.to);
+  }
+  inboxes_[message.to].push_back(message);
+}
+
+void FaultyNetwork::step() {
+  net_.step();
+  const std::uint64_t round = net_.rounds();
+  touched_.clear();
+  // Held (delayed / duplicate) copies due this round land first, in the
+  // order they were put in flight — deterministic, like everything here.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < held_.size(); ++i) {
+    if (held_[i].due <= round) {
+      deliver(held_[i].msg);
+    } else {
+      if (kept != i) held_[kept] = held_[i];
+      ++kept;
+    }
+  }
+  held_.resize(kept);
+  for (NodeId v = 0; v < graph().num_nodes(); ++v) {
+    for (const CongestMessage& m : net_.inbox(v)) {
+      if (plan_ == nullptr) {
+        deliver(m);
+        continue;
+      }
+      const Edge& edge = graph().edge(m.edge);
+      const std::size_t s =
+          2 * static_cast<std::size_t>(m.edge) + (m.from == edge.v ? 1 : 0);
+      const MessageFate fate = plan_->message_fate(round, s, m.from, m.to);
+      if (fate.dropped) {
+        ++dropped_;
+        continue;
+      }
+      if (fate.duplicated) {
+        ++duplicated_;
+        held_.push_back({round + fate.delay + 1, m});
+      }
+      if (fate.delay > 0) {
+        ++delayed_;
+        held_.push_back({round + fate.delay, m});
+      } else {
+        deliver(m);
+      }
+    }
+  }
+  if (plan_ != nullptr && plan_->config().reorder) {
+    for (NodeId v : touched_) {
+      std::vector<CongestMessage>& box = inboxes_[v];
+      const std::vector<std::size_t> perm =
+          plan_->reorder_permutation(round, v, box.size());
+      if (perm.empty()) continue;
+      std::vector<CongestMessage> shuffled(box.size());
+      for (std::size_t i = 0; i < box.size(); ++i) shuffled[i] = box[perm[i]];
+      box.swap(shuffled);
+    }
+  }
+}
+
+const std::vector<CongestMessage>& FaultyNetwork::inbox(NodeId v) const {
+  DLS_REQUIRE(v < inboxes_.size(), "node id out of range");
+  static const std::vector<CongestMessage> kEmpty;
+  if (plan_ != nullptr && plan_->node_crashed(net_.rounds(), v)) return kEmpty;
+  if (inbox_epoch_[v] != net_.rounds()) return kEmpty;
+  return inboxes_[v];
+}
+
+bool FaultyNetwork::node_up(NodeId v) const {
+  DLS_REQUIRE(v < inboxes_.size(), "node id out of range");
+  return plan_ == nullptr || !plan_->node_crashed(net_.rounds(), v);
+}
+
+bool FaultyNetwork::link_up(EdgeId e) const {
+  DLS_REQUIRE(e < graph().num_edges(), "edge id out of range");
+  return plan_ == nullptr || !plan_->link_down(net_.rounds(), e);
+}
+
+}  // namespace dls

@@ -214,4 +214,66 @@ MisResult distributed_mis_luby(const Graph& g, Rng& rng) {
   return result;
 }
 
+ReliableSendResult reliable_send(FaultyNetwork& net, NodeId from, NodeId to,
+                                 EdgeId edge, std::uint64_t seq, double payload,
+                                 const ReliableSendOptions& options) {
+  DLS_REQUIRE(edge < net.graph().num_edges(), "unknown edge");
+  DLS_REQUIRE(net.graph().edge(edge).other(from) == to,
+              "endpoints must match the edge");
+  DLS_REQUIRE(options.initial_backoff >= 1 &&
+                  options.max_backoff >= options.initial_backoff,
+              "backoff must be at least 1 and capped no lower than its start");
+  const std::uint64_t data_tag = seq << 1;
+  const std::uint64_t ack_tag = (seq << 1) | 1;
+  const std::uint64_t start_round = net.rounds();
+
+  ReliableSendResult result;
+  std::uint32_t backoff = options.initial_backoff;
+  // A send at round r has had a full round trip's chance by r + 2; waiting
+  // `backoff` rounds beyond that before retransmitting makes the clean-path
+  // cost exactly one DATA + one ACK in 2 rounds even at initial_backoff = 1.
+  std::uint64_t next_data_round = start_round;
+  bool ack_pending = false;
+  for (;;) {
+    const std::uint64_t now = net.rounds();
+    if (!result.acked && now >= next_data_round) {
+      net.send({from, to, edge, data_tag, payload, 1});
+      ++result.data_sends;
+      next_data_round = now + 1 + backoff;
+      backoff = std::min<std::uint32_t>(backoff * 2, options.max_backoff);
+    }
+    if (ack_pending) {
+      net.send({to, from, edge, ack_tag, 0.0, 1});
+      ++result.ack_sends;
+      ack_pending = false;
+    }
+    net.step();
+    result.rounds = net.rounds() - start_round;
+    for (const CongestMessage& m : net.inbox(to)) {
+      if (m.tag != data_tag || m.from != from) continue;
+      if (result.delivered) {
+        ++result.duplicates_suppressed;
+      } else {
+        result.delivered = true;
+      }
+      ack_pending = true;  // re-ack every copy: the previous ack may be lost
+    }
+    for (const CongestMessage& m : net.inbox(from)) {
+      if (m.tag == ack_tag && m.from == to) result.acked = true;
+    }
+    if (result.acked) {
+      result.ledger.charge_local(result.rounds, "reliable-send");
+      return result;
+    }
+    if (options.timeout_rounds != 0 && result.rounds >= options.timeout_rounds) {
+      result.aborted = true;
+      result.ledger.charge_local(result.rounds, "reliable-send-abort");
+      return result;
+    }
+    DLS_ASSERT(result.rounds < (std::uint64_t{1} << 20),
+               "reliable_send livelocked: no ack and no timeout configured — "
+               "set timeout_rounds or give the FaultPlan a finite horizon");
+  }
+}
+
 }  // namespace dls

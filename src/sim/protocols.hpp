@@ -12,6 +12,8 @@
 #include <span>
 
 #include "graph/graph.hpp"
+#include "sim/fault_injection.hpp"
+#include "sim/round_ledger.hpp"
 #include "sim/sync_network.hpp"
 #include "util/random.hpp"
 
@@ -66,5 +68,42 @@ MisResult distributed_mis_luby(const Graph& g, Rng& rng);
 
 /// True iff `in_mis` marks an independent set that is maximal in g.
 bool is_maximal_independent_set(const Graph& g, const std::vector<char>& in_mis);
+
+struct ReliableSendOptions {
+  /// Abort (result.aborted) once this many rounds elapse without an ack;
+  /// 0 means no timeout — only safe when the FaultPlan guarantees eventual
+  /// delivery (finite horizon), and a hard internal budget still fails
+  /// loudly (throws) rather than livelocking if that promise is broken.
+  std::uint64_t timeout_rounds = 0;
+  /// Rounds the sender waits for an ack before the first retransmission;
+  /// doubles after every silent wait, capped at max_backoff.
+  std::uint32_t initial_backoff = 1;
+  std::uint32_t max_backoff = 64;
+};
+
+struct ReliableSendResult {
+  bool delivered = false;  // receiver accepted the payload (exactly once)
+  bool acked = false;      // sender learned of the delivery
+  bool aborted = false;    // timeout fired before the ack came back
+  std::uint64_t rounds = 0;
+  std::uint64_t data_sends = 0;   // transmissions, including retries
+  std::uint64_t ack_sends = 0;
+  std::uint64_t duplicates_suppressed = 0;  // redundant DATA arrivals ignored
+  /// One entry per terminal state ("reliable-send" or
+  /// "reliable-send-abort") charging the rounds consumed — the ledgered
+  /// budget the retry tests check overhead against.
+  RoundLedger ledger;
+};
+
+/// Sequence-numbered ack/retry delivery of one payload word across one edge
+/// of a (possibly faulty) network: the sender retransmits DATA(seq) with
+/// exponential backoff until ACK(seq) arrives, the receiver accepts the
+/// first copy, ignores duplicates, and re-acks every copy. Message tags
+/// encode (seq << 1) | kind so concurrent protocol instances on other edges
+/// cannot be confused. With a clean network this costs one DATA, one ACK,
+/// and exactly 2 rounds.
+ReliableSendResult reliable_send(FaultyNetwork& net, NodeId from, NodeId to,
+                                 EdgeId edge, std::uint64_t seq, double payload,
+                                 const ReliableSendOptions& options = {});
 
 }  // namespace dls

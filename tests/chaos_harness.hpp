@@ -1,0 +1,195 @@
+// Chaos harness for the congested-PA pipelines: seeded fault schedules,
+// exact comparison against the fault-free oracle, and greedy shrinking of
+// failing schedules to a minimal reproducing fault list.
+//
+// Every chaos case is reproducible from (scenario_seed, fault_seed, fault
+// mix): the scenario seed re-derives the graph, the partition, and the input
+// values; the fault seed re-derives the complete adversarial schedule via
+// FaultPlan's stateless hash (sim/fault_injection.hpp). The root seed of the
+// sweep is printable and overridable through DLS_CHAOS_SEED, so a CI failure
+// replays locally with
+//
+//   DLS_CHAOS_SEED=<printed seed> ctest -R Chaos
+//
+// On a failure the harness re-runs the case in replay mode on the injected
+// event list and ddmin-shrinks it: delete event chunks (halving down to
+// single events) as long as the case still fails, until a locally minimal
+// fault list remains. That list plus the seeds is the repro to pin in a
+// regression test (see docs/TESTING.md, "Fault injection & chaos testing").
+#pragma once
+
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "congested_pa/solver.hpp"
+#include "graph/generators.hpp"
+#include "sim/fault_injection.hpp"
+
+namespace dls {
+namespace chaos {
+
+/// Root seed for a sweep: DLS_CHAOS_SEED if set (decimal or 0x-hex),
+/// otherwise `fallback`. Echo the result in test output so every run is
+/// replayable with one command.
+inline std::uint64_t root_seed_from_env(std::uint64_t fallback) {
+  const char* env = std::getenv("DLS_CHAOS_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 0);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+/// True iff the sweep should run its full grid (nightly / manual dispatch);
+/// default is the smoke subset CI runs on every push.
+inline bool full_sweep_requested() {
+  const char* env = std::getenv("DLS_CHAOS_FULL");
+  return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+/// One chaos case: everything needed to build the scenario and its faults.
+struct CaseConfig {
+  std::string label;
+  int family = 0;                 // index into the family table below
+  std::uint64_t scenario_seed = 0;  // graph + partition + values + solver
+  std::uint64_t fault_seed = 0;     // the adversarial schedule
+  FaultConfig faults;
+  PaModel model = PaModel::kSupportedCongest;
+};
+
+inline Graph chaos_family_graph(int family, Rng& rng) {
+  switch (family % 4) {
+    case 0: return make_grid(5 + rng.next_below(3), 5 + rng.next_below(3));
+    case 1: return make_random_tree(24 + rng.next_below(16), rng);
+    case 2: return make_random_regular(24 + 2 * rng.next_below(6), 4, rng);
+    default: return make_torus(5, 5 + rng.next_below(2));
+  }
+}
+
+struct Scenario {
+  Graph g;
+  PartCollection pc;
+  std::vector<std::vector<double>> values;
+  std::uint64_t solver_seed = 0;
+};
+
+/// Re-derives the full scenario from the case's scenario seed alone.
+inline Scenario build_scenario(const CaseConfig& c) {
+  Rng rng(c.scenario_seed);
+  Scenario s{chaos_family_graph(c.family, rng), {}, {}, 0};
+  const std::size_t rho = 1 + rng.next_below(3);
+  const std::size_t k = 2 + rng.next_below(3);
+  s.pc = stacked_voronoi_instance(s.g, k, rho, rng);
+  s.values.resize(s.pc.num_parts());
+  for (std::size_t i = 0; i < s.pc.num_parts(); ++i) {
+    for (std::size_t j = 0; j < s.pc.parts[i].size(); ++j) {
+      // Integer values in [-5, 5]: aggregates are exact under any
+      // association, so agreement with the oracle is checked with ==.
+      s.values[i].push_back(static_cast<double>(
+          static_cast<std::int64_t>(rng.next_below(11)) - 5));
+    }
+  }
+  s.solver_seed = rng();
+  return s;
+}
+
+/// Runs the case once: a fault-free solve and a faulted solve from identical
+/// solver streams, compared bit-for-bit. Returns "" on agreement, else a
+/// diagnosis. With `replay` non-null the fault schedule is the given event
+/// list instead of the generative one; with `out_injected` non-null the
+/// events that actually fired are returned (for the shrinker).
+inline std::string run_case(const CaseConfig& c,
+                            const std::vector<FaultEvent>* replay = nullptr,
+                            std::vector<FaultEvent>* out_injected = nullptr) {
+  const Scenario s = build_scenario(c);
+  CongestedPaOptions options;
+  options.model = c.model;
+
+  Rng clean_rng(s.solver_seed);
+  const CongestedPaOutcome clean = solve_congested_pa(
+      s.g, s.pc, s.values, AggregationMonoid::sum(), clean_rng, options);
+
+  FaultPlan plan = replay != nullptr
+                       ? FaultPlan::replay(c.fault_seed, *replay, c.faults)
+                       : FaultPlan(c.fault_seed, c.faults);
+  options.faults = &plan;
+  Rng faulty_rng(s.solver_seed);
+  std::string diagnosis;
+  try {
+    const CongestedPaOutcome faulty = solve_congested_pa(
+        s.g, s.pc, s.values, AggregationMonoid::sum(), faulty_rng, options);
+    for (std::size_t i = 0; i < s.pc.num_parts(); ++i) {
+      if (faulty.results[i] != clean.results[i]) {
+        diagnosis += "part " + std::to_string(i) + ": faulty " +
+                     std::to_string(faulty.results[i]) + " != clean " +
+                     std::to_string(clean.results[i]) + "\n";
+      }
+    }
+  } catch (const ChaosAbortError& e) {
+    diagnosis = std::string("ChaosAbortError: ") + e.what() + "\n";
+  } catch (const std::exception& e) {
+    diagnosis = std::string("exception: ") + e.what() + "\n";
+  }
+  if (out_injected != nullptr) *out_injected = plan.injected();
+  return diagnosis;
+}
+
+/// Greedy ddmin-style shrink: repeatedly delete chunks (size halving down to
+/// 1) while `still_fails` holds, until no single event can be removed. The
+/// result is a locally minimal failing subset of `events`.
+inline std::vector<FaultEvent> shrink_events(
+    std::vector<FaultEvent> events,
+    const std::function<bool(const std::vector<FaultEvent>&)>& still_fails) {
+  std::size_t chunk = events.size() / 2;
+  if (chunk == 0) chunk = 1;
+  for (;;) {
+    bool removed_any = false;
+    std::size_t i = 0;
+    while (i < events.size()) {
+      const std::size_t len = chunk < events.size() - i ? chunk : events.size() - i;
+      std::vector<FaultEvent> candidate;
+      candidate.reserve(events.size() - len);
+      candidate.insert(candidate.end(), events.begin(),
+                       events.begin() + static_cast<std::ptrdiff_t>(i));
+      candidate.insert(candidate.end(),
+                       events.begin() + static_cast<std::ptrdiff_t>(i + len),
+                       events.end());
+      if (still_fails(candidate)) {
+        events = std::move(candidate);
+        removed_any = true;  // retry same position: the tail shifted left
+      } else {
+        i += len;
+      }
+    }
+    if (chunk == 1) {
+      if (!removed_any) return events;  // fixpoint at single-event granularity
+    } else {
+      chunk /= 2;
+    }
+  }
+}
+
+/// Shrinks the case's failing schedule and formats the repro block a failing
+/// chaos test prints: seeds, minimal fault list, and the replay command.
+inline std::string describe_repro(const CaseConfig& c,
+                                  const std::vector<FaultEvent>& injected) {
+  const std::vector<FaultEvent> minimal =
+      shrink_events(injected, [&](const std::vector<FaultEvent>& subset) {
+        return !run_case(c, &subset).empty();
+      });
+  std::string out = "chaos repro for " + c.label + ":\n";
+  out += "  scenario_seed = " + std::to_string(c.scenario_seed) + "\n";
+  out += "  fault_seed    = " + std::to_string(c.fault_seed) + "\n";
+  out += "  minimal fault list (" + std::to_string(minimal.size()) + " of " +
+         std::to_string(injected.size()) + " injected):\n";
+  for (const FaultEvent& e : minimal) {
+    out += "    " + to_string(e) + "\n";
+  }
+  out += "  replay: FaultPlan::replay(fault_seed, {events above}, config), "
+         "or rerun with DLS_CHAOS_SEED (printed at sweep start)\n";
+  return out;
+}
+
+}  // namespace chaos
+}  // namespace dls

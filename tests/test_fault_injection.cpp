@@ -1,0 +1,378 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "sim/fault_injection.hpp"
+#include "sim/sync_network.hpp"
+
+namespace dls {
+namespace {
+
+// --- FaultPlan: the hash oracle -------------------------------------------
+
+TEST(FaultPlan, DecisionsArePureFunctionsOfCoordinates) {
+  FaultConfig config;
+  config.drop_rate = 0.5;
+  config.delay_rate = 0.3;
+  config.duplicate_rate = 0.3;
+  FaultPlan a(0x1234, config);
+  FaultPlan b(0x1234, config);
+  // Consult b at scrambled coordinates first: decisions must not shift.
+  for (std::uint64_t r = 16; r >= 1; --r) {
+    for (std::size_t s = 0; s < 8; ++s) b.message_fate(r, 7 - s, 0, 1);
+  }
+  for (std::uint64_t r = 1; r <= 16; ++r) {
+    for (std::size_t s = 0; s < 8; ++s) {
+      const MessageFate fa = a.message_fate(r, s, 0, 1);
+      const MessageFate fb = b.message_fate(r, s, 0, 1);
+      EXPECT_EQ(fa.dropped, fb.dropped) << "r=" << r << " s=" << s;
+      EXPECT_EQ(fa.delay, fb.delay) << "r=" << r << " s=" << s;
+      EXPECT_EQ(fa.duplicated, fb.duplicated) << "r=" << r << " s=" << s;
+    }
+  }
+  // Identical consultation histories also leave identical injected logs.
+  EXPECT_EQ(a.injected(), b.injected());
+}
+
+TEST(FaultPlan, RepeatConsultationAgrees) {
+  FaultConfig config;
+  config.drop_rate = 0.4;
+  FaultPlan plan(99, config);
+  for (std::uint64_t r = 1; r <= 8; ++r) {
+    const MessageFate first = plan.message_fate(r, 3, 0, 1);
+    const MessageFate again = plan.message_fate(r, 3, 0, 1);
+    EXPECT_EQ(first.dropped, again.dropped);
+  }
+}
+
+TEST(FaultPlan, DifferentSeedsAndEpochsChangeTheSchedule) {
+  FaultConfig config;
+  config.drop_rate = 0.5;
+  auto signature = [&](FaultPlan& plan) {
+    std::uint64_t bits = 0;
+    for (std::size_t s = 0; s < 64; ++s) {
+      bits = (bits << 1) | plan.message_fate(1, s, 0, 1).dropped;
+    }
+    return bits;
+  };
+  FaultPlan a(1, config);
+  FaultPlan b(2, config);
+  EXPECT_NE(signature(a), signature(b));
+  FaultPlan c(1, config);
+  const std::uint64_t epoch0 = signature(c);
+  EXPECT_EQ(c.begin_epoch(), 1u);
+  EXPECT_NE(signature(c), epoch0);
+}
+
+TEST(FaultPlan, HorizonBoundsMessageFaults) {
+  FaultConfig config;
+  config.drop_rate = 1.0;
+  config.horizon = 4;
+  FaultPlan plan(7, config);
+  for (std::uint64_t r = 1; r <= 4; ++r) {
+    EXPECT_TRUE(plan.message_fate(r, 0, 0, 1).dropped) << r;
+  }
+  for (std::uint64_t r = 5; r <= 12; ++r) {
+    const MessageFate fate = plan.message_fate(r, 0, 0, 1);
+    EXPECT_FALSE(fate.dropped) << r;
+    EXPECT_EQ(fate.delay, 0u);
+    EXPECT_FALSE(fate.duplicated);
+  }
+}
+
+TEST(FaultPlan, CrashWindowCoversItsLengthAndLogsOneEvent) {
+  FaultConfig config;
+  config.crash_rate = 0.2;
+  config.max_crash_len = 4;
+  FaultPlan plan(0xBEEF, config);
+  // Find some crash window by scanning; the rates make one overwhelmingly
+  // likely within this search space.
+  bool found = false;
+  for (NodeId v = 0; v < 32 && !found; ++v) {
+    for (std::uint64_t r = 1; r <= 32 && !found; ++r) {
+      if (plan.node_crashed(r, v)) found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+  const std::vector<FaultEvent> injected = plan.injected();
+  ASSERT_FALSE(injected.empty());
+  const FaultEvent w = injected.front();
+  ASSERT_EQ(w.kind, FaultKind::kCrash);
+  ASSERT_GE(w.param, 1u);
+  ASSERT_LE(w.param, config.max_crash_len);
+  // Every round of the window reports crashed; the log still holds exactly
+  // one event per window (re-discovery deduplicates).
+  for (std::uint64_t r = w.round; r < w.round + w.param; ++r) {
+    EXPECT_TRUE(plan.node_crashed(r, static_cast<NodeId>(w.subject)));
+  }
+  const std::vector<FaultEvent> after = plan.injected();
+  EXPECT_EQ(std::count(after.begin(), after.end(), w), 1);
+}
+
+TEST(FaultPlan, ReplayFiresExactlyTheListedEvents) {
+  FaultConfig config;
+  config.drop_rate = 0.4;
+  config.delay_rate = 0.3;
+  config.duplicate_rate = 0.3;
+  FaultPlan generative(0xABC, config);
+  for (std::uint64_t r = 1; r <= 8; ++r) {
+    for (std::size_t s = 0; s < 6; ++s) generative.message_fate(r, s, 0, 1);
+  }
+  const std::vector<FaultEvent> events = generative.injected();
+  ASSERT_FALSE(events.empty());
+
+  FaultPlan replay = FaultPlan::replay(0xABC, events, config);
+  for (std::uint64_t r = 1; r <= 8; ++r) {
+    for (std::size_t s = 0; s < 6; ++s) {
+      const MessageFate want = generative.message_fate(r, s, 0, 1);
+      const MessageFate got = replay.message_fate(r, s, 0, 1);
+      EXPECT_EQ(want.dropped, got.dropped) << "r=" << r << " s=" << s;
+      EXPECT_EQ(want.delay, got.delay) << "r=" << r << " s=" << s;
+      EXPECT_EQ(want.duplicated, got.duplicated) << "r=" << r << " s=" << s;
+    }
+  }
+  // Coordinates outside the list are clean, even where the generative hash
+  // would have fired.
+  const MessageFate outside = replay.message_fate(1, 999, 0, 1);
+  EXPECT_FALSE(outside.dropped);
+  EXPECT_EQ(outside.delay, 0u);
+  EXPECT_FALSE(outside.duplicated);
+  // A full replay reconstructs the same injected log.
+  EXPECT_EQ(replay.injected(), events);
+}
+
+TEST(FaultPlan, ReorderPermutationIsValidDeterministicAndReplayable) {
+  FaultConfig config;
+  config.reorder = true;
+  FaultPlan plan(0x515, config);
+  EXPECT_TRUE(plan.reorder_permutation(1, 0, 1).empty());  // count < 2
+
+  // Find a coordinate whose shuffle is not the identity.
+  std::uint64_t subject = 0;
+  std::vector<std::size_t> perm;
+  while (perm.empty()) perm = plan.reorder_permutation(2, ++subject, 5);
+  std::vector<std::size_t> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(plan.reorder_permutation(2, subject, 5), perm);
+
+  const std::vector<FaultEvent> events = plan.injected();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, FaultKind::kReorder);
+  FaultPlan replay = FaultPlan::replay(0x515, events, config);
+  EXPECT_EQ(replay.reorder_permutation(2, subject, 5), perm);
+  EXPECT_TRUE(replay.reorder_permutation(2, subject + 1, 5).empty());
+}
+
+TEST(FaultPlan, ValidatesConfig) {
+  FaultConfig bad_rate;
+  bad_rate.drop_rate = 1.5;
+  EXPECT_THROW(FaultPlan(1, bad_rate), std::invalid_argument);
+  FaultConfig bad_len;
+  bad_len.max_delay = 0;
+  EXPECT_THROW(FaultPlan(1, bad_len), std::invalid_argument);
+}
+
+TEST(FaultPlan, ResetRestoresConstructedState) {
+  FaultConfig config;
+  config.drop_rate = 1.0;
+  FaultPlan plan(5, config);
+  plan.begin_epoch();
+  plan.message_fate(1, 0, 0, 1);
+  ASSERT_FALSE(plan.injected().empty());
+  plan.reset();
+  EXPECT_EQ(plan.epoch(), 0u);
+  EXPECT_TRUE(plan.injected().empty());
+}
+
+// --- SyncNetwork: defined edge-case behaviour (satellite) ------------------
+
+TEST(SyncNetwork, InboxDefinedBeforeFirstStep) {
+  const Graph g = make_path(3);
+  SyncNetwork net(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_TRUE(net.inbox(v).empty());
+  }
+}
+
+TEST(SyncNetwork, InboxOutOfRangeThrows) {
+  const Graph g = make_path(3);
+  SyncNetwork net(g);
+  EXPECT_THROW(net.inbox(3), std::invalid_argument);
+  net.step();
+  EXPECT_THROW(net.inbox(static_cast<NodeId>(-1)), std::invalid_argument);
+}
+
+// --- FaultyNetwork ---------------------------------------------------------
+
+TEST(FaultyNetwork, NullPlanIsTransparent) {
+  const Graph g = make_grid(3, 3);
+  SyncNetwork plain(g);
+  FaultyNetwork faulty(g, nullptr);
+  Rng rng(11);
+  for (int round = 0; round < 5; ++round) {
+    for (const Edge& e : g.edges()) {
+      if (!rng.next_bool(0.6)) continue;
+      const EdgeId id = static_cast<EdgeId>(&e - g.edges().data());
+      const CongestMessage m{e.u, e.v, id, rng(), rng.next_double(), 1};
+      plain.send(m);
+      faulty.send(m);
+    }
+    plain.step();
+    faulty.step();
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto& a = plain.inbox(v);
+      const auto& b = faulty.inbox(v);
+      ASSERT_EQ(a.size(), b.size()) << "node " << v;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].from, b[i].from);
+        EXPECT_EQ(a[i].tag, b[i].tag);
+        EXPECT_EQ(a[i].payload, b[i].payload);
+      }
+    }
+  }
+  EXPECT_EQ(plain.rounds(), faulty.rounds());
+  EXPECT_EQ(plain.messages_sent(), faulty.messages_sent());
+  EXPECT_EQ(faulty.dropped() + faulty.duplicated() + faulty.delayed() +
+                faulty.suppressed_sends(),
+            0u);
+}
+
+TEST(FaultyNetwork, DropLosesTheMessageAndCounts) {
+  const Graph g = make_path(2);
+  // slot 0 = edge 0 in the u->v direction; delivery round of the first
+  // step() is 1, so the replayed drop targets (epoch 0, round 1, slot 0).
+  FaultPlan plan = FaultPlan::replay(1, {{FaultKind::kDrop, 0, 1, 0, 0}});
+  FaultyNetwork net(g, &plan);
+  net.send({0, 1, 0, 5, 2.5, 1});
+  net.step();
+  EXPECT_TRUE(net.inbox(1).empty());
+  EXPECT_EQ(net.dropped(), 1u);
+  EXPECT_EQ(net.messages_sent(), 1u);  // the adversary does not refund sends
+}
+
+TEST(FaultyNetwork, DelayedMessageArrivesLater) {
+  const Graph g = make_path(2);
+  FaultPlan plan = FaultPlan::replay(1, {{FaultKind::kDelay, 0, 1, 0, 2}});
+  FaultyNetwork net(g, &plan);
+  net.send({0, 1, 0, 5, 2.5, 1});
+  net.step();  // round 1: held
+  EXPECT_TRUE(net.inbox(1).empty());
+  net.step();  // round 2: still held
+  EXPECT_TRUE(net.inbox(1).empty());
+  net.step();  // round 3 = 1 + delay: delivered
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.inbox(1)[0].payload, 2.5);
+  EXPECT_EQ(net.delayed(), 1u);
+}
+
+TEST(FaultyNetwork, DuplicateDeliversAnExtraCopyNextRound) {
+  const Graph g = make_path(2);
+  FaultPlan plan = FaultPlan::replay(1, {{FaultKind::kDuplicate, 0, 1, 0, 0}});
+  FaultyNetwork net(g, &plan);
+  net.send({0, 1, 0, 5, 2.5, 1});
+  net.step();
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  net.step();
+  ASSERT_EQ(net.inbox(1).size(), 1u);  // the extra copy
+  EXPECT_EQ(net.inbox(1)[0].tag, 5u);
+  EXPECT_EQ(net.duplicated(), 1u);
+}
+
+TEST(FaultyNetwork, CrashedReceiverLosesMailAndReadsEmpty) {
+  const Graph g = make_path(2);
+  FaultPlan plan = FaultPlan::replay(1, {{FaultKind::kCrash, 0, 1, 1, 2}});
+  FaultyNetwork net(g, &plan);
+  EXPECT_TRUE(net.node_up(1));  // the crash window starts at round 1, not 0
+  net.send({0, 1, 0, 5, 2.5, 1});
+  net.step();  // round 1: node 1 crashed
+  EXPECT_FALSE(net.node_up(1));
+  EXPECT_TRUE(net.inbox(1).empty());
+  EXPECT_EQ(net.dropped(), 1u);
+  net.step();  // round 2: still crashed
+  EXPECT_FALSE(net.node_up(1));
+  net.step();  // round 3: recovered; mail was dropped, not queued
+  EXPECT_TRUE(net.node_up(1));
+  EXPECT_TRUE(net.inbox(1).empty());
+}
+
+TEST(FaultyNetwork, SendFromCrashedNodeSilentDropPolicy) {
+  const Graph g = make_path(2);
+  FaultConfig config;  // default down_send = kSilentDrop
+  FaultPlan plan = FaultPlan::replay(1, {{FaultKind::kCrash, 0, 0, 0, 1}},
+                                     config);
+  FaultyNetwork net(g, &plan);
+  net.send({0, 1, 0, 5, 2.5, 1});  // consulted at round 0: sender is down
+  EXPECT_EQ(net.suppressed_sends(), 1u);
+  EXPECT_EQ(net.messages_sent(), 0u);
+  // The slot was never occupied, so a second send this round is legal.
+  net.send({0, 1, 0, 6, 1.0, 1});
+  EXPECT_EQ(net.suppressed_sends(), 2u);
+}
+
+TEST(FaultyNetwork, SendOverDownLinkThrowPolicy) {
+  const Graph g = make_path(2);
+  FaultConfig config;
+  config.down_send = FaultConfig::DownSendPolicy::kThrow;
+  FaultPlan plan = FaultPlan::replay(1, {{FaultKind::kLinkDown, 0, 0, 0, 2}},
+                                     config);
+  FaultyNetwork net(g, &plan);
+  EXPECT_FALSE(net.link_up(0));
+  EXPECT_THROW(net.send({0, 1, 0, 5, 2.5, 1}), std::invalid_argument);
+  net.step();
+  net.step();  // flap window (rounds 0..1) over
+  EXPECT_TRUE(net.link_up(0));
+  net.send({0, 1, 0, 5, 2.5, 1});
+  net.step();
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+}
+
+TEST(FaultyNetwork, InboxDefinedPreStepAndOutOfRangeThrows) {
+  const Graph g = make_path(3);
+  FaultyNetwork net(g, nullptr);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_TRUE(net.inbox(v).empty());
+  }
+  EXPECT_THROW(net.inbox(3), std::invalid_argument);
+  EXPECT_THROW(net.node_up(3), std::invalid_argument);
+  EXPECT_THROW(net.link_up(2), std::invalid_argument);
+}
+
+TEST(FaultyNetwork, ReorderPermutesDeliveryBatch) {
+  // A star delivers several same-round messages to the hub; with reorder on
+  // and a fixed seed, some round's batch must arrive permuted relative to
+  // the fault-free order.
+  const Graph g = make_star(6);  // node 0 is the hub
+  FaultConfig config;
+  config.reorder = true;
+  FaultPlan plan(0xD00D, config);
+  FaultyNetwork net(g, &plan);
+  SyncNetwork plain(g);
+  bool permuted = false;
+  for (int round = 0; round < 8 && !permuted; ++round) {
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const CongestMessage m{g.edge(e).v, 0, e,
+                             static_cast<std::uint64_t>(e), 1.0, 1};
+      net.send(m);
+      plain.send(m);
+    }
+    net.step();
+    plain.step();
+    const auto& a = plain.inbox(0);
+    const auto& b = net.inbox(0);
+    ASSERT_EQ(a.size(), b.size());
+    std::vector<std::uint64_t> tags_a, tags_b;
+    for (const CongestMessage& m : a) tags_a.push_back(m.tag);
+    for (const CongestMessage& m : b) tags_b.push_back(m.tag);
+    std::vector<std::uint64_t> sa = tags_a, sb = tags_b;
+    std::sort(sa.begin(), sa.end());
+    std::sort(sb.begin(), sb.end());
+    EXPECT_EQ(sa, sb);  // same multiset, possibly different order
+    permuted |= tags_a != tags_b;
+  }
+  EXPECT_TRUE(permuted) << "reorder never fired across 8 rounds";
+}
+
+}  // namespace
+}  // namespace dls

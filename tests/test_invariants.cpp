@@ -1,0 +1,177 @@
+// Randomized structural-invariant sweeps over the combinatorial primitives
+// the PA pipeline is built from. Where test_edge_coloring / test_euler_paths
+// / test_layered_graph pin concrete examples, these tests assert the paper's
+// lemma-level invariants over seeded random families:
+//   * Lemma 17 — edge colourings are proper and use O(Δ) colours;
+//   * Lemma 15's Euler mechanism — segment decompositions walk every
+//     spanning-tree edge exactly twice and cover every part node once;
+//   * Lemmas 15–18 — layered graph Ĝ_ρ has exactly ρn nodes and
+//     ρm + n·ρ(ρ−1)/2 edges, with lift/project inverse on every node.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "congested_pa/edge_coloring.hpp"
+#include "congested_pa/euler_paths.hpp"
+#include "congested_pa/layered_graph.hpp"
+#include "graph/generators.hpp"
+#include "shortcuts/partition.hpp"
+#include "util/random.hpp"
+
+namespace dls {
+namespace {
+
+constexpr std::uint64_t kSweepSeed = 0x14A7'0815ULL;
+
+std::vector<MultiEdge> random_multigraph(std::size_t num_nodes,
+                                         std::size_t num_edges, Rng& rng) {
+  std::vector<MultiEdge> edges;
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    const NodeId u = static_cast<NodeId>(rng.next_below(num_nodes));
+    NodeId v = static_cast<NodeId>(rng.next_below(num_nodes - 1));
+    if (v >= u) ++v;  // no self-loops; parallel edges are fine and intended
+    edges.push_back({u, v});
+  }
+  return edges;
+}
+
+TEST(EdgeColoringInvariants, RandomizedColoringsProperWithinPalette) {
+  Rng rng(kSweepSeed);
+  for (int trial = 0; trial < 24; ++trial) {
+    const std::size_t n = 4 + rng.next_below(24);
+    const std::size_t m = 1 + rng.next_below(4 * n);
+    const std::vector<MultiEdge> edges = random_multigraph(n, m, rng);
+    const std::size_t delta = multigraph_max_degree(n, edges);
+
+    const EdgeColoring c = color_multigraph(n, edges, rng);
+    EXPECT_TRUE(is_proper_edge_coloring(n, edges, c.colors)) << "trial " << trial;
+    EXPECT_EQ(c.colors.size(), edges.size());
+    // Palette is ceil(2Δ) but never below Δ + 1 — the O(Δ) bound of
+    // Lemma 17 with the constant pinned.
+    EXPECT_LE(c.num_colors, std::max<std::size_t>(2 * delta, delta + 1));
+    EXPECT_LE(c.max_color_used, c.num_colors);
+    for (std::uint32_t color : c.colors) EXPECT_LT(color, c.num_colors);
+  }
+}
+
+TEST(EdgeColoringInvariants, GreedyUsesAtMostTwoDeltaMinusOne) {
+  Rng rng(kSweepSeed ^ 1);
+  for (int trial = 0; trial < 24; ++trial) {
+    const std::size_t n = 4 + rng.next_below(24);
+    const std::size_t m = 1 + rng.next_below(4 * n);
+    const std::vector<MultiEdge> edges = random_multigraph(n, m, rng);
+    const std::size_t delta = multigraph_max_degree(n, edges);
+
+    const EdgeColoring c = color_multigraph_greedy(n, edges);
+    EXPECT_TRUE(is_proper_edge_coloring(n, edges, c.colors)) << "trial " << trial;
+    EXPECT_LE(c.max_color_used, 2 * delta - 1) << "trial " << trial;
+    EXPECT_EQ(c.rounds, 0u);  // centralized reference: no rounds charged
+  }
+}
+
+Graph invariant_family_graph(int family, Rng& rng) {
+  switch (family % 4) {
+    case 0: return make_grid(4 + rng.next_below(3), 4 + rng.next_below(3));
+    case 1: return make_random_tree(16 + rng.next_below(16), rng);
+    case 2: return make_random_regular(16 + 2 * rng.next_below(6), 4, rng);
+    default: return make_k_tree(18 + rng.next_below(8), 3, rng);
+  }
+}
+
+TEST(EulerPathInvariants, SegmentsWalkEveryTreeEdgeExactlyTwice) {
+  Rng rng(kSweepSeed ^ 2);
+  for (int trial = 0; trial < 16; ++trial) {
+    const Graph g = invariant_family_graph(trial, rng);
+    const PartCollection pc =
+        stacked_voronoi_instance(g, 2 + rng.next_below(3), 1, rng);
+    for (const std::vector<NodeId>& part : pc.parts) {
+      if (part.size() < 2) continue;
+      const EulerPathDecomposition epd = euler_path_decomposition(g, part);
+      EXPECT_TRUE(is_valid_euler_decomposition(g, part, epd));
+
+      // The tour steps through each spanning-tree edge exactly twice (once
+      // per direction), so the traversed undirected pair multiset is a
+      // spanning tree of G[part] with multiplicity 2 — |part| − 1 distinct
+      // pairs, 2(|part| − 1) steps in total.
+      std::map<std::pair<NodeId, NodeId>, int> walked;
+      std::size_t steps = 0;
+      for (const std::vector<NodeId>& seg : epd.segments) {
+        // Segments are simple paths: no node repeats within one segment.
+        std::set<NodeId> seen(seg.begin(), seg.end());
+        EXPECT_EQ(seen.size(), seg.size());
+        for (std::size_t i = 1; i < seg.size(); ++i) {
+          ++walked[{std::min(seg[i - 1], seg[i]), std::max(seg[i - 1], seg[i])}];
+          ++steps;
+        }
+      }
+      EXPECT_EQ(walked.size(), part.size() - 1);
+      EXPECT_EQ(steps, 2 * (part.size() - 1));
+      for (const auto& [pair, count] : walked) {
+        EXPECT_EQ(count, 2) << pair.first << "-" << pair.second;
+      }
+
+      // Every part node owns exactly one first occurrence, and it points at
+      // that node's position in its segment.
+      EXPECT_EQ(epd.part_nodes.size(), part.size());
+      std::set<NodeId> covered;
+      for (std::size_t i = 0; i < epd.part_nodes.size(); ++i) {
+        const auto [seg, off] = epd.first_occurrence[i];
+        ASSERT_LT(seg, epd.segments.size());
+        ASSERT_LT(off, epd.segments[seg].size());
+        EXPECT_EQ(epd.segments[seg][off], epd.part_nodes[i]);
+        covered.insert(epd.part_nodes[i]);
+      }
+      EXPECT_EQ(covered, std::set<NodeId>(part.begin(), part.end()));
+    }
+  }
+}
+
+TEST(LayeredGraphInvariants, NodeAndEdgeCountsMatchTheLemmas) {
+  Rng rng(kSweepSeed ^ 3);
+  for (int trial = 0; trial < 16; ++trial) {
+    const Graph base = invariant_family_graph(trial, rng);
+    const std::size_t rho = 1 + rng.next_below(5);
+    const LayeredGraph layered(base, rho);
+    const std::size_t n = base.num_nodes();
+    const std::size_t m = base.num_edges();
+
+    EXPECT_EQ(layered.graph().num_nodes(), rho * n);
+    EXPECT_EQ(layered.graph().num_edges(), rho * m + n * rho * (rho - 1) / 2);
+
+    // lift/project are inverse on every (node, layer) pair.
+    for (std::size_t layer = 0; layer < rho; ++layer) {
+      for (NodeId v = 0; v < n; ++v) {
+        const NodeId lifted = layered.lift(v, layer);
+        EXPECT_EQ(layered.project(lifted), v);
+        EXPECT_EQ(layered.layer_of(lifted), layer);
+      }
+    }
+
+    // Lifted edges project back onto their base edge within one layer;
+    // clique edges join two copies of one base node.
+    for (std::size_t layer = 0; layer < rho; ++layer) {
+      for (EdgeId e = 0; e < m; ++e) {
+        const Edge& lifted = layered.graph().edge(layered.lift_edge(e, layer));
+        const Edge& orig = base.edge(e);
+        EXPECT_EQ(layered.layer_of(lifted.u), layer);
+        EXPECT_EQ(layered.layer_of(lifted.v), layer);
+        const NodeId pu = layered.project(lifted.u);
+        const NodeId pv = layered.project(lifted.v);
+        EXPECT_TRUE((pu == orig.u && pv == orig.v) ||
+                    (pu == orig.v && pv == orig.u));
+      }
+    }
+    if (rho >= 2) {
+      const NodeId v = static_cast<NodeId>(rng.next_below(n));
+      const Edge& clique = layered.graph().edge(layered.clique_edge(v, 0, 1));
+      EXPECT_EQ(layered.project(clique.u), v);
+      EXPECT_EQ(layered.project(clique.v), v);
+      EXPECT_NE(layered.layer_of(clique.u), layered.layer_of(clique.v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dls

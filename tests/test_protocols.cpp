@@ -139,5 +139,138 @@ TEST_P(ProtocolSweep, BfsCorrectAcrossFamilies) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolSweep, ::testing::Range(0, 6));
 
+// --- reliable_send: ack/retry with exponential backoff ---------------------
+
+TEST(ReliableSend, CleanNetworkCostsOneRoundTrip) {
+  const Graph g = make_path(2);
+  FaultyNetwork net(g, nullptr);
+  const ReliableSendResult r = reliable_send(net, 0, 1, 0, /*seq=*/3, 2.5);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_TRUE(r.acked);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.rounds, 2u);  // DATA out, ACK back
+  EXPECT_EQ(r.data_sends, 1u);
+  EXPECT_EQ(r.ack_sends, 1u);
+  EXPECT_EQ(r.duplicates_suppressed, 0u);
+}
+
+// Exactly-once delivery under drop rates {0, 0.1, 0.5}: with a finite fault
+// horizon the protocol must always terminate acked, accept the payload once,
+// and suppress every redundant retransmission that got through.
+TEST(ReliableSend, ExactlyOnceAcrossDropRates) {
+  const double rates[] = {0.0, 0.1, 0.5};
+  for (double rate : rates) {
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      const Graph g = make_path(2);
+      FaultConfig config;
+      config.drop_rate = rate;
+      config.horizon = 32;  // eventual delivery
+      FaultPlan plan(seed, config);
+      FaultyNetwork net(g, &plan);
+      const ReliableSendResult r =
+          reliable_send(net, 0, 1, 0, /*seq=*/seed, 1.0);
+      EXPECT_TRUE(r.delivered) << "rate " << rate << " seed " << seed;
+      EXPECT_TRUE(r.acked) << "rate " << rate << " seed " << seed;
+      EXPECT_FALSE(r.aborted);
+      // Exactly once: the first arriving copy was accepted, every later one
+      // suppressed. With only drop faults each DATA was either received or
+      // dropped, so receptions bound sends from below and sends plus total
+      // drops (DATA + ACK) bound receptions from above.
+      EXPECT_LE(1 + r.duplicates_suppressed, r.data_sends)
+          << "rate " << rate << " seed " << seed;
+      EXPECT_LE(r.data_sends, 1 + r.duplicates_suppressed + net.dropped())
+          << "rate " << rate << " seed " << seed
+          << ": some DATA copy is unaccounted for";
+      EXPECT_GE(r.data_sends, 1u);
+    }
+  }
+}
+
+// The terminal ledger entry is the protocol's budget claim: it must charge
+// exactly the rounds consumed, and the backoff must keep total transmissions
+// logarithmic-ish in the rounds rather than one-per-round.
+TEST(ReliableSend, OverheadStaysWithinLedgeredBudget) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Graph g = make_path(2);
+    FaultConfig config;
+    config.drop_rate = 0.5;
+    config.horizon = 48;
+    FaultPlan plan(seed * 7, config);
+    FaultyNetwork net(g, &plan);
+    const ReliableSendResult r = reliable_send(net, 0, 1, 0, seed, 1.0);
+    ASSERT_TRUE(r.acked);
+    ASSERT_EQ(r.ledger.entries().size(), 1u);
+    EXPECT_EQ(r.ledger.entries()[0].label, "reliable-send");
+    EXPECT_EQ(r.ledger.total_local(), r.rounds);
+    // Backoff doubling: k transmissions need >= 2^(k-1) - 1 waiting rounds
+    // (capped), so data_sends is far below rounds once faults bite.
+    EXPECT_LE(r.data_sends, 2 + r.rounds / 2) << "seed " << seed;
+  }
+}
+
+// A permanently lossy link with a timeout must abort cleanly — no livelock,
+// an explicit aborted result, and the abort charged to the ledger.
+TEST(ReliableSend, TimeoutAbortsInsteadOfLivelocking) {
+  const Graph g = make_path(2);
+  FaultConfig config;
+  config.drop_rate = 1.0;
+  config.horizon = FaultConfig::kNoHorizon;
+  FaultPlan plan(3, config);
+  FaultyNetwork net(g, &plan);
+  ReliableSendOptions options;
+  options.timeout_rounds = 16;
+  const ReliableSendResult r = reliable_send(net, 0, 1, 0, 1, 1.0, options);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_FALSE(r.acked);
+  EXPECT_TRUE(r.aborted);
+  EXPECT_EQ(r.rounds, 16u);
+  ASSERT_EQ(r.ledger.entries().size(), 1u);
+  EXPECT_EQ(r.ledger.entries()[0].label, "reliable-send-abort");
+  EXPECT_EQ(r.ledger.total_local(), 16u);
+}
+
+TEST(ReliableSend, BackoffCapBoundsRetransmitSpacing) {
+  const Graph g = make_path(2);
+  FaultConfig config;
+  config.drop_rate = 1.0;
+  config.horizon = FaultConfig::kNoHorizon;
+  FaultPlan plan(5, config);
+  FaultyNetwork net(g, &plan);
+  ReliableSendOptions options;
+  options.timeout_rounds = 200;
+  options.initial_backoff = 1;
+  options.max_backoff = 8;
+  const ReliableSendResult r = reliable_send(net, 0, 1, 0, 1, 1.0, options);
+  EXPECT_TRUE(r.aborted);
+  // Once capped, a transmission happens at least every 1 + max_backoff
+  // rounds; with doubling 1,2,4,8,8,... the 200-round budget fits
+  // comfortably more than 200 / (1 + 8) sends and fewer than one per round.
+  EXPECT_GE(r.data_sends, 200u / 9);
+  EXPECT_LT(r.data_sends, 200u);
+}
+
+TEST(ReliableSend, ValidatesArguments) {
+  const Graph g = make_path(3);
+  FaultyNetwork net(g, nullptr);
+  EXPECT_THROW(reliable_send(net, 0, 2, 0, 1, 1.0), std::invalid_argument);
+  EXPECT_THROW(reliable_send(net, 0, 1, 7, 1, 1.0), std::invalid_argument);
+  ReliableSendOptions bad;
+  bad.initial_backoff = 0;
+  EXPECT_THROW(reliable_send(net, 0, 1, 0, 1, 1.0, bad),
+               std::invalid_argument);
+}
+
+// Concurrent sequence numbers on the same edge do not confuse each other:
+// tags encode (seq << 1) | kind, so a stale DATA for another seq is ignored.
+TEST(ReliableSend, SequenceNumbersKeepSendsApart) {
+  const Graph g = make_path(2);
+  FaultyNetwork net(g, nullptr);
+  const ReliableSendResult a = reliable_send(net, 0, 1, 0, /*seq=*/1, 10.0);
+  const ReliableSendResult b = reliable_send(net, 0, 1, 0, /*seq=*/2, 20.0);
+  EXPECT_TRUE(a.acked);
+  EXPECT_TRUE(b.acked);
+  EXPECT_EQ(a.duplicates_suppressed + b.duplicates_suppressed, 0u);
+}
+
 }  // namespace
 }  // namespace dls
