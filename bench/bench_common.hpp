@@ -12,6 +12,8 @@
 
 #include "graph/graph.hpp"
 #include "linalg/vector_ops.hpp"
+#include "resilience/recovery.hpp"
+#include "resilience/solve_supervisor.hpp"
 #include "shortcuts/partition.hpp"
 #include "sim/round_ledger.hpp"
 #include "sim/sim_batch.hpp"
@@ -29,13 +31,17 @@ namespace dls::bench {
 struct BenchRuntime {
   std::size_t threads = 1;
   std::unique_ptr<ThreadPool> pool;  // null when threads == 1
+  /// `--supervisor=off|retry|degrade`: whether drivers that solve through a
+  /// PA oracle wrap it in the recovery ladder (resilience/solve_supervisor).
+  SupervisorMode supervisor = SupervisorMode::kOff;
 
   /// The pool to hand to SimBatch / solver options (null ⇒ serial).
   ThreadPool* pool_ptr() const { return pool.get(); }
 };
 
-/// Parses `--threads N` (default 1; 0 means all hardware threads) and spins
-/// up the worker pool. Unknown flags still error via Flags.
+/// Parses `--threads N` (default 1; 0 means all hardware threads) and
+/// `--supervisor MODE` (default off) and spins up the worker pool. Unknown
+/// flags still error via Flags.
 inline BenchRuntime bench_runtime(int argc, const char* const* argv) {
   const Flags flags(argc, argv);
   BenchRuntime runtime;
@@ -45,7 +51,19 @@ inline BenchRuntime bench_runtime(int argc, const char* const* argv) {
   if (runtime.threads > 1) {
     runtime.pool = std::make_unique<ThreadPool>(runtime.threads);
   }
+  runtime.supervisor = supervisor_mode_from_string(flags.get("supervisor", "off"));
   return runtime;
+}
+
+/// Wraps `primary` in the escalation ladder when the runtime asks for it
+/// (null when `--supervisor=off`: callers solve against the bare oracle, so
+/// the default bench path stays bit-identical to pre-resilience traces).
+inline std::unique_ptr<SupervisedPaOracle> wrap_supervised(
+    CongestedPaOracle& primary, const BenchRuntime& runtime) {
+  if (runtime.supervisor == SupervisorMode::kOff) return nullptr;
+  SupervisorConfig config;
+  config.mode = runtime.supervisor;
+  return std::make_unique<SupervisedPaOracle>(primary, config);
 }
 
 /// Wall-clock stopwatch for reporting batch speedups.
@@ -88,6 +106,50 @@ inline std::vector<std::vector<double>> unit_values(const PartCollection& pc) {
     values[i].assign(pc.parts[i].size(), 1.0);
   }
   return values;
+}
+
+/// Compact table cell for a solve's recovery trace: "-" on clean solves,
+/// otherwise the engaged counters, e.g. "3r 1b" or "2r 1b 1d 2c".
+inline std::string recovery_cell(const RecoveryCounters& c) {
+  if (!c.any()) return "-";
+  std::string out;
+  const auto append = [&out](std::size_t n, char tag) {
+    if (n == 0) return;
+    if (!out.empty()) out += ' ';
+    out += std::to_string(n);
+    out += tag;
+  };
+  append(c.retries, 'r');
+  append(c.rebuilds, 'b');
+  append(c.degradations, 'd');
+  append(c.checkpoints_restored, 'c');
+  append(c.watchdog_restarts + c.watchdog_rebounds, 'w');
+  return out;
+}
+
+/// Per-level recovery attribution (LevelStats counters); prints one line per
+/// chain level that actually recovered and stays silent on clean runs, so
+/// existing bench output is unchanged unless the ladder engaged.
+template <typename LevelStatsVec>
+void print_level_recovery(const std::string& heading,
+                          const LevelStatsVec& stats) {
+  bool printed_heading = false;
+  for (std::size_t level = 0; level < stats.size(); ++level) {
+    const auto& s = stats[level];
+    if (s.pa_retries + s.pa_rebuilds + s.pa_degradations +
+            s.checkpoints_restored ==
+        0) {
+      continue;
+    }
+    if (!printed_heading) {
+      std::cout << heading << " (level: retries, rebuilds, degradations, "
+                << "checkpoint restores)\n";
+      printed_heading = true;
+    }
+    std::cout << "  level " << level << (s.is_base ? " (base)" : "") << ": "
+              << s.pa_retries << ", " << s.pa_rebuilds << ", "
+              << s.pa_degradations << ", " << s.checkpoints_restored << "\n";
+  }
 }
 
 inline void print_fit(const char* label, const PowerFit& fit) {

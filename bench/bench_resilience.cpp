@@ -1,0 +1,178 @@
+// Resilience overhead: what the escalation ladder costs in simulated rounds.
+//
+// A fault-free supervised solve is bit-identical to the unsupervised one
+// (the clean path never touches the ladder), so the interesting numbers are
+// what recovery costs once faults DO wedge PA calls: round inflation vs the
+// fault-free reference, the rounds charged to failed attempts and backoff
+// ("rounds lost"), which ladder rung the solve reached, and whether the
+// returned x still matches the reference bitwise (it must whenever the solve
+// completes — PA aggregates are value-exact at every rung). One row per
+// (graph family × fault mix × supervisor mode); `--supervisor` narrows the
+// mode sweep to a single mode.
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "laplacian/recursive_solver.hpp"
+#include "sim/fault_injection.hpp"
+
+using namespace dls;
+using namespace dls::bench;
+
+namespace {
+
+struct Mix {
+  const char* name;
+  FaultConfig config;
+};
+
+// Tight round_limit relative to the faulted phase costs on these small
+// graphs, so some measures genuinely wedge and abort (the chaos sweep in
+// tests/test_resilience.cpp uses the same mixes for the same reason).
+std::vector<Mix> mixes() {
+  std::vector<Mix> out;
+  {
+    FaultConfig c;
+    c.drop_rate = 0.5;
+    c.round_limit = 20;
+    out.push_back({"droppy", c});
+  }
+  {
+    FaultConfig c;
+    c.drop_rate = 0.2;
+    c.crash_rate = 0.05;
+    c.max_crash_len = 4;
+    c.round_limit = 20;
+    out.push_back({"crashy", c});
+  }
+  return out;
+}
+
+LaplacianSolverOptions chain_options() {
+  LaplacianSolverOptions options;
+  options.base_size = 12;  // force a real multi-level chain on small graphs
+  options.tolerance = 1e-6;
+  return options;
+}
+
+Vec messy_rhs(std::size_t n) {
+  Vec b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<double>((i * 2654435761u) % 97);
+  }
+  project_mean_zero(b);
+  return b;
+}
+
+struct Outcome {
+  std::uint64_t rounds = 0;
+  RecoveryCounters recovery;
+  EscalationTier tier = EscalationTier::kNone;
+  bool converged = false;
+  bool degraded = false;
+  bool bit_identical = false;
+  double wall_ms = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchRuntime runtime = bench_runtime(argc, argv);
+  const WallTimer timer;
+  banner("resilience overhead",
+         "recovery ladder: round cost per fault mix and supervisor mode");
+
+  struct Family {
+    const char* name;
+    Graph g;
+  };
+  Rng build_rng(0xFA111);
+  std::vector<Family> families;
+  families.push_back({"grid 5x5", make_grid(5, 5)});
+  families.push_back({"3-regular n=24", make_random_regular(24, 3, build_rng)});
+  families.push_back({"path 24", make_path(24)});
+
+  std::vector<SupervisorMode> modes;
+  if (runtime.supervisor == SupervisorMode::kOff) {
+    modes = {SupervisorMode::kRetry, SupervisorMode::kDegrade};
+  } else {
+    modes = {runtime.supervisor};
+  }
+
+  Table table({"graph", "fault mix", "mode", "clean rounds", "faulty rounds",
+               "inflation", "rounds lost", "recovery", "tier", "result",
+               "wall ms"});
+  std::vector<std::pair<std::string, std::vector<LevelStats>>> level_traces;
+  for (const Family& family : families) {
+    const Vec b = messy_rhs(family.g.num_nodes());
+    const std::uint64_t seed = 0x51EE;
+
+    // Fault-free reference: the bitwise target every completed supervised
+    // solve must hit, and the denominator of the inflation column.
+    Rng clean_oracle_rng(seed);
+    ShortcutPaOracle clean_oracle(family.g, clean_oracle_rng);
+    Rng clean_solver_rng(seed ^ 0x50F7);
+    DistributedLaplacianSolver clean(clean_oracle, clean_solver_rng,
+                                     chain_options());
+    const LaplacianSolveReport want = clean.solve(b);
+    if (!want.converged) {
+      std::cerr << "FATAL: fault-free reference did not converge on "
+                << family.name << "\n";
+      return 1;
+    }
+
+    for (const Mix& mix : mixes()) {
+      for (SupervisorMode mode : modes) {
+        FaultPlan plan(seed ^ 0xFA57, mix.config);
+        Rng oracle_rng(seed);
+        ShortcutPaOracle primary(family.g, oracle_rng);
+        primary.set_fault_plan(&plan);
+        SupervisorConfig config;
+        config.mode = mode;
+        SupervisedPaOracle supervised(primary, config);
+        Rng solver_rng(seed ^ 0x50F7);
+        DistributedLaplacianSolver solver(supervised, solver_rng,
+                                          chain_options());
+
+        Outcome out;
+        const WallTimer solve_timer;
+        const LaplacianSolveReport report = solver.solve(b);
+        out.wall_ms = solve_timer.seconds() * 1e3;
+        out.rounds = report.local_rounds;
+        out.recovery = report.recovery;
+        out.tier = supervised.tier();
+        out.converged = report.converged;
+        out.degraded = report.degraded.has_value();
+        out.bit_identical = report.x == want.x;
+
+        const char* result = out.degraded   ? "degraded"
+                             : !out.converged ? "CHECK"
+                             : out.bit_identical ? "bit-identical"
+                                                 : "DIVERGED";
+        table.add_row(
+            {family.name, mix.name, to_string(mode),
+             Table::cell(want.local_rounds), Table::cell(out.rounds),
+             Table::cell(static_cast<double>(out.rounds) /
+                         static_cast<double>(
+                             std::max<std::uint64_t>(want.local_rounds, 1))),
+             Table::cell(out.recovery.rounds_lost),
+             recovery_cell(out.recovery), to_string(out.tier), result,
+             Table::cell(out.wall_ms)});
+        level_traces.emplace_back(std::string(family.name) + " / " + mix.name +
+                                      " / " + to_string(mode),
+                                  solver.level_stats());
+      }
+    }
+  }
+  table.print(std::cout);
+  for (const auto& [heading, stats] : level_traces) {
+    print_level_recovery("\n" + heading, stats);
+  }
+  print_wall_clock(runtime, timer);
+  footnote(
+      "Expected shape: retry-tier recoveries cost a small constant factor "
+      "(failed attempts + jittered backoff); degrade-tier rows pay the "
+      "baseline oracle's Theta(D + batch)-type rounds for the rest of the "
+      "solve — availability bought with the round complexity the paper "
+      "improves on. Every completed row must read bit-identical: the ladder "
+      "re-runs value-exact PA folds, it never changes results.");
+  return 0;
+}

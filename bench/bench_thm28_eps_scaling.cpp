@@ -13,7 +13,7 @@ int main() {
 
   const Graph g = make_grid(12, 12);
   Table table({"eps", "log10(1/eps)", "rounds", "PA calls", "outer iters",
-               "residual"});
+               "residual", "recovery"});
   std::vector<double> xs, ys;
   for (double eps : {1e-2, 1e-4, 1e-6, 1e-8, 1e-10}) {
     Rng rng(29);
@@ -24,12 +24,17 @@ int main() {
     DistributedLaplacianSolver solver(oracle, rng, options);
     const LaplacianSolveReport report =
         solver.solve(random_rhs(g.num_nodes(), rng));
+    // Clean oracle: "-" expected at every eps; anything else means the
+    // ladder engaged without faults and the log(1/eps) fit is suspect.
     table.add_row({Table::cell(eps, 12),
                    Table::cell(std::log10(1.0 / eps)),
                    Table::cell(report.local_rounds),
                    Table::cell(report.pa_calls),
                    Table::cell(report.outer_iterations),
-                   Table::cell(report.relative_residual, 12)});
+                   Table::cell(report.relative_residual, 12),
+                   recovery_cell(report.recovery)});
+    print_level_recovery("eps=" + Table::cell(eps, 12) + " recovery",
+                         solver.level_stats());
     xs.push_back(std::log10(1.0 / eps));
     ys.push_back(static_cast<double>(report.local_rounds));
   }

@@ -17,6 +17,8 @@ struct RunResult {
   std::uint64_t rounds = 0;
   std::uint64_t pa_calls = 0;
   bool converged = false;
+  RecoveryCounters recovery;
+  std::vector<LevelStats> levels;
 };
 
 RunResult run(const Graph& g, bool baseline, std::uint64_t seed) {
@@ -38,7 +40,8 @@ RunResult run(const Graph& g, bool baseline, std::uint64_t seed) {
   options.offtree_fraction = 0.3;
   DistributedLaplacianSolver solver(*oracle, rng, options);
   const LaplacianSolveReport report = solver.solve(random_rhs(g.num_nodes(), rng));
-  return {report.local_rounds, report.pa_calls, report.converged};
+  return {report.local_rounds, report.pa_calls, report.converged,
+          report.recovery, solver.level_stats()};
 }
 
 }  // namespace
@@ -65,11 +68,17 @@ int main() {
   for (const Family& family : families) {
     std::cout << family.name << ":\n";
     Table table({"n", "shortcut rounds", "baseline rounds", "speedup",
-                 "shortcut rounds/call", "baseline rounds/call", "conv"});
+                 "shortcut rounds/call", "baseline rounds/call", "conv",
+                 "recovery"});
     std::vector<double> xs, fast_ys, slow_ys;
     for (const Graph& g : family.graphs) {
       const RunResult fast = run(g, false, 42);
       const RunResult slow = run(g, true, 42);
+      // Clean oracles: both cells must stay "-". A recovery entry here means
+      // the resilience ladder engaged without injected faults — a regression
+      // against the clean-path determinism contract.
+      const std::string recovery =
+          recovery_cell(fast.recovery) + "/" + recovery_cell(slow.recovery);
       table.add_row(
           {Table::cell(g.num_nodes()), Table::cell(fast.rounds),
            Table::cell(slow.rounds),
@@ -79,10 +88,17 @@ int main() {
                        static_cast<double>(std::max<std::uint64_t>(fast.pa_calls, 1))),
            Table::cell(static_cast<double>(slow.rounds) /
                        static_cast<double>(std::max<std::uint64_t>(slow.pa_calls, 1))),
-           (fast.converged && slow.converged) ? "both" : "CHECK"});
+           (fast.converged && slow.converged) ? "both" : "CHECK", recovery});
       xs.push_back(static_cast<double>(g.num_nodes()));
       fast_ys.push_back(static_cast<double>(fast.rounds));
       slow_ys.push_back(static_cast<double>(slow.rounds));
+      const std::string size = std::to_string(g.num_nodes());
+      print_level_recovery(std::string(family.name) + " n=" + size +
+                               " shortcut recovery",
+                           fast.levels);
+      print_level_recovery(std::string(family.name) + " n=" + size +
+                               " baseline recovery",
+                           slow.levels);
     }
     table.print(std::cout);
     print_fit("shortcut rounds vs n", fit_power(xs, fast_ys));

@@ -21,6 +21,7 @@ std::vector<double> CongestedPaOracle::aggregate(
   Prepared& prepared = instances_[instance];
   DLS_REQUIRE(values.size() == prepared.pc.num_parts(), "values mismatch");
   if (!prepared.measured) {
+    measuring_instance_ = instance;
     prepared.cost = measure(prepared.pc);
     prepared.measured = true;
   }

@@ -75,10 +75,21 @@ class CongestedPaOracle {
   /// Runs the model-specific distributed simulation once per instance.
   virtual Measured measure(const PartCollection& pc) = 0;
 
+  /// Instance currently being measured (valid only inside measure() calls
+  /// reached through aggregate); lets a wrapping oracle attribute recovery
+  /// events to the instance — and thus the solver level — they belong to.
+  InstanceId measuring_instance() const { return measuring_instance_; }
+
  private:
+  // The supervisor delegates to the wrapped oracles' protected measure()
+  // (resilience/solve_supervisor.hpp); it is the one sanctioned cross-object
+  // caller — the escalation ladder lives exactly at this boundary.
+  friend class SupervisedPaOracle;
+
   const Graph& graph_;
   RoundLedger ledger_;
   std::uint64_t pa_calls_ = 0;
+  InstanceId measuring_instance_ = 0;
   struct Prepared {
     PartCollection pc;
     bool measured = false;

@@ -5,6 +5,7 @@
 
 #include "graph/algorithms.hpp"
 #include "laplacian/low_stretch_tree.hpp"
+#include "sim/fault_injection.hpp"
 
 namespace dls {
 
@@ -148,7 +149,10 @@ Vec DistributedLaplacianSolver::apply_preconditioner(std::size_t level,
 Vec DistributedLaplacianSolver::solve_level(std::size_t level, const Vec& b,
                                             double tol, std::size_t max_iter,
                                             std::size_t* iterations_out,
-                                            std::vector<double>* history) {
+                                            std::vector<double>* history,
+                                            CheckpointManager* ckpt,
+                                            NumericalWatchdog* wd,
+                                            const SolverCheckpoint* resume) {
   Level& lv = levels_[level];
   if (iterations_out != nullptr) *iterations_out = 0;
   if (lv.is_base) {
@@ -168,15 +172,67 @@ Vec DistributedLaplacianSolver::solve_level(std::size_t level, const Vec& b,
   Vec x(n, 0.0);
   const double b_norm = std::sqrt(charged_dot(rhs, rhs));
   if (b_norm == 0.0) return x;
-  Vec r = rhs;
-  Vec z = apply_preconditioner(level, r);
-  Vec p = z;
-  double rz = charged_dot(r, z);
-  Vec r_prev = r;
-  for (std::size_t it = 0; it < max_iter; ++it) {
+  Vec r, z, p, r_prev;
+  double rz = 0.0;
+  std::size_t start_it = 0;
+  if (resume != nullptr) {
+    // Mid-recurrence restart from a snapshot: the recurrence state is copied
+    // back verbatim, so the resumed trajectory is the one the snapshot froze.
+    x = resume->x;
+    r = resume->r;
+    r_prev = resume->r_prev;
+    p = resume->p;
+    z = resume->z;
+    rz = resume->rz;
+    start_it = resume->iteration;
+    if (iterations_out != nullptr) *iterations_out = start_it;
+    if (history != nullptr) *history = resume->residual_history;
+  } else {
+    r = rhs;
+    z = apply_preconditioner(level, r);
+    p = z;
+    rz = charged_dot(r, z);
+    r_prev = r;
+  }
+  // Watchdog remediation: recompute the true residual from the current
+  // iterate (fully charged — the remediation matvec is real work) and reset
+  // the search direction to preconditioned steepest descent. A poisoned
+  // iterate rewinds to zero.
+  const auto pcg_restart = [&](WatchdogSignal signal) {
+    Vec lx = apply_matvec(level, x);
+    project_mean_zero(lx);
+    if (!all_finite(lx) || !all_finite(x)) {
+      x.assign(n, 0.0);
+      lx.assign(n, 0.0);
+    }
+    r = sub(rhs, lx);
+    z = apply_preconditioner(level, r);
+    p = z;
+    rz = charged_dot(r, z);
+    r_prev = r;
+    wd->reset_residual_tracking();
+    RecoveryEvent event;
+    event.action = RecoveryAction::kWatchdogRestart;
+    event.subject = level;
+    event.attempt = static_cast<std::uint32_t>(wd->report().restarts);
+    event.detail = to_string(signal);
+    oracle_.ledger().record_recovery(std::move(event));
+  };
+  for (std::size_t it = start_it; it < max_iter; ++it) {
     Vec ap = apply_matvec(level, p);
     project_mean_zero(ap);
+    if (wd != nullptr &&
+        wd->check_vector(ap, it) != WatchdogSignal::kNone) {
+      if (!wd->allow_restart()) break;
+      pcg_restart(WatchdogSignal::kNonFiniteVector);
+      continue;
+    }
     const double pap = charged_dot(p, ap);
+    if (wd != nullptr && wd->check_scalar(pap, it) != WatchdogSignal::kNone) {
+      if (!wd->allow_restart()) break;
+      pcg_restart(WatchdogSignal::kNonFiniteScalar);
+      continue;
+    }
     if (pap <= 0.0) break;
     const double alpha = rz / pap;
     axpy(alpha, p, x);
@@ -186,10 +242,46 @@ Vec DistributedLaplacianSolver::solve_level(std::size_t level, const Vec& b,
     const double rel = std::sqrt(charged_dot(r, r)) / b_norm;
     if (history != nullptr) history->push_back(rel);
     if (rel <= tol) break;
+    if (wd != nullptr) {
+      const WatchdogSignal signal = wd->observe_residual(rel, it);
+      if (signal != WatchdogSignal::kNone) {
+        if (!wd->allow_restart()) break;
+        pcg_restart(signal);
+        continue;
+      }
+    }
+    if (ckpt != nullptr && ckpt->due(it + 1)) {
+      // One local round: every node stashes its own coordinates of the
+      // recurrence state. Recorded so the ledger explains the extra rounds.
+      oracle_.ledger().charge_local(1, "solver/checkpoint");
+      SolverCheckpoint snapshot;
+      snapshot.iteration = it + 1;
+      snapshot.x = x;
+      snapshot.r = r;
+      snapshot.r_prev = r_prev;
+      snapshot.p = p;
+      snapshot.z = z;
+      snapshot.rz = rz;
+      if (history != nullptr) snapshot.residual_history = *history;
+      ckpt->save(std::move(snapshot));
+      RecoveryEvent event;
+      event.action = RecoveryAction::kCheckpointSave;
+      event.subject = level;
+      event.attempt = static_cast<std::uint32_t>(ckpt->saves());
+      event.rounds_lost = 0;
+      event.detail = "outer iteration " + std::to_string(it + 1);
+      oracle_.ledger().record_recovery(std::move(event));
+    }
     z = apply_preconditioner(level, r);
     // Polak–Ribière: beta = zᵀ(r − r_prev) / rzₖ.
     Vec dr = sub(r, r_prev);
-    const double beta = rz == 0.0 ? 0.0 : charged_dot(z, dr) / rz;
+    double beta = rz == 0.0 ? 0.0 : charged_dot(z, dr) / rz;
+    if (wd != nullptr &&
+        wd->observe_beta(beta, it) != WatchdogSignal::kNone) {
+      if (!wd->allow_restart()) break;
+      pcg_restart(WatchdogSignal::kBetaExplosion);
+      continue;
+    }
     rz = charged_dot(r, z);
     for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
   }
@@ -198,7 +290,8 @@ Vec DistributedLaplacianSolver::solve_level(std::size_t level, const Vec& b,
 
 Vec DistributedLaplacianSolver::solve_top_chebyshev(const Vec& b,
                                                     std::size_t* iterations_out,
-                                                    std::vector<double>* history) {
+                                                    std::vector<double>* history,
+                                                    NumericalWatchdog* wd) {
   const std::size_t n = levels_[0].minor.num_nodes;
   Vec rhs = b;
   project_mean_zero(rhs);
@@ -216,10 +309,13 @@ Vec DistributedLaplacianSolver::solve_top_chebyshev(const Vec& b,
     project_mean_zero(mlv);
     return mlv;
   };
-  double lambda_max = 1.0;
-  {
-    Vec v = rhs;
-    scale(v, 1.0 / b_norm);
+  // `seed_norm` is passed in (always already known from a prior charged dot)
+  // so the clean path charges exactly the rounds it did before the watchdog.
+  const auto estimate_lambda_max = [&](const Vec& seed, double seed_norm) {
+    double lambda_max = 1.0;
+    if (seed_norm <= 0) return lambda_max;
+    Vec v = seed;
+    scale(v, 1.0 / seed_norm);
     for (std::size_t it = 0; it < options_.power_iterations; ++it) {
       Vec w = apply_ml(v);
       const double norm = std::sqrt(charged_dot(w, w));
@@ -228,34 +324,79 @@ Vec DistributedLaplacianSolver::solve_top_chebyshev(const Vec& b,
       scale(w, 1.0 / norm);
       v = std::move(w);
     }
-  }
-  const double hi = 1.5 * std::max(lambda_max, 1.0);
-  const double lo = 0.25;  // the chain keeps M ⪰ c·L with modest c
-  const double theta = 0.5 * (hi + lo);
-  const double delta = 0.5 * (hi - lo);
+    return lambda_max;
+  };
+  double hi = 1.5 * std::max(estimate_lambda_max(rhs, b_norm), 1.0);
+  double lo = 0.25;  // the chain keeps M ⪰ c·L with modest c
+  double theta = 0.5 * (hi + lo);
+  double delta = 0.5 * (hi - lo);
 
   Vec r = rhs;
   Vec z = apply_preconditioner(0, r);
   Vec p(n, 0.0);
   double alpha = 0.0, beta = 0.0;
+  // Chebyshev's coefficients are position-dependent, so a rebound must rewind
+  // `k` (iterations since last restart) while `it` keeps counting the budget.
+  std::size_t k = 0;
+  // Divergence remediation: the eigenbound interval missed part of the
+  // spectrum (the polynomial amplifies there instead of damping), so
+  // re-estimate λ_max by charged power iteration on the *current* residual —
+  // the direction that exposed the miss — pad wider, and restart.
+  const auto rebound = [&](WatchdogSignal signal, const Vec& seed,
+                           double seed_norm) {
+    hi = std::max(2.0 * hi, 1.5 * estimate_lambda_max(seed, seed_norm));
+    lo *= 0.5;
+    theta = 0.5 * (hi + lo);
+    delta = 0.5 * (hi - lo);
+    x.assign(n, 0.0);
+    r = rhs;
+    z = apply_preconditioner(0, r);
+    project_mean_zero(z);
+    p.assign(n, 0.0);
+    alpha = 0.0;
+    beta = 0.0;
+    k = 0;
+    wd->note_rebound();
+    wd->reset_residual_tracking();
+    RecoveryEvent event;
+    event.action = RecoveryAction::kWatchdogRebound;
+    event.subject = 0;
+    event.attempt = static_cast<std::uint32_t>(wd->report().rebounds);
+    event.detail = to_string(signal);
+    oracle_.ledger().record_recovery(std::move(event));
+  };
   for (std::size_t it = 0; it < options_.max_outer_iterations; ++it) {
-    if (it == 0) {
+    if (k == 0) {
       p = z;
       alpha = 1.0 / theta;
     } else {
-      beta = (it == 1) ? 0.5 * (delta * alpha) * (delta * alpha)
-                       : (delta * alpha / 2.0) * (delta * alpha / 2.0);
+      beta = (k == 1) ? 0.5 * (delta * alpha) * (delta * alpha)
+                      : (delta * alpha / 2.0) * (delta * alpha / 2.0);
       alpha = 1.0 / (theta - beta / alpha);
       for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
     }
+    ++k;
     axpy(alpha, p, x);
     Vec lx = apply_matvec(0, x);
     project_mean_zero(lx);
     r = sub(rhs, lx);
     if (iterations_out != nullptr) *iterations_out = it + 1;
+    if (wd != nullptr && wd->check_vector(r, it) != WatchdogSignal::kNone) {
+      if (!wd->allow_restart()) break;
+      rebound(WatchdogSignal::kNonFiniteVector, rhs, b_norm);
+      continue;
+    }
     const double rel = std::sqrt(charged_dot(r, r)) / b_norm;
     if (history != nullptr) history->push_back(rel);
     if (rel <= options_.tolerance) break;
+    if (wd != nullptr) {
+      const WatchdogSignal signal = wd->observe_residual(rel, it);
+      if (signal != WatchdogSignal::kNone) {
+        if (!wd->allow_restart()) break;
+        rebound(signal, r, rel * b_norm);
+        continue;
+      }
+    }
     z = apply_preconditioner(0, r);
     project_mean_zero(z);
   }
@@ -271,33 +412,192 @@ LaplacianSolveReport DistributedLaplacianSolver::solve(const Vec& b) {
   const std::uint64_t global_before = oracle_.ledger().total_global();
   const std::uint64_t hybrid_before = oracle_.ledger().total_hybrid();
   const std::uint64_t calls_before = oracle_.pa_calls();
+  const std::size_t events_before = oracle_.ledger().recovery_events().size();
 
   LaplacianSolveReport report;
+  NumericalWatchdog wd(options_.watchdog);
+  CheckpointManager ckpt(options_.checkpoint);
   std::size_t iterations = 0;
-  if (options_.outer == OuterIteration::kChebyshev && !levels_[0].is_base) {
-    report.x = solve_top_chebyshev(b, &iterations, &report.residual_history);
-  } else {
-    report.x = solve_level(0, b, options_.tolerance,
-                           options_.max_outer_iterations, &iterations,
-                           &report.residual_history);
+  const SolverCheckpoint* resume = nullptr;
+  // Outer recovery loop: a ChaosAbortError escaping the oracle (supervisor
+  // off, or its ladder capped at retry) lands here; with checkpointing on we
+  // resume from the last snapshot, else the solve degrades typed. The failed
+  // attempt's rounds are already on the ledger — they were charged live.
+  for (;;) {
+    try {
+      report.residual_history.clear();
+      if (options_.outer == OuterIteration::kChebyshev &&
+          !levels_[0].is_base) {
+        report.x =
+            solve_top_chebyshev(b, &iterations, &report.residual_history, &wd);
+      } else {
+        report.x = solve_level(0, b, options_.tolerance,
+                               options_.max_outer_iterations, &iterations,
+                               &report.residual_history, &ckpt, &wd, resume);
+      }
+      break;
+    } catch (const ChaosAbortError& e) {
+      if (!ckpt.can_restore()) {
+        RecoveryEvent event;
+        event.action = RecoveryAction::kAbort;
+        event.subject = 0;
+        event.attempt = static_cast<std::uint32_t>(ckpt.restores());
+        event.detail = e.what();
+        oracle_.ledger().record_recovery(std::move(event));
+        DegradedResult degraded;
+        degraded.tier = highest_tier(oracle_.ledger());
+        degraded.reason = e.what();
+        degraded.completed_iterations = iterations;
+        report.degraded = std::move(degraded);
+        // Best partial iterate: the last snapshot if any, else zero.
+        const SolverCheckpoint* last = ckpt.latest();
+        report.x = last != nullptr ? last->x : Vec(g.num_nodes(), 0.0);
+        if (last != nullptr) {
+          report.residual_history = last->residual_history;
+          iterations = last->iteration;
+        } else {
+          report.residual_history.clear();
+          iterations = 0;
+        }
+        break;
+      }
+      const std::size_t gap = ckpt.replayed_gap(iterations);
+      resume = ckpt.restore();
+      RecoveryEvent event;
+      event.action = RecoveryAction::kCheckpointRestore;
+      event.subject = 0;
+      event.attempt = static_cast<std::uint32_t>(ckpt.restores());
+      event.detail = resume != nullptr
+                         ? "resume from iteration " +
+                               std::to_string(resume->iteration) +
+                               ", replaying " + std::to_string(gap) +
+                               " iterations: " + e.what()
+                         : std::string("no snapshot yet — replay from "
+                                       "iteration 0: ") +
+                               e.what();
+      oracle_.ledger().record_recovery(std::move(event));
+    }
   }
   report.outer_iterations = iterations;
 
+  // Post-anomaly iterative refinement: recompute the true residual and run a
+  // short corrective solve on it (fully charged, watchdog off to avoid
+  // recursion). Clean solves never enter this branch.
+  if (options_.watchdog.enabled && options_.watchdog.refine_on_anomaly &&
+      wd.triggered() && !report.degraded.has_value() &&
+      all_finite(report.x)) {
+    oracle_.charge_local_exchange("solver/refine-residual");
+    Vec res = sub(b, laplacian_apply(g, report.x));
+    project_mean_zero(res);
+    if (all_finite(res)) {
+      std::size_t refine_iters = 0;
+      Vec correction;
+      try {
+        correction =
+            solve_level(0, res, options_.tolerance,
+                        std::max<std::size_t>(iterations, 16), &refine_iters);
+      } catch (const ChaosAbortError&) {
+        correction.clear();  // refinement is best-effort; keep the iterate
+      }
+      if (!correction.empty() && all_finite(correction)) {
+        axpy(1.0, correction, report.x);
+        wd.note_refinement();
+        RecoveryEvent event;
+        event.action = RecoveryAction::kWatchdogRefine;
+        event.subject = 0;
+        event.attempt = static_cast<std::uint32_t>(refine_iters);
+        event.detail = "post-anomaly refinement pass";
+        oracle_.ledger().record_recovery(std::move(event));
+      }
+    }
+  }
+
   // Distributed convergence certificate: one local exchange computes the
   // residual entries, one global aggregation lets every node learn its norm.
-  oracle_.charge_local_exchange("solver/residual-check");
-  oracle_.aggregate(global_instance_, global_values_, AggregationMonoid::sum());
+  // On a degraded solve the certificate itself can wedge — the global
+  // instance may never have measured successfully — so a certificate abort is
+  // absorbed into the degraded result instead of escaping as an exception;
+  // the residual below is then local bookkeeping, not a distributed
+  // certificate, and `converged` stays false.
+  try {
+    oracle_.charge_local_exchange("solver/residual-check");
+    oracle_.aggregate(global_instance_, global_values_,
+                      AggregationMonoid::sum());
+  } catch (const ChaosAbortError& e) {
+    if (!report.degraded.has_value()) {
+      DegradedResult degraded;
+      degraded.tier = highest_tier(oracle_.ledger());
+      degraded.reason =
+          std::string("convergence certificate failed: ") + e.what();
+      degraded.completed_iterations = iterations;
+      report.degraded = std::move(degraded);
+    }
+  }
   Vec residual = sub(b, laplacian_apply(g, report.x));
   project_mean_zero(residual);
   Vec rhs = b;
   project_mean_zero(rhs);
   const double b_norm = norm2(rhs);
   report.relative_residual = b_norm > 0 ? norm2(residual) / b_norm : 0.0;
-  report.converged = report.relative_residual <= 2.0 * options_.tolerance;
+  report.converged = !report.degraded.has_value() &&
+                     report.relative_residual <= 2.0 * options_.tolerance;
+  if (report.degraded.has_value()) {
+    report.degraded->partial_residual = report.relative_residual;
+  }
   report.pa_calls = oracle_.pa_calls() - calls_before;
   report.local_rounds = oracle_.ledger().total_local() - local_before;
   report.global_rounds = oracle_.ledger().total_global() - global_before;
   report.hybrid_rounds = oracle_.ledger().total_hybrid() - hybrid_before;
+  report.watchdog = wd.report();
+
+  // Fold this call's recovery events into counters and attribute them to
+  // chain levels: supervisor events carry the PA instance id, solver events
+  // the level index directly.
+  const auto& events = oracle_.ledger().recovery_events();
+  for (std::size_t i = events_before; i < events.size(); ++i) {
+    const RecoveryEvent& e = events[i];
+    report.recovery.rounds_lost += e.rounds_lost;
+    std::size_t level = 0;  // global instance and solver events → level 0
+    for (std::size_t l = 0; l < levels_.size(); ++l) {
+      if (levels_[l].has_matvec_instance &&
+          levels_[l].matvec_instance == e.subject) {
+        level = l;
+        break;
+      }
+    }
+    switch (e.action) {
+      case RecoveryAction::kRetry:
+        ++report.recovery.retries;
+        if (level < stats_.size()) ++stats_[level].pa_retries;
+        break;
+      case RecoveryAction::kRebuild:
+        ++report.recovery.rebuilds;
+        if (level < stats_.size()) ++stats_[level].pa_rebuilds;
+        break;
+      case RecoveryAction::kDegrade:
+        ++report.recovery.degradations;
+        if (level < stats_.size()) ++stats_[level].pa_degradations;
+        break;
+      case RecoveryAction::kCheckpointSave:
+        ++report.recovery.checkpoints_saved;
+        break;
+      case RecoveryAction::kCheckpointRestore:
+        ++report.recovery.checkpoints_restored;
+        if (!stats_.empty()) ++stats_[0].checkpoints_restored;
+        break;
+      case RecoveryAction::kWatchdogRestart:
+        ++report.recovery.watchdog_restarts;
+        break;
+      case RecoveryAction::kWatchdogRefine:
+        ++report.recovery.watchdog_refinements;
+        break;
+      case RecoveryAction::kWatchdogRebound:
+        ++report.recovery.watchdog_rebounds;
+        break;
+      case RecoveryAction::kAbort:
+        break;  // reflected in report.degraded, not a counter
+    }
+  }
   return report;
 }
 

@@ -24,12 +24,16 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "laplacian/elimination.hpp"
 #include "laplacian/pa_oracle.hpp"
 #include "laplacian/ultra_sparsifier.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/laplacian.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/recovery.hpp"
+#include "resilience/watchdog.hpp"
 
 namespace dls {
 
@@ -49,6 +53,16 @@ struct LaplacianSolverOptions {
   bool tree_preconditioner_only = false;  // ablation: bare-tree sparsifier
   OuterIteration outer = OuterIteration::kFlexiblePcg;
   std::size_t power_iterations = 12;   // eigenbound estimation (Chebyshev only)
+  /// Numerical watchdog over the top-level outer iteration: NaN/Inf guards on
+  /// matvecs and inner products, stagnation/divergence detection, budgeted
+  /// restarts, a refinement pass after any anomaly, and (Chebyshev) charged
+  /// eigenbound re-estimation on divergence. Thresholds are generous enough
+  /// that a healthy solve never trips — the clean path is bit-identical.
+  WatchdogConfig watchdog;
+  /// Outer-iteration checkpointing (interval 0 = off, the default): with an
+  /// interval set, a ChaosAbortError escaping the oracle resumes the PCG
+  /// recurrence from the last snapshot instead of iteration 0.
+  CheckpointConfig checkpoint;
 };
 
 struct LevelStats {
@@ -59,6 +73,12 @@ struct LevelStats {
   std::size_t off_tree_kept = 0;
   std::size_t chain_hops = 0;       // longest elimination splice
   bool is_base = false;
+  /// Recovery attribution (updated by solve()): ladder transitions of PA
+  /// calls owned by this level plus outer-iteration checkpoint restores.
+  std::size_t pa_retries = 0;
+  std::size_t pa_rebuilds = 0;
+  std::size_t pa_degradations = 0;
+  std::size_t checkpoints_restored = 0;
 };
 
 struct LaplacianSolveReport {
@@ -73,6 +93,15 @@ struct LaplacianSolveReport {
   std::uint64_t local_rounds = 0;
   std::uint64_t global_rounds = 0;
   std::uint64_t hybrid_rounds = 0;
+  /// Numerical-watchdog trace of the outer iteration (empty on clean solves).
+  WatchdogReport watchdog;
+  /// Recovery events recorded on the oracle's ledger during this call, folded
+  /// into counters (all zero on clean solves).
+  RecoveryCounters recovery;
+  /// Set iff the solve gave up after exhausting its recovery budgets: x is
+  /// the best partial iterate and this names the escalation tier reached —
+  /// the typed alternative to an unhandled ChaosAbortError.
+  std::optional<DegradedResult> degraded;
 };
 
 class DistributedLaplacianSolver {
@@ -107,15 +136,24 @@ class DistributedLaplacianSolver {
   double charged_dot(const Vec& a, const Vec& b);
   Vec apply_preconditioner(std::size_t level, const Vec& r);
   /// Flexible PCG at `level`; returns (approximate) solution. `history`
-  /// (optional) collects per-iteration relative residuals.
+  /// (optional) collects per-iteration relative residuals. The trailing
+  /// resilience hooks are wired only on the top-level call: `ckpt` snapshots
+  /// the recurrence every interval iterations, `wd` guards the numerics, and
+  /// `resume` (a snapshot from a caught abort) restarts mid-recurrence.
   Vec solve_level(std::size_t level, const Vec& b, double tol,
                   std::size_t max_iter, std::size_t* iterations_out,
-                  std::vector<double>* history = nullptr);
+                  std::vector<double>* history = nullptr,
+                  CheckpointManager* ckpt = nullptr,
+                  NumericalWatchdog* wd = nullptr,
+                  const SolverCheckpoint* resume = nullptr);
   /// Preconditioned Chebyshev at the TOP level (options_.outer == kChebyshev):
   /// estimates the extreme eigenvalues of M⁻¹L by charged power iteration,
-  /// then runs the classic two-term recurrence against the chain.
+  /// then runs the classic two-term recurrence against the chain. On a
+  /// watchdog divergence signal the eigenbounds are re-estimated (charged)
+  /// and the recurrence restarts — the "rebound" remediation.
   Vec solve_top_chebyshev(const Vec& b, std::size_t* iterations_out,
-                          std::vector<double>* history);
+                          std::vector<double>* history,
+                          NumericalWatchdog* wd = nullptr);
 
   CongestedPaOracle& oracle_;
   LaplacianSolverOptions options_;

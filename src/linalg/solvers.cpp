@@ -2,23 +2,71 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "graph/algorithms.hpp"
 
 namespace dls {
 
 namespace {
+
 std::size_t default_max_iters(std::size_t n, const SolveOptions& options) {
   return options.max_iterations > 0 ? options.max_iterations : 10 * n + 100;
 }
+
+/// Non-finite right-hand side: nothing downstream can repair it, so fail
+/// typed immediately (the incident is already on `wd`'s report).
+SolveResult poisoned_input(std::size_t n, NumericalWatchdog& wd) {
+  SolveResult result;
+  result.x.assign(n, 0.0);
+  result.residual_norm = std::numeric_limits<double>::infinity();
+  result.watchdog = wd.report();
+  return result;
+}
+
+/// One iterative-refinement pass: recompute the *true* residual (not the
+/// recurrence-accumulated one, which the anomaly may have poisoned), solve
+/// the correction with the watchdog off (no recursive refinement), and fold
+/// it back in. Applied only when a signal fired during the main loop.
+template <typename Solver>
+void refine_on_anomaly(const LinearOperator& op, const Vec& rhs,
+                       double b_norm, const SolveOptions& options,
+                       NumericalWatchdog& wd, SolveResult& result,
+                       Solver solver) {
+  if (!options.watchdog.enabled || !options.watchdog.refine_on_anomaly ||
+      !wd.triggered() || !all_finite(result.x)) {
+    return;
+  }
+  Vec ax = op(result.x);
+  project_mean_zero(ax);
+  if (!all_finite(ax)) return;
+  const Vec res = sub(rhs, ax);
+  SolveOptions refine_options = options;
+  refine_options.watchdog.enabled = false;
+  refine_options.max_iterations =
+      std::max<std::size_t>(result.iterations, 16);
+  const SolveResult correction = solver(op, res, refine_options);
+  if (!all_finite(correction.x)) return;
+  axpy(1.0, correction.x, result.x);
+  wd.note_refinement();
+  Vec ax_refined = op(result.x);
+  project_mean_zero(ax_refined);
+  result.residual_norm = norm2(sub(rhs, ax_refined)) / b_norm;
+  result.converged = result.residual_norm <= options.tolerance;
+}
+
 }  // namespace
 
 SolveResult conjugate_gradient(const LinearOperator& op, const Vec& b,
                                const SolveOptions& options) {
   SolveResult result;
   const std::size_t n = b.size();
+  NumericalWatchdog wd(options.watchdog);
   Vec rhs = b;
   project_mean_zero(rhs);
+  if (wd.check_vector(rhs, 0) != WatchdogSignal::kNone) {
+    return poisoned_input(n, wd);
+  }
   const double b_norm = norm2(rhs);
   result.x.assign(n, 0.0);
   if (b_norm == 0.0) {
@@ -28,11 +76,37 @@ SolveResult conjugate_gradient(const LinearOperator& op, const Vec& b,
   Vec r = rhs;
   Vec p = r;
   double rr = dot(r, r);
+  // Remediation: drop the (possibly poisoned) Krylov state and restart the
+  // recurrence from the current iterate — or from zero if the iterate itself
+  // went non-finite.
+  const auto hard_restart = [&]() {
+    if (!all_finite(result.x)) result.x.assign(n, 0.0);
+    Vec ax = op(result.x);
+    project_mean_zero(ax);
+    if (!all_finite(ax)) {
+      result.x.assign(n, 0.0);
+      ax.assign(n, 0.0);
+    }
+    r = sub(rhs, ax);
+    p = r;
+    rr = dot(r, r);
+    wd.reset_residual_tracking();
+  };
   const std::size_t max_iters = default_max_iters(n, options);
   for (std::size_t it = 0; it < max_iters; ++it) {
     Vec ap = op(p);
-    project_mean_zero(ap);  // numerical drift out of range(L)
+    project_mean_zero(ap);
+    if (wd.check_vector(ap, it) != WatchdogSignal::kNone) {
+      if (!wd.allow_restart()) break;
+      hard_restart();
+      continue;
+    }
     const double pap = dot(p, ap);
+    if (wd.check_scalar(pap, it) != WatchdogSignal::kNone) {
+      if (!wd.allow_restart()) break;
+      hard_restart();
+      continue;
+    }
     if (pap <= 0.0) break;  // operator not PD on this subspace — stop cleanly
     const double alpha = rr / pap;
     axpy(alpha, p, result.x);
@@ -44,11 +118,24 @@ SolveResult conjugate_gradient(const LinearOperator& op, const Vec& b,
       rr = rr_new;
       break;
     }
+    const WatchdogSignal signal =
+        wd.observe_residual(std::sqrt(rr_new) / b_norm, it);
+    if (signal != WatchdogSignal::kNone) {
+      if (!wd.allow_restart()) break;
+      hard_restart();
+      continue;
+    }
     const double beta = rr_new / rr;
     rr = rr_new;
     for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
   }
-  result.residual_norm = std::sqrt(rr) / b_norm;
+  result.residual_norm = std::sqrt(std::max(rr, 0.0)) / b_norm;
+  refine_on_anomaly(op, rhs, b_norm, options, wd, result,
+                    [](const LinearOperator& o, const Vec& rhs2,
+                       const SolveOptions& opts) {
+                      return conjugate_gradient(o, rhs2, opts);
+                    });
+  result.watchdog = wd.report();
   return result;
 }
 
@@ -63,8 +150,12 @@ SolveResult preconditioned_cg(const LinearOperator& op,
                               const SolveOptions& options) {
   SolveResult result;
   const std::size_t n = b.size();
+  NumericalWatchdog wd(options.watchdog);
   Vec rhs = b;
   project_mean_zero(rhs);
+  if (wd.check_vector(rhs, 0) != WatchdogSignal::kNone) {
+    return poisoned_input(n, wd);
+  }
   const double b_norm = norm2(rhs);
   result.x.assign(n, 0.0);
   if (b_norm == 0.0) {
@@ -76,29 +167,81 @@ SolveResult preconditioned_cg(const LinearOperator& op,
   project_mean_zero(z);
   Vec p = z;
   double rz = dot(r, z);
+  // Remediation: recompute the true residual, re-precondition, and reset the
+  // search direction to steepest descent in the preconditioned metric.
+  const auto hard_restart = [&]() {
+    if (!all_finite(result.x)) result.x.assign(n, 0.0);
+    Vec ax = op(result.x);
+    project_mean_zero(ax);
+    if (!all_finite(ax)) {
+      result.x.assign(n, 0.0);
+      ax.assign(n, 0.0);
+    }
+    r = sub(rhs, ax);
+    z = precond(r);
+    project_mean_zero(z);
+    if (!all_finite(z)) z = r;  // preconditioner itself is sick — drop it
+    p = z;
+    rz = dot(r, z);
+    wd.reset_residual_tracking();
+  };
   const std::size_t max_iters = default_max_iters(n, options);
   for (std::size_t it = 0; it < max_iters; ++it) {
     Vec ap = op(p);
     project_mean_zero(ap);
+    if (wd.check_vector(ap, it) != WatchdogSignal::kNone) {
+      if (!wd.allow_restart()) break;
+      hard_restart();
+      continue;
+    }
     const double pap = dot(p, ap);
+    if (wd.check_scalar(pap, it) != WatchdogSignal::kNone) {
+      if (!wd.allow_restart()) break;
+      hard_restart();
+      continue;
+    }
     if (pap <= 0.0) break;
     const double alpha = rz / pap;
     axpy(alpha, p, result.x);
     axpy(-alpha, ap, r);
     result.iterations = it + 1;
-    if (norm2(r) <= options.tolerance * b_norm) {
+    const double r_norm = norm2(r);
+    if (r_norm <= options.tolerance * b_norm) {
       result.converged = true;
       break;
     }
+    const WatchdogSignal residual_signal =
+        wd.observe_residual(r_norm / b_norm, it);
+    if (residual_signal != WatchdogSignal::kNone) {
+      if (!wd.allow_restart()) break;
+      hard_restart();
+      continue;
+    }
     z = precond(r);
     project_mean_zero(z);
+    if (wd.check_vector(z, it) != WatchdogSignal::kNone) {
+      if (!wd.allow_restart()) break;
+      hard_restart();
+      continue;
+    }
     const double rz_new = dot(r, z);
     if (rz == 0.0) break;
     const double beta = rz_new / rz;
+    if (wd.observe_beta(beta, it) != WatchdogSignal::kNone) {
+      if (!wd.allow_restart()) break;
+      hard_restart();
+      continue;
+    }
     rz = rz_new;
     for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
   }
   result.residual_norm = norm2(r) / b_norm;
+  refine_on_anomaly(op, rhs, b_norm, options, wd, result,
+                    [&precond](const LinearOperator& o, const Vec& rhs2,
+                               const SolveOptions& opts) {
+                      return preconditioned_cg(o, precond, rhs2, opts);
+                    });
+  result.watchdog = wd.report();
   return result;
 }
 
@@ -108,41 +251,88 @@ SolveResult chebyshev(const LinearOperator& op, const Vec& b, double lambda_min,
               "chebyshev needs 0 < lambda_min <= lambda_max");
   SolveResult result;
   const std::size_t n = b.size();
+  NumericalWatchdog wd(options.watchdog);
   Vec rhs = b;
   project_mean_zero(rhs);
+  if (wd.check_vector(rhs, 0) != WatchdogSignal::kNone) {
+    return poisoned_input(n, wd);
+  }
   const double b_norm = norm2(rhs);
   result.x.assign(n, 0.0);
   if (b_norm == 0.0) {
     result.converged = true;
     return result;
   }
-  const double theta = 0.5 * (lambda_max + lambda_min);
-  const double delta = 0.5 * (lambda_max - lambda_min);
+  double theta = 0.5 * (lambda_max + lambda_min);
+  double delta = 0.5 * (lambda_max - lambda_min);
   Vec r = rhs;
   Vec p(n, 0.0);
   double alpha = 0.0, beta = 0.0;
+  // `k` counts iterations since the last restart: the Chebyshev recurrence
+  // coefficients are position-dependent, so a restart must rewind them even
+  // though the overall budget `it` keeps advancing.
+  std::size_t k = 0;
+  // Remediation for divergence: the eigenbounds were wrong (part of the
+  // spectrum outside [λmin, λmax] makes the polynomial amplify instead of
+  // damp), so widen them and restart the recurrence — the "rebound".
+  const auto rebound_restart = [&](bool widen) {
+    if (widen) {
+      lambda_min *= 0.5;
+      lambda_max *= 2.0;
+      theta = 0.5 * (lambda_max + lambda_min);
+      delta = 0.5 * (lambda_max - lambda_min);
+      wd.note_rebound();
+    }
+    result.x.assign(n, 0.0);
+    r = rhs;
+    p.assign(n, 0.0);
+    alpha = 0.0;
+    beta = 0.0;
+    k = 0;
+    wd.reset_residual_tracking();
+  };
   const std::size_t max_iters = default_max_iters(n, options);
   for (std::size_t it = 0; it < max_iters; ++it) {
-    if (it == 0) {
+    if (k == 0) {
       p = r;
       alpha = 1.0 / theta;
     } else {
-      beta = (it == 1) ? 0.5 * (delta * alpha) * (delta * alpha)
-                       : (delta * alpha / 2.0) * (delta * alpha / 2.0);
+      beta = (k == 1) ? 0.5 * (delta * alpha) * (delta * alpha)
+                      : (delta * alpha / 2.0) * (delta * alpha / 2.0);
       alpha = 1.0 / (theta - beta / alpha);
       for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
     }
+    ++k;
     axpy(alpha, p, result.x);
     Vec ax = op(result.x);
     project_mean_zero(ax);
-    r = sub(rhs, ax);
     result.iterations = it + 1;
-    if (norm2(r) <= options.tolerance * b_norm) {
+    if (wd.check_vector(ax, it) != WatchdogSignal::kNone) {
+      if (!wd.allow_restart()) break;
+      rebound_restart(/*widen=*/false);
+      continue;
+    }
+    r = sub(rhs, ax);
+    const double r_norm = norm2(r);
+    if (r_norm <= options.tolerance * b_norm) {
       result.converged = true;
       break;
     }
+    const WatchdogSignal signal = wd.observe_residual(r_norm / b_norm, it);
+    if (signal == WatchdogSignal::kResidualDivergence ||
+        signal == WatchdogSignal::kResidualStagnation) {
+      if (!wd.allow_restart()) break;
+      rebound_restart(/*widen=*/true);
+      continue;
+    }
+    if (signal != WatchdogSignal::kNone) {
+      if (!wd.allow_restart()) break;
+      rebound_restart(/*widen=*/false);
+      continue;
+    }
   }
   result.residual_norm = norm2(r) / b_norm;
+  result.watchdog = wd.report();
   return result;
 }
 

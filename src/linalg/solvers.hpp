@@ -10,6 +10,7 @@
 #include "graph/graph.hpp"
 #include "linalg/laplacian.hpp"
 #include "linalg/vector_ops.hpp"
+#include "resilience/watchdog.hpp"
 
 namespace dls {
 
@@ -21,11 +22,18 @@ struct SolveResult {
   std::size_t iterations = 0;
   double residual_norm = 0.0;  // final ‖b − Lx‖₂ / ‖b‖₂
   bool converged = false;
+  /// Numerical-watchdog trace: empty on a healthy run (on which the iterates
+  /// are bit-identical to a watchdog-less build of these kernels).
+  WatchdogReport watchdog;
 };
 
 struct SolveOptions {
   double tolerance = 1e-8;        // relative ℓ₂ residual target
   std::size_t max_iterations = 0; // 0 => 10·n + 100
+  /// NaN/Inf guards, stagnation/divergence detection and budgeted
+  /// remediation (restart, refinement pass, Chebyshev rebound). Enabled by
+  /// default with thresholds generous enough that healthy solves never trip.
+  WatchdogConfig watchdog;
 };
 
 /// Conjugate gradient on the mean-zero subspace (handles the PSD kernel of a

@@ -1,0 +1,35 @@
+#include "resilience/checkpoint.hpp"
+
+#include "util/assert.hpp"
+
+namespace dls {
+
+CheckpointManager::CheckpointManager(const CheckpointConfig& config)
+    : config_(config) {}
+
+bool CheckpointManager::due(std::size_t completed_iterations) const {
+  if (!enabled() || completed_iterations == 0) return false;
+  if (last_.has_value() && last_->iteration >= completed_iterations) {
+    return false;  // already snapshotted here (e.g. right after a restore)
+  }
+  return completed_iterations % config_.interval == 0;
+}
+
+void CheckpointManager::save(SolverCheckpoint snapshot) {
+  DLS_REQUIRE(enabled(), "checkpointing is disabled (interval == 0)");
+  last_ = std::move(snapshot);
+  ++saves_;
+}
+
+const SolverCheckpoint* CheckpointManager::restore() {
+  DLS_ASSERT(can_restore(), "checkpoint resume budget exhausted");
+  ++restores_;
+  return last_.has_value() ? &*last_ : nullptr;
+}
+
+std::size_t CheckpointManager::replayed_gap(std::size_t aborted_at) const {
+  const std::size_t base = last_.has_value() ? last_->iteration : 0;
+  return aborted_at > base ? aborted_at - base : 0;
+}
+
+}  // namespace dls

@@ -1,0 +1,95 @@
+// Checkpoint/resume for the solver's outer iteration.
+//
+// Under fault injection a ChaosAbortError can fire inside any PA oracle call
+// — including deep into a long PCG run. Without checkpoints the whole solve
+// restarts from iteration 0 and every already-charged round is wasted; with
+// them, the outer loop snapshots its full recurrence state (x, r, p, z, rz,
+// the residual history, and the solve-time rng cursor) every `interval`
+// iterations and a caught abort resumes from the last snapshot.
+//
+// Accounting is honest by construction: the rounds of the failed attempt are
+// charged from the abort's partial ledger by the caller, a snapshot charges
+// one local exchange when it is taken (every node stashes O(1) words — its
+// own coordinates of the iterates — so a checkpoint is one round of local
+// stabilization), and the iterations replayed after a restore re-charge
+// their PA calls exactly as the first execution did. The replayed gap is
+// additionally recorded as a RecoveryEvent so ledgers show *why* totals grew.
+//
+// Determinism: with interval == 0 (the default) nothing is snapshotted and
+// the solver's behaviour — every charge, every value — is bit-identical to a
+// build without this file. With checkpointing on, the snapshots themselves
+// never perturb the iterates (they are copies), so x is unchanged; only the
+// ledger gains the per-snapshot exchange rounds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace dls {
+
+/// Full outer-iteration state of the flexible-PCG recurrence. Vectors are
+/// node-indexed doubles (Vec in linalg; spelled concretely to stay below the
+/// linalg layer).
+struct SolverCheckpoint {
+  std::size_t iteration = 0;  // completed outer iterations at snapshot time
+  std::vector<double> x;
+  std::vector<double> r;
+  std::vector<double> r_prev;
+  std::vector<double> p;
+  std::vector<double> z;
+  double rz = 0.0;
+  std::vector<double> residual_history;  // per-iteration rel residuals so far
+  Rng rng{0};  // solve-time rng cursor (replayed draws must match)
+};
+
+struct CheckpointConfig {
+  /// Snapshot every `interval` completed outer iterations; 0 disables
+  /// checkpointing entirely (bit-identical to a solver without it).
+  std::size_t interval = 0;
+  /// How many restores one solve may spend before degrading. A budget (not
+  /// unlimited) so a schedule that aborts every attempt terminates typed.
+  std::size_t resume_budget = 3;
+};
+
+class CheckpointManager {
+ public:
+  explicit CheckpointManager(const CheckpointConfig& config = {});
+
+  bool enabled() const { return config_.interval > 0; }
+
+  /// True iff a snapshot is due after `completed_iterations` iterations.
+  bool due(std::size_t completed_iterations) const;
+
+  void save(SolverCheckpoint snapshot);
+
+  /// True iff a restore is possible: budget remains (restoring to iteration
+  /// 0 with no snapshot yet is a valid resume — it replays from scratch).
+  bool can_restore() const { return enabled() && restores_ < config_.resume_budget; }
+
+  /// Consumes one unit of resume budget and returns the snapshot to resume
+  /// from (nullptr = resume from iteration 0: nothing snapshotted yet).
+  /// Call can_restore() first; restoring past the budget is a logic error.
+  const SolverCheckpoint* restore();
+
+  const CheckpointConfig& config() const { return config_; }
+  /// The last saved snapshot without consuming budget (nullptr if none) —
+  /// the degraded path reports its best partial iterate from here.
+  const SolverCheckpoint* latest() const { return last_ ? &*last_ : nullptr; }
+  std::size_t saves() const { return saves_; }
+  std::size_t restores() const { return restores_; }
+  /// Iterations the last restore rewound past (the replayed gap):
+  /// iterations completed at abort time minus the snapshot's iteration.
+  std::size_t replayed_gap(std::size_t aborted_at) const;
+
+ private:
+  CheckpointConfig config_;
+  std::optional<SolverCheckpoint> last_;
+  std::size_t saves_ = 0;
+  std::size_t restores_ = 0;
+};
+
+}  // namespace dls

@@ -1,0 +1,64 @@
+#include "resilience/recovery.hpp"
+
+namespace dls {
+
+const char* to_string(EscalationTier tier) {
+  switch (tier) {
+    case EscalationTier::kNone: return "none";
+    case EscalationTier::kRetry: return "retry";
+    case EscalationTier::kRebuild: return "rebuild";
+    case EscalationTier::kDegrade: return "degrade";
+    case EscalationTier::kCheckpoint: return "checkpoint";
+    case EscalationTier::kExhausted: return "exhausted";
+  }
+  return "?";
+}
+
+RecoveryCounters tally_recovery(const RoundLedger& ledger) {
+  RecoveryCounters counters;
+  for (const RecoveryEvent& e : ledger.recovery_events()) {
+    counters.rounds_lost += e.rounds_lost;
+    switch (e.action) {
+      case RecoveryAction::kRetry: ++counters.retries; break;
+      case RecoveryAction::kRebuild: ++counters.rebuilds; break;
+      case RecoveryAction::kDegrade: ++counters.degradations; break;
+      case RecoveryAction::kCheckpointSave: ++counters.checkpoints_saved; break;
+      case RecoveryAction::kCheckpointRestore:
+        ++counters.checkpoints_restored;
+        break;
+      case RecoveryAction::kWatchdogRestart: ++counters.watchdog_restarts; break;
+      case RecoveryAction::kWatchdogRefine:
+        ++counters.watchdog_refinements;
+        break;
+      case RecoveryAction::kWatchdogRebound: ++counters.watchdog_rebounds; break;
+      case RecoveryAction::kAbort: break;  // counted via the tier, not here
+    }
+  }
+  return counters;
+}
+
+EscalationTier highest_tier(const RoundLedger& ledger) {
+  EscalationTier tier = EscalationTier::kNone;
+  const auto bump = [&tier](EscalationTier t) {
+    if (static_cast<int>(t) > static_cast<int>(tier)) tier = t;
+  };
+  for (const RecoveryEvent& e : ledger.recovery_events()) {
+    switch (e.action) {
+      case RecoveryAction::kRetry: bump(EscalationTier::kRetry); break;
+      case RecoveryAction::kRebuild: bump(EscalationTier::kRebuild); break;
+      case RecoveryAction::kDegrade: bump(EscalationTier::kDegrade); break;
+      case RecoveryAction::kCheckpointRestore:
+        bump(EscalationTier::kCheckpoint);
+        break;
+      case RecoveryAction::kAbort: bump(EscalationTier::kExhausted); break;
+      case RecoveryAction::kCheckpointSave:
+      case RecoveryAction::kWatchdogRestart:
+      case RecoveryAction::kWatchdogRefine:
+      case RecoveryAction::kWatchdogRebound:
+        break;  // bookkeeping, not escalation
+    }
+  }
+  return tier;
+}
+
+}  // namespace dls

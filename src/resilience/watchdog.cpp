@@ -1,0 +1,98 @@
+#include "resilience/watchdog.hpp"
+
+#include <cmath>
+
+namespace dls {
+
+const char* to_string(WatchdogSignal signal) {
+  switch (signal) {
+    case WatchdogSignal::kNone: return "none";
+    case WatchdogSignal::kNonFiniteVector: return "non-finite-vector";
+    case WatchdogSignal::kNonFiniteScalar: return "non-finite-scalar";
+    case WatchdogSignal::kResidualDivergence: return "residual-divergence";
+    case WatchdogSignal::kResidualStagnation: return "residual-stagnation";
+    case WatchdogSignal::kBetaExplosion: return "beta-explosion";
+  }
+  return "?";
+}
+
+bool all_finite(const std::vector<double>& v) {
+  for (double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+NumericalWatchdog::NumericalWatchdog(const WatchdogConfig& config)
+    : config_(config) {}
+
+WatchdogSignal NumericalWatchdog::raise(WatchdogSignal signal,
+                                        std::size_t iteration) {
+  report_.incidents.push_back({iteration, signal});
+  return signal;
+}
+
+WatchdogSignal NumericalWatchdog::check_vector(const std::vector<double>& v,
+                                               std::size_t iteration) {
+  if (!config_.enabled || all_finite(v)) return WatchdogSignal::kNone;
+  return raise(WatchdogSignal::kNonFiniteVector, iteration);
+}
+
+WatchdogSignal NumericalWatchdog::check_scalar(double value,
+                                               std::size_t iteration) {
+  if (!config_.enabled || std::isfinite(value)) return WatchdogSignal::kNone;
+  return raise(WatchdogSignal::kNonFiniteScalar, iteration);
+}
+
+WatchdogSignal NumericalWatchdog::observe_residual(double relative_residual,
+                                                   std::size_t iteration) {
+  if (!config_.enabled) return WatchdogSignal::kNone;
+  if (!std::isfinite(relative_residual)) {
+    return raise(WatchdogSignal::kNonFiniteScalar, iteration);
+  }
+  if (best_rel_ < 0.0) {
+    best_rel_ = relative_residual;
+    since_improvement_ = 0;
+    return WatchdogSignal::kNone;
+  }
+  if (relative_residual > config_.divergence_factor * best_rel_) {
+    return raise(WatchdogSignal::kResidualDivergence, iteration);
+  }
+  if (relative_residual < best_rel_) {
+    best_rel_ = relative_residual;
+    since_improvement_ = 0;
+    return WatchdogSignal::kNone;
+  }
+  if (++since_improvement_ >= config_.stagnation_window) {
+    return raise(WatchdogSignal::kResidualStagnation, iteration);
+  }
+  return WatchdogSignal::kNone;
+}
+
+WatchdogSignal NumericalWatchdog::observe_beta(double beta,
+                                               std::size_t iteration) {
+  if (!config_.enabled) return WatchdogSignal::kNone;
+  if (!std::isfinite(beta)) {
+    return raise(WatchdogSignal::kNonFiniteScalar, iteration);
+  }
+  if (std::abs(beta) > config_.beta_limit) {
+    return raise(WatchdogSignal::kBetaExplosion, iteration);
+  }
+  return WatchdogSignal::kNone;
+}
+
+bool NumericalWatchdog::allow_restart() {
+  if (report_.restarts >= config_.max_restarts) {
+    report_.gave_up = true;
+    return false;
+  }
+  ++report_.restarts;
+  return true;
+}
+
+void NumericalWatchdog::reset_residual_tracking() {
+  best_rel_ = -1.0;
+  since_improvement_ = 0;
+}
+
+}  // namespace dls

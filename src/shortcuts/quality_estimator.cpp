@@ -13,6 +13,12 @@ SqEstimate estimate_shortcut_quality(const Graph& g, Rng& rng,
                                      const std::vector<PartCollection>&
                                          extra_partitions) {
   DLS_REQUIRE(is_connected(g), "SQ estimation requires a connected graph");
+  // A single NaN/Inf edge weight silently poisons the diameter and stretch
+  // computations every sample depends on; fail typed at the boundary.
+  for (const Edge& e : g.edges()) {
+    DLS_REQUIRE(std::isfinite(e.weight) && e.weight > 0,
+                "SQ estimation requires finite positive edge weights");
+  }
   SqEstimate estimate;
   estimate.diameter = approx_diameter(g, rng, 4);
 

@@ -233,13 +233,21 @@ ReliableSendResult reliable_send(FaultyNetwork& net, NodeId from, NodeId to,
   // `backoff` rounds beyond that before retransmitting makes the clean-path
   // cost exactly one DATA + one ACK in 2 rounds even at initial_backoff = 1.
   std::uint64_t next_data_round = start_round;
+  std::uint32_t attempt = 0;
   bool ack_pending = false;
   for (;;) {
     const std::uint64_t now = net.rounds();
     if (!result.acked && now >= next_data_round) {
       net.send({from, to, edge, data_tag, payload, 1});
       ++result.data_sends;
-      next_data_round = now + 1 + backoff;
+      ++attempt;
+      // Jitter subtracts from the wait (never below 1 + backoff/2 rounds):
+      // concurrent senders that lost DATA in the same round stop
+      // retransmitting in lockstep, so a (round, edge)-keyed drop plan
+      // cannot re-collide every retry of every sender at once.
+      const std::uint32_t jitter = reliable_send_jitter(
+          options.jitter_seed, from, to, edge, seq, attempt, backoff);
+      next_data_round = now + 1 + backoff - jitter;
       backoff = std::min<std::uint32_t>(backoff * 2, options.max_backoff);
     }
     if (ack_pending) {
@@ -274,6 +282,27 @@ ReliableSendResult reliable_send(FaultyNetwork& net, NodeId from, NodeId to,
                "reliable_send livelocked: no ack and no timeout configured — "
                "set timeout_rounds or give the FaultPlan a finite horizon");
   }
+}
+
+std::uint32_t reliable_send_jitter(std::uint64_t jitter_seed, NodeId from,
+                                   NodeId to, EdgeId edge, std::uint64_t seq,
+                                   std::uint32_t attempt,
+                                   std::uint32_t backoff) {
+  const std::uint32_t span = backoff / 2;
+  if (span == 0) return 0;
+  // Same coordinate-hash idiom as FaultPlan::mix: fold each coordinate in
+  // under its own odd multiplier, splitmix64-finalize. Pure, so a replayed
+  // seed replays every retry schedule exactly.
+  std::uint64_t x = jitter_seed;
+  x ^= (static_cast<std::uint64_t>(from) + 1) * 0x9e3779b97f4a7c15ULL;
+  x ^= (static_cast<std::uint64_t>(to) + 1) * 0xbf58476d1ce4e5b9ULL;
+  x ^= (static_cast<std::uint64_t>(edge) + 1) * 0x94d049bb133111ebULL;
+  x ^= (seq + 1) * 0xd6e8feb86659fd93ULL;
+  x ^= (static_cast<std::uint64_t>(attempt) + 1) * 0xa0761d6478bd642fULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<std::uint32_t>(x % (span + 1));
 }
 
 }  // namespace dls

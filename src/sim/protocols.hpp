@@ -79,6 +79,14 @@ struct ReliableSendOptions {
   /// doubles after every silent wait, capped at max_backoff.
   std::uint32_t initial_backoff = 1;
   std::uint32_t max_backoff = 64;
+  /// Seed for the per-retransmission jitter that desynchronizes retry
+  /// schedules. Two senders that lose their first DATA in the same round
+  /// would otherwise retransmit in lockstep forever — under a drop plan that
+  /// keys on (round, edge) their retries re-collide at every attempt. The
+  /// jitter *subtracts* up to backoff/2 from the wait, so the spacing bounds
+  /// the overhead tests pin (≥ 2 rounds, ≤ 1 + max_backoff rounds) still
+  /// hold, and it is a pure hash — replaying a seed replays the schedule.
+  std::uint64_t jitter_seed = 0x9a7d1517c3b2f08bULL;
 };
 
 struct ReliableSendResult {
@@ -105,5 +113,15 @@ struct ReliableSendResult {
 ReliableSendResult reliable_send(FaultyNetwork& net, NodeId from, NodeId to,
                                  EdgeId edge, std::uint64_t seq, double payload,
                                  const ReliableSendOptions& options = {});
+
+/// The jitter reliable_send subtracts from its wait before retransmission
+/// number `attempt` (1-based) at the given current backoff: a pure hash of
+/// (seed, from, to, edge, seq, attempt) reduced into [0, backoff/2].
+/// Exposed so tests can assert both determinism and decorrelation of retry
+/// schedules across edges, sequence numbers, and attempts.
+std::uint32_t reliable_send_jitter(std::uint64_t jitter_seed, NodeId from,
+                                   NodeId to, EdgeId edge, std::uint64_t seq,
+                                   std::uint32_t attempt,
+                                   std::uint32_t backoff);
 
 }  // namespace dls

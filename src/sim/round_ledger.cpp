@@ -50,6 +50,19 @@ void RoundLedger::clear() {
   local_ = 0;
   global_ = 0;
   entries_.clear();
+  recovery_events_.clear();
+}
+
+void RoundLedger::record_recovery(RecoveryEvent event) {
+  recovery_events_.push_back(std::move(event));
+}
+
+std::size_t RoundLedger::recovery_count(RecoveryAction action) const {
+  std::size_t count = 0;
+  for (const RecoveryEvent& e : recovery_events_) {
+    if (e.action == action) ++count;
+  }
+  return count;
 }
 
 void RoundLedger::absorb(const RoundLedger& other, const std::string& prefix) {
@@ -57,8 +70,36 @@ void RoundLedger::absorb(const RoundLedger& other, const std::string& prefix) {
     entries_.push_back(
         {prefix + "/" + e.label, e.local_rounds, e.global_rounds, e.congestion});
   }
+  for (const RecoveryEvent& e : other.recovery_events_) {
+    recovery_events_.push_back(e);
+  }
   local_ += other.local_;
   global_ += other.global_;
+}
+
+const char* to_string(RecoveryAction action) {
+  switch (action) {
+    case RecoveryAction::kRetry: return "retry";
+    case RecoveryAction::kRebuild: return "rebuild";
+    case RecoveryAction::kDegrade: return "degrade";
+    case RecoveryAction::kCheckpointSave: return "checkpoint-save";
+    case RecoveryAction::kCheckpointRestore: return "checkpoint-restore";
+    case RecoveryAction::kWatchdogRestart: return "watchdog-restart";
+    case RecoveryAction::kWatchdogRefine: return "watchdog-refine";
+    case RecoveryAction::kWatchdogRebound: return "watchdog-rebound";
+    case RecoveryAction::kAbort: return "abort";
+  }
+  return "?";
+}
+
+std::string to_string(const RecoveryEvent& event) {
+  std::string out = to_string(event.action);
+  out += "(subject=" + std::to_string(event.subject) +
+         ", attempt=" + std::to_string(event.attempt) +
+         ", rounds_lost=" + std::to_string(event.rounds_lost);
+  if (!event.detail.empty()) out += ", " + event.detail;
+  out += ")";
+  return out;
 }
 
 }  // namespace dls

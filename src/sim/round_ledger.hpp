@@ -31,6 +31,41 @@ struct LedgerEntry {
   friend bool operator==(const LedgerEntry&, const LedgerEntry&) = default;
 };
 
+/// What a resilience layer did in response to a fault or numerical anomaly.
+/// These ride on the RoundLedger next to the entries so a solve's recovery
+/// path is part of its accounted trace: a clean run records none (keeping
+/// golden-trace equality untouched), a supervised faulted run records every
+/// escalation transition in order.
+enum class RecoveryAction : std::uint8_t {
+  kRetry,              // PA call re-attempted after a ChaosAbortError
+  kRebuild,            // shortcut structure rebuilt before re-attempting
+  kDegrade,            // oracle demoted to the spanning-tree baseline
+  kCheckpointSave,     // outer-iteration state snapshotted
+  kCheckpointRestore,  // outer iteration resumed from the last snapshot
+  kWatchdogRestart,    // iteration restarted after a numerical anomaly
+  kWatchdogRefine,     // iterative-refinement pass appended to a solve
+  kWatchdogRebound,    // Chebyshev eigenbounds re-estimated on divergence
+  kAbort,              // recovery budget exhausted; solve degraded
+};
+
+const char* to_string(RecoveryAction action);
+
+/// One recovery transition. `subject` identifies what recovered (a PA oracle
+/// instance id, a solver level, ...), `attempt` numbers the retries of one
+/// subject, and `rounds_lost` is the simulated work charged to the failed
+/// attempt the action responds to (0 when nothing was wasted).
+struct RecoveryEvent {
+  RecoveryAction action = RecoveryAction::kRetry;
+  std::uint64_t subject = 0;
+  std::uint32_t attempt = 0;
+  std::uint64_t rounds_lost = 0;
+  std::string detail;
+
+  friend bool operator==(const RecoveryEvent&, const RecoveryEvent&) = default;
+};
+
+std::string to_string(const RecoveryEvent& event);
+
 class RoundLedger {
  public:
   void charge_local(std::uint64_t rounds, const std::string& label);
@@ -56,21 +91,34 @@ class RoundLedger {
   const std::vector<LedgerEntry>& entries() const { return entries_; }
   void clear();
 
+  /// Appends a typed recovery record (see RecoveryEvent). Recovery events do
+  /// not move round totals — the rounds a recovery consumed are charged
+  /// through charge_local/charge_global as usual — they record *why*.
+  void record_recovery(RecoveryEvent event);
+  const std::vector<RecoveryEvent>& recovery_events() const {
+    return recovery_events_;
+  }
+  /// Number of recorded events of one action kind.
+  std::size_t recovery_count(RecoveryAction action) const;
+
   /// Merge a sub-ledger (e.g. an oracle call) under a prefix label.
   void absorb(const RoundLedger& other, const std::string& prefix);
 
-  /// Exact equality: same entries (labels, rounds, congestion) in the same
-  /// order. This is the "bit-identical ledger" relation the deterministic
-  /// batch runtime promises across thread counts.
+  /// Exact equality: same entries (labels, rounds, congestion) and the same
+  /// recovery trace in the same order. This is the "bit-identical ledger"
+  /// relation the deterministic batch runtime promises across thread counts;
+  /// clean runs record no recovery events, so the pinned golden traces are
+  /// unaffected by the resilience layer.
   friend bool operator==(const RoundLedger& a, const RoundLedger& b) {
     return a.local_ == b.local_ && a.global_ == b.global_ &&
-           a.entries_ == b.entries_;
+           a.entries_ == b.entries_ && a.recovery_events_ == b.recovery_events_;
   }
 
  private:
   std::uint64_t local_ = 0;
   std::uint64_t global_ = 0;
   std::vector<LedgerEntry> entries_;
+  std::vector<RecoveryEvent> recovery_events_;
 };
 
 }  // namespace dls

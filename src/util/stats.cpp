@@ -10,6 +10,13 @@ namespace dls {
 Summary summarize(std::vector<double> values) {
   Summary s;
   s.count = values.size();
+  // Exclude NaN/Inf up front: sort's ordering is undefined under NaN and one
+  // poisoned entry would corrupt every moment below.
+  const auto first_bad = std::remove_if(
+      values.begin(), values.end(), [](double v) { return !std::isfinite(v); });
+  s.non_finite = static_cast<std::size_t>(values.end() - first_bad);
+  s.finite = s.non_finite == 0;
+  values.erase(first_bad, values.end());
   if (values.empty()) return s;
   std::sort(values.begin(), values.end());
   s.min = values.front();
@@ -29,16 +36,28 @@ Summary summarize(std::vector<double> values) {
 LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y) {
   DLS_REQUIRE(x.size() == y.size(), "fit_linear needs matched series");
   DLS_REQUIRE(x.size() >= 2, "fit_linear needs at least two points");
-  const double n = static_cast<double>(x.size());
-  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  // Keep only pairs where both coordinates are finite; flag exclusions.
+  std::vector<double> fx, fy;
+  fx.reserve(x.size());
+  fy.reserve(y.size());
   for (std::size_t i = 0; i < x.size(); ++i) {
-    sx += x[i];
-    sy += y[i];
-    sxx += x[i] * x[i];
-    sxy += x[i] * y[i];
+    if (std::isfinite(x[i]) && std::isfinite(y[i])) {
+      fx.push_back(x[i]);
+      fy.push_back(y[i]);
+    }
+  }
+  LinearFit fit;
+  fit.finite = fx.size() == x.size();
+  if (fx.size() < 2) return fit;  // zeros, r² = 0: nothing fittable survived
+  const double n = static_cast<double>(fx.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < fx.size(); ++i) {
+    sx += fx[i];
+    sy += fy[i];
+    sxx += fx[i] * fx[i];
+    sxy += fx[i] * fy[i];
   }
   const double denom = n * sxx - sx * sx;
-  LinearFit fit;
   if (denom == 0.0) {
     fit.intercept = sy / n;
     fit.slope = 0.0;
@@ -49,10 +68,10 @@ LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y)
   fit.intercept = (sy - fit.slope * sx) / n;
   double ss_res = 0, ss_tot = 0;
   const double mean_y = sy / n;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const double pred = fit.intercept + fit.slope * x[i];
-    ss_res += (y[i] - pred) * (y[i] - pred);
-    ss_tot += (y[i] - mean_y) * (y[i] - mean_y);
+  for (std::size_t i = 0; i < fx.size(); ++i) {
+    const double pred = fit.intercept + fit.slope * fx[i];
+    ss_res += (fy[i] - pred) * (fy[i] - pred);
+    ss_tot += (fy[i] - mean_y) * (fy[i] - mean_y);
   }
   if (ss_tot > 0) {
     fit.r2 = 1.0 - ss_res / ss_tot;
@@ -69,16 +88,24 @@ LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y)
 
 PowerFit fit_power(const std::vector<double>& x, const std::vector<double>& y) {
   DLS_REQUIRE(x.size() == y.size(), "fit_power needs matched series");
+  DLS_REQUIRE(x.size() >= 2, "fit_power needs at least two points");
   std::vector<double> lx, ly;
   lx.reserve(x.size());
   ly.reserve(y.size());
+  bool finite = true;
   for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!std::isfinite(x[i]) || !std::isfinite(y[i])) {
+      finite = false;  // measurement anomaly: exclude and flag
+      continue;
+    }
     DLS_REQUIRE(x[i] > 0 && y[i] > 0, "fit_power needs positive data");
     lx.push_back(std::log(x[i]));
     ly.push_back(std::log(y[i]));
   }
-  const LinearFit lf = fit_linear(lx, ly);
   PowerFit pf;
+  pf.finite = finite;
+  if (lx.size() < 2) return pf;  // zeros, r² = 0
+  const LinearFit lf = fit_linear(lx, ly);
   pf.constant = std::exp(lf.intercept);
   pf.exponent = lf.slope;
   pf.r2 = lf.r2;

@@ -7,32 +7,46 @@
 
 namespace dls {
 
-/// Summary of a sample of real values.
+/// Summary of a sample of real values. Non-finite entries (NaN/Inf — e.g. a
+/// diverged solve's residual leaking into a measurement series) would poison
+/// every moment and scramble the order statistics, so they are excluded and
+/// flagged instead: `finite` is false and `non_finite` counts the exclusions,
+/// while the statistics describe the finite subset.
 struct Summary {
-  std::size_t count = 0;
+  std::size_t count = 0;  // total inputs, including excluded ones
   double mean = 0.0;
   double stddev = 0.0;
   double min = 0.0;
   double max = 0.0;
   double median = 0.0;
+  bool finite = true;
+  std::size_t non_finite = 0;
 };
 
 Summary summarize(std::vector<double> values);
 
-/// Least-squares fit of y ≈ a + b·x. Returns {a, b, r2}.
+/// Least-squares fit of y ≈ a + b·x. Returns {a, b, r2}. Pairs with a
+/// non-finite coordinate are excluded and flagged (`finite` = false); if
+/// fewer than two finite pairs remain the fit is all-zero with r² = 0 so a
+/// poisoned series can never masquerade as a good scaling fit.
 struct LinearFit {
   double intercept = 0.0;
   double slope = 0.0;
   double r2 = 0.0;
+  bool finite = true;
 };
 
 LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y);
 
 /// Fit y ≈ c·x^e on log–log scale. Returns exponent e, constant c and r².
+/// Non-finite pairs are excluded and flagged like fit_linear; finite but
+/// non-positive data still throws (it is a caller bug, not a measurement
+/// anomaly).
 struct PowerFit {
   double constant = 0.0;
   double exponent = 0.0;
   double r2 = 0.0;
+  bool finite = true;
 };
 
 PowerFit fit_power(const std::vector<double>& x, const std::vector<double>& y);

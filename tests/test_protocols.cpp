@@ -260,6 +260,66 @@ TEST(ReliableSend, ValidatesArguments) {
                std::invalid_argument);
 }
 
+// The retransmission jitter is a pure hash, bounded by half the backoff so
+// the spacing bounds the overhead tests pin stay intact.
+TEST(ReliableSend, JitterIsDeterministicAndBounded) {
+  for (std::uint32_t backoff : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    for (std::uint32_t attempt = 1; attempt <= 8; ++attempt) {
+      const std::uint32_t j =
+          reliable_send_jitter(0x1517, 0, 1, 0, /*seq=*/3, attempt, backoff);
+      EXPECT_LE(j, backoff / 2);
+      EXPECT_EQ(j, reliable_send_jitter(0x1517, 0, 1, 0, 3, attempt, backoff));
+    }
+  }
+  // backoff 1 admits no jitter — the clean path is untouched.
+  EXPECT_EQ(reliable_send_jitter(0x1517, 0, 1, 0, 3, 1, 1), 0u);
+}
+
+// Two senders that lose their first DATA in the same round must not
+// retransmit in lockstep forever: their jittered schedules have to diverge
+// somewhere within the first few attempts, on every coordinate that
+// distinguishes them (edge, seq, and the seed itself).
+TEST(ReliableSend, RetrySchedulesDecorrelate) {
+  const auto schedule = [](std::uint64_t seed, NodeId from, NodeId to,
+                           EdgeId edge, std::uint64_t seq) {
+    std::vector<std::uint32_t> waits;
+    std::uint32_t backoff = 4;
+    for (std::uint32_t attempt = 1; attempt <= 8; ++attempt) {
+      waits.push_back(1 + backoff - reliable_send_jitter(seed, from, to, edge,
+                                                         seq, attempt, backoff));
+      backoff = std::min<std::uint32_t>(backoff * 2, 64);
+    }
+    return waits;
+  };
+  const auto base = schedule(0x1517, 0, 1, 0, 1);
+  EXPECT_NE(base, schedule(0x1517, 1, 2, 1, 1));  // different edge
+  EXPECT_NE(base, schedule(0x1517, 0, 1, 0, 2));  // different seq
+  EXPECT_NE(base, schedule(0xabcd, 0, 1, 0, 1));  // different seed
+  // And the same coordinates replay the same schedule.
+  EXPECT_EQ(base, schedule(0x1517, 0, 1, 0, 1));
+}
+
+// Under a heavy synchronized drop pattern, jittered senders still deliver
+// exactly once and the retransmit spacing bounds hold.
+TEST(ReliableSend, JitteredRetriesStayWithinSpacingBounds) {
+  const Graph g = make_path(2);
+  FaultConfig config;
+  config.drop_rate = 0.5;
+  config.horizon = 150;
+  FaultPlan plan(11, config);
+  FaultyNetwork net(g, &plan);
+  ReliableSendOptions options;
+  options.initial_backoff = 2;
+  options.max_backoff = 8;
+  options.timeout_rounds = 400;
+  const ReliableSendResult r = reliable_send(net, 0, 1, 0, 9, 4.2, options);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_TRUE(r.acked);
+  // Jitter subtracts at most backoff/2, so spacing stays ≥ 1 + backoff/2 ≥ 2
+  // rounds: at most one DATA every other round, plus the initial send.
+  EXPECT_LE(r.data_sends, 1 + r.rounds / 2);
+}
+
 // Concurrent sequence numbers on the same edge do not confuse each other:
 // tags encode (seq << 1) | kind, so a stale DATA for another seq is ignored.
 TEST(ReliableSend, SequenceNumbersKeepSendsApart) {

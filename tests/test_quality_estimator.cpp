@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "shortcuts/quality_estimator.hpp"
@@ -62,6 +64,24 @@ TEST(SqEstimator, RejectsDisconnected) {
   g.add_edge(0, 1);
   Rng rng(6);
   EXPECT_THROW(estimate_shortcut_quality(g, rng), std::invalid_argument);
+}
+
+// A non-finite edge weight would silently poison the diameter and stretch
+// computations behind every sample. NaN already cannot enter a Graph (it
+// fails the positive-weight precondition); +Inf passes that comparison, so
+// the estimator must catch it typed at its own boundary.
+TEST(SqEstimator, RejectsNonFiniteWeights) {
+  Rng rng(7);
+  {
+    Graph g = make_path(6);
+    EXPECT_THROW(g.set_weight(2, std::numeric_limits<double>::quiet_NaN()),
+                 std::invalid_argument);
+  }
+  {
+    Graph g = make_path(6);
+    g.set_weight(0, std::numeric_limits<double>::infinity());
+    EXPECT_THROW(estimate_shortcut_quality(g, rng), std::invalid_argument);
+  }
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "util/flags.hpp"
@@ -130,6 +131,71 @@ TEST(Stats, DegenerateXReportsNoFit) {
   EXPECT_NEAR(f.slope, 0.0, 1e-12);
   EXPECT_NEAR(f.intercept, 5.0, 1e-12);
   EXPECT_DOUBLE_EQ(f.r2, 0.0);
+}
+
+TEST(Stats, SummaryExcludesAndFlagsNonFinite) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const Summary s = summarize({1.0, nan, 3.0, inf, 2.0, -inf});
+  EXPECT_FALSE(s.finite);
+  EXPECT_EQ(s.non_finite, 3u);
+  EXPECT_EQ(s.count, 6u);  // total inputs, poisoned ones included
+  // Statistics describe the finite subset {1, 2, 3}.
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+}
+
+TEST(Stats, SummaryAllNonFinite) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const Summary s = summarize({nan, nan});
+  EXPECT_FALSE(s.finite);
+  EXPECT_EQ(s.non_finite, 2u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);  // defaults, not NaN
+}
+
+TEST(Stats, LinearFitSkipsAndFlagsNonFinitePairs) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  // The poisoned pairs sit on a different line; excluding them must recover
+  // the clean fit exactly.
+  const LinearFit f =
+      fit_linear({1, 2, nan, 3, 4, 5}, {3, 5, 100.0, 7, inf, 11});
+  EXPECT_FALSE(f.finite);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, LinearFitAllPoisonedReturnsZeroNotNan) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const LinearFit f = fit_linear({nan, nan, nan}, {1.0, 2.0, 3.0});
+  EXPECT_FALSE(f.finite);
+  EXPECT_DOUBLE_EQ(f.slope, 0.0);
+  EXPECT_DOUBLE_EQ(f.intercept, 0.0);
+  EXPECT_DOUBLE_EQ(f.r2, 0.0);  // never reports a fit it did not make
+}
+
+TEST(Stats, PowerFitSkipsAndFlagsNonFinitePairs) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> x, y;
+  for (double v : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+    x.push_back(v);
+    y.push_back(3.0 * std::pow(v, 1.5));
+  }
+  x.push_back(64.0);
+  y.push_back(nan);
+  const PowerFit f = fit_power(x, y);
+  EXPECT_FALSE(f.finite);
+  EXPECT_NEAR(f.exponent, 1.5, 1e-9);
+  EXPECT_NEAR(f.constant, 3.0, 1e-9);
+}
+
+TEST(Stats, CleanSeriesStayFlaggedFinite) {
+  EXPECT_TRUE(summarize({1.0, 2.0}).finite);
+  EXPECT_TRUE(fit_linear({1, 2, 3}, {1, 2, 3}).finite);
+  EXPECT_TRUE(fit_power({1, 2, 4}, {1, 2, 4}).finite);
 }
 
 TEST(Table, RendersAlignedRows) {
