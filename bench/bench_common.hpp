@@ -5,8 +5,12 @@
 
 #include <chrono>
 #include <cmath>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -84,6 +88,40 @@ inline void print_wall_clock(const BenchRuntime& runtime, const WallTimer& t) {
   std::cout << "\nwall clock: " << t.seconds() << " s with " << runtime.threads
             << " thread(s) — reported rounds are thread-count invariant\n";
 }
+
+/// Flat metric sink for benches that support `--json PATH`. Keys are
+/// free-form slash paths (e.g. "grid/b16/t4/speedup"); values are doubles
+/// written with full round-trip precision. The file layout is deliberately
+/// trivial — `{"bench": ..., "metrics": {key: value, ...}}` with keys sorted —
+/// so scripts/bench_compare.py can diff two runs without a JSON library
+/// per-metric schema. Deterministic metrics (simulated rounds) diff exactly;
+/// wall-clock metrics diff within a noise threshold.
+class JsonMetrics {
+ public:
+  explicit JsonMetrics(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  void set(const std::string& key, double value) { metrics_[key] = value; }
+
+  /// No-op when `path` is empty (the bench was run without `--json`).
+  void write(const std::string& path) const {
+    if (path.empty()) return;
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open json output: " + path);
+    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"metrics\": {\n";
+    out << std::setprecision(17);
+    std::size_t i = 0;
+    for (const auto& [key, value] : metrics_) {
+      out << "    \"" << key << "\": " << value;
+      out << (++i < metrics_.size() ? ",\n" : "\n");
+    }
+    out << "  }\n}\n";
+    std::cout << "\nwrote " << metrics_.size() << " metrics to " << path << "\n";
+  }
+
+ private:
+  std::string name_;
+  std::map<std::string, double> metrics_;  // sorted ⇒ deterministic output
+};
 
 inline void banner(const std::string& id, const std::string& claim) {
   std::cout << "\n## " << id << " — " << claim << "\n\n";

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Diff two bench JSON metric files (the --json output of bench binaries).
+
+Usage:
+    bench_compare.py BASELINE.json CANDIDATE.json [--check]
+        [--threshold 0.15] [--check-pattern REGEX]
+
+Prints every metric present in either file with its relative delta. With
+--check, exits non-zero when a *wall-clock* metric whose key matches
+--check-pattern (default: the single-RHS rows, ``/b1/t[0-9]+/wall``)
+regressed by more than --threshold (default 15%): batching must never tax
+the plain one-RHS solve. Deterministic metrics (``rounds_*``) are also
+gated under --check — they are simulated round counts, so any drift at all
+between two runs of the same code is a determinism regression and fails
+exactly, with no threshold.
+
+Wall-clock comparisons are only meaningful between runs on the same
+machine; rounds comparisons are meaningful anywhere.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "metrics" not in doc or not isinstance(doc["metrics"], dict):
+        sys.exit(f"{path}: not a bench metrics file (missing 'metrics' object)")
+    return doc
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 on single-RHS wall regression or any rounds drift",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="max tolerated relative wall-clock regression (default 0.15)",
+    )
+    parser.add_argument(
+        "--check-pattern",
+        default=r"/b1/t[0-9]+/wall",
+        help="regex selecting the wall metrics gated by --check",
+    )
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+    a, b = base["metrics"], cand["metrics"]
+    keys = sorted(set(a) | set(b))
+
+    wall_gate = re.compile(args.check_pattern)
+    failures = []
+    width = max((len(k) for k in keys), default=10)
+    print(f"{'metric':<{width}}  {'baseline':>14}  {'candidate':>14}  {'delta':>8}")
+    for key in keys:
+        if key not in a or key not in b:
+            side = "baseline" if key in a else "candidate"
+            print(f"{key:<{width}}  {'only in ' + side:>40}")
+            continue
+        va, vb = a[key], b[key]
+        delta = (vb - va) / va if va != 0 else float("inf") if vb != 0 else 0.0
+        print(f"{key:<{width}}  {va:>14.6g}  {vb:>14.6g}  {delta:>+7.1%}")
+        if "/rounds_" in key or key.startswith("rounds_"):
+            if va != vb:
+                failures.append(f"{key}: rounds drifted {va:g} -> {vb:g} "
+                                "(simulated rounds must diff exactly)")
+        elif wall_gate.search(key) and delta > args.threshold:
+            failures.append(f"{key}: wall regression {delta:+.1%} "
+                            f"exceeds {args.threshold:.0%}")
+
+    if args.check and failures:
+        print(f"\nbench_compare: {len(failures)} check failure(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    if args.check:
+        print("\nbench_compare: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

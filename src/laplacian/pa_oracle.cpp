@@ -45,6 +45,93 @@ std::vector<double> CongestedPaOracle::aggregate(
   return results;
 }
 
+void CongestedPaOracle::warm(InstanceId instance) {
+  DLS_REQUIRE(instance < instances_.size(), "unknown oracle instance");
+  Prepared& prepared = instances_[instance];
+  if (prepared.measured) return;
+  measuring_instance_ = instance;
+  prepared.cost = measure(prepared.pc);
+  prepared.measured = true;
+}
+
+bool CongestedPaOracle::is_measured(InstanceId instance) const {
+  DLS_REQUIRE(instance < instances_.size(), "unknown oracle instance");
+  return instances_[instance].measured;
+}
+
+std::vector<double> CongestedPaOracle::aggregate_into(
+    InstanceId instance, const std::vector<std::vector<double>>& values,
+    const AggregationMonoid& monoid, RoundLedger& ledger,
+    std::uint64_t& pa_calls) const {
+  DLS_REQUIRE(instance < instances_.size(), "unknown oracle instance");
+  const Prepared& prepared = instances_[instance];
+  DLS_REQUIRE(prepared.measured,
+              "aggregate_into requires a warmed instance; call warm() before "
+              "fanning a batch out");
+  DLS_REQUIRE(values.size() == prepared.pc.num_parts(), "values mismatch");
+  ++pa_calls;
+  if (prepared.cost.local_rounds > 0) {
+    ledger.charge_local(prepared.cost.local_rounds, name() + "-pa",
+                        prepared.cost.congestion);
+  }
+  if (prepared.cost.global_rounds > 0) {
+    ledger.charge_global(prepared.cost.global_rounds, name() + "-pa",
+                         prepared.cost.congestion);
+  }
+  std::vector<double> results(prepared.pc.num_parts(), monoid.identity);
+  for (std::size_t i = 0; i < prepared.pc.num_parts(); ++i) {
+    DLS_REQUIRE(values[i].size() == prepared.pc.parts[i].size(),
+                "values size mismatch");
+    for (double v : values[i]) results[i] = monoid.op(results[i], v);
+  }
+  return results;
+}
+
+std::uint64_t CongestedPaOracle::batched_local_rounds(InstanceId instance,
+                                                      std::size_t n) const {
+  DLS_REQUIRE(instance < instances_.size(), "unknown oracle instance");
+  const Prepared& prepared = instances_[instance];
+  DLS_REQUIRE(prepared.measured, "batched cost requires a measured instance");
+  const std::uint64_t base = prepared.cost.local_rounds;
+  if (base == 0 || n == 0) return 0;
+  // Round-robin pipelining: copy k+1 starts once the busiest slot of copy k
+  // drains, i.e. max(1, peak slot occupancy) rounds behind it.
+  const std::uint64_t stride = std::max<std::uint64_t>(
+      1, prepared.cost.congestion.peak_slot_messages);
+  return base + static_cast<std::uint64_t>(n - 1) * stride;
+}
+
+std::uint64_t CongestedPaOracle::batched_global_rounds(InstanceId instance,
+                                                       std::size_t n) const {
+  DLS_REQUIRE(instance < instances_.size(), "unknown oracle instance");
+  const Prepared& prepared = instances_[instance];
+  DLS_REQUIRE(prepared.measured, "batched cost requires a measured instance");
+  const std::uint64_t base = prepared.cost.global_rounds;
+  if (base == 0 || n == 0) return 0;
+  return base + static_cast<std::uint64_t>(n - 1);
+}
+
+void CongestedPaOracle::charge_batched(InstanceId instance, std::size_t n,
+                                       RoundLedger& ledger) const {
+  if (n == 0) return;
+  const std::uint64_t local = batched_local_rounds(instance, n);
+  const std::uint64_t global = batched_global_rounds(instance, n);
+  const Prepared& prepared = instances_[instance];
+  // The n copies travel together, so the phase carries n× the traffic of one
+  // aggregation (slot peaks scale the same way — that is exactly why the
+  // pipeline stride above is the per-copy peak).
+  PhaseCongestion congestion = prepared.cost.congestion;
+  congestion.messages *= n;
+  congestion.peak_slot_messages *= n;
+  congestion.peak_round_messages *= n;
+  if (local > 0) {
+    ledger.charge_local(local, name() + "-pa-batched", congestion);
+  }
+  if (global > 0) {
+    ledger.charge_global(global, name() + "-pa-batched", congestion);
+  }
+}
+
 std::vector<double> CongestedPaOracle::aggregate_once(
     const PartCollection& pc, const std::vector<std::vector<double>>& values,
     const AggregationMonoid& monoid) {

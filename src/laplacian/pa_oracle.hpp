@@ -52,11 +52,48 @@ class CongestedPaOracle {
       const PartCollection& pc, const std::vector<std::vector<double>>& values,
       const AggregationMonoid& monoid);
 
+  /// Measures `instance` now if it has not been measured yet (running the
+  /// model-specific simulation exactly as the first aggregate() would) and
+  /// caches the cost. Charges nothing and counts no PA call — warming only
+  /// moves *when* the one-time measurement happens, never what it costs.
+  /// NOT thread-safe; call before fanning a batch out.
+  void warm(InstanceId instance);
+  bool is_measured(InstanceId instance) const;
+
+  /// Replays a measured instance into a caller-owned ledger: folds `values`
+  /// and charges `ledger` with exactly the entries aggregate() would have
+  /// charged the shared ledger, incrementing `pa_calls`. Touches no shared
+  /// mutable state, so concurrent calls on distinct ledgers are safe — this
+  /// is the per-RHS charging path of batched solves (docs/BATCHING.md).
+  std::vector<double> aggregate_into(
+      InstanceId instance, const std::vector<std::vector<double>>& values,
+      const AggregationMonoid& monoid, RoundLedger& ledger,
+      std::uint64_t& pa_calls) const;
+
+  /// Pipelined batch cost model: `n` concurrent aggregations over the same
+  /// measured instance share one congested phase. A schedule of R rounds
+  /// whose worst (edge,direction) slot carries c messages admits round-robin
+  /// pipelining of n copies in R + (n-1)·max(1, c) rounds — the batch is one
+  /// congested phase, not n naive replays. NCC schedules pipeline one global
+  /// round per extra copy.
+  std::uint64_t batched_local_rounds(InstanceId instance, std::size_t n) const;
+  std::uint64_t batched_global_rounds(InstanceId instance, std::size_t n) const;
+
+  /// Charges `ledger` one batched PA phase over `n` concurrent copies of the
+  /// measured instance (label name() + "-pa-batched", congestion attached).
+  void charge_batched(InstanceId instance, std::size_t n,
+                      RoundLedger& ledger) const;
+
+  /// Folds externally accounted PA phases (e.g. a batch fold that charged
+  /// this oracle's ledger through absorb()) into the pa_calls() counter.
+  void note_batched_pa_calls(std::uint64_t n) { pa_calls_ += n; }
+
   /// Charges one local-exchange round (each node sends one O(log n)-bit word
   /// to each neighbor) — the cost of a Laplacian matvec on the base graph.
   void charge_local_exchange(const std::string& label);
 
   const Graph& graph() const { return graph_; }
+  std::size_t num_instances() const { return instances_.size(); }
   RoundLedger& ledger() { return ledger_; }
   const RoundLedger& ledger() const { return ledger_; }
   std::uint64_t pa_calls() const { return pa_calls_; }

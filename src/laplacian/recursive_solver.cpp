@@ -106,23 +106,55 @@ DistributedLaplacianSolver::DistributedLaplacianSolver(
   DLS_ASSERT(levels_.back().is_base, "chain must terminate in a base level");
 }
 
-Vec DistributedLaplacianSolver::apply_matvec(std::size_t level, const Vec& x) {
+void DistributedLaplacianSolver::warm_instances() {
+  // Natural first-use order of a sequential solve: the global inner-product
+  // instance is touched first (the ‖b‖ dot), and — because the initial
+  // preconditioner application descends to the base case before any
+  // minor-level matvec runs — matvec instances are first touched on the
+  // recursion unwind, deepest non-base level first. Measurement is the only
+  // rng-consuming, oracle-mutating step of a solve, so matching that order
+  // exactly keeps the oracle's rng stream (and therefore every measured
+  // cost) identical to what N sequential solves would have produced. The
+  // base level's matvec instance is deliberately NOT warmed: a sequential
+  // solve never aggregates it (the base case gathers and solves locally).
+  oracle_.warm(global_instance_);
+  for (std::size_t l = levels_.size() - 1; l-- > 1;) {
+    if (levels_[l].has_matvec_instance) {
+      oracle_.warm(levels_[l].matvec_instance);
+    }
+  }
+}
+
+std::vector<double> DistributedLaplacianSolver::ctx_aggregate(
+    SolveContext& ctx, CongestedPaOracle::InstanceId instance,
+    const std::vector<std::vector<double>>& values) {
+  if (ctx.pa_counts != nullptr) ++(*ctx.pa_counts)[instance];
+  if (ctx.shared()) {
+    return oracle_.aggregate(instance, values, AggregationMonoid::sum());
+  }
+  return oracle_.aggregate_into(instance, values, AggregationMonoid::sum(),
+                                *ctx.ledger, ctx.pa_calls);
+}
+
+Vec DistributedLaplacianSolver::apply_matvec(SolveContext& ctx,
+                                             std::size_t level, const Vec& x) {
   Level& lv = levels_[level];
   if (level == 0) {
-    oracle_.charge_local_exchange("solver/matvec-L0");
+    ctx_ledger(ctx).charge_local(1, "solver/matvec-L0");
   } else if (lv.has_matvec_instance) {
-    oracle_.aggregate(lv.matvec_instance, lv.matvec_values,
-                      AggregationMonoid::sum());
+    ctx_aggregate(ctx, lv.matvec_instance, lv.matvec_values);
   }
   return laplacian_apply(lv.view, x);
 }
 
-double DistributedLaplacianSolver::charged_dot(const Vec& a, const Vec& b) {
-  oracle_.aggregate(global_instance_, global_values_, AggregationMonoid::sum());
+double DistributedLaplacianSolver::charged_dot(SolveContext& ctx, const Vec& a,
+                                               const Vec& b) {
+  ctx_aggregate(ctx, global_instance_, global_values_);
   return dot(a, b);
 }
 
-Vec DistributedLaplacianSolver::apply_preconditioner(std::size_t level,
+Vec DistributedLaplacianSolver::apply_preconditioner(SolveContext& ctx,
+                                                     std::size_t level,
                                                      const Vec& r) {
   Level& lv = levels_[level];
   DLS_ASSERT(!lv.is_base, "preconditioner requested at base level");
@@ -130,23 +162,26 @@ Vec DistributedLaplacianSolver::apply_preconditioner(std::size_t level,
   // crudely, back-substitute. The sweeps are local chains of the spliced
   // paths; charge the longest chain once per direction.
   if (lv.elim.max_chain_hops > 0) {
-    oracle_.ledger().charge_local(lv.elim.max_chain_hops, "solver/elim-forward");
+    ctx_ledger(ctx).charge_local(lv.elim.max_chain_hops,
+                                 "solver/elim-forward");
   }
   Vec reduced = lv.elim.forward_rhs(r);
   project_mean_zero(reduced);
   std::size_t inner_iters = 0;
   Vec schur_solution =
-      solve_level(level + 1, reduced, options_.inner_tolerance,
+      solve_level(ctx, level + 1, reduced, options_.inner_tolerance,
                   options_.inner_iterations, &inner_iters);
   if (lv.elim.max_chain_hops > 0) {
-    oracle_.ledger().charge_local(lv.elim.max_chain_hops, "solver/elim-backward");
+    ctx_ledger(ctx).charge_local(lv.elim.max_chain_hops,
+                                 "solver/elim-backward");
   }
   Vec extended = lv.elim.backward_solution(schur_solution, r);
   project_mean_zero(extended);
   return extended;
 }
 
-Vec DistributedLaplacianSolver::solve_level(std::size_t level, const Vec& b,
+Vec DistributedLaplacianSolver::solve_level(SolveContext& ctx,
+                                            std::size_t level, const Vec& b,
                                             double tol, std::size_t max_iter,
                                             std::size_t* iterations_out,
                                             std::vector<double>* history,
@@ -157,7 +192,7 @@ Vec DistributedLaplacianSolver::solve_level(std::size_t level, const Vec& b,
   if (iterations_out != nullptr) *iterations_out = 0;
   if (lv.is_base) {
     // Gather the base system's rhs to a leader, solve locally, scatter.
-    oracle_.ledger().charge_local(
+    ctx_ledger(ctx).charge_local(
         2 * (lv.minor.num_nodes + base_transfer_rounds_), "solver/base-case");
     Vec rhs = b;
     project_mean_zero(rhs);
@@ -170,7 +205,7 @@ Vec DistributedLaplacianSolver::solve_level(std::size_t level, const Vec& b,
   Vec rhs = b;
   project_mean_zero(rhs);
   Vec x(n, 0.0);
-  const double b_norm = std::sqrt(charged_dot(rhs, rhs));
+  const double b_norm = std::sqrt(charged_dot(ctx, rhs, rhs));
   if (b_norm == 0.0) return x;
   Vec r, z, p, r_prev;
   double rz = 0.0;
@@ -189,9 +224,9 @@ Vec DistributedLaplacianSolver::solve_level(std::size_t level, const Vec& b,
     if (history != nullptr) *history = resume->residual_history;
   } else {
     r = rhs;
-    z = apply_preconditioner(level, r);
+    z = apply_preconditioner(ctx, level, r);
     p = z;
-    rz = charged_dot(r, z);
+    rz = charged_dot(ctx, r, z);
     r_prev = r;
   }
   // Watchdog remediation: recompute the true residual from the current
@@ -199,16 +234,16 @@ Vec DistributedLaplacianSolver::solve_level(std::size_t level, const Vec& b,
   // the search direction to preconditioned steepest descent. A poisoned
   // iterate rewinds to zero.
   const auto pcg_restart = [&](WatchdogSignal signal) {
-    Vec lx = apply_matvec(level, x);
+    Vec lx = apply_matvec(ctx, level, x);
     project_mean_zero(lx);
     if (!all_finite(lx) || !all_finite(x)) {
       x.assign(n, 0.0);
       lx.assign(n, 0.0);
     }
     r = sub(rhs, lx);
-    z = apply_preconditioner(level, r);
+    z = apply_preconditioner(ctx, level, r);
     p = z;
-    rz = charged_dot(r, z);
+    rz = charged_dot(ctx, r, z);
     r_prev = r;
     wd->reset_residual_tracking();
     RecoveryEvent event;
@@ -216,10 +251,10 @@ Vec DistributedLaplacianSolver::solve_level(std::size_t level, const Vec& b,
     event.subject = level;
     event.attempt = static_cast<std::uint32_t>(wd->report().restarts);
     event.detail = to_string(signal);
-    oracle_.ledger().record_recovery(std::move(event));
+    ctx_ledger(ctx).record_recovery(std::move(event));
   };
   for (std::size_t it = start_it; it < max_iter; ++it) {
-    Vec ap = apply_matvec(level, p);
+    Vec ap = apply_matvec(ctx, level, p);
     project_mean_zero(ap);
     if (wd != nullptr &&
         wd->check_vector(ap, it) != WatchdogSignal::kNone) {
@@ -227,19 +262,33 @@ Vec DistributedLaplacianSolver::solve_level(std::size_t level, const Vec& b,
       pcg_restart(WatchdogSignal::kNonFiniteVector);
       continue;
     }
-    const double pap = charged_dot(p, ap);
+    const double pap = charged_dot(ctx, p, ap);
     if (wd != nullptr && wd->check_scalar(pap, it) != WatchdogSignal::kNone) {
       if (!wd->allow_restart()) break;
       pcg_restart(WatchdogSignal::kNonFiniteScalar);
       continue;
     }
-    if (pap <= 0.0) break;
+    // The curvature pᵀAp divides the step; a non-positive or vanishing value
+    // (relative to rz) means the recurrence broke down. Under a watchdog that
+    // is a typed kTinyDenominator restart — never a silent break that leaves
+    // a stale iterate unreported. Inner (un-watched) solves keep the historic
+    // silent break: they are crude by design and their caller re-residuals.
+    if (wd != nullptr) {
+      const WatchdogSignal signal = wd->check_denominator(rz, pap, it);
+      if (signal != WatchdogSignal::kNone) {
+        if (!wd->allow_restart()) break;
+        pcg_restart(signal);
+        continue;
+      }
+    } else if (pap <= 0.0) {
+      break;
+    }
     const double alpha = rz / pap;
     axpy(alpha, p, x);
     r_prev = r;
     axpy(-alpha, ap, r);
     if (iterations_out != nullptr) *iterations_out = it + 1;
-    const double rel = std::sqrt(charged_dot(r, r)) / b_norm;
+    const double rel = std::sqrt(charged_dot(ctx, r, r)) / b_norm;
     if (history != nullptr) history->push_back(rel);
     if (rel <= tol) break;
     if (wd != nullptr) {
@@ -253,7 +302,7 @@ Vec DistributedLaplacianSolver::solve_level(std::size_t level, const Vec& b,
     if (ckpt != nullptr && ckpt->due(it + 1)) {
       // One local round: every node stashes its own coordinates of the
       // recurrence state. Recorded so the ledger explains the extra rounds.
-      oracle_.ledger().charge_local(1, "solver/checkpoint");
+      ctx_ledger(ctx).charge_local(1, "solver/checkpoint");
       SolverCheckpoint snapshot;
       snapshot.iteration = it + 1;
       snapshot.x = x;
@@ -270,42 +319,44 @@ Vec DistributedLaplacianSolver::solve_level(std::size_t level, const Vec& b,
       event.attempt = static_cast<std::uint32_t>(ckpt->saves());
       event.rounds_lost = 0;
       event.detail = "outer iteration " + std::to_string(it + 1);
-      oracle_.ledger().record_recovery(std::move(event));
+      ctx_ledger(ctx).record_recovery(std::move(event));
     }
-    z = apply_preconditioner(level, r);
-    // Polak–Ribière: beta = zᵀ(r − r_prev) / rzₖ.
+    z = apply_preconditioner(ctx, level, r);
+    // Polak–Ribière: beta = zᵀ(r − r_prev) / rzₖ. The rz division is typed
+    // post-hoc: a vanishing rz blows |beta| up and observe_beta raises
+    // kBetaExplosion, so no silent-division path exists here either. (The
+    // dot is still skipped when rz == 0 exactly, as the charging always did.)
     Vec dr = sub(r, r_prev);
-    double beta = rz == 0.0 ? 0.0 : charged_dot(z, dr) / rz;
+    double beta = rz == 0.0 ? 0.0 : charged_dot(ctx, z, dr) / rz;
     if (wd != nullptr &&
         wd->observe_beta(beta, it) != WatchdogSignal::kNone) {
       if (!wd->allow_restart()) break;
       pcg_restart(WatchdogSignal::kBetaExplosion);
       continue;
     }
-    rz = charged_dot(r, z);
+    rz = charged_dot(ctx, r, z);
     for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
   }
   return x;
 }
 
-Vec DistributedLaplacianSolver::solve_top_chebyshev(const Vec& b,
-                                                    std::size_t* iterations_out,
-                                                    std::vector<double>* history,
-                                                    NumericalWatchdog* wd) {
+Vec DistributedLaplacianSolver::solve_top_chebyshev(
+    SolveContext& ctx, const Vec& b, std::size_t* iterations_out,
+    std::vector<double>* history, NumericalWatchdog* wd) {
   const std::size_t n = levels_[0].minor.num_nodes;
   Vec rhs = b;
   project_mean_zero(rhs);
   Vec x(n, 0.0);
-  const double b_norm = std::sqrt(charged_dot(rhs, rhs));
+  const double b_norm = std::sqrt(charged_dot(ctx, rhs, rhs));
   if (iterations_out != nullptr) *iterations_out = 0;
   if (b_norm == 0.0) return x;
 
   // Power iteration on M⁻¹L for λ_max (every apply is fully charged); the
   // chain is built so that λ_min(M⁻¹L) ≳ 1, and we pad both ends for safety.
   const auto apply_ml = [&](const Vec& v) {
-    Vec lv = apply_matvec(0, v);
+    Vec lv = apply_matvec(ctx, 0, v);
     project_mean_zero(lv);
-    Vec mlv = apply_preconditioner(0, lv);
+    Vec mlv = apply_preconditioner(ctx, 0, lv);
     project_mean_zero(mlv);
     return mlv;
   };
@@ -318,7 +369,7 @@ Vec DistributedLaplacianSolver::solve_top_chebyshev(const Vec& b,
     scale(v, 1.0 / seed_norm);
     for (std::size_t it = 0; it < options_.power_iterations; ++it) {
       Vec w = apply_ml(v);
-      const double norm = std::sqrt(charged_dot(w, w));
+      const double norm = std::sqrt(charged_dot(ctx, w, w));
       if (norm <= 0) break;
       lambda_max = norm;
       scale(w, 1.0 / norm);
@@ -326,13 +377,18 @@ Vec DistributedLaplacianSolver::solve_top_chebyshev(const Vec& b,
     }
     return lambda_max;
   };
-  double hi = 1.5 * std::max(estimate_lambda_max(rhs, b_norm), 1.0);
+  // Session eigenbound reuse (opt-in): a later batch slot adopts the λ_max a
+  // previous slot estimated, skipping its own charged power iteration.
+  double hi = ctx.reuse_hi != nullptr
+                  ? *ctx.reuse_hi
+                  : 1.5 * std::max(estimate_lambda_max(rhs, b_norm), 1.0);
+  if (ctx.publish_hi != nullptr) *ctx.publish_hi = hi;
   double lo = 0.25;  // the chain keeps M ⪰ c·L with modest c
   double theta = 0.5 * (hi + lo);
   double delta = 0.5 * (hi - lo);
 
   Vec r = rhs;
-  Vec z = apply_preconditioner(0, r);
+  Vec z = apply_preconditioner(ctx, 0, r);
   Vec p(n, 0.0);
   double alpha = 0.0, beta = 0.0;
   // Chebyshev's coefficients are position-dependent, so a rebound must rewind
@@ -350,7 +406,7 @@ Vec DistributedLaplacianSolver::solve_top_chebyshev(const Vec& b,
     delta = 0.5 * (hi - lo);
     x.assign(n, 0.0);
     r = rhs;
-    z = apply_preconditioner(0, r);
+    z = apply_preconditioner(ctx, 0, r);
     project_mean_zero(z);
     p.assign(n, 0.0);
     alpha = 0.0;
@@ -363,7 +419,7 @@ Vec DistributedLaplacianSolver::solve_top_chebyshev(const Vec& b,
     event.subject = 0;
     event.attempt = static_cast<std::uint32_t>(wd->report().rebounds);
     event.detail = to_string(signal);
-    oracle_.ledger().record_recovery(std::move(event));
+    ctx_ledger(ctx).record_recovery(std::move(event));
   };
   for (std::size_t it = 0; it < options_.max_outer_iterations; ++it) {
     if (k == 0) {
@@ -377,7 +433,7 @@ Vec DistributedLaplacianSolver::solve_top_chebyshev(const Vec& b,
     }
     ++k;
     axpy(alpha, p, x);
-    Vec lx = apply_matvec(0, x);
+    Vec lx = apply_matvec(ctx, 0, x);
     project_mean_zero(lx);
     r = sub(rhs, lx);
     if (iterations_out != nullptr) *iterations_out = it + 1;
@@ -386,7 +442,7 @@ Vec DistributedLaplacianSolver::solve_top_chebyshev(const Vec& b,
       rebound(WatchdogSignal::kNonFiniteVector, rhs, b_norm);
       continue;
     }
-    const double rel = std::sqrt(charged_dot(r, r)) / b_norm;
+    const double rel = std::sqrt(charged_dot(ctx, r, r)) / b_norm;
     if (history != nullptr) history->push_back(rel);
     if (rel <= options_.tolerance) break;
     if (wd != nullptr) {
@@ -397,22 +453,102 @@ Vec DistributedLaplacianSolver::solve_top_chebyshev(const Vec& b,
         continue;
       }
     }
-    z = apply_preconditioner(0, r);
+    z = apply_preconditioner(ctx, 0, r);
     project_mean_zero(z);
   }
   return x;
 }
 
 LaplacianSolveReport DistributedLaplacianSolver::solve(const Vec& b) {
+  SolveContext ctx;  // shared accounting: the historical single-RHS path
+  return solve_in_context(b, ctx);
+}
+
+void DistributedLaplacianSolver::reset_recovery_attribution() {
+  for (LevelStats& s : stats_) {
+    s.pa_retries = 0;
+    s.pa_rebuilds = 0;
+    s.pa_degradations = 0;
+    s.checkpoints_restored = 0;
+  }
+}
+
+void DistributedLaplacianSolver::fold_recovery_event(const RecoveryEvent& e,
+                                                     RecoveryCounters& counters,
+                                                     bool update_stats) {
+  counters.rounds_lost += e.rounds_lost;
+  // Attribute to a chain level: supervisor events carry the PA instance id,
+  // solver events the level index directly (only instance-subject actions
+  // below consult the mapping, so the overload is unambiguous).
+  std::size_t level = 0;  // global instance and solver events → level 0
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    if (levels_[l].has_matvec_instance &&
+        levels_[l].matvec_instance == e.subject) {
+      level = l;
+      break;
+    }
+  }
+  switch (e.action) {
+    case RecoveryAction::kRetry:
+      ++counters.retries;
+      if (update_stats && level < stats_.size()) ++stats_[level].pa_retries;
+      break;
+    case RecoveryAction::kRebuild:
+      ++counters.rebuilds;
+      if (update_stats && level < stats_.size()) ++stats_[level].pa_rebuilds;
+      break;
+    case RecoveryAction::kDegrade:
+      ++counters.degradations;
+      if (update_stats && level < stats_.size()) {
+        ++stats_[level].pa_degradations;
+      }
+      break;
+    case RecoveryAction::kCheckpointSave:
+      ++counters.checkpoints_saved;
+      break;
+    case RecoveryAction::kCheckpointRestore:
+      ++counters.checkpoints_restored;
+      if (update_stats && !stats_.empty()) ++stats_[0].checkpoints_restored;
+      break;
+    case RecoveryAction::kWatchdogRestart:
+      ++counters.watchdog_restarts;
+      break;
+    case RecoveryAction::kWatchdogRefine:
+      ++counters.watchdog_refinements;
+      break;
+    case RecoveryAction::kWatchdogRebound:
+      ++counters.watchdog_rebounds;
+      break;
+    case RecoveryAction::kAbort:
+      break;  // reflected in report.degraded, not a counter
+  }
+}
+
+LaplacianSolveReport DistributedLaplacianSolver::solve_in_context(
+    const Vec& b, SolveContext& ctx) {
   const Graph& g = oracle_.graph();
   DLS_REQUIRE(b.size() == g.num_nodes(), "rhs size mismatch");
-  DLS_REQUIRE(is_valid_rhs(b, 1e-6), "rhs has non-zero sum — not in range(L)");
+  // Any rhs is accepted: the component of b along the all-ones kernel of L is
+  // unsolvable, so it is projected away up front and the solve targets Πb
+  // (for b already in range(L) this is the identity up to roundoff). The
+  // reported residual is relative to Πb. A zero (or constant) rhs short
+  // circuits the iteration but still produces a fully populated report:
+  // converged, zero residual, zero iterations, and the rounds the degenerate
+  // path actually charged (the ‖b‖ inner product and the certificate).
+  Vec rhs = b;
+  project_mean_zero(rhs);
 
-  const std::uint64_t local_before = oracle_.ledger().total_local();
-  const std::uint64_t global_before = oracle_.ledger().total_global();
-  const std::uint64_t hybrid_before = oracle_.ledger().total_hybrid();
-  const std::uint64_t calls_before = oracle_.pa_calls();
-  const std::size_t events_before = oracle_.ledger().recovery_events().size();
+  RoundLedger& ledger = ctx_ledger(ctx);
+  const std::uint64_t local_before = ledger.total_local();
+  const std::uint64_t global_before = ledger.total_global();
+  const std::uint64_t hybrid_before = ledger.total_hybrid();
+  const std::uint64_t calls_before =
+      ctx.shared() ? oracle_.pa_calls() : ctx.pa_calls;
+  const std::size_t events_before = ledger.recovery_events().size();
+  // Per-solve attribution: level_stats() snapshots the most recent call, it
+  // does not accumulate across calls (batch slots leave stats_ to the
+  // session, which owns the whole-batch reset + attribution).
+  if (ctx.shared()) reset_recovery_attribution();
 
   LaplacianSolveReport report;
   NumericalWatchdog wd(options_.watchdog);
@@ -428,10 +564,10 @@ LaplacianSolveReport DistributedLaplacianSolver::solve(const Vec& b) {
       report.residual_history.clear();
       if (options_.outer == OuterIteration::kChebyshev &&
           !levels_[0].is_base) {
-        report.x =
-            solve_top_chebyshev(b, &iterations, &report.residual_history, &wd);
+        report.x = solve_top_chebyshev(ctx, rhs, &iterations,
+                                       &report.residual_history, &wd);
       } else {
-        report.x = solve_level(0, b, options_.tolerance,
+        report.x = solve_level(ctx, 0, rhs, options_.tolerance,
                                options_.max_outer_iterations, &iterations,
                                &report.residual_history, &ckpt, &wd, resume);
       }
@@ -443,9 +579,9 @@ LaplacianSolveReport DistributedLaplacianSolver::solve(const Vec& b) {
         event.subject = 0;
         event.attempt = static_cast<std::uint32_t>(ckpt.restores());
         event.detail = e.what();
-        oracle_.ledger().record_recovery(std::move(event));
+        ledger.record_recovery(std::move(event));
         DegradedResult degraded;
-        degraded.tier = highest_tier(oracle_.ledger());
+        degraded.tier = highest_tier(ledger);
         degraded.reason = e.what();
         degraded.completed_iterations = iterations;
         report.degraded = std::move(degraded);
@@ -475,7 +611,7 @@ LaplacianSolveReport DistributedLaplacianSolver::solve(const Vec& b) {
                          : std::string("no snapshot yet — replay from "
                                        "iteration 0: ") +
                                e.what();
-      oracle_.ledger().record_recovery(std::move(event));
+      ledger.record_recovery(std::move(event));
     }
   }
   report.outer_iterations = iterations;
@@ -486,15 +622,15 @@ LaplacianSolveReport DistributedLaplacianSolver::solve(const Vec& b) {
   if (options_.watchdog.enabled && options_.watchdog.refine_on_anomaly &&
       wd.triggered() && !report.degraded.has_value() &&
       all_finite(report.x)) {
-    oracle_.charge_local_exchange("solver/refine-residual");
-    Vec res = sub(b, laplacian_apply(g, report.x));
+    ctx_ledger(ctx).charge_local(1, "solver/refine-residual");
+    Vec res = sub(rhs, laplacian_apply(g, report.x));
     project_mean_zero(res);
     if (all_finite(res)) {
       std::size_t refine_iters = 0;
       Vec correction;
       try {
         correction =
-            solve_level(0, res, options_.tolerance,
+            solve_level(ctx, 0, res, options_.tolerance,
                         std::max<std::size_t>(iterations, 16), &refine_iters);
       } catch (const ChaosAbortError&) {
         correction.clear();  // refinement is best-effort; keep the iterate
@@ -507,7 +643,7 @@ LaplacianSolveReport DistributedLaplacianSolver::solve(const Vec& b) {
         event.subject = 0;
         event.attempt = static_cast<std::uint32_t>(refine_iters);
         event.detail = "post-anomaly refinement pass";
-        oracle_.ledger().record_recovery(std::move(event));
+        ledger.record_recovery(std::move(event));
       }
     }
   }
@@ -520,23 +656,20 @@ LaplacianSolveReport DistributedLaplacianSolver::solve(const Vec& b) {
   // the residual below is then local bookkeeping, not a distributed
   // certificate, and `converged` stays false.
   try {
-    oracle_.charge_local_exchange("solver/residual-check");
-    oracle_.aggregate(global_instance_, global_values_,
-                      AggregationMonoid::sum());
+    ctx_ledger(ctx).charge_local(1, "solver/residual-check");
+    ctx_aggregate(ctx, global_instance_, global_values_);
   } catch (const ChaosAbortError& e) {
     if (!report.degraded.has_value()) {
       DegradedResult degraded;
-      degraded.tier = highest_tier(oracle_.ledger());
+      degraded.tier = highest_tier(ledger);
       degraded.reason =
           std::string("convergence certificate failed: ") + e.what();
       degraded.completed_iterations = iterations;
       report.degraded = std::move(degraded);
     }
   }
-  Vec residual = sub(b, laplacian_apply(g, report.x));
+  Vec residual = sub(rhs, laplacian_apply(g, report.x));
   project_mean_zero(residual);
-  Vec rhs = b;
-  project_mean_zero(rhs);
   const double b_norm = norm2(rhs);
   report.relative_residual = b_norm > 0 ? norm2(residual) / b_norm : 0.0;
   report.converged = !report.degraded.has_value() &&
@@ -544,59 +677,18 @@ LaplacianSolveReport DistributedLaplacianSolver::solve(const Vec& b) {
   if (report.degraded.has_value()) {
     report.degraded->partial_residual = report.relative_residual;
   }
-  report.pa_calls = oracle_.pa_calls() - calls_before;
-  report.local_rounds = oracle_.ledger().total_local() - local_before;
-  report.global_rounds = oracle_.ledger().total_global() - global_before;
-  report.hybrid_rounds = oracle_.ledger().total_hybrid() - hybrid_before;
+  report.pa_calls =
+      (ctx.shared() ? oracle_.pa_calls() : ctx.pa_calls) - calls_before;
+  report.local_rounds = ledger.total_local() - local_before;
+  report.global_rounds = ledger.total_global() - global_before;
+  report.hybrid_rounds = ledger.total_hybrid() - hybrid_before;
   report.watchdog = wd.report();
 
-  // Fold this call's recovery events into counters and attribute them to
-  // chain levels: supervisor events carry the PA instance id, solver events
-  // the level index directly.
-  const auto& events = oracle_.ledger().recovery_events();
+  // Fold this call's recovery events into counters; shared contexts also
+  // attribute them to chain levels (batch slots defer that to the session).
+  const auto& events = ledger.recovery_events();
   for (std::size_t i = events_before; i < events.size(); ++i) {
-    const RecoveryEvent& e = events[i];
-    report.recovery.rounds_lost += e.rounds_lost;
-    std::size_t level = 0;  // global instance and solver events → level 0
-    for (std::size_t l = 0; l < levels_.size(); ++l) {
-      if (levels_[l].has_matvec_instance &&
-          levels_[l].matvec_instance == e.subject) {
-        level = l;
-        break;
-      }
-    }
-    switch (e.action) {
-      case RecoveryAction::kRetry:
-        ++report.recovery.retries;
-        if (level < stats_.size()) ++stats_[level].pa_retries;
-        break;
-      case RecoveryAction::kRebuild:
-        ++report.recovery.rebuilds;
-        if (level < stats_.size()) ++stats_[level].pa_rebuilds;
-        break;
-      case RecoveryAction::kDegrade:
-        ++report.recovery.degradations;
-        if (level < stats_.size()) ++stats_[level].pa_degradations;
-        break;
-      case RecoveryAction::kCheckpointSave:
-        ++report.recovery.checkpoints_saved;
-        break;
-      case RecoveryAction::kCheckpointRestore:
-        ++report.recovery.checkpoints_restored;
-        if (!stats_.empty()) ++stats_[0].checkpoints_restored;
-        break;
-      case RecoveryAction::kWatchdogRestart:
-        ++report.recovery.watchdog_restarts;
-        break;
-      case RecoveryAction::kWatchdogRefine:
-        ++report.recovery.watchdog_refinements;
-        break;
-      case RecoveryAction::kWatchdogRebound:
-        ++report.recovery.watchdog_rebounds;
-        break;
-      case RecoveryAction::kAbort:
-        break;  // reflected in report.degraded, not a counter
-    }
+    fold_recovery_event(events[i], report.recovery, ctx.shared());
   }
   return report;
 }

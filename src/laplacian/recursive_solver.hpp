@@ -73,8 +73,10 @@ struct LevelStats {
   std::size_t off_tree_kept = 0;
   std::size_t chain_hops = 0;       // longest elimination splice
   bool is_base = false;
-  /// Recovery attribution (updated by solve()): ladder transitions of PA
-  /// calls owned by this level plus outer-iteration checkpoint restores.
+  /// Recovery attribution of the MOST RECENT solve()/solve_batch() call
+  /// (reset at the start of each; they do not accumulate across calls):
+  /// ladder transitions of PA calls owned by this level plus outer-iteration
+  /// checkpoint restores.
   std::size_t pa_retries = 0;
   std::size_t pa_rebuilds = 0;
   std::size_t pa_degradations = 0;
@@ -104,15 +106,55 @@ struct LaplacianSolveReport {
   std::optional<DegradedResult> degraded;
 };
 
+class ThreadPool;
+
+/// Configuration of a multi-RHS solve session (docs/BATCHING.md).
+struct SolveSessionOptions {
+  /// Root seed of the per-RHS rng streams: slot i runs with an Rng seeded by
+  /// derive_scenario_seed(seed, i) — the SimBatch discipline. The current
+  /// solve kernels are rng-free after construction (which is why batch ≡
+  /// sequential bitwise), so the streams exist to keep any future randomized
+  /// remediation slot-deterministic rather than to feed today's numerics.
+  std::uint64_t seed = 0x5eed5e55u;
+  /// Chebyshev only: estimate λ_max once on slot 0 and reuse the bounds for
+  /// the remaining RHS of the batch, skipping their charged power iterations.
+  /// Opt-in because it breaks bit-identity with N sequential solves (the
+  /// reused bound was estimated from a different rhs); defaults preserve the
+  /// determinism contract.
+  bool reuse_chebyshev_eigenbounds = false;
+  /// Charge the oracle's shared ledger one pipelined "batch/…" phase per PA
+  /// call position instead of leaving the shared ledger untouched.
+  bool amortized_charging = true;
+};
+
 class DistributedLaplacianSolver {
  public:
   /// Builds the preconditioner chain for oracle.graph() (connected required).
   DistributedLaplacianSolver(CongestedPaOracle& oracle, Rng& rng,
                              const LaplacianSolverOptions& options = {});
 
-  /// Solves L x = b to the configured tolerance. Charges the oracle's ledger;
-  /// the report snapshots the totals accumulated by this call.
+  /// Solves L x = b to the configured tolerance. A rhs with non-zero sum is
+  /// projected onto range(L) up front (the solve then targets Πb, and the
+  /// reported residual is relative to Πb). Charges the oracle's ledger; the
+  /// report snapshots the totals accumulated by this call.
   LaplacianSolveReport solve(const Vec& b);
+
+  /// Batched multi-RHS solve through a one-shot SolveSession: reuses the
+  /// level hierarchy, base Cholesky factor, and measured oracle costs across
+  /// all RHS, fanning independent RHS out over `pool`. Entry i is
+  /// bit-identical to solve(bs[i]) on a fresh identically-seeded solver, for
+  /// every pool and batch size. See SolveSession for sticky options.
+  std::vector<LaplacianSolveReport> solve_batch(const std::vector<Vec>& bs,
+                                                ThreadPool* pool = nullptr);
+
+  /// Measures every oracle instance a solve would measure lazily, in the
+  /// exact order a fresh sequential solve would first touch them (the global
+  /// inner-product instance, then minor matvec instances deepest-first on
+  /// the recursion unwind). Idempotent; called by batch solves before
+  /// fanning out so the value-oblivious measurement — the only rng-consuming,
+  /// oracle-mutating step of a solve — never races and consumes the oracle's
+  /// rng stream exactly as N sequential solves would have.
+  void warm_instances();
 
   const std::vector<LevelStats>& level_stats() const { return stats_; }
   std::size_t num_levels() const { return levels_.size(); }
@@ -120,6 +162,8 @@ class DistributedLaplacianSolver {
   CongestedPaOracle& oracle() { return oracle_; }
 
  private:
+  friend class SolveSession;
+
   struct Level {
     MinorGraph minor;
     Graph view;  // minor.as_graph()
@@ -132,16 +176,47 @@ class DistributedLaplacianSolver {
     std::unique_ptr<GroundedCholesky> base_solver;
   };
 
-  Vec apply_matvec(std::size_t level, const Vec& x);
-  double charged_dot(const Vec& a, const Vec& b);
-  Vec apply_preconditioner(std::size_t level, const Vec& r);
+  /// Where one solve charges its communication. The default (ledger ==
+  /// nullptr) is the shared path: rounds go to the oracle's ledger and PA
+  /// calls bump the oracle's counter, exactly the historical behaviour. A
+  /// batch slot instead carries a private ledger + counter so concurrent
+  /// solves never touch shared mutable state (aggregate_into is const); the
+  /// session merges the private ledgers afterwards in slot order.
+  struct SolveContext {
+    RoundLedger* ledger = nullptr;  // nullptr → shared (oracle) accounting
+    std::uint64_t pa_calls = 0;     // private-path call count
+    /// Per-instance PA call counts (batch accounting; may be null). Indexed
+    /// by oracle InstanceId; sized by the session before fan-out.
+    std::vector<std::uint64_t>* pa_counts = nullptr;
+    /// Per-RHS rng stream (see SolveSessionOptions::seed).
+    Rng rng{0};
+    /// Chebyshev eigenbound reuse (session opt-in): when `reuse_hi` is set
+    /// the charged power iteration is skipped and *reuse_hi is used as the
+    /// λ_max estimate; when `publish_hi` is set the estimate actually used
+    /// is written there for later slots.
+    const double* reuse_hi = nullptr;
+    double* publish_hi = nullptr;
+
+    bool shared() const { return ledger == nullptr; }
+  };
+
+  RoundLedger& ctx_ledger(SolveContext& ctx) {
+    return ctx.shared() ? oracle_.ledger() : *ctx.ledger;
+  }
+  std::vector<double> ctx_aggregate(
+      SolveContext& ctx, CongestedPaOracle::InstanceId instance,
+      const std::vector<std::vector<double>>& values);
+  Vec apply_matvec(SolveContext& ctx, std::size_t level, const Vec& x);
+  double charged_dot(SolveContext& ctx, const Vec& a, const Vec& b);
+  Vec apply_preconditioner(SolveContext& ctx, std::size_t level, const Vec& r);
   /// Flexible PCG at `level`; returns (approximate) solution. `history`
   /// (optional) collects per-iteration relative residuals. The trailing
   /// resilience hooks are wired only on the top-level call: `ckpt` snapshots
   /// the recurrence every interval iterations, `wd` guards the numerics, and
   /// `resume` (a snapshot from a caught abort) restarts mid-recurrence.
-  Vec solve_level(std::size_t level, const Vec& b, double tol,
-                  std::size_t max_iter, std::size_t* iterations_out,
+  Vec solve_level(SolveContext& ctx, std::size_t level, const Vec& b,
+                  double tol, std::size_t max_iter,
+                  std::size_t* iterations_out,
                   std::vector<double>* history = nullptr,
                   CheckpointManager* ckpt = nullptr,
                   NumericalWatchdog* wd = nullptr,
@@ -151,9 +226,21 @@ class DistributedLaplacianSolver {
   /// then runs the classic two-term recurrence against the chain. On a
   /// watchdog divergence signal the eigenbounds are re-estimated (charged)
   /// and the recurrence restarts — the "rebound" remediation.
-  Vec solve_top_chebyshev(const Vec& b, std::size_t* iterations_out,
+  Vec solve_top_chebyshev(SolveContext& ctx, const Vec& b,
+                          std::size_t* iterations_out,
                           std::vector<double>* history,
                           NumericalWatchdog* wd = nullptr);
+  /// The full solve pipeline (outer iteration, recovery loop, refinement,
+  /// certificate, report assembly) charging through `ctx`. Shared contexts
+  /// additionally reset + update the per-level recovery attribution in
+  /// stats_; private (batch-slot) contexts leave stats_ to the session.
+  LaplacianSolveReport solve_in_context(const Vec& b, SolveContext& ctx);
+  /// Zeroes the per-solve recovery attribution fields of stats_.
+  void reset_recovery_attribution();
+  /// Folds one recovery event into `counters` and (when update_stats) the
+  /// per-level attribution of stats_.
+  void fold_recovery_event(const RecoveryEvent& e, RecoveryCounters& counters,
+                           bool update_stats);
 
   CongestedPaOracle& oracle_;
   LaplacianSolverOptions options_;
@@ -162,6 +249,45 @@ class DistributedLaplacianSolver {
   CongestedPaOracle::InstanceId global_instance_ = 0;
   std::vector<std::vector<double>> global_values_;  // charging template
   std::uint64_t base_transfer_rounds_ = 0;  // gather+scatter cost of base case
+};
+
+/// A multi-RHS solve session over one DistributedLaplacianSolver
+/// (docs/BATCHING.md). The session owns nothing heavyweight — the hierarchy,
+/// base factor, and measured oracle costs live in the solver and are shared
+/// by construction — it owns the batch bookkeeping: per-slot private ledgers,
+/// the slot-indexed merge, the amortized "one congested phase, not N
+/// replays" charge to the oracle's shared ledger, and the per-level recovery
+/// attribution.
+///
+/// Determinism contract: solve_batch(bs, pool)[i] is bit-identical to
+/// solve(bs[i]) on a fresh identically-seeded solver — same x, same report,
+/// same per-slot ledger entries — for every pool (including none) and every
+/// batch size, provided reuse_chebyshev_eigenbounds stays off.
+class SolveSession {
+ public:
+  explicit SolveSession(DistributedLaplacianSolver& solver,
+                        const SolveSessionOptions& options = {});
+
+  /// Solves the batch; entry i answers bs[i]. RHS fan out across `pool`
+  /// (nullptr → inline); results merge in slot order.
+  std::vector<LaplacianSolveReport> solve_batch(const std::vector<Vec>& bs,
+                                                ThreadPool* pool = nullptr);
+
+  /// Amortized accounting of the most recent batch (what was absorbed into
+  /// the oracle's ledger under the "batch/" prefix when amortized_charging
+  /// is on): pipelined PA phases + bandwidth-bound local phases.
+  const RoundLedger& last_batch_ledger() const { return batch_ledger_; }
+  std::uint64_t batches_run() const { return batches_run_; }
+  std::uint64_t rhs_solved() const { return rhs_solved_; }
+
+ private:
+  DistributedLaplacianSolver& solver_;
+  SolveSessionOptions options_;
+  RoundLedger batch_ledger_;
+  std::uint64_t batches_run_ = 0;
+  std::uint64_t rhs_solved_ = 0;
+  bool has_cached_hi_ = false;
+  double cached_hi_ = 0.0;  // Chebyshev λ_max reuse (opt-in)
 };
 
 }  // namespace dls

@@ -1,0 +1,184 @@
+// Batched multi-RHS solve sessions (docs/BATCHING.md).
+//
+// A SolveSession runs N independent right-hand sides against ONE solver:
+// the level hierarchy, base Cholesky factor, and the oracle's measured PA
+// costs are built/measured once and shared by all RHS. Determinism follows
+// the SimBatch discipline: every slot gets a private RoundLedger, a private
+// PA-call counter, and a splitmix-derived rng stream; slots never touch
+// shared mutable state while in flight (oracle replay is const), and all
+// merging happens afterwards on the calling thread in slot order. The result
+// is bit-identical to N sequential solve() calls for every thread count.
+#include <exception>
+#include <map>
+
+#include "laplacian/recursive_solver.hpp"
+#include "sim/sim_batch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dls {
+
+SolveSession::SolveSession(DistributedLaplacianSolver& solver,
+                           const SolveSessionOptions& options)
+    : solver_(solver), options_(options) {}
+
+std::vector<LaplacianSolveReport> SolveSession::solve_batch(
+    const std::vector<Vec>& bs, ThreadPool* pool) {
+  const std::size_t k = bs.size();
+  batch_ledger_.clear();
+  ++batches_run_;
+  std::vector<LaplacianSolveReport> reports(k);
+  if (k == 0) return reports;
+
+  // Measurement — the only rng-consuming, oracle-mutating step of a solve —
+  // happens up front on this thread, in the exact order sequential solves
+  // would have triggered it lazily. After this, every slot only *replays*
+  // cached costs. A ChaosAbortError here (fault injection during a measure
+  // run) propagates to the caller exactly as it would from solve().
+  solver_.warm_instances();
+
+  const std::size_t num_instances = solver_.oracle_.num_instances();
+  std::vector<RoundLedger> ledgers(k);
+  std::vector<std::vector<std::uint64_t>> pa_counts(
+      k, std::vector<std::uint64_t>(num_instances, 0));
+  std::vector<std::exception_ptr> errors(k);
+
+  const bool reuse_bounds =
+      options_.reuse_chebyshev_eigenbounds &&
+      solver_.options_.outer == OuterIteration::kChebyshev &&
+      !solver_.levels_[0].is_base;
+
+  const auto run_slot = [&](std::size_t i, const double* reuse_hi,
+                            double* publish_hi) {
+    try {
+      DistributedLaplacianSolver::SolveContext ctx;
+      ctx.ledger = &ledgers[i];
+      ctx.pa_counts = &pa_counts[i];
+      ctx.rng = Rng(derive_scenario_seed(options_.seed, i));
+      ctx.reuse_hi = reuse_hi;
+      ctx.publish_hi = publish_hi;
+      reports[i] = solver_.solve_in_context(bs[i], ctx);
+    } catch (...) {
+      // ThreadPool tasks must not throw; park the exception in this slot and
+      // rethrow in slot order after the barrier so failures are as
+      // deterministic as successes.
+      errors[i] = std::current_exception();
+    }
+  };
+
+  std::size_t first_parallel = 0;
+  if (reuse_bounds && !has_cached_hi_) {
+    // Slot 0 estimates λ_max (charged, on its own private ledger); the rest
+    // of the batch — and later batches of this session — reuse it.
+    run_slot(0, nullptr, &cached_hi_);
+    if (errors[0] == nullptr) has_cached_hi_ = true;
+    first_parallel = 1;
+  }
+  const double* reuse_hi = reuse_bounds && has_cached_hi_ ? &cached_hi_ : nullptr;
+  if (pool == nullptr) {
+    for (std::size_t i = first_parallel; i < k; ++i) {
+      run_slot(i, reuse_hi, nullptr);
+    }
+  } else {
+    pool->parallel_for(k - first_parallel, [&](std::size_t j) {
+      run_slot(first_parallel + j, reuse_hi, nullptr);
+    });
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    if (errors[i] != nullptr) std::rethrow_exception(errors[i]);
+  }
+
+  // ---- Slot-ordered merge (single-threaded from here on). ----
+
+  // Per-level recovery attribution: the batch is one "call" for stats_
+  // purposes — reset once, then fold every slot's events in slot order.
+  solver_.reset_recovery_attribution();
+  RecoveryCounters scratch;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (const RecoveryEvent& e : ledgers[i].recovery_events()) {
+      solver_.fold_recovery_event(e, scratch, /*update_stats=*/true);
+    }
+  }
+
+  // Amortized accounting of the whole batch: instead of replaying k solves
+  // onto the oracle's ledger, the batch charges pipelined group phases.
+  //
+  //   * PA phases group positionally per instance: the p-th aggregate call
+  //     on an instance across all slots runs as ONE congested phase of
+  //     R + (n−1)·max(1, peak-slot) local rounds (G + (n−1) global), n being
+  //     the number of slots that reached position p.
+  //   * Non-PA local phases (matvec-L0 exchanges, elimination chains, base
+  //     transfers, checkpoints) are bandwidth-bound — every RHS ships its own
+  //     words — and group positionally per label at h + (n−1) rounds: a
+  //     1-round exchange degenerates to n rounds (no savings), an h-hop
+  //     chain pipelines.
+  //
+  // The fold is grouped (instances ascending, then labels lexicographic,
+  // positions ascending) rather than interleaved in phase order; totals are
+  // what matter for the shared ledger, and the grouping is deterministic.
+  std::uint64_t pa_groups = 0;
+  for (CongestedPaOracle::InstanceId inst = 0; inst < num_instances; ++inst) {
+    std::uint64_t max_calls = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      max_calls = std::max(max_calls, pa_counts[i][inst]);
+    }
+    for (std::uint64_t pos = 0; pos < max_calls; ++pos) {
+      std::size_t n = 0;
+      for (std::size_t i = 0; i < k; ++i) {
+        if (pa_counts[i][inst] > pos) ++n;
+      }
+      solver_.oracle_.charge_batched(inst, n, batch_ledger_);
+      ++pa_groups;
+    }
+  }
+  const std::string pa_label = solver_.oracle_.name() + "-pa";
+  std::map<std::string, std::vector<std::vector<const LedgerEntry*>>> by_label;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (const LedgerEntry& e : ledgers[i].entries()) {
+      if (e.label == pa_label) continue;  // folded above via charge_batched
+      auto& slots = by_label[e.label];
+      if (slots.empty()) slots.resize(k);
+      slots[i].push_back(&e);
+    }
+  }
+  for (const auto& [label, slots] : by_label) {
+    std::size_t max_len = 0;
+    for (const auto& list : slots) max_len = std::max(max_len, list.size());
+    for (std::size_t pos = 0; pos < max_len; ++pos) {
+      std::size_t n = 0;
+      std::uint64_t local = 0, global = 0;
+      for (const auto& list : slots) {
+        if (list.size() <= pos) continue;
+        ++n;
+        local = std::max(local, list[pos]->local_rounds);
+        global = std::max(global, list[pos]->global_rounds);
+      }
+      if (local > 0) {
+        batch_ledger_.charge_local(local + (n - 1), label);
+      }
+      if (global > 0) {
+        batch_ledger_.charge_global(global + (n - 1), label);
+      }
+    }
+  }
+  // Recovery events ride along in slot order so the shared ledger keeps the
+  // full typed trace of what every slot's resilience layer did.
+  for (std::size_t i = 0; i < k; ++i) {
+    for (const RecoveryEvent& e : ledgers[i].recovery_events()) {
+      batch_ledger_.record_recovery(e);
+    }
+  }
+  if (options_.amortized_charging) {
+    solver_.oracle_.ledger().absorb(batch_ledger_, "batch");
+    solver_.oracle_.note_batched_pa_calls(pa_groups);
+  }
+  rhs_solved_ += k;
+  return reports;
+}
+
+std::vector<LaplacianSolveReport> DistributedLaplacianSolver::solve_batch(
+    const std::vector<Vec>& bs, ThreadPool* pool) {
+  SolveSession session(*this);
+  return session.solve_batch(bs, pool);
+}
+
+}  // namespace dls

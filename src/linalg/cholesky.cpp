@@ -4,6 +4,7 @@
 
 #include "graph/algorithms.hpp"
 #include "linalg/laplacian.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dls {
 
@@ -81,6 +82,55 @@ Vec GroundedCholesky::solve(const Vec& b) const {
   }
   project_mean_zero(x);
   return x;
+}
+
+Vec GroundedCholesky::solve(const Vec& b, ThreadPool* pool) const {
+  DLS_REQUIRE(b.size() == n_, "solve: rhs size mismatch");
+  DLS_REQUIRE(is_valid_rhs(b, 1e-6), "solve: rhs not in range(L)");
+  const std::size_t m = n_ - 1;
+  Vec rb(m);
+  {
+    std::size_t next = 0;
+    for (NodeId v = 0; v < n_; ++v) {
+      if (v != ground_) rb[next++] = b[v];
+    }
+  }
+  // Forward substitution L y = rb; row i's prefix dot is a blocked reduction.
+  Vec y(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    y[i] = (rb[i] - blocked_dot_range(l_[i].data(), y.data(), i, pool)) /
+           l_[i][i];
+  }
+  // Back substitution Lᵀ z = y. The column access of Lᵀ defeats the range
+  // kernel; keep the tail fold left-to-right so bits stay pool-invariant.
+  Vec z(m);
+  for (std::size_t ii = m; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double sum = y[i];
+    for (std::size_t k = i + 1; k < m; ++k) sum -= l_[k][i] * z[k];
+    z[i] = sum / l_[i][i];
+  }
+  Vec x(n_, 0.0);
+  {
+    std::size_t next = 0;
+    for (NodeId v = 0; v < n_; ++v) {
+      if (v != ground_) x[v] = z[next++];
+    }
+  }
+  project_mean_zero(x, pool);
+  return x;
+}
+
+std::vector<Vec> GroundedCholesky::solve_batch(const std::vector<Vec>& bs,
+                                               ThreadPool* pool) const {
+  std::vector<Vec> xs(bs.size());
+  const auto body = [&](std::size_t i) { xs[i] = solve(bs[i]); };
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < bs.size(); ++i) body(i);
+  } else {
+    pool->parallel_for(bs.size(), body);
+  }
+  return xs;
 }
 
 }  // namespace dls

@@ -20,6 +20,18 @@ class GroundedCholesky {
   /// Solves Lx = b (Σb = 0 required) exactly; returns mean-zero x.
   Vec solve(const Vec& b) const;
 
+  /// Blocked-reduction apply: the substitution row dots run through
+  /// blocked_dot_range so a large factor's inner products fan out across the
+  /// pool with thread-count-invariant bits (the row recurrence itself is
+  /// inherently sequential). solve(b, pool) equals solve(b, nullptr) exactly
+  /// for every pool.
+  Vec solve(const Vec& b, ThreadPool* pool) const;
+
+  /// Independent right-hand sides in parallel: entry i is bit-identical to
+  /// solve(bs[i]) regardless of the pool (each RHS writes only its own slot).
+  std::vector<Vec> solve_batch(const std::vector<Vec>& bs,
+                               ThreadPool* pool = nullptr) const;
+
   std::size_t dimension() const { return n_; }
 
  private:

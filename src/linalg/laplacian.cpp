@@ -1,6 +1,9 @@
 #include "linalg/laplacian.hpp"
 
+#include <algorithm>
 #include <cmath>
+
+#include "util/thread_pool.hpp"
 
 namespace dls {
 
@@ -11,6 +14,30 @@ Vec laplacian_apply(const Graph& g, const Vec& x) {
     const double diff = x[e.u] - x[e.v];
     y[e.u] += e.weight * diff;
     y[e.v] -= e.weight * diff;
+  }
+  return y;
+}
+
+Vec laplacian_apply(const Graph& g, const Vec& x, ThreadPool* pool) {
+  DLS_REQUIRE(x.size() == g.num_nodes(), "laplacian_apply: size mismatch");
+  const std::size_t n = g.num_nodes();
+  Vec y(n, 0.0);
+  const std::size_t blocks = n == 0 ? 0 : (n - 1) / kKernelBlock + 1;
+  const auto body = [&](std::size_t b) {
+    const std::size_t lo = b * kKernelBlock;
+    const std::size_t hi = std::min(n, lo + kKernelBlock);
+    for (std::size_t v = lo; v < hi; ++v) {
+      double acc = 0.0;
+      for (const Adjacency& adj : g.neighbors(static_cast<NodeId>(v))) {
+        acc += g.edge(adj.edge).weight * (x[v] - x[adj.neighbor]);
+      }
+      y[v] = acc;
+    }
+  };
+  if (blocks <= 1 || pool == nullptr) {
+    for (std::size_t b = 0; b < blocks; ++b) body(b);
+  } else {
+    pool->parallel_for(blocks, body);
   }
   return y;
 }

@@ -15,6 +15,14 @@ namespace dls {
 /// charge rounds for it.
 Vec laplacian_apply(const Graph& g, const Vec& x);
 
+/// Blocked parallel matvec: node-major over fixed node blocks, so each block
+/// writes only its own y entries and the result is bit-identical for any
+/// thread count (see vector_ops.hpp for the determinism rule). Note the fp
+/// association is node-major (per-node adjacency fold), which differs in the
+/// last bits from the edge-major sequential form above — the two are distinct
+/// deterministic kernels, each self-consistent.
+Vec laplacian_apply(const Graph& g, const Vec& x, ThreadPool* pool);
+
 /// xᵀ L x = Σ_e w_e (x_u − x_v)² — the energy / L-seminorm squared.
 double laplacian_quadratic_form(const Graph& g, const Vec& x);
 

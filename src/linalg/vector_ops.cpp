@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/assert.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dls {
 
@@ -54,6 +55,109 @@ double max_abs_diff(const Vec& a, const Vec& b) {
     best = std::max(best, std::abs(a[i] - b[i]));
   }
   return best;
+}
+
+namespace {
+
+inline std::size_t num_blocks(std::size_t n) {
+  return n == 0 ? 0 : (n - 1) / kKernelBlock + 1;
+}
+
+/// Runs body(block) for every fixed-size block. A single block (or a null
+/// pool) runs inline — there is nothing to fan out and the parallel_for setup
+/// cost would dominate.
+void for_each_block(std::size_t n, ThreadPool* pool,
+                    const std::function<void(std::size_t)>& body) {
+  const std::size_t blocks = num_blocks(n);
+  if (blocks <= 1 || pool == nullptr) {
+    for (std::size_t b = 0; b < blocks; ++b) body(b);
+    return;
+  }
+  pool->parallel_for(blocks, body);
+}
+
+/// Blocked reduction skeleton: per-block left-to-right partials, combined in
+/// block-index order. The combine is serial regardless of the pool, which is
+/// exactly what makes the result thread-count-invariant.
+template <typename PerBlock>
+double blocked_reduce(std::size_t n, ThreadPool* pool, PerBlock per_block) {
+  const std::size_t blocks = num_blocks(n);
+  if (blocks <= 1) return blocks == 0 ? 0.0 : per_block(0, n);
+  std::vector<double> partials(blocks, 0.0);
+  for_each_block(n, pool, [&](std::size_t b) {
+    const std::size_t lo = b * kKernelBlock;
+    const std::size_t hi = std::min(n, lo + kKernelBlock);
+    partials[b] = per_block(lo, hi - lo);
+  });
+  double sum = 0.0;
+  for (double p : partials) sum += p;  // ordered combine
+  return sum;
+}
+
+}  // namespace
+
+double blocked_dot_range(const double* a, const double* b, std::size_t n,
+                         ThreadPool* pool) {
+  return blocked_reduce(n, pool, [&](std::size_t lo, std::size_t len) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < len; ++i) sum += a[lo + i] * b[lo + i];
+    return sum;
+  });
+}
+
+double blocked_dot(const Vec& a, const Vec& b, ThreadPool* pool) {
+  DLS_REQUIRE(a.size() == b.size(), "blocked_dot: size mismatch");
+  return blocked_dot_range(a.data(), b.data(), a.size(), pool);
+}
+
+double blocked_sum(const Vec& a, ThreadPool* pool) {
+  return blocked_reduce(a.size(), pool, [&](std::size_t lo, std::size_t len) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < len; ++i) sum += a[lo + i];
+    return sum;
+  });
+}
+
+double blocked_norm2(const Vec& a, ThreadPool* pool) {
+  return std::sqrt(blocked_dot(a, a, pool));
+}
+
+void blocked_axpy(double alpha, const Vec& x, Vec& y, ThreadPool* pool) {
+  DLS_REQUIRE(x.size() == y.size(), "blocked_axpy: size mismatch");
+  for_each_block(x.size(), pool, [&](std::size_t b) {
+    const std::size_t lo = b * kKernelBlock;
+    const std::size_t hi = std::min(x.size(), lo + kKernelBlock);
+    for (std::size_t i = lo; i < hi; ++i) y[i] += alpha * x[i];
+  });
+}
+
+void blocked_scale(Vec& a, double s, ThreadPool* pool) {
+  for_each_block(a.size(), pool, [&](std::size_t b) {
+    const std::size_t lo = b * kKernelBlock;
+    const std::size_t hi = std::min(a.size(), lo + kKernelBlock);
+    for (std::size_t i = lo; i < hi; ++i) a[i] *= s;
+  });
+}
+
+Vec blocked_sub(const Vec& a, const Vec& b, ThreadPool* pool) {
+  DLS_REQUIRE(a.size() == b.size(), "blocked_sub: size mismatch");
+  Vec r(a.size());
+  for_each_block(a.size(), pool, [&](std::size_t blk) {
+    const std::size_t lo = blk * kKernelBlock;
+    const std::size_t hi = std::min(a.size(), lo + kKernelBlock);
+    for (std::size_t i = lo; i < hi; ++i) r[i] = a[i] - b[i];
+  });
+  return r;
+}
+
+void project_mean_zero(Vec& a, ThreadPool* pool) {
+  if (a.empty()) return;
+  const double mean = blocked_sum(a, pool) / static_cast<double>(a.size());
+  for_each_block(a.size(), pool, [&](std::size_t b) {
+    const std::size_t lo = b * kKernelBlock;
+    const std::size_t hi = std::min(a.size(), lo + kKernelBlock);
+    for (std::size_t i = lo; i < hi; ++i) a[i] -= mean;
+  });
 }
 
 }  // namespace dls

@@ -1,13 +1,31 @@
 // Dense vector helpers for the Laplacian solvers. Vectors over graph nodes
 // are plain std::vector<double>; for a connected graph the Laplacian's kernel
 // is the all-ones vector, so solvers work in the mean-zero subspace.
+//
+// Every reduction kernel here also exists in a *blocked* form that may fan
+// out across a ThreadPool. The blocked kernels follow one determinism rule:
+// block boundaries are fixed (kKernelBlock entries, independent of the pool
+// or thread count), each block's partial is accumulated left-to-right, and
+// the partials are combined in block-index order. The floating-point result
+// is therefore a pure function of the inputs — a null pool, a 1-thread pool
+// and an N-thread pool all produce the same bits — and for inputs of at most
+// kKernelBlock entries it equals the plain sequential loop exactly.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 namespace dls {
 
+class ThreadPool;
+
 using Vec = std::vector<double>;
+
+/// Fixed block length of the deterministic blocked reductions. Chosen large
+/// enough that per-block scheduling overhead is negligible and small enough
+/// that a million-node vector still exposes hundreds of blocks of
+/// parallelism.
+inline constexpr std::size_t kKernelBlock = 4096;
 
 double dot(const Vec& a, const Vec& b);
 double norm2(const Vec& a);
@@ -24,5 +42,23 @@ void project_mean_zero(Vec& a);
 
 /// Max |a_i - b_i|.
 double max_abs_diff(const Vec& a, const Vec& b);
+
+// --- Deterministic blocked kernels (thread-count-invariant fp results) ----
+
+/// Σ a_i b_i over fixed blocks, partials combined in block order. With
+/// `pool == nullptr` the blocks run serially; either way the bits match.
+double blocked_dot(const Vec& a, const Vec& b, ThreadPool* pool = nullptr);
+/// Range variant for sub-vectors (used by the Cholesky substitution rows).
+double blocked_dot_range(const double* a, const double* b, std::size_t n,
+                         ThreadPool* pool = nullptr);
+double blocked_sum(const Vec& a, ThreadPool* pool = nullptr);
+double blocked_norm2(const Vec& a, ThreadPool* pool = nullptr);
+/// Element-wise kernels: each block writes only its own entries, so the
+/// result is trivially thread-count-invariant.
+void blocked_axpy(double alpha, const Vec& x, Vec& y, ThreadPool* pool = nullptr);
+void blocked_scale(Vec& a, double s, ThreadPool* pool = nullptr);
+Vec blocked_sub(const Vec& a, const Vec& b, ThreadPool* pool = nullptr);
+/// project_mean_zero with a blocked mean reduction + blocked subtraction.
+void project_mean_zero(Vec& a, ThreadPool* pool);
 
 }  // namespace dls

@@ -12,6 +12,7 @@ const char* to_string(WatchdogSignal signal) {
     case WatchdogSignal::kResidualDivergence: return "residual-divergence";
     case WatchdogSignal::kResidualStagnation: return "residual-stagnation";
     case WatchdogSignal::kBetaExplosion: return "beta-explosion";
+    case WatchdogSignal::kTinyDenominator: return "tiny-denominator";
   }
   return "?";
 }
@@ -77,6 +78,20 @@ WatchdogSignal NumericalWatchdog::observe_beta(double beta,
   }
   if (std::abs(beta) > config_.beta_limit) {
     return raise(WatchdogSignal::kBetaExplosion, iteration);
+  }
+  return WatchdogSignal::kNone;
+}
+
+WatchdogSignal NumericalWatchdog::check_denominator(double numerator,
+                                                    double denominator,
+                                                    std::size_t iteration) {
+  if (!config_.enabled) return WatchdogSignal::kNone;
+  if (!std::isfinite(numerator) || !std::isfinite(denominator)) {
+    return raise(WatchdogSignal::kNonFiniteScalar, iteration);
+  }
+  if (denominator <= 0.0 ||
+      std::abs(numerator) > config_.denominator_limit * denominator) {
+    return raise(WatchdogSignal::kTinyDenominator, iteration);
   }
   return WatchdogSignal::kNone;
 }

@@ -40,6 +40,12 @@ enum class WatchdogSignal : std::uint8_t {
   kResidualDivergence,
   kResidualStagnation,
   kBetaExplosion,
+  /// A recurrence divisor (pap = pᵀAp or rz = rᵀz in PCG) is non-positive or
+  /// so small relative to its numerator that the quotient would blow past
+  /// denominator_limit — dividing would poison the step. Raised typed so the
+  /// loop restarts (or fails with a recorded trace) instead of silently
+  /// breaking with a stale iterate.
+  kTinyDenominator,
 };
 
 const char* to_string(WatchdogSignal signal);
@@ -55,6 +61,11 @@ struct WatchdogConfig {
   double divergence_factor = 1e4;
   /// |Polak–Ribière beta| above this is kBetaExplosion.
   double beta_limit = 1e8;
+  /// check_denominator raises kTinyDenominator when |numerator| exceeds
+  /// denominator_limit × denominator (or the denominator is not positive).
+  /// Healthy PCG steps have |alpha| = rz/pap within a few orders of
+  /// magnitude of 1, so the default never trips on a sound recurrence.
+  double denominator_limit = 1e14;
   /// Restarts the owning loop may spend per solve before giving up.
   std::size_t max_restarts = 3;
   /// Append one iterative-refinement pass to a solve on which any signal
@@ -98,6 +109,11 @@ class NumericalWatchdog {
   WatchdogSignal observe_residual(double relative_residual,
                                   std::size_t iteration);
   WatchdogSignal observe_beta(double beta, std::size_t iteration);
+  /// Guards a division numerator/denominator in the recurrence: raises
+  /// kTinyDenominator when the denominator is non-positive or the quotient
+  /// magnitude would exceed denominator_limit.
+  WatchdogSignal check_denominator(double numerator, double denominator,
+                                   std::size_t iteration);
 
   /// True (and consumes one unit of budget) iff a restart may be applied;
   /// once the budget is gone the report is marked gave_up and the owning

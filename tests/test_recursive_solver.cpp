@@ -199,7 +199,17 @@ TEST(RecursiveSolver, RejectsBadRhs) {
   Rng rng(12);
   ShortcutPaOracle oracle(g, rng);
   DistributedLaplacianSolver solver(oracle, rng, quick_options());
-  EXPECT_THROW(solver.solve(Vec(16, 1.0)), std::invalid_argument);
+  // Wrong dimension is still rejected outright …
+  EXPECT_THROW(solver.solve(Vec(15, 1.0)), std::invalid_argument);
+  // … but a rhs outside range(L) is now projected onto it instead of being
+  // rejected: a constant rhs projects to zero, so the solve reports a clean
+  // converged zero solution with a fully populated report.
+  const LaplacianSolveReport report = solver.solve(Vec(16, 1.0));
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(report.outer_iterations, 0u);
+  EXPECT_EQ(report.relative_residual, 0.0);
+  EXPECT_EQ(norm2(report.x), 0.0);
+  EXPECT_GT(report.local_rounds, 0u);  // ‖b‖ dot + certificate were charged
 }
 
 TEST(RecursiveSolver, RejectsDisconnected) {
