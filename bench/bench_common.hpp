@@ -16,6 +16,8 @@
 
 #include "graph/graph.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "resilience/recovery.hpp"
 #include "resilience/solve_supervisor.hpp"
 #include "shortcuts/partition.hpp"
@@ -29,6 +31,35 @@
 
 namespace dls::bench {
 
+/// `--trace PATH` session: installs an ambient tracer for the rest of the
+/// bench run and writes the Chrome trace-event JSON (load in Perfetto /
+/// chrome://tracing; docs/OBSERVABILITY.md) on teardown, when the runtime
+/// goes out of scope at the end of main. Span cursors tick in simulated
+/// rounds, so the emitted trace is as deterministic as the bench's tables.
+struct TraceSession {
+  explicit TraceSession(std::string out_path)
+      : path(std::move(out_path)),
+        tracer(std::make_unique<Tracer>()),
+        scope(std::make_unique<TraceScope>(tracer.get())) {}
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+  ~TraceSession() {
+    scope.reset();  // uninstall before export: the stream must be final
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot open trace output: " << path << "\n";
+      return;
+    }
+    out << chrome_trace_json(*tracer);
+    std::cout << "wrote " << tracer->spans().size() << " spans to " << path
+              << "\n";
+  }
+
+  std::string path;
+  std::unique_ptr<Tracer> tracer;
+  std::unique_ptr<TraceScope> scope;
+};
+
 /// Shared `--threads N` runtime for the experiment drivers. All simulation
 /// numbers a bench reports are thread-count invariant (the SimBatch
 /// determinism contract); the thread count only moves wall-clock time.
@@ -38,14 +69,17 @@ struct BenchRuntime {
   /// `--supervisor=off|retry|degrade`: whether drivers that solve through a
   /// PA oracle wrap it in the recovery ladder (resilience/solve_supervisor).
   SupervisorMode supervisor = SupervisorMode::kOff;
+  /// `--trace PATH`: hierarchical span trace of the whole run (null when the
+  /// flag is absent — the default path stays untraced and bit-identical).
+  std::unique_ptr<TraceSession> trace;
 
   /// The pool to hand to SimBatch / solver options (null ⇒ serial).
   ThreadPool* pool_ptr() const { return pool.get(); }
 };
 
-/// Parses `--threads N` (default 1; 0 means all hardware threads) and
-/// `--supervisor MODE` (default off) and spins up the worker pool. Unknown
-/// flags still error via Flags.
+/// Parses `--threads N` (default 1; 0 means all hardware threads),
+/// `--supervisor MODE` (default off) and `--trace PATH` (default off) and
+/// spins up the worker pool. Unknown flags still error via Flags.
 inline BenchRuntime bench_runtime(int argc, const char* const* argv) {
   const Flags flags(argc, argv);
   BenchRuntime runtime;
@@ -56,6 +90,10 @@ inline BenchRuntime bench_runtime(int argc, const char* const* argv) {
     runtime.pool = std::make_unique<ThreadPool>(runtime.threads);
   }
   runtime.supervisor = supervisor_mode_from_string(flags.get("supervisor", "off"));
+  const std::string trace_path = flags.get("trace", "");
+  if (!trace_path.empty()) {
+    runtime.trace = std::make_unique<TraceSession>(trace_path);
+  }
   return runtime;
 }
 

@@ -57,6 +57,9 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const bool smoke = flags.get_bool("smoke", false);
   const std::string json_path = flags.get("json", "");
+  std::unique_ptr<TraceSession> trace;
+  const std::string trace_path = flags.get("trace", "");
+  if (!trace_path.empty()) trace = std::make_unique<TraceSession>(trace_path);
 
   banner("multi-RHS batching",
          "solve_batch vs sequential solves: wall clock + amortized rounds");

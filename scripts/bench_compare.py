@@ -25,10 +25,25 @@ import sys
 
 
 def load(path):
-    with open(path) as f:
-        doc = json.load(f)
-    if "metrics" not in doc or not isinstance(doc["metrics"], dict):
-        sys.exit(f"{path}: not a bench metrics file (missing 'metrics' object)")
+    """Loads one bench metrics file, exiting with a one-line diagnosis (never
+    a traceback) when the baseline is missing or malformed — the common CI
+    failure mode is a stale or absent baseline artifact."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except FileNotFoundError:
+        sys.exit(f"bench_compare: {path}: no such file "
+                 "(generate it with `<bench> --json {path}`)")
+    except IsADirectoryError:
+        sys.exit(f"bench_compare: {path}: is a directory, expected a bench "
+                 "metrics JSON file")
+    except json.JSONDecodeError as e:
+        sys.exit(f"bench_compare: {path}: not valid JSON ({e.msg} at "
+                 f"line {e.lineno} column {e.colno})")
+    if not isinstance(doc, dict) or "metrics" not in doc \
+            or not isinstance(doc["metrics"], dict):
+        sys.exit(f"bench_compare: {path}: not a bench metrics file "
+                 "(missing 'metrics' object)")
     return doc
 
 

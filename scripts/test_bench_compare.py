@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_compare.py's failure modes and check gates.
+
+Run directly (`python3 scripts/test_bench_compare.py`) or via unittest/pytest
+discovery; CI runs them next to the C++ suites so a refactor of the compare
+script cannot silently turn its diagnostics back into tracebacks.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "bench_compare.py")
+
+
+def run_compare(*args):
+    return subprocess.run(
+        [sys.executable, SCRIPT, *args], capture_output=True, text=True)
+
+
+def write_metrics(directory, name, metrics, bench="test"):
+    path = os.path.join(directory, name)
+    with open(path, "w") as f:
+        json.dump({"bench": bench, "metrics": metrics}, f)
+    return path
+
+
+class BenchCompareDiagnostics(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.good = write_metrics(self.dir.name, "good.json",
+                                  {"grid/b1/t1/wall": 1.0,
+                                   "grid/rounds_total": 812.0})
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def assert_clean_failure(self, result, needle):
+        """Non-zero exit, a one-line message containing `needle`, NO
+        traceback."""
+        self.assertNotEqual(result.returncode, 0)
+        combined = result.stdout + result.stderr
+        self.assertIn(needle, combined)
+        self.assertNotIn("Traceback", combined)
+
+    def test_missing_baseline_fails_cleanly(self):
+        missing = os.path.join(self.dir.name, "nope.json")
+        result = run_compare(missing, self.good, "--check")
+        self.assert_clean_failure(result, "no such file")
+        self.assertIn("nope.json", result.stdout + result.stderr)
+
+    def test_malformed_json_fails_cleanly(self):
+        bad = os.path.join(self.dir.name, "bad.json")
+        with open(bad, "w") as f:
+            f.write("{ not json ]")
+        result = run_compare(bad, self.good, "--check")
+        self.assert_clean_failure(result, "not valid JSON")
+
+    def test_wrong_schema_fails_cleanly(self):
+        bad = write_metrics(self.dir.name, "schema.json", {})
+        with open(bad, "w") as f:
+            json.dump({"bench": "x"}, f)  # no "metrics" object
+        result = run_compare(bad, self.good, "--check")
+        self.assert_clean_failure(result, "missing 'metrics' object")
+
+    def test_directory_argument_fails_cleanly(self):
+        result = run_compare(self.dir.name, self.good, "--check")
+        self.assert_clean_failure(result, "is a directory")
+
+    def test_self_compare_passes(self):
+        result = run_compare(self.good, self.good, "--check")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("all checks passed", result.stdout)
+
+    def test_rounds_drift_fails_exactly(self):
+        drifted = write_metrics(self.dir.name, "drift.json",
+                                {"grid/b1/t1/wall": 1.0,
+                                 "grid/rounds_total": 813.0})
+        result = run_compare(self.good, drifted, "--check")
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("rounds drifted", result.stderr)
+
+    def test_wall_regression_gated_by_threshold(self):
+        slower = write_metrics(self.dir.name, "slow.json",
+                               {"grid/b1/t1/wall": 1.3,
+                                "grid/rounds_total": 812.0})
+        result = run_compare(self.good, slower, "--check")
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("wall regression", result.stderr)
+        relaxed = run_compare(self.good, slower, "--check",
+                              "--threshold", "0.5")
+        self.assertEqual(relaxed.returncode, 0, relaxed.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Schema validation for Chrome trace-event JSON emitted by the tracer
+(src/obs/trace_export.cpp): the CI gate behind uploaded .trace.json
+artifacts.
+
+Checks, per file:
+  * the file parses as JSON with a ``traceEvents`` array,
+  * every event carries name/ph/pid/tid/ts,
+  * duration events are well-nested: within each (pid, tid) lane the B/E
+    pairs balance like parentheses, matching names LIFO, and timestamps
+    never decrease,
+  * no lane is left with an unclosed B at end of stream.
+
+Usage: validate_trace.py TRACE.json [TRACE2.json ...]
+Exits non-zero with one line per defect.
+"""
+
+import json
+import sys
+
+
+def validate(path):
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except FileNotFoundError:
+        return [f"{path}: no such file"]
+    except json.JSONDecodeError as e:
+        return [f"{path}: not valid JSON ({e.msg} at line {e.lineno})"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: missing 'traceEvents' array"]
+
+    stacks = {}  # (pid, tid) -> [(name, ts), ...]
+    last_ts = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors.append(f"{path}: event {i} is not an object")
+            continue
+        phase = event.get("ph")
+        if phase == "M":  # metadata: names lanes, no timestamp semantics
+            if "name" not in event or "pid" not in event:
+                errors.append(f"{path}: metadata event {i} missing name/pid")
+            continue
+        missing = [k for k in ("name", "ph", "pid", "tid") if k not in event]
+        if missing:
+            errors.append(f"{path}: event {i} missing {missing}")
+            continue
+        if "ts" not in event:
+            errors.append(f"{path}: event {i} ({event['name']}) missing ts")
+            continue
+        lane = (event["pid"], event["tid"])
+        ts = event["ts"]
+        if ts < last_ts.get(lane, 0):
+            errors.append(f"{path}: event {i} ({event['name']}) goes back in "
+                          f"time on lane {lane}: {ts} < {last_ts[lane]}")
+        last_ts[lane] = ts
+        if phase == "B":
+            stacks.setdefault(lane, []).append((event["name"], ts))
+        elif phase == "E":
+            stack = stacks.setdefault(lane, [])
+            if not stack:
+                errors.append(f"{path}: event {i} E '{event['name']}' on lane "
+                              f"{lane} without a matching B")
+                continue
+            name, begin_ts = stack.pop()
+            if name != event["name"]:
+                errors.append(f"{path}: event {i} E '{event['name']}' closes "
+                              f"'{name}' (B/E must nest LIFO)")
+            if ts < begin_ts:
+                errors.append(f"{path}: event {i} '{event['name']}' ends "
+                              f"before it begins ({ts} < {begin_ts})")
+        elif phase not in ("I", "X", "C"):
+            errors.append(f"{path}: event {i} has unknown phase '{phase}'")
+    for lane, stack in stacks.items():
+        for name, _ in stack:
+            errors.append(f"{path}: unclosed B '{name}' on lane {lane}")
+    if not errors:
+        n_events = sum(1 for e in events
+                       if isinstance(e, dict) and e.get("ph") in ("B", "E"))
+        print(f"{path}: ok ({n_events} span events, "
+              f"{len(last_ts)} timeline(s))")
+    return errors
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    failures = []
+    for path in sys.argv[1:]:
+        failures.extend(validate(path))
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

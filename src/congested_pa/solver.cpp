@@ -5,6 +5,8 @@
 #include <unordered_map>
 
 #include "graph/algorithms.hpp"
+#include "obs/ledger_clock.hpp"
+#include "obs/metrics.hpp"
 #include "shortcuts/construction.hpp"
 #include "util/thread_pool.hpp"
 
@@ -36,21 +38,19 @@ std::uint64_t transfer_rounds(const Graph& g,
   return worst;
 }
 
-}  // namespace
-
-CongestedPaOutcome solve_congested_pa(
-    const Graph& g, const PartCollection& pc,
-    const std::vector<std::vector<double>>& values,
-    const AggregationMonoid& monoid, Rng& rng,
-    const CongestedPaOptions& options) {
-  DLS_REQUIRE(values.size() == pc.num_parts(), "values per part mismatch");
-  DLS_REQUIRE(options.faults == nullptr || options.model != PaModel::kNcc,
-              "fault injection targets the CONGEST message plane; the NCC "
-              "clique model has no edge slots to fault");
-  CongestedPaOutcome outcome;
+/// Core of solve_congested_pa, writing into a caller-owned outcome. The
+/// split keeps the tracing scopes in the public wrapper strictly inside the
+/// outcome's lifetime: span close reads the outcome ledger's cursors, which
+/// must not race the return-value move.
+void solve_congested_pa_into(const Graph& g, const PartCollection& pc,
+                             const std::vector<std::vector<double>>& values,
+                             const AggregationMonoid& monoid, Rng& rng,
+                             const CongestedPaOptions& options,
+                             CongestedPaOutcome& outcome) {
   outcome.results.assign(pc.num_parts(), monoid.identity);
   outcome.congestion = congestion(g, pc);
-  if (pc.num_parts() == 0) return outcome;
+  if (pc.num_parts() == 0) return;
+  Tracer* tracer = Tracer::ambient();
 
   if (options.model == PaModel::kNcc) {
     std::vector<NccPart> ncc_parts(pc.num_parts());
@@ -59,13 +59,15 @@ CongestedPaOutcome solve_congested_pa(
       ncc_parts[i].members = pc.parts[i];
       ncc_parts[i].values = values[i];
     }
+    ScopedSpan span(tracer, "pa/ncc-aggregate", SpanKind::kPhase);
     const NccAggregationOutcome ncc =
         ncc_partwise_aggregate(g.num_nodes(), ncc_parts, monoid, rng);
     outcome.results = ncc.results;
     outcome.ledger.charge_global(ncc.rounds, "ncc-aggregate");
     outcome.total_rounds = outcome.ledger.total_global();
     outcome.phases = 1;
-    return outcome;
+    span.counter("parts", pc.num_parts());
+    return;
   }
 
   // CONGEST charges the distributed construction of each shortcut it builds:
@@ -89,6 +91,7 @@ CongestedPaOutcome solve_congested_pa(
   // Fast path 1 (ρ = 1): a plain partition needs no layering — Proposition 6
   // directly, exactly as the paper's framework does for standard PA.
   if (outcome.congestion == 1) {
+    ScopedSpan span(tracer, "pa/1-congested", SpanKind::kPhase);
     const BestShortcut best = build_best_shortcut(g, pc, rng);
     charge_build(best.quality.quality(), 1, "construct-1-congested");
     const PartwiseAggregationOutcome pa =
@@ -100,7 +103,8 @@ CongestedPaOutcome solve_congested_pa(
     outcome.total_rounds = outcome.ledger.total_local();
     outcome.phases = 1;
     outcome.max_layers = 1;
-    return outcome;
+    span.counter("parts", pc.num_parts());
+    return;
   }
 
   // Fast path 2: if every part already is a simple path, Lemma 18 applies
@@ -118,6 +122,7 @@ CongestedPaOutcome solve_congested_pa(
       if (!all_paths) break;
     }
     if (all_paths) {
+      ScopedSpan span(tracer, "pa/path-restricted", SpanKind::kPhase);
       PathInstance inst;
       inst.paths = pc.parts;
       inst.values = values;
@@ -132,7 +137,9 @@ CongestedPaOutcome solve_congested_pa(
                                   phase.layered_congestion);
       outcome.total_rounds = outcome.ledger.total_local();
       outcome.phases = 1;
-      return outcome;
+      span.counter("parts", pc.num_parts());
+      span.counter("layers", phase.layers);
+      return;
     }
   }
 
@@ -186,6 +193,9 @@ CongestedPaOutcome solve_congested_pa(
       }
     }
     if (inst.paths.empty()) continue;
+    ScopedSpan span(tracer, "pa/up-phase", SpanKind::kPhase);
+    span.counter("depth", d);
+    span.counter("paths", inst.paths.size());
     const PathRestrictedOutcome phase =
         solve_path_restricted(g, inst, monoid, rng, options.policy,
                               options.palette_factor, options.faults);
@@ -243,6 +253,9 @@ CongestedPaOutcome solve_congested_pa(
       }
     }
     if (inst.paths.empty()) continue;
+    ScopedSpan span(tracer, "pa/down-phase", SpanKind::kPhase);
+    span.counter("depth", d);
+    span.counter("paths", inst.paths.size());
     const std::uint64_t tr = transfer_rounds(g, transfers);
     if (tr > 0) {
       outcome.ledger.charge_local(tr, "handoff(d=" + std::to_string(d) + ")");
@@ -260,6 +273,36 @@ CongestedPaOutcome solve_congested_pa(
   }
 
   outcome.total_rounds = outcome.ledger.total_local();
+}
+
+}  // namespace
+
+CongestedPaOutcome solve_congested_pa(
+    const Graph& g, const PartCollection& pc,
+    const std::vector<std::vector<double>>& values,
+    const AggregationMonoid& monoid, Rng& rng,
+    const CongestedPaOptions& options) {
+  DLS_REQUIRE(values.size() == pc.num_parts(), "values per part mismatch");
+  DLS_REQUIRE(options.faults == nullptr || options.model != PaModel::kNcc,
+              "fault injection targets the CONGEST message plane; the NCC "
+              "clique model has no edge slots to fault");
+  for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+    DLS_REQUIRE(values[i].size() == pc.parts[i].size(), "values mismatch");
+  }
+  CongestedPaOutcome outcome;
+  Tracer* tracer = Tracer::ambient();
+  {
+    // All spans opened during the solve read this outcome's ledger as their
+    // clock; the scopes close before the function returns, so the cursors
+    // are always read from a live ledger.
+    ClockScope clock(tracer, ledger_clock(outcome.ledger));
+    ScopedSpan span(tracer, "pa/congested-solve", SpanKind::kPaCall);
+    span.counter("parts", pc.num_parts());
+    solve_congested_pa_into(g, pc, values, monoid, rng, options, outcome);
+    span.counter("rho", outcome.congestion);
+    span.counter("phases", outcome.phases);
+    span.counter("layers", outcome.max_layers);
+  }
   return outcome;
 }
 
@@ -281,22 +324,38 @@ CongestedPaOutcome solve_congested_pa_sequential_baseline(
     part_rngs.push_back(rng.fork());
   }
   std::vector<PartwiseAggregationOutcome> part_outcomes(pc.num_parts());
-  parallel_for_each(pool, pc.num_parts(), [&](std::size_t i) {
-    PartCollection single;
-    single.parts.push_back(pc.parts[i]);
-    const BestShortcut best = build_best_shortcut(g, single, part_rngs[i]);
-    part_outcomes[i] = solve_partwise_aggregation(
-        g, single, {values[i]}, monoid, best.shortcut, part_rngs[i], policy);
-  });
-  for (std::size_t i = 0; i < pc.num_parts(); ++i) {
-    const PartwiseAggregationOutcome& pa = part_outcomes[i];
-    outcome.results[i] = pa.results[0];
-    outcome.ledger.charge_local(pa.schedule.total_rounds,
-                                "part(" + std::to_string(i) + ")",
-                                pa.schedule.congestion());
-    ++outcome.phases;
+  {
+    // The per-part solves may run on pool workers in any interleaving;
+    // suppress ambient tracing across the fan-out so the span stream cannot
+    // depend on the thread count, and emit the per-part spans from the
+    // deterministic index-order fold below instead.
+    TraceScope suppress(nullptr);
+    parallel_for_each(pool, pc.num_parts(), [&](std::size_t i) {
+      PartCollection single;
+      single.parts.push_back(pc.parts[i]);
+      const BestShortcut best = build_best_shortcut(g, single, part_rngs[i]);
+      part_outcomes[i] = solve_partwise_aggregation(
+          g, single, {values[i]}, monoid, best.shortcut, part_rngs[i], policy);
+    });
   }
-  outcome.total_rounds = outcome.ledger.total_local();
+  Tracer* tracer = Tracer::ambient();
+  {
+    ClockScope clock(tracer, ledger_clock(outcome.ledger));
+    ScopedSpan span(tracer, "pa/baseline-solve", SpanKind::kPaCall);
+    span.counter("parts", pc.num_parts());
+    span.counter("rho", outcome.congestion);
+    for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+      ScopedSpan part_span(tracer, "pa/baseline-part", SpanKind::kPhase);
+      part_span.counter("part", i);
+      const PartwiseAggregationOutcome& pa = part_outcomes[i];
+      outcome.results[i] = pa.results[0];
+      outcome.ledger.charge_local(pa.schedule.total_rounds,
+                                  "part(" + std::to_string(i) + ")",
+                                  pa.schedule.congestion());
+      ++outcome.phases;
+    }
+    outcome.total_rounds = outcome.ledger.total_local();
+  }
   return outcome;
 }
 

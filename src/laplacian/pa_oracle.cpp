@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "graph/algorithms.hpp"
+#include "obs/ledger_clock.hpp"
+#include "obs/trace.hpp"
 #include "shortcuts/construction.hpp"
 #include "shortcuts/partwise_aggregation.hpp"
 
@@ -10,7 +12,7 @@ namespace dls {
 
 CongestedPaOracle::InstanceId CongestedPaOracle::prepare(const PartCollection& pc) {
   DLS_REQUIRE(is_valid_part_collection(graph_, pc), "invalid part collection");
-  instances_.push_back({pc, false, {}});
+  instances_.push_back({pc, congestion(graph_, pc), false, {}});
   return instances_.size() - 1;
 }
 
@@ -20,7 +22,16 @@ std::vector<double> CongestedPaOracle::aggregate(
   DLS_REQUIRE(instance < instances_.size(), "unknown oracle instance");
   Prepared& prepared = instances_[instance];
   DLS_REQUIRE(values.size() == prepared.pc.num_parts(), "values mismatch");
+  ClockScope clock(Tracer::ambient(), ledger_clock(ledger_));
+  ScopedSpan span(Tracer::ambient(), "pa/call", SpanKind::kPaCall);
+  if (span.active()) {
+    span.note(name());
+    span.counter("instance", instance);
+    span.counter("rho", prepared.rho);
+    span.counter("parts", prepared.pc.num_parts());
+  }
   if (!prepared.measured) {
+    ScopedSpan measure_span(Tracer::ambient(), "pa/measure", SpanKind::kPhase);
     measuring_instance_ = instance;
     prepared.cost = measure(prepared.pc);
     prepared.measured = true;
@@ -49,6 +60,12 @@ void CongestedPaOracle::warm(InstanceId instance) {
   DLS_REQUIRE(instance < instances_.size(), "unknown oracle instance");
   Prepared& prepared = instances_[instance];
   if (prepared.measured) return;
+  ScopedSpan span(Tracer::ambient(), "pa/warm", SpanKind::kPhase);
+  if (span.active()) {
+    span.note(name());
+    span.counter("instance", instance);
+    span.counter("rho", prepared.rho);
+  }
   measuring_instance_ = instance;
   prepared.cost = measure(prepared.pc);
   prepared.measured = true;
@@ -69,6 +86,17 @@ std::vector<double> CongestedPaOracle::aggregate_into(
               "aggregate_into requires a warmed instance; call warm() before "
               "fanning a batch out");
   DLS_REQUIRE(values.size() == prepared.pc.num_parts(), "values mismatch");
+  // The ambient tracer here is a per-slot tracer on batched paths (the
+  // caller installed it with the slot's private ledger as the clock), so the
+  // span lands in the slot's trace and merges slot-indexed.
+  ClockScope clock(Tracer::ambient(), ledger_clock(ledger));
+  ScopedSpan span(Tracer::ambient(), "pa/call", SpanKind::kPaCall);
+  if (span.active()) {
+    span.note(name());
+    span.counter("instance", instance);
+    span.counter("rho", prepared.rho);
+    span.counter("parts", prepared.pc.num_parts());
+  }
   ++pa_calls;
   if (prepared.cost.local_rounds > 0) {
     ledger.charge_local(prepared.cost.local_rounds, name() + "-pa",
@@ -117,6 +145,14 @@ void CongestedPaOracle::charge_batched(InstanceId instance, std::size_t n,
   const std::uint64_t local = batched_local_rounds(instance, n);
   const std::uint64_t global = batched_global_rounds(instance, n);
   const Prepared& prepared = instances_[instance];
+  ClockScope clock(Tracer::ambient(), ledger_clock(ledger));
+  ScopedSpan span(Tracer::ambient(), "pa/batched", SpanKind::kPaCall);
+  if (span.active()) {
+    span.note(name() + "-pa-batched");
+    span.counter("instance", instance);
+    span.counter("rho", prepared.rho);
+    span.counter("n", n);
+  }
   // The n copies travel together, so the phase carries n× the traffic of one
   // aggregation (slot peaks scale the same way — that is exactly why the
   // pipeline stride above is the per-copy peak).

@@ -129,6 +129,10 @@ class CongestedPaOracle {
   InstanceId measuring_instance_ = 0;
   struct Prepared {
     PartCollection pc;
+    /// Part-collection congestion ρ (max parts sharing a node), computed at
+    /// prepare() time — deterministic, no rounds charged; traced PA calls
+    /// report it on their span.
+    std::size_t rho = 0;
     bool measured = false;
     Measured cost;
   };

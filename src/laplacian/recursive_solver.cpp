@@ -5,6 +5,7 @@
 
 #include "graph/algorithms.hpp"
 #include "laplacian/low_stretch_tree.hpp"
+#include "obs/ledger_clock.hpp"
 #include "sim/fault_injection.hpp"
 
 namespace dls {
@@ -117,6 +118,8 @@ void DistributedLaplacianSolver::warm_instances() {
   // cost) identical to what N sequential solves would have produced. The
   // base level's matvec instance is deliberately NOT warmed: a sequential
   // solve never aggregates it (the base case gathers and solves locally).
+  ScopedSpan span(Tracer::ambient(), "solver/warm-instances",
+                  SpanKind::kPhase);
   oracle_.warm(global_instance_);
   for (std::size_t l = levels_.size() - 1; l-- > 1;) {
     if (levels_[l].has_matvec_instance) {
@@ -190,7 +193,10 @@ Vec DistributedLaplacianSolver::solve_level(SolveContext& ctx,
                                             const SolverCheckpoint* resume) {
   Level& lv = levels_[level];
   if (iterations_out != nullptr) *iterations_out = 0;
+  Tracer* tracer = Tracer::ambient();
   if (lv.is_base) {
+    ScopedSpan span(tracer, "solver/base-case", SpanKind::kLevel);
+    span.counter("level", level);
     // Gather the base system's rhs to a leader, solve locally, scatter.
     ctx_ledger(ctx).charge_local(
         2 * (lv.minor.num_nodes + base_transfer_rounds_), "solver/base-case");
@@ -198,6 +204,8 @@ Vec DistributedLaplacianSolver::solve_level(SolveContext& ctx,
     project_mean_zero(rhs);
     return lv.base_solver->solve(rhs);
   }
+  ScopedSpan level_span(tracer, "solver/level", SpanKind::kLevel);
+  level_span.counter("level", level);
 
   // Flexible PCG (Polak–Ribière beta) — tolerant of the slightly nonlinear
   // preconditioner formed by crude inner solves.
@@ -254,6 +262,12 @@ Vec DistributedLaplacianSolver::solve_level(SolveContext& ctx,
     ctx_ledger(ctx).record_recovery(std::move(event));
   };
   for (std::size_t it = start_it; it < max_iter; ++it) {
+    // One span per *outer* PCG iteration; inner (recursive) solves are
+    // covered by their level span, so the trace stays proportional to the
+    // hierarchy, not to the product of all inner iteration counts.
+    ScopedSpan iter_span(level == 0 ? tracer : nullptr,
+                         "solver/outer-iteration", SpanKind::kIteration);
+    iter_span.counter("iteration", it);
     Vec ap = apply_matvec(ctx, level, p);
     project_mean_zero(ap);
     if (wd != nullptr &&
@@ -344,6 +358,9 @@ Vec DistributedLaplacianSolver::solve_top_chebyshev(
     SolveContext& ctx, const Vec& b, std::size_t* iterations_out,
     std::vector<double>* history, NumericalWatchdog* wd) {
   const std::size_t n = levels_[0].minor.num_nodes;
+  Tracer* tracer = Tracer::ambient();
+  ScopedSpan cheb_span(tracer, "solver/chebyshev", SpanKind::kLevel);
+  cheb_span.counter("level", 0);
   Vec rhs = b;
   project_mean_zero(rhs);
   Vec x(n, 0.0);
@@ -363,6 +380,7 @@ Vec DistributedLaplacianSolver::solve_top_chebyshev(
   // `seed_norm` is passed in (always already known from a prior charged dot)
   // so the clean path charges exactly the rounds it did before the watchdog.
   const auto estimate_lambda_max = [&](const Vec& seed, double seed_norm) {
+    ScopedSpan span(tracer, "solver/power-iteration", SpanKind::kPhase);
     double lambda_max = 1.0;
     if (seed_norm <= 0) return lambda_max;
     Vec v = seed;
@@ -422,6 +440,9 @@ Vec DistributedLaplacianSolver::solve_top_chebyshev(
     ctx_ledger(ctx).record_recovery(std::move(event));
   };
   for (std::size_t it = 0; it < options_.max_outer_iterations; ++it) {
+    ScopedSpan iter_span(tracer, "solver/outer-iteration",
+                         SpanKind::kIteration);
+    iter_span.counter("iteration", it);
     if (k == 0) {
       p = z;
       alpha = 1.0 / theta;
@@ -539,6 +560,14 @@ LaplacianSolveReport DistributedLaplacianSolver::solve_in_context(
   project_mean_zero(rhs);
 
   RoundLedger& ledger = ctx_ledger(ctx);
+  // One span per solve, clocked on this context's ledger (the oracle's
+  // shared ledger, or the slot's private ledger on batched paths). The clock
+  // push dedups against an identical outer clock, so a wrapping test or
+  // session scope on the same ledger shares this timeline.
+  Tracer* tracer = Tracer::ambient();
+  ClockScope trace_clock(tracer, ledger_clock(ledger));
+  ScopedSpan solve_span(tracer, "solver/solve", SpanKind::kSolve);
+  solve_span.counter("levels", levels_.size());
   const std::uint64_t local_before = ledger.total_local();
   const std::uint64_t global_before = ledger.total_global();
   const std::uint64_t hybrid_before = ledger.total_hybrid();
@@ -690,6 +719,11 @@ LaplacianSolveReport DistributedLaplacianSolver::solve_in_context(
   for (std::size_t i = events_before; i < events.size(); ++i) {
     fold_recovery_event(events[i], report.recovery, ctx.shared());
   }
+  solve_span.counter("outer-iterations", report.outer_iterations);
+  solve_span.counter("pa-calls", report.pa_calls);
+  solve_span.counter("converged", report.converged ? 1 : 0);
+  solve_span.counter("degraded", report.degraded.has_value() ? 1 : 0);
+  solve_span.counter("recovery-events", events.size() - events_before);
   return report;
 }
 

@@ -10,8 +10,11 @@
 // is bit-identical to N sequential solve() calls for every thread count.
 #include <exception>
 #include <map>
+#include <memory>
 
 #include "laplacian/recursive_solver.hpp"
+#include "obs/ledger_clock.hpp"
+#include "obs/metrics.hpp"
 #include "sim/sim_batch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -29,6 +32,15 @@ std::vector<LaplacianSolveReport> SolveSession::solve_batch(
   std::vector<LaplacianSolveReport> reports(k);
   if (k == 0) return reports;
 
+  // Trace discipline mirrors the ledger discipline: the parent tracer (if
+  // any) records the batch; every slot writes into a PRIVATE tracer clocked
+  // by its private ledger, and the slot traces are absorbed on the calling
+  // thread in slot order after the barrier. The merged trace is therefore
+  // bit-identical for every thread count, pool or no pool.
+  Tracer* parent = Tracer::ambient();
+  ScopedSpan batch_span(parent, "session/batch", SpanKind::kSession);
+  batch_span.counter("rhs", k);
+
   // Measurement — the only rng-consuming, oracle-mutating step of a solve —
   // happens up front on this thread, in the exact order sequential solves
   // would have triggered it lazily. After this, every slot only *replays*
@@ -41,6 +53,10 @@ std::vector<LaplacianSolveReport> SolveSession::solve_batch(
   std::vector<std::vector<std::uint64_t>> pa_counts(
       k, std::vector<std::uint64_t>(num_instances, 0));
   std::vector<std::exception_ptr> errors(k);
+  std::vector<std::unique_ptr<Tracer>> slot_tracers(k);
+  if (parent != nullptr) {
+    for (std::size_t i = 0; i < k; ++i) slot_tracers[i] = std::make_unique<Tracer>();
+  }
 
   const bool reuse_bounds =
       options_.reuse_chebyshev_eigenbounds &&
@@ -49,6 +65,15 @@ std::vector<LaplacianSolveReport> SolveSession::solve_batch(
 
   const auto run_slot = [&](std::size_t i, const double* reuse_hi,
                             double* publish_hi) {
+    // Always install a scope: the slot tracer when tracing, nullptr
+    // otherwise. The inline (pool == nullptr) path runs on the calling
+    // thread, so without this its spans would leak straight into the parent
+    // tracer and diverge from the pooled runs.
+    Tracer* slot_tracer = parent != nullptr ? slot_tracers[i].get() : nullptr;
+    TraceScope scope(slot_tracer);
+    ClockScope clock(slot_tracer, ledger_clock(ledgers[i]));
+    ScopedSpan span(slot_tracer, "session/rhs", SpanKind::kSession);
+    span.counter("slot", i);
     try {
       DistributedLaplacianSolver::SolveContext ctx;
       ctx.ledger = &ledgers[i];
@@ -89,6 +114,12 @@ std::vector<LaplacianSolveReport> SolveSession::solve_batch(
 
   // ---- Slot-ordered merge (single-threaded from here on). ----
 
+  if (parent != nullptr) {
+    for (std::size_t i = 0; i < k; ++i) {
+      parent->absorb(*slot_tracers[i]);
+    }
+  }
+
   // Per-level recovery attribution: the batch is one "call" for stats_
   // purposes — reset once, then fold every slot's events in slot order.
   solver_.reset_recovery_attribution();
@@ -115,6 +146,8 @@ std::vector<LaplacianSolveReport> SolveSession::solve_batch(
   // The fold is grouped (instances ascending, then labels lexicographic,
   // positions ascending) rather than interleaved in phase order; totals are
   // what matter for the shared ledger, and the grouping is deterministic.
+  ClockScope charge_clock(parent, ledger_clock(batch_ledger_));
+  ScopedSpan charge_span(parent, "session/amortized-charge", SpanKind::kPhase);
   std::uint64_t pa_groups = 0;
   for (CongestedPaOracle::InstanceId inst = 0; inst < num_instances; ++inst) {
     std::uint64_t max_calls = 0;
@@ -171,7 +204,20 @@ std::vector<LaplacianSolveReport> SolveSession::solve_batch(
     solver_.oracle_.ledger().absorb(batch_ledger_, "batch");
     solver_.oracle_.note_batched_pa_calls(pa_groups);
   }
+  charge_span.counter("pa-groups", pa_groups);
+  charge_span.counter("labels", by_label.size());
+  charge_span.finish();
   rhs_solved_ += k;
+
+  static MetricCounter& batch_metric =
+      MetricsRegistry::global().counter("session.batches");
+  static MetricCounter& rhs_metric =
+      MetricsRegistry::global().counter("session.rhs");
+  static MetricHistogram& batch_size_metric = MetricsRegistry::global().histogram(
+      "session.batch_size", MetricsRegistry::pow2_bounds(10));
+  batch_metric.increment();
+  rhs_metric.increment(k);
+  batch_size_metric.observe(k);
   return reports;
 }
 

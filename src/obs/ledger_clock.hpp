@@ -1,0 +1,26 @@
+// Binds TraceClock to RoundLedger. Header-only and include-only-from-above:
+// dls_obs itself must not depend on dls_sim, so this adapter lives with the
+// obs headers but is compiled into whichever higher layer includes it.
+#pragma once
+
+#include "obs/trace.hpp"
+#include "sim/round_ledger.hpp"
+
+namespace dls {
+
+inline TraceCursor read_ledger_cursor(const void* source) {
+  const auto* ledger = static_cast<const RoundLedger*>(source);
+  TraceCursor cursor;
+  cursor.local_rounds = ledger->total_local();
+  cursor.global_rounds = ledger->total_global();
+  cursor.messages = ledger->total_messages();
+  return cursor;
+}
+
+/// A clock whose cursors are `ledger`'s running totals. The ledger must
+/// outlive every span opened against the clock.
+inline TraceClock ledger_clock(const RoundLedger& ledger) {
+  return TraceClock(&ledger, &read_ledger_cursor);
+}
+
+}  // namespace dls

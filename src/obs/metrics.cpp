@@ -1,0 +1,95 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace dls {
+
+MetricHistogram::MetricHistogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  DLS_ASSERT(std::is_sorted(bounds_.begin(), bounds_.end()), "histogram bounds must be sorted");
+  DLS_ASSERT(std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                 bounds_.end(),
+             "histogram bounds must be distinct");
+}
+
+void MetricHistogram::observe(std::uint64_t value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::uint64_t MetricHistogram::cumulative(std::size_t bucket) const {
+  DLS_ASSERT(bucket < buckets_.size(), "histogram bucket out of range");
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i <= bucket; ++i) {
+    total += buckets_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t MetricHistogram::total_count() const {
+  return cumulative(buckets_.size() - 1);
+}
+
+void MetricHistogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricCounter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<MetricCounter>();
+  return *slot;
+}
+
+MetricHistogram& MetricsRegistry::histogram(const std::string& name,
+                                            std::vector<std::uint64_t> bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<MetricHistogram>(std::move(bounds));
+  }
+  return *slot;
+}
+
+std::vector<std::uint64_t> MetricsRegistry::pow2_bounds(std::size_t n) {
+  std::vector<std::uint64_t> bounds(n);
+  for (std::size_t i = 0; i < n; ++i) bounds[i] = std::uint64_t{1} << i;
+  return bounds;
+}
+
+std::string MetricsRegistry::export_text() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, counter] : counters_) {
+    out << name << " " << counter->value() << "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const auto& bounds = hist->bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      out << name << "{le=" << bounds[i] << "} " << hist->cumulative(i) << "\n";
+    }
+    out << name << "{le=+inf} " << hist->total_count() << "\n";
+    out << name << "_sum " << hist->total_sum() << "\n";
+    out << name << "_count " << hist->total_count() << "\n";
+  }
+  return out.str();
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, hist] : histograms_) hist->reset();
+}
+
+}  // namespace dls

@@ -1,0 +1,94 @@
+// Process-wide metrics registry: monotonic counters and fixed-bucket
+// histograms for events that are interesting in aggregate rather than per
+// span — PA retransmissions, watchdog restarts, messages per phase.
+//
+// Determinism contract: increments are atomic and commutative, so *totals*
+// are bit-identical for any thread count even when the increments race (the
+// scheduler runs on pool workers). Only totals are exported; no ordering or
+// timing leaks into `export_text()`, which prints name-sorted lines.
+//
+// Instruments are registered on first use and never removed; the registry
+// returns stable references, so hot paths pay one lookup and then a relaxed
+// atomic add. Tests that need a clean slate call `reset()` (zeroes values,
+// keeps registrations).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dls {
+
+/// Monotonic counter. Addresses are stable for the registry's lifetime.
+class MetricCounter {
+ public:
+  void increment(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Histogram over fixed, registration-time bucket bounds. An observation of
+/// `v` lands in the first bucket with `v <= bound`; values above the last
+/// bound land in the implicit overflow bucket.
+class MetricHistogram {
+ public:
+  explicit MetricHistogram(std::vector<std::uint64_t> bounds);
+
+  void observe(std::uint64_t value);
+  /// Cumulative count of observations <= bounds[i]; index bounds.size() is
+  /// the total count (the +inf bucket).
+  std::uint64_t cumulative(std::size_t bucket) const;
+  std::uint64_t total_count() const;
+  std::uint64_t total_sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  const std::vector<std::uint64_t>& bounds() const { return bounds_; }
+  void reset();
+
+ private:
+  std::vector<std::uint64_t> bounds_;  // strictly increasing
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds.size() + 1
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry used by instrumentation sites.
+  static MetricsRegistry& global();
+
+  /// Returns the counter registered under `name`, creating it on first use.
+  MetricCounter& counter(const std::string& name);
+  /// Returns the histogram under `name`; `bounds` only applies on first use
+  /// (later calls with different bounds get the originally registered
+  /// instrument).
+  MetricHistogram& histogram(const std::string& name,
+                             std::vector<std::uint64_t> bounds);
+
+  /// Power-of-two bounds 1, 2, 4, ... up to 2^(n-1) — the default shape for
+  /// message/congestion distributions.
+  static std::vector<std::uint64_t> pow2_bounds(std::size_t n);
+
+  /// Deterministic dump: one `name value` line per counter and one
+  /// `name{le=B} cumulative` line per histogram bucket (plus `_sum` and
+  /// `_count`), all sorted by name.
+  std::string export_text() const;
+
+  /// Zeroes all values, keeping registrations (test isolation).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<MetricCounter>> counters_;
+  std::map<std::string, std::unique_ptr<MetricHistogram>> histograms_;
+};
+
+}  // namespace dls

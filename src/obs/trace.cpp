@@ -1,0 +1,143 @@
+#include "obs/trace.hpp"
+
+#include "util/assert.hpp"
+
+namespace dls {
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kScenario:
+      return "scenario";
+    case SpanKind::kSolve:
+      return "solve";
+    case SpanKind::kLevel:
+      return "level";
+    case SpanKind::kIteration:
+      return "iteration";
+    case SpanKind::kPaCall:
+      return "pa-call";
+    case SpanKind::kPhase:
+      return "phase";
+    case SpanKind::kSession:
+      return "session";
+    case SpanKind::kRecovery:
+      return "recovery";
+    case SpanKind::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+Tracer::Tracer(TraceClock root_clock, TracerOptions options)
+    : options_(options) {
+  clock_registry_.push_back(root_clock);
+  clock_id_stack_.push_back(0);
+}
+
+std::uint32_t Tracer::open(std::string name, SpanKind kind) {
+  if (spans_.size() >= options_.max_spans ||
+      stack_.size() >= options_.max_depth) {
+    ++dropped_;
+    return kNoSpan;
+  }
+  SpanRecord record;
+  record.name = std::move(name);
+  record.kind = kind;
+  record.parent = current();
+  record.depth = static_cast<std::uint32_t>(stack_.size());
+  record.clock = clock_id_stack_.back();
+  record.begin = clock_registry_[record.clock].read();
+  const auto id = static_cast<std::uint32_t>(spans_.size());
+  spans_.push_back(std::move(record));
+  stack_.push_back(id);
+  return id;
+}
+
+void Tracer::close(std::uint32_t id) {
+  DLS_ASSERT(!stack_.empty(), "close with no open span");
+  DLS_ASSERT(stack_.back() == id, "spans must close in LIFO order");
+  stack_.pop_back();
+  SpanRecord& record = spans_[id];
+  record.end = clock_registry_[record.clock].read();
+  record.closed = true;
+}
+
+void Tracer::counter(std::uint32_t id, const char* key, std::uint64_t value) {
+  if (id == kNoSpan) return;
+  spans_[id].counters.emplace_back(key, value);
+}
+
+void Tracer::note(std::uint32_t id, std::string text) {
+  if (id == kNoSpan) return;
+  spans_[id].notes.push_back(std::move(text));
+}
+
+void Tracer::annotate_current(std::string text) {
+  if (stack_.empty()) {
+    orphan_notes_.push_back(std::move(text));
+    return;
+  }
+  spans_[stack_.back()].notes.push_back(std::move(text));
+}
+
+std::uint32_t Tracer::push_clock(TraceClock clock) {
+  const std::uint32_t top = clock_id_stack_.back();
+  if (clock_registry_[top].source() == clock.source() &&
+      clock_registry_[top].valid() == clock.valid()) {
+    clock_id_stack_.push_back(top);  // same timeline; no new id
+    return top;
+  }
+  const auto id = static_cast<std::uint32_t>(clock_registry_.size());
+  clock_registry_.push_back(clock);
+  clock_id_stack_.push_back(id);
+  return id;
+}
+
+void Tracer::pop_clock() {
+  DLS_ASSERT(clock_id_stack_.size() > 1, "pop_clock past the root clock");
+  clock_id_stack_.pop_back();
+}
+
+const void* Tracer::clock_source(std::uint32_t id) const {
+  return clock_registry_[id].source();
+}
+
+void Tracer::absorb(const Tracer& child) {
+  DLS_ASSERT(child.stack_.empty(), "absorb of a tracer with open spans");
+  if (spans_.size() + child.spans_.size() > options_.max_spans) {
+    // Dropping a prefix of the child would leave dangling parent ids, so an
+    // over-budget child is dropped whole (and counted).
+    dropped_ += child.spans_.size() + child.dropped_;
+    return;
+  }
+  const auto base = static_cast<std::uint32_t>(spans_.size());
+  const auto clock_base = static_cast<std::uint32_t>(clock_registry_.size());
+  const std::uint32_t parent = current();
+  const auto parent_depth = static_cast<std::uint32_t>(stack_.size());
+  for (const SpanRecord& span : child.spans_) {
+    SpanRecord record = span;
+    record.parent = span.parent == kNoSpan ? parent : base + span.parent;
+    record.depth = span.depth + parent_depth;
+    record.clock = span.clock + clock_base;
+    spans_.push_back(std::move(record));
+  }
+  // Absorbed clocks keep their source pointer (so clock_source grouping
+  // still works) but lose their read function: the child's ledgers may not
+  // outlive the merge, so nothing may read through them again.
+  for (const TraceClock& clock : child.clock_registry_) {
+    clock_registry_.emplace_back(clock.source(), nullptr);
+  }
+  dropped_ += child.dropped_;
+  for (const std::string& text : child.orphan_notes_) {
+    orphan_notes_.push_back(text);
+  }
+}
+
+Tracer*& Tracer::ambient_slot() {
+  thread_local Tracer* slot = nullptr;
+  return slot;
+}
+
+Tracer* Tracer::ambient() { return ambient_slot(); }
+
+}  // namespace dls

@@ -1,0 +1,212 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace dls {
+namespace {
+
+std::uint64_t hybrid_ts(const TraceCursor& cursor) {
+  return cursor.local_rounds + cursor.global_rounds;
+}
+
+void append_json_escaped(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_event(std::string& out, char phase, const SpanRecord& span,
+                  std::uint64_t ts, bool with_args) {
+  out += "    {\"name\": \"";
+  append_json_escaped(out, span.name);
+  out += "\", \"ph\": \"";
+  out += phase;
+  out += "\", \"pid\": 0, \"tid\": ";
+  out += std::to_string(span.clock);
+  out += ", \"ts\": ";
+  out += std::to_string(ts);
+  if (with_args) {
+    out += ", \"cat\": \"";
+    out += to_string(span.kind);
+    out += "\", \"args\": {";
+    bool first = true;
+    for (const auto& [key, value] : span.counters) {
+      if (!first) out += ", ";
+      first = false;
+      out += "\"";
+      append_json_escaped(out, key);
+      out += "\": ";
+      out += std::to_string(value);
+    }
+    if (!span.notes.empty()) {
+      if (!first) out += ", ";
+      out += "\"notes\": [";
+      for (std::size_t i = 0; i < span.notes.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "\"";
+        append_json_escaped(out, span.notes[i]);
+        out += "\"";
+      }
+      out += "]";
+    }
+    out += "}";
+  }
+  out += "},\n";
+}
+
+// FNV-1a, 64-bit.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void mix_bytes(std::uint64_t& state, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state ^= bytes[i];
+    state *= kFnvPrime;
+  }
+}
+
+void mix_u64(std::uint64_t& state, std::uint64_t value) {
+  mix_bytes(state, &value, sizeof(value));
+}
+
+void mix_string(std::uint64_t& state, const std::string& text) {
+  mix_bytes(state, text.data(), text.size());
+  state ^= 0xff;  // terminator so "ab"+"c" != "a"+"bc"
+  state *= kFnvPrime;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Tracer& tracer) {
+  std::string out;
+  out += "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
+  out +=
+      "    {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
+      "\"args\": {\"name\": \"dls (ts = local + global rounds)\"}},\n";
+  for (std::size_t clock = 0; clock < tracer.num_clocks(); ++clock) {
+    out += "    {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+           "\"tid\": ";
+    out += std::to_string(clock);
+    out += ", \"args\": {\"name\": \"clock-";
+    out += std::to_string(clock);
+    out += "\"}},\n";
+  }
+  // Spans are stored in preorder; replay them against an explicit stack so
+  // B/E events interleave the way a real-time tracer would have emitted
+  // them (parent B, child B, child E, parent E).
+  const auto& spans = tracer.spans();
+  std::vector<std::uint32_t> open;
+  for (std::uint32_t id = 0; id < spans.size(); ++id) {
+    const SpanRecord& span = spans[id];
+    if (!span.closed) continue;
+    while (!open.empty() && open.back() != span.parent) {
+      const SpanRecord& done = spans[open.back()];
+      append_event(out, 'E', done, hybrid_ts(done.end), false);
+      open.pop_back();
+    }
+    append_event(out, 'B', span, hybrid_ts(span.begin), true);
+    open.push_back(id);
+  }
+  while (!open.empty()) {
+    const SpanRecord& done = spans[open.back()];
+    append_event(out, 'E', done, hybrid_ts(done.end), false);
+    open.pop_back();
+  }
+  // Strip the trailing ",\n" left by the last event.
+  if (out.size() >= 2 && out[out.size() - 2] == ',') {
+    out.erase(out.size() - 2, 1);
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::uint64_t trace_hash(const Tracer& tracer) {
+  std::uint64_t state = kFnvOffset;
+  for (const SpanRecord& span : tracer.spans()) {
+    mix_string(state, span.name);
+    mix_u64(state, static_cast<std::uint64_t>(span.kind));
+    mix_u64(state, span.parent);
+    mix_u64(state, span.depth);
+    mix_u64(state, span.clock);
+    mix_u64(state, span.begin.local_rounds);
+    mix_u64(state, span.begin.global_rounds);
+    mix_u64(state, span.begin.messages);
+    mix_u64(state, span.end.local_rounds);
+    mix_u64(state, span.end.global_rounds);
+    mix_u64(state, span.end.messages);
+    mix_u64(state, span.closed ? 1 : 0);
+    for (const auto& [key, value] : span.counters) {
+      mix_string(state, key);
+      mix_u64(state, value);
+    }
+    for (const std::string& text : span.notes) mix_string(state, text);
+  }
+  mix_u64(state, tracer.dropped_spans());
+  for (const std::string& text : tracer.orphan_notes()) {
+    mix_string(state, text);
+  }
+  return state;
+}
+
+std::string trace_fingerprint(const Tracer& tracer) {
+  struct Rollup {
+    std::uint64_t count = 0;
+    std::uint64_t local = 0;
+    std::uint64_t global = 0;
+    std::uint64_t messages = 0;
+  };
+  std::map<std::pair<std::string, std::string>, Rollup> rollups;
+  for (const SpanRecord& span : tracer.spans()) {
+    if (!span.closed) continue;
+    Rollup& r = rollups[{span.name, to_string(span.kind)}];
+    ++r.count;
+    r.local += span.end.local_rounds - span.begin.local_rounds;
+    r.global += span.end.global_rounds - span.begin.global_rounds;
+    r.messages += span.end.messages - span.begin.messages;
+  }
+  std::ostringstream out;
+  out << "trace-fingerprint v1\n";
+  out << "spans=" << tracer.spans().size()
+      << " dropped=" << tracer.dropped_spans()
+      << " clocks=" << tracer.num_clocks()
+      << " orphan-notes=" << tracer.orphan_notes().size() << "\n";
+  char hash[32];
+  std::snprintf(hash, sizeof(hash), "%016llx",
+                static_cast<unsigned long long>(trace_hash(tracer)));
+  out << "hash=" << hash << "\n";
+  for (const auto& [key, r] : rollups) {
+    out << key.first << " kind=" << key.second << " count=" << r.count
+        << " dlocal=" << r.local << " dglobal=" << r.global
+        << " dmsg=" << r.messages << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dls

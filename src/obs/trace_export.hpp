@@ -1,0 +1,37 @@
+// Trace exporters.
+//
+// 1. `chrome_trace_json` — Chrome trace-event JSON, loadable in Perfetto /
+//    chrome://tracing. Rounds are the clock: an event's `ts` is the span's
+//    hybrid round cursor (local + global rounds) in "microseconds", so the
+//    timeline reads as round budget, not wall time. Each clock id becomes a
+//    tid, so independent ledgers render as separate tracks.
+//
+// 2. `trace_fingerprint` — a compact deterministic text rendering: header
+//    (span/drop/clock totals), name-sorted per-(name, kind) rollups, and an
+//    FNV-1a hash over the full span stream. Two traces with equal
+//    fingerprints walked the same spans with the same cursors in the same
+//    order; this is the representation the golden tests pin and the
+//    determinism tests compare across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace dls {
+
+/// Chrome trace-event JSON ("traceEvents" array of balanced B/E pairs plus
+/// thread-name metadata). Spans still open when the trace is exported are
+/// skipped (they have no end cursor).
+std::string chrome_trace_json(const Tracer& tracer);
+
+/// FNV-1a 64-bit hash over the deterministic span stream (names, kinds,
+/// topology, cursors, counters, notes, drops). The scalar the golden table
+/// pins.
+std::uint64_t trace_hash(const Tracer& tracer);
+
+/// Multi-line deterministic text fingerprint (see file comment).
+std::string trace_fingerprint(const Tracer& tracer);
+
+}  // namespace dls

@@ -1,5 +1,6 @@
 #include "resilience/checkpoint.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace dls {
@@ -19,11 +20,17 @@ void CheckpointManager::save(SolverCheckpoint snapshot) {
   DLS_REQUIRE(enabled(), "checkpointing is disabled (interval == 0)");
   last_ = std::move(snapshot);
   ++saves_;
+  static MetricCounter& save_metric =
+      MetricsRegistry::global().counter("checkpoint.saves");
+  save_metric.increment();
 }
 
 const SolverCheckpoint* CheckpointManager::restore() {
   DLS_ASSERT(can_restore(), "checkpoint resume budget exhausted");
   ++restores_;
+  static MetricCounter& restore_metric =
+      MetricsRegistry::global().counter("checkpoint.restores");
+  restore_metric.increment();
   return last_.has_value() ? &*last_ : nullptr;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "sim/fault_injection.hpp"
 
 namespace dls {
@@ -69,14 +70,20 @@ CongestedPaOracle::Measured SupervisedPaOracle::measure(
   if (config_.mode == SupervisorMode::kOff) {
     return attempt_measure(primary_, pc);
   }
+  const InstanceId subject = measuring_instance();
+  // The ladder span collects every recovery transition of this measurement:
+  // RoundLedger::record_recovery annotates the innermost open ambient span,
+  // which is exactly this one while the ladder runs.
+  ScopedSpan ladder_span(Tracer::ambient(), "supervisor/measure",
+                         SpanKind::kRecovery);
+  ladder_span.counter("instance", subject);
   // Once degraded, stay degraded: the primary's substrate is suspect for the
   // remainder of the solve, so later instances go straight to the baseline.
   if (degraded()) {
     DLS_ASSERT(fallback_ != nullptr, "degraded without a fallback oracle");
+    if (ladder_span.active()) ladder_span.note("already degraded: " + fallback_->name());
     return attempt_measure(*fallback_, pc);
   }
-
-  const InstanceId subject = measuring_instance();
   // Charges a wedged attempt's simulated rounds — real work the network did
   // before aborting — and returns them for the recovery record.
   const auto charge_lost = [this](const ChaosAbortError& e,

@@ -1,6 +1,10 @@
 #include "resilience/watchdog.hpp"
 
 #include <cmath>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dls {
 
@@ -30,6 +34,13 @@ NumericalWatchdog::NumericalWatchdog(const WatchdogConfig& config)
 WatchdogSignal NumericalWatchdog::raise(WatchdogSignal signal,
                                         std::size_t iteration) {
   report_.incidents.push_back({iteration, signal});
+  static MetricCounter& signal_metric =
+      MetricsRegistry::global().counter("watchdog.signals");
+  signal_metric.increment();
+  if (Tracer* tracer = Tracer::ambient()) {
+    tracer->annotate_current(std::string("watchdog: ") + to_string(signal) +
+                             " at iteration " + std::to_string(iteration));
+  }
   return signal;
 }
 
@@ -102,6 +113,9 @@ bool NumericalWatchdog::allow_restart() {
     return false;
   }
   ++report_.restarts;
+  static MetricCounter& restart_metric =
+      MetricsRegistry::global().counter("watchdog.restarts");
+  restart_metric.increment();
   return true;
 }
 

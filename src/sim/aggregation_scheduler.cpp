@@ -4,6 +4,8 @@
 #include <limits>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/fault_injection.hpp"
 
 namespace dls {
@@ -402,6 +404,10 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
 
   // --- Phase 1: convergecast ---------------------------------------------
   // value[t][x]: accumulated value at local node x of tree t.
+  Tracer* tracer = Tracer::ambient();
+  std::uint64_t retransmissions = 0;  // dropped winners (they stay queued)
+  ScopedSpan cc_span(tracer, "sched/convergecast", SpanKind::kPhase);
+  cc_span.counter("trees", t_count);
   metrics.begin_phase("convergecast");
   if (faults != nullptr) faults->begin_epoch();
   // received[t][x]: child x's report was folded into its parent. Duplicate
@@ -474,7 +480,10 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
         const NodeId from = rt.nodes[q[best_idx].from_local];
         const NodeId to = rt.nodes[rt.parent[q[best_idx].from_local]];
         const MessageFate fate = faults->message_fate(round, slot, from, to);
-        if (fate.dropped) return;  // stays queued: retransmit next round
+        if (fate.dropped) {
+          ++retransmissions;
+          return;  // stays queued: retransmit next round
+        }
         const Delivery d{q[best_idx].tree, q[best_idx].from_local};
         if (fate.duplicated) {
           ++outcome.messages;  // the clone also crossed the wire
@@ -512,6 +521,13 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
   }
   outcome.convergecast_rounds = round;
   metrics.end_phase(round);
+  const std::uint64_t cc_retransmissions = retransmissions;
+  cc_span.counter("rounds", round);
+  cc_span.counter("messages", metrics.phases().back().congestion.messages);
+  cc_span.counter("peak-slot",
+                  metrics.phases().back().congestion.peak_slot_messages);
+  cc_span.counter("retransmissions", cc_retransmissions);
+  cc_span.finish();
   for (std::size_t t = 0; t < t_count; ++t) {
     outcome.results[t] = value[t][rooted[t].root_local];
   }
@@ -519,6 +535,8 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
   // --- Phase 2: broadcast --------------------------------------------------
   // Root sends the aggregate down; a node forwards to each child, one child
   // per round per (edge, direction) slot shared across trees.
+  ScopedSpan bc_span(tracer, "sched/broadcast", SpanKind::kPhase);
+  bc_span.counter("trees", t_count);
   metrics.begin_phase("broadcast");
   queues.reset(2 * g.num_edges());
   const std::uint64_t round_offset = round;  // histogram continues after phase 1
@@ -568,7 +586,10 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
         const NodeId from = rt.nodes[rt.parent[q[best_idx].from_local]];
         const NodeId to = rt.nodes[q[best_idx].from_local];
         const MessageFate fate = faults->message_fate(round, slot, from, to);
-        if (fate.dropped) return;  // stays queued: retransmit next round
+        if (fate.dropped) {
+          ++retransmissions;
+          return;  // stays queued: retransmit next round
+        }
         const Delivery d{q[best_idx].tree, q[best_idx].from_local};
         if (fate.duplicated) {
           ++outcome.messages;
@@ -596,10 +617,32 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
   }
   outcome.broadcast_rounds = round;
   metrics.end_phase(round);
+  bc_span.counter("rounds", round);
+  bc_span.counter("messages", metrics.phases().back().congestion.messages);
+  bc_span.counter("peak-slot",
+                  metrics.phases().back().congestion.peak_slot_messages);
+  bc_span.counter("retransmissions", retransmissions - cc_retransmissions);
+  bc_span.finish();
   outcome.total_rounds = outcome.convergecast_rounds + outcome.broadcast_rounds;
   outcome.convergecast_congestion = metrics.phases()[0].congestion;
   outcome.broadcast_congestion = metrics.phases()[1].congestion;
   outcome.round_histogram = metrics.round_histogram();
+
+  // Registry totals are commutative atomics, so they stay deterministic even
+  // when scheduler calls race on pool workers.
+  static MetricCounter& message_metric =
+      MetricsRegistry::global().counter("sched.messages");
+  static MetricCounter& retransmission_metric =
+      MetricsRegistry::global().counter("sched.retransmissions");
+  static MetricCounter& phase_metric =
+      MetricsRegistry::global().counter("sched.phases");
+  static MetricHistogram& peak_slot_metric = MetricsRegistry::global().histogram(
+      "sched.peak_slot_messages", MetricsRegistry::pow2_bounds(12));
+  message_metric.increment(outcome.messages);
+  retransmission_metric.increment(retransmissions);
+  phase_metric.increment(2);
+  peak_slot_metric.observe(outcome.convergecast_congestion.peak_slot_messages);
+  peak_slot_metric.observe(outcome.broadcast_congestion.peak_slot_messages);
   return outcome;
 }
 

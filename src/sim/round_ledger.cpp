@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace dls {
 
 void RoundLedger::charge_local(std::uint64_t rounds, const std::string& label) {
@@ -54,6 +57,19 @@ void RoundLedger::clear() {
 }
 
 void RoundLedger::record_recovery(RecoveryEvent event) {
+  // Every recovery transition, wherever it is recorded (supervisor ladder,
+  // solver watchdog, checkpoint restore), becomes a span annotation on the
+  // ambient trace and a registry tick. No-ops on untraced runs beyond one
+  // atomic add; clean runs record no events at all.
+  if (Tracer* tracer = Tracer::ambient()) {
+    tracer->annotate_current("recovery: " + to_string(event));
+  }
+  static MetricCounter& recovery_metric =
+      MetricsRegistry::global().counter("recovery.events");
+  recovery_metric.increment();
+  MetricsRegistry::global()
+      .counter(std::string("recovery.") + to_string(event.action))
+      .increment();
   recovery_events_.push_back(std::move(event));
 }
 

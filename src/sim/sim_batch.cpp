@@ -1,5 +1,9 @@
 #include "sim/sim_batch.hpp"
 
+#include <memory>
+
+#include "obs/ledger_clock.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace dls {
@@ -26,13 +30,39 @@ std::size_t SimBatch::add(std::string label, Task task) {
 void SimBatch::run(ThreadPool* pool) {
   DLS_REQUIRE(!finished_, "SimBatch::run may be called once");
   outcomes_.resize(tasks_.size());
-  parallel_for_each(pool, tasks_.size(), [this](std::size_t i) {
+  // Span tracing follows the same discipline as the ledgers: each scenario
+  // writes into a PRIVATE tracer clocked by its private ledger (installed as
+  // the scenario's ambient tracer for the duration of the task), and the
+  // finished slot traces are absorbed below in index order — never completion
+  // order — so the merged span stream is bit-identical for any thread count.
+  Tracer* parent = Tracer::ambient();
+  std::vector<std::unique_ptr<Tracer>> slot_tracers(tasks_.size());
+  if (parent != nullptr) {
+    for (auto& tracer : slot_tracers) tracer = std::make_unique<Tracer>();
+  }
+  parallel_for_each(pool, tasks_.size(), [&](std::size_t i) {
     SimOutcome& out = outcomes_[i];
     out.label = labels_[i];
     out.seed = derive_scenario_seed(root_seed_, i);
+    // Install the slot tracer (or nullptr when untraced) unconditionally:
+    // with a null pool the task runs on the calling thread, and its spans
+    // must not leak straight into the parent tracer.
+    Tracer* slot_tracer = parent != nullptr ? slot_tracers[i].get() : nullptr;
+    TraceScope scope(slot_tracer);
+    ClockScope clock(slot_tracer, ledger_clock(out.ledger));
+    ScopedSpan span(slot_tracer, "sim/scenario", SpanKind::kScenario);
+    if (span.active()) {
+      span.counter("index", i);
+      span.note(out.label);
+    }
     Rng rng(out.seed);
     tasks_[i](rng, out);
   });
+  if (parent != nullptr) {
+    ScopedSpan batch_span(parent, "sim/batch", SpanKind::kSession);
+    batch_span.counter("scenarios", tasks_.size());
+    for (const auto& tracer : slot_tracers) parent->absorb(*tracer);
+  }
   finished_ = true;
 }
 

@@ -12,6 +12,8 @@
 
 #include "congested_pa/solver.hpp"
 #include "graph/generators.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 
 namespace dls {
 namespace golden {
@@ -90,6 +92,31 @@ inline CongestedPaOutcome run_golden_case(const std::string& family,
   Rng rng(kSolverSeed);
   return solve_congested_pa(s.graph, s.pc, s.values, AggregationMonoid::sum(),
                             rng, options);
+}
+
+/// One golden case run under a fresh ambient tracer. The span stream
+/// fingerprints the pipeline's control flow the same way the ledger
+/// fingerprints its cost: `trace_spans` pins how many phases ran and
+/// `trace_hash` (obs/trace_export.hpp) pins their names, nesting, counters
+/// and round cursors structurally. The outcome must be identical to an
+/// untraced run — tracing observes, it never steers.
+struct TracedGoldenCase {
+  CongestedPaOutcome outcome;
+  std::size_t trace_spans = 0;
+  std::uint64_t trace_hash = 0;
+};
+
+inline TracedGoldenCase run_golden_case_traced(const std::string& family,
+                                               PaModel model) {
+  TracedGoldenCase result;
+  Tracer tracer;
+  {
+    TraceScope scope(&tracer);
+    result.outcome = run_golden_case(family, model);
+  }
+  result.trace_spans = tracer.spans().size();
+  result.trace_hash = trace_hash(tracer);
+  return result;
 }
 
 }  // namespace golden

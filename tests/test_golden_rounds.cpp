@@ -42,35 +42,50 @@ struct GoldenRow {
   std::uint64_t total_messages;
   std::size_t num_entries;  // ledger entry count: pins the phase structure
   double checksum;          // sum over parts of the aggregate (exact)
+  std::size_t trace_spans;  // spans recorded by a traced run of the case
+  std::uint64_t trace_hash; // structural hash of the span stream (names,
+                            // nesting, counters, round cursors)
 };
 
 // Golden table — output of tools/golden_rounds_gen, pasted verbatim.
 const GoldenRow kGolden[] = {
     // clang-format off
     {"grid", PaModel::kSupportedCongest,
-     3, 5, 12, 812, 812, 0, 1, 656, 9, 14.0},
+     3, 5, 12, 812, 812, 0, 1, 656, 9, 14.0,
+     16, 0x23a74eb51e96f0dfULL},
     {"grid", PaModel::kCongest,
-     3, 5, 12, 1774, 1774, 0, 1, 656, 14, 14.0},
+     3, 5, 12, 1774, 1774, 0, 1, 656, 14, 14.0,
+     16, 0x47e0f45966eec389ULL},
     {"grid", PaModel::kNcc,
-     3, 1, 0, 8, 0, 8, 0, 0, 1, 14.0},
+     3, 1, 0, 8, 0, 8, 0, 0, 1, 14.0,
+     2, 0x503f4b2dd2a16a8dULL},
     {"tree", PaModel::kSupportedCongest,
-     3, 5, 12, 425, 425, 0, 1, 360, 9, 14.0},
+     3, 5, 12, 425, 425, 0, 1, 360, 9, 14.0,
+     16, 0x50cd856191da95fbULL},
     {"tree", PaModel::kCongest,
-     3, 5, 12, 1034, 1034, 0, 1, 360, 14, 14.0},
+     3, 5, 12, 1034, 1034, 0, 1, 360, 14, 14.0,
+     16, 0xe0c23008b58fa12fULL},
     {"tree", PaModel::kNcc,
-     3, 1, 0, 9, 0, 9, 0, 0, 1, 14.0},
+     3, 1, 0, 9, 0, 9, 0, 0, 1, 14.0,
+     2, 0x972ad68bef7b826bULL},
     {"expander", PaModel::kSupportedCongest,
-     3, 5, 12, 516, 516, 0, 1, 540, 9, 14.0},
+     3, 5, 12, 516, 516, 0, 1, 540, 9, 14.0,
+     16, 0xf52898855aa06967ULL},
     {"expander", PaModel::kCongest,
-     3, 5, 12, 955, 955, 0, 1, 540, 14, 14.0},
+     3, 5, 12, 955, 955, 0, 1, 540, 14, 14.0,
+     16, 0x8b93949755926d33ULL},
     {"expander", PaModel::kNcc,
-     3, 1, 0, 8, 0, 8, 0, 0, 1, 14.0},
+     3, 1, 0, 8, 0, 8, 0, 0, 1, 14.0,
+     2, 0x503f4b2dd2a16a8dULL},
     {"ktree", PaModel::kSupportedCongest,
-     3, 5, 12, 232, 232, 0, 1, 156, 9, 14.0},
+     3, 5, 12, 232, 232, 0, 1, 156, 9, 14.0,
+     12, 0xbe5e354bb5879123ULL},
     {"ktree", PaModel::kCongest,
-     3, 5, 12, 524, 524, 0, 1, 156, 14, 14.0},
+     3, 5, 12, 524, 524, 0, 1, 156, 14, 14.0,
+     12, 0x643906ba522f189bULL},
     {"ktree", PaModel::kNcc,
-     3, 1, 0, 9, 0, 9, 0, 0, 1, 14.0},
+     3, 1, 0, 9, 0, 9, 0, 0, 1, 14.0,
+     2, 0x972ad68bef7b826bULL},
     // clang-format on
 };
 
@@ -93,6 +108,20 @@ TEST_P(GoldenRounds, MatchesPinnedTrace) {
   double checksum = 0.0;
   for (const double r : outcome.results) checksum += r;
   EXPECT_EQ(checksum, row.checksum);  // exact: integer-valued inputs
+
+  // Tracing observes, never steers: a traced re-run must reproduce the
+  // outcome bit-for-bit, and its span stream is pinned structurally (count
+  // and hash) just like the round numbers above.
+  const golden::TracedGoldenCase traced =
+      golden::run_golden_case_traced(row.family, row.model);
+  EXPECT_TRUE(traced.outcome.ledger == outcome.ledger)
+      << "tracing changed the round accounting";
+  EXPECT_EQ(traced.outcome.results, outcome.results);
+  EXPECT_EQ(traced.outcome.total_rounds, outcome.total_rounds);
+  EXPECT_EQ(traced.trace_spans, row.trace_spans);
+  EXPECT_EQ(traced.trace_hash, row.trace_hash)
+      << "span fingerprint drifted; regenerate with tools/golden_rounds_gen "
+         "only for a deliberate semantic change";
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,189 @@
+// Trace-invariance harness: span fingerprints must be bit-identical across
+// thread counts ({serial, 1, 4} — mirroring tests/test_differential.cpp's
+// corpus discipline) and across batch shapes ({1, 16} RHS per call) for the
+// batched solver, and tracing must never perturb the traced computation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "congested_pa/solver.hpp"
+#include "graph/generators.hpp"
+#include "laplacian/recursive_solver.hpp"
+#include "linalg/vector_ops.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
+#include "sim/sim_batch.hpp"
+#include "trace_test_util.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dls {
+namespace {
+
+using trace_test::expect_well_formed;
+
+// --- Congested-PA corpus (the differential families, reduced) -------------
+
+constexpr std::uint64_t kCorpusRootSeed = 0x7ACE5EEDULL;
+constexpr std::size_t kCorpusCases = 48;
+
+Graph random_family_graph(int family, Rng& rng) {
+  switch (family % 5) {
+    case 0: return make_grid(4 + rng.next_below(4), 4 + rng.next_below(4));
+    case 1: return make_random_regular(24 + 2 * rng.next_below(8), 4, rng);
+    case 2: return make_weighted_grid(5, 5 + rng.next_below(3), rng);
+    case 3: return make_random_tree(20 + rng.next_below(20), rng);
+    default: return make_torus(5, 5 + rng.next_below(3));
+  }
+}
+
+void corpus_task(Rng& rng, SimOutcome& out) {
+  const int family = static_cast<int>(rng.next_below(5));
+  const std::size_t rho = 1 + rng.next_below(8);
+  const std::size_t k = 2 + rng.next_below(4);
+  const int model_pick = static_cast<int>(rng.next_below(3));
+  const Graph g = random_family_graph(family, rng);
+  const PartCollection pc = stacked_voronoi_instance(g, k, rho, rng);
+  std::vector<std::vector<double>> values(pc.num_parts());
+  for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+    values[i].reserve(pc.parts[i].size());
+    for (std::size_t j = 0; j < pc.parts[i].size(); ++j) {
+      values[i].push_back(static_cast<double>(
+          static_cast<std::int64_t>(rng.next_below(11)) - 5));
+    }
+  }
+  CongestedPaOptions options;
+  options.model = model_pick == 0   ? PaModel::kSupportedCongest
+                  : model_pick == 1 ? PaModel::kCongest
+                                    : PaModel::kNcc;
+  const CongestedPaOutcome outcome = solve_congested_pa(
+      g, pc, values, AggregationMonoid::sum(), rng, options);
+  out.ledger = outcome.ledger;
+  for (double r : outcome.results) out.results.push_back(r);
+}
+
+SimBatch build_corpus() {
+  SimBatch batch(kCorpusRootSeed);
+  for (std::size_t c = 0; c < kCorpusCases; ++c) {
+    batch.add("corpus" + std::to_string(c), corpus_task);
+  }
+  return batch;
+}
+
+struct CorpusRun {
+  std::string fingerprint;
+  std::vector<SimOutcome> outcomes;
+};
+
+CorpusRun run_corpus_traced(ThreadPool* pool) {
+  CorpusRun run;
+  Tracer tracer;
+  SimBatch corpus = build_corpus();
+  {
+    TraceScope scope(&tracer);
+    corpus.run(pool);
+  }
+  expect_well_formed(tracer);
+  run.fingerprint = trace_fingerprint(tracer);
+  run.outcomes = corpus.outcomes();
+  return run;
+}
+
+TEST(TraceDeterminism, CorpusFingerprintBitIdenticalAcrossThreadCounts) {
+  const CorpusRun serial = run_corpus_traced(nullptr);
+  ThreadPool pool1(1);
+  const CorpusRun one = run_corpus_traced(&pool1);
+  ThreadPool pool4(4);
+  const CorpusRun four = run_corpus_traced(&pool4);
+
+  EXPECT_EQ(serial.fingerprint, one.fingerprint);
+  EXPECT_EQ(serial.fingerprint, four.fingerprint);
+
+  // Tracing must not perturb the traced computation: the traced serial run's
+  // outcomes are bit-identical to an untraced one.
+  SimBatch untraced = build_corpus();
+  untraced.run(nullptr);
+  ASSERT_EQ(untraced.outcomes().size(), serial.outcomes.size());
+  for (std::size_t c = 0; c < serial.outcomes.size(); ++c) {
+    const SimOutcome& a = untraced.outcomes()[c];
+    const SimOutcome& b = serial.outcomes[c];
+    EXPECT_EQ(a.results, b.results) << a.label;
+    EXPECT_TRUE(a.ledger == b.ledger) << a.label;
+  }
+}
+
+// --- Batched multi-RHS sessions -------------------------------------------
+
+LaplacianSolverOptions quick_options() {
+  LaplacianSolverOptions options;
+  options.tolerance = 1e-6;
+  options.base_size = 16;
+  return options;
+}
+
+std::vector<Vec> random_batch(std::size_t k, std::size_t n,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec> bs;
+  bs.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    Vec b(n);
+    for (double& v : b) v = rng.next_double() * 2 - 1;
+    project_mean_zero(b);
+    bs.push_back(std::move(b));
+  }
+  return bs;
+}
+
+/// Solves 16 right-hand sides on a fresh solver stack, `batch_size` per
+/// solve_batch call, and returns the run's span fingerprint.
+std::string run_session_traced(std::size_t batch_size, ThreadPool* pool) {
+  Graph g;
+  {
+    Rng graph_rng(99);
+    g = make_weighted_grid(8, 8, graph_rng);
+  }
+  Rng rng(100);
+  ShortcutPaOracle oracle(g, rng);
+  DistributedLaplacianSolver solver(oracle, rng, quick_options());
+  const std::vector<Vec> bs = random_batch(16, g.num_nodes(), 555);
+
+  Tracer tracer;
+  {
+    TraceScope scope(&tracer);
+    SolveSession session(solver);
+    for (std::size_t start = 0; start < bs.size(); start += batch_size) {
+      std::vector<Vec> chunk(bs.begin() + start,
+                             bs.begin() + start + batch_size);
+      const auto reports = session.solve_batch(chunk, pool);
+      for (const auto& report : reports) EXPECT_TRUE(report.converged);
+    }
+  }
+  expect_well_formed(tracer);
+  return trace_fingerprint(tracer);
+}
+
+class SessionTraceDeterminism : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SessionTraceDeterminism, FingerprintBitIdenticalAcrossThreadCounts) {
+  const std::size_t batch_size = GetParam();
+  const std::string serial = run_session_traced(batch_size, nullptr);
+  ThreadPool pool1(1);
+  const std::string one = run_session_traced(batch_size, &pool1);
+  ThreadPool pool4(4);
+  const std::string four = run_session_traced(batch_size, &pool4);
+  EXPECT_EQ(serial, one);
+  EXPECT_EQ(serial, four);
+  EXPECT_NE(serial.find("session/rhs"), std::string::npos);
+  EXPECT_NE(serial.find("session/batch"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, SessionTraceDeterminism,
+                         ::testing::Values(std::size_t{1}, std::size_t{16}),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return "batch" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace dls

@@ -1,0 +1,430 @@
+// The span tracer and metrics registry (src/obs/): primitive semantics
+// (nesting, clocks, caps, absorption, ambient scoping), the structural
+// contract of traces produced by real runs — clean AND faulted — and the
+// root-span-equals-ledger identity that anchors every span interval to the
+// round accounting the paper's bounds are stated in.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "graph/generators.hpp"
+#include "laplacian/recursive_solver.hpp"
+#include "linalg/vector_ops.hpp"
+#include "obs/ledger_clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
+#include "resilience/solve_supervisor.hpp"
+#include "sim/fault_injection.hpp"
+#include "trace_test_util.hpp"
+
+#include "golden_scenario.hpp"
+
+namespace dls {
+namespace {
+
+using trace_test::expect_well_formed;
+using trace_test::find_span;
+
+// --- Tracer primitives -----------------------------------------------------
+
+TEST(Tracer, SpansNestAndCloseInLifoOrder) {
+  Tracer tracer;
+  {
+    ScopedSpan a(&tracer, "a", SpanKind::kOther);
+    EXPECT_EQ(tracer.open_depth(), 1u);
+    {
+      ScopedSpan b(&tracer, "b", SpanKind::kPhase);
+      b.counter("k", 7);
+      EXPECT_EQ(tracer.open_depth(), 2u);
+    }
+    ScopedSpan c(&tracer, "c", SpanKind::kPhase);
+    EXPECT_EQ(tracer.open_depth(), 2u);
+  }
+  ASSERT_EQ(tracer.spans().size(), 3u);
+  const auto& spans = tracer.spans();
+  EXPECT_EQ(spans[0].name, "a");
+  EXPECT_EQ(spans[0].parent, kNoSpan);
+  EXPECT_EQ(spans[1].name, "b");
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_EQ(spans[1].depth, 1u);
+  ASSERT_EQ(spans[1].counters.size(), 1u);
+  EXPECT_EQ(spans[1].counters[0].first, "k");
+  EXPECT_EQ(spans[1].counters[0].second, 7u);
+  EXPECT_EQ(spans[2].name, "c");
+  EXPECT_EQ(spans[2].parent, 0u);  // sibling of b, not child
+  expect_well_formed(tracer);
+}
+
+TEST(Tracer, NullTracerSpansAreInertNoOps) {
+  ScopedSpan span(nullptr, "ghost", SpanKind::kOther);
+  span.counter("k", 1);
+  span.note("ignored");
+  span.finish();
+  EXPECT_FALSE(span.active());
+}
+
+TEST(Tracer, SpanCursorsSnapshotTheCurrentClock) {
+  RoundLedger ledger;
+  Tracer tracer;
+  ClockScope clock(&tracer, ledger_clock(ledger));
+  ledger.charge_local(5, "warmup");
+  std::uint32_t id;
+  {
+    ScopedSpan span(&tracer, "phase", SpanKind::kPhase);
+    id = tracer.current();
+    ledger.charge_local(10, "inside");
+    ledger.charge_global(3, "inside-global");
+  }
+  const SpanRecord& s = tracer.spans()[id];
+  EXPECT_EQ(s.begin.local_rounds, 5u);
+  EXPECT_EQ(s.end.local_rounds, 15u);
+  EXPECT_EQ(s.begin.global_rounds, 0u);
+  EXPECT_EQ(s.end.global_rounds, 3u);
+}
+
+TEST(Tracer, ReenteringTheSameLedgerSharesOneTimeline) {
+  RoundLedger ledger;
+  Tracer tracer;
+  ClockScope outer(&tracer, ledger_clock(ledger));
+  const std::uint32_t outer_id = tracer.current_clock();
+  {
+    ClockScope inner(&tracer, ledger_clock(ledger));
+    EXPECT_EQ(tracer.current_clock(), outer_id);  // deduped, no fork
+  }
+  RoundLedger other;
+  ClockScope forked(&tracer, ledger_clock(other));
+  EXPECT_NE(tracer.current_clock(), outer_id);
+}
+
+TEST(Tracer, DropsPastTheCapAreCountedNeverSilent) {
+  TracerOptions options;
+  options.max_spans = 2;
+  Tracer tracer({}, options);
+  {
+    ScopedSpan a(&tracer, "a", SpanKind::kOther);
+    ScopedSpan b(&tracer, "b", SpanKind::kOther);
+    ScopedSpan c(&tracer, "c", SpanKind::kOther);  // over budget: dropped
+    EXPECT_FALSE(c.active());
+  }
+  EXPECT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.dropped_spans(), 1u);
+  // The fingerprint surfaces the drop.
+  EXPECT_NE(trace_fingerprint(tracer).find("dropped=1"), std::string::npos);
+}
+
+TEST(Tracer, DepthCapDropsDeepSpans) {
+  TracerOptions options;
+  options.max_depth = 2;
+  Tracer tracer({}, options);
+  {
+    ScopedSpan a(&tracer, "a", SpanKind::kOther);
+    ScopedSpan b(&tracer, "b", SpanKind::kOther);
+    ScopedSpan c(&tracer, "c", SpanKind::kOther);
+    EXPECT_FALSE(c.active());
+  }
+  EXPECT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.dropped_spans(), 1u);
+}
+
+TEST(Tracer, AnnotateWithoutOpenSpanLandsInOrphanNotes) {
+  Tracer tracer;
+  tracer.annotate_current("homeless");
+  ASSERT_EQ(tracer.orphan_notes().size(), 1u);
+  EXPECT_EQ(tracer.orphan_notes()[0], "homeless");
+  {
+    ScopedSpan span(&tracer, "host", SpanKind::kOther);
+    tracer.annotate_current("housed");
+  }
+  ASSERT_EQ(tracer.spans()[0].notes.size(), 1u);
+  EXPECT_EQ(tracer.spans()[0].notes[0], "housed");
+  EXPECT_EQ(tracer.orphan_notes().size(), 1u);
+}
+
+TEST(Tracer, AbsorbReparentsUnderTheCurrentSpanInOrder) {
+  RoundLedger child_ledger;
+  Tracer child_a;
+  {
+    ClockScope clock(&child_a, ledger_clock(child_ledger));
+    ScopedSpan root(&child_a, "slot-a", SpanKind::kScenario);
+    ScopedSpan inner(&child_a, "work", SpanKind::kPhase);
+  }
+  Tracer child_b;
+  {
+    ScopedSpan root(&child_b, "slot-b", SpanKind::kScenario);
+  }
+
+  Tracer parent;
+  {
+    ScopedSpan batch(&parent, "batch", SpanKind::kSession);
+    parent.absorb(child_a);
+    parent.absorb(child_b);
+  }
+  ASSERT_EQ(parent.spans().size(), 4u);
+  const auto& spans = parent.spans();
+  EXPECT_EQ(spans[0].name, "batch");
+  EXPECT_EQ(spans[1].name, "slot-a");
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[2].name, "work");
+  EXPECT_EQ(spans[2].parent, 1u);
+  EXPECT_EQ(spans[2].depth, 2u);
+  EXPECT_EQ(spans[3].name, "slot-b");
+  EXPECT_EQ(spans[3].parent, 0u);
+  // The child's clock arrived in the parent's registry; its source is kept
+  // for grouping but its reader is detached (the ledger may be gone).
+  EXPECT_GE(parent.num_clocks(), 2u);
+  expect_well_formed(parent);
+}
+
+TEST(Tracer, TraceScopeInstallsSuppressesAndRestores) {
+  EXPECT_EQ(Tracer::ambient(), nullptr);
+  Tracer tracer;
+  {
+    TraceScope install(&tracer);
+    EXPECT_EQ(Tracer::ambient(), &tracer);
+    {
+      TraceScope suppress(nullptr);
+      EXPECT_EQ(Tracer::ambient(), nullptr);
+    }
+    EXPECT_EQ(Tracer::ambient(), &tracer);
+  }
+  EXPECT_EQ(Tracer::ambient(), nullptr);
+}
+
+// --- Real runs: structural contract and the root-span/ledger identity -----
+
+TEST(TracedRuns, CleanGoldenRunIsWellFormedAndMatchesLedger) {
+  for (const char* family : golden::kFamilies) {
+    Tracer tracer;
+    CongestedPaOutcome outcome;
+    {
+      TraceScope scope(&tracer);
+      outcome = golden::run_golden_case(family, PaModel::kSupportedCongest);
+    }
+    expect_well_formed(tracer);
+    const SpanRecord* root = find_span(tracer, "pa/congested-solve");
+    ASSERT_NE(root, nullptr) << family;
+    EXPECT_EQ(root->parent, kNoSpan) << family;
+    // The root span's round interval IS the ledger: it opens before the
+    // first charge and closes after the last one.
+    EXPECT_EQ(root->begin.local_rounds, 0u);
+    EXPECT_EQ(root->begin.messages, 0u);
+    EXPECT_EQ(root->end.local_rounds, outcome.ledger.total_local()) << family;
+    EXPECT_EQ(root->end.global_rounds, outcome.ledger.total_global()) << family;
+    EXPECT_EQ(root->end.messages, outcome.ledger.total_messages()) << family;
+  }
+}
+
+TEST(TracedRuns, FaultedRunIsWellFormedAndMatchesLedger) {
+  const Graph g = make_grid(6, 6);
+  Rng inst_rng(42);
+  const PartCollection pc = stacked_voronoi_instance(g, 3, 2, inst_rng);
+  std::vector<std::vector<double>> values(pc.num_parts());
+  for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+    values[i].assign(pc.parts[i].size(), 1.0);
+  }
+  FaultConfig config;
+  config.drop_rate = 0.25;
+  config.duplicate_rate = 0.1;
+  FaultPlan plan(/*seed=*/9, config);
+  CongestedPaOptions options;
+  options.faults = &plan;
+
+  Tracer tracer;
+  CongestedPaOutcome outcome;
+  {
+    TraceScope scope(&tracer);
+    Rng rng(1001);
+    outcome = solve_congested_pa(g, pc, values, AggregationMonoid::sum(), rng,
+                                 options);
+  }
+  ASSERT_FALSE(plan.injected().empty()) << "fault mix injected nothing";
+  expect_well_formed(tracer);
+  const SpanRecord* root = find_span(tracer, "pa/congested-solve");
+  ASSERT_NE(root, nullptr);
+  // Retransmissions and duplicates are all charged inside the root span, so
+  // the identity holds under faults exactly as it does clean.
+  EXPECT_EQ(root->end.local_rounds, outcome.ledger.total_local());
+  EXPECT_EQ(root->end.messages, outcome.ledger.total_messages());
+}
+
+TEST(TracedRuns, RecoveryLadderAnnotatesTheSupervisorSpan) {
+  const Graph g = make_grid(6, 6);
+  Rng inst_rng(7);
+  const PartCollection pc = stacked_voronoi_instance(g, 3, 2, inst_rng);
+  std::vector<std::vector<double>> values(pc.num_parts());
+  for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+    values[i].assign(pc.parts[i].size(), 1.0);
+  }
+  // Permanently lossy primary with a tiny budget: the ladder must walk
+  // retry -> rebuild -> degrade and finish on the baseline oracle.
+  FaultConfig config;
+  config.drop_rate = 1.0;
+  config.horizon = FaultConfig::kNoHorizon;
+  config.round_limit = 64;
+  FaultPlan plan(/*seed=*/77, config);
+  Rng oracle_rng(1001);
+  ShortcutPaOracle primary(g, oracle_rng);
+  primary.set_fault_plan(&plan);
+  SupervisorConfig sup_config;
+  sup_config.mode = SupervisorMode::kDegrade;
+  sup_config.retry_budget = 1;
+  sup_config.rebuild_budget = 1;
+  SupervisedPaOracle supervised(primary, sup_config);
+
+  Tracer tracer;
+  {
+    TraceScope scope(&tracer);
+    const std::vector<double> results =
+        supervised.aggregate_once(pc, values, AggregationMonoid::sum());
+    for (std::size_t i = 0; i < pc.num_parts(); ++i) {
+      EXPECT_EQ(results[i], static_cast<double>(pc.parts[i].size()));
+    }
+  }
+  EXPECT_TRUE(supervised.degraded());
+  expect_well_formed(tracer);
+  const SpanRecord* ladder = find_span(tracer, "supervisor/measure");
+  ASSERT_NE(ladder, nullptr);
+  EXPECT_EQ(ladder->kind, SpanKind::kRecovery);
+  bool saw_retry = false, saw_degrade = false;
+  for (const std::string& note : ladder->notes) {
+    if (note.rfind("recovery: retry", 0) == 0) saw_retry = true;
+    if (note.rfind("recovery: degrade", 0) == 0) saw_degrade = true;
+  }
+  EXPECT_TRUE(saw_retry) << "retry rung left no annotation";
+  EXPECT_TRUE(saw_degrade) << "degrade rung left no annotation";
+}
+
+TEST(TracedRuns, SolverSolveSpanMatchesOracleLedger) {
+  Rng rng(2024);
+  const Graph g = make_weighted_grid(6, 6, rng);
+  ShortcutPaOracle oracle(g, rng);
+  LaplacianSolverOptions options;
+  options.tolerance = 1e-6;
+  options.base_size = 16;
+  DistributedLaplacianSolver solver(oracle, rng, options);
+  Vec b(g.num_nodes());
+  Rng rhs_rng(5);
+  for (double& v : b) v = rhs_rng.next_double() * 2 - 1;
+  project_mean_zero(b);
+
+  Tracer tracer;
+  LaplacianSolveReport report;
+  {
+    TraceScope scope(&tracer);
+    report = solver.solve(b);
+  }
+  EXPECT_TRUE(report.converged);
+  expect_well_formed(tracer);
+  const SpanRecord* solve = find_span(tracer, "solver/solve");
+  ASSERT_NE(solve, nullptr);
+  // One traced solve on a fresh solver: the solve span's interval is exactly
+  // the oracle ledger's lifetime totals.
+  EXPECT_EQ(solve->begin.local_rounds, 0u);
+  EXPECT_EQ(solve->end.local_rounds, oracle.ledger().total_local());
+  EXPECT_EQ(solve->end.global_rounds, oracle.ledger().total_global());
+  EXPECT_EQ(solve->end.messages, oracle.ledger().total_messages());
+  EXPECT_NE(find_span(tracer, "solver/outer-iteration"), nullptr);
+  EXPECT_NE(find_span(tracer, "pa/call"), nullptr);
+}
+
+// --- Exporters -------------------------------------------------------------
+
+TEST(TraceExport, ChromeJsonHasBalancedBeginEndPairs) {
+  Tracer tracer;
+  {
+    TraceScope scope(&tracer);
+    golden::run_golden_case("grid", PaModel::kSupportedCongest);
+  }
+  const std::string json = chrome_trace_json(tracer);
+  std::size_t begins = 0, ends = 0, pos = 0;
+  while ((pos = json.find("\"ph\": \"B\"", pos)) != std::string::npos) {
+    ++begins;
+    ++pos;
+  }
+  pos = 0;
+  while ((pos = json.find("\"ph\": \"E\"", pos)) != std::string::npos) {
+    ++ends;
+    ++pos;
+  }
+  EXPECT_EQ(begins, tracer.spans().size());
+  EXPECT_EQ(begins, ends);
+}
+
+TEST(TraceExport, FingerprintIsStableAcrossIdenticalRuns) {
+  const auto run = [] {
+    Tracer tracer;
+    {
+      TraceScope scope(&tracer);
+      golden::run_golden_case("tree", PaModel::kCongest);
+    }
+    return trace_fingerprint(tracer);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// --- Metrics registry ------------------------------------------------------
+
+TEST(Metrics, CountersAccumulateAndReset) {
+  MetricsRegistry registry;
+  MetricCounter& c = registry.counter("test.counter");
+  c.increment();
+  c.increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(&registry.counter("test.counter"), &c);  // stable reference
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, HistogramBucketsAreCumulative) {
+  MetricsRegistry registry;
+  MetricHistogram& h = registry.histogram("test.hist", {1, 4, 16});
+  h.observe(0);
+  h.observe(1);
+  h.observe(5);
+  h.observe(100);  // overflow bucket
+  EXPECT_EQ(h.cumulative(0), 2u);   // <= 1
+  EXPECT_EQ(h.cumulative(1), 2u);   // <= 4
+  EXPECT_EQ(h.cumulative(2), 3u);   // <= 16
+  EXPECT_EQ(h.total_count(), 4u);
+  EXPECT_EQ(h.total_sum(), 106u);
+}
+
+TEST(Metrics, ExportTextIsNameSortedAndDeterministic) {
+  MetricsRegistry registry;
+  registry.counter("z.last").increment(3);
+  registry.counter("a.first").increment(1);
+  registry.histogram("m.hist", {2}).observe(1);
+  const std::string text = registry.export_text();
+  // Counters print name-sorted (registration order must not leak), and the
+  // whole dump is deterministic.
+  const std::size_t a = text.find("a.first 1");
+  const std::size_t m = text.find("m.hist");
+  const std::size_t z = text.find("z.last 3");
+  ASSERT_NE(a, std::string::npos) << text;
+  ASSERT_NE(m, std::string::npos) << text;
+  ASSERT_NE(z, std::string::npos) << text;
+  EXPECT_LT(a, z);
+  EXPECT_EQ(text, registry.export_text());
+}
+
+TEST(Metrics, Pow2BoundsShape) {
+  const auto bounds = MetricsRegistry::pow2_bounds(4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_EQ(bounds[0], 1u);
+  EXPECT_EQ(bounds[3], 8u);
+}
+
+TEST(Metrics, GlobalRegistryTicksOnRecoveryEvents) {
+  MetricCounter& events = MetricsRegistry::global().counter("recovery.events");
+  const std::uint64_t before = events.value();
+  RoundLedger ledger;
+  RecoveryEvent event;
+  event.action = RecoveryAction::kRetry;
+  ledger.record_recovery(event);
+  EXPECT_EQ(events.value(), before + 1);
+}
+
+}  // namespace
+}  // namespace dls

@@ -1,0 +1,56 @@
+// Shared span-stream invariant checks for the tracing test suites
+// (tests/test_tracing.cpp, tests/test_trace_determinism.cpp).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.hpp"
+
+namespace dls {
+namespace trace_test {
+
+/// The structural contract every finished trace must satisfy:
+///   * spans are stored in preorder and all closed,
+///   * parents precede children and depths chain by one,
+///   * round cursors are monotone over each span's lifetime,
+///   * a child on the SAME clock as its parent is contained in the parent's
+///     round interval (different clocks are different timelines — a child
+///     running against its own private ledger legitimately starts at 0).
+inline void expect_well_formed(const Tracer& tracer) {
+  const auto& spans = tracer.spans();
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    EXPECT_TRUE(s.closed) << "span " << i << " (" << s.name << ") never closed";
+    EXPECT_GE(s.end.local_rounds, s.begin.local_rounds) << s.name;
+    EXPECT_GE(s.end.global_rounds, s.begin.global_rounds) << s.name;
+    EXPECT_GE(s.end.messages, s.begin.messages) << s.name;
+    if (s.parent == kNoSpan) {
+      EXPECT_EQ(s.depth, 0u) << s.name;
+      continue;
+    }
+    ASSERT_LT(s.parent, i) << "parent of " << s.name << " does not precede it";
+    const SpanRecord& p = spans[s.parent];
+    EXPECT_EQ(s.depth, p.depth + 1) << s.name;
+    if (s.clock == p.clock) {
+      EXPECT_GE(s.begin.local_rounds, p.begin.local_rounds)
+          << s.name << " starts before its parent " << p.name;
+      EXPECT_GE(s.begin.global_rounds, p.begin.global_rounds) << s.name;
+      EXPECT_GE(s.begin.messages, p.begin.messages) << s.name;
+      EXPECT_LE(s.end.local_rounds, p.end.local_rounds)
+          << s.name << " outlives its parent " << p.name;
+      EXPECT_LE(s.end.global_rounds, p.end.global_rounds) << s.name;
+      EXPECT_LE(s.end.messages, p.end.messages) << s.name;
+    }
+  }
+}
+
+/// First span with the given name, or nullptr.
+inline const SpanRecord* find_span(const Tracer& tracer, const char* name) {
+  for (const SpanRecord& s : tracer.spans()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace trace_test
+}  // namespace dls

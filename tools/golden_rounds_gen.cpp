@@ -17,19 +17,22 @@ int main() {
   using namespace dls::golden;
   for (const char* family : kFamilies) {
     for (const PaModel model : kModels) {
-      const CongestedPaOutcome o = run_golden_case(family, model);
+      const TracedGoldenCase traced = run_golden_case_traced(family, model);
+      const CongestedPaOutcome& o = traced.outcome;
       double checksum = 0.0;
       for (const double r : o.results) checksum += r;
       std::printf(
           "    {\"%s\", PaModel::k%s,\n"
-          "     %zu, %u, %zu, %llu, %llu, %llu, %zu, %llu, %zu, %.1f},\n",
+          "     %zu, %u, %zu, %llu, %llu, %llu, %zu, %llu, %zu, %.1f,\n"
+          "     %zu, 0x%016llxULL},\n",
           family, model_name(model), o.congestion, o.phases, o.max_layers,
           static_cast<unsigned long long>(o.total_rounds),
           static_cast<unsigned long long>(o.ledger.total_local()),
           static_cast<unsigned long long>(o.ledger.total_global()),
           o.ledger.peak_congestion(),
           static_cast<unsigned long long>(o.ledger.total_messages()),
-          o.ledger.entries().size(), checksum);
+          o.ledger.entries().size(), checksum, traced.trace_spans,
+          static_cast<unsigned long long>(traced.trace_hash));
     }
   }
   return 0;
