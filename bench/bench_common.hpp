@@ -72,6 +72,11 @@ struct BenchRuntime {
   /// `--trace PATH`: hierarchical span trace of the whole run (null when the
   /// flag is absent — the default path stays untraced and bit-identical).
   std::unique_ptr<TraceSession> trace;
+  /// `--cache`: drivers that serve repeated solves route them through a
+  /// warm SolverCache entry (laplacian/solver_cache.hpp) instead of a bare
+  /// per-run stack. Off by default: the uncached path and its golden traces
+  /// are untouched.
+  bool cache = false;
 
   /// The pool to hand to SimBatch / solver options (null ⇒ serial).
   ThreadPool* pool_ptr() const { return pool.get(); }
@@ -90,6 +95,7 @@ inline BenchRuntime bench_runtime(int argc, const char* const* argv) {
     runtime.pool = std::make_unique<ThreadPool>(runtime.threads);
   }
   runtime.supervisor = supervisor_mode_from_string(flags.get("supervisor", "off"));
+  runtime.cache = flags.get_bool("cache", false);
   const std::string trace_path = flags.get("trace", "");
   if (!trace_path.empty()) {
     runtime.trace = std::make_unique<TraceSession>(trace_path);

@@ -9,12 +9,15 @@
 // to the sequential solve, for every thread count, inside the bench itself.
 //
 // Flags: --smoke (small grid for CI), --json PATH (flat metrics for
-// scripts/bench_compare.py), --threads N (extra thread count to sweep).
+// scripts/bench_compare.py), --threads N (extra thread count to sweep),
+// --cache (serve every family through a warm SolverCache entry; asserted
+// bit-identical to the bare stack, so tables and metrics are unchanged).
 #include <algorithm>
 
 #include "bench_common.hpp"
 #include "graph/generators.hpp"
 #include "laplacian/recursive_solver.hpp"
+#include "laplacian/solver_cache.hpp"
 #include "util/assert.hpp"
 #include "util/table.hpp"
 
@@ -56,6 +59,7 @@ std::vector<Vec> make_batch(std::size_t k, std::size_t n, std::uint64_t seed) {
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const bool smoke = flags.get_bool("smoke", false);
+  const bool use_cache = flags.get_bool("cache", false);
   const std::string json_path = flags.get("json", "");
   std::unique_ptr<TraceSession> trace;
   const std::string trace_path = flags.get("trace", "");
@@ -81,17 +85,52 @@ int main(int argc, char** argv) {
                "speedup", "seq rounds", "batch rounds", "rounds saved",
                "bit-identical"});
 
+  LaplacianSolverOptions options;
+  options.tolerance = 1e-6;
+  options.base_size = 40;
+  // --cache: one warm entry per family, bit-interchangeable with the bare
+  // stack below (same seed, same oracle construction order). The cache holds
+  // the entries alive across the family loop.
+  std::unique_ptr<SolverCache> cache;
+  if (use_cache) {
+    SolverCacheOptions cache_options;
+    cache_options.solver = options;
+    cache_options.oracle = CacheOracleKind::kShortcutSupported;
+    cache_options.seed = 42;
+    cache_options.max_entries = families.size();
+    cache = std::make_unique<SolverCache>(cache_options);
+  }
+
   for (const Family& family : families) {
     const std::size_t n = family.graph.num_nodes();
     Rng rng(42);
-    ShortcutPaOracle oracle(family.graph, rng);
-    LaplacianSolverOptions options;
-    options.tolerance = 1e-6;
-    options.base_size = 40;
-    DistributedLaplacianSolver solver(oracle, rng, options);
+    std::unique_ptr<ShortcutPaOracle> bare_oracle;
+    std::unique_ptr<DistributedLaplacianSolver> bare_solver;
+    DistributedLaplacianSolver* solver_ptr = nullptr;
+    if (use_cache) {
+      solver_ptr = &cache->acquire(family.graph).state.solver();
+    } else {
+      bare_oracle = std::make_unique<ShortcutPaOracle>(family.graph, rng);
+      bare_solver =
+          std::make_unique<DistributedLaplacianSolver>(*bare_oracle, rng, options);
+      solver_ptr = bare_solver.get();
+    }
+    DistributedLaplacianSolver& solver = *solver_ptr;
     // Warm-up solve: measures every PA instance once, so neither timed path
     // pays one-off measurement cost and both charge cached costs only.
-    solver.solve(make_batch(1, n, 7)[0]);
+    const LaplacianSolveReport warmup = solver.solve(make_batch(1, n, 7)[0]);
+    if (use_cache) {
+      // The cache contract, checked in the bench itself: a cached entry's
+      // solves are bit-identical to the bare (non-cached) stack's.
+      Rng ref_rng(42);
+      ShortcutPaOracle ref_oracle(family.graph, ref_rng);
+      DistributedLaplacianSolver ref_solver(ref_oracle, ref_rng, options);
+      const LaplacianSolveReport ref = ref_solver.solve(make_batch(1, n, 7)[0]);
+      DLS_REQUIRE(warmup.x == ref.x &&
+                      warmup.outer_iterations == ref.outer_iterations,
+                  "cached solve diverged from the bare stack (family " +
+                      family.name + ")");
+    }
 
     for (const std::size_t k : batch_sizes) {
       const std::vector<Vec> bs = make_batch(k, n, 1234 + k);

@@ -37,9 +37,8 @@ std::vector<double> CongestedPaOracle::aggregate(
     prepared.measured = true;
   }
   ++pa_calls_;
-  if (prepared.cost.local_rounds > 0) {
-    ledger_.charge_local(prepared.cost.local_rounds, name() + "-pa",
-                         prepared.cost.congestion);
+  if (const std::uint64_t local = effective_local(prepared); local > 0) {
+    ledger_.charge_local(local, name() + "-pa", prepared.cost.congestion);
   }
   if (prepared.cost.global_rounds > 0) {
     ledger_.charge_global(prepared.cost.global_rounds, name() + "-pa",
@@ -98,9 +97,8 @@ std::vector<double> CongestedPaOracle::aggregate_into(
     span.counter("parts", prepared.pc.num_parts());
   }
   ++pa_calls;
-  if (prepared.cost.local_rounds > 0) {
-    ledger.charge_local(prepared.cost.local_rounds, name() + "-pa",
-                        prepared.cost.congestion);
+  if (const std::uint64_t local = effective_local(prepared); local > 0) {
+    ledger.charge_local(local, name() + "-pa", prepared.cost.congestion);
   }
   if (prepared.cost.global_rounds > 0) {
     ledger.charge_global(prepared.cost.global_rounds, name() + "-pa",
@@ -120,7 +118,7 @@ std::uint64_t CongestedPaOracle::batched_local_rounds(InstanceId instance,
   DLS_REQUIRE(instance < instances_.size(), "unknown oracle instance");
   const Prepared& prepared = instances_[instance];
   DLS_REQUIRE(prepared.measured, "batched cost requires a measured instance");
-  const std::uint64_t base = prepared.cost.local_rounds;
+  const std::uint64_t base = effective_local(prepared);
   if (base == 0 || n == 0) return 0;
   // Round-robin pipelining: copy k+1 starts once the busiest slot of copy k
   // drains, i.e. max(1, peak slot occupancy) rounds behind it.
@@ -168,6 +166,41 @@ void CongestedPaOracle::charge_batched(InstanceId instance, std::size_t n,
   }
 }
 
+std::uint64_t CongestedPaOracle::construction_rounds(InstanceId instance) const {
+  DLS_REQUIRE(instance < instances_.size(), "unknown oracle instance");
+  const Prepared& prepared = instances_[instance];
+  DLS_REQUIRE(prepared.measured,
+              "construction cost requires a measured instance");
+  return prepared.cost.construction_local_rounds;
+}
+
+std::uint64_t CongestedPaOracle::measured_local_rounds(
+    InstanceId instance) const {
+  DLS_REQUIRE(instance < instances_.size(), "unknown oracle instance");
+  const Prepared& prepared = instances_[instance];
+  DLS_REQUIRE(prepared.measured, "measured cost requires a measured instance");
+  return prepared.cost.local_rounds;
+}
+
+std::uint64_t CongestedPaOracle::measured_global_rounds(
+    InstanceId instance) const {
+  DLS_REQUIRE(instance < instances_.size(), "unknown oracle instance");
+  const Prepared& prepared = instances_[instance];
+  DLS_REQUIRE(prepared.measured, "measured cost requires a measured instance");
+  return prepared.cost.global_rounds;
+}
+
+std::size_t CongestedPaOracle::approx_state_bytes() const {
+  std::size_t bytes = sizeof(*this);
+  for (const Prepared& prepared : instances_) {
+    bytes += sizeof(Prepared);
+    for (const auto& part : prepared.pc.parts) {
+      bytes += sizeof(part) + part.size() * sizeof(NodeId);
+    }
+  }
+  return bytes;
+}
+
 std::vector<double> CongestedPaOracle::aggregate_once(
     const PartCollection& pc, const std::vector<std::vector<double>>& values,
     const AggregationMonoid& monoid) {
@@ -204,10 +237,14 @@ CongestedPaOracle::Measured ShortcutPaOracle::measure(const PartCollection& pc) 
                "shortcut PA run disagrees with sequential fold");
   }
   PhaseCongestion congestion;
+  std::uint64_t construction = 0;
   for (const LedgerEntry& e : outcome.ledger.entries()) {
     congestion = merge_phases(congestion, e.congestion);
+    // CONGEST-model shortcut construction phases; absent (and therefore 0)
+    // under Supported-CONGEST, where the support pre-built the shortcuts.
+    if (e.label.rfind("construct-", 0) == 0) construction += e.local_rounds;
   }
-  return {outcome.total_rounds, 0, congestion};
+  return {outcome.total_rounds, 0, construction, congestion};
 }
 
 CongestedPaOracle::Measured NccPaOracle::measure(const PartCollection& pc) {
@@ -264,7 +301,7 @@ CongestedPaOracle::Measured BaselinePaOracle::measure(const PartCollection& pc) 
     total_rounds += pa.schedule.total_rounds;
     congestion = merge_phases(congestion, pa.schedule.congestion());
   }
-  return {total_rounds, 0, congestion};
+  return {total_rounds, 0, 0, congestion};
 }
 
 }  // namespace dls

@@ -128,6 +128,150 @@ void DistributedLaplacianSolver::warm_instances() {
   }
 }
 
+std::size_t DistributedLaplacianSolver::approx_state_bytes() const {
+  const auto minor_bytes = [](const MinorGraph& m) {
+    std::size_t b = sizeof(MinorGraph) + m.host.size() * sizeof(NodeId);
+    for (const MinorEdge& e : m.edges) {
+      b += sizeof(MinorEdge) + e.g_path.size() * sizeof(NodeId);
+    }
+    return b;
+  };
+  const auto graph_bytes = [](const Graph& g) {
+    return sizeof(Graph) + g.num_edges() * sizeof(Edge) +
+           2 * g.num_edges() * sizeof(Adjacency);
+  };
+  std::size_t bytes = sizeof(*this);
+  for (const Level& lv : levels_) {
+    bytes += minor_bytes(lv.minor) + graph_bytes(lv.view) +
+             minor_bytes(lv.sparsifier.sparsifier) +
+             lv.sparsifier.source_edges.size() *
+                 (sizeof(EdgeId) + sizeof(double)) +
+             lv.elim.steps.size() * sizeof(EliminationStep) +
+             minor_bytes(lv.elim.schur);
+    for (const auto& vals : lv.matvec_values) {
+      bytes += vals.size() * sizeof(double);
+    }
+    if (lv.base_solver != nullptr) {
+      // Dense grounded factor: n×n lower triangle stored square.
+      bytes += lv.minor.num_nodes * lv.minor.num_nodes * sizeof(double);
+    }
+  }
+  return bytes;
+}
+
+std::vector<EdgeId> DistributedLaplacianSolver::level0_tree_edges() const {
+  std::vector<EdgeId> edges;
+  const Level& lv = levels_.front();
+  if (lv.is_base) return edges;
+  const UltraSparsifier& sp = lv.sparsifier;
+  edges.reserve(sp.tree_edge_indices.size());
+  // Level 0 is the identity minor, so a sparsifier source edge IS the graph
+  // edge id.
+  for (const std::size_t idx : sp.tree_edge_indices) {
+    edges.push_back(sp.source_edges[idx]);
+  }
+  return edges;
+}
+
+void DistributedLaplacianSolver::refresh_operator_weights() {
+  Level& lv = levels_.front();
+  const Graph& g = oracle_.graph();
+  DLS_REQUIRE(lv.minor.edges.size() == g.num_edges(),
+              "level-0 minor out of sync with the graph");
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    lv.minor.edges[e].weight = g.edge(e).weight;
+  }
+  lv.view = lv.minor.as_graph();
+  if (lv.is_base) {
+    lv.base_solver = std::make_unique<GroundedCholesky>(lv.view, 0);
+  }
+}
+
+namespace {
+
+/// Weight-blind structural equality: same nodes, hosts, endpoints, and host
+/// paths. The reweight sweep commits only when every level's structure is
+/// preserved, so the measured matvec PA instances (which depend on structure
+/// alone) stay valid.
+bool same_minor_structure(const MinorGraph& a, const MinorGraph& b) {
+  if (a.num_nodes != b.num_nodes || a.host != b.host ||
+      a.edges.size() != b.edges.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.edges.size(); ++i) {
+    if (a.edges[i].u != b.edges[i].u || a.edges[i].v != b.edges[i].v ||
+        a.edges[i].g_path != b.edges[i].g_path) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool DistributedLaplacianSolver::reweight_chain_from_graph() {
+  const Graph& g = oracle_.graph();
+  struct Candidate {
+    MinorGraph minor;
+    Graph view;
+    MinorGraph sparsifier;  // non-base levels
+    EliminationResult elim;  // non-base levels
+    std::unique_ptr<GroundedCholesky> base;  // base level
+  };
+  std::vector<Candidate> cands(levels_.size());
+
+  // Phase 1: derive every level's new numerics into temporaries, validating
+  // structure as we go. Nothing below mutates the solver, so a mismatch (or
+  // an exception) leaves the chain exactly as it was.
+  MinorGraph current = levels_.front().minor;
+  if (current.edges.size() != g.num_edges()) return false;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    current.edges[e].weight = g.edge(e).weight;
+  }
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    const Level& lv = levels_[l];
+    if (!same_minor_structure(current, lv.minor)) return false;
+    cands[l].minor = current;
+    cands[l].view = cands[l].minor.as_graph();
+    if (lv.is_base) {
+      cands[l].base = std::make_unique<GroundedCholesky>(cands[l].view, 0);
+      break;
+    }
+    const UltraSparsifier& sp = lv.sparsifier;
+    if (sp.source_edges.size() != sp.sparsifier.edges.size() ||
+        sp.reweight_factors.size() != sp.sparsifier.edges.size()) {
+      return false;
+    }
+    MinorGraph respars = sp.sparsifier;
+    for (std::size_t i = 0; i < respars.edges.size(); ++i) {
+      respars.edges[i].weight =
+          current.edges[sp.source_edges[i]].weight * sp.reweight_factors[i];
+    }
+    EliminationResult elim = eliminate_degree_le2(respars);
+    if (l + 1 >= levels_.size() ||
+        !same_minor_structure(elim.schur, levels_[l + 1].minor)) {
+      return false;
+    }
+    cands[l].sparsifier = std::move(respars);
+    current = elim.schur;
+    cands[l].elim = std::move(elim);
+  }
+
+  // Phase 2: commit — pure moves, no-throw.
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    Level& lv = levels_[l];
+    lv.minor = std::move(cands[l].minor);
+    lv.view = std::move(cands[l].view);
+    if (lv.is_base) {
+      lv.base_solver = std::move(cands[l].base);
+      break;
+    }
+    lv.sparsifier.sparsifier = std::move(cands[l].sparsifier);
+    lv.elim = std::move(cands[l].elim);
+  }
+  return true;
+}
+
 std::vector<double> DistributedLaplacianSolver::ctx_aggregate(
     SolveContext& ctx, CongestedPaOracle::InstanceId instance,
     const std::vector<std::vector<double>>& values) {
@@ -397,9 +541,27 @@ Vec DistributedLaplacianSolver::solve_top_chebyshev(
   };
   // Session eigenbound reuse (opt-in): a later batch slot adopts the λ_max a
   // previous slot estimated, skipping its own charged power iteration.
-  double hi = ctx.reuse_hi != nullptr
-                  ? *ctx.reuse_hi
-                  : 1.5 * std::max(estimate_lambda_max(rhs, b_norm), 1.0);
+  double hi;
+  if (ctx.reuse_hi != nullptr) {
+    hi = *ctx.reuse_hi;
+  } else if (options_.rhs_independent_eigenbounds) {
+    // Operator-only estimate: a fixed splitmix-hashed mean-zero seed vector,
+    // so every rhs lands on the same bound and reuse stays bit-identical.
+    // The seed's norm is one extra charged dot (the rhs path knows ‖b‖).
+    Vec seed(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t h = static_cast<std::uint64_t>(i) + 0x9e3779b97f4a7c15ull;
+      h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+      h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+      h ^= h >> 31;
+      seed[i] = static_cast<double>(h >> 11) * 0x1.0p-52 - 1.0;
+    }
+    project_mean_zero(seed);
+    const double seed_norm = std::sqrt(charged_dot(ctx, seed, seed));
+    hi = 1.5 * std::max(estimate_lambda_max(seed, seed_norm), 1.0);
+  } else {
+    hi = 1.5 * std::max(estimate_lambda_max(rhs, b_norm), 1.0);
+  }
   if (ctx.publish_hi != nullptr) *ctx.publish_hi = hi;
   double lo = 0.25;  // the chain keeps M ⪰ c·L with modest c
   double theta = 0.5 * (hi + lo);
@@ -419,6 +581,9 @@ Vec DistributedLaplacianSolver::solve_top_chebyshev(
   const auto rebound = [&](WatchdogSignal signal, const Vec& seed,
                            double seed_norm) {
     hi = std::max(2.0 * hi, 1.5 * estimate_lambda_max(seed, seed_norm));
+    // Persist the widened bound: a session (or cache) that reuses eigenbounds
+    // must adopt the rebounded estimate, not re-diverge on the stale one.
+    if (ctx.publish_hi != nullptr) *ctx.publish_hi = hi;
     lo *= 0.5;
     theta = 0.5 * (hi + lo);
     delta = 0.5 * (hi - lo);

@@ -53,6 +53,15 @@ struct LaplacianSolverOptions {
   bool tree_preconditioner_only = false;  // ablation: bare-tree sparsifier
   OuterIteration outer = OuterIteration::kFlexiblePcg;
   std::size_t power_iterations = 12;   // eigenbound estimation (Chebyshev only)
+  /// Chebyshev only: seed the λ_max power iteration with a fixed
+  /// graph-size-derived vector instead of the rhs. The estimate then depends
+  /// only on the operator, so *every* rhs computes (or reuses) the same
+  /// eigenbounds and eigenbound reuse across solves keeps results bitwise
+  /// identical to cold solves — the warm-cache determinism contract
+  /// (docs/CACHING.md). Costs one extra charged inner product (the seed's
+  /// norm, which the rhs-seeded path gets for free from ‖b‖). Off by default:
+  /// the historical rhs-seeded path and its golden traces are unchanged.
+  bool rhs_independent_eigenbounds = false;
   /// Numerical watchdog over the top-level outer iteration: NaN/Inf guards on
   /// matvecs and inner products, stagnation/divergence detection, budgeted
   /// restarts, a refinement pass after any anomaly, and (Chebyshev) charged
@@ -160,6 +169,39 @@ class DistributedLaplacianSolver {
   std::size_t num_levels() const { return levels_.size(); }
   const Graph& graph() const { return oracle_.graph(); }
   CongestedPaOracle& oracle() { return oracle_; }
+  const LaplacianSolverOptions& options() const { return options_; }
+
+  /// Gather+scatter distance term of the base case (the diameter estimate
+  /// fixed at construction); exposed for honest re-charging of base rebuilds.
+  std::uint64_t base_transfer_rounds() const { return base_transfer_rounds_; }
+
+  /// Rough resident size of the hierarchy (minors, sparsifiers, elimination
+  /// records, dense base factor), for cache memory accounting.
+  std::size_t approx_state_bytes() const;
+
+  /// Graph edge ids of the level-0 sparsifier's low-stretch tree (empty when
+  /// level 0 is the base case). The cache's stretch-drift check watches these
+  /// edges: tree weights anchor the preconditioner quality, so they tolerate
+  /// less drift than sampled off-tree edges.
+  std::vector<EdgeId> level0_tree_edges() const;
+
+  /// Re-reads edge weights from oracle().graph() into the level-0 operator
+  /// (minor + view, and the base factor if level 0 is the base). Deeper
+  /// levels keep their numerics — the chain becomes a slightly stale (but
+  /// still SPD) preconditioner, which flexible PCG absorbs. This is the
+  /// "reuse as preconditioner" rung of the cache's update ladder.
+  void refresh_operator_weights();
+
+  /// Full per-level reweight sweep: re-reads graph weights, re-derives every
+  /// sparsifier's weights through its stored source/factor provenance,
+  /// re-runs degree-≤2 elimination level by level, and refactors the base.
+  /// Succeeds only when every level's structure (hosts, endpoints, host
+  /// paths, chain hops) is preserved — elimination is deterministic on the
+  /// structure, so that holds for any positive reweighting; a mismatch
+  /// returns false *before any level is mutated* and the caller should
+  /// rebuild from scratch. No rng is consumed: tree choice and off-tree
+  /// sample stay fixed, only numerics change.
+  bool reweight_chain_from_graph();
 
  private:
   friend class SolveSession;
@@ -279,6 +321,15 @@ class SolveSession {
   const RoundLedger& last_batch_ledger() const { return batch_ledger_; }
   std::uint64_t batches_run() const { return batches_run_; }
   std::uint64_t rhs_solved() const { return rhs_solved_; }
+
+  /// The Chebyshev λ_max bound the session reuses across its batches
+  /// (nullopt until a batch has estimated one, or when reuse is off). A
+  /// watchdog rebound during any slot widens the stored bound in place, so
+  /// later batches start from the rebounded estimate instead of re-diverging
+  /// against the stale one.
+  std::optional<double> cached_eigenbound() const {
+    return has_cached_hi_ ? std::optional<double>(cached_hi_) : std::nullopt;
+  }
 
  private:
   DistributedLaplacianSolver& solver_;

@@ -93,23 +93,37 @@ std::vector<LaplacianSolveReport> SolveSession::solve_batch(
   std::size_t first_parallel = 0;
   if (reuse_bounds && !has_cached_hi_) {
     // Slot 0 estimates λ_max (charged, on its own private ledger); the rest
-    // of the batch — and later batches of this session — reuse it.
+    // of the batch — and later batches of this session — reuse it. The
+    // publish pointer also persists any watchdog *rebound* slot 0 applies,
+    // so the session never re-diverges against a bound already proven stale.
     run_slot(0, nullptr, &cached_hi_);
     if (errors[0] == nullptr) has_cached_hi_ = true;
     first_parallel = 1;
   }
   const double* reuse_hi = reuse_bounds && has_cached_hi_ ? &cached_hi_ : nullptr;
+  // Reusing slots publish into private cells (never the shared bound — slots
+  // may run concurrently); rebounds are folded below after the barrier.
+  std::vector<double> slot_hi(k, 0.0);
   if (pool == nullptr) {
     for (std::size_t i = first_parallel; i < k; ++i) {
-      run_slot(i, reuse_hi, nullptr);
+      run_slot(i, reuse_hi, reuse_hi != nullptr ? &slot_hi[i] : nullptr);
     }
   } else {
     pool->parallel_for(k - first_parallel, [&](std::size_t j) {
-      run_slot(first_parallel + j, reuse_hi, nullptr);
+      const std::size_t i = first_parallel + j;
+      run_slot(i, reuse_hi, reuse_hi != nullptr ? &slot_hi[i] : nullptr);
     });
   }
   for (std::size_t i = 0; i < k; ++i) {
     if (errors[i] != nullptr) std::rethrow_exception(errors[i]);
+  }
+  if (reuse_hi != nullptr) {
+    // Persist rebounded eigenbounds: each reusing slot published the bound it
+    // ended on (== cached_hi_ unless it rebounded; rebounds only widen).
+    // max() is order-free, so the fold is thread-count invariant.
+    for (std::size_t i = first_parallel; i < k; ++i) {
+      cached_hi_ = std::max(cached_hi_, slot_hi[i]);
+    }
   }
 
   // ---- Slot-ordered merge (single-threaded from here on). ----

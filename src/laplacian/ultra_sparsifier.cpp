@@ -30,6 +30,8 @@ UltraSparsifier build_ultra_sparsifier(const MinorGraph& minor,
     if (on_tree[e]) {
       result.tree_edge_indices.push_back(result.sparsifier.edges.size());
       result.sparsifier.edges.push_back(minor.edges[e]);
+      result.source_edges.push_back(e);
+      result.reweight_factors.push_back(1.0);
     }
   }
   // Off-tree: keep with p_e = min(1, budget·stretch_e / off_tree_stretch),
@@ -43,6 +45,8 @@ UltraSparsifier build_ultra_sparsifier(const MinorGraph& minor,
         MinorEdge kept = minor.edges[e];
         kept.weight /= p;
         result.sparsifier.edges.push_back(std::move(kept));
+        result.source_edges.push_back(e);
+        result.reweight_factors.push_back(1.0 / p);
         ++result.off_tree_kept;
       }
     }

@@ -16,6 +16,14 @@ struct UltraSparsifier {
   std::vector<std::size_t> tree_edge_indices;  // indices into sparsifier.edges
   double total_stretch = 0.0;     // of the input w.r.t. the chosen tree
   std::size_t off_tree_kept = 0;
+  /// Provenance of each sparsifier edge, parallel to sparsifier.edges:
+  /// the input-minor edge it came from and the weight factor applied to it
+  /// (1 for tree edges, 1/p for kept off-tree samples). With these, the
+  /// sparsifier can be *re-weighted in place* after the input minor's weights
+  /// change — same structure, new numerics — without re-running the
+  /// rng-consuming tree/sampling construction (docs/CACHING.md).
+  std::vector<EdgeId> source_edges;
+  std::vector<double> reweight_factors;
 };
 
 /// Builds the ultra-sparsifier of `minor`. `offtree_budget` is the expected

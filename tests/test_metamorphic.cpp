@@ -1,0 +1,356 @@
+// Metamorphic properties of the Laplacian solver, cold and through the warm
+// cache (docs/CACHING.md, docs/TESTING.md). Instead of pinning outputs, these
+// tests pin *relations* that must hold between solves:
+//
+//   * linearity      — solve(a·b₁ + c·b₂) ≈ a·solve(b₁) + c·solve(b₂)
+//   * weight scaling — solving over c·L yields x/c
+//   * relabeling     — vertex relabeling permutes the solution and, in the
+//                      label-oblivious NCC + base-case configuration, leaves
+//                      every charged round count exactly unchanged
+//   * residuals      — the reported relative residual is honest (matches an
+//                      independent recomputation) and within tolerance
+//   * cache harness  — a warm cached solve is bit-identical to a cold solve,
+//                      so every property above transfers to the cache
+//
+// The corpus is a family × seed grid. The default run covers a smoke subset;
+// DLS_METAMORPHIC_FULL=1 (the "slow"-labelled ctest entry / nightly CI)
+// widens it to the full grid. Suites carry the "Metamorphic" prefix so the
+// TSan preset picks them up.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "laplacian/solver_cache.hpp"
+#include "linalg/solvers.hpp"
+
+namespace dls {
+namespace {
+
+bool full_grid() {
+  const char* env = std::getenv("DLS_METAMORPHIC_FULL");
+  return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+struct Family {
+  std::string name;
+  Graph (*make)(std::uint64_t seed);
+  bool smoke = false;  // part of the default (non-full) subset
+};
+
+const std::vector<Family>& families() {
+  static const std::vector<Family> kFamilies = {
+      {"grid-7x7", [](std::uint64_t) { return make_grid(7, 7); }, true},
+      {"weighted-grid-6x6",
+       [](std::uint64_t seed) {
+         Rng rng(seed);
+         return make_weighted_grid(6, 6, rng);
+       },
+       true},
+      {"cycle-48", [](std::uint64_t) { return make_cycle(48); }, true},
+      {"torus-6x6", [](std::uint64_t) { return make_torus(6, 6); }},
+      {"regular-48x4",
+       [](std::uint64_t seed) {
+         Rng rng(seed);
+         return make_random_regular(48, 4, rng);
+       }},
+      {"binary-tree-63",
+       [](std::uint64_t) { return make_balanced_binary_tree(63); }},
+      {"triangulated-6x6",
+       [](std::uint64_t) { return make_triangulated_grid(6, 6); }},
+  };
+  return kFamilies;
+}
+
+std::vector<std::uint64_t> corpus_seeds() {
+  if (full_grid()) return {1, 2, 3};
+  return {1};
+}
+
+/// Visits the corpus: every family × seed of the active grid (smoke subset by
+/// default), with a SCOPED_TRACE naming the case.
+template <typename Fn>
+void for_corpus(Fn&& fn) {
+  const bool full = full_grid();
+  for (const Family& family : families()) {
+    if (!full && !family.smoke) continue;
+    for (const std::uint64_t seed : corpus_seeds()) {
+      SCOPED_TRACE(family.name + "/seed=" + std::to_string(seed));
+      fn(family.make(seed), seed);
+    }
+  }
+}
+
+Vec random_rhs(std::size_t n, Rng& rng) {
+  Vec b(n);
+  for (double& v : b) v = rng.next_double() * 2 - 1;
+  project_mean_zero(b);
+  return b;
+}
+
+LaplacianSolverOptions tight_options() {
+  LaplacianSolverOptions options;
+  options.tolerance = 1e-8;  // leaves headroom under the 1e-4 property slack
+  options.base_size = 40;
+  return options;
+}
+
+/// Cold reference: fresh fully-seeded Supported-CONGEST stack per solve.
+LaplacianSolveReport cold_solve(const Graph& g, const Vec& b,
+                                std::uint64_t seed) {
+  Graph copy(g.num_nodes());
+  for (const Edge& e : g.edges()) copy.add_edge(e.u, e.v, e.weight);
+  Rng rng(seed);
+  ShortcutPaOracle oracle(copy, rng);
+  DistributedLaplacianSolver solver(oracle, rng, tight_options());
+  return solver.solve(b);
+}
+
+SolverCacheOptions metamorphic_cache_options(std::uint64_t seed) {
+  SolverCacheOptions options;
+  options.solver = tight_options();
+  options.oracle = CacheOracleKind::kShortcutSupported;
+  options.seed = seed;
+  return options;
+}
+
+double norm(const Vec& v) {
+  double s = 0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+double relative_residual_on(const Graph& g, const Vec& x, const Vec& b) {
+  Vec r = b;
+  project_mean_zero(r);
+  const double b_norm = norm(r);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    const double flow = edge.weight * (x[edge.u] - x[edge.v]);
+    r[edge.u] -= flow;
+    r[edge.v] += flow;
+  }
+  return b_norm > 0 ? norm(r) / b_norm : 0.0;
+}
+
+/// ‖a − b‖ / ‖b‖ after removing the mean from both (solutions of a singular
+/// Laplacian system are unique only up to a constant shift).
+double relative_gap(Vec a, Vec b) {
+  project_mean_zero(a);
+  project_mean_zero(b);
+  const double scale = std::max(norm(b), 1e-30);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] -= b[i];
+  return norm(a) / scale;
+}
+
+// --- Linearity: solve is (approximately) a linear operator on rhs. --------
+
+void check_linearity(const Graph& g, std::uint64_t seed,
+                     CachedSolverState* cache_entry) {
+  Rng rng(seed * 1000 + 1);
+  const Vec b1 = random_rhs(g.num_nodes(), rng);
+  const Vec b2 = random_rhs(g.num_nodes(), rng);
+  const double a = 2.5, c = -1.25;
+  Vec combined(g.num_nodes());
+  for (std::size_t i = 0; i < combined.size(); ++i) {
+    combined[i] = a * b1[i] + c * b2[i];
+  }
+  const auto solve = [&](const Vec& b) {
+    return cache_entry != nullptr ? cache_entry->solve(b).x
+                                  : cold_solve(g, b, seed).x;
+  };
+  const Vec x1 = solve(b1);
+  const Vec x2 = solve(b2);
+  const Vec xc = solve(combined);
+  Vec superposed(g.num_nodes());
+  for (std::size_t i = 0; i < superposed.size(); ++i) {
+    superposed[i] = a * x1[i] + c * x2[i];
+  }
+  // The superposition both matches the directly solved xc and is itself a
+  // valid solution of the combined system.
+  EXPECT_LT(relative_gap(xc, superposed), 1e-4);
+  EXPECT_LT(relative_residual_on(g, superposed, combined), 1e-4);
+}
+
+TEST(MetamorphicLinearity, SuperpositionHoldsCold) {
+  for_corpus([](const Graph& g, std::uint64_t seed) {
+    check_linearity(g, seed, nullptr);
+  });
+}
+
+TEST(MetamorphicLinearity, SuperpositionHoldsThroughCache) {
+  for_corpus([](const Graph& g, std::uint64_t seed) {
+    SolverCache cache(metamorphic_cache_options(seed));
+    check_linearity(g, seed, &cache.acquire(g).state);
+  });
+}
+
+// --- Global weight scaling: L → cL implies x → x/c. -----------------------
+
+TEST(MetamorphicScaling, UniformScalingDividesSolutionCold) {
+  for_corpus([](const Graph& g, std::uint64_t seed) {
+    Rng rng(seed * 1000 + 2);
+    const Vec b = random_rhs(g.num_nodes(), rng);
+    const double c = 4.0;
+    Graph scaled(g.num_nodes());
+    for (const Edge& e : g.edges()) scaled.add_edge(e.u, e.v, e.weight * c);
+    const Vec x = cold_solve(g, b, seed).x;
+    const Vec xs = cold_solve(scaled, b, seed).x;
+    Vec expected = x;
+    for (double& v : expected) v /= c;
+    EXPECT_LT(relative_gap(xs, expected), 1e-6);
+    EXPECT_LT(relative_residual_on(scaled, xs, b), 1e-6);
+  });
+}
+
+TEST(MetamorphicScaling, UniformScalingIsExactThroughCacheRescale) {
+  for_corpus([](const Graph& g, std::uint64_t seed) {
+    Rng rng(seed * 1000 + 3);
+    const Vec b = random_rhs(g.num_nodes(), rng);
+    const double c = 4.0;
+    Graph scaled(g.num_nodes());
+    for (const Edge& e : g.edges()) scaled.add_edge(e.u, e.v, e.weight * c);
+    SolverCache cache(metamorphic_cache_options(seed));
+    const Vec x = cache.acquire(g).state.solve(b).x;
+    auto acquired = cache.acquire(scaled);
+    ASSERT_TRUE(acquired.hit);
+    ASSERT_EQ(acquired.update.classification, WeightUpdateClass::kRescale);
+    const Vec xs = acquired.state.solve(b).x;
+    // The cache's rescale rung is exact, not approximate: same stored solve,
+    // one exact division per entry.
+    ASSERT_EQ(xs.size(), x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(xs[i], x[i] / c);
+  });
+}
+
+// --- Vertex relabeling. ---------------------------------------------------
+
+/// g with node i renamed to perm[i], edges in original id order (so edge ids
+/// correspond 1:1 and the construction path is comparable).
+Graph relabel(const Graph& g, const std::vector<NodeId>& perm) {
+  Graph h(g.num_nodes());
+  for (const Edge& e : g.edges()) h.add_edge(perm[e.u], perm[e.v], e.weight);
+  return h;
+}
+
+TEST(MetamorphicRelabeling, SolutionIsEquivariantWithinTolerance) {
+  for_corpus([](const Graph& g, std::uint64_t seed) {
+    const std::size_t n = g.num_nodes();
+    // A deterministic non-trivial permutation (reversal composed with shift).
+    std::vector<NodeId> perm(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      perm[i] = static_cast<NodeId>((n - 1 - i + 7) % n);
+    }
+    Rng rng(seed * 1000 + 4);
+    const Vec b = random_rhs(n, rng);
+    Vec pb(n);
+    for (std::size_t i = 0; i < n; ++i) pb[perm[i]] = b[i];
+    const Vec x = cold_solve(g, b, seed).x;
+    const Vec px = cold_solve(relabel(g, perm), pb, seed).x;
+    Vec mapped_back(n);
+    for (std::size_t i = 0; i < n; ++i) mapped_back[i] = px[perm[i]];
+    // The solver's internals (tree choice, sampling) are label-dependent, so
+    // only the *solution* is invariant, and only up to solve tolerance.
+    EXPECT_LT(relative_gap(mapped_back, x), 1e-4);
+  });
+}
+
+TEST(MetamorphicRelabeling, RoundCountsExactlyInvariantInObliviousConfig) {
+  // Exact round invariance needs every label-sensitive choice out of the
+  // picture: an NCC oracle (clique model, no shortcut structure over host
+  // paths), a vertex-transitive graph (the base gather's BFS distance term is
+  // the same from every root), and a base-case-only hierarchy (no sampled
+  // tree whose shape depends on ids). In that configuration relabeling may
+  // not move a single charged round.
+  const auto run = [](const Graph& g, std::uint64_t seed, const Vec& b) {
+    Graph copy(g.num_nodes());
+    for (const Edge& e : g.edges()) copy.add_edge(e.u, e.v, e.weight);
+    Rng rng(seed);
+    NccPaOracle oracle(copy, rng);
+    LaplacianSolverOptions options;
+    options.tolerance = 1e-8;
+    options.base_size = copy.num_nodes();  // base-case only
+    DistributedLaplacianSolver solver(oracle, rng, options);
+    return solver.solve(b);
+  };
+  for (const std::size_t n : {std::size_t{24}, std::size_t{40}}) {
+    SCOPED_TRACE("cycle-" + std::to_string(n));
+    const Graph g = make_cycle(n);
+    std::vector<NodeId> perm(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      perm[i] = static_cast<NodeId>((i * 7 + 3) % n);  // 7 coprime to 24, 40
+    }
+    Rng rng(91);
+    const Vec b = random_rhs(n, rng);
+    Vec pb(n);
+    for (std::size_t i = 0; i < n; ++i) pb[perm[i]] = b[i];
+    const LaplacianSolveReport r1 = run(g, 13, b);
+    const LaplacianSolveReport r2 = run(relabel(g, perm), 13, pb);
+    EXPECT_EQ(r1.local_rounds, r2.local_rounds);
+    EXPECT_EQ(r1.global_rounds, r2.global_rounds);
+    EXPECT_EQ(r1.pa_calls, r2.pa_calls);
+    EXPECT_EQ(r1.outer_iterations, r2.outer_iterations);
+    Vec mapped_back(n);
+    for (std::size_t i = 0; i < n; ++i) mapped_back[i] = r2.x[perm[i]];
+    EXPECT_LT(relative_gap(mapped_back, r1.x), 1e-9);
+  }
+}
+
+// --- Residual honesty. ----------------------------------------------------
+
+void check_residual(const Graph& g, const LaplacianSolveReport& report,
+                    const Vec& b, double tolerance) {
+  EXPECT_TRUE(report.converged);
+  EXPECT_LE(report.relative_residual, tolerance);
+  // The report's residual must match an independent recomputation — no
+  // solver may "report" convergence it did not achieve.
+  const double recomputed = relative_residual_on(g, report.x, b);
+  EXPECT_NEAR(report.relative_residual, recomputed,
+              1e-9 + 1e-6 * recomputed);
+}
+
+TEST(MetamorphicResiduals, ReportedResidualIsHonestCold) {
+  for_corpus([](const Graph& g, std::uint64_t seed) {
+    Rng rng(seed * 1000 + 5);
+    const Vec b = random_rhs(g.num_nodes(), rng);
+    check_residual(g, cold_solve(g, b, seed), b, tight_options().tolerance);
+  });
+}
+
+TEST(MetamorphicResiduals, ReportedResidualIsHonestThroughCache) {
+  for_corpus([](const Graph& g, std::uint64_t seed) {
+    Rng rng(seed * 1000 + 5);  // same rhs stream as the cold variant
+    const Vec b = random_rhs(g.num_nodes(), rng);
+    SolverCache cache(metamorphic_cache_options(seed));
+    check_residual(g, cache.acquire(g).state.solve(b), b,
+                   tight_options().tolerance);
+  });
+}
+
+// --- The cache harness itself is metamorphosis-free. ----------------------
+
+TEST(MetamorphicCacheHarness, WarmSolvesBitIdenticalToColdAcrossCorpus) {
+  for_corpus([](const Graph& g, std::uint64_t seed) {
+    Rng rng(seed * 1000 + 6);
+    const Vec b = random_rhs(g.num_nodes(), rng);
+    SolverCache cache(metamorphic_cache_options(seed));
+    CachedSolverState& state = cache.acquire(g).state;
+    const LaplacianSolveReport warm1 = state.solve(b);
+    const LaplacianSolveReport warm2 = state.solve(b);
+    const LaplacianSolveReport cold = cold_solve(g, b, seed);
+    // Bit-identical, not merely close: the warm path replays the same
+    // numerics (Supported-CONGEST: same charges too), and repeating the
+    // solve on a warm entry changes nothing.
+    EXPECT_EQ(warm1.x, cold.x);
+    EXPECT_EQ(warm1.residual_history, cold.residual_history);
+    EXPECT_EQ(warm1.local_rounds, cold.local_rounds);
+    EXPECT_EQ(warm1.pa_calls, cold.pa_calls);
+    EXPECT_EQ(warm2.x, warm1.x);
+    EXPECT_EQ(warm2.local_rounds, warm1.local_rounds);
+  });
+}
+
+}  // namespace
+}  // namespace dls
