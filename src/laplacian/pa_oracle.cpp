@@ -4,6 +4,7 @@
 
 #include "graph/algorithms.hpp"
 #include "obs/ledger_clock.hpp"
+#include "sim/fault_injection.hpp"
 #include "obs/trace.hpp"
 #include "shortcuts/construction.hpp"
 #include "shortcuts/partwise_aggregation.hpp"
@@ -231,10 +232,20 @@ CongestedPaOracle::Measured ShortcutPaOracle::measure(const PartCollection& pc) 
   options.faults = faults_;
   const CongestedPaOutcome outcome = solve_congested_pa(
       graph(), pc, unit_values(pc), AggregationMonoid::sum(), rng_, options);
-  // Sanity: the distributed run must agree with the fold.
+  // Sanity: the distributed run must agree with the fold. Under a fault plan
+  // a mismatch is an *expected* failure mode — unprotected payload corruption
+  // perturbing the convergecast fold — so it surfaces as the typed chaos
+  // error (carrying the measured ledger) that the supervision ladder retries
+  // or degrades on. Without a plan it stays a hard invariant violation.
   for (std::size_t i = 0; i < pc.num_parts(); ++i) {
-    DLS_ASSERT(outcome.results[i] == static_cast<double>(pc.parts[i].size()),
-               "shortcut PA run disagrees with sequential fold");
+    if (outcome.results[i] == static_cast<double>(pc.parts[i].size())) continue;
+    if (faults_ != nullptr) {
+      throw ChaosAbortError(
+          "corruption detected at verification: shortcut PA run disagrees "
+          "with sequential fold",
+          outcome.ledger);
+    }
+    DLS_ASSERT(false, "shortcut PA run disagrees with sequential fold");
   }
   PhaseCongestion congestion;
   std::uint64_t construction = 0;

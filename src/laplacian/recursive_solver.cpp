@@ -705,9 +705,22 @@ void DistributedLaplacianSolver::fold_recovery_event(const RecoveryEvent& e,
     case RecoveryAction::kWatchdogRebound:
       ++counters.watchdog_rebounds;
       break;
+    case RecoveryAction::kCertificateResolve:
+      ++counters.certificate_resolves;
+      break;
     case RecoveryAction::kAbort:
       break;  // reflected in report.degraded, not a counter
   }
+}
+
+void DistributedLaplacianSolver::charge_residual_certificate() {
+  // One local exchange computes the per-node residual entries, one global
+  // aggregation over the prepared 1-congested instance lets every node learn
+  // the norm — the same shape as solve()'s internal certificate, charged
+  // under verify/ so certificate traffic is separable in the ledger.
+  oracle_.ledger().charge_local(1, "verify/residual-certificate");
+  SolveContext ctx;
+  ctx_aggregate(ctx, global_instance_, global_values_);
 }
 
 LaplacianSolveReport DistributedLaplacianSolver::solve_in_context(

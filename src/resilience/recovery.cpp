@@ -31,6 +31,9 @@ RecoveryCounters tally_recovery(const RoundLedger& ledger) {
         ++counters.watchdog_refinements;
         break;
       case RecoveryAction::kWatchdogRebound: ++counters.watchdog_rebounds; break;
+      case RecoveryAction::kCertificateResolve:
+        ++counters.certificate_resolves;
+        break;
       case RecoveryAction::kAbort: break;  // counted via the tier, not here
     }
   }
@@ -45,6 +48,11 @@ EscalationTier highest_tier(const RoundLedger& ledger) {
   for (const RecoveryEvent& e : ledger.recovery_events()) {
     switch (e.action) {
       case RecoveryAction::kRetry: bump(EscalationTier::kRetry); break;
+      // A certificate-triggered re-solve is the certified wrapper's retry
+      // rung: same position in the ladder, different detector.
+      case RecoveryAction::kCertificateResolve:
+        bump(EscalationTier::kRetry);
+        break;
       case RecoveryAction::kRebuild: bump(EscalationTier::kRebuild); break;
       case RecoveryAction::kDegrade: bump(EscalationTier::kDegrade); break;
       case RecoveryAction::kCheckpointRestore:

@@ -48,12 +48,14 @@ struct RecoveryCounters {
   std::size_t watchdog_restarts = 0;
   std::size_t watchdog_refinements = 0;
   std::size_t watchdog_rebounds = 0;
+  std::size_t certificate_resolves = 0;  // solves re-run after a rejected cert
   std::uint64_t rounds_lost = 0;  // simulated work charged to failed attempts
 
   bool any() const {
     return retries + rebuilds + degradations + checkpoints_saved +
                checkpoints_restored + watchdog_restarts +
-               watchdog_refinements + watchdog_rebounds >
+               watchdog_refinements + watchdog_rebounds +
+               certificate_resolves >
            0;
   }
 

@@ -287,6 +287,10 @@ NetworkMetrics& scheduler_metrics() {
 struct Delivery {
   std::uint32_t tree;
   std::uint32_t local;  // sender (convergecast) / receiver (broadcast)
+  // Nonzero when the payload was corrupted in flight and no integrity word
+  // protected it: the receiver folds corrupt_payload(value, mask) instead of
+  // the true value. Always 0 on the fault-free path.
+  std::uint32_t corrupt_mask = 0;
 };
 
 /// A delivery travelling late (delayed or duplicated by a FaultPlan); lands
@@ -402,6 +406,16 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
   std::vector<Delivery> reorder_scratch;
   std::vector<InFlight> in_flight;
 
+  // With FaultConfig::integrity every transmission ships one extra checksum
+  // word: a 2-word message occupies its directed slot for 2 rounds
+  // (slot_busy) and lands one round after it was scheduled. Only allocated
+  // when the mode is on, so the fault-free path stays untouched.
+  const bool integrity = faults != nullptr && faults->config().integrity;
+  std::vector<std::uint64_t> slot_busy;
+  if (integrity) slot_busy.assign(2 * g.num_edges(), 0);
+  // Extra wire latency of the checksum word, applied to every delivery.
+  const std::uint32_t wire = integrity ? 1 : 0;
+
   // --- Phase 1: convergecast ---------------------------------------------
   // value[t][x]: accumulated value at local node x of tree t.
   Tracer* tracer = Tracer::ambient();
@@ -469,6 +483,9 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
     queues.merge_new();
     queues.for_each_active_slot([&](std::size_t slot,
                                     std::vector<PendingSend>& q) {
+      if (integrity && slot_busy[slot] > round) {
+        return;  // slot still shipping a previous message's checksum word
+      }
       std::size_t best_idx = 0;
       for (std::size_t i = 1; i < q.size(); ++i) {
         if (better(q[i], q[best_idx], policy)) best_idx = i;
@@ -476,6 +493,10 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
       ++outcome.messages;
       metrics.record_send(slot, round);
       if (faults != nullptr) {
+        if (integrity) {
+          slot_busy[slot] = round + 2;  // payload word + checksum word
+          ++outcome.integrity_words;
+        }
         const RootedTree& rt = rooted[q[best_idx].tree];
         const NodeId from = rt.nodes[q[best_idx].from_local];
         const NodeId to = rt.nodes[rt.parent[q[best_idx].from_local]];
@@ -484,14 +505,28 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
           ++retransmissions;
           return;  // stays queued: retransmit next round
         }
-        const Delivery d{q[best_idx].tree, q[best_idx].from_local};
+        if (fate.corrupted) {
+          ++outcome.corrupt_injected;
+          if (integrity) {
+            // Checksum mismatch at the receiver (the clone carries the same
+            // perturbed payload, so it would fail verification too): the
+            // whole transmission behaves like a drop and stays queued.
+            ++outcome.corrupt_detected;
+            ++retransmissions;
+            return;
+          }
+          ++outcome.corrupt_delivered;
+        }
+        const Delivery d{q[best_idx].tree, q[best_idx].from_local,
+                         fate.corrupted ? fate.corrupt_mask : 0};
         if (fate.duplicated) {
           ++outcome.messages;  // the clone also crossed the wire
           metrics.record_send(slot, round);
-          in_flight.push_back({round + fate.delay + 1, d});
+          if (integrity) ++outcome.integrity_words;
+          in_flight.push_back({round + wire + fate.delay + 1, d});
         }
-        if (fate.delay > 0) {
-          in_flight.push_back({round + fate.delay, d});
+        if (wire + fate.delay > 0) {
+          in_flight.push_back({round + wire + fate.delay, d});
         } else {
           deliveries.push_back(d);
         }
@@ -508,7 +543,11 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
         received[d.tree][d.local] = 1;
       }
       const std::uint32_t p = rt.parent[d.local];
-      value[d.tree][p] = monoid.op(value[d.tree][p], value[d.tree][d.local]);
+      const double child =
+          d.corrupt_mask == 0
+              ? value[d.tree][d.local]
+              : corrupt_payload(value[d.tree][d.local], d.corrupt_mask);
+      value[d.tree][p] = monoid.op(value[d.tree][p], child);
       DLS_ASSERT(waiting[d.tree][p] > 0, "parent received unexpected message");
       if (--waiting[d.tree][p] == 0) {
         if (p == rt.root_local) {
@@ -522,11 +561,21 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
   outcome.convergecast_rounds = round;
   metrics.end_phase(round);
   const std::uint64_t cc_retransmissions = retransmissions;
+  const std::uint64_t cc_corrupt_injected = outcome.corrupt_injected;
+  const std::uint64_t cc_corrupt_detected = outcome.corrupt_detected;
+  const std::uint64_t cc_corrupt_delivered = outcome.corrupt_delivered;
+  const std::uint64_t cc_integrity_words = outcome.integrity_words;
   cc_span.counter("rounds", round);
   cc_span.counter("messages", metrics.phases().back().congestion.messages);
   cc_span.counter("peak-slot",
                   metrics.phases().back().congestion.peak_slot_messages);
   cc_span.counter("retransmissions", cc_retransmissions);
+  if (faults != nullptr) {
+    cc_span.counter("corrupt-injected", cc_corrupt_injected);
+    cc_span.counter("corrupt-detected", cc_corrupt_detected);
+    cc_span.counter("corrupt-delivered", cc_corrupt_delivered);
+    cc_span.counter("integrity-words", cc_integrity_words);
+  }
   cc_span.finish();
   for (std::size_t t = 0; t < t_count; ++t) {
     outcome.results[t] = value[t][rooted[t].root_local];
@@ -543,6 +592,7 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
   round = 0;
   if (faults != nullptr) faults->begin_epoch();
   in_flight.clear();  // leftover clones of a finished phase evaporate
+  if (integrity) slot_busy.assign(2 * g.num_edges(), 0);  // fresh phase clock
   std::vector<std::vector<char>> informed(t_count);
   std::size_t to_inform = 0;
   std::size_t informed_count = 0;
@@ -574,6 +624,9 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
     queues.merge_new();
     queues.for_each_active_slot([&](std::size_t slot,
                                     std::vector<PendingSend>& q) {
+      if (integrity && slot_busy[slot] > round) {
+        return;  // slot still shipping a previous message's checksum word
+      }
       std::size_t best_idx = 0;
       for (std::size_t i = 1; i < q.size(); ++i) {
         if (better(q[i], q[best_idx], policy)) best_idx = i;
@@ -581,6 +634,10 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
       ++outcome.messages;
       metrics.record_send(slot, round_offset + round);
       if (faults != nullptr) {
+        if (integrity) {
+          slot_busy[slot] = round + 2;  // payload word + checksum word
+          ++outcome.integrity_words;
+        }
         // Downward message: parent (sender) to child (local = receiver).
         const RootedTree& rt = rooted[q[best_idx].tree];
         const NodeId from = rt.nodes[rt.parent[q[best_idx].from_local]];
@@ -590,14 +647,28 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
           ++retransmissions;
           return;  // stays queued: retransmit next round
         }
+        if (fate.corrupted) {
+          ++outcome.corrupt_injected;
+          if (integrity) {
+            ++outcome.corrupt_detected;
+            ++retransmissions;
+            return;  // checksum mismatch at the receiver: behaves like a drop
+          }
+          // Broadcast payloads are idempotent "you are informed" markers, so
+          // an unprotected corruption cannot change the result — only the
+          // injection is visible here. The fold-perturbing case lives in the
+          // convergecast phase.
+          ++outcome.corrupt_delivered;
+        }
         const Delivery d{q[best_idx].tree, q[best_idx].from_local};
         if (fate.duplicated) {
           ++outcome.messages;
           metrics.record_send(slot, round_offset + round);
-          in_flight.push_back({round + fate.delay + 1, d});
+          if (integrity) ++outcome.integrity_words;
+          in_flight.push_back({round + wire + fate.delay + 1, d});
         }
-        if (fate.delay > 0) {
-          in_flight.push_back({round + fate.delay, d});
+        if (wire + fate.delay > 0) {
+          in_flight.push_back({round + wire + fate.delay, d});
         } else {
           deliveries.push_back(d);
         }
@@ -622,6 +693,16 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
   bc_span.counter("peak-slot",
                   metrics.phases().back().congestion.peak_slot_messages);
   bc_span.counter("retransmissions", retransmissions - cc_retransmissions);
+  if (faults != nullptr) {
+    bc_span.counter("corrupt-injected",
+                    outcome.corrupt_injected - cc_corrupt_injected);
+    bc_span.counter("corrupt-detected",
+                    outcome.corrupt_detected - cc_corrupt_detected);
+    bc_span.counter("corrupt-delivered",
+                    outcome.corrupt_delivered - cc_corrupt_delivered);
+    bc_span.counter("integrity-words",
+                    outcome.integrity_words - cc_integrity_words);
+  }
   bc_span.finish();
   outcome.total_rounds = outcome.convergecast_rounds + outcome.broadcast_rounds;
   outcome.convergecast_congestion = metrics.phases()[0].congestion;
@@ -641,6 +722,20 @@ AggregationOutcome run_tree_aggregations(const Graph& g,
   message_metric.increment(outcome.messages);
   retransmission_metric.increment(retransmissions);
   phase_metric.increment(2);
+  if (faults != nullptr) {
+    static MetricCounter& corrupt_injected_metric =
+        MetricsRegistry::global().counter("net.corrupt.injected");
+    static MetricCounter& corrupt_detected_metric =
+        MetricsRegistry::global().counter("net.corrupt.detected");
+    static MetricCounter& corrupt_delivered_metric =
+        MetricsRegistry::global().counter("net.corrupt.delivered");
+    static MetricCounter& integrity_word_metric =
+        MetricsRegistry::global().counter("net.integrity.words");
+    corrupt_injected_metric.increment(outcome.corrupt_injected);
+    corrupt_detected_metric.increment(outcome.corrupt_detected);
+    corrupt_delivered_metric.increment(outcome.corrupt_delivered);
+    integrity_word_metric.increment(outcome.integrity_words);
+  }
   peak_slot_metric.observe(outcome.convergecast_congestion.peak_slot_messages);
   peak_slot_metric.observe(outcome.broadcast_congestion.peak_slot_messages);
   return outcome;

@@ -69,6 +69,12 @@ struct AggregationOutcome {
   std::uint32_t max_tree_depth = 0;     // max hop-depth over all trees
   std::uint64_t messages = 0;
 
+  // Corruption & integrity accounting (all 0 without a FaultPlan).
+  std::uint64_t corrupt_injected = 0;   // transmissions the plan perturbed
+  std::uint64_t corrupt_detected = 0;   // integrity-checked ⇒ retransmitted
+  std::uint64_t corrupt_delivered = 0;  // unprotected ⇒ perturbed the fold
+  std::uint64_t integrity_words = 0;    // checksum words shipped (integrity on)
+
   // Observed congestion (see sim/network_metrics.hpp): per phase, the
   // busiest (edge, direction) slot and the busiest single round.
   PhaseCongestion convergecast_congestion;
@@ -98,6 +104,15 @@ struct AggregationOutcome {
 ///     fault-free run;
 ///   * same-round delivery batches are permuted when the plan says reorder
 ///     (harmless for a commutative monoid; that is the point being tested);
+///   * corrupted transmissions (FaultConfig::corrupt_rate) depend on
+///     FaultConfig::integrity: with integrity on, every transmission ships a
+///     checksum word — each (edge, direction) slot carries one message per
+///     TWO rounds and deliveries land a round later — and a corrupted
+///     message fails verification at the receiver, behaving exactly like a
+///     drop (retransmitted; counted in corrupt_detected). With integrity
+///     off, the perturbed payload silently enters the convergecast fold
+///     (counted in corrupt_delivered) — the scenario the verify layer's
+///     certificates exist to catch;
 ///   * a phase that exceeds FaultConfig::round_limit throws ChaosAbortError
 ///     carrying the partial round accounting.
 /// All fault handling is gated on `faults != nullptr` and consumes nothing

@@ -1,12 +1,17 @@
 #include "sim/fault_injection.hpp"
 
 #include <algorithm>
+#include <cstring>
 
+#include "obs/metrics.hpp"
 #include "util/random.hpp"
 
 namespace dls {
 
 const char* to_string(FaultKind kind) {
+  // Exhaustive switch, no default: adding a FaultKind without a name is a
+  // compiler warning here and a loud throw below — chaos repro output must
+  // never print a placeholder for a kind it cannot name.
   switch (kind) {
     case FaultKind::kDrop:
       return "drop";
@@ -20,8 +25,18 @@ const char* to_string(FaultKind kind) {
       return "crash";
     case FaultKind::kLinkDown:
       return "link-down";
+    case FaultKind::kCorrupt:
+      return "corrupt";
   }
-  return "?";
+  throw std::invalid_argument("unnamed FaultKind " +
+                              std::to_string(static_cast<unsigned>(kind)));
+}
+
+FaultKind fault_kind_from_string(const std::string& name) {
+  for (FaultKind kind : kAllFaultKinds) {
+    if (name == to_string(kind)) return kind;
+  }
+  throw std::invalid_argument("unknown FaultKind name '" + name + "'");
 }
 
 std::string to_string(const FaultEvent& event) {
@@ -32,6 +47,16 @@ std::string to_string(const FaultEvent& event) {
   if (event.param != 0) s += ", param=" + std::to_string(event.param);
   s += ")";
   return s;
+}
+
+double corrupt_payload(double value, std::uint32_t mask) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  bits ^= static_cast<std::uint64_t>(mask == 0 ? 1u : mask);
+  double out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
 }
 
 FaultPlan::FaultPlan(std::uint64_t seed, FaultConfig config)
@@ -53,7 +78,8 @@ FaultPlan::FaultPlan(std::uint64_t seed, FaultConfig config, bool replay,
                   config_.duplicate_rate <= 1.0 &&
                   config_.delay_rate >= 0.0 && config_.delay_rate <= 1.0 &&
                   config_.crash_rate >= 0.0 && config_.crash_rate <= 1.0 &&
-                  config_.flap_rate >= 0.0 && config_.flap_rate <= 1.0,
+                  config_.flap_rate >= 0.0 && config_.flap_rate <= 1.0 &&
+                  config_.corrupt_rate >= 0.0 && config_.corrupt_rate <= 1.0,
               "fault rates must be probabilities in [0, 1]");
   DLS_REQUIRE(config_.max_delay >= 1 && config_.max_crash_len >= 1 &&
                   config_.max_flap_len >= 1,
@@ -176,6 +202,11 @@ MessageFate FaultPlan::message_fate(std::uint64_t round, std::size_t slot,
       record(FaultKind::kDrop, round, slot, 0);
       return fate;
     }
+    if (replay_find(FaultKind::kCorrupt, round, slot, &param)) {
+      fate.corrupted = true;
+      fate.corrupt_mask = param == 0 ? 1 : param;
+      record(FaultKind::kCorrupt, round, slot, fate.corrupt_mask);
+    }
     if (replay_find(FaultKind::kDelay, round, slot, &param)) {
       fate.delay = param;
       record(FaultKind::kDelay, round, slot, param);
@@ -192,6 +223,18 @@ MessageFate FaultPlan::message_fate(std::uint64_t round, std::size_t slot,
     fate.dropped = true;
     record(FaultKind::kDrop, round, slot, 0);
     return fate;
+  }
+  // Corruption only fires on messages that still arrive (a dropped message
+  // has no payload to perturb). The mask rides a second channel so it is
+  // independent of the fire/no-fire draw, and is forced nonzero so a
+  // corrupted payload always differs bitwise.
+  if (config_.corrupt_rate > 0.0 &&
+      uniform(Channel::kCorrupt, round, slot) < config_.corrupt_rate) {
+    fate.corrupted = true;
+    fate.corrupt_mask = static_cast<std::uint32_t>(
+        mix(Channel::kCorruptMask, round, slot));
+    if (fate.corrupt_mask == 0) fate.corrupt_mask = 1;
+    record(FaultKind::kCorrupt, round, slot, fate.corrupt_mask);
   }
   if (config_.delay_rate > 0.0 &&
       uniform(Channel::kDelay, round, slot) < config_.delay_rate) {
@@ -300,15 +343,40 @@ void FaultyNetwork::step() {
         ++dropped_;
         continue;
       }
+      CongestMessage msg = m;
+      if (fate.corrupted) {
+        msg.payload = corrupt_payload(msg.payload, fate.corrupt_mask);
+        static MetricCounter& injected =
+            MetricsRegistry::global().counter("net.corrupt.injected");
+        injected.increment();
+        if (!integrity_ok(msg)) {
+          // Checksummed sender: the receiver's verification fails, so the
+          // whole transmission (clones included) is discarded — detected
+          // corruption behaves exactly like a drop, and the ack/retry loop
+          // above (reliable_send) retransmits.
+          ++corrupt_detected_;
+          ++dropped_;
+          static MetricCounter& detected =
+              MetricsRegistry::global().counter("net.corrupt.detected");
+          detected.increment();
+          continue;
+        }
+        // Unchecksummed: silent data corruption. The message plane delivers
+        // the perturbed payload verbatim; only the verify layer can tell.
+        ++corrupt_delivered_;
+        static MetricCounter& delivered =
+            MetricsRegistry::global().counter("net.corrupt.delivered");
+        delivered.increment();
+      }
       if (fate.duplicated) {
         ++duplicated_;
-        held_.push_back({round + fate.delay + 1, m});
+        held_.push_back({round + fate.delay + 1, msg});
       }
       if (fate.delay > 0) {
         ++delayed_;
-        held_.push_back({round + fate.delay, m});
+        held_.push_back({round + fate.delay, msg});
       } else {
-        deliver(m);
+        deliver(msg);
       }
     }
   }

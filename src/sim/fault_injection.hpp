@@ -47,9 +47,20 @@ enum class FaultKind : std::uint8_t {
   kReorder,    // same-round delivery batch permuted (subject = consumer key)
   kCrash,      // node down for `param` rounds from `round` (subject = node)
   kLinkDown,   // edge down for `param` rounds from `round` (subject = edge)
+  kCorrupt,    // payload bits flipped in flight: `param` is the nonzero XOR
+               // mask applied to the payload word (subject = directed slot)
+};
+
+/// All kinds, for exhaustive iteration (round-trip tests, mix tables).
+inline constexpr FaultKind kAllFaultKinds[] = {
+    FaultKind::kDrop,  FaultKind::kDuplicate, FaultKind::kDelay,
+    FaultKind::kReorder, FaultKind::kCrash,   FaultKind::kLinkDown,
+    FaultKind::kCorrupt,
 };
 
 const char* to_string(FaultKind kind);
+/// Inverse of to_string; throws std::invalid_argument on an unknown name.
+FaultKind fault_kind_from_string(const std::string& name);
 
 /// One fault that fired (or, in replay mode, is scheduled to fire).
 struct FaultEvent {
@@ -77,6 +88,23 @@ struct FaultConfig {
   std::uint32_t max_crash_len = 4;   // windows drawn from {1..max_crash_len}
   double flap_rate = 0.0;            // per (edge, round) window-start chance
   std::uint32_t max_flap_len = 3;
+  /// Per-consultation chance a delivered payload is corrupted in flight: a
+  /// seeded nonzero 32-bit mask is XORed into the low (mantissa) bits of the
+  /// payload word (see corrupt_payload), so the value always changes but
+  /// stays finite. Corruption composes with delay/duplication — every copy
+  /// of a corrupted transmission carries the perturbed payload — and never
+  /// fires on a message that was already dropped.
+  double corrupt_rate = 0.0;
+
+  /// Opt-in payload integrity for consumers that simulate messages without
+  /// materialising CongestMessage structs (the aggregation scheduler). With
+  /// integrity on, every transmission ships one extra checksum word — the
+  /// message occupies its directed slot for 2 rounds instead of 1 — and a
+  /// corrupted payload fails verification at the receiver, which discards it
+  /// exactly like a drop (the sender retransmits). Message-level consumers
+  /// (FaultyNetwork, reliable_send) opt in per message instead, via
+  /// CongestMessage::checksummed / with_integrity (sim/sync_network.hpp).
+  bool integrity = false;
 
   /// Message faults only fire in phase-local rounds 1..horizon (crash/flap
   /// windows must start within it). A finite horizon guarantees eventual
@@ -100,7 +128,15 @@ struct MessageFate {
   bool dropped = false;
   std::uint32_t delay = 0;     // extra rounds before delivery (0 = on time)
   bool duplicated = false;     // one extra copy arrives delay+1 rounds later
+  bool corrupted = false;      // payload perturbed in flight
+  std::uint32_t corrupt_mask = 0;  // nonzero XOR mask when corrupted
 };
+
+/// XORs `mask` (forced nonzero) into the low 32 bits of the IEEE-754 bit
+/// pattern of `value`. Those bits are all mantissa, so the result is finite
+/// whenever the input is, yet always a *different* bit pattern — integer
+/// inputs become detectably non-integer-exact sums downstream.
+double corrupt_payload(double value, std::uint32_t mask);
 
 class FaultPlan {
  public:
@@ -163,6 +199,10 @@ class FaultPlan {
     kFlap,
     kFlapLen,
     kReorder,
+    // Appended (never reordered): channel values feed the coordinate hash,
+    // so inserting above would silently reshuffle every existing schedule.
+    kCorrupt,
+    kCorruptMask,
   };
   std::uint64_t mix(Channel channel, std::uint64_t round,
                     std::uint64_t subject) const;
@@ -252,6 +292,13 @@ class FaultyNetwork {
   std::uint64_t duplicated() const { return duplicated_; }
   std::uint64_t delayed() const { return delayed_; }
   std::uint64_t suppressed_sends() const { return suppressed_sends_; }
+  /// Corrupted transmissions whose receiver-side checksum verification
+  /// failed (checksummed messages only); each is treated as a drop, feeding
+  /// whatever ack/retry loop rides above (e.g. reliable_send).
+  std::uint64_t corrupt_detected() const { return corrupt_detected_; }
+  /// Corrupted payloads delivered verbatim (unchecksummed messages): silent
+  /// data corruption the message plane cannot see — the verify layer's job.
+  std::uint64_t corrupt_delivered() const { return corrupt_delivered_; }
 
  private:
   void deliver(const CongestMessage& message);
@@ -270,6 +317,8 @@ class FaultyNetwork {
   std::uint64_t duplicated_ = 0;
   std::uint64_t delayed_ = 0;
   std::uint64_t suppressed_sends_ = 0;
+  std::uint64_t corrupt_detected_ = 0;
+  std::uint64_t corrupt_delivered_ = 0;
 };
 
 }  // namespace dls

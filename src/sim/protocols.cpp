@@ -238,7 +238,13 @@ ReliableSendResult reliable_send(FaultyNetwork& net, NodeId from, NodeId to,
   for (;;) {
     const std::uint64_t now = net.rounds();
     if (!result.acked && now >= next_data_round) {
-      net.send({from, to, edge, data_tag, payload, 1});
+      const CongestMessage data{from, to, edge, data_tag, payload, 1};
+      if (options.integrity) {
+        net.send(with_integrity(data));
+        ++result.checksum_words;
+      } else {
+        net.send(data);
+      }
       ++result.data_sends;
       ++attempt;
       // Jitter subtracts from the wait (never below 1 + backoff/2 rounds):
@@ -278,9 +284,20 @@ ReliableSendResult reliable_send(FaultyNetwork& net, NodeId from, NodeId to,
       result.ledger.charge_local(result.rounds, "reliable-send-abort");
       return result;
     }
-    DLS_ASSERT(result.rounds < (std::uint64_t{1} << 20),
-               "reliable_send livelocked: no ack and no timeout configured — "
-               "set timeout_rounds or give the FaultPlan a finite horizon");
+    // Hard internal budget (the plan's round_limit when one is attached):
+    // a permanently failing link with no timeout fails loudly and typed,
+    // carrying the rounds burned so far as a partial ledger — the same
+    // contract as the scheduler's phase abort.
+    const std::uint64_t hard_limit = net.plan() != nullptr
+                                         ? net.plan()->config().round_limit
+                                         : (std::uint64_t{1} << 20);
+    if (result.rounds >= hard_limit) {
+      result.ledger.charge_local(result.rounds, "reliable-send-abort");
+      throw ChaosAbortError(
+          "reliable_send exceeded its round budget without an ack — set "
+          "timeout_rounds or give the FaultPlan a finite horizon",
+          result.ledger);
+    }
   }
 }
 

@@ -72,8 +72,9 @@ bool is_maximal_independent_set(const Graph& g, const std::vector<char>& in_mis)
 struct ReliableSendOptions {
   /// Abort (result.aborted) once this many rounds elapse without an ack;
   /// 0 means no timeout — only safe when the FaultPlan guarantees eventual
-  /// delivery (finite horizon), and a hard internal budget still fails
-  /// loudly (throws) rather than livelocking if that promise is broken.
+  /// delivery (finite horizon). A hard internal budget (the attached plan's
+  /// round_limit, else 2^20) still fails loudly if that promise is broken:
+  /// it throws ChaosAbortError carrying the partially-charged ledger.
   std::uint64_t timeout_rounds = 0;
   /// Rounds the sender waits for an ack before the first retransmission;
   /// doubles after every silent wait, capped at max_backoff.
@@ -87,6 +88,15 @@ struct ReliableSendOptions {
   /// the overhead tests pin (≥ 2 rounds, ≤ 1 + max_backoff rounds) still
   /// hold, and it is a pure hash — replaying a seed replays the schedule.
   std::uint64_t jitter_seed = 0x9a7d1517c3b2f08bULL;
+  /// Ship every DATA with an integrity word (with_integrity): the payload is
+  /// checksummed, so an in-flight corruption fails verification at the
+  /// receiver and behaves like a drop — the ack/retry loop already recovers
+  /// from drops, which is the whole trick. Costs one extra word per DATA
+  /// transmission (the 2-word message occupies the slot 2 rounds; the clean
+  /// path becomes 3 rounds instead of 2), charged honestly on the result
+  /// ledger under "reliable-send[-abort]" and counted in checksum_words.
+  /// ACKs stay 1 word: they carry no payload a corruption could falsify.
+  bool integrity = false;
 };
 
 struct ReliableSendResult {
@@ -97,6 +107,10 @@ struct ReliableSendResult {
   std::uint64_t data_sends = 0;   // transmissions, including retries
   std::uint64_t ack_sends = 0;
   std::uint64_t duplicates_suppressed = 0;  // redundant DATA arrivals ignored
+  /// Integrity words shipped (== data_sends when options.integrity, else 0).
+  /// Each one occupied the DATA slot for one extra round, so they are part
+  /// of `rounds` — and of the ledgered charge — not an untracked freebie.
+  std::uint64_t checksum_words = 0;
   /// One entry per terminal state ("reliable-send" or
   /// "reliable-send-abort") charging the rounds consumed — the ledgered
   /// budget the retry tests check overhead against.

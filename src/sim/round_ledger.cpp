@@ -104,6 +104,7 @@ const char* to_string(RecoveryAction action) {
     case RecoveryAction::kWatchdogRefine: return "watchdog-refine";
     case RecoveryAction::kWatchdogRebound: return "watchdog-rebound";
     case RecoveryAction::kAbort: return "abort";
+    case RecoveryAction::kCertificateResolve: return "certificate-resolve";
   }
   return "?";
 }

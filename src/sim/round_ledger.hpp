@@ -46,6 +46,7 @@ enum class RecoveryAction : std::uint8_t {
   kWatchdogRefine,     // iterative-refinement pass appended to a solve
   kWatchdogRebound,    // Chebyshev eigenbounds re-estimated on divergence
   kAbort,              // recovery budget exhausted; solve degraded
+  kCertificateResolve,  // solve certificate rejected; solve re-attempted
 };
 
 const char* to_string(RecoveryAction action);

@@ -1,8 +1,37 @@
 #include "sim/sync_network.hpp"
 
 #include <algorithm>
+#include <cstring>
+
+#include "obs/metrics.hpp"
 
 namespace dls {
+
+std::uint64_t payload_checksum(const CongestMessage& message) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  const auto fold = [&h](std::uint64_t word) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (word >> (8 * i)) & 0xffu;
+      h *= 0x100000001b3ULL;  // FNV prime
+    }
+  };
+  fold(message.tag);
+  std::uint64_t payload_bits;
+  std::memcpy(&payload_bits, &message.payload, sizeof(payload_bits));
+  fold(payload_bits);
+  return h;
+}
+
+CongestMessage with_integrity(CongestMessage message) {
+  message.checksum = payload_checksum(message);
+  message.checksummed = true;
+  ++message.words;  // the integrity word is real bandwidth
+  return message;
+}
+
+bool integrity_ok(const CongestMessage& message) {
+  return !message.checksummed || message.checksum == payload_checksum(message);
+}
 
 SyncNetwork::SyncNetwork(const Graph& g)
     : graph_(g),
@@ -44,6 +73,16 @@ void SyncNetwork::step() {
   for (std::size_t i = 0; i < pending_.size(); ++i) {
     const Pending& p = pending_[i];
     if (p.deliver_at <= round_) {
+      if (!integrity_ok(p.msg)) {
+        // Integrity word mismatch: the payload no longer matches what the
+        // sender checksummed. Quarantine the message — receivers treat a
+        // detected corruption exactly like a loss.
+        ++integrity_dropped_;
+        static MetricCounter& detected =
+            MetricsRegistry::global().counter("net.corrupt.detected");
+        detected.increment();
+        continue;
+      }
       if (inbox_epoch_[p.msg.to] != round_) {
         inbox_epoch_[p.msg.to] = round_;
         inboxes_[p.msg.to].clear();

@@ -36,7 +36,27 @@ struct CongestMessage {
   std::uint64_t tag = 0;      // algorithm-defined discriminator
   double payload = 0.0;       // one O(log n)-bit word of content
   std::uint32_t words = 1;    // payload size in O(log n)-bit units
+  // Opt-in payload integrity (docs/MESSAGE_PLANE.md). A checksummed message
+  // carries one extra FNV-1a word over (tag, payload bits); senders opt in
+  // via with_integrity(), which also bumps `words` — the checksum is a real
+  // word on the wire, charged like any other. Defaults keep every existing
+  // sender bit-identical.
+  std::uint64_t checksum = 0;
+  bool checksummed = false;
 };
+
+/// FNV-1a over the message's tag and payload bit pattern — the integrity
+/// word a checksummed sender ships. Deterministic, endianness-free.
+std::uint64_t payload_checksum(const CongestMessage& message);
+
+/// Copy of `message` with the integrity word attached: checksum set,
+/// checksummed = true, and `words` increased by one (the extra word occupies
+/// the slot one more round, so integrity honestly costs bandwidth).
+CongestMessage with_integrity(CongestMessage message);
+
+/// True iff `message` is not checksummed, or its checksum matches its
+/// current (tag, payload) content. A payload perturbed in flight fails.
+bool integrity_ok(const CongestMessage& message);
 
 class SyncNetwork {
  public:
@@ -64,6 +84,12 @@ class SyncNetwork {
 
   std::uint64_t rounds() const { return round_; }
   std::uint64_t messages_sent() const { return messages_sent_; }
+  /// Checksummed messages whose integrity word failed verification at
+  /// delivery; they are quarantined (never reach an inbox), counted here and
+  /// on the net.corrupt.detected metric. Always 0 for honest senders on the
+  /// clean wire — the fault layer perturbs payloads downstream of this
+  /// network, so this guard catches tampering at the source.
+  std::uint64_t integrity_dropped() const { return integrity_dropped_; }
   const Graph& graph() const { return graph_; }
 
  private:
@@ -78,6 +104,7 @@ class SyncNetwork {
   const Graph& graph_;
   std::uint64_t round_ = 0;
   std::uint64_t messages_sent_ = 0;
+  std::uint64_t integrity_dropped_ = 0;
   std::vector<std::uint64_t> edge_busy_until_;  // per directed slot
   std::vector<Pending> pending_;                // compacted in place per step
   std::vector<std::vector<CongestMessage>> inboxes_;

@@ -1,0 +1,46 @@
+#include "verify/aggregation_checksum.hpp"
+
+#include <cstring>
+
+namespace dls {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t value_digest(std::uint64_t subject, double value) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  // Two finalizer passes: the first spreads the subject, the second binds the
+  // exact value bits to it. ±0.0 and NaN payload patterns digest as the bit
+  // patterns they are — the certificate certifies transport, not semantics.
+  return splitmix64(splitmix64(subject) ^ bits);
+}
+
+void AggregationChecksum::add(std::uint64_t subject, double value) {
+  sum_ += value_digest(subject, value);  // uint64 wrap is the group op
+  ++count_;
+}
+
+void AggregationChecksum::merge(const AggregationChecksum& other) {
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+std::uint64_t vector_checksum(const Vec& x) {
+  AggregationChecksum checksum;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    checksum.add(static_cast<std::uint64_t>(i), x[i]);
+  }
+  return checksum.digest();
+}
+
+}  // namespace dls

@@ -1,0 +1,62 @@
+// Order- and duplicate-invariant checksums for distributed aggregations.
+//
+// A convergecast folds contributions in whatever order the scheduler's
+// contention resolution produces, and a FaultPlan can clone messages; a
+// useful integrity digest must therefore be invariant to both. The digest
+// here is the wrapped-uint64 *sum* of one splitmix-style hash per
+// (subject, value-bits) contribution:
+//
+//   * order-invariant: addition commutes, so any fold order over the same
+//     contribution multiset yields the same digest;
+//   * duplicate-invariant: consumers deduplicate arrivals per subject (the
+//     scheduler's received/informed flags), so each subject contributes its
+//     hash exactly once no matter how many copies crossed the wire;
+//   * value-sensitive: the hash covers the exact IEEE-754 bit pattern, so a
+//     single flipped mantissa bit (corrupt_payload's perturbation) changes
+//     the digest with overwhelming probability — unlike the aggregate
+//     itself, where a low-bit perturbation can hide under a tolerance.
+//
+// This is the checksum side of the verify layer's certificates: a sender
+// digests what it holds, the receiver digests what it observed, and equality
+// certifies the transported multiset bit-for-bit (up to 2^-64 collisions).
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/vector_ops.hpp"
+
+namespace dls {
+
+/// Hash of one (subject, value) contribution: splitmix64 of the subject
+/// re-mixed with the value's IEEE-754 bit pattern. Pure and seedless — two
+/// parties digest independently and compare.
+std::uint64_t value_digest(std::uint64_t subject, double value);
+
+/// Commutative digest accumulator (see file comment). Default-constructed ==
+/// digest of the empty contribution set.
+class AggregationChecksum {
+ public:
+  void add(std::uint64_t subject, double value);
+  /// Folds another accumulator in (the convergecast combine step).
+  void merge(const AggregationChecksum& other);
+
+  std::uint64_t digest() const { return sum_; }
+  std::uint64_t count() const { return count_; }
+  bool matches(const AggregationChecksum& other) const {
+    return sum_ == other.sum_ && count_ == other.count_;
+  }
+
+  friend bool operator==(const AggregationChecksum&,
+                         const AggregationChecksum&) = default;
+
+ private:
+  std::uint64_t sum_ = 0;    // wrapped sum of contribution hashes
+  std::uint64_t count_ = 0;  // contributions folded (guards empty==empty)
+};
+
+/// Digest of a full vector: contribution (i, x[i]) for every coordinate.
+/// The solution-transport certificate compares the sender's digest of x with
+/// the receiver's digest of the delivered x̃.
+std::uint64_t vector_checksum(const Vec& x);
+
+}  // namespace dls

@@ -1,0 +1,232 @@
+#include "verify/certified_solve.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "linalg/laplacian.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/fault_injection.hpp"
+#include "util/assert.hpp"
+
+namespace dls {
+
+CertifiedSolve::CertifiedSolve(DistributedLaplacianSolver& solver,
+                               CertifiedSolveOptions options)
+    : solver_(solver), options_(std::move(options)) {
+  DLS_REQUIRE(options_.tolerance_slack >= 1.0,
+              "tolerance_slack must be >= 1 (tighter than the solver's own "
+              "convergence test would reject healthy solves)");
+}
+
+void CertifiedSolve::deliver(const Vec& x, Vec& out, SolveCertificate& cert) {
+  out = x;
+  FaultPlan* plan = options_.delivery_faults;
+  if (plan == nullptr) return;
+  // Fresh epoch per delivery attempt: a re-delivery consults different
+  // coordinates of the same seeded schedule, so retries are not doomed to
+  // replay the corruption that was just rejected.
+  plan->begin_epoch();
+  const bool integrity = options_.delivery_integrity;
+  const std::uint64_t limit = plan->config().round_limit;
+  std::uint64_t max_round = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    std::uint64_t round = 1;
+    for (;;) {
+      if (round > limit) {
+        throw ChaosAbortError(
+            "certified delivery exceeded its round budget at coordinate " +
+                std::to_string(i),
+            RoundLedger{});
+      }
+      const MessageFate fate = plan->message_fate(round, i, 0, 0);
+      if (integrity) ++cert.delivery_checksum_words;
+      if (fate.dropped) {
+        ++cert.delivery_retransmissions;
+        ++round;
+        continue;
+      }
+      if (fate.corrupted) {
+        ++cert.delivery_corruptions;
+        if (integrity) {
+          // Receiver-side checksum mismatch: the word is discarded like a
+          // drop and re-requested — delivery stays bit-exact, paid in rounds.
+          ++cert.delivery_retransmissions;
+          ++round;
+          continue;
+        }
+        out[i] = corrupt_payload(x[i], fate.corrupt_mask);
+        break;
+      }
+      break;
+    }
+    max_round = std::max(max_round, round);
+  }
+  // The delivery is a scatter: all coordinates ship in parallel over
+  // disjoint client links, so its round cost is the slowest coordinate;
+  // with integrity each transmission holds its link for two rounds.
+  cert.delivery_rounds = max_round * (integrity ? 2 : 1);
+  if (options_.charge_certificate && cert.delivery_rounds > 0) {
+    solver_.oracle().ledger().charge_local(cert.delivery_rounds,
+                                           "verify/delivery");
+  }
+}
+
+void CertifiedSolve::certify(const Vec& b, const Vec& x, const Vec& delivered,
+                             SolveCertificate& cert) {
+  cert.expected_checksum = vector_checksum(x);
+  cert.observed_checksum = vector_checksum(delivered);
+  cert.checksum_ok = cert.expected_checksum == cert.observed_checksum;
+  // Independently recomputed residual against the delivered vector: Πb is
+  // re-derived here, not taken from the solver, so a wrong x cannot vouch
+  // for itself through state it contaminated.
+  Vec rhs = b;
+  project_mean_zero(rhs);
+  Vec residual = sub(rhs, laplacian_apply(solver_.graph(), delivered));
+  project_mean_zero(residual);
+  const double b_norm = norm2(rhs);
+  cert.residual = b_norm > 0 ? norm2(residual) / b_norm : 0.0;
+  cert.tolerance = options_.residual_tolerance > 0
+                       ? options_.residual_tolerance
+                       : solver_.options().tolerance * options_.tolerance_slack;
+  cert.residual_ok = cert.residual <= cert.tolerance;
+  cert.accepted = cert.checksum_ok && cert.residual_ok;
+  if (options_.charge_certificate) {
+    try {
+      // Rounds of the distributed certificate: residual entries + global
+      // norm aggregation, and one aggregated word settling the digest
+      // comparison. On a wedged substrate the charge itself can abort; the
+      // numerical verdict above stands either way, so the abort is absorbed
+      // (degraded solves already returned typed before certification).
+      solver_.charge_residual_certificate();
+      solver_.oracle().ledger().charge_local(1, "verify/solution-checksum");
+    } catch (const ChaosAbortError&) {
+    }
+  }
+  ++checked_;
+  static MetricCounter& passed_metric =
+      MetricsRegistry::global().counter("verify.certificates.passed");
+  static MetricCounter& failed_metric =
+      MetricsRegistry::global().counter("verify.certificates.failed");
+  static MetricCounter& mismatch_metric =
+      MetricsRegistry::global().counter("verify.checksum.mismatches");
+  if (!cert.checksum_ok) mismatch_metric.increment();
+  if (cert.accepted) {
+    passed_metric.increment();
+  } else {
+    ++failed_;
+    failed_metric.increment();
+  }
+}
+
+namespace {
+
+std::string describe_rejection(const SolveCertificate& cert) {
+  std::string reason;
+  if (!cert.checksum_ok) {
+    reason += "solution checksum mismatch (expected " +
+              std::to_string(cert.expected_checksum) + ", observed " +
+              std::to_string(cert.observed_checksum) + ")";
+  }
+  if (!cert.residual_ok) {
+    if (!reason.empty()) reason += "; ";
+    reason += "residual certificate " + std::to_string(cert.residual) +
+              " exceeds tolerance " + std::to_string(cert.tolerance);
+  }
+  if (reason.empty()) reason = "delivery aborted";
+  return reason;
+}
+
+}  // namespace
+
+CertifiedSolveReport CertifiedSolve::solve(const Vec& b) {
+  CertifiedSolveReport report;
+  Tracer* tracer = Tracer::ambient();
+  ScopedSpan span(tracer, "verify/certified-solve", SpanKind::kSolve);
+  static MetricCounter& resolve_metric =
+      MetricsRegistry::global().counter("verify.resolves");
+  static MetricCounter& abort_metric =
+      MetricsRegistry::global().counter("verify.aborts");
+  std::string last_reason;
+  for (std::size_t attempt = 0; attempt <= options_.resolve_budget;
+       ++attempt) {
+    ++report.attempts;
+    LaplacianSolveReport solve_report = solver_.solve(b);
+    SolveCertificate cert;
+    Vec delivered;
+    bool delivery_wedged = false;
+    try {
+      deliver(solve_report.x, delivered, cert);
+    } catch (const ChaosAbortError& e) {
+      delivery_wedged = true;
+      last_reason = e.what();
+      delivered = solve_report.x;  // best effort, for the report only
+    }
+    certify(b, solve_report.x, delivered, cert);
+    if (delivery_wedged) cert.accepted = false;
+    if (solve_report.degraded.has_value()) {
+      // The solver already gave up typed; the certificate of the partial
+      // iterate is attached for observability, and the degradation is
+      // returned as-is — re-solving a degraded solve re-runs the same
+      // exhausted ladder.
+      report.degraded = solve_report.degraded;
+      solve_report.x = std::move(delivered);
+      report.solve = std::move(solve_report);
+      report.certificate = cert;
+      span.counter("attempts", report.attempts);
+      span.counter("accepted", 0);
+      return report;
+    }
+    if (cert.accepted) {
+      solve_report.x = std::move(delivered);
+      report.solve = std::move(solve_report);
+      report.certificate = cert;
+      span.counter("attempts", report.attempts);
+      span.counter("accepted", 1);
+      return report;
+    }
+    // Rejected: account the detection, escalate, and (budget allowing)
+    // re-solve + re-deliver on a fresh fault epoch.
+    if (!delivery_wedged) last_reason = describe_rejection(cert);
+    if (options_.supervisor != nullptr) {
+      options_.supervisor->note_certificate_failure(attempt,
+                                                    cert.delivery_rounds,
+                                                    last_reason);
+    } else {
+      RecoveryEvent event;
+      event.action = RecoveryAction::kCertificateResolve;
+      event.subject = 0;
+      event.attempt = static_cast<std::uint32_t>(attempt + 1);
+      event.rounds_lost = cert.delivery_rounds;
+      event.detail = last_reason;
+      solver_.oracle().ledger().record_recovery(std::move(event));
+    }
+    report.rejected.push_back(cert);
+    report.solve = std::move(solve_report);
+    report.solve.x = std::move(delivered);
+    report.certificate = cert;
+    if (attempt < options_.resolve_budget) resolve_metric.increment();
+  }
+  // Every attempt rejected: refuse typed — never a silently wrong answer.
+  abort_metric.increment();
+  DegradedResult degraded;
+  degraded.tier = EscalationTier::kExhausted;
+  degraded.reason = "solve certificate rejected " +
+                    std::to_string(report.attempts) +
+                    " time(s): " + last_reason;
+  degraded.completed_iterations = report.solve.outer_iterations;
+  degraded.partial_residual = report.certificate.residual;
+  RecoveryEvent event;
+  event.action = RecoveryAction::kAbort;
+  event.subject = 0;
+  event.attempt = static_cast<std::uint32_t>(report.attempts);
+  event.detail = degraded.reason;
+  solver_.oracle().ledger().record_recovery(std::move(event));
+  report.solve.degraded = degraded;
+  report.degraded = std::move(degraded);
+  span.counter("attempts", report.attempts);
+  span.counter("accepted", 0);
+  return report;
+}
+
+}  // namespace dls

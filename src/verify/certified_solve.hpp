@@ -1,0 +1,136 @@
+// End-to-end certified Laplacian solves: never return a silently wrong x.
+//
+// The message plane's integrity words (sim/sync_network.hpp) and the PA-call
+// cross-checks (laplacian/pa_oracle.cpp) catch corruption *inside* the
+// solve. CertifiedSolve closes the remaining gap — the hop that ships the
+// finished solution to its consumer — and certifies the whole answer at the
+// algorithm level, where a residual bound is available that no transport
+// checksum can offer:
+//
+//   1. solve L x = b through the wrapped DistributedLaplacianSolver;
+//   2. deliver x to the client over a (possibly corrupting) FaultPlan hop,
+//      one payload word per coordinate. With delivery integrity on, a
+//      corrupted word fails its checksum and is retransmitted — the client
+//      receives x bit-exactly. With it off, the perturbed x̃ arrives
+//      silently — which is what the certificate exists to catch;
+//   3. certify the received x̃ with BOTH checks, each necessary:
+//        * transport checksum: vector_checksum(x) == vector_checksum(x̃)
+//          (order-invariant; catches any bit difference, including low-bit
+//          perturbations small enough to hide under the residual bound);
+//        * residual certificate: the independently recomputed
+//          ‖Πb − L x̃‖/‖Πb‖ is within tolerance (catches a wrong x even if
+//          transport was clean — e.g. corruption that slipped through the
+//          solve itself — which no transport checksum can see);
+//   4. on rejection, record a kCertificateResolve RecoveryEvent, escalate to
+//      the SupervisedPaOracle if one is wired (repeated failures demote the
+//      primary to the baseline), and re-solve + re-deliver on a fresh fault
+//      epoch, up to resolve_budget times;
+//   5. when every attempt is rejected, return a typed DegradedResult (with
+//      the last rejected certificate attached) — the caller always receives
+//      either a certified answer or an explicit refusal, never a silently
+//      wrong vector.
+//
+// Certificate communication is charged honestly when charge_certificate is
+// on: delivery rounds under "verify/delivery", the recomputed residual via
+// DistributedLaplacianSolver::charge_residual_certificate, the checksum
+// exchange under "verify/solution-checksum". With no delivery plan and
+// charging off, a clean solve() is bit-identical to the unwrapped solver's.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "laplacian/recursive_solver.hpp"
+#include "resilience/solve_supervisor.hpp"
+#include "verify/aggregation_checksum.hpp"
+
+namespace dls {
+
+struct CertifiedSolveOptions {
+  /// Residual acceptance bound; 0 (default) derives it as the solver's
+  /// configured tolerance × tolerance_slack. The slack absorbs the honest
+  /// gap between the solver's internal convergence test and the recomputed
+  /// certificate (same 2× the solver itself allows, plus roundoff headroom).
+  double residual_tolerance = 0.0;
+  double tolerance_slack = 8.0;
+  /// Certificate-triggered re-solves before giving up typed. Re-solves are
+  /// replays (measured costs are cached), but re-delivery opens a fresh
+  /// fault epoch — different corruption coordinates — so one re-solve
+  /// normally suffices under sub-certainty corruption rates.
+  std::size_t resolve_budget = 1;
+  /// Charge certificate + delivery communication to the oracle's ledger.
+  bool charge_certificate = true;
+  /// Fault plan of the solution-delivery hop (nullptr = clean delivery).
+  /// Not owned; epochs are consumed (one per delivery attempt).
+  FaultPlan* delivery_faults = nullptr;
+  /// Ship every delivered coordinate with a checksum word: corrupted words
+  /// are detected and retransmitted (bit-exact delivery, extra rounds + one
+  /// word per retransmission), instead of arriving silently perturbed.
+  bool delivery_integrity = false;
+  /// Optional escalation target: certificate failures are reported via
+  /// note_certificate_failure, so repeated rejections demote the primary
+  /// oracle to the baseline through the existing ladder. Not owned.
+  SupervisedPaOracle* supervisor = nullptr;
+};
+
+/// Outcome of certifying one delivered solution.
+struct SolveCertificate {
+  bool checksum_ok = false;
+  bool residual_ok = false;
+  bool accepted = false;  // checksum_ok && residual_ok
+  double residual = 0.0;   // recomputed ‖Πb − L x̃‖ / ‖Πb‖
+  double tolerance = 0.0;  // bound residual was checked against
+  std::uint64_t expected_checksum = 0;  // sender-side digest of x
+  std::uint64_t observed_checksum = 0;  // receiver-side digest of x̃
+  // Delivery-hop accounting for this attempt.
+  std::uint64_t delivery_rounds = 0;
+  std::uint64_t delivery_corruptions = 0;      // words the plan perturbed
+  std::uint64_t delivery_retransmissions = 0;  // detected ⇒ re-sent words
+  std::uint64_t delivery_checksum_words = 0;   // integrity words shipped
+};
+
+struct CertifiedSolveReport {
+  /// The returned solve: x is the *delivered* vector x̃ of the final attempt
+  /// (bit-identical to the solver's x whenever the certificate accepted).
+  LaplacianSolveReport solve;
+  SolveCertificate certificate;  // certificate of the returned x
+  std::vector<SolveCertificate> rejected;  // one per discarded attempt
+  std::size_t attempts = 0;
+  /// Set iff no attempt was certified: the wrapped solver degraded, or the
+  /// resolve budget ran out with every certificate rejected. Mirrors
+  /// solve.degraded so callers branch the same way they do on the solver.
+  std::optional<DegradedResult> degraded;
+};
+
+class CertifiedSolve {
+ public:
+  /// `solver` (and anything referenced by `options`) must outlive this
+  /// wrapper.
+  explicit CertifiedSolve(DistributedLaplacianSolver& solver,
+                          CertifiedSolveOptions options = {});
+
+  CertifiedSolveReport solve(const Vec& b);
+
+  const CertifiedSolveOptions& options() const { return options_; }
+  std::uint64_t certificates_checked() const { return checked_; }
+  std::uint64_t certificates_failed() const { return failed_; }
+
+ private:
+  /// Ships x over the delivery plan into `out`, filling the delivery_*
+  /// fields of `cert`. Throws ChaosAbortError when a coordinate exceeds the
+  /// plan's round_limit (permanently corrupting hop under integrity).
+  void deliver(const Vec& x, Vec& out, SolveCertificate& cert);
+  /// Fills the check fields of `cert` (delivery fields already set) and
+  /// charges the certificate communication.
+  void certify(const Vec& b, const Vec& x, const Vec& delivered,
+               SolveCertificate& cert);
+
+  DistributedLaplacianSolver& solver_;
+  CertifiedSolveOptions options_;
+  std::uint64_t checked_ = 0;
+  std::uint64_t failed_ = 0;
+};
+
+}  // namespace dls

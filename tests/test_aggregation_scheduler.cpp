@@ -5,6 +5,7 @@
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "sim/aggregation_scheduler.hpp"
+#include "sim/fault_injection.hpp"
 
 namespace dls {
 namespace {
@@ -280,6 +281,76 @@ TEST_P(SchedulerSweep, CorrectOnRandomVoronoiLikeTrees) {
 INSTANTIATE_TEST_SUITE_P(Sweep, SchedulerSweep,
                          ::testing::Combine(::testing::Values(1, 2, 3),
                                             ::testing::Values(1, 4, 9)));
+
+// --- payload corruption & the integrity word -------------------------------
+
+// Path 0-1-2 rooted at 0, values {0, 1, 2}. The leaf's convergecast send
+// (2 -> 1, edge 1, directed slot 2, first consulted at round 1 of epoch 1)
+// is corrupted. Without integrity the perturbed payload silently enters the
+// fold: the root's aggregate is off by exactly the injected bit flip.
+TEST(SchedulerCorruption, UncheckedCorruptionPerturbsTheFold) {
+  const Graph g = make_path(3);
+  FaultPlan plan = FaultPlan::replay(
+      0, {{FaultKind::kCorrupt, /*epoch=*/1, /*round=*/1, /*subject=*/2,
+           /*param=*/0x10}});
+  Rng rng(5);
+  const auto outcome = run_tree_aggregations(
+      g, {whole_path_tree(g, 0.0)}, AggregationMonoid::sum(), rng,
+      SchedulingPolicy::kRandomPriority, &plan);
+  EXPECT_EQ(outcome.corrupt_injected, 1u);
+  EXPECT_EQ(outcome.corrupt_delivered, 1u);
+  EXPECT_EQ(outcome.corrupt_detected, 0u);
+  EXPECT_EQ(outcome.integrity_words, 0u);
+  EXPECT_NE(outcome.results[0], 3.0);
+  EXPECT_DOUBLE_EQ(outcome.results[0], 1.0 + corrupt_payload(2.0, 0x10));
+}
+
+// The same corrupted transmission with the integrity word on: the receiver's
+// checksum fails, the send behaves like a drop and is retransmitted, and the
+// fold is exact — paid in rounds and one checksum word per transmission.
+TEST(SchedulerCorruption, IntegrityDetectsAndRetransmitsExactly) {
+  const Graph g = make_path(3);
+  FaultConfig config;
+  config.integrity = true;
+  FaultPlan plan = FaultPlan::replay(
+      0,
+      {{FaultKind::kCorrupt, /*epoch=*/1, /*round=*/1, /*subject=*/2,
+        /*param=*/0x10}},
+      config);
+  Rng rng(5);
+  const auto outcome = run_tree_aggregations(
+      g, {whole_path_tree(g, 0.0)}, AggregationMonoid::sum(), rng,
+      SchedulingPolicy::kRandomPriority, &plan);
+  EXPECT_DOUBLE_EQ(outcome.results[0], 3.0);
+  EXPECT_EQ(outcome.corrupt_injected, 1u);
+  EXPECT_EQ(outcome.corrupt_detected, 1u);
+  EXPECT_EQ(outcome.corrupt_delivered, 0u);
+  // Exactly one checksum word per transmission, retransmission included.
+  EXPECT_EQ(outcome.integrity_words, outcome.messages);
+}
+
+// Integrity with no faults at all: results stay bit-identical to the
+// fault-free run, but the honest cost shows — each slot carries one message
+// per two rounds, so the phases take longer and every send pays its word.
+TEST(SchedulerCorruption, IntegrityAloneKeepsResultsAndPaysRounds) {
+  const Graph g = make_path(8);
+  Rng clean_rng(7);
+  const auto clean = run_tree_aggregations(
+      g, {whole_path_tree(g, 0.0)}, AggregationMonoid::sum(), clean_rng);
+
+  FaultConfig config;
+  config.integrity = true;
+  FaultPlan plan(/*seed=*/1, config);  // all rates zero: pure integrity cost
+  Rng rng(7);
+  const auto outcome = run_tree_aggregations(
+      g, {whole_path_tree(g, 0.0)}, AggregationMonoid::sum(), rng,
+      SchedulingPolicy::kRandomPriority, &plan);
+  EXPECT_EQ(outcome.results, clean.results);
+  EXPECT_EQ(outcome.corrupt_injected, 0u);
+  EXPECT_GT(outcome.total_rounds, clean.total_rounds);
+  EXPECT_EQ(outcome.integrity_words, outcome.messages);
+  EXPECT_EQ(outcome.messages, clean.messages);  // no retransmissions needed
+}
 
 }  // namespace
 }  // namespace dls

@@ -12,6 +12,7 @@
 
 #include "chaos_harness.hpp"
 #include "laplacian/pa_oracle.hpp"
+#include "obs/metrics.hpp"
 
 namespace dls {
 namespace {
@@ -58,6 +59,24 @@ std::vector<FaultMix> fault_mixes() {
     c.max_crash_len = 3;
     c.drop_rate = 0.1;
     mixes.push_back({"crash", c});
+  }
+  // Corruption mixes run with payload integrity on: detected corruptions are
+  // retransmitted, so the sweep's bit-exact-agreement property must still
+  // hold — corruption may cost rounds, never correctness. (Without the
+  // checksum word the fold would be silently wrong; that negative space is
+  // pinned by UncheckedCorruptionShrinksToCorruptRepro below.)
+  {
+    FaultConfig c;
+    c.corrupt_rate = 0.2;
+    c.integrity = true;
+    mixes.push_back({"corrupt", c});
+  }
+  {
+    FaultConfig c;
+    c.corrupt_rate = 0.15;
+    c.drop_rate = 0.15;
+    c.integrity = true;
+    mixes.push_back({"corrupt-drop", c});
   }
   return mixes;
 }
@@ -246,6 +265,86 @@ TEST(ChaosPa, FailingCaseProducesShrunkRepro) {
   EXPECT_NE(repro.find("drop("), std::string::npos) << repro;
 }
 
+// Corruption with integrity across the scenario families: results stay
+// bit-identical to the clean run, every injected corruption is detected
+// (none delivered), and the detections plus checksum words show up in the
+// net.corrupt.* / net.integrity.* metrics — rounds are paid, correctness is
+// not. (Per-call counters live on AggregationOutcome; across a whole
+// congested-PA solve the registry totals are the accounting surface.)
+TEST(ChaosPa, IntegrityMakesCorruptionExactAndAccounted) {
+  MetricCounter& injected_metric =
+      MetricsRegistry::global().counter("net.corrupt.injected");
+  MetricCounter& detected_metric =
+      MetricsRegistry::global().counter("net.corrupt.detected");
+  MetricCounter& delivered_metric =
+      MetricsRegistry::global().counter("net.corrupt.delivered");
+  MetricCounter& words_metric =
+      MetricsRegistry::global().counter("net.integrity.words");
+  std::uint64_t injected_total = 0;
+  for (int family = 0; family < 4; ++family) {
+    CaseConfig c;
+    c.family = family;
+    c.scenario_seed = 0xC0DE00 + static_cast<std::uint64_t>(family);
+    const chaos::Scenario s = chaos::build_scenario(c);
+
+    CongestedPaOptions options;
+    Rng clean_rng(s.solver_seed);
+    const CongestedPaOutcome clean = solve_congested_pa(
+        s.g, s.pc, s.values, AggregationMonoid::sum(), clean_rng, options);
+
+    const std::uint64_t injected0 = injected_metric.value();
+    const std::uint64_t detected0 = detected_metric.value();
+    const std::uint64_t delivered0 = delivered_metric.value();
+    const std::uint64_t words0 = words_metric.value();
+    FaultConfig config;
+    config.corrupt_rate = 0.25;
+    config.integrity = true;
+    FaultPlan plan(0xF00D + static_cast<std::uint64_t>(family), config);
+    options.faults = &plan;
+    Rng faulty_rng(s.solver_seed);
+    const CongestedPaOutcome faulted = solve_congested_pa(
+        s.g, s.pc, s.values, AggregationMonoid::sum(), faulty_rng, options);
+
+    EXPECT_EQ(faulted.results, clean.results) << "family " << family;
+    EXPECT_GT(words_metric.value(), words0) << "family " << family;
+    // Every injected corruption was detected; none slipped into a fold.
+    EXPECT_EQ(detected_metric.value() - detected0,
+              injected_metric.value() - injected0);
+    EXPECT_EQ(delivered_metric.value(), delivered0);
+    // Integrity doubles slot occupancy even before any corruption bites.
+    EXPECT_GT(faulted.total_rounds, clean.total_rounds);
+    injected_total += injected_metric.value() - injected0;
+  }
+  EXPECT_GT(injected_total, 0u)
+      << "corrupt_rate=0.25 never fired — the sweep would be vacuous";
+}
+
+// Without the checksum word, corruption is the one fault the delivery layer
+// cannot mask: the faulted fold silently disagrees with the clean one, the
+// harness's comparison catches it, and the ddmin shrinker reduces the
+// schedule to a minimal repro naming the corrupt event(s).
+TEST(ChaosPa, UncheckedCorruptionShrinksToCorruptRepro) {
+  CaseConfig c;
+  c.label = "corrupt-repro";
+  c.family = 1;  // random tree: smallest scenario family
+  c.scenario_seed = 0xC0FFEE;
+  c.faults.corrupt_rate = 0.3;
+  std::string diagnosis;
+  std::vector<FaultEvent> injected;
+  // A corruption can land on a result-inert slot (broadcast markers, deduped
+  // copies); scan a few schedules for one that perturbs a fold.
+  for (std::uint64_t seed = 1; seed <= 8 && diagnosis.empty(); ++seed) {
+    c.fault_seed = seed;
+    diagnosis = chaos::run_case(c, nullptr, &injected);
+  }
+  ASSERT_FALSE(diagnosis.empty())
+      << "no schedule perturbed any fold — corruption injection is vacuous";
+  ASSERT_FALSE(injected.empty());
+  const std::string repro = chaos::describe_repro(c, injected);
+  EXPECT_NE(repro.find("minimal fault list"), std::string::npos);
+  EXPECT_NE(repro.find("corrupt("), std::string::npos) << repro;
+}
+
 // --- shrinker unit tests (synthetic predicates; no network involved) ------
 
 std::vector<FaultEvent> synthetic_events(std::size_t n) {
@@ -288,6 +387,24 @@ TEST(ChaosShrinker, KeepsConjunctionOfTwoEvents) {
         return has_a && has_b;
       });
   EXPECT_EQ(minimal, (std::vector<FaultEvent>{a, b}));
+}
+
+// Mixed-kind schedules shrink across kinds: the minimal list keeps exactly
+// the corrupt event the predicate demands and drops every drop around it.
+TEST(ChaosShrinker, IsolatesCorruptEventAmongDrops) {
+  std::vector<FaultEvent> events = synthetic_events(12);
+  const FaultEvent culprit{FaultKind::kCorrupt, 1, 5, 3, 0x40};
+  events.insert(events.begin() + 6, culprit);
+  const std::vector<FaultEvent> minimal = chaos::shrink_events(
+      events, [&](const std::vector<FaultEvent>& subset) {
+        for (const FaultEvent& e : subset) {
+          if (e.kind == FaultKind::kCorrupt && e.param == 0x40) return true;
+        }
+        return false;
+      });
+  ASSERT_EQ(minimal.size(), 1u);
+  EXPECT_EQ(minimal[0], culprit);
+  EXPECT_EQ(to_string(minimal[0]).rfind("corrupt(", 0), 0u);
 }
 
 TEST(ChaosShrinker, EmptyListIsFixpoint) {

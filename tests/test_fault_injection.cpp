@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "graph/generators.hpp"
 #include "sim/fault_injection.hpp"
@@ -337,6 +338,149 @@ TEST(FaultyNetwork, InboxDefinedPreStepAndOutOfRangeThrows) {
   EXPECT_THROW(net.inbox(3), std::invalid_argument);
   EXPECT_THROW(net.node_up(3), std::invalid_argument);
   EXPECT_THROW(net.link_up(2), std::invalid_argument);
+}
+
+// --- FaultKind naming (satellite: exhaustive, round-trips) -----------------
+
+TEST(FaultKind, ToStringIsExhaustiveAndRoundTrips) {
+  for (const FaultKind kind : kAllFaultKinds) {
+    const std::string name = to_string(kind);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "?") << "unnamed FaultKind";
+    EXPECT_EQ(fault_kind_from_string(name), kind) << name;
+  }
+  EXPECT_THROW(fault_kind_from_string("no-such-kind"), std::invalid_argument);
+  // A kind outside the enum (torn bytes in a repro file) fails loudly
+  // instead of printing garbage into chaos repro output.
+  EXPECT_THROW(to_string(static_cast<FaultKind>(250)), std::invalid_argument);
+}
+
+// --- Payload corruption ----------------------------------------------------
+
+TEST(CorruptPayload, PerturbsEveryValueButKeepsItFinite) {
+  const double values[] = {0.0, 1.0, -3.25, 1e-300, 12345.678};
+  for (const double v : values) {
+    for (const std::uint32_t mask : {1u, 0xFFFFu, 0xFFFFFFFFu}) {
+      const double out = corrupt_payload(v, mask);
+      EXPECT_NE(out, v) << v << " mask=" << mask;
+      EXPECT_TRUE(std::isfinite(out)) << v << " mask=" << mask;
+      // XOR is an involution: re-applying the mask restores the value.
+      EXPECT_EQ(corrupt_payload(out, mask), v);
+    }
+  }
+  // A zero mask is forced to 1 rather than silently not corrupting.
+  EXPECT_NE(corrupt_payload(2.5, 0), 2.5);
+}
+
+TEST(FaultPlan, CorruptFiresRecordsAndReplays) {
+  FaultConfig config;
+  config.corrupt_rate = 0.5;
+  FaultPlan plan(0xC0DE, config);
+  std::size_t corrupted = 0;
+  for (std::uint64_t r = 1; r <= 16; ++r) {
+    for (std::size_t s = 0; s < 8; ++s) {
+      const MessageFate fate = plan.message_fate(r, s, 0, 1);
+      if (!fate.corrupted) continue;
+      ++corrupted;
+      EXPECT_NE(fate.corrupt_mask, 0u);  // a corruption always flips bits
+    }
+  }
+  ASSERT_GT(corrupted, 0u);
+  const std::vector<FaultEvent> events = plan.injected();
+  ASSERT_EQ(events.size(), corrupted);
+  for (const FaultEvent& e : events) {
+    EXPECT_EQ(e.kind, FaultKind::kCorrupt);
+    EXPECT_NE(e.param, 0u);  // the recorded mask replays the perturbation
+  }
+  FaultPlan replay = FaultPlan::replay(0xC0DE, events, config);
+  for (std::uint64_t r = 1; r <= 16; ++r) {
+    for (std::size_t s = 0; s < 8; ++s) {
+      const MessageFate want = plan.message_fate(r, s, 0, 1);
+      const MessageFate got = replay.message_fate(r, s, 0, 1);
+      EXPECT_EQ(want.corrupted, got.corrupted) << "r=" << r << " s=" << s;
+      EXPECT_EQ(want.corrupt_mask, got.corrupt_mask) << "r=" << r << " s=" << s;
+    }
+  }
+}
+
+TEST(FaultPlan, CorruptNeverFiresOnDroppedMessages) {
+  FaultConfig config;
+  config.drop_rate = 1.0;
+  config.corrupt_rate = 1.0;
+  FaultPlan plan(0xFEED, config);
+  for (std::uint64_t r = 1; r <= 8; ++r) {
+    const MessageFate fate = plan.message_fate(r, 0, 0, 1);
+    EXPECT_TRUE(fate.dropped);
+    EXPECT_FALSE(fate.corrupted);  // there is no payload left to corrupt
+  }
+  for (const FaultEvent& e : plan.injected()) {
+    EXPECT_NE(e.kind, FaultKind::kCorrupt);
+  }
+}
+
+// --- Message integrity (sync_network) --------------------------------------
+
+TEST(MessageIntegrity, WithIntegrityChargesAWordAndVerifies) {
+  const CongestMessage plain{0, 1, 0, 7, 3.5, 1};
+  EXPECT_TRUE(integrity_ok(plain));  // unchecksummed messages always pass
+  const CongestMessage sealed = with_integrity(plain);
+  EXPECT_TRUE(sealed.checksummed);
+  EXPECT_EQ(sealed.words, plain.words + 1);  // the checksum word is bandwidth
+  EXPECT_TRUE(integrity_ok(sealed));
+  CongestMessage tampered = sealed;
+  tampered.payload = corrupt_payload(tampered.payload, 0x4);
+  EXPECT_FALSE(integrity_ok(tampered));
+  CongestMessage retagged = sealed;
+  retagged.tag ^= 1;  // the digest covers the tag, not just the payload
+  EXPECT_FALSE(integrity_ok(retagged));
+}
+
+TEST(FaultyNetwork, UncheckedCorruptionIsDeliveredSilently) {
+  const Graph g = make_path(2);
+  FaultPlan plan =
+      FaultPlan::replay(1, {{FaultKind::kCorrupt, 0, 1, 0, 0x10}});
+  FaultyNetwork net(g, &plan);
+  net.send({0, 1, 0, 5, 2.5, 1});
+  net.step();
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.inbox(1)[0].payload, corrupt_payload(2.5, 0x10));
+  EXPECT_EQ(net.corrupt_delivered(), 1u);
+  EXPECT_EQ(net.corrupt_detected(), 0u);
+  EXPECT_EQ(net.dropped(), 0u);
+}
+
+TEST(FaultyNetwork, ChecksummedCorruptionIsDetectedAndDropped) {
+  const Graph g = make_path(2);
+  // The checksum word makes the message 2 words wide, so it is delivered
+  // (and its fate consulted) at round 2.
+  FaultPlan plan =
+      FaultPlan::replay(1, {{FaultKind::kCorrupt, 0, 2, 0, 0x10}});
+  FaultyNetwork net(g, &plan);
+  net.send(with_integrity({0, 1, 0, 5, 2.5, 1}));
+  net.step();
+  net.step();
+  EXPECT_TRUE(net.inbox(1).empty());  // quarantined at the receiver
+  EXPECT_EQ(net.corrupt_detected(), 1u);
+  EXPECT_EQ(net.corrupt_delivered(), 0u);
+  EXPECT_EQ(net.dropped(), 1u);  // feeds the same retry path as a drop
+}
+
+TEST(FaultyNetwork, CorruptedCloneFailsVerificationToo) {
+  const Graph g = make_path(2);
+  // Corrupt + duplicate the same transmission (2-word frame, so its fate is
+  // consulted at round 2): detection happens before duplication, so no
+  // perturbed clone ever enters the held queue — both rounds stay empty.
+  FaultPlan plan = FaultPlan::replay(1, {{FaultKind::kDuplicate, 0, 2, 0, 0},
+                                         {FaultKind::kCorrupt, 0, 2, 0, 0x8}});
+  FaultyNetwork net(g, &plan);
+  net.send(with_integrity({0, 1, 0, 5, 2.5, 1}));
+  net.step();
+  net.step();
+  EXPECT_TRUE(net.inbox(1).empty());
+  net.step();  // the would-be clone's due round
+  EXPECT_TRUE(net.inbox(1).empty());
+  EXPECT_EQ(net.corrupt_detected(), 1u);
+  EXPECT_EQ(net.duplicated(), 0u);
 }
 
 TEST(FaultyNetwork, ReorderPermutesDeliveryBatch) {

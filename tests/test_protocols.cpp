@@ -320,6 +320,99 @@ TEST(ReliableSend, JitteredRetriesStayWithinSpacingBounds) {
   EXPECT_LE(r.data_sends, 1 + r.rounds / 2);
 }
 
+// --- reliable_send: payload corruption and the integrity word --------------
+
+// With integrity enabled the DATA frame carries one checksum word, so it is
+// a 2-word message: delivered at round 2 instead of 1, ACK back at round 3.
+// Every checksummed DATA charges exactly one extra word to the result.
+TEST(ReliableSend, IntegrityCleanPathCostsOneExtraRound) {
+  const Graph g = make_path(2);
+  FaultyNetwork net(g, nullptr);
+  ReliableSendOptions options;
+  options.integrity = true;
+  const ReliableSendResult r = reliable_send(net, 0, 1, 0, 1, 2.5, options);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_TRUE(r.acked);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.rounds, 3u);  // 2-word DATA out, 1-word ACK back
+  EXPECT_EQ(r.checksum_words, r.data_sends);
+  EXPECT_EQ(r.duplicates_suppressed, 0u);
+}
+
+// A single replayed corruption on the first DATA's delivery round: the
+// receiver's checksum verification discards the frame (detected corruption
+// behaves like a drop), the backoff retransmits, and the clean copy is
+// accepted exactly once. No corrupted payload ever reaches the application.
+TEST(ReliableSend, CorruptThenRetryDeliversExactlyOnce) {
+  const Graph g = make_path(2);
+  // The 2-word DATA sent at round 0 is delivered (and its fate consulted) at
+  // round 2; directed slot 0 is edge 0 in the 0 -> 1 direction.
+  FaultPlan plan = FaultPlan::replay(
+      0, {{FaultKind::kCorrupt, /*epoch=*/0, /*round=*/2, /*subject=*/0,
+           /*param=*/0x10}});
+  FaultyNetwork net(g, &plan);
+  ReliableSendOptions options;
+  options.integrity = true;
+  options.initial_backoff = 4;  // retransmit strictly after the round-2 loss
+  const ReliableSendResult r = reliable_send(net, 0, 1, 0, 1, 2.5, options);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_TRUE(r.acked);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.data_sends, 2u);  // original + one retransmission
+  EXPECT_EQ(r.checksum_words, 2u);
+  EXPECT_EQ(r.duplicates_suppressed, 0u);  // the corrupted copy was discarded
+  EXPECT_EQ(net.corrupt_detected(), 1u);
+  EXPECT_EQ(net.corrupt_delivered(), 0u);
+  EXPECT_EQ(net.dropped(), 1u);
+  ASSERT_EQ(r.ledger.entries().size(), 1u);
+  EXPECT_EQ(r.ledger.entries()[0].label, "reliable-send");
+}
+
+// Corruption beyond any budget: every DATA frame is corrupted forever and no
+// timeout is configured, so the hard internal budget (the plan's round_limit)
+// surfaces a typed ChaosAbortError carrying the partially-charged ledger
+// instead of livelocking.
+TEST(ReliableSend, CorruptBeyondBudgetThrowsWithPartialLedger) {
+  const Graph g = make_path(2);
+  FaultConfig config;
+  config.corrupt_rate = 1.0;
+  config.horizon = FaultConfig::kNoHorizon;
+  config.round_limit = 64;
+  FaultPlan plan(7, config);
+  FaultyNetwork net(g, &plan);
+  ReliableSendOptions options;
+  options.integrity = true;
+  options.timeout_rounds = 0;  // no graceful abort — force the hard budget
+  try {
+    reliable_send(net, 0, 1, 0, 1, 2.5, options);
+    FAIL() << "expected ChaosAbortError";
+  } catch (const ChaosAbortError& e) {
+    ASSERT_EQ(e.ledger().entries().size(), 1u);
+    EXPECT_EQ(e.ledger().entries()[0].label, "reliable-send-abort");
+    EXPECT_GE(e.ledger().total_local(), 64u);
+  }
+  EXPECT_GE(net.corrupt_detected(), 1u);
+  EXPECT_EQ(net.corrupt_delivered(), 0u);  // every corruption was caught
+}
+
+// Without integrity the same corruption is silent: the protocol acks a
+// payload whose bits are wrong. This is the negative space the checksum word
+// (and, end-to-end, the verify layer) exists to close.
+TEST(ReliableSend, UncheckedCorruptionIsAckedButWrong) {
+  const Graph g = make_path(2);
+  // 1-word DATA sent at round 0 is delivered at round 1, slot 0.
+  FaultPlan plan = FaultPlan::replay(
+      0, {{FaultKind::kCorrupt, /*epoch=*/0, /*round=*/1, /*subject=*/0,
+           /*param=*/0x10}});
+  FaultyNetwork net(g, &plan);
+  const ReliableSendResult r = reliable_send(net, 0, 1, 0, 1, 2.5);
+  EXPECT_TRUE(r.delivered);
+  EXPECT_TRUE(r.acked);
+  EXPECT_EQ(r.checksum_words, 0u);
+  EXPECT_EQ(net.corrupt_delivered(), 1u);
+  EXPECT_EQ(net.corrupt_detected(), 0u);
+}
+
 // Concurrent sequence numbers on the same edge do not confuse each other:
 // tags encode (seq << 1) | kind, so a stale DATA for another seq is ignored.
 TEST(ReliableSend, SequenceNumbersKeepSendsApart) {

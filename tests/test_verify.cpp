@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "laplacian/recursive_solver.hpp"
+#include "linalg/laplacian.hpp"
+#include "resilience/solve_supervisor.hpp"
+#include "sim/fault_injection.hpp"
+#include "verify/aggregation_checksum.hpp"
+#include "verify/certified_solve.hpp"
+
+namespace dls {
+namespace {
+
+// --- AggregationChecksum: order/duplicate invariance, bit sensitivity ------
+
+TEST(AggregationChecksum, OrderInvariantUnderAddAndMerge) {
+  AggregationChecksum forward;
+  AggregationChecksum backward;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    forward.add(i, 0.25 * static_cast<double>(i) - 1.0);
+  }
+  for (std::uint64_t i = 16; i-- > 0;) {
+    backward.add(i, 0.25 * static_cast<double>(i) - 1.0);
+  }
+  EXPECT_EQ(forward.digest(), backward.digest());
+  EXPECT_TRUE(forward.matches(backward));
+
+  // Splitting the contributions across accumulators and merging (the
+  // convergecast combine) yields the same digest as one flat fold.
+  AggregationChecksum left, right;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    (i % 3 == 0 ? left : right).add(i, 0.25 * static_cast<double>(i) - 1.0);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.digest(), forward.digest());
+  EXPECT_EQ(left.count(), forward.count());
+}
+
+TEST(AggregationChecksum, SensitiveToValueBitsAndSubjects) {
+  AggregationChecksum a, b;
+  a.add(0, 1.5);
+  // A single low mantissa bit flip — invisible to any tolerance-based check
+  // of the aggregate — must change the digest.
+  b.add(0, corrupt_payload(1.5, 1));
+  EXPECT_NE(a.digest(), b.digest());
+  EXPECT_FALSE(a.matches(b));
+
+  // The same multiset of values on swapped subjects is a different set of
+  // contributions.
+  AggregationChecksum c, d;
+  c.add(0, 1.0);
+  c.add(1, 2.0);
+  d.add(0, 2.0);
+  d.add(1, 1.0);
+  EXPECT_NE(c.digest(), d.digest());
+}
+
+TEST(AggregationChecksum, CountGuardsTheEmptySet) {
+  AggregationChecksum empty;
+  AggregationChecksum one;
+  one.add(0, 0.0);
+  EXPECT_EQ(empty.count(), 0u);
+  // value_digest(0, 0.0) could in principle be 0; the count makes an empty
+  // accumulator distinguishable regardless.
+  EXPECT_FALSE(empty == one);
+}
+
+TEST(VectorChecksum, CoordinatesAreSubjects) {
+  const Vec x{1.0, -2.0, 3.5, 0.0};
+  Vec permuted{-2.0, 1.0, 3.5, 0.0};
+  Vec perturbed = x;
+  perturbed[2] = corrupt_payload(x[2], 0x10);
+  EXPECT_EQ(vector_checksum(x), vector_checksum(x));
+  EXPECT_NE(vector_checksum(x), vector_checksum(permuted));
+  EXPECT_NE(vector_checksum(x), vector_checksum(perturbed));
+}
+
+// --- CertifiedSolve --------------------------------------------------------
+
+Vec random_rhs(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Vec b(n);
+  for (double& v : b) v = rng.next_double() * 2 - 1;
+  project_mean_zero(b);
+  return b;
+}
+
+LaplacianSolverOptions quick_options(double tol = 1e-6) {
+  LaplacianSolverOptions options;
+  options.tolerance = tol;
+  options.base_size = 40;
+  return options;
+}
+
+Vec reference_solve(const Graph& g, const Vec& b, std::uint64_t seed) {
+  Rng rng(seed);
+  ShortcutPaOracle oracle(g, rng);
+  DistributedLaplacianSolver solver(oracle, rng, quick_options());
+  return solver.solve(b).x;
+}
+
+double residual_of(const Graph& g, const Vec& x, const Vec& b) {
+  Vec rhs = b;
+  project_mean_zero(rhs);
+  Vec r = sub(rhs, laplacian_apply(g, x));
+  project_mean_zero(r);
+  return norm2(r) / norm2(rhs);
+}
+
+// With no delivery plan and charging off, the wrapper is transparent: the
+// certified x is bit-identical to the unwrapped solver's, the certificate
+// accepts, and no verify/* cost appears on the ledger.
+TEST(CertifiedSolve, CleanSolveAcceptsBitIdentical) {
+  const Graph g = make_grid(6, 6);
+  const Vec b = random_rhs(g.num_nodes(), 99);
+  const Vec x_ref = reference_solve(g, b, 42);
+
+  Rng rng(42);
+  ShortcutPaOracle oracle(g, rng);
+  DistributedLaplacianSolver solver(oracle, rng, quick_options());
+  CertifiedSolveOptions options;
+  options.charge_certificate = false;
+  CertifiedSolve certified(solver, options);
+  const CertifiedSolveReport report = certified.solve(b);
+
+  EXPECT_FALSE(report.degraded.has_value());
+  EXPECT_TRUE(report.certificate.accepted);
+  EXPECT_TRUE(report.certificate.checksum_ok);
+  EXPECT_TRUE(report.certificate.residual_ok);
+  EXPECT_EQ(report.attempts, 1u);
+  EXPECT_TRUE(report.rejected.empty());
+  EXPECT_EQ(report.certificate.delivery_rounds, 0u);
+  ASSERT_EQ(report.solve.x.size(), x_ref.size());
+  for (std::size_t i = 0; i < x_ref.size(); ++i) {
+    EXPECT_EQ(report.solve.x[i], x_ref[i]) << "coordinate " << i;
+  }
+  EXPECT_EQ(certified.certificates_checked(), 1u);
+  EXPECT_EQ(certified.certificates_failed(), 0u);
+  for (const LedgerEntry& e : oracle.ledger().entries()) {
+    EXPECT_EQ(e.label.rfind("verify/", 0), std::string::npos) << e.label;
+  }
+}
+
+// A replayed corruption on the delivery hop without integrity arrives
+// silently — and the solution checksum catches it even though the low-bit
+// perturbation hides under the residual tolerance. The re-solve re-delivers
+// on a fresh epoch (clean in this replay), so the second attempt certifies.
+TEST(CertifiedSolve, SilentDeliveryCorruptionIsCaughtAndResolved) {
+  const Graph g = make_grid(6, 6);
+  const Vec b = random_rhs(g.num_nodes(), 99);
+
+  // Epoch 1 = first delivery attempt: corrupt three coordinates' words.
+  FaultPlan plan = FaultPlan::replay(
+      0, {{FaultKind::kCorrupt, /*epoch=*/1, /*round=*/1, /*subject=*/3, 0x8},
+          {FaultKind::kCorrupt, /*epoch=*/1, /*round=*/1, /*subject=*/7, 0x20},
+          {FaultKind::kCorrupt, /*epoch=*/1, /*round=*/1, /*subject=*/11,
+           0x4}});
+  Rng rng(42);
+  ShortcutPaOracle oracle(g, rng);
+  DistributedLaplacianSolver solver(oracle, rng, quick_options());
+  CertifiedSolveOptions options;
+  options.delivery_faults = &plan;
+  CertifiedSolve certified(solver, options);
+  const CertifiedSolveReport report = certified.solve(b);
+
+  EXPECT_FALSE(report.degraded.has_value());
+  EXPECT_EQ(report.attempts, 2u);
+  ASSERT_EQ(report.rejected.size(), 1u);
+  const SolveCertificate& rejected = report.rejected[0];
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_FALSE(rejected.checksum_ok);  // the checksum is the detector here
+  EXPECT_EQ(rejected.delivery_corruptions, 3u);
+  EXPECT_EQ(rejected.delivery_retransmissions, 0u);  // silent, not detected
+  EXPECT_TRUE(report.certificate.accepted);
+  EXPECT_TRUE(report.certificate.checksum_ok);
+  EXPECT_LE(residual_of(g, report.solve.x, b), report.certificate.tolerance);
+  EXPECT_EQ(certified.certificates_checked(), 2u);
+  EXPECT_EQ(certified.certificates_failed(), 1u);
+
+  // The detection and the certificate's communication are accounted: a
+  // kCertificateResolve recovery event plus verify/* ledger charges.
+  bool saw_resolve_event = false;
+  for (const RecoveryEvent& e : oracle.ledger().recovery_events()) {
+    saw_resolve_event |= e.action == RecoveryAction::kCertificateResolve;
+  }
+  EXPECT_TRUE(saw_resolve_event);
+  bool charged_delivery = false, charged_residual = false,
+       charged_checksum = false;
+  for (const LedgerEntry& e : oracle.ledger().entries()) {
+    charged_delivery |= e.label == "verify/delivery";
+    charged_residual |= e.label == "verify/residual-certificate";
+    charged_checksum |= e.label == "verify/solution-checksum";
+  }
+  EXPECT_TRUE(charged_delivery);
+  EXPECT_TRUE(charged_residual);
+  EXPECT_TRUE(charged_checksum);
+}
+
+// The same corrupting hop with delivery integrity on: every corrupted word
+// fails its checksum and is retransmitted, so the client receives x
+// bit-exactly on the first attempt — paid in rounds and checksum words.
+TEST(CertifiedSolve, DeliveryIntegrityMakesDeliveryBitExact) {
+  const Graph g = make_grid(6, 6);
+  const Vec b = random_rhs(g.num_nodes(), 99);
+  const Vec x_ref = reference_solve(g, b, 42);
+
+  FaultPlan plan = FaultPlan::replay(
+      0, {{FaultKind::kCorrupt, /*epoch=*/1, /*round=*/1, /*subject=*/3, 0x8},
+          {FaultKind::kCorrupt, /*epoch=*/1, /*round=*/1, /*subject=*/7,
+           0x20}});
+  Rng rng(42);
+  ShortcutPaOracle oracle(g, rng);
+  DistributedLaplacianSolver solver(oracle, rng, quick_options());
+  CertifiedSolveOptions options;
+  options.delivery_faults = &plan;
+  options.delivery_integrity = true;
+  CertifiedSolve certified(solver, options);
+  const CertifiedSolveReport report = certified.solve(b);
+
+  EXPECT_FALSE(report.degraded.has_value());
+  EXPECT_EQ(report.attempts, 1u);
+  EXPECT_TRUE(report.certificate.accepted);
+  EXPECT_EQ(report.certificate.delivery_corruptions, 2u);
+  EXPECT_EQ(report.certificate.delivery_retransmissions, 2u);
+  // One checksum word per transmission: n first sends + 2 retransmissions.
+  EXPECT_EQ(report.certificate.delivery_checksum_words, g.num_nodes() + 2u);
+  // Slowest coordinate took 2 transmissions; integrity doubles slot
+  // occupancy: 2 transmissions x 2 rounds.
+  EXPECT_EQ(report.certificate.delivery_rounds, 4u);
+  ASSERT_EQ(report.solve.x.size(), x_ref.size());
+  for (std::size_t i = 0; i < x_ref.size(); ++i) {
+    EXPECT_EQ(report.solve.x[i], x_ref[i]) << "coordinate " << i;
+  }
+}
+
+// Corruption on every delivered word of every attempt: the resolve budget
+// runs out and the wrapper refuses typed — a DegradedResult with the last
+// rejected certificate attached, never a silently wrong vector.
+TEST(CertifiedSolve, ExhaustedBudgetRefusesTyped) {
+  const Graph g = make_grid(5, 5);
+  const Vec b = random_rhs(g.num_nodes(), 7);
+
+  FaultConfig config;
+  config.corrupt_rate = 1.0;
+  config.horizon = FaultConfig::kNoHorizon;
+  FaultPlan plan(13, config);
+  Rng rng(42);
+  ShortcutPaOracle oracle(g, rng);
+  DistributedLaplacianSolver solver(oracle, rng, quick_options());
+  CertifiedSolveOptions options;
+  options.delivery_faults = &plan;
+  options.resolve_budget = 1;
+  CertifiedSolve certified(solver, options);
+  const CertifiedSolveReport report = certified.solve(b);
+
+  ASSERT_TRUE(report.degraded.has_value());
+  EXPECT_EQ(report.degraded->tier, EscalationTier::kExhausted);
+  EXPECT_NE(report.degraded->reason.find("certificate rejected"),
+            std::string::npos);
+  ASSERT_TRUE(report.solve.degraded.has_value());  // callers branch as usual
+  EXPECT_EQ(report.attempts, 2u);
+  EXPECT_EQ(report.rejected.size(), 2u);
+  EXPECT_FALSE(report.certificate.accepted);
+  EXPECT_EQ(certified.certificates_failed(), 2u);
+
+  std::size_t resolves = 0, aborts = 0;
+  for (const RecoveryEvent& e : oracle.ledger().recovery_events()) {
+    resolves += e.action == RecoveryAction::kCertificateResolve;
+    aborts += e.action == RecoveryAction::kAbort;
+  }
+  EXPECT_EQ(resolves, 2u);
+  EXPECT_EQ(aborts, 1u);
+}
+
+// Certificate failures wired into the supervisor walk the escalation
+// ladder: past certificate_failure_budget the primary is demoted to the
+// baseline (sticky), and every failure lands as a typed recovery event on
+// the ledger the solver charges.
+TEST(CertifiedSolve, SupervisorEscalatesOnRepeatedCertificateFailures) {
+  const Graph g = make_grid(5, 5);
+  const Vec b = random_rhs(g.num_nodes(), 7);
+
+  FaultConfig config;
+  config.corrupt_rate = 1.0;
+  config.horizon = FaultConfig::kNoHorizon;
+  FaultPlan plan(13, config);
+  Rng rng(42);
+  ShortcutPaOracle primary(g, rng);
+  SupervisorConfig sup_config;
+  sup_config.certificate_failure_budget = 1;
+  SupervisedPaOracle sup(primary, sup_config);
+  DistributedLaplacianSolver solver(sup, rng, quick_options());
+  CertifiedSolveOptions options;
+  options.delivery_faults = &plan;
+  options.resolve_budget = 2;
+  options.supervisor = &sup;
+  CertifiedSolve certified(solver, options);
+  const CertifiedSolveReport report = certified.solve(b);
+
+  ASSERT_TRUE(report.degraded.has_value());
+  EXPECT_EQ(report.attempts, 3u);
+  EXPECT_EQ(sup.certificate_failures(), 3u);
+  EXPECT_TRUE(sup.degraded());  // budget 1 < 3 failures
+  EXPECT_EQ(sup.tier(), EscalationTier::kDegrade);
+  const RecoveryCounters counters = sup.counters();
+  EXPECT_EQ(counters.certificate_resolves, 3u);
+  EXPECT_EQ(counters.degradations, 1u);
+}
+
+// A single certificate failure within budget only bumps the retry tier —
+// the supervisor keeps trusting the primary.
+TEST(CertifiedSolve, SupervisorToleratesFailuresWithinBudget) {
+  const Graph g = make_grid(5, 5);
+  const Vec b = random_rhs(g.num_nodes(), 7);
+
+  FaultPlan plan = FaultPlan::replay(
+      0, {{FaultKind::kCorrupt, /*epoch=*/1, /*round=*/1, /*subject=*/2,
+           0x40}});
+  Rng rng(42);
+  ShortcutPaOracle primary(g, rng);
+  SupervisedPaOracle sup(primary);  // certificate_failure_budget = 1
+  DistributedLaplacianSolver solver(sup, rng, quick_options());
+  CertifiedSolveOptions options;
+  options.delivery_faults = &plan;
+  options.supervisor = &sup;
+  CertifiedSolve certified(solver, options);
+  const CertifiedSolveReport report = certified.solve(b);
+
+  EXPECT_FALSE(report.degraded.has_value());
+  EXPECT_TRUE(report.certificate.accepted);
+  EXPECT_EQ(sup.certificate_failures(), 1u);
+  EXPECT_FALSE(sup.degraded());
+  EXPECT_EQ(sup.tier(), EscalationTier::kRetry);
+  EXPECT_EQ(sup.counters().certificate_resolves, 1u);
+}
+
+TEST(CertifiedSolve, RejectsTooTightSlack) {
+  const Graph g = make_path(4);
+  Rng rng(1);
+  ShortcutPaOracle oracle(g, rng);
+  DistributedLaplacianSolver solver(oracle, rng, quick_options());
+  CertifiedSolveOptions options;
+  options.tolerance_slack = 0.5;
+  EXPECT_THROW(CertifiedSolve(solver, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dls
