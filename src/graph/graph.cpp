@@ -23,6 +23,23 @@ InducedSubgraph induced_subgraph(const Graph& g, std::span<const NodeId> nodes) 
     result.to_original.push_back(v);
     result.graph.add_node();
   }
+  // Degree-count pass: size each local adjacency list (and the edge store)
+  // before appending, so bulk extraction never regrows.
+  std::size_t kept_edges = 0;
+  std::vector<std::size_t> degree(nodes.size(), 0);
+  for (NodeId v : nodes) {
+    for (const Adjacency& a : g.neighbors(v)) {
+      const Edge& e = g.edge(a.edge);
+      const NodeId w = e.other(v);
+      if (result.to_local[w] == kInvalidNode) continue;
+      ++degree[result.to_local[v]];
+      if (e.u == v) ++kept_edges;
+    }
+  }
+  result.graph.reserve_edges(kept_edges);
+  for (std::size_t local = 0; local < nodes.size(); ++local) {
+    result.graph.reserve_neighbors(static_cast<NodeId>(local), degree[local]);
+  }
   // Each undirected edge appears in two adjacency lists; add it once by
   // only taking the direction where the edge's stored `u` equals the scan node.
   for (NodeId v : nodes) {

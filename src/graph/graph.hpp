@@ -60,6 +60,17 @@ class Graph {
     return static_cast<NodeId>(adjacency_.size() - 1);
   }
 
+  /// Pre-sizes the edge store for a known edge count, so bulk builders
+  /// (minor views, induced subgraphs, generators) append without regrowth.
+  void reserve_edges(std::size_t num_edges) { edges_.reserve(num_edges); }
+
+  /// Pre-sizes one adjacency list for a known degree; pair with a degree
+  /// count pass to make bulk construction move-free.
+  void reserve_neighbors(NodeId v, std::size_t degree) {
+    DLS_REQUIRE(v < num_nodes(), "node id out of range");
+    adjacency_[v].reserve(degree);
+  }
+
   /// Adds an undirected edge; parallel edges are permitted, self-loops are not.
   EdgeId add_edge(NodeId u, NodeId v, Weight weight = 1.0) {
     DLS_REQUIRE(u < num_nodes() && v < num_nodes(), "edge endpoint out of range");

@@ -131,8 +131,21 @@ EliminationResult eliminate_degree_le2(const MinorGraph& minor,
 }
 
 Vec EliminationResult::forward_rhs(const Vec& b) const {
+  Vec work, reduced;
+  forward_rhs_into(b, work, reduced);
+  return reduced;
+}
+
+Vec EliminationResult::backward_solution(const Vec& x_schur, const Vec& b) const {
+  Vec work, b_at_elim, x;
+  backward_solution_into(x_schur, b, work, b_at_elim, x);
+  return x;
+}
+
+void EliminationResult::forward_rhs_into(const Vec& b, Vec& work,
+                                         Vec& reduced) const {
   DLS_REQUIRE(b.size() == input_to_schur.size(), "rhs size mismatch");
-  Vec work = b;
+  work = b;
   for (const EliminationStep& s : steps) {
     if (s.kind == EliminationStep::Kind::kDegreeOne) {
       work[s.n1] += work[s.node];
@@ -142,17 +155,18 @@ Vec EliminationResult::forward_rhs(const Vec& b) const {
       work[s.n2] += s.w2 / total * work[s.node];
     }
   }
-  Vec reduced(kept.size());
+  reduced.resize(kept.size());
   for (std::size_t i = 0; i < kept.size(); ++i) reduced[i] = work[kept[i]];
-  return reduced;
 }
 
-Vec EliminationResult::backward_solution(const Vec& x_schur, const Vec& b) const {
+void EliminationResult::backward_solution_into(const Vec& x_schur, const Vec& b,
+                                               Vec& work, Vec& b_at_elim,
+                                               Vec& x) const {
   DLS_REQUIRE(x_schur.size() == kept.size(), "schur solution size mismatch");
   DLS_REQUIRE(b.size() == input_to_schur.size(), "rhs size mismatch");
   // Replay the forward pass to recover each node's rhs at elimination time.
-  Vec work = b;
-  std::vector<double> b_at_elim(steps.size());
+  work = b;
+  b_at_elim.resize(steps.size());
   for (std::size_t i = 0; i < steps.size(); ++i) {
     const EliminationStep& s = steps[i];
     b_at_elim[i] = work[s.node];
@@ -164,7 +178,7 @@ Vec EliminationResult::backward_solution(const Vec& x_schur, const Vec& b) const
       work[s.n2] += s.w2 / total * work[s.node];
     }
   }
-  Vec x(input_to_schur.size(), 0.0);
+  x.assign(input_to_schur.size(), 0.0);
   for (std::size_t i = 0; i < kept.size(); ++i) x[kept[i]] = x_schur[i];
   for (std::size_t i = steps.size(); i-- > 0;) {
     const EliminationStep& s = steps[i];
@@ -175,7 +189,6 @@ Vec EliminationResult::backward_solution(const Vec& x_schur, const Vec& b) const
           (s.w1 * x[s.n1] + s.w2 * x[s.n2] + b_at_elim[i]) / (s.w1 + s.w2);
     }
   }
-  return x;
 }
 
 }  // namespace dls

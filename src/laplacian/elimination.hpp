@@ -39,6 +39,14 @@ struct EliminationResult {
   Vec forward_rhs(const Vec& b) const;
   /// Recovers the full input-minor solution from the Schur solution.
   Vec backward_solution(const Vec& x_schur, const Vec& b) const;
+
+  /// Allocation-free variants writing into caller scratch (the solver leases
+  /// these from its SolveWorkspace): `work` is the forward-sweep state,
+  /// `b_at_elim` the per-step rhs snapshots, `reduced`/`x` the outputs. All
+  /// are resized here; arithmetic is identical to the variants above.
+  void forward_rhs_into(const Vec& b, Vec& work, Vec& reduced) const;
+  void backward_solution_into(const Vec& x_schur, const Vec& b, Vec& work,
+                              Vec& b_at_elim, Vec& x) const;
 };
 
 /// Eliminates until every remaining node has degree ≥ 3 (by distinct

@@ -7,6 +7,16 @@ namespace dls {
 
 Graph MinorGraph::as_graph() const {
   Graph g(num_nodes);
+  g.reserve_edges(edges.size());
+  // Degree-count pass so every adjacency list is sized up front — the append
+  // loop then never regrows a list (Graph construction is a solver hot path:
+  // every reweight/refresh rebuilds level views).
+  std::vector<std::size_t> degree(num_nodes, 0);
+  for (const MinorEdge& e : edges) {
+    ++degree[e.u];
+    ++degree[e.v];
+  }
+  for (NodeId v = 0; v < num_nodes; ++v) g.reserve_neighbors(v, degree[v]);
   for (const MinorEdge& e : edges) g.add_edge(e.u, e.v, e.weight);
   return g;
 }

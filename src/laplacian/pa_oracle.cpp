@@ -39,10 +39,10 @@ std::vector<double> CongestedPaOracle::aggregate(
   }
   ++pa_calls_;
   if (const std::uint64_t local = effective_local(prepared); local > 0) {
-    ledger_.charge_local(local, name() + "-pa", prepared.cost.congestion);
+    ledger_.charge_local(local, pa_label(), prepared.cost.congestion);
   }
   if (prepared.cost.global_rounds > 0) {
-    ledger_.charge_global(prepared.cost.global_rounds, name() + "-pa",
+    ledger_.charge_global(prepared.cost.global_rounds, pa_label(),
                           prepared.cost.congestion);
   }
   // Results equal the sequential fold (the distributed protocols were
@@ -99,10 +99,10 @@ std::vector<double> CongestedPaOracle::aggregate_into(
   }
   ++pa_calls;
   if (const std::uint64_t local = effective_local(prepared); local > 0) {
-    ledger.charge_local(local, name() + "-pa", prepared.cost.congestion);
+    ledger.charge_local(local, pa_label(), prepared.cost.congestion);
   }
   if (prepared.cost.global_rounds > 0) {
-    ledger.charge_global(prepared.cost.global_rounds, name() + "-pa",
+    ledger.charge_global(prepared.cost.global_rounds, pa_label(),
                          prepared.cost.congestion);
   }
   std::vector<double> results(prepared.pc.num_parts(), monoid.identity);
@@ -112,6 +112,59 @@ std::vector<double> CongestedPaOracle::aggregate_into(
     for (double v : values[i]) results[i] = monoid.op(results[i], v);
   }
   return results;
+}
+
+void CongestedPaOracle::charge_aggregate(InstanceId instance) {
+  DLS_REQUIRE(instance < instances_.size(), "unknown oracle instance");
+  Prepared& prepared = instances_[instance];
+  ClockScope clock(Tracer::ambient(), ledger_clock(ledger_));
+  ScopedSpan span(Tracer::ambient(), "pa/call", SpanKind::kPaCall);
+  if (span.active()) {
+    span.note(name());
+    span.counter("instance", instance);
+    span.counter("rho", prepared.rho);
+    span.counter("parts", prepared.pc.num_parts());
+  }
+  if (!prepared.measured) {
+    ScopedSpan measure_span(Tracer::ambient(), "pa/measure", SpanKind::kPhase);
+    measuring_instance_ = instance;
+    prepared.cost = measure(prepared.pc);
+    prepared.measured = true;
+  }
+  ++pa_calls_;
+  if (const std::uint64_t local = effective_local(prepared); local > 0) {
+    ledger_.charge_local(local, pa_label(), prepared.cost.congestion);
+  }
+  if (prepared.cost.global_rounds > 0) {
+    ledger_.charge_global(prepared.cost.global_rounds, pa_label(),
+                          prepared.cost.congestion);
+  }
+}
+
+void CongestedPaOracle::charge_aggregate_into(InstanceId instance,
+                                              RoundLedger& ledger,
+                                              std::uint64_t& pa_calls) const {
+  DLS_REQUIRE(instance < instances_.size(), "unknown oracle instance");
+  const Prepared& prepared = instances_[instance];
+  DLS_REQUIRE(prepared.measured,
+              "charge_aggregate_into requires a warmed instance; call warm() "
+              "before fanning a batch out");
+  ClockScope clock(Tracer::ambient(), ledger_clock(ledger));
+  ScopedSpan span(Tracer::ambient(), "pa/call", SpanKind::kPaCall);
+  if (span.active()) {
+    span.note(name());
+    span.counter("instance", instance);
+    span.counter("rho", prepared.rho);
+    span.counter("parts", prepared.pc.num_parts());
+  }
+  ++pa_calls;
+  if (const std::uint64_t local = effective_local(prepared); local > 0) {
+    ledger.charge_local(local, pa_label(), prepared.cost.congestion);
+  }
+  if (prepared.cost.global_rounds > 0) {
+    ledger.charge_global(prepared.cost.global_rounds, pa_label(),
+                         prepared.cost.congestion);
+  }
 }
 
 std::uint64_t CongestedPaOracle::batched_local_rounds(InstanceId instance,

@@ -71,6 +71,18 @@ class CongestedPaOracle {
       const AggregationMonoid& monoid, RoundLedger& ledger,
       std::uint64_t& pa_calls) const;
 
+  /// Charge-only fast path: identical span, counters, measure-on-first-use
+  /// and ledger charges to aggregate(), but no per-part values and no fold.
+  /// For call sites that use the PA phase purely as round accounting (the
+  /// solver's matvec/dot/residual charges discard the aggregates — the fold
+  /// is the only allocating part, and it is dead work there).
+  void charge_aggregate(InstanceId instance);
+
+  /// Charge-only twin of aggregate_into (requires a measured instance);
+  /// charges `ledger` exactly what aggregate_into would, fold elided.
+  void charge_aggregate_into(InstanceId instance, RoundLedger& ledger,
+                             std::uint64_t& pa_calls) const;
+
   /// Pipelined batch cost model: `n` concurrent aggregations over the same
   /// measured instance share one congested phase. A schedule of R rounds
   /// whose worst (edge,direction) slot carries c messages admits round-robin
@@ -168,6 +180,13 @@ class CongestedPaOracle {
     bool measured = false;
     Measured cost;
   };
+  /// Ledger label shared by every per-call charge; name() is fixed for the
+  /// oracle's lifetime, so build it once instead of per PA call.
+  const std::string& pa_label() const {
+    if (pa_label_.empty()) pa_label_ = name() + "-pa";
+    return pa_label_;
+  }
+  mutable std::string pa_label_;
   /// Local rounds one call charges under the current charging mode.
   std::uint64_t effective_local(const Prepared& prepared) const {
     const Measured& c = prepared.cost;

@@ -38,6 +38,7 @@ DistributedLaplacianSolver::DistributedLaplacianSolver(
     Level level;
     level.minor = current;
     level.view = level.minor.as_graph();
+    level.csr.rebuild(level.view);
 
     LevelStats stats;
     stats.nodes = level.minor.num_nodes;
@@ -90,6 +91,7 @@ DistributedLaplacianSolver::DistributedLaplacianSolver(
       Level base_level;
       base_level.minor = next;
       base_level.view = base_level.minor.as_graph();
+      base_level.csr.rebuild(base_level.view);
       base_level.is_base = true;
       base_level.base_solver =
           std::make_unique<GroundedCholesky>(base_level.view, 0);
@@ -182,6 +184,7 @@ void DistributedLaplacianSolver::refresh_operator_weights() {
     lv.minor.edges[e].weight = g.edge(e).weight;
   }
   lv.view = lv.minor.as_graph();
+  lv.csr.refresh_weights(lv.view);
   if (lv.is_base) {
     lv.base_solver = std::make_unique<GroundedCholesky>(lv.view, 0);
   }
@@ -257,11 +260,14 @@ bool DistributedLaplacianSolver::reweight_chain_from_graph() {
     cands[l].elim = std::move(elim);
   }
 
-  // Phase 2: commit — pure moves, no-throw.
+  // Phase 2: commit — moves plus an in-place CSR weight refresh (structure
+  // was validated identical above, so the cheap path applies; it allocates
+  // nothing and cannot throw past its size checks).
   for (std::size_t l = 0; l < levels_.size(); ++l) {
     Level& lv = levels_[l];
     lv.minor = std::move(cands[l].minor);
     lv.view = std::move(cands[l].view);
+    lv.csr.refresh_weights(lv.view);
     if (lv.is_base) {
       lv.base_solver = std::move(cands[l].base);
       break;
@@ -272,37 +278,37 @@ bool DistributedLaplacianSolver::reweight_chain_from_graph() {
   return true;
 }
 
-std::vector<double> DistributedLaplacianSolver::ctx_aggregate(
-    SolveContext& ctx, CongestedPaOracle::InstanceId instance,
-    const std::vector<std::vector<double>>& values) {
+void DistributedLaplacianSolver::ctx_charge_aggregate(
+    SolveContext& ctx, CongestedPaOracle::InstanceId instance) {
   if (ctx.pa_counts != nullptr) ++(*ctx.pa_counts)[instance];
   if (ctx.shared()) {
-    return oracle_.aggregate(instance, values, AggregationMonoid::sum());
+    oracle_.charge_aggregate(instance);
+    return;
   }
-  return oracle_.aggregate_into(instance, values, AggregationMonoid::sum(),
-                                *ctx.ledger, ctx.pa_calls);
+  oracle_.charge_aggregate_into(instance, *ctx.ledger, ctx.pa_calls);
 }
 
-Vec DistributedLaplacianSolver::apply_matvec(SolveContext& ctx,
-                                             std::size_t level, const Vec& x) {
+void DistributedLaplacianSolver::apply_matvec_into(SolveContext& ctx,
+                                                   std::size_t level,
+                                                   const Vec& x, Vec& y) {
   Level& lv = levels_[level];
   if (level == 0) {
     ctx_ledger(ctx).charge_local(1, "solver/matvec-L0");
   } else if (lv.has_matvec_instance) {
-    ctx_aggregate(ctx, lv.matvec_instance, lv.matvec_values);
+    ctx_charge_aggregate(ctx, lv.matvec_instance);
   }
-  return laplacian_apply(lv.view, x);
+  lv.csr.apply(x, y);
 }
 
 double DistributedLaplacianSolver::charged_dot(SolveContext& ctx, const Vec& a,
                                                const Vec& b) {
-  ctx_aggregate(ctx, global_instance_, global_values_);
+  ctx_charge_aggregate(ctx, global_instance_);
   return dot(a, b);
 }
 
-Vec DistributedLaplacianSolver::apply_preconditioner(SolveContext& ctx,
-                                                     std::size_t level,
-                                                     const Vec& r) {
+void DistributedLaplacianSolver::apply_preconditioner_into(
+    SolveContext& ctx, std::size_t level, const Vec& r, Vec& z_out,
+    SolveWorkspace& ws) {
   Level& lv = levels_[level];
   DLS_ASSERT(!lv.is_base, "preconditioner requested at base level");
   // Forward-eliminate the rhs onto the Schur system, solve the next level
@@ -312,30 +318,34 @@ Vec DistributedLaplacianSolver::apply_preconditioner(SolveContext& ctx,
     ctx_ledger(ctx).charge_local(lv.elim.max_chain_hops,
                                  "solver/elim-forward");
   }
-  Vec reduced = lv.elim.forward_rhs(r);
-  project_mean_zero(reduced);
+  WorkspaceLease work = ws.acquire_scratch(0);
+  WorkspaceLease reduced = ws.acquire_scratch(0);
+  WorkspaceLease schur_x = ws.acquire_scratch(0);
+  WorkspaceLease b_at_elim = ws.acquire_scratch(0);
+  lv.elim.forward_rhs_into(r, *work, *reduced);
+  project_mean_zero(*reduced);
   std::size_t inner_iters = 0;
-  Vec schur_solution =
-      solve_level(ctx, level + 1, reduced, options_.inner_tolerance,
-                  options_.inner_iterations, &inner_iters);
+  solve_level(ctx, level + 1, *reduced, options_.inner_tolerance,
+              options_.inner_iterations, *schur_x, &inner_iters);
   if (lv.elim.max_chain_hops > 0) {
     ctx_ledger(ctx).charge_local(lv.elim.max_chain_hops,
                                  "solver/elim-backward");
   }
-  Vec extended = lv.elim.backward_solution(schur_solution, r);
-  project_mean_zero(extended);
-  return extended;
+  lv.elim.backward_solution_into(*schur_x, r, *work, *b_at_elim, z_out);
+  project_mean_zero(z_out);
 }
 
-Vec DistributedLaplacianSolver::solve_level(SolveContext& ctx,
-                                            std::size_t level, const Vec& b,
-                                            double tol, std::size_t max_iter,
-                                            std::size_t* iterations_out,
-                                            std::vector<double>* history,
-                                            CheckpointManager* ckpt,
-                                            NumericalWatchdog* wd,
-                                            const SolverCheckpoint* resume) {
+void DistributedLaplacianSolver::solve_level(SolveContext& ctx,
+                                             std::size_t level, const Vec& b,
+                                             double tol, std::size_t max_iter,
+                                             Vec& x_out,
+                                             std::size_t* iterations_out,
+                                             std::vector<double>* history,
+                                             CheckpointManager* ckpt,
+                                             NumericalWatchdog* wd,
+                                             const SolverCheckpoint* resume) {
   Level& lv = levels_[level];
+  SolveWorkspace& ws = ctx_ws(ctx);
   if (iterations_out != nullptr) *iterations_out = 0;
   Tracer* tracer = Tracer::ambient();
   if (lv.is_base) {
@@ -344,28 +354,46 @@ Vec DistributedLaplacianSolver::solve_level(SolveContext& ctx,
     // Gather the base system's rhs to a leader, solve locally, scatter.
     ctx_ledger(ctx).charge_local(
         2 * (lv.minor.num_nodes + base_transfer_rounds_), "solver/base-case");
-    Vec rhs = b;
-    project_mean_zero(rhs);
-    return lv.base_solver->solve(rhs);
+    WorkspaceLease rhs = ws.acquire_scratch(0);
+    *rhs = b;
+    project_mean_zero(*rhs);
+    lv.base_solver->solve_into(*rhs, x_out, ws);
+    return;
   }
   ScopedSpan level_span(tracer, "solver/level", SpanKind::kLevel);
   level_span.counter("level", level);
 
   // Flexible PCG (Polak–Ribière beta) — tolerant of the slightly nonlinear
-  // preconditioner formed by crude inner solves.
+  // preconditioner formed by crude inner solves. The recurrence vectors are
+  // leases: after the first outer iteration has sized every buffer the loop
+  // touches the heap zero times (the zero-allocation contract the kernels
+  // test asserts, docs/KERNELS.md).
   const std::size_t n = lv.minor.num_nodes;
-  Vec rhs = b;
+  WorkspaceLease rhs_l = ws.acquire_scratch(0);
+  Vec& rhs = *rhs_l;
+  rhs = b;
   project_mean_zero(rhs);
-  Vec x(n, 0.0);
+  x_out.assign(n, 0.0);
   const double b_norm = std::sqrt(charged_dot(ctx, rhs, rhs));
-  if (b_norm == 0.0) return x;
-  Vec r, z, p, r_prev;
+  if (b_norm == 0.0) return;
+  WorkspaceLease r_l = ws.acquire_scratch(n);
+  WorkspaceLease z_l = ws.acquire_scratch(n);
+  WorkspaceLease p_l = ws.acquire_scratch(n);
+  WorkspaceLease r_prev_l = ws.acquire_scratch(n);
+  WorkspaceLease ap_l = ws.acquire_scratch(n);
+  WorkspaceLease dr_l = ws.acquire_scratch(n);
+  Vec& r = *r_l;
+  Vec& z = *z_l;
+  Vec& p = *p_l;
+  Vec& r_prev = *r_prev_l;
+  Vec& ap = *ap_l;
+  Vec& dr = *dr_l;
   double rz = 0.0;
   std::size_t start_it = 0;
   if (resume != nullptr) {
     // Mid-recurrence restart from a snapshot: the recurrence state is copied
     // back verbatim, so the resumed trajectory is the one the snapshot froze.
-    x = resume->x;
+    x_out = resume->x;
     r = resume->r;
     r_prev = resume->r_prev;
     p = resume->p;
@@ -376,7 +404,7 @@ Vec DistributedLaplacianSolver::solve_level(SolveContext& ctx,
     if (history != nullptr) *history = resume->residual_history;
   } else {
     r = rhs;
-    z = apply_preconditioner(ctx, level, r);
+    apply_preconditioner_into(ctx, level, r, z, ws);
     p = z;
     rz = charged_dot(ctx, r, z);
     r_prev = r;
@@ -384,16 +412,17 @@ Vec DistributedLaplacianSolver::solve_level(SolveContext& ctx,
   // Watchdog remediation: recompute the true residual from the current
   // iterate (fully charged — the remediation matvec is real work) and reset
   // the search direction to preconditioned steepest descent. A poisoned
-  // iterate rewinds to zero.
+  // iterate rewinds to zero. (`ap` doubles as the matvec temp; the loop top
+  // overwrites it before its next use.)
   const auto pcg_restart = [&](WatchdogSignal signal) {
-    Vec lx = apply_matvec(ctx, level, x);
-    project_mean_zero(lx);
-    if (!all_finite(lx) || !all_finite(x)) {
-      x.assign(n, 0.0);
-      lx.assign(n, 0.0);
+    apply_matvec_into(ctx, level, x_out, ap);
+    project_mean_zero(ap);
+    if (!all_finite(ap) || !all_finite(x_out)) {
+      x_out.assign(n, 0.0);
+      ap.assign(n, 0.0);
     }
-    r = sub(rhs, lx);
-    z = apply_preconditioner(ctx, level, r);
+    sub_into(rhs, ap, r);
+    apply_preconditioner_into(ctx, level, r, z, ws);
     p = z;
     rz = charged_dot(ctx, r, z);
     r_prev = r;
@@ -412,7 +441,7 @@ Vec DistributedLaplacianSolver::solve_level(SolveContext& ctx,
     ScopedSpan iter_span(level == 0 ? tracer : nullptr,
                          "solver/outer-iteration", SpanKind::kIteration);
     iter_span.counter("iteration", it);
-    Vec ap = apply_matvec(ctx, level, p);
+    apply_matvec_into(ctx, level, p, ap);
     project_mean_zero(ap);
     if (wd != nullptr &&
         wd->check_vector(ap, it) != WatchdogSignal::kNone) {
@@ -442,11 +471,14 @@ Vec DistributedLaplacianSolver::solve_level(SolveContext& ctx,
       break;
     }
     const double alpha = rz / pap;
-    axpy(alpha, p, x);
+    axpy(alpha, p, x_out);
     r_prev = r;
-    axpy(-alpha, ap, r);
+    // Fused residual update + norm: bit-identical to axpy then dot (the
+    // charge for the norm's PA call lands right after, as it always did).
+    const double rr = axpy_dot(-alpha, ap, r);
     if (iterations_out != nullptr) *iterations_out = it + 1;
-    const double rel = std::sqrt(charged_dot(ctx, r, r)) / b_norm;
+    ctx_charge_aggregate(ctx, global_instance_);
+    const double rel = std::sqrt(rr) / b_norm;
     if (history != nullptr) history->push_back(rel);
     if (rel <= tol) break;
     if (wd != nullptr) {
@@ -463,7 +495,7 @@ Vec DistributedLaplacianSolver::solve_level(SolveContext& ctx,
       ctx_ledger(ctx).charge_local(1, "solver/checkpoint");
       SolverCheckpoint snapshot;
       snapshot.iteration = it + 1;
-      snapshot.x = x;
+      snapshot.x = x_out;
       snapshot.r = r;
       snapshot.r_prev = r_prev;
       snapshot.p = p;
@@ -479,12 +511,12 @@ Vec DistributedLaplacianSolver::solve_level(SolveContext& ctx,
       event.detail = "outer iteration " + std::to_string(it + 1);
       ctx_ledger(ctx).record_recovery(std::move(event));
     }
-    z = apply_preconditioner(ctx, level, r);
+    apply_preconditioner_into(ctx, level, r, z, ws);
     // Polak–Ribière: beta = zᵀ(r − r_prev) / rzₖ. The rz division is typed
     // post-hoc: a vanishing rz blows |beta| up and observe_beta raises
     // kBetaExplosion, so no silent-division path exists here either. (The
     // dot is still skipped when rz == 0 exactly, as the charging always did.)
-    Vec dr = sub(r, r_prev);
+    sub_into(r, r_prev, dr);
     double beta = rz == 0.0 ? 0.0 : charged_dot(ctx, z, dr) / rz;
     if (wd != nullptr &&
         wd->observe_beta(beta, it) != WatchdogSignal::kNone) {
@@ -493,33 +525,44 @@ Vec DistributedLaplacianSolver::solve_level(SolveContext& ctx,
       continue;
     }
     rz = charged_dot(ctx, r, z);
-    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    xpay(z, beta, p);
   }
-  return x;
 }
 
-Vec DistributedLaplacianSolver::solve_top_chebyshev(
-    SolveContext& ctx, const Vec& b, std::size_t* iterations_out,
+void DistributedLaplacianSolver::solve_top_chebyshev(
+    SolveContext& ctx, const Vec& b, Vec& x_out, std::size_t* iterations_out,
     std::vector<double>* history, NumericalWatchdog* wd) {
   const std::size_t n = levels_[0].minor.num_nodes;
+  SolveWorkspace& ws = ctx_ws(ctx);
   Tracer* tracer = Tracer::ambient();
   ScopedSpan cheb_span(tracer, "solver/chebyshev", SpanKind::kLevel);
   cheb_span.counter("level", 0);
-  Vec rhs = b;
+  WorkspaceLease rhs_l = ws.acquire_scratch(0);
+  Vec& rhs = *rhs_l;
+  rhs = b;
   project_mean_zero(rhs);
-  Vec x(n, 0.0);
+  Vec& x = x_out;
+  x.assign(n, 0.0);
   const double b_norm = std::sqrt(charged_dot(ctx, rhs, rhs));
   if (iterations_out != nullptr) *iterations_out = 0;
-  if (b_norm == 0.0) return x;
+  if (b_norm == 0.0) return;
+
+  WorkspaceLease r_l = ws.acquire_scratch(n);
+  WorkspaceLease z_l = ws.acquire_scratch(n);
+  WorkspaceLease p_l = ws.acquire_scratch(n);
+  WorkspaceLease ax_l = ws.acquire_scratch(n);  // matvec temp
+  Vec& r = *r_l;
+  Vec& z = *z_l;
+  Vec& p = *p_l;
+  Vec& ax = *ax_l;
 
   // Power iteration on M⁻¹L for λ_max (every apply is fully charged); the
   // chain is built so that λ_min(M⁻¹L) ≳ 1, and we pad both ends for safety.
-  const auto apply_ml = [&](const Vec& v) {
-    Vec lv = apply_matvec(ctx, 0, v);
-    project_mean_zero(lv);
-    Vec mlv = apply_preconditioner(ctx, 0, lv);
-    project_mean_zero(mlv);
-    return mlv;
+  const auto apply_ml_into = [&](const Vec& v, Vec& out) {
+    apply_matvec_into(ctx, 0, v, ax);
+    project_mean_zero(ax);
+    apply_preconditioner_into(ctx, 0, ax, out, ws);
+    project_mean_zero(out);
   };
   // `seed_norm` is passed in (always already known from a prior charged dot)
   // so the clean path charges exactly the rounds it did before the watchdog.
@@ -527,15 +570,19 @@ Vec DistributedLaplacianSolver::solve_top_chebyshev(
     ScopedSpan span(tracer, "solver/power-iteration", SpanKind::kPhase);
     double lambda_max = 1.0;
     if (seed_norm <= 0) return lambda_max;
-    Vec v = seed;
+    WorkspaceLease v_l = ws.acquire_scratch(0);
+    WorkspaceLease w_l = ws.acquire_scratch(n);
+    Vec& v = *v_l;
+    Vec& w = *w_l;
+    v = seed;
     scale(v, 1.0 / seed_norm);
     for (std::size_t it = 0; it < options_.power_iterations; ++it) {
-      Vec w = apply_ml(v);
+      apply_ml_into(v, w);
       const double norm = std::sqrt(charged_dot(ctx, w, w));
       if (norm <= 0) break;
       lambda_max = norm;
       scale(w, 1.0 / norm);
-      v = std::move(w);
+      v.swap(w);
     }
     return lambda_max;
   };
@@ -567,9 +614,9 @@ Vec DistributedLaplacianSolver::solve_top_chebyshev(
   double theta = 0.5 * (hi + lo);
   double delta = 0.5 * (hi - lo);
 
-  Vec r = rhs;
-  Vec z = apply_preconditioner(ctx, 0, r);
-  Vec p(n, 0.0);
+  r = rhs;
+  apply_preconditioner_into(ctx, 0, r, z, ws);
+  p.assign(n, 0.0);
   double alpha = 0.0, beta = 0.0;
   // Chebyshev's coefficients are position-dependent, so a rebound must rewind
   // `k` (iterations since last restart) while `it` keeps counting the budget.
@@ -589,7 +636,7 @@ Vec DistributedLaplacianSolver::solve_top_chebyshev(
     delta = 0.5 * (hi - lo);
     x.assign(n, 0.0);
     r = rhs;
-    z = apply_preconditioner(ctx, 0, r);
+    apply_preconditioner_into(ctx, 0, r, z, ws);
     project_mean_zero(z);
     p.assign(n, 0.0);
     alpha = 0.0;
@@ -615,13 +662,13 @@ Vec DistributedLaplacianSolver::solve_top_chebyshev(
       beta = (k == 1) ? 0.5 * (delta * alpha) * (delta * alpha)
                       : (delta * alpha / 2.0) * (delta * alpha / 2.0);
       alpha = 1.0 / (theta - beta / alpha);
-      for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+      xpay(z, beta, p);
     }
     ++k;
     axpy(alpha, p, x);
-    Vec lx = apply_matvec(ctx, 0, x);
-    project_mean_zero(lx);
-    r = sub(rhs, lx);
+    apply_matvec_into(ctx, 0, x, ax);
+    project_mean_zero(ax);
+    sub_into(rhs, ax, r);
     if (iterations_out != nullptr) *iterations_out = it + 1;
     if (wd != nullptr && wd->check_vector(r, it) != WatchdogSignal::kNone) {
       if (!wd->allow_restart()) break;
@@ -639,10 +686,9 @@ Vec DistributedLaplacianSolver::solve_top_chebyshev(
         continue;
       }
     }
-    z = apply_preconditioner(ctx, 0, r);
+    apply_preconditioner_into(ctx, 0, r, z, ws);
     project_mean_zero(z);
   }
-  return x;
 }
 
 LaplacianSolveReport DistributedLaplacianSolver::solve(const Vec& b) {
@@ -720,7 +766,7 @@ void DistributedLaplacianSolver::charge_residual_certificate() {
   // under verify/ so certificate traffic is separable in the ledger.
   oracle_.ledger().charge_local(1, "verify/residual-certificate");
   SolveContext ctx;
-  ctx_aggregate(ctx, global_instance_, global_values_);
+  ctx_charge_aggregate(ctx, global_instance_);
 }
 
 LaplacianSolveReport DistributedLaplacianSolver::solve_in_context(
@@ -771,12 +817,12 @@ LaplacianSolveReport DistributedLaplacianSolver::solve_in_context(
       report.residual_history.clear();
       if (options_.outer == OuterIteration::kChebyshev &&
           !levels_[0].is_base) {
-        report.x = solve_top_chebyshev(ctx, rhs, &iterations,
-                                       &report.residual_history, &wd);
+        solve_top_chebyshev(ctx, rhs, report.x, &iterations,
+                            &report.residual_history, &wd);
       } else {
-        report.x = solve_level(ctx, 0, rhs, options_.tolerance,
-                               options_.max_outer_iterations, &iterations,
-                               &report.residual_history, &ckpt, &wd, resume);
+        solve_level(ctx, 0, rhs, options_.tolerance,
+                    options_.max_outer_iterations, report.x, &iterations,
+                    &report.residual_history, &ckpt, &wd, resume);
       }
       break;
     } catch (const ChaosAbortError& e) {
@@ -836,9 +882,9 @@ LaplacianSolveReport DistributedLaplacianSolver::solve_in_context(
       std::size_t refine_iters = 0;
       Vec correction;
       try {
-        correction =
-            solve_level(ctx, 0, res, options_.tolerance,
-                        std::max<std::size_t>(iterations, 16), &refine_iters);
+        solve_level(ctx, 0, res, options_.tolerance,
+                    std::max<std::size_t>(iterations, 16), correction,
+                    &refine_iters);
       } catch (const ChaosAbortError&) {
         correction.clear();  // refinement is best-effort; keep the iterate
       }
@@ -864,7 +910,7 @@ LaplacianSolveReport DistributedLaplacianSolver::solve_in_context(
   // certificate, and `converged` stays false.
   try {
     ctx_ledger(ctx).charge_local(1, "solver/residual-check");
-    ctx_aggregate(ctx, global_instance_, global_values_);
+    ctx_charge_aggregate(ctx, global_instance_);
   } catch (const ChaosAbortError& e) {
     if (!report.degraded.has_value()) {
       DegradedResult degraded;

@@ -30,7 +30,9 @@
 #include "laplacian/pa_oracle.hpp"
 #include "laplacian/ultra_sparsifier.hpp"
 #include "linalg/cholesky.hpp"
+#include "linalg/csr.hpp"
 #include "linalg/laplacian.hpp"
+#include "linalg/workspace.hpp"
 #include "resilience/checkpoint.hpp"
 #include "resilience/recovery.hpp"
 #include "resilience/watchdog.hpp"
@@ -218,6 +220,9 @@ class DistributedLaplacianSolver {
   struct Level {
     MinorGraph minor;
     Graph view;  // minor.as_graph()
+    /// Flat CSR view of `view` (docs/KERNELS.md): the solve-loop matvec
+    /// kernel. Rebuilt alongside view; weight-refreshed on reweight paths.
+    LaplacianCsr csr;
     UltraSparsifier sparsifier;
     EliminationResult elim;
     CongestedPaOracle::InstanceId matvec_instance = 0;
@@ -247,6 +252,12 @@ class DistributedLaplacianSolver {
     /// is written there for later slots.
     const double* reuse_hi = nullptr;
     double* publish_hi = nullptr;
+    /// Buffer arena this solve leases its working vectors from (nullptr →
+    /// the solver's shared workspace). Batch slots carry their own: a
+    /// workspace is deliberately not thread-safe, so concurrent slots must
+    /// never share one. Leases only shape *where* scratch lives — numerics
+    /// are bit-identical for every workspace wiring.
+    SolveWorkspace* ws = nullptr;
 
     bool shared() const { return ledger == nullptr; }
   };
@@ -254,33 +265,49 @@ class DistributedLaplacianSolver {
   RoundLedger& ctx_ledger(SolveContext& ctx) {
     return ctx.shared() ? oracle_.ledger() : *ctx.ledger;
   }
-  std::vector<double> ctx_aggregate(
-      SolveContext& ctx, CongestedPaOracle::InstanceId instance,
-      const std::vector<std::vector<double>>& values);
-  Vec apply_matvec(SolveContext& ctx, std::size_t level, const Vec& x);
+  SolveWorkspace& ctx_ws(SolveContext& ctx) {
+    return ctx.ws != nullptr ? *ctx.ws : shared_ws_;
+  }
+  /// Charges one PA call on `instance` (span, measure-on-first-use, ledger
+  /// rounds, call counters) without materializing aggregate values — every
+  /// solver call site discards them, so the fold is elided entirely.
+  void ctx_charge_aggregate(SolveContext& ctx,
+                            CongestedPaOracle::InstanceId instance);
+  /// y ← L_level · x through the level's CSR view (bit-identical to
+  /// laplacian_apply on the level view); charges the level's matvec cost.
+  /// `y` must not alias `x`.
+  void apply_matvec_into(SolveContext& ctx, std::size_t level, const Vec& x,
+                         Vec& y);
   double charged_dot(SolveContext& ctx, const Vec& a, const Vec& b);
-  Vec apply_preconditioner(SolveContext& ctx, std::size_t level, const Vec& r);
-  /// Flexible PCG at `level`; returns (approximate) solution. `history`
-  /// (optional) collects per-iteration relative residuals. The trailing
-  /// resilience hooks are wired only on the top-level call: `ckpt` snapshots
-  /// the recurrence every interval iterations, `wd` guards the numerics, and
-  /// `resume` (a snapshot from a caught abort) restarts mid-recurrence.
-  Vec solve_level(SolveContext& ctx, std::size_t level, const Vec& b,
-                  double tol, std::size_t max_iter,
-                  std::size_t* iterations_out,
-                  std::vector<double>* history = nullptr,
-                  CheckpointManager* ckpt = nullptr,
-                  NumericalWatchdog* wd = nullptr,
-                  const SolverCheckpoint* resume = nullptr);
+  /// z_out ← M⁻¹ r (forward-eliminate, recurse, back-substitute), leasing
+  /// sweep scratch from `ws`. `z_out` must not alias `r`.
+  void apply_preconditioner_into(SolveContext& ctx, std::size_t level,
+                                 const Vec& r, Vec& z_out, SolveWorkspace& ws);
+  /// Flexible PCG at `level`; writes the (approximate) solution into `x_out`
+  /// (must not alias `b`; resized here). All recurrence vectors are leased
+  /// from the context's workspace, so steady-state iterations allocate
+  /// nothing. `history` (optional) collects per-iteration relative
+  /// residuals. The trailing resilience hooks are wired only on the
+  /// top-level call: `ckpt` snapshots the recurrence every interval
+  /// iterations, `wd` guards the numerics, and `resume` (a snapshot from a
+  /// caught abort) restarts mid-recurrence.
+  void solve_level(SolveContext& ctx, std::size_t level, const Vec& b,
+                   double tol, std::size_t max_iter, Vec& x_out,
+                   std::size_t* iterations_out,
+                   std::vector<double>* history = nullptr,
+                   CheckpointManager* ckpt = nullptr,
+                   NumericalWatchdog* wd = nullptr,
+                   const SolverCheckpoint* resume = nullptr);
   /// Preconditioned Chebyshev at the TOP level (options_.outer == kChebyshev):
   /// estimates the extreme eigenvalues of M⁻¹L by charged power iteration,
   /// then runs the classic two-term recurrence against the chain. On a
   /// watchdog divergence signal the eigenbounds are re-estimated (charged)
-  /// and the recurrence restarts — the "rebound" remediation.
-  Vec solve_top_chebyshev(SolveContext& ctx, const Vec& b,
-                          std::size_t* iterations_out,
-                          std::vector<double>* history,
-                          NumericalWatchdog* wd = nullptr);
+  /// and the recurrence restarts — the "rebound" remediation. Writes the
+  /// solution into `x_out` (must not alias `b`).
+  void solve_top_chebyshev(SolveContext& ctx, const Vec& b, Vec& x_out,
+                           std::size_t* iterations_out,
+                           std::vector<double>* history,
+                           NumericalWatchdog* wd = nullptr);
   /// The full solve pipeline (outer iteration, recovery loop, refinement,
   /// certificate, report assembly) charging through `ctx`. Shared contexts
   /// additionally reset + update the per-level recovery attribution in
@@ -300,6 +327,10 @@ class DistributedLaplacianSolver {
   CongestedPaOracle::InstanceId global_instance_ = 0;
   std::vector<std::vector<double>> global_values_;  // charging template
   std::uint64_t base_transfer_rounds_ = 0;  // gather+scatter cost of base case
+  /// Default lease arena of single-RHS solves (SolveContext::ws == nullptr).
+  /// Lives as long as the solver, so a warm-cached solver's repeated solves
+  /// reuse the same buffers — the steady state allocates nothing.
+  SolveWorkspace shared_ws_;
 };
 
 /// A multi-RHS solve session over one DistributedLaplacianSolver
@@ -348,6 +379,11 @@ class SolveSession {
   std::uint64_t rhs_solved_ = 0;
   bool has_cached_hi_ = false;
   double cached_hi_ = 0.0;  // Chebyshev λ_max reuse (opt-in)
+  /// Per-slot lease arenas (a workspace is not thread-safe, so concurrent
+  /// slots never share one). Persisted across batches: slot i's buffers stay
+  /// warm for the next batch's slot i, like the solver's shared workspace
+  /// does for sequential solves.
+  std::vector<std::unique_ptr<SolveWorkspace>> slot_ws_;
 };
 
 }  // namespace dls

@@ -49,6 +49,13 @@ std::vector<LaplacianSolveReport> SolveSession::solve_batch(
   solver_.warm_instances();
 
   const std::size_t num_instances = solver_.oracle_.num_instances();
+  // One lease arena per slot (a SolveWorkspace is single-threaded by design).
+  // The arenas persist across batches, so slot i's buffers are already warm
+  // when the next batch reuses them — steady-state batches allocate nothing
+  // inside the solve loops.
+  while (slot_ws_.size() < k) {
+    slot_ws_.push_back(std::make_unique<SolveWorkspace>());
+  }
   std::vector<RoundLedger> ledgers(k);
   std::vector<std::vector<std::uint64_t>> pa_counts(
       k, std::vector<std::uint64_t>(num_instances, 0));
@@ -81,6 +88,7 @@ std::vector<LaplacianSolveReport> SolveSession::solve_batch(
       ctx.rng = Rng(derive_scenario_seed(options_.seed, i));
       ctx.reuse_hi = reuse_hi;
       ctx.publish_hi = publish_hi;
+      ctx.ws = slot_ws_[i].get();
       reports[i] = solver_.solve_in_context(bs[i], ctx);
     } catch (...) {
       // ThreadPool tasks must not throw; park the exception in this slot and

@@ -46,11 +46,24 @@ GroundedCholesky::GroundedCholesky(const Graph& g, NodeId ground)
 }
 
 Vec GroundedCholesky::solve(const Vec& b) const {
+  SolveWorkspace ws;
+  Vec x;
+  solve_into(b, x, ws);
+  return x;
+}
+
+void GroundedCholesky::solve_into(const Vec& b, Vec& x,
+                                  SolveWorkspace& ws) const {
   DLS_REQUIRE(b.size() == n_, "solve: rhs size mismatch");
   DLS_REQUIRE(is_valid_rhs(b, 1e-6), "solve: rhs not in range(L)");
   const std::size_t m = n_ - 1;
+  WorkspaceLease rb_l = ws.acquire_scratch(m);
+  WorkspaceLease y_l = ws.acquire_scratch(m);
+  WorkspaceLease z_l = ws.acquire_scratch(m);
+  Vec& rb = *rb_l;
+  Vec& y = *y_l;
+  Vec& z = *z_l;
   // Reduced rhs (drop ground entry).
-  Vec rb(m);
   {
     std::size_t next = 0;
     for (NodeId v = 0; v < n_; ++v) {
@@ -58,22 +71,20 @@ Vec GroundedCholesky::solve(const Vec& b) const {
     }
   }
   // Forward substitution L y = rb.
-  Vec y(m);
   for (std::size_t i = 0; i < m; ++i) {
     double sum = rb[i];
     for (std::size_t k = 0; k < i; ++k) sum -= l_[i][k] * y[k];
     y[i] = sum / l_[i][i];
   }
   // Back substitution Lᵀ z = y.
-  Vec z(m);
   for (std::size_t ii = m; ii > 0; --ii) {
     const std::size_t i = ii - 1;
     double sum = y[i];
     for (std::size_t k = i + 1; k < m; ++k) sum -= l_[k][i] * z[k];
     z[i] = sum / l_[i][i];
   }
-  // Re-insert ground (x_ground = 0) and return the mean-zero representative.
-  Vec x(n_, 0.0);
+  // Re-insert ground (x_ground = 0), mean-zero representative.
+  x.assign(n_, 0.0);
   {
     std::size_t next = 0;
     for (NodeId v = 0; v < n_; ++v) {
@@ -81,7 +92,6 @@ Vec GroundedCholesky::solve(const Vec& b) const {
     }
   }
   project_mean_zero(x);
-  return x;
 }
 
 Vec GroundedCholesky::solve(const Vec& b, ThreadPool* pool) const {

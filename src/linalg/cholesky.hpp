@@ -6,6 +6,7 @@
 
 #include "graph/graph.hpp"
 #include "linalg/vector_ops.hpp"
+#include "linalg/workspace.hpp"
 
 namespace dls {
 
@@ -19,6 +20,11 @@ class GroundedCholesky {
 
   /// Solves Lx = b (Σb = 0 required) exactly; returns mean-zero x.
   Vec solve(const Vec& b) const;
+
+  /// Allocation-free solve: writes the mean-zero x into caller storage,
+  /// leasing substitution scratch from `ws`. Bit-identical to solve(b) —
+  /// the recursive solver's base case runs this once per inner iteration.
+  void solve_into(const Vec& b, Vec& x, SolveWorkspace& ws) const;
 
   /// Blocked-reduction apply: the substitution row dots run through
   /// blocked_dot_range so a large factor's inner products fan out across the

@@ -1,0 +1,110 @@
+#include "linalg/csr.hpp"
+
+#include <algorithm>
+
+#include "obs/trace.hpp"
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dls {
+
+void LaplacianCsr::rebuild(const Graph& g) {
+  ScopedSpan span(Tracer::ambient(), "kernel/csr-build", SpanKind::kPhase);
+  const std::size_t n = g.num_nodes();
+  row_ptr_.assign(n + 1, 0);
+  col_.clear();
+  weight_.clear();
+  degree_.assign(n, 0.0);
+  col_.reserve(2 * g.num_edges());
+  weight_.reserve(2 * g.num_edges());
+  for (std::size_t v = 0; v < n; ++v) {
+    double deg = 0.0;
+    for (const Adjacency& adj : g.neighbors(static_cast<NodeId>(v))) {
+      const double w = g.edge(adj.edge).weight;
+      col_.push_back(adj.neighbor);
+      weight_.push_back(w);
+      deg += w;  // adjacency-order fold, matching Graph::weighted_degree
+    }
+    degree_[v] = deg;
+    row_ptr_[v + 1] = static_cast<std::uint32_t>(col_.size());
+  }
+  span.counter("nodes", n);
+  span.counter("entries", col_.size());
+}
+
+void LaplacianCsr::refresh_weights(const Graph& g) {
+  DLS_REQUIRE(num_nodes() == g.num_nodes(),
+              "LaplacianCsr::refresh_weights: node count changed");
+  DLS_REQUIRE(col_.size() == 2 * g.num_edges(),
+              "LaplacianCsr::refresh_weights: edge count changed");
+  const std::size_t n = g.num_nodes();
+  std::size_t k = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    double deg = 0.0;
+    for (const Adjacency& adj : g.neighbors(static_cast<NodeId>(v))) {
+      const double w = g.edge(adj.edge).weight;
+      weight_[k++] = w;
+      deg += w;
+    }
+    degree_[v] = deg;
+  }
+}
+
+void LaplacianCsr::apply(const Vec& x, Vec& y, ThreadPool* pool) const {
+  const std::size_t n = num_nodes();
+  DLS_REQUIRE(x.size() == n, "LaplacianCsr::apply: size mismatch");
+  y.resize(n);
+  const std::size_t blocks = n == 0 ? 0 : (n - 1) / kKernelBlock + 1;
+  const auto body = [&](std::size_t b) {
+    const std::size_t lo = b * kKernelBlock;
+    const std::size_t hi = std::min(n, lo + kKernelBlock);
+    for (std::size_t v = lo; v < hi; ++v) {
+      double acc = 0.0;
+      const std::uint32_t row_end = row_ptr_[v + 1];
+      for (std::uint32_t k = row_ptr_[v]; k < row_end; ++k) {
+        acc += weight_[k] * (x[v] - x[col_[k]]);
+      }
+      y[v] = acc;
+    }
+  };
+  if (blocks <= 1 || pool == nullptr) {
+    for (std::size_t b = 0; b < blocks; ++b) body(b);
+  } else {
+    pool->parallel_for(blocks, body);
+  }
+}
+
+double LaplacianCsr::apply_dot(const Vec& x, Vec& y, ThreadPool* pool) const {
+  const std::size_t n = num_nodes();
+  DLS_REQUIRE(x.size() == n, "LaplacianCsr::apply_dot: size mismatch");
+  y.resize(n);
+  const std::size_t blocks = n == 0 ? 0 : (n - 1) / kKernelBlock + 1;
+  if (blocks == 0) return 0.0;
+  const auto per_block = [&](std::size_t b) {
+    const std::size_t lo = b * kKernelBlock;
+    const std::size_t hi = std::min(n, lo + kKernelBlock);
+    double sum = 0.0;
+    for (std::size_t v = lo; v < hi; ++v) {
+      double acc = 0.0;
+      const std::uint32_t row_end = row_ptr_[v + 1];
+      for (std::uint32_t k = row_ptr_[v]; k < row_end; ++k) {
+        acc += weight_[k] * (x[v] - x[col_[k]]);
+      }
+      y[v] = acc;
+      sum += x[v] * y[v];
+    }
+    return sum;
+  };
+  if (blocks == 1) return per_block(0);
+  std::vector<double> partials(blocks, 0.0);
+  if (pool == nullptr) {
+    for (std::size_t b = 0; b < blocks; ++b) partials[b] = per_block(b);
+  } else {
+    pool->parallel_for(blocks, [&](std::size_t b) { partials[b] = per_block(b); });
+  }
+  double sum = 0.0;
+  for (double p : partials) sum += p;  // ordered combine
+  return sum;
+}
+
+}  // namespace dls

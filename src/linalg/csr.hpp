@@ -1,0 +1,70 @@
+// Cache-resident CSR view of a graph Laplacian (docs/KERNELS.md).
+//
+// The adjacency-list representation pays one indirect `g.edge(adj.edge)` load
+// per neighbor on every matvec; the solver applies the same operator
+// thousands of times per solve, so the hot levels flatten it once into
+// row_ptr / col / weight arrays and apply against those. Entries are laid out
+// in *adjacency order* — the exact order `Graph::neighbors(v)` iterates — so
+// the per-vertex gather folds the same values in the same order as the
+// adjacency kernels in linalg/laplacian.cpp, and (because adjacency lists are
+// appended in edge-id order by `Graph::add_edge` and IEEE negation is exact)
+// the same order as the historical edge-major scatter. apply() is therefore
+// bit-identical to both `laplacian_apply` overloads for every thread count.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace dls {
+
+class ThreadPool;
+
+/// Immutable flattened Laplacian operator. Build once per graph (or rebuild
+/// after a reweight); apply() writes into caller storage and allocates
+/// nothing, which is what makes the solver's inner loops allocation-free.
+class LaplacianCsr {
+ public:
+  LaplacianCsr() = default;
+  explicit LaplacianCsr(const Graph& g) { rebuild(g); }
+
+  /// (Re)builds the arrays from `g` in adjacency order. Emits one
+  /// `kernel/csr-build` span when a tracer is ambient.
+  void rebuild(const Graph& g);
+
+  /// Re-reads edge weights from `g` into the existing layout. Requires the
+  /// same structure (node count and adjacency shape) the view was built from;
+  /// the cheap path under pure reweights (solver_cache's update ladder).
+  void refresh_weights(const Graph& g);
+
+  bool empty() const { return row_ptr_.empty(); }
+  std::size_t num_nodes() const {
+    return row_ptr_.empty() ? 0 : row_ptr_.size() - 1;
+  }
+  std::size_t num_entries() const { return col_.size(); }
+  /// Weighted degree of v — the Laplacian diagonal.
+  double degree(NodeId v) const { return degree_[v]; }
+
+  /// y = L x, in place. Node-major over fixed kKernelBlock node blocks; each
+  /// block writes only its own y entries, so the bits are identical for a
+  /// null pool and any thread count, and identical to the adjacency-list
+  /// kernels (see the header comment).
+  void apply(const Vec& x, Vec& y, ThreadPool* pool = nullptr) const;
+
+  /// Fused matvec + inner product: y = L x and returns xᵀ L x, bit-identical
+  /// to apply(x, y, pool) followed by blocked_dot(x, y, pool) — same node
+  /// blocks, per-block left-to-right partials, ordered combine. Note the
+  /// solver's CG loops project the matvec result to mean zero *between* the
+  /// apply and the pᵀAp dot, so this fusion is only usable where no
+  /// projection intervenes (benchmarks, energy norms xᵀLx).
+  double apply_dot(const Vec& x, Vec& y, ThreadPool* pool = nullptr) const;
+
+ private:
+  std::vector<std::uint32_t> row_ptr_;  // n + 1 entries
+  std::vector<NodeId> col_;
+  std::vector<double> weight_;
+  std::vector<double> degree_;  // weighted degrees (diagonal of L)
+};
+
+}  // namespace dls

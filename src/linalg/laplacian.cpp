@@ -8,14 +8,9 @@
 namespace dls {
 
 Vec laplacian_apply(const Graph& g, const Vec& x) {
-  DLS_REQUIRE(x.size() == g.num_nodes(), "laplacian_apply: size mismatch");
-  Vec y(x.size(), 0.0);
-  for (const Edge& e : g.edges()) {
-    const double diff = x[e.u] - x[e.v];
-    y[e.u] += e.weight * diff;
-    y[e.v] -= e.weight * diff;
-  }
-  return y;
+  // Route through the gather kernel so serial and pooled calls share one fp
+  // association (see the header contract).
+  return laplacian_apply(g, x, nullptr);
 }
 
 Vec laplacian_apply(const Graph& g, const Vec& x, ThreadPool* pool) {

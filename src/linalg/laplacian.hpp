@@ -12,15 +12,17 @@ namespace dls {
 
 /// Applies y = L x. One matvec == one "local exchange" in CONGEST (each node
 /// needs only its neighbors' entries), which is how the distributed solvers
-/// charge rounds for it.
+/// charge rounds for it. Forwards to the gather kernel below with a null
+/// pool, so both overloads (and LaplacianCsr::apply) produce identical bits.
 Vec laplacian_apply(const Graph& g, const Vec& x);
 
-/// Blocked parallel matvec: node-major over fixed node blocks, so each block
-/// writes only its own y entries and the result is bit-identical for any
-/// thread count (see vector_ops.hpp for the determinism rule). Note the fp
-/// association is node-major (per-node adjacency fold), which differs in the
-/// last bits from the edge-major sequential form above — the two are distinct
-/// deterministic kernels, each self-consistent.
+/// Blocked parallel matvec: node-major gather over fixed node blocks, so each
+/// block writes only its own y entries and the result is bit-identical for
+/// any thread count (see vector_ops.hpp for the determinism rule). Because
+/// adjacency lists are appended in edge-id order and IEEE negation is exact,
+/// the per-node adjacency fold also reproduces the historical edge-major
+/// scatter bit-for-bit — there is one canonical matvec association, shared
+/// with LaplacianCsr::apply (linalg/csr.hpp).
 Vec laplacian_apply(const Graph& g, const Vec& x, ThreadPool* pool);
 
 /// xᵀ L x = Σ_e w_e (x_u − x_v)² — the energy / L-seminorm squared.

@@ -27,9 +27,10 @@ SolveResult poisoned_input(std::size_t n, NumericalWatchdog& wd) {
 /// One iterative-refinement pass: recompute the *true* residual (not the
 /// recurrence-accumulated one, which the anomaly may have poisoned), solve
 /// the correction with the watchdog off (no recursive refinement), and fold
-/// it back in. Applied only when a signal fired during the main loop.
+/// it back in. Applied only when a signal fired during the main loop — the
+/// steady state never reaches this, so its allocations are acceptable.
 template <typename Solver>
-void refine_on_anomaly(const LinearOperator& op, const Vec& rhs,
+void refine_on_anomaly(const InplaceOperator& op, const Vec& rhs,
                        double b_norm, const SolveOptions& options,
                        NumericalWatchdog& wd, SolveResult& result,
                        Solver solver) {
@@ -37,7 +38,8 @@ void refine_on_anomaly(const LinearOperator& op, const Vec& rhs,
       !wd.triggered() || !all_finite(result.x)) {
     return;
   }
-  Vec ax = op(result.x);
+  Vec ax;
+  op(result.x, ax);
   project_mean_zero(ax);
   if (!all_finite(ax)) return;
   const Vec res = sub(rhs, ax);
@@ -49,20 +51,23 @@ void refine_on_anomaly(const LinearOperator& op, const Vec& rhs,
   if (!all_finite(correction.x)) return;
   axpy(1.0, correction.x, result.x);
   wd.note_refinement();
-  Vec ax_refined = op(result.x);
-  project_mean_zero(ax_refined);
-  result.residual_norm = norm2(sub(rhs, ax_refined)) / b_norm;
+  op(result.x, ax);
+  project_mean_zero(ax);
+  result.residual_norm = norm2(sub(rhs, ax)) / b_norm;
   result.converged = result.residual_norm <= options.tolerance;
 }
 
 }  // namespace
 
-SolveResult conjugate_gradient(const LinearOperator& op, const Vec& b,
-                               const SolveOptions& options) {
+SolveResult conjugate_gradient(const InplaceOperator& op, const Vec& b,
+                               const SolveOptions& options,
+                               SolveWorkspace& ws) {
   SolveResult result;
   const std::size_t n = b.size();
   NumericalWatchdog wd(options.watchdog);
-  Vec rhs = b;
+  WorkspaceLease rhs_l = ws.acquire_scratch(n);
+  Vec& rhs = *rhs_l;
+  rhs = b;
   project_mean_zero(rhs);
   if (wd.check_vector(rhs, 0) != WatchdogSignal::kNone) {
     return poisoned_input(n, wd);
@@ -73,28 +78,34 @@ SolveResult conjugate_gradient(const LinearOperator& op, const Vec& b,
     result.converged = true;
     return result;
   }
-  Vec r = rhs;
-  Vec p = r;
+  WorkspaceLease r_l = ws.acquire_scratch(n);
+  WorkspaceLease p_l = ws.acquire_scratch(n);
+  WorkspaceLease ap_l = ws.acquire_scratch(n);
+  Vec& r = *r_l;
+  Vec& p = *p_l;
+  Vec& ap = *ap_l;
+  r = rhs;
+  p = r;
   double rr = dot(r, r);
   // Remediation: drop the (possibly poisoned) Krylov state and restart the
   // recurrence from the current iterate — or from zero if the iterate itself
   // went non-finite.
   const auto hard_restart = [&]() {
     if (!all_finite(result.x)) result.x.assign(n, 0.0);
-    Vec ax = op(result.x);
-    project_mean_zero(ax);
-    if (!all_finite(ax)) {
+    op(result.x, ap);
+    project_mean_zero(ap);
+    if (!all_finite(ap)) {
       result.x.assign(n, 0.0);
-      ax.assign(n, 0.0);
+      ap.assign(n, 0.0);
     }
-    r = sub(rhs, ax);
+    sub_into(rhs, ap, r);
     p = r;
     rr = dot(r, r);
     wd.reset_residual_tracking();
   };
   const std::size_t max_iters = default_max_iters(n, options);
   for (std::size_t it = 0; it < max_iters; ++it) {
-    Vec ap = op(p);
+    op(p, ap);
     project_mean_zero(ap);
     if (wd.check_vector(ap, it) != WatchdogSignal::kNone) {
       if (!wd.allow_restart()) break;
@@ -110,8 +121,7 @@ SolveResult conjugate_gradient(const LinearOperator& op, const Vec& b,
     if (pap <= 0.0) break;  // operator not PD on this subspace — stop cleanly
     const double alpha = rr / pap;
     axpy(alpha, p, result.x);
-    axpy(-alpha, ap, r);
-    const double rr_new = dot(r, r);
+    const double rr_new = axpy_dot(-alpha, ap, r);
     result.iterations = it + 1;
     if (std::sqrt(rr_new) <= options.tolerance * b_norm) {
       result.converged = true;
@@ -127,31 +137,35 @@ SolveResult conjugate_gradient(const LinearOperator& op, const Vec& b,
     }
     const double beta = rr_new / rr;
     rr = rr_new;
-    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    xpay(r, beta, p);
   }
   result.residual_norm = std::sqrt(std::max(rr, 0.0)) / b_norm;
   refine_on_anomaly(op, rhs, b_norm, options, wd, result,
-                    [](const LinearOperator& o, const Vec& rhs2,
-                       const SolveOptions& opts) {
-                      return conjugate_gradient(o, rhs2, opts);
+                    [&ws](const InplaceOperator& o, const Vec& rhs2,
+                          const SolveOptions& opts) {
+                      return conjugate_gradient(o, rhs2, opts, ws);
                     });
   result.watchdog = wd.report();
   return result;
 }
 
-SolveResult solve_laplacian_cg(const Graph& g, const Vec& b,
-                               const SolveOptions& options) {
+SolveResult solve_laplacian_cg(const LaplacianCsr& csr, const Vec& b,
+                               const SolveOptions& options,
+                               SolveWorkspace& ws) {
   return conjugate_gradient(
-      [&g](const Vec& x) { return laplacian_apply(g, x); }, b, options);
+      [&csr](const Vec& x, Vec& y) { csr.apply(x, y); }, b, options, ws);
 }
 
-SolveResult preconditioned_cg(const LinearOperator& op,
-                              const LinearOperator& precond, const Vec& b,
-                              const SolveOptions& options) {
+SolveResult preconditioned_cg(const InplaceOperator& op,
+                              const InplaceOperator& precond, const Vec& b,
+                              const SolveOptions& options,
+                              SolveWorkspace& ws) {
   SolveResult result;
   const std::size_t n = b.size();
   NumericalWatchdog wd(options.watchdog);
-  Vec rhs = b;
+  WorkspaceLease rhs_l = ws.acquire_scratch(n);
+  Vec& rhs = *rhs_l;
+  rhs = b;
   project_mean_zero(rhs);
   if (wd.check_vector(rhs, 0) != WatchdogSignal::kNone) {
     return poisoned_input(n, wd);
@@ -162,23 +176,31 @@ SolveResult preconditioned_cg(const LinearOperator& op,
     result.converged = true;
     return result;
   }
-  Vec r = rhs;
-  Vec z = precond(r);
+  WorkspaceLease r_l = ws.acquire_scratch(n);
+  WorkspaceLease z_l = ws.acquire_scratch(n);
+  WorkspaceLease p_l = ws.acquire_scratch(n);
+  WorkspaceLease ap_l = ws.acquire_scratch(n);
+  Vec& r = *r_l;
+  Vec& z = *z_l;
+  Vec& p = *p_l;
+  Vec& ap = *ap_l;
+  r = rhs;
+  precond(r, z);
   project_mean_zero(z);
-  Vec p = z;
+  p = z;
   double rz = dot(r, z);
   // Remediation: recompute the true residual, re-precondition, and reset the
   // search direction to steepest descent in the preconditioned metric.
   const auto hard_restart = [&]() {
     if (!all_finite(result.x)) result.x.assign(n, 0.0);
-    Vec ax = op(result.x);
-    project_mean_zero(ax);
-    if (!all_finite(ax)) {
+    op(result.x, ap);
+    project_mean_zero(ap);
+    if (!all_finite(ap)) {
       result.x.assign(n, 0.0);
-      ax.assign(n, 0.0);
+      ap.assign(n, 0.0);
     }
-    r = sub(rhs, ax);
-    z = precond(r);
+    sub_into(rhs, ap, r);
+    precond(r, z);
     project_mean_zero(z);
     if (!all_finite(z)) z = r;  // preconditioner itself is sick — drop it
     p = z;
@@ -187,7 +209,7 @@ SolveResult preconditioned_cg(const LinearOperator& op,
   };
   const std::size_t max_iters = default_max_iters(n, options);
   for (std::size_t it = 0; it < max_iters; ++it) {
-    Vec ap = op(p);
+    op(p, ap);
     project_mean_zero(ap);
     if (wd.check_vector(ap, it) != WatchdogSignal::kNone) {
       if (!wd.allow_restart()) break;
@@ -203,9 +225,8 @@ SolveResult preconditioned_cg(const LinearOperator& op,
     if (pap <= 0.0) break;
     const double alpha = rz / pap;
     axpy(alpha, p, result.x);
-    axpy(-alpha, ap, r);
+    const double r_norm = std::sqrt(axpy_dot(-alpha, ap, r));
     result.iterations = it + 1;
-    const double r_norm = norm2(r);
     if (r_norm <= options.tolerance * b_norm) {
       result.converged = true;
       break;
@@ -217,7 +238,7 @@ SolveResult preconditioned_cg(const LinearOperator& op,
       hard_restart();
       continue;
     }
-    z = precond(r);
+    precond(r, z);
     project_mean_zero(z);
     if (wd.check_vector(z, it) != WatchdogSignal::kNone) {
       if (!wd.allow_restart()) break;
@@ -233,26 +254,29 @@ SolveResult preconditioned_cg(const LinearOperator& op,
       continue;
     }
     rz = rz_new;
-    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    xpay(z, beta, p);
   }
   result.residual_norm = norm2(r) / b_norm;
   refine_on_anomaly(op, rhs, b_norm, options, wd, result,
-                    [&precond](const LinearOperator& o, const Vec& rhs2,
-                               const SolveOptions& opts) {
-                      return preconditioned_cg(o, precond, rhs2, opts);
+                    [&precond, &ws](const InplaceOperator& o, const Vec& rhs2,
+                                    const SolveOptions& opts) {
+                      return preconditioned_cg(o, precond, rhs2, opts, ws);
                     });
   result.watchdog = wd.report();
   return result;
 }
 
-SolveResult chebyshev(const LinearOperator& op, const Vec& b, double lambda_min,
-                      double lambda_max, const SolveOptions& options) {
+SolveResult chebyshev(const InplaceOperator& op, const Vec& b,
+                      double lambda_min, double lambda_max,
+                      const SolveOptions& options, SolveWorkspace& ws) {
   DLS_REQUIRE(lambda_min > 0 && lambda_max >= lambda_min,
               "chebyshev needs 0 < lambda_min <= lambda_max");
   SolveResult result;
   const std::size_t n = b.size();
   NumericalWatchdog wd(options.watchdog);
-  Vec rhs = b;
+  WorkspaceLease rhs_l = ws.acquire_scratch(n);
+  Vec& rhs = *rhs_l;
+  rhs = b;
   project_mean_zero(rhs);
   if (wd.check_vector(rhs, 0) != WatchdogSignal::kNone) {
     return poisoned_input(n, wd);
@@ -265,8 +289,13 @@ SolveResult chebyshev(const LinearOperator& op, const Vec& b, double lambda_min,
   }
   double theta = 0.5 * (lambda_max + lambda_min);
   double delta = 0.5 * (lambda_max - lambda_min);
-  Vec r = rhs;
-  Vec p(n, 0.0);
+  WorkspaceLease r_l = ws.acquire_scratch(n);
+  WorkspaceLease p_l = ws.acquire(n);
+  WorkspaceLease ax_l = ws.acquire_scratch(n);
+  Vec& r = *r_l;
+  Vec& p = *p_l;
+  Vec& ax = *ax_l;
+  r = rhs;
   double alpha = 0.0, beta = 0.0;
   // `k` counts iterations since the last restart: the Chebyshev recurrence
   // coefficients are position-dependent, so a restart must rewind them even
@@ -300,11 +329,11 @@ SolveResult chebyshev(const LinearOperator& op, const Vec& b, double lambda_min,
       beta = (k == 1) ? 0.5 * (delta * alpha) * (delta * alpha)
                       : (delta * alpha / 2.0) * (delta * alpha / 2.0);
       alpha = 1.0 / (theta - beta / alpha);
-      for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+      xpay(r, beta, p);
     }
     ++k;
     axpy(alpha, p, result.x);
-    Vec ax = op(result.x);
+    op(result.x, ax);
     project_mean_zero(ax);
     result.iterations = it + 1;
     if (wd.check_vector(ax, it) != WatchdogSignal::kNone) {
@@ -312,7 +341,7 @@ SolveResult chebyshev(const LinearOperator& op, const Vec& b, double lambda_min,
       rebound_restart(/*widen=*/false);
       continue;
     }
-    r = sub(rhs, ax);
+    sub_into(rhs, ax, r);
     const double r_norm = norm2(r);
     if (r_norm <= options.tolerance * b_norm) {
       result.converged = true;
@@ -334,6 +363,42 @@ SolveResult chebyshev(const LinearOperator& op, const Vec& b, double lambda_min,
   result.residual_norm = norm2(r) / b_norm;
   result.watchdog = wd.report();
   return result;
+}
+
+// --- Return-by-value adapters -----------------------------------------------
+
+namespace {
+
+InplaceOperator adapt(const LinearOperator& op) {
+  return [&op](const Vec& x, Vec& y) { y = op(x); };
+}
+
+}  // namespace
+
+SolveResult conjugate_gradient(const LinearOperator& op, const Vec& b,
+                               const SolveOptions& options) {
+  SolveWorkspace ws;
+  return conjugate_gradient(adapt(op), b, options, ws);
+}
+
+SolveResult solve_laplacian_cg(const Graph& g, const Vec& b,
+                               const SolveOptions& options) {
+  LaplacianCsr csr(g);
+  SolveWorkspace ws;
+  return solve_laplacian_cg(csr, b, options, ws);
+}
+
+SolveResult preconditioned_cg(const LinearOperator& op,
+                              const LinearOperator& precond, const Vec& b,
+                              const SolveOptions& options) {
+  SolveWorkspace ws;
+  return preconditioned_cg(adapt(op), adapt(precond), b, options, ws);
+}
+
+SolveResult chebyshev(const LinearOperator& op, const Vec& b, double lambda_min,
+                      double lambda_max, const SolveOptions& options) {
+  SolveWorkspace ws;
+  return chebyshev(adapt(op), b, lambda_min, lambda_max, options, ws);
 }
 
 SpectrumBounds laplacian_spectrum_bounds(const Graph& g) {

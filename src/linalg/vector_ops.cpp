@@ -40,6 +40,27 @@ Vec sub(const Vec& a, const Vec& b) {
   return r;
 }
 
+void sub_into(const Vec& a, const Vec& b, Vec& r) {
+  DLS_REQUIRE(a.size() == b.size(), "sub_into: size mismatch");
+  r.resize(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] - b[i];
+}
+
+double axpy_dot(double alpha, const Vec& x, Vec& y) {
+  DLS_REQUIRE(x.size() == y.size(), "axpy_dot: size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] += alpha * x[i];
+    sum += y[i] * y[i];
+  }
+  return sum;
+}
+
+void xpay(const Vec& x, double beta, Vec& y) {
+  DLS_REQUIRE(x.size() == y.size(), "xpay: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] + beta * y[i];
+}
+
 void project_mean_zero(Vec& a) {
   if (a.empty()) return;
   double mean = 0.0;
@@ -148,6 +169,37 @@ Vec blocked_sub(const Vec& a, const Vec& b, ThreadPool* pool) {
     for (std::size_t i = lo; i < hi; ++i) r[i] = a[i] - b[i];
   });
   return r;
+}
+
+void blocked_sub_into(const Vec& a, const Vec& b, Vec& r, ThreadPool* pool) {
+  DLS_REQUIRE(a.size() == b.size(), "blocked_sub_into: size mismatch");
+  r.resize(a.size());
+  for_each_block(a.size(), pool, [&](std::size_t blk) {
+    const std::size_t lo = blk * kKernelBlock;
+    const std::size_t hi = std::min(a.size(), lo + kKernelBlock);
+    for (std::size_t i = lo; i < hi; ++i) r[i] = a[i] - b[i];
+  });
+}
+
+double blocked_axpy_dot(double alpha, const Vec& x, Vec& y, ThreadPool* pool) {
+  DLS_REQUIRE(x.size() == y.size(), "blocked_axpy_dot: size mismatch");
+  return blocked_reduce(x.size(), pool, [&](std::size_t lo, std::size_t len) {
+    double sum = 0.0;
+    for (std::size_t i = lo; i < lo + len; ++i) {
+      y[i] += alpha * x[i];
+      sum += y[i] * y[i];
+    }
+    return sum;
+  });
+}
+
+void blocked_xpay(const Vec& x, double beta, Vec& y, ThreadPool* pool) {
+  DLS_REQUIRE(x.size() == y.size(), "blocked_xpay: size mismatch");
+  for_each_block(x.size(), pool, [&](std::size_t b) {
+    const std::size_t lo = b * kKernelBlock;
+    const std::size_t hi = std::min(x.size(), lo + kKernelBlock);
+    for (std::size_t i = lo; i < hi; ++i) y[i] = x[i] + beta * y[i];
+  });
 }
 
 void project_mean_zero(Vec& a, ThreadPool* pool) {

@@ -36,6 +36,25 @@ void scale(Vec& a, double s);
 Vec add(const Vec& a, const Vec& b);
 Vec sub(const Vec& a, const Vec& b);
 
+/// r = a - b written into caller storage (r is resized; its capacity is
+/// reused, so steady-state callers allocate nothing).
+void sub_into(const Vec& a, const Vec& b, Vec& r);
+
+// --- Fused kernels (docs/KERNELS.md) --------------------------------------
+//
+// Each fused kernel is bit-identical to the two-pass composition it replaces:
+// per element the update lands before the reduction reads it, and every
+// accumulator folds the same values in the same order as the unfused pair.
+
+/// Fused axpy + self-dot: y += alpha·x, returns Σ y_i² over the *updated* y.
+/// Bit-identical to axpy(alpha, x, y) followed by dot(y, y) — the CG residual
+/// update + convergence check in one pass.
+double axpy_dot(double alpha, const Vec& x, Vec& y);
+
+/// y = x + beta·y — the CG/Chebyshev search-direction update p = z + βp,
+/// in place.
+void xpay(const Vec& x, double beta, Vec& y);
+
 /// Subtract the mean, projecting onto the space orthogonal to 1 (the
 /// Laplacian's range for a connected graph).
 void project_mean_zero(Vec& a);
@@ -58,6 +77,17 @@ double blocked_norm2(const Vec& a, ThreadPool* pool = nullptr);
 void blocked_axpy(double alpha, const Vec& x, Vec& y, ThreadPool* pool = nullptr);
 void blocked_scale(Vec& a, double s, ThreadPool* pool = nullptr);
 Vec blocked_sub(const Vec& a, const Vec& b, ThreadPool* pool = nullptr);
+/// Allocation-free blocked_sub: writes into `r` (resized, capacity reused).
+void blocked_sub_into(const Vec& a, const Vec& b, Vec& r,
+                      ThreadPool* pool = nullptr);
+/// Fused blocked axpy + self-dot: bit-identical to blocked_axpy followed by
+/// blocked_dot(y, y) for every pool (same blocks, same per-block order, same
+/// ordered combine).
+double blocked_axpy_dot(double alpha, const Vec& x, Vec& y,
+                        ThreadPool* pool = nullptr);
+/// Blocked y = x + beta·y; element-wise, trivially thread-count-invariant.
+void blocked_xpay(const Vec& x, double beta, Vec& y,
+                  ThreadPool* pool = nullptr);
 /// project_mean_zero with a blocked mean reduction + blocked subtraction.
 void project_mean_zero(Vec& a, ThreadPool* pool);
 

@@ -1,0 +1,83 @@
+#include "linalg/workspace.hpp"
+
+#include "obs/metrics.hpp"
+#include "util/assert.hpp"
+
+namespace dls {
+
+namespace {
+
+struct WsCounters {
+  MetricCounter& acquires;
+  MetricCounter& buffers;
+  MetricCounter& capacity_grows;
+};
+
+WsCounters& ws_counters() {
+  static WsCounters c{
+      MetricsRegistry::global().counter("mem.alloc.ws.acquires"),
+      MetricsRegistry::global().counter("mem.alloc.ws.buffers"),
+      MetricsRegistry::global().counter("mem.alloc.ws.capacity_grows"),
+  };
+  return c;
+}
+
+}  // namespace
+
+WorkspaceLease& WorkspaceLease::operator=(WorkspaceLease&& other) noexcept {
+  if (this != &other) {
+    release();
+    ws_ = other.ws_;
+    buf_ = other.buf_;
+    other.ws_ = nullptr;
+    other.buf_ = nullptr;
+  }
+  return *this;
+}
+
+void WorkspaceLease::release() {
+  if (ws_ != nullptr && buf_ != nullptr) ws_->put_back(buf_);
+  ws_ = nullptr;
+  buf_ = nullptr;
+}
+
+Vec* SolveWorkspace::lease_raw(std::size_t n, bool zero) {
+  ++acquires_;
+  ws_counters().acquires.increment();
+  Vec* buf = nullptr;
+  if (!free_.empty()) {
+    buf = free_.back();
+    free_.pop_back();
+    if (buf->capacity() < n) {
+      ++capacity_grows_;
+      ws_counters().capacity_grows.increment();
+    }
+  } else {
+    all_.push_back(std::make_unique<Vec>());
+    buf = all_.back().get();
+    ++buffer_allocations_;
+    ws_counters().buffers.increment();
+    if (n > 0) {
+      ++capacity_grows_;
+      ws_counters().capacity_grows.increment();
+    }
+  }
+  if (zero) {
+    buf->assign(n, 0.0);
+  } else {
+    buf->resize(n);
+  }
+  return buf;
+}
+
+void SolveWorkspace::put_back(Vec* buf) { free_.push_back(buf); }
+
+WorkspaceLease SolveWorkspace::acquire(std::size_t n) {
+  return WorkspaceLease(this, lease_raw(n, /*zero=*/true));
+}
+
+WorkspaceLease SolveWorkspace::acquire_scratch(std::size_t n) {
+  return WorkspaceLease(this, lease_raw(n, /*zero=*/false));
+}
+
+}  // namespace dls

@@ -1,0 +1,109 @@
+// Reusable solve workspace: a free-list arena of node-length vectors
+// (docs/KERNELS.md).
+//
+// The recursive solver's inner loops need a handful of scratch vectors per
+// level per outer iteration (residual, search direction, matvec output,
+// elimination buffers, Cholesky substitution scratch). Allocating them fresh
+// each iteration is the dominant small-allocation source in a warm solve; the
+// workspace instead hands out buffers from a free list and takes them back
+// when the lease goes out of scope, so a solve reaches a steady state where
+// inner iterations perform zero heap allocations.
+//
+// The arena only changes *where* the doubles live, never their values or the
+// order they are combined in, so solver outputs are bit-identical to the
+// allocate-per-iteration code it replaces.
+//
+// Concurrency: a workspace is deliberately NOT thread-safe. Each solve
+// context owns one (SolveSession gives every batch slot its own), matching
+// the per-slot ledger/tracer discipline. Buffers may be handed to blocked
+// kernels that fan out over a ThreadPool — the *lease* bookkeeping stays on
+// the owning thread.
+//
+// Observability: acquisition traffic is mirrored into the global
+// MetricsRegistry under `mem.alloc.*` (see docs/OBSERVABILITY.md):
+//   mem.alloc.ws.acquires       every lease handed out
+//   mem.alloc.ws.buffers        backing vectors created (cold path)
+//   mem.alloc.ws.capacity_grows leases that had to grow a recycled buffer
+// A steady-state solve moves only the first counter.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "linalg/vector_ops.hpp"
+
+namespace dls {
+
+class SolveWorkspace;
+
+/// Move-only RAII lease of one workspace buffer. Releasing on destruction
+/// (rather than by explicit calls) keeps the free list correct when a chaos
+/// fault unwinds a solve mid-iteration.
+class WorkspaceLease {
+ public:
+  WorkspaceLease() = default;
+  WorkspaceLease(const WorkspaceLease&) = delete;
+  WorkspaceLease& operator=(const WorkspaceLease&) = delete;
+  WorkspaceLease(WorkspaceLease&& other) noexcept
+      : ws_(other.ws_), buf_(other.buf_) {
+    other.ws_ = nullptr;
+    other.buf_ = nullptr;
+  }
+  WorkspaceLease& operator=(WorkspaceLease&& other) noexcept;
+  ~WorkspaceLease() { release(); }
+
+  Vec& operator*() const { return *buf_; }
+  Vec* operator->() const { return buf_; }
+  Vec& vec() const { return *buf_; }
+  bool valid() const { return buf_ != nullptr; }
+
+  /// Returns the buffer to the workspace early (idempotent).
+  void release();
+
+ private:
+  friend class SolveWorkspace;
+  WorkspaceLease(SolveWorkspace* ws, Vec* buf) : ws_(ws), buf_(buf) {}
+
+  SolveWorkspace* ws_ = nullptr;
+  Vec* buf_ = nullptr;
+};
+
+/// Free-list arena of Vec buffers. Buffers have stable addresses for the
+/// workspace's lifetime (they live behind unique_ptrs), so leases stay valid
+/// across further acquisitions.
+class SolveWorkspace {
+ public:
+  SolveWorkspace() = default;
+  SolveWorkspace(const SolveWorkspace&) = delete;
+  SolveWorkspace& operator=(const SolveWorkspace&) = delete;
+
+  /// Leases a buffer of length n with every entry zeroed.
+  WorkspaceLease acquire(std::size_t n);
+  /// Leases a buffer resized to n with unspecified contents — for buffers the
+  /// caller overwrites entirely (matvec outputs, copy destinations).
+  WorkspaceLease acquire_scratch(std::size_t n);
+
+  /// Buffers created since construction. Flat across steady-state solves —
+  /// the zero-allocation tests pin this.
+  std::uint64_t buffer_allocations() const { return buffer_allocations_; }
+  /// Recycled leases that had to grow a buffer's capacity. Also flat once
+  /// warm.
+  std::uint64_t capacity_grows() const { return capacity_grows_; }
+  std::uint64_t acquires() const { return acquires_; }
+
+  std::size_t pooled_buffers() const { return all_.size(); }
+
+ private:
+  friend class WorkspaceLease;
+  Vec* lease_raw(std::size_t n, bool zero);
+  void put_back(Vec* buf);
+
+  std::vector<std::unique_ptr<Vec>> all_;  // stable addresses
+  std::vector<Vec*> free_;
+  std::uint64_t buffer_allocations_ = 0;
+  std::uint64_t capacity_grows_ = 0;
+  std::uint64_t acquires_ = 0;
+};
+
+}  // namespace dls

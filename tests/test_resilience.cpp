@@ -14,6 +14,7 @@
 #include "graph/generators.hpp"
 #include "laplacian/recursive_solver.hpp"
 #include "linalg/solvers.hpp"
+#include "obs/metrics.hpp"
 #include "linalg/vector_ops.hpp"
 #include "resilience/checkpoint.hpp"
 #include "resilience/recovery.hpp"
@@ -734,6 +735,130 @@ TEST(SupervisedSolve, CleanSupervisedSolveBitIdenticalToUnsupervised) {
   EXPECT_EQ(supervised.tier(), EscalationTier::kNone);
   EXPECT_FALSE(got.recovery.any());
   EXPECT_FALSE(got.watchdog.triggered());
+}
+
+// --- Workspace reuse across the resilience paths ----------------------------
+//
+// The solver's shared lease arena (docs/KERNELS.md) persists across solve()
+// calls, watchdog restarts, checkpoint resumes and supervisor recoveries.
+// These tests pin two properties at once: recycled buffers never change the
+// solution bits, and once warm the arena creates no new backing vectors —
+// observed through the global mem.alloc.ws.* mirrors, since the arena itself
+// is a private member.
+
+struct WsMetricSnapshot {
+  std::uint64_t buffers;
+  std::uint64_t grows;
+  std::uint64_t acquires;
+
+  static WsMetricSnapshot take() {
+    MetricsRegistry& reg = MetricsRegistry::global();
+    return {reg.counter("mem.alloc.ws.buffers").value(),
+            reg.counter("mem.alloc.ws.capacity_grows").value(),
+            reg.counter("mem.alloc.ws.acquires").value()};
+  }
+};
+
+TEST(WorkspaceReuse, RepeatSolvesReuseWarmArenaBitIdentically) {
+  const Graph g = make_grid(5, 5);
+  const Vec b = messy_rhs(g.num_nodes());
+  Rng oracle_rng(4242);
+  ShortcutPaOracle oracle(g, oracle_rng);
+  Rng solver_rng(17);
+  DistributedLaplacianSolver solver(oracle, solver_rng, chain_options());
+
+  const LaplacianSolveReport first = solver.solve(b);
+  ASSERT_TRUE(first.converged);
+  const WsMetricSnapshot warm = WsMetricSnapshot::take();
+  for (int rep = 0; rep < 3; ++rep) {
+    const LaplacianSolveReport again = solver.solve(b);
+    EXPECT_TRUE(again.converged);
+    EXPECT_EQ(again.x, first.x);  // recycled buffers, identical bits
+  }
+  const WsMetricSnapshot after = WsMetricSnapshot::take();
+  // The arena was exercised (leases flowed) but fully recycled: no new
+  // backing vectors, no capacity growth.
+  EXPECT_GT(after.acquires, warm.acquires);
+  EXPECT_EQ(after.buffers, warm.buffers);
+  EXPECT_EQ(after.grows, warm.grows);
+}
+
+TEST(WorkspaceReuse, WarmArenaSurvivesCheckpointResumes) {
+  const Graph g = make_grid(5, 5);
+  const Vec b = messy_rhs(g.num_nodes());
+  FlakyOracle flaky(g, 2);  // two wedged measures, absorbed by resume
+  LaplacianSolverOptions options = chain_options();
+  options.checkpoint.interval = 1;
+  options.checkpoint.resume_budget = 4;
+  Rng solver_rng(99);
+  DistributedLaplacianSolver solver(flaky, solver_rng, options);
+
+  // First solve restores twice; the unwinds release their leases back into
+  // the arena (RAII), so nothing leaks across the restarts.
+  LaplacianSolveReport first;
+  ASSERT_NO_THROW(first = solver.solve(b));
+  EXPECT_TRUE(first.converged);
+  EXPECT_EQ(first.recovery.checkpoints_restored, 2u);
+  const WsMetricSnapshot warm = WsMetricSnapshot::take();
+
+  // Oracle healthy now: the second solve runs entirely on recycled buffers
+  // and lands on the same solution the resumed solve produced.
+  LaplacianSolveReport second;
+  ASSERT_NO_THROW(second = solver.solve(b));
+  EXPECT_TRUE(second.converged);
+  EXPECT_FALSE(second.degraded.has_value());
+  EXPECT_EQ(second.x, first.x);
+  const WsMetricSnapshot after = WsMetricSnapshot::take();
+  EXPECT_GT(after.acquires, warm.acquires);
+  EXPECT_EQ(after.buffers, warm.buffers);
+  EXPECT_EQ(after.grows, warm.grows);
+}
+
+TEST(WorkspaceReuse, FaultedSupervisedRepeatSolvesMatchCleanBitwise) {
+  Rng family_rng(0xFA111 + 1);
+  const Graph g = make_random_regular(24, 3, family_rng);
+  const Vec b = messy_rhs(g.num_nodes());
+  const std::uint64_t seed = 0x51EE + 131;
+
+  // Fault-free reference on a fresh (cold-arena) solver.
+  Rng clean_oracle_rng(seed);
+  ShortcutPaOracle clean_oracle(g, clean_oracle_rng);
+  Rng clean_solver_rng(seed ^ 0x50F7);
+  DistributedLaplacianSolver clean(clean_oracle, clean_solver_rng,
+                                   chain_options());
+  const LaplacianSolveReport want = clean.solve(b);
+  ASSERT_TRUE(want.converged);
+
+  // Faulted + supervised solver, solved twice: the first solve may engage
+  // the escalation ladder (and warms the arena while unwinding through
+  // recoveries); the second runs on recycled buffers with the fault plan in
+  // a different phase. Both must reproduce the clean bits.
+  FaultConfig config;
+  config.drop_rate = 0.5;
+  config.round_limit = 20;
+  FaultPlan plan(seed ^ 0xFA57, config);
+  Rng faulty_oracle_rng(seed);
+  ShortcutPaOracle faulty_oracle(g, faulty_oracle_rng);
+  faulty_oracle.set_fault_plan(&plan);
+  SupervisedPaOracle supervised(faulty_oracle);
+  Rng faulty_solver_rng(seed ^ 0x50F7);
+  DistributedLaplacianSolver solver(supervised, faulty_solver_rng,
+                                    chain_options());
+
+  LaplacianSolveReport first;
+  ASSERT_NO_THROW(first = solver.solve(b));
+  EXPECT_FALSE(first.degraded.has_value());
+  EXPECT_EQ(first.x, want.x);
+  const WsMetricSnapshot warm = WsMetricSnapshot::take();
+
+  LaplacianSolveReport second;
+  ASSERT_NO_THROW(second = solver.solve(b));
+  EXPECT_FALSE(second.degraded.has_value());
+  EXPECT_EQ(second.x, want.x);
+  const WsMetricSnapshot after = WsMetricSnapshot::take();
+  EXPECT_GT(after.acquires, warm.acquires);
+  EXPECT_EQ(after.buffers, warm.buffers);
+  EXPECT_EQ(after.grows, warm.grows);
 }
 
 }  // namespace
